@@ -1,0 +1,53 @@
+"""Benchmark-harness fixtures.
+
+Every paper table/figure has one benchmark here. Each bench:
+
+* regenerates the experiment via ``repro.experiments.run_experiment``
+  (timed once with ``benchmark.pedantic`` — these are macro experiments,
+  not micro-kernels);
+* prints the rendered paper-style table straight to the terminal
+  (bypassing capture, so ``pytest benchmarks/ --benchmark-only | tee``
+  records the rows the paper reports);
+* writes the full rendered output to ``benchmarks/out/<name>.txt``;
+* asserts the headline *shape* (who wins, roughly by how much).
+
+Set ``REPRO_BENCH_SCALE=smoke|ci|paper`` to size the runs (default: ci).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+_OUT_DIR = Path(__file__).resolve().parent / "out"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "ci")
+
+
+@pytest.fixture
+def report(capsys, request):
+    """Emit text to the live terminal and persist it under benchmarks/out/."""
+
+    def _report(text: str) -> None:
+        with capsys.disabled():
+            print(f"\n{text}\n")
+        _OUT_DIR.mkdir(exist_ok=True)
+        name = request.node.name.replace("/", "_")
+        (_OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _report
+
+
+def run_once(benchmark, fn):
+    """Time a macro experiment exactly once and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,149 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* PM-Score bin count K: silhouette-selected vs forced small/large K
+  (paper Sec. III-B argues either extreme hurts);
+* classifier class count (K = 2/3/4);
+* sticky PAL (migration disabled) vs the paper's non-sticky PAL;
+* migration/checkpoint overhead sensitivity (paper assumes negligible).
+
+All run the Sia-Philly workload-1 trace on a 64-GPU Longhorn-profiled
+cluster under FIFO.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.analysis.reporting import format_table
+from repro.cluster.topology import LocalityModel
+from repro.core.pm_score import PMScoreTable
+from repro.experiments.common import build_environment
+from repro.scheduler.placement import make_placement
+from repro.scheduler.policies import make_scheduler
+from repro.scheduler.simulator import ClusterSimulator, SimulatorConfig
+from repro.traces.philly import generate_sia_philly_trace
+
+
+@pytest.fixture(scope="module")
+def env64():
+    return build_environment(n_gpus=64, use_per_model_locality=True, seed=0)
+
+
+@pytest.fixture(scope="module")
+def sia_trace():
+    return generate_sia_philly_trace(1, seed=0)
+
+
+def _run(env, trace, placement, *, pm_table=None, config=None):
+    sim = ClusterSimulator(
+        topology=env.topology,
+        true_profile=env.true_profile,
+        scheduler=make_scheduler("fifo"),
+        placement=make_placement(placement) if isinstance(placement, str) else placement,
+        pm_table=pm_table or env.pm_table,
+        locality=env.locality,
+        config=config,
+        seed=0,
+    )
+    return sim.run(trace)
+
+
+def test_ablation_bin_count_k(benchmark, report, env64, sia_trace):
+    """Forced K extremes vs the silhouette-selected binning."""
+
+    def sweep():
+        rows = []
+        for label, table in (
+            ("silhouette", env64.pm_table),
+            ("K=1", PMScoreTable.fit(env64.believed_profile, k_override=1, seed=0)),
+            ("K=2", PMScoreTable.fit(env64.believed_profile, k_override=2, seed=0)),
+            ("K=11", PMScoreTable.fit(env64.believed_profile, k_override=11, seed=0)),
+        ):
+            res = _run(env64, sia_trace, "pal", pm_table=table)
+            rows.append([label, res.avg_jct_h(), res.makespan_s / 3600.0])
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    report(format_table(["binning", "avg_jct_h", "makespan_h"], rows,
+                        title="ablation: PM-Score bin count"))
+    by_label = {r[0]: r[1] for r in rows}
+    # K=1 collapses all GPUs to one score — PAL degenerates toward packed
+    # placement and must not beat the silhouette binning.
+    assert by_label["silhouette"] <= by_label["K=1"] * 1.02
+
+
+def test_ablation_classifier_classes(benchmark, report, env64, sia_trace):
+    """How many application classes does PAL need?
+
+    The class count changes *placement priority* (which jobs pick GPUs
+    first); per-GPU scores still come from the 3-class profile. With one
+    class the priority re-sort disappears entirely.
+    """
+    from repro.traces.job import JobSpec
+    from repro.traces.trace import Trace
+
+    def sweep():
+        rows = []
+        for n_classes in (1, 2, 3):
+            # Coarsen class ids: 3 -> n classes by integer scaling.
+            jobs = tuple(
+                JobSpec(
+                    job_id=j.job_id,
+                    arrival_time_s=j.arrival_time_s,
+                    demand=j.demand,
+                    model=j.model,
+                    class_id=min(j.class_id, n_classes - 1),
+                    iteration_time_s=j.iteration_time_s,
+                    total_iterations=j.total_iterations,
+                )
+                for j in sia_trace
+            )
+            res = _run(env64, Trace(f"coarse{n_classes}", jobs), "pal")
+            rows.append([n_classes, res.avg_jct_h()])
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    report(format_table(["n_classes", "avg_jct_h"], rows,
+                        title="ablation: classifier class count"))
+    assert all(r[1] > 0 for r in rows)
+
+
+def test_ablation_sticky_pal(benchmark, report, env64, sia_trace):
+    """The paper's PAL is non-sticky so jobs migrate to better GPUs."""
+
+    def sweep():
+        rows = []
+        for name in ("pal", "pal-sticky", "pm-first", "pm-first-sticky"):
+            res = _run(env64, sia_trace, name)
+            rows.append([res.placement_name, res.avg_jct_h(), res.total_migrations])
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    report(format_table(["policy", "avg_jct_h", "migrations"], rows,
+                        title="ablation: sticky vs non-sticky"))
+    by_name = {r[0]: r[1] for r in rows}
+    # Non-sticky PAL must not lose to its sticky variant by much — the
+    # freedom to migrate is the paper's stated reason for non-sticky.
+    assert by_name["PAL"] <= by_name["PAL-Sticky"] * 1.05
+
+
+def test_ablation_migration_overhead(benchmark, report, env64, sia_trace):
+    """JCT sensitivity to checkpoint/restore cost (paper: negligible)."""
+
+    def sweep():
+        rows = []
+        for overhead in (0.0, 30.0, 120.0):
+            res = _run(
+                env64,
+                sia_trace,
+                "pal",
+                config=SimulatorConfig(migration_overhead_s=overhead),
+            )
+            rows.append([overhead, res.avg_jct_h(), res.total_migrations])
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    report(format_table(["overhead_s", "avg_jct_h", "migrations"], rows,
+                        title="ablation: migration overhead"))
+    # Monotone non-decreasing JCT in overhead.
+    jcts = [r[1] for r in rows]
+    assert all(a <= b * 1.02 for a, b in zip(jcts, jcts[1:]))

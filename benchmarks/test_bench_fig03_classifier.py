@@ -1,0 +1,18 @@
+"""Fig. 3 bench — application classification scatter."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+from repro.workloads.models import MODEL_REGISTRY
+
+
+def test_fig03_classifier(benchmark, report, bench_scale):
+    result = run_once(benchmark, lambda: run_experiment("fig03", scale=bench_scale))
+    report(result.render())
+    # Shape check: the classifier must reproduce the paper's assignments.
+    clf = result.data["classifier"]
+    assignments = clf.assignments()
+    matches = sum(
+        assignments[m] == MODEL_REGISTRY[m].paper_class for m in assignments
+    )
+    assert matches == len(assignments), "classification diverged from Fig. 3"

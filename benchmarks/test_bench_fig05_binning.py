@@ -1,0 +1,18 @@
+"""Fig. 5 bench — PM-Score binning of a 128-GPU class-A profile."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig05_binning(benchmark, report, bench_scale):
+    result = run_once(benchmark, lambda: run_experiment("fig05", scale=bench_scale))
+    report(result.render())
+    binning = result.data["binning"]
+    pops = binning.bin_populations()
+    # Paper: "Most GPUs belong to the first 2 clusters close to the
+    # median, while some outliers are more than 2.5x slower".
+    assert pops[:2].sum() >= 0.75 * pops.sum()
+    assert binning.centroids[-1] > 2.5
+    assert np.all(np.diff(binning.centroids) >= 0)

@@ -1,0 +1,20 @@
+"""Figs. 6-8 bench — synthetic cluster variability profiles."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig06_08_profiles(benchmark, report, bench_scale):
+    result = run_once(benchmark, lambda: run_experiment("fig06-08", scale=bench_scale))
+    report(result.render())
+    profiles = result.data["profiles"]
+    # Shape checks against the paper's quoted statistics.
+    longhorn_a = profiles["longhorn"].summary("A")
+    assert 2.0 <= longhorn_a["max_over_median"] <= 3.6  # "up to 3.5x"
+    assert profiles["longhorn"].summary("C")["max_over_median"] < 1.06  # "~1%"
+    # The 64-GPU testbed slice is less variable than the full cluster.
+    assert (
+        profiles["frontera64"].summary("A")["geomean_over_min"]
+        < profiles["frontera"].summary("A")["geomean_over_min"]
+    )

@@ -1,0 +1,15 @@
+"""Fig. 12 bench — per-job wait times on the extreme Sia workloads."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig12_wait_times(benchmark, report, bench_scale):
+    result = run_once(benchmark, lambda: run_experiment("fig12", scale=bench_scale))
+    report(result.render())
+    # On the best-improvement workload, PAL's total wait must undercut
+    # Tiresias's substantially (the paper's queue-draining effect).
+    rows = np.array([[r[2], r[4]] for r in result.rows], dtype=float)  # tiresias, pal
+    assert rows[:, 1].sum() <= rows[:, 0].sum() * 1.01

@@ -1,0 +1,30 @@
+"""Fig. 13 bench — Sia average JCT vs inter-node locality penalty."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig13_sia_locality(benchmark, report, bench_scale):
+    result = run_once(benchmark, lambda: run_experiment("fig13", scale=bench_scale))
+    report(result.render())
+    gains = dict(result.data["pal_vs_tiresias"])
+    # Paper's robust claims: (1) "even with a large locality penalty,
+    # PM-First still outperforms Tiresias"; (2) PAL outperforms both at
+    # every penalty; (3) everyone's absolute JCT grows with the penalty.
+    #
+    # The paper additionally sees the PAL-vs-Tiresias *gap shrink* with
+    # the penalty (30% -> 20%); in our substrate it does not, because
+    # jobs that must spill regardless (demand > GPUs/node) multiply
+    # L x V, so avoiding outlier GPUs is worth *more* at higher L. See
+    # EXPERIMENTS.md for the analysis — we assert the invariant claims
+    # only.
+    assert all(g > 0.0 for g in gains.values())
+    series = result.data["series"]
+    if bench_scale != "smoke":  # trend checks need the full workload set
+        for policy in ("Tiresias", "PM-First", "PAL"):
+            assert series[policy][-1] > series[policy][0], policy
+        # PM-First beats Tiresias even at the largest penalty; PAL's
+        # packing advantage over PM-First shows up at high penalties.
+        assert series["PM-First"][-1] < series["Tiresias"][-1]
+        assert series["PAL"][-1] <= series["PM-First"][-1] * 1.01

@@ -1,0 +1,19 @@
+"""Fig. 15 bench — GPUs-in-use time series, Tiresias vs PAL."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig15_utilization(benchmark, report, bench_scale):
+    result = run_once(benchmark, lambda: run_experiment("fig15", scale=bench_scale))
+    report(result.render())
+    series = result.data["series"]
+    for load, curves in series.items():
+        t_time, t_use = curves["tiresias"]
+        p_time, p_use = curves["pal"]
+        assert t_use.max() <= 256 and p_use.max() <= 256
+        # PAL "runs ahead": it finishes the full workload no later than
+        # Tiresias (its utilization curve ends earlier or equal).
+        assert p_time[-1] <= t_time[-1] * 1.05

@@ -1,0 +1,13 @@
+"""Fig. 16 bench — Synergy load sweep under LAS scheduling."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig16_las(benchmark, report, bench_scale):
+    result = run_once(benchmark, lambda: run_experiment("fig16", scale=bench_scale))
+    report(result.render())
+    gains = dict(result.data["gains"])
+    # PAL improves on Tiresias under LAS (paper: up to 15%).
+    assert max(gains.values()) > 0.0

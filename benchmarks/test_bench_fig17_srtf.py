@@ -1,0 +1,13 @@
+"""Fig. 17 bench — Synergy load sweep under SRTF scheduling."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig17_srtf(benchmark, report, bench_scale):
+    result = run_once(benchmark, lambda: run_experiment("fig17", scale=bench_scale))
+    report(result.render())
+    gains = dict(result.data["gains"])
+    # PAL improves on Tiresias under SRTF (paper: up to 10%).
+    assert max(gains.values()) > 0.0

@@ -1,0 +1,53 @@
+"""Fig. 18 bench — PAL placement computation time vs cluster size.
+
+Two measurements:
+
+* the macro experiment (per-epoch placement wall-clock distribution over
+  full simulations at 64/128/256 GPUs — the paper's boxplot), and
+* a true pytest-benchmark micro-measurement of a single PAL placement
+  call on a busy 256-GPU cluster, which is the number tracked for
+  regressions.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.cluster.state import ClusterState
+from repro.cluster.topology import ClusterTopology, LocalityModel
+from repro.core.lv_matrix import LVMatrix
+from repro.core.pal import pal_placement
+from repro.core.pm_score import PMScoreTable
+from repro.experiments import run_experiment
+from repro.utils.rng import stream
+from repro.variability.synthetic import synthesize_profile
+
+
+def test_fig18_overhead_distribution(benchmark, report, bench_scale):
+    result = run_once(benchmark, lambda: run_experiment("fig18", scale=bench_scale))
+    report(result.render())
+    # Worst-case per-epoch placement time must stay far below the epoch
+    # (paper: 4 s vs 300 s on 256 GPUs).
+    for row in result.rows:
+        worst_fraction = row[-1]
+        assert worst_fraction < 0.1
+
+
+def test_fig18_single_pal_placement_256(benchmark):
+    """Micro: one 4-GPU PAL placement on a half-busy 256-GPU cluster."""
+    topo = ClusterTopology.from_gpu_count(256)
+    profile = synthesize_profile("longhorn", seed=0).sample(256, rng=0)
+    table = PMScoreTable.fit(profile, seed=0)
+    state = ClusterState(topo)
+    rng = stream(0, "bench/fig18")
+    busy = rng.choice(256, size=128, replace=False)
+    for i, g in enumerate(busy):
+        state.allocate(1000 + i, np.array([g]))
+    lv = LVMatrix.build(table.centroids(0), LocalityModel(across_node=1.7))
+    scores = table.binned_scores(0)
+
+    def place():
+        free = state.free_gpu_ids()
+        return pal_placement(free, scores[free], 4, lv, topo.node_of_gpu, 4)
+
+    alloc = benchmark(place)
+    assert alloc.size == 4

@@ -1,0 +1,16 @@
+"""Fig. 19 bench — wait times under LAS / SRTF / FIFO, Tiresias vs PAL."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig19_sched_waits(benchmark, report, bench_scale):
+    result = run_once(benchmark, lambda: run_experiment("fig19", scale=bench_scale))
+    report(result.render())
+    waits = result.data["waits"]
+    # PAL's mean wait never exceeds Tiresias's under any scheduler.
+    for sched, by_policy in waits.items():
+        assert by_policy["PAL"].mean() <= by_policy["Tiresias"].mean() * 1.02, sched
+    # LAS produces the largest wait magnitudes of the three (paper Fig. 19).
+    assert waits["las"]["Tiresias"].max() >= waits["fifo"]["Tiresias"].max() * 0.8

@@ -1,0 +1,15 @@
+"""Fig. 20 bench — Synergy average JCT vs locality penalty (1.0-1.7)."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig20_synergy_locality(benchmark, report, bench_scale):
+    result = run_once(benchmark, lambda: run_experiment("fig20", scale=bench_scale))
+    report(result.render())
+    gains = dict(result.data["gains"])
+    penalties = sorted(gains)
+    # PAL keeps a positive edge across the sweep (paper: 12% -> 7%).
+    assert all(g > -0.02 for g in gains.values())
+    assert gains[penalties[0]] > 0.0

@@ -1,0 +1,21 @@
+"""Headline bench — the abstract's geomean improvement claims."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_headline_claims(benchmark, report, bench_scale):
+    result = run_once(benchmark, lambda: run_experiment("headline", scale=bench_scale))
+    report(result.render())
+    measured = result.data["measured"]
+    # Paper: PAL improves geomean avg JCT 42%, p99 41%, makespan 47%,
+    # utilization 28% over Tiresias. We require the same signs and a
+    # broad magnitude band (the substrate is synthetic).
+    assert measured[("PAL", "avg_jct")] > 0.15
+    assert measured[("PAL", "p99_jct")] > 0.0
+    assert measured[("PAL", "makespan")] > 0.0
+    assert measured[("PM-First", "avg_jct")] > 0.0
+    # PAL >= PM-First on the headline metric (it strictly dominates in
+    # the paper).
+    assert measured[("PAL", "avg_jct")] >= measured[("PM-First", "avg_jct")] - 0.03

@@ -1,0 +1,24 @@
+"""Extension bench — heterogeneous clusters: PAL vs Gavel-style
+architecture-aware scheduling (the paper's Sec. VI claim, quantified)."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_hetero_arch_vs_variability_awareness(benchmark, report, bench_scale):
+    result = run_once(benchmark, lambda: run_experiment("hetero", scale=bench_scale))
+    report(result.render())
+    results = result.data["results"]
+    tiresias = results["Tiresias"]
+    gavel = results["Gavel"]
+    pal = results["PAL"]
+    # Architecture awareness helps; per-GPU variability awareness helps
+    # again on top. Under heavy contention every architecture is busy
+    # regardless, so Gavel's avg-JCT edge over Tiresias can shrink to a
+    # tie — but it still drains the mixed cluster faster (makespan), and
+    # PAL strictly beats it at any load.
+    assert gavel.avg_jct_s() <= tiresias.avg_jct_s() * 1.02
+    assert gavel.makespan_s < tiresias.makespan_s
+    assert pal.avg_jct_s() < gavel.avg_jct_s()
+    assert pal.makespan_s < tiresias.makespan_s

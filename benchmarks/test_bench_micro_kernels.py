@@ -1,0 +1,83 @@
+"""Micro-benchmarks of the hot computational kernels.
+
+These are the true pytest-benchmark measurements (statistical, multiple
+rounds): K-Means fitting, silhouette K selection, PM-Score table fitting,
+PM-First selection, packed selection, and one full scheduling epoch.
+They track performance regressions in the code paths the simulator runs
+hundreds of thousands of times.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.state import ClusterState
+from repro.cluster.topology import ClusterTopology
+from repro.core.pm_first import get_pmfirst_gpus
+from repro.core.pm_score import PMScoreTable, fit_class_binning
+from repro.utils.kmeans import kmeans, select_k_by_silhouette
+from repro.variability.synthetic import synthesize_profile
+
+
+@pytest.fixture(scope="module")
+def profile256():
+    return synthesize_profile("longhorn", seed=0).sample(256, rng=0)
+
+
+def test_kmeans_1d_256(benchmark, profile256):
+    scores = profile256.class_scores("A")
+    fit = benchmark(lambda: kmeans(scores, 4, rng=0))
+    assert fit.k == 4
+
+
+def test_silhouette_k_selection_256(benchmark, profile256):
+    scores = profile256.class_scores("A")
+    k, _ = benchmark(lambda: select_k_by_silhouette(scores, rng=0))
+    assert k >= 1
+
+
+def test_class_binning_fit_256(benchmark, profile256):
+    b = benchmark(lambda: fit_class_binning(profile256.class_scores("A"), seed=0))
+    assert b.n_bins >= 1
+
+
+def test_pm_score_table_fit_256(benchmark, profile256):
+    table = benchmark(lambda: PMScoreTable.fit(profile256, seed=0))
+    assert table.n_gpus == 256
+
+
+def test_pmfirst_selection_256(benchmark, profile256):
+    table = PMScoreTable.fit(profile256, seed=0)
+    scores = table.binned_scores(0)
+    ids = np.arange(256)
+    alloc = benchmark(lambda: get_pmfirst_gpus(ids, scores, 8))
+    assert alloc.size == 8
+
+
+def test_packed_selection_busy_cluster(benchmark, profile256):
+    from repro.scheduler.jobs import SimJob
+    from repro.scheduler.placement import PackedPlacement, PlacementContext
+    from repro.cluster.topology import LocalityModel
+    from repro.traces.job import JobSpec
+
+    topo = ClusterTopology.from_gpu_count(256)
+    state = ClusterState(topo)
+    rng = np.random.default_rng(0)
+    busy = rng.choice(256, size=120, replace=False)
+    for i, g in enumerate(busy):
+        state.allocate(1000 + i, np.array([g]))
+    ctx = PlacementContext(
+        state=state, topology=topo, locality=LocalityModel(), pm_table=None
+    )
+    job = SimJob(
+        JobSpec(
+            job_id=0,
+            arrival_time_s=0.0,
+            demand=4,
+            model="resnet50",
+            class_id=0,
+            iteration_time_s=0.2,
+            total_iterations=10,
+        )
+    )
+    alloc = benchmark(lambda: PackedPlacement(sticky=False).select_gpus(ctx, job))
+    assert alloc.size == 4

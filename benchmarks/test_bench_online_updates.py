@@ -1,0 +1,19 @@
+"""Extension bench — dynamic online PM-Score updates (Sec. V-A future
+work, implemented)."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_online_updates_recover_profile_error(benchmark, report, bench_scale):
+    result = run_once(benchmark, lambda: run_experiment("online", scale=bench_scale))
+    report(result.render())
+    stale = result.data["stale"].avg_jct_s()
+    online = result.data["online"].avg_jct_s()
+    oracle = result.data["oracle"].avg_jct_s()
+    # Ordering: oracle <= online <= stale (small tolerance for EWMA lag).
+    assert oracle <= online * 1.05
+    assert online <= stale * 1.01
+    # Online updates recover a substantial share of the gap.
+    assert result.data["recovered_fraction"] > 0.5

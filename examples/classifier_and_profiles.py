@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""The offline pipeline: profiling, classification, and PM-Score binning.
+
+Reproduces the paper's Figs. 3 and 5 interactively:
+
+1. profile every registered ML model with the simulated nsight compute,
+2. classify them into variability classes A/B/C (K-Means in the
+   PeakFUUtil x DRAMUtil plane),
+3. classify a *new* unseen application against the fitted centroids,
+4. synthesize a 128-GPU cluster profile and bin its class-A PM-Scores
+   (silhouette-selected K, 3-sigma outliers kept at their raw scores),
+5. build the L x V matrix PAL will traverse for that class.
+
+Run:  python examples/classifier_and_profiles.py
+"""
+
+from repro.analysis import format_table
+from repro.cluster import LocalityModel
+from repro.core import ApplicationClassifier, LVMatrix, PMScoreTable
+from repro.variability import synthesize_profile
+from repro.workloads import measure_model, measure_suite
+from repro.workloads.kernels import KernelProfile
+from repro.workloads.models import ModelSpec
+
+
+def main() -> None:
+    # (1) + (2): profile and classify the paper's application suite.
+    suite = measure_suite()
+    clf = ApplicationClassifier(n_classes=3, seed=0).fit(suite)
+    rows = [
+        [a.model, a.peak_fu_util, a.dram_util, a.class_name]
+        for a in sorted(clf.fitted_apps, key=lambda a: (a.class_id, -a.peak_fu_util))
+    ]
+    print(format_table(["model", "peak FU util", "DRAM util", "class"], rows,
+                       title="Fig. 3: application classification"))
+
+    # (3) A brand-new model arrives: profile it once, classify instantly.
+    new_model = ModelSpec(
+        name="diffusion-unet",
+        task="Vision",
+        dataset="LAION-subset",
+        batch_size=16,
+        kernels=(
+            KernelProfile("conv_block", 0.6, {"fp32": 8.8, "tensor": 3.0}, dram_util=2.8),
+            KernelProfile("attention", 0.3, {"fp32": 6.0, "tensor": 4.5}, dram_util=3.4),
+            KernelProfile("groupnorm", 0.1, {"fp32": 2.0}, dram_util=5.0),
+        ),
+        iteration_time_s=0.4,
+        locality_penalty=1.3,
+        paper_class="A",
+    )
+    measurement = measure_model(new_model)
+    print(
+        f"\nnew model {new_model.name!r}: FU={measurement.peak_fu_util:.2f}, "
+        f"DRAM={measurement.dram_util:.2f} -> class "
+        f"{clf.classify_name(measurement)} (no cluster-wide re-profiling needed)"
+    )
+
+    # (4) Fig. 5: PM-Score binning for a 128-GPU cluster.
+    profile = synthesize_profile("longhorn", n_gpus=128, seed=1)
+    table = PMScoreTable.fit(profile, seed=0)
+    binning = table.binning("A")
+    rows = [
+        [i + 1, c, int(n)]
+        for i, (c, n) in enumerate(zip(binning.centroids, binning.bin_populations()))
+    ]
+    print()
+    print(format_table(["bin", "centroid (PM-Score)", "GPUs"], rows,
+                       title="Fig. 5: class-A PM-Score bins (128 GPUs)"))
+    print(f"silhouette-selected K: {binning.k_inlier} inlier bins, "
+          f"{binning.k_outlier} outlier bins")
+
+    # (5) The L x V matrix PAL traverses for class A.
+    lv = LVMatrix.build(table.centroids("A"), LocalityModel(across_node=1.5))
+    print()
+    print(lv.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Synergy load study — a runnable version of the paper's Figs. 14 & 15.
+
+Sweeps the Poisson job-arrival rate on a 256-GPU cluster and shows how
+steady-state average JCT and cluster utilization respond under Tiresias
+vs PAL, including the multi-GPU-only breakdown where BSP makes the
+slowest GPU's variability bite hardest.
+
+Run:  python examples/synergy_load_study.py [--jobs N] [--loads 6 10 14]
+"""
+
+import argparse
+
+from repro.analysis import ascii_series, format_table
+from repro.cluster import LocalityModel
+from repro.experiments.common import build_environment, run_policy_matrix
+from repro.traces import generate_synergy_trace
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=500, help="jobs per trace")
+    parser.add_argument(
+        "--loads", type=float, nargs="+", default=[6.0, 10.0], help="jobs/hour values"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    env = build_environment(
+        n_gpus=256, locality=LocalityModel(across_node=1.7), seed=args.seed
+    )
+    lo, hi = args.jobs // 4, args.jobs * 3 // 4  # steady-state window
+
+    rows = []
+    last_series = None
+    for load in args.loads:
+        trace = generate_synergy_trace(load, n_jobs=args.jobs, seed=args.seed)
+        results = run_policy_matrix(
+            [trace], ("tiresias", "pal"), "fifo", env, seed=args.seed
+        )
+        t = results[(trace.name, "Tiresias")]
+        p = results[(trace.name, "PAL")]
+        sel = dict(min_job_id=lo, max_job_id=hi)
+        multi = dict(min_job_id=lo, max_job_id=hi, multi_gpu_only=True)
+        rows.append(
+            [
+                load,
+                t.avg_jct_h(**sel),
+                p.avg_jct_h(**sel),
+                f"{1 - p.avg_jct_s(**sel) / t.avg_jct_s(**sel):.0%}",
+                f"{1 - p.avg_jct_s(**multi) / t.avg_jct_s(**multi):.0%}",
+            ]
+        )
+        last_series = (load, t, p)
+
+    print(
+        format_table(
+            ["jobs/hour", "tiresias_jct_h", "pal_jct_h", "gain", "multi-GPU gain"],
+            rows,
+            title=f"Synergy steady-state avg JCT (jobs {lo}-{hi}, 256 GPUs, L=1.7)",
+        )
+    )
+
+    # Fig. 15's view: PAL's utilization curve runs ahead of Tiresias.
+    load, t, p = last_series
+    for label, res in (("Tiresias", t), ("PAL", p)):
+        times, in_use = res.utilization_series()
+        print(ascii_series(times, in_use,
+                           label=f"{load:g} jobs/hour, {label}: GPUs in use"))
+
+
+if __name__ == "__main__":
+    main()

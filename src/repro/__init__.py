@@ -1,0 +1,121 @@
+"""repro — a reproduction of *PAL: A Variability-Aware Policy for
+Scheduling ML Workloads in GPU Clusters* (Jain et al., SC 2024).
+
+The package is organized like the system the paper describes:
+
+* :mod:`repro.workloads` — ML model registry and the simulated
+  nsight-compute profiler (kernel-level utilization substrate);
+* :mod:`repro.variability` — per-GPU variability profiles: synthetic
+  cluster generators calibrated to the paper's published statistics, and
+  the offline profiling campaign harness;
+* :mod:`repro.cluster` — cluster topology, the two-level locality model,
+  and allocation state;
+* :mod:`repro.core` — the paper's contribution: application classifier,
+  PM-Score binning, L x V matrices, PM-First (Alg. 1), PAL (Alg. 2);
+* :mod:`repro.traces` — Sia-Philly and Synergy trace generators;
+* :mod:`repro.scheduler` — the Blox-style round-based simulator with
+  FIFO/LAS/SRTF scheduling and six placement policies;
+* :mod:`repro.experiments` — one module per paper table/figure;
+* :mod:`repro.analysis` — statistics and text rendering.
+
+Quickstart::
+
+    from repro import quick_compare
+    print(quick_compare())  # PAL vs Tiresias on a small cluster
+
+See README.md for the full tour and EXPERIMENTS.md for paper-vs-measured
+results.
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+from .cluster import ClusterState, ClusterTopology, LocalityModel
+from .core import (
+    ApplicationClassifier,
+    LVMatrix,
+    PMScoreTable,
+    get_pmfirst_gpus,
+    pal_placement,
+)
+from .scheduler import (
+    ClusterSimulator,
+    SimulationResult,
+    SimulatorConfig,
+    make_placement,
+    make_scheduler,
+)
+from .traces import (
+    Trace,
+    generate_sia_philly_suite,
+    generate_sia_philly_trace,
+    generate_synergy_trace,
+)
+from .variability import VariabilityProfile, run_profiling_campaign, synthesize_profile
+from .workloads import MODEL_REGISTRY, measure_suite
+
+__all__ = [
+    "__version__",
+    "ClusterState",
+    "ClusterTopology",
+    "LocalityModel",
+    "ApplicationClassifier",
+    "LVMatrix",
+    "PMScoreTable",
+    "get_pmfirst_gpus",
+    "pal_placement",
+    "ClusterSimulator",
+    "SimulationResult",
+    "SimulatorConfig",
+    "make_placement",
+    "make_scheduler",
+    "Trace",
+    "generate_sia_philly_suite",
+    "generate_sia_philly_trace",
+    "generate_synergy_trace",
+    "VariabilityProfile",
+    "run_profiling_campaign",
+    "synthesize_profile",
+    "MODEL_REGISTRY",
+    "measure_suite",
+    "quick_compare",
+]
+
+
+def quick_compare(
+    *,
+    n_gpus: int = 64,
+    n_jobs: int = 80,
+    seed: int = 0,
+) -> str:
+    """Run PAL vs Tiresias on a small cluster and render a comparison.
+
+    A one-call smoke test of the whole stack; see ``examples/quickstart.py``
+    for the spelled-out version.
+    """
+    topo = ClusterTopology.from_gpu_count(n_gpus)
+    profile = synthesize_profile("longhorn", seed=seed).sample(n_gpus, rng=seed)
+    trace = generate_sia_philly_trace(1, seed=seed).truncated(n_jobs)
+    lines = [f"{'policy':<12} {'avg JCT (h)':>12} {'makespan (h)':>13} {'util':>6}"]
+    base: float | None = None
+    for policy in ("tiresias", "pal"):
+        sim = ClusterSimulator(
+            topology=topo,
+            true_profile=profile,
+            scheduler=make_scheduler("fifo"),
+            placement=make_placement(policy),
+            seed=seed,
+        )
+        res = sim.run(trace)
+        lines.append(
+            f"{res.placement_name:<12} {res.avg_jct_h():>12.2f} "
+            f"{res.makespan_s / 3600:>13.2f} {res.utilization:>6.3f}"
+        )
+        if policy == "tiresias":
+            base = res.avg_jct_s()
+        else:
+            assert base is not None
+            gain = 1.0 - res.avg_jct_s() / base
+            lines.append(f"PAL improves average JCT by {gain:.0%} over Tiresias")
+    return "\n".join(lines)

@@ -1,0 +1,7 @@
+"""Enable ``python -m repro``."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

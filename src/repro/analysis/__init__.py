@@ -1,0 +1,32 @@
+"""Analysis helpers: statistics re-exports and text rendering."""
+
+from ..utils.stats import (
+    BoxplotStats,
+    boxplot_stats,
+    cdf_points,
+    describe,
+    geomean,
+    geomean_improvement,
+    improvement,
+    percentile,
+)
+from .export import result_to_csv, result_to_json, results_to_comparison_csv
+from .reporting import ascii_cdf, ascii_series, format_kv, format_table
+
+__all__ = [
+    "BoxplotStats",
+    "boxplot_stats",
+    "cdf_points",
+    "describe",
+    "geomean",
+    "geomean_improvement",
+    "improvement",
+    "percentile",
+    "ascii_cdf",
+    "ascii_series",
+    "format_kv",
+    "format_table",
+    "result_to_csv",
+    "result_to_json",
+    "results_to_comparison_csv",
+]

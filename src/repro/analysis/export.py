@@ -1,0 +1,118 @@
+"""Result exporters: per-job CSV and JSON summaries for downstream tools.
+
+A reproduction is only useful if its outputs leave the process: these
+helpers serialize :class:`~repro.scheduler.metrics.SimulationResult`
+objects to per-job CSV (one row per job, every recorded field) and to a
+compact JSON summary (the metrics the paper reports plus run metadata),
+both round-trippable for plotting or cross-run comparison outside
+Python.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+
+from ..scheduler.metrics import SimulationResult
+
+__all__ = ["result_to_csv", "result_to_json", "results_to_comparison_csv"]
+
+_JOB_FIELDS = (
+    "job_id",
+    "model",
+    "class_id",
+    "demand",
+    "arrival_s",
+    "first_start_s",
+    "finish_s",
+    "jct_s",
+    "wait_s",
+    "executed_s",
+    "ideal_duration_s",
+    "slowdown",
+    "n_migrations",
+    "n_preemptions",
+    "n_restarts",
+)
+
+
+def result_to_csv(result: SimulationResult, path: str | Path | None = None) -> str:
+    """Per-job CSV: one row per job record, derived metrics included."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(_JOB_FIELDS)
+    for r in result.records:
+        writer.writerow([getattr(r, f) for f in _JOB_FIELDS])
+    text = buf.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def result_to_json(result: SimulationResult, path: str | Path | None = None) -> str:
+    """Compact JSON summary of one run (the paper's reported metrics)."""
+    payload = {
+        "trace": result.trace_name,
+        "scheduler": result.scheduler_name,
+        "placement": result.placement_name,
+        "cluster_size": result.cluster_size,
+        "epoch_s": result.epoch_s,
+        "n_jobs": len(result.records),
+        "metrics": {
+            "avg_jct_h": result.avg_jct_h(),
+            "p99_jct_h": result.p99_jct_s() / 3600.0,
+            "makespan_h": result.makespan_s / 3600.0,
+            "utilization_occupancy": result.utilization,
+            "utilization_goodput": result.goodput_utilization,
+            "avg_wait_h": float(result.wait_times_s().mean() / 3600.0),
+            "total_migrations": result.total_migrations,
+            "total_preemptions": result.total_preemptions,
+        },
+        "metadata": dict(result.metadata),
+    }
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def results_to_comparison_csv(
+    results: dict[str, SimulationResult],
+    path: str | Path | None = None,
+) -> str:
+    """One-row-per-policy comparison table (label -> result)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(
+        [
+            "label",
+            "placement",
+            "scheduler",
+            "avg_jct_h",
+            "p99_jct_h",
+            "makespan_h",
+            "utilization_goodput",
+            "migrations",
+            "preemptions",
+        ]
+    )
+    for label, res in results.items():
+        writer.writerow(
+            [
+                label,
+                res.placement_name,
+                res.scheduler_name,
+                f"{res.avg_jct_h():.6g}",
+                f"{res.p99_jct_s() / 3600.0:.6g}",
+                f"{res.makespan_s / 3600.0:.6g}",
+                f"{res.goodput_utilization:.6g}",
+                res.total_migrations,
+                res.total_preemptions,
+            ]
+        )
+    text = buf.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text

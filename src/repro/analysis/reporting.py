@@ -1,0 +1,116 @@
+"""Text rendering for experiment outputs.
+
+Every experiment module renders its result as plain text: aligned tables
+(the paper's tables), and simple ASCII series/CDF sketches for figures.
+No plotting dependency is required; the numbers are the artifact.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..utils.errors import ConfigurationError
+
+__all__ = ["format_table", "format_kv", "ascii_series", "ascii_cdf"]
+
+
+def _fmt(value: object, precision: int) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, (int, np.integer)):
+        return str(int(value))
+    if isinstance(value, (float, np.floating)):
+        return f"{float(value):.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    precision: int = 3,
+    title: str | None = None,
+) -> str:
+    """Render an aligned, pipe-separated text table."""
+    if not headers:
+        raise ConfigurationError("headers must be non-empty")
+    str_rows = [[_fmt(v, precision) for v in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row {i} has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [
+        max(len(h), *(len(r[c]) for r in str_rows)) if str_rows else len(h)
+        for c, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_kv(pairs: Mapping[str, object], *, precision: int = 3, title: str | None = None) -> str:
+    """Render a key/value block (used for summary statistics)."""
+    width = max(len(k) for k in pairs) if pairs else 0
+    lines = [title] if title else []
+    for k, v in pairs.items():
+        lines.append(f"{k.ljust(width)} : {_fmt(v, precision)}")
+    return "\n".join(lines)
+
+
+def ascii_series(
+    x: np.ndarray,
+    y: np.ndarray,
+    *,
+    width: int = 72,
+    height: int = 14,
+    label: str = "",
+) -> str:
+    """Coarse ASCII line sketch of a series (e.g. GPUs-in-use over time)."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.size != y.size or x.size == 0:
+        raise ConfigurationError("x and y must be non-empty and aligned")
+    if width < 8 or height < 3:
+        raise ConfigurationError("width >= 8 and height >= 3 required")
+    # Downsample to one column per character by bucket means.
+    buckets = np.linspace(x.min(), x.max(), width + 1)
+    col_vals = np.full(width, np.nan)
+    idx = np.clip(np.searchsorted(buckets, x, side="right") - 1, 0, width - 1)
+    for c in range(width):
+        sel = idx == c
+        if np.any(sel):
+            col_vals[c] = y[sel].mean()
+    lo = np.nanmin(col_vals)
+    hi = np.nanmax(col_vals)
+    span = hi - lo if hi > lo else 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for c, v in enumerate(col_vals):
+        if np.isnan(v):
+            continue
+        r = int(round((v - lo) / span * (height - 1)))
+        grid[height - 1 - r][c] = "*"
+    lines = [f"{label} (y: {lo:.1f}..{hi:.1f}, x: {x.min():.0f}..{x.max():.0f})"]
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    return "\n".join(lines)
+
+
+def ascii_cdf(values: np.ndarray, *, width: int = 60, label: str = "") -> str:
+    """Ten-row quantile sketch of a distribution (for JCT CDFs)."""
+    arr = np.sort(np.asarray(values, dtype=np.float64))
+    if arr.size == 0:
+        raise ConfigurationError("values must be non-empty")
+    lines = [f"{label} CDF (n={arr.size})"]
+    for frac in (0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0):
+        q = float(np.percentile(arr, frac * 100))
+        bar = "#" * max(1, int(round(frac * width)))
+        lines.append(f"p{int(frac * 100):>3} {q:>12.1f} {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,170 @@
+"""Command-line interface: ``python -m repro <command>`` / ``pal-repro``.
+
+Commands
+--------
+``experiment <id>``
+    Run one paper experiment (``fig11``, ``table4``, ...) and print its
+    rendered tables. ``--scale {smoke,ci,paper}`` sizes it.
+``list``
+    List available experiment ids.
+``trace {sia,synergy}``
+    Generate a workload trace and print it as CSV (or write ``--out``).
+``profile <cluster>``
+    Synthesize a cluster variability profile; print summary or CSV.
+``simulate``
+    Run a single (trace, scheduler, placement) simulation and print the
+    metric summary — the building block for custom studies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .analysis.reporting import format_kv
+from .cluster.topology import ClusterTopology, LocalityModel
+from .experiments import EXPERIMENTS, run_experiment
+from .scheduler.placement import ALL_POLICY_NAMES, make_placement
+from .scheduler.policies import make_scheduler
+from .scheduler.simulator import ClusterSimulator
+from .traces.philly import SiaPhillyConfig, generate_sia_philly_trace
+from .traces.synergy import generate_synergy_trace
+from .utils.rng import stream
+from .variability.synthetic import CLUSTER_SPECS, synthesize_profile
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pal-repro",
+        description="Reproduction of PAL (SC 2024): variability-aware GPU cluster scheduling.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser("experiment", help="run a paper experiment")
+    p_exp.add_argument("id", choices=sorted(EXPERIMENTS), help="experiment id")
+    p_exp.add_argument("--scale", default="ci", choices=("smoke", "ci", "paper"))
+    p_exp.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("list", help="list experiment ids")
+
+    p_trace = sub.add_parser("trace", help="generate a workload trace (CSV)")
+    p_trace.add_argument("kind", choices=("sia", "synergy"))
+    p_trace.add_argument("--workload", type=int, default=1, help="Sia workload id (1..8)")
+    p_trace.add_argument("--jobs", type=int, default=None, help="number of jobs")
+    p_trace.add_argument("--rate", type=float, default=10.0, help="Synergy jobs/hour")
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--out", type=Path, default=None, help="write CSV here")
+
+    p_prof = sub.add_parser("profile", help="synthesize a cluster variability profile")
+    p_prof.add_argument("cluster", choices=sorted(CLUSTER_SPECS))
+    p_prof.add_argument("--gpus", type=int, default=None)
+    p_prof.add_argument("--seed", type=int, default=0)
+    p_prof.add_argument("--csv", action="store_true", help="emit full CSV instead of summary")
+    p_prof.add_argument("--out", type=Path, default=None)
+
+    p_sim = sub.add_parser("simulate", help="run one simulation")
+    p_sim.add_argument("--trace", choices=("sia", "synergy"), default="sia")
+    p_sim.add_argument("--workload", type=int, default=1)
+    p_sim.add_argument("--rate", type=float, default=10.0)
+    p_sim.add_argument("--jobs", type=int, default=None)
+    p_sim.add_argument("--gpus", type=int, default=64)
+    p_sim.add_argument("--scheduler", choices=("fifo", "las", "srtf"), default="fifo")
+    p_sim.add_argument(
+        "--placement",
+        default="pal",
+        choices=ALL_POLICY_NAMES + ("pm-first-sticky", "pal-sticky"),
+    )
+    p_sim.add_argument("--locality", type=float, default=1.7)
+    p_sim.add_argument("--profile", default="longhorn", choices=sorted(CLUSTER_SPECS))
+    p_sim.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    result = run_experiment(args.id, scale=args.scale, seed=args.seed)
+    print(result.render())
+    return 0
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    for name in sorted(EXPERIMENTS):
+        print(name)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.kind == "sia":
+        cfg = SiaPhillyConfig(n_jobs=args.jobs) if args.jobs else None
+        trace = generate_sia_philly_trace(args.workload, config=cfg, seed=args.seed)
+    else:
+        trace = generate_synergy_trace(args.rate, n_jobs=args.jobs, seed=args.seed)
+    text = trace.to_csv(args.out)
+    if args.out is None:
+        print(text, end="")
+    else:
+        print(f"wrote {len(trace)} jobs to {args.out}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    profile = synthesize_profile(args.cluster, n_gpus=args.gpus, seed=args.seed)
+    if args.csv or args.out is not None:
+        text = profile.to_csv(args.out)
+        if args.out is None:
+            print(text, end="")
+        else:
+            print(f"wrote profile of {profile.n_gpus} GPUs to {args.out}")
+        return 0
+    for cname in profile.class_names:
+        print(format_kv(profile.summary(cname), title=f"class {cname}"))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    topo = ClusterTopology.from_gpu_count(args.gpus)
+    profile = synthesize_profile(args.profile, seed=args.seed).sample(
+        args.gpus, rng=stream(args.seed, "cli/sample")
+    )
+    if args.trace == "sia":
+        cfg = SiaPhillyConfig(n_jobs=args.jobs) if args.jobs else None
+        trace = generate_sia_philly_trace(args.workload, config=cfg, seed=args.seed)
+    else:
+        trace = generate_synergy_trace(args.rate, n_jobs=args.jobs or 800, seed=args.seed)
+    sim = ClusterSimulator(
+        topology=topo,
+        true_profile=profile,
+        scheduler=make_scheduler(args.scheduler),
+        placement=make_placement(args.placement),
+        locality=LocalityModel(across_node=args.locality),
+        seed=args.seed,
+    )
+    res = sim.run(trace)
+    print(
+        format_kv(
+            res.summary(),
+            title=f"{res.placement_name} + {res.scheduler_name} on {trace.name} "
+            f"({args.gpus} GPUs)",
+        )
+    )
+    return 0
+
+
+_COMMANDS = {
+    "experiment": _cmd_experiment,
+    "list": _cmd_list,
+    "trace": _cmd_trace,
+    "profile": _cmd_profile,
+    "simulate": _cmd_simulate,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""Cluster substrate: topology, locality model, allocation state."""
+
+from .heterogeneity import (
+    ARCH_REGISTRY,
+    GpuArchSpec,
+    HeterogeneousCluster,
+    make_heterogeneous_cluster,
+)
+from .state import ClusterState
+from .topology import ACROSS_NODES, WITHIN_NODE, ClusterTopology, LocalityModel
+
+__all__ = [
+    "ARCH_REGISTRY",
+    "GpuArchSpec",
+    "HeterogeneousCluster",
+    "make_heterogeneous_cluster",
+    "ClusterState",
+    "ClusterTopology",
+    "LocalityModel",
+    "WITHIN_NODE",
+    "ACROSS_NODES",
+]

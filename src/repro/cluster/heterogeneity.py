@@ -1,0 +1,152 @@
+"""Heterogeneous-cluster substrate (extension).
+
+The paper positions PAL against Gavel (OSDI '20): Gavel understands that
+a V100 and an RTX 5000 deliver different throughput per model, but
+"assume[s] that all GPUs of a given architecture deliver equal
+performance" (Sec. VI). This substrate builds mixed-architecture
+clusters where both effects coexist:
+
+``score(class, gpu) = arch_slowdown(arch(gpu), class) x intra_arch_variability(gpu, class)``
+
+so an arch-aware-only policy (:class:`~repro.scheduler.placement.gavel.GavelPlacement`)
+and a fully variability-aware policy (PAL) can be compared on equal
+footing — the ``hetero`` experiment quantifies the paper's claim that
+iso-architecture variability matters even once architecture is handled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..utils.errors import ConfigurationError
+from ..variability.profiles import VariabilityProfile
+from ..variability.synthetic import CLUSTER_SPECS, synthesize_profile
+
+__all__ = ["GpuArchSpec", "ARCH_REGISTRY", "HeterogeneousCluster", "make_heterogeneous_cluster"]
+
+
+@dataclass(frozen=True)
+class GpuArchSpec:
+    """One GPU architecture's per-class slowdown relative to the reference.
+
+    Values below 1.0 mean the architecture is *faster* than the
+    reference for that class. Class keys follow the profile's class
+    names ("A" compute-bound ... "C" memory-bound); compute-bound work
+    differentiates architectures the most, memory-bound work the least —
+    the same structure Gavel's measured throughput matrices show.
+    """
+
+    name: str
+    class_slowdown: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        for cls, s in self.class_slowdown.items():
+            if s <= 0:
+                raise ConfigurationError(f"{self.name}: slowdown for {cls} must be positive")
+
+    def slowdown(self, class_name: str) -> float:
+        try:
+            return float(self.class_slowdown[class_name])
+        except KeyError:
+            raise ConfigurationError(
+                f"architecture {self.name} has no slowdown for class {class_name!r}"
+            ) from None
+
+
+#: Relative per-class slowdowns, V100 as the reference architecture.
+ARCH_REGISTRY: dict[str, GpuArchSpec] = {
+    "V100": GpuArchSpec("V100", {"A": 1.00, "B": 1.00, "C": 1.00}),
+    "RTX5000": GpuArchSpec("RTX5000", {"A": 1.45, "B": 1.30, "C": 1.10}),
+    "A100": GpuArchSpec("A100", {"A": 0.55, "B": 0.65, "C": 0.90}),
+}
+
+
+@dataclass
+class HeterogeneousCluster:
+    """A mixed-architecture cluster: profile + per-GPU architecture ids."""
+
+    profile: VariabilityProfile
+    arch_names: tuple[str, ...]
+    arch_of_gpu: np.ndarray  # (n_gpus,) index into arch_names
+
+    def __post_init__(self) -> None:
+        self.arch_of_gpu = np.asarray(self.arch_of_gpu, dtype=np.int64)
+        if self.arch_of_gpu.shape != (self.profile.n_gpus,):
+            raise ConfigurationError("arch_of_gpu must have one entry per GPU")
+        if self.arch_of_gpu.min() < 0 or self.arch_of_gpu.max() >= len(self.arch_names):
+            raise ConfigurationError("arch index out of range")
+
+    def gpus_of_arch(self, arch: str) -> np.ndarray:
+        try:
+            idx = self.arch_names.index(arch)
+        except ValueError:
+            raise ConfigurationError(f"unknown architecture {arch!r}") from None
+        return np.flatnonzero(self.arch_of_gpu == idx)
+
+
+def make_heterogeneous_cluster(
+    node_archs: Sequence[str],
+    *,
+    gpus_per_node: int = 4,
+    base_cluster: str = "longhorn",
+    seed: int = 0,
+) -> HeterogeneousCluster:
+    """Build a mixed-architecture cluster profile.
+
+    Parameters
+    ----------
+    node_archs:
+        Architecture name per node (whole nodes are homogeneous, as in
+        real heterogeneous clusters), e.g. ``["V100"] * 8 + ["RTX5000"] * 8``.
+    gpus_per_node:
+        GPUs per node.
+    base_cluster:
+        Which synthetic spec supplies the *intra-arch* variability.
+    seed:
+        Generator seed.
+
+    Returns
+    -------
+    HeterogeneousCluster
+        Profile scores are ``arch slowdown x intra-arch variability``,
+        **not** re-normalized to median 1.0 — the architecture offsets
+        are real throughput differences that policies should see.
+    """
+    if not node_archs:
+        raise ConfigurationError("need at least one node")
+    unknown = [a for a in node_archs if a not in ARCH_REGISTRY]
+    if unknown:
+        raise ConfigurationError(f"unknown architectures: {sorted(set(unknown))}")
+    if base_cluster not in CLUSTER_SPECS:
+        raise ConfigurationError(f"unknown base cluster {base_cluster!r}")
+
+    n_nodes = len(node_archs)
+    n_gpus = n_nodes * gpus_per_node
+    base = synthesize_profile(base_cluster, n_gpus=n_gpus, seed=seed)
+
+    arch_names = tuple(sorted(set(node_archs)))
+    arch_of_node = np.array([arch_names.index(a) for a in node_archs], dtype=np.int64)
+    arch_of_gpu = np.repeat(arch_of_node, gpus_per_node)
+
+    scores = base.scores.copy()
+    for ci, cname in enumerate(base.class_names):
+        factors = np.array(
+            [ARCH_REGISTRY[a].slowdown(cname) for a in arch_names], dtype=np.float64
+        )
+        scores[ci] *= factors[arch_of_gpu]
+
+    profile = VariabilityProfile(
+        cluster_name=f"hetero-{base_cluster}",
+        class_names=base.class_names,
+        scores=scores,
+        cabinets=base.cabinets.copy(),
+        gpu_uuids=tuple(
+            f"GPU-{node_archs[i // gpus_per_node]}-{i:05d}" for i in range(n_gpus)
+        ),
+    )
+    return HeterogeneousCluster(
+        profile=profile, arch_names=arch_names, arch_of_gpu=arch_of_gpu
+    )

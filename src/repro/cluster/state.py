@@ -1,0 +1,139 @@
+"""Mutable cluster allocation state.
+
+Tracks which GPUs are free and which job holds which GPUs, with strict
+invariant checking: a GPU is held by at most one job, allocations are
+released exactly once, and every query is O(n_gpus) NumPy work at worst.
+This is the "Cluster State Monitor" box of Blox's architecture (paper
+Fig. 1) that every placement policy reads and writes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..utils.errors import AllocationError, ConfigurationError
+from .topology import ClusterTopology
+
+__all__ = ["ClusterState"]
+
+
+class ClusterState:
+    """Free-list and allocation bookkeeping over a :class:`ClusterTopology`."""
+
+    def __init__(self, topology: ClusterTopology):
+        self.topology = topology
+        self._free = np.ones(topology.n_gpus, dtype=bool)
+        self._owner = np.full(topology.n_gpus, -1, dtype=np.int64)
+        self._allocations: dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def n_gpus(self) -> int:
+        return self.topology.n_gpus
+
+    @property
+    def n_free(self) -> int:
+        return int(self._free.sum())
+
+    @property
+    def n_busy(self) -> int:
+        return self.n_gpus - self.n_free
+
+    @property
+    def free_mask(self) -> np.ndarray:
+        """Read-only boolean mask over GPU ids (True = free)."""
+        view = self._free.view()
+        view.flags.writeable = False
+        return view
+
+    def free_gpu_ids(self) -> np.ndarray:
+        """Ids of all free GPUs, ascending."""
+        return np.flatnonzero(self._free)
+
+    def free_count_per_node(self) -> np.ndarray:
+        """``(n_nodes,)`` count of free GPUs on each node."""
+        return np.bincount(
+            self.topology.node_of_gpu[self._free], minlength=self.topology.n_nodes
+        )
+
+    def owner_of(self, gpu_id: int) -> int | None:
+        """Job id holding ``gpu_id``, or None when free."""
+        if not 0 <= gpu_id < self.n_gpus:
+            raise ConfigurationError(f"gpu_id {gpu_id} out of range")
+        owner = int(self._owner[gpu_id])
+        return None if owner < 0 else owner
+
+    def allocation_of(self, job_id: int) -> np.ndarray | None:
+        """GPU ids held by ``job_id`` (copy), or None."""
+        alloc = self._allocations.get(job_id)
+        return None if alloc is None else alloc.copy()
+
+    def jobs_with_allocations(self) -> Iterator[int]:
+        return iter(tuple(self._allocations.keys()))
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def allocate(self, job_id: int, gpu_ids: np.ndarray) -> None:
+        """Grant ``gpu_ids`` to ``job_id``.
+
+        Raises :class:`AllocationError` if the job already holds GPUs, any
+        requested GPU is busy, or ids are duplicated/out of range.
+        """
+        ids = np.sort(np.asarray(gpu_ids, dtype=np.int64).ravel())
+        if ids.size == 0:
+            raise AllocationError(f"job {job_id}: empty allocation")
+        if job_id in self._allocations:
+            raise AllocationError(f"job {job_id} already holds an allocation")
+        if ids.size > 1 and not np.all(ids[1:] > ids[:-1]):
+            raise AllocationError(f"job {job_id}: duplicate GPU ids in allocation")
+        if ids[0] < 0 or ids[-1] >= self.n_gpus:
+            raise AllocationError(f"job {job_id}: GPU id out of range")
+        free = self._free[ids]
+        if not np.all(free):
+            raise AllocationError(f"job {job_id}: GPUs {ids[~free].tolist()} are not free")
+        self._free[ids] = False
+        self._owner[ids] = job_id
+        self._allocations[job_id] = ids
+
+    def release(self, job_id: int) -> np.ndarray:
+        """Release all GPUs held by ``job_id``; returns the freed ids."""
+        alloc = self._allocations.pop(job_id, None)
+        if alloc is None:
+            raise AllocationError(f"job {job_id} holds no allocation")
+        self._free[alloc] = True
+        self._owner[alloc] = -1
+        return alloc
+
+    def release_all(self) -> None:
+        """Release every allocation (used by non-sticky re-placement rounds)."""
+        self._free[:] = True
+        self._owner[:] = -1
+        self._allocations.clear()
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Verify internal consistency; raises AllocationError on corruption.
+
+        Cheap enough to call after every scheduling round in tests.
+        """
+        owned = np.flatnonzero(self._owner >= 0)
+        if np.any(self._free[owned]):
+            raise AllocationError("GPU marked both free and owned")
+        if np.any(~self._free[self._owner < 0]):
+            raise AllocationError("GPU marked busy but has no owner")
+        seen = np.zeros(self.n_gpus, dtype=bool)
+        for job_id, alloc in self._allocations.items():
+            if np.any(seen[alloc]):
+                raise AllocationError("GPU appears in two allocations")
+            seen[alloc] = True
+            if np.any(self._owner[alloc] != job_id):
+                raise AllocationError("owner table disagrees with allocation table")
+        if int(seen.sum()) != self.n_busy:
+            raise AllocationError("busy count disagrees with allocation table")

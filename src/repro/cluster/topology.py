@@ -1,0 +1,150 @@
+"""Cluster topology and the locality (communication-penalty) model.
+
+The paper targets flat fat-tree HPC clusters (TACC Frontera: 4 GPUs per
+node, Mellanox fat tree) and adopts a two-level locality model
+(Sec. III-C1): an allocation confined to one node pays no communication
+penalty (``L_within = 1.0``); an allocation spanning nodes pays a
+multiplicative ``L_across`` on every iteration. ``L_across`` is either a
+cluster-wide constant (1.7 for the Synergy experiments) or per-model
+(estimated from the physical Frontera runs, Sec. IV-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Mapping
+
+import numpy as np
+
+from ..utils.errors import ConfigurationError
+
+__all__ = ["ClusterTopology", "LocalityModel", "WITHIN_NODE", "ACROSS_NODES"]
+
+#: Canonical locality-level names used in L x V matrices and reports.
+WITHIN_NODE = "within"
+ACROSS_NODES = "across"
+
+
+@dataclass(frozen=True)
+class ClusterTopology:
+    """A homogeneous cluster: ``n_nodes`` nodes x ``gpus_per_node`` GPUs.
+
+    GPU ids are dense integers in node-major order: GPU ``g`` lives on
+    node ``g // gpus_per_node``. Cabinets group consecutive nodes (they
+    matter only for profile reporting, not for the locality model, which
+    is two-level per the paper).
+    """
+
+    n_nodes: int
+    gpus_per_node: int = 4
+    nodes_per_cabinet: int = 8
+    name: str = "cluster"
+
+    def __post_init__(self) -> None:
+        if self.n_nodes <= 0:
+            raise ConfigurationError(f"n_nodes={self.n_nodes} must be positive")
+        if self.gpus_per_node <= 0:
+            raise ConfigurationError(f"gpus_per_node={self.gpus_per_node} must be positive")
+        if self.nodes_per_cabinet <= 0:
+            raise ConfigurationError(f"nodes_per_cabinet={self.nodes_per_cabinet} must be positive")
+
+    @classmethod
+    def from_gpu_count(
+        cls, n_gpus: int, gpus_per_node: int = 4, *, name: str = "cluster"
+    ) -> "ClusterTopology":
+        """Build a topology for ``n_gpus`` total GPUs (must divide evenly)."""
+        if n_gpus <= 0 or n_gpus % gpus_per_node != 0:
+            raise ConfigurationError(
+                f"n_gpus={n_gpus} must be a positive multiple of gpus_per_node={gpus_per_node}"
+            )
+        return cls(n_nodes=n_gpus // gpus_per_node, gpus_per_node=gpus_per_node, name=name)
+
+    @property
+    def n_gpus(self) -> int:
+        return self.n_nodes * self.gpus_per_node
+
+    @cached_property
+    def node_of_gpu(self) -> np.ndarray:
+        """``(n_gpus,)`` node index per GPU (computed once, read-only).
+
+        ``cached_property`` stores directly in the instance ``__dict__``,
+        which works on frozen dataclasses and matters here: placement
+        policies read this array once per job per round.
+        """
+        arr = np.repeat(np.arange(self.n_nodes), self.gpus_per_node)
+        arr.flags.writeable = False
+        return arr
+
+    @cached_property
+    def cabinet_of_node(self) -> np.ndarray:
+        arr = np.arange(self.n_nodes) // self.nodes_per_cabinet
+        arr.flags.writeable = False
+        return arr
+
+    def gpus_of_node(self, node: int) -> np.ndarray:
+        """GPU ids hosted by ``node``."""
+        if not 0 <= node < self.n_nodes:
+            raise ConfigurationError(f"node {node} out of range [0, {self.n_nodes})")
+        start = node * self.gpus_per_node
+        return np.arange(start, start + self.gpus_per_node)
+
+    def nodes_spanned(self, gpu_ids: np.ndarray) -> np.ndarray:
+        """Distinct node indices touched by ``gpu_ids``."""
+        ids = np.asarray(gpu_ids, dtype=np.int64)
+        if ids.size and (ids.min() < 0 or ids.max() >= self.n_gpus):
+            raise ConfigurationError("gpu id out of range")
+        return np.unique(ids // self.gpus_per_node)
+
+    def is_packed(self, gpu_ids: np.ndarray) -> bool:
+        """True when the allocation fits on a single node."""
+        return self.nodes_spanned(gpu_ids).size <= 1
+
+
+@dataclass(frozen=True)
+class LocalityModel:
+    """Two-level inter-node communication penalty.
+
+    ``penalty(model, packed)`` returns the multiplicative iteration-time
+    factor: 1.0 within a node, ``L_across`` (possibly per-model) when an
+    allocation spans nodes. Single-GPU jobs are packed by definition.
+    """
+
+    across_node: float = 1.7
+    within_node: float = 1.0
+    per_model: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.within_node != 1.0:
+            raise ConfigurationError(
+                "within_node must be 1.0 — the paper's model charges no penalty "
+                "for packed allocations"
+            )
+        if self.across_node < 1.0:
+            raise ConfigurationError(f"across_node={self.across_node} must be >= 1.0")
+        for model, penalty in self.per_model.items():
+            if penalty < 1.0:
+                raise ConfigurationError(
+                    f"per-model penalty for {model!r} is {penalty}, must be >= 1.0"
+                )
+
+    def across(self, model_name: str | None = None) -> float:
+        """The inter-node penalty applied to ``model_name`` (or the default)."""
+        if model_name is not None and model_name in self.per_model:
+            return float(self.per_model[model_name])
+        return float(self.across_node)
+
+    def penalty(self, model_name: str | None, packed: bool) -> float:
+        """Iteration-time factor for an allocation."""
+        return self.within_node if packed else self.across(model_name)
+
+    def levels(self, model_name: str | None = None) -> tuple[tuple[str, float], ...]:
+        """Ordered locality levels for L x V matrix construction."""
+        return ((WITHIN_NODE, self.within_node), (ACROSS_NODES, self.across(model_name)))
+
+    @classmethod
+    def from_models(
+        cls, default: float = 1.7, models: Mapping[str, float] | None = None
+    ) -> "LocalityModel":
+        """Convenience constructor mirroring Sec. IV-D's two estimation modes."""
+        return cls(across_node=default, per_model=dict(models or {}))

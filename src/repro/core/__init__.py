@@ -1,0 +1,25 @@
+"""The paper's core contribution: classifier, PM-Scores, L x V, PM-First, PAL."""
+
+from .classifier import ApplicationClassifier, ClassifiedApp
+from .lv_matrix import LVEntry, LVMatrix
+from .pal import pal_placement
+from .pm_first import (
+    get_pmfirst_gpus,
+    mark_queue_at_cluster_size,
+    placement_priority_order,
+)
+from .pm_score import ClassBinning, PMScoreTable, fit_class_binning
+
+__all__ = [
+    "ApplicationClassifier",
+    "ClassifiedApp",
+    "LVEntry",
+    "LVMatrix",
+    "pal_placement",
+    "get_pmfirst_gpus",
+    "mark_queue_at_cluster_size",
+    "placement_priority_order",
+    "ClassBinning",
+    "PMScoreTable",
+    "fit_class_binning",
+]

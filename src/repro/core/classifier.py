@@ -1,0 +1,157 @@
+"""Application classification layer (paper Sec. III-A, Fig. 3).
+
+Groups applications into a small number of ordered variability classes by
+K-Means clustering in the 2-D ``PeakFUUtil x DRAMUtil`` space measured by
+the (simulated) nsight profiler. Class "A" is the most compute-intensive
+— and therefore most variability-sensitive — cluster; the last class is
+the most memory-bound. New applications are assigned to the nearest
+existing centroid, so one profiling run of a new model suffices
+(the paper's answer to "it is infeasible to profile such a large range of
+applications at scale").
+"""
+
+from __future__ import annotations
+
+import string
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..utils.errors import ConfigurationError
+from ..utils.kmeans import assign_labels, kmeans
+from ..workloads.nsight import UtilizationMeasurement
+
+__all__ = ["ApplicationClassifier", "ClassifiedApp"]
+
+
+@dataclass(frozen=True)
+class ClassifiedApp:
+    """One application's position and assigned class."""
+
+    model: str
+    peak_fu_util: float
+    dram_util: float
+    class_id: int
+    class_name: str
+
+
+class ApplicationClassifier:
+    """Ordered K-Means classifier over utilization measurements.
+
+    Parameters
+    ----------
+    n_classes:
+        Number of classes (the paper's running example uses 3: A/B/C).
+    seed:
+        RNG seed for K-Means restarts.
+
+    Notes
+    -----
+    Classes are ordered by *descending centroid PeakFUUtil*: the cluster
+    with the highest compute utilization becomes class A. This matches
+    Fig. 3, where the vision models (VGG19, ResNet, DCGAN, sgemm) form
+    class A, the language models (BERT/GPT-2) class B, and the
+    memory-bound graph/point-cloud/HPC codes class C.
+    """
+
+    def __init__(self, n_classes: int = 3, *, seed: int = 0):
+        if n_classes < 1:
+            raise ConfigurationError(f"n_classes={n_classes} must be >= 1")
+        if n_classes > 26:
+            raise ConfigurationError("n_classes > 26 would exhaust single-letter class names")
+        self.n_classes = n_classes
+        self.seed = seed
+        self._centroids: np.ndarray | None = None  # (k, 2) in (fu, dram) space
+        self._fitted_apps: list[ClassifiedApp] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def is_fitted(self) -> bool:
+        return self._centroids is not None
+
+    @property
+    def class_names(self) -> tuple[str, ...]:
+        return tuple(string.ascii_uppercase[: self.n_classes])
+
+    @property
+    def centroids(self) -> np.ndarray:
+        """``(n_classes, 2)`` centroids in (PeakFUUtil, DRAMUtil) order."""
+        self._require_fitted()
+        assert self._centroids is not None
+        view = self._centroids.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def fitted_apps(self) -> tuple[ClassifiedApp, ...]:
+        """The applications seen at fit time with their assignments (Fig. 3)."""
+        self._require_fitted()
+        return tuple(self._fitted_apps)
+
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise ConfigurationError("classifier has not been fitted")
+
+    # ------------------------------------------------------------------
+    def fit(self, measurements: list[UtilizationMeasurement]) -> "ApplicationClassifier":
+        """Cluster the profiled applications and freeze the class centroids."""
+        if len(measurements) < self.n_classes:
+            raise ConfigurationError(
+                f"need at least n_classes={self.n_classes} measurements, "
+                f"got {len(measurements)}"
+            )
+        pts = np.array([m.point for m in measurements], dtype=np.float64)
+        fit = kmeans(pts, self.n_classes, rng=self.seed, n_init=8)
+        # Order clusters by descending PeakFUUtil (coordinate 0): highest
+        # compute utilization -> class A (most variability-sensitive).
+        order = np.argsort(-fit.centroids[:, 0], kind="stable")
+        self._centroids = fit.centroids[order].copy()
+        relabel = np.empty(self.n_classes, dtype=np.int64)
+        relabel[order] = np.arange(self.n_classes)
+        labels = relabel[fit.labels]
+        names = self.class_names
+        self._fitted_apps = [
+            ClassifiedApp(
+                model=m.model,
+                peak_fu_util=m.peak_fu_util,
+                dram_util=m.dram_util,
+                class_id=int(c),
+                class_name=names[int(c)],
+            )
+            for m, c in zip(measurements, labels)
+        ]
+        return self
+
+    def classify(self, measurement: UtilizationMeasurement | tuple[float, float]) -> int:
+        """Class id (0 = A) for a measurement or raw (fu, dram) point.
+
+        Unseen applications are profiled once and assigned to the nearest
+        centroid (paper Sec. III-A: "we profile the application and assign
+        it to the cluster it is closest to in the 2D space").
+        """
+        self._require_fitted()
+        if isinstance(measurement, UtilizationMeasurement):
+            point = measurement.point
+        else:
+            point = (float(measurement[0]), float(measurement[1]))
+        label = assign_labels(np.array([point]), self._centroids)
+        return int(label[0])
+
+    def classify_name(self, measurement: UtilizationMeasurement | tuple[float, float]) -> str:
+        return self.class_names[self.classify(measurement)]
+
+    def class_of_model(self, model_name: str) -> int:
+        """Class of a model seen at fit time (by name)."""
+        self._require_fitted()
+        for app in self._fitted_apps:
+            if app.model == model_name:
+                return app.class_id
+        raise ConfigurationError(
+            f"model {model_name!r} was not part of the fitted suite; "
+            "profile it and call classify() instead"
+        )
+
+    def assignments(self) -> dict[str, str]:
+        """model name -> class name for the fitted suite."""
+        self._require_fitted()
+        return {app.model: app.class_name for app in self._fitted_apps}

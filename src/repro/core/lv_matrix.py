@@ -1,0 +1,125 @@
+"""The L x V (locality x variability) matrix and its traversal order.
+
+PAL's key data structure (paper Sec. III-C1): one row per locality level,
+one column per PM-Score bin centroid; each entry is the combined
+slowdown ``L_i * V_j`` a job would suffer under that allocation scenario.
+PAL visits entries in ascending LV-product order, trying to realize each
+scenario before degrading to the next.
+
+The matrix is class-specific (each class has its own centroids) and tiny:
+its size is bounded by (#locality levels) x (#bins), which is what makes
+PAL's per-epoch cost low (paper Fig. 18).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..cluster.topology import LocalityModel
+from ..utils.errors import ConfigurationError
+
+__all__ = ["LVEntry", "LVMatrix"]
+
+
+@dataclass(frozen=True)
+class LVEntry:
+    """One allocation scenario: a (locality level, PM-Score bin) pair."""
+
+    level_name: str
+    locality: float
+    centroid: float
+
+    @property
+    def product(self) -> float:
+        """The combined slowdown PAL minimizes (``LV-Product``)."""
+        return self.locality * self.centroid
+
+
+class LVMatrix:
+    """Class-specific locality x variability matrix with sorted traversal."""
+
+    def __init__(
+        self,
+        levels: Sequence[tuple[str, float]],
+        centroids: Sequence[float] | np.ndarray,
+    ):
+        if not levels:
+            raise ConfigurationError("at least one locality level required")
+        cents = np.asarray(centroids, dtype=np.float64).ravel()
+        if cents.size == 0:
+            raise ConfigurationError("at least one PM-Score centroid required")
+        if np.any(cents <= 0) or not np.all(np.isfinite(cents)):
+            raise ConfigurationError("centroids must be positive and finite")
+        if np.any(np.diff(cents) < 0):
+            raise ConfigurationError("centroids must be ascending")
+        seen_names = set()
+        for name, loc in levels:
+            if loc < 1.0:
+                raise ConfigurationError(f"locality level {name!r} has factor {loc} < 1.0")
+            if name in seen_names:
+                raise ConfigurationError(f"duplicate locality level {name!r}")
+            seen_names.add(name)
+
+        self.levels = tuple((str(n), float(l)) for n, l in levels)
+        self.centroids = cents
+        entries = [
+            LVEntry(level_name=name, locality=loc, centroid=float(v))
+            for name, loc in self.levels
+            for v in cents
+        ]
+        # Ascending product; ties prefer the cheaper locality level (packed
+        # first), then the smaller centroid — deterministic traversal.
+        entries.sort(key=lambda e: (e.product, e.locality, e.centroid))
+        self._traversal = tuple(entries)
+
+    @classmethod
+    def build(
+        cls,
+        centroids: Sequence[float] | np.ndarray,
+        locality: LocalityModel,
+        *,
+        model_name: str | None = None,
+    ) -> "LVMatrix":
+        """Build a matrix from bin centroids and a locality model.
+
+        ``model_name`` selects a per-model inter-node penalty when the
+        locality model defines one (Sec. IV-D).
+        """
+        return cls(levels=locality.levels(model_name), centroids=centroids)
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (len(self.levels), int(self.centroids.size))
+
+    @property
+    def traversal(self) -> tuple[LVEntry, ...]:
+        """All entries in ascending LV-product order."""
+        return self._traversal
+
+    def __iter__(self) -> Iterator[LVEntry]:
+        return iter(self._traversal)
+
+    def __len__(self) -> int:
+        return len(self._traversal)
+
+    def as_array(self) -> np.ndarray:
+        """The raw matrix (levels x centroids) of LV products, row-major."""
+        locs = np.array([l for _, l in self.levels], dtype=np.float64)
+        return locs[:, None] * self.centroids[None, :]
+
+    def render(self) -> str:
+        """Human-readable matrix, in the layout of the paper's example."""
+        lines = ["L x V matrix (entries = L * V):"]
+        header = "  ".join(f"V{j+1}({v:.2f})" for j, v in enumerate(self.centroids))
+        lines.append(f"{'':>16}  {header}")
+        arr = self.as_array()
+        for i, (name, loc) in enumerate(self.levels):
+            row = "  ".join(f"{arr[i, j]:8.2f}" for j in range(arr.shape[1]))
+            lines.append(f"{name:>10}({loc:.2f})  {row}")
+        order = " -> ".join(f"({e.locality:g}, {e.centroid:.2f})" for e in self._traversal)
+        lines.append(f"traversal: {order}")
+        return "\n".join(lines)

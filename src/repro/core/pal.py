@@ -1,0 +1,160 @@
+"""PAL placement selection (paper Algorithm 2).
+
+PAL co-optimizes locality and variability by traversing the job class's
+L x V matrix in ascending LV-product order:
+
+* ``(L_within, V_i)`` entries attempt a *packed* allocation: among free
+  GPUs with PM-Score <= V_i, find nodes that can host the whole job and
+  pick the candidate set with the lowest variability (``GetMinV``);
+* ``(L_across, V_i)`` entries accept the inter-node penalty and fall back
+  to PM-First selection over the score-filtered free list;
+* jobs demanding more GPUs than a node hosts must split anyway, so they
+  are placed directly with PM-First (Algorithm 2, lines 23-25), as are
+  single-GPU jobs (no locality concern).
+
+Selecting the ``N_j`` lowest-scored GPUs within a node is equivalent to
+the paper's enumerate-all-combinations-and-take-min-V step: the sorted
+prefix minimizes both the max and the sum of PM-Scores over all
+``C(free_in_node, N_j)`` subsets, at O(n log n) instead of combinatorial
+cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster.topology import WITHIN_NODE
+from ..utils.errors import AllocationError, ConfigurationError
+from .lv_matrix import LVMatrix
+from .pm_first import get_pmfirst_gpus
+
+__all__ = ["pal_placement"]
+
+#: Absolute tolerance when filtering scores against a bin centroid —
+#: binned scores equal a centroid up to floating-point rounding.
+_SCORE_EPS = 1e-9
+
+
+def _best_packed_allocation(
+    ids: np.ndarray,
+    scores: np.ndarray,
+    nodes: np.ndarray,
+    demand: int,
+) -> np.ndarray | None:
+    """Lowest-variability within-node set of ``demand`` GPUs, or None.
+
+    Among all nodes holding >= demand eligible GPUs, returns the node's
+    sorted-score prefix minimizing (max score, sum score, node id).
+
+    Fully vectorized: one lexsort groups GPUs by (node, score); block
+    boundaries, per-node counts, and each candidate prefix's max/sum all
+    come from array arithmetic over that single sorted view. This runs in
+    the simulator's innermost loop (every PAL placement of every round),
+    so avoiding a Python per-node loop matters.
+    """
+    order = np.lexsort((ids, scores, nodes))
+    nodes_s = nodes[order]
+    scores_s = scores[order]
+
+    # Contiguous per-node blocks in the sorted view.
+    boundary = np.empty(nodes_s.size, dtype=bool)
+    boundary[0] = True
+    np.not_equal(nodes_s[1:], nodes_s[:-1], out=boundary[1:])
+    starts = np.flatnonzero(boundary)
+    counts = np.diff(np.append(starts, nodes_s.size))
+    valid = counts >= demand
+    if not np.any(valid):
+        return None
+
+    vstarts = starts[valid]
+    # The d-th smallest score in each valid block is the candidate's max;
+    # a cumulative sum gives each candidate prefix's total.
+    csum = np.cumsum(scores_s)
+    end_idx = vstarts + demand - 1
+    max_v = scores_s[end_idx]
+    sum_v = csum[end_idx] - np.where(vstarts > 0, csum[vstarts - 1], 0.0)
+    node_v = nodes_s[vstarts]
+
+    best = np.lexsort((node_v, sum_v, max_v))[0]
+    start = int(vstarts[best])
+    return np.sort(ids[order[start : start + demand]])
+
+
+def pal_placement(
+    free_gpu_ids: np.ndarray,
+    pm_scores: np.ndarray,
+    demand: int,
+    lv: LVMatrix,
+    node_of_gpu: np.ndarray,
+    gpus_per_node: int,
+) -> np.ndarray:
+    """Algorithm 2: PAL's GPU selection for one job.
+
+    Parameters
+    ----------
+    free_gpu_ids:
+        Ids of currently free GPUs.
+    pm_scores:
+        Binned PM-Scores aligned with ``free_gpu_ids`` (job-class
+        specific).
+    demand:
+        ``N_j``, the job's GPU demand.
+    lv:
+        The job class's L x V matrix (built with the job's locality
+        penalty — per-model if configured).
+    node_of_gpu:
+        ``(n_gpus_total,)`` node index per *global* GPU id.
+    gpus_per_node:
+        ``NUM_GPUS_PER_NODE`` — the packing feasibility bound.
+
+    Returns
+    -------
+    np.ndarray
+        ``demand`` GPU ids (sorted ascending).
+
+    Raises
+    ------
+    AllocationError
+        If fewer than ``demand`` GPUs are free (the traversal's final
+        across-node entry covers every free GPU, so that is the only
+        failure mode).
+    """
+    ids = np.asarray(free_gpu_ids, dtype=np.int64).ravel()
+    scores = np.asarray(pm_scores, dtype=np.float64).ravel()
+    if ids.shape != scores.shape:
+        raise ConfigurationError("free_gpu_ids and pm_scores must align")
+    if demand <= 0:
+        raise ConfigurationError(f"demand={demand} must be positive")
+    if gpus_per_node <= 0:
+        raise ConfigurationError(f"gpus_per_node={gpus_per_node} must be positive")
+    if ids.size < demand:
+        raise AllocationError(f"demand {demand} exceeds {ids.size} free GPUs")
+
+    # Algorithm 2, lines 22-25: jobs that cannot pack (demand > node
+    # capacity) and single-GPU jobs (locality-free) go straight to PM-First.
+    if demand == 1 or demand > gpus_per_node:
+        return np.sort(get_pmfirst_gpus(ids, scores, demand))
+
+    nodes = np.asarray(node_of_gpu, dtype=np.int64)[ids]
+    for entry in lv.traversal:
+        eligible = scores <= entry.centroid + _SCORE_EPS
+        n_eligible = int(eligible.sum())
+        if n_eligible < demand:
+            continue
+        if entry.level_name == WITHIN_NODE:
+            alloc = _best_packed_allocation(
+                ids[eligible], scores[eligible], nodes[eligible], demand
+            )
+            if alloc is not None:
+                return alloc
+        else:
+            return np.sort(get_pmfirst_gpus(ids[eligible], scores[eligible], demand))
+
+    # Unreachable when the matrix's last centroid covers all binned scores
+    # (PMScoreTable guarantees it); kept as a hard failure for custom
+    # matrices that do not.
+    raise AllocationError(
+        f"L x V traversal exhausted without an allocation for demand {demand} "
+        f"over {ids.size} free GPUs — the matrix's centroids do not cover the "
+        "free GPUs' scores"
+    )

@@ -1,0 +1,124 @@
+"""PM-First GPU selection (paper Algorithm 1) and queue marking.
+
+PM-First gives power-management-induced variability first-order
+precedence: sort the free GPUs by the job's class-specific PM-Score,
+best (lowest) first, and hand the job the top ``N_j``.
+
+The module also implements the queue discipline around it (Fig. 4):
+
+* ``mark_queue_at_cluster_size`` — walk the scheduling-policy-ordered
+  queue accumulating GPU demand; the maximal prefix whose total demand
+  fits the cluster is *guaranteed* this round;
+* ``placement_priority_order`` — re-sort only that guaranteed prefix by
+  class (class A first) so variability-sensitive jobs pick GPUs first
+  without violating the scheduling policy's guarantees.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..utils.errors import AllocationError, ConfigurationError
+
+__all__ = [
+    "get_pmfirst_gpus",
+    "mark_queue_at_cluster_size",
+    "placement_priority_order",
+]
+
+
+def get_pmfirst_gpus(
+    free_gpu_ids: np.ndarray,
+    pm_scores: np.ndarray,
+    demand: int,
+) -> np.ndarray:
+    """Algorithm 1: the ``demand`` best-scored free GPUs.
+
+    Parameters
+    ----------
+    free_gpu_ids:
+        Ids of currently free GPUs.
+    pm_scores:
+        PM-Scores aligned with ``free_gpu_ids`` (job-class specific,
+        already binned — the ``ComputePMscore`` output).
+    demand:
+        ``N_j``, the job's GPU demand.
+
+    Returns
+    -------
+    np.ndarray
+        ``demand`` GPU ids, lowest scores first; ties break toward lower
+        GPU id for determinism.
+
+    Raises
+    ------
+    AllocationError
+        If fewer than ``demand`` GPUs are free.
+    """
+    ids = np.asarray(free_gpu_ids, dtype=np.int64).ravel()
+    scores = np.asarray(pm_scores, dtype=np.float64).ravel()
+    if ids.shape != scores.shape:
+        raise ConfigurationError("free_gpu_ids and pm_scores must align")
+    if demand <= 0:
+        raise ConfigurationError(f"demand={demand} must be positive")
+    if ids.size < demand:
+        raise AllocationError(f"demand {demand} exceeds {ids.size} free GPUs")
+    # Stable sort on score, with ids pre-sorted ascending, yields the
+    # lowest-id GPU among equals — keeps allocations reproducible. Free
+    # lists arrive ascending already, so the pre-sort is usually skipped.
+    if ids.size > 1 and np.any(ids[1:] < ids[:-1]):
+        id_order = np.argsort(ids, kind="stable")
+        ids, scores = ids[id_order], scores[id_order]
+    order = np.argsort(scores, kind="stable")
+    return ids[order[:demand]]
+
+
+def mark_queue_at_cluster_size(demands: Sequence[int], cluster_size: int) -> int:
+    """Length of the guaranteed prefix of the scheduling queue.
+
+    Walks jobs in scheduling-priority order, accumulating GPU demand, and
+    returns the number of leading jobs whose *total* demand fits within
+    ``cluster_size`` (paper Fig. 4: "mark queue at cluster size"). Jobs
+    past the mark wait for a later round even if they would individually
+    fit — the marking is what lets placement re-order by class without
+    dispatching a lower-priority job "out of turn".
+
+    A single job whose demand alone exceeds the cluster can never run and
+    raises immediately rather than deadlocking the queue.
+    """
+    if cluster_size <= 0:
+        raise ConfigurationError(f"cluster_size={cluster_size} must be positive")
+    total = 0
+    for i, demand in enumerate(demands):
+        if demand <= 0:
+            raise ConfigurationError(f"job at queue position {i} has demand {demand}")
+        if demand > cluster_size:
+            raise ConfigurationError(
+                f"job at queue position {i} demands {demand} GPUs; cluster has "
+                f"{cluster_size} — the job can never be scheduled"
+            )
+        total += demand
+        if total > cluster_size:
+            return i
+    return len(list(demands)) if not isinstance(demands, Sequence) else len(demands)
+
+
+def placement_priority_order(
+    class_ids: Sequence[int],
+    n_guaranteed: int,
+) -> list[int]:
+    """Indices of the guaranteed prefix re-sorted by class (A first).
+
+    Within a class the scheduling order is preserved (stable sort), so
+    among equally-sensitive jobs the scheduling policy still decides who
+    picks GPUs first.
+    """
+    if n_guaranteed < 0 or n_guaranteed > len(class_ids):
+        raise ConfigurationError(
+            f"n_guaranteed={n_guaranteed} out of range [0, {len(class_ids)}]"
+        )
+    prefix = list(range(n_guaranteed))
+    prefix.sort(key=lambda i: class_ids[i])  # Python sort is stable
+    return prefix

@@ -1,0 +1,265 @@
+"""PM-Score binning (paper Sec. III-B, Fig. 5).
+
+Tracking a distinct PM-Score per GPU does not scale to Summit-sized
+clusters, so the paper bins each class's per-GPU scores with 1-D K-Means:
+
+* GPUs more than 3 sigma from the class mean are set aside as *extreme
+  outliers* before the silhouette analysis (they would otherwise wreck
+  the silhouette coefficients);
+* K is swept over [2, 11] on the inliers and chosen by silhouette score;
+* a K for the outlier set is selected the same way (the outlier-cluster
+  centroids become the right-most columns of the L x V matrix);
+* every inlier GPU's PM-Score becomes its bin centroid; extreme outliers
+  keep "their own PM-score equal to the GPU's normalized performance".
+
+:class:`PMScoreTable` bundles the per-class binnings for a whole profile
+and is the object placement policies consult at scheduling time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..utils.errors import ConfigurationError, ProfileError
+from ..utils.kmeans import kmeans, select_k_by_silhouette
+from ..utils.rng import stable_hash64
+from ..variability.profiles import VariabilityProfile
+
+__all__ = ["ClassBinning", "PMScoreTable", "fit_class_binning"]
+
+
+@dataclass(frozen=True)
+class ClassBinning:
+    """Binned PM-Scores for one application class.
+
+    Attributes
+    ----------
+    centroids:
+        Ascending bin centroid values — the columns of the class's L x V
+        matrix. Includes both inlier-KMeans centroids and outlier-cluster
+        centroids. The final value is guaranteed to be >= every per-GPU
+        binned score so a filter at the last centroid covers all GPUs.
+    gpu_bin:
+        ``(n_gpus,)`` bin index per GPU (into ``centroids``).
+    binned_scores:
+        ``(n_gpus,)`` the PM-Score each GPU is *treated as having*:
+        centroid value for inliers, raw normalized score for extreme
+        outliers.
+    raw_scores:
+        The input scores (median-normalized).
+    outlier_mask:
+        True for GPUs handled as >3 sigma outliers.
+    k_inlier / k_outlier:
+        Chosen cluster counts.
+    silhouette_by_k:
+        The silhouette sweep record for the inlier fit (reporting).
+    """
+
+    centroids: np.ndarray
+    gpu_bin: np.ndarray
+    binned_scores: np.ndarray
+    raw_scores: np.ndarray
+    outlier_mask: np.ndarray
+    k_inlier: int
+    k_outlier: int
+    silhouette_by_k: dict[int, float]
+
+    @property
+    def n_bins(self) -> int:
+        return int(self.centroids.size)
+
+    @property
+    def n_gpus(self) -> int:
+        return int(self.raw_scores.size)
+
+    def bin_populations(self) -> np.ndarray:
+        """Number of GPUs per bin (Fig. 5's cluster sizes)."""
+        return np.bincount(self.gpu_bin, minlength=self.n_bins)
+
+
+def fit_class_binning(
+    scores: np.ndarray,
+    *,
+    outlier_sigma: float = 3.0,
+    k_min: int = 2,
+    k_max: int = 11,
+    k_override: int | None = None,
+    seed: int = 0,
+) -> ClassBinning:
+    """Bin one class's per-GPU scores per the paper's procedure.
+
+    Parameters
+    ----------
+    scores:
+        ``(n_gpus,)`` median-normalized scores.
+    outlier_sigma:
+        The outlier threshold (paper: 3).
+    k_min, k_max:
+        Silhouette sweep range (paper: 2..11).
+    k_override:
+        Skip the silhouette selection and force K for the inliers —
+        the ablation knob for "what if K is too small / too large".
+    seed:
+        RNG seed for K-Means restarts.
+    """
+    raw = np.asarray(scores, dtype=np.float64).ravel()
+    if raw.size == 0 or np.any(raw <= 0) or not np.all(np.isfinite(raw)):
+        raise ProfileError("scores must be positive and finite")
+    if k_override is not None and k_override < 1:
+        raise ConfigurationError(f"k_override={k_override} must be >= 1")
+
+    # Iterated >3-sigma cut: extreme outliers inflate the std enough to
+    # hide the next tier of slow GPUs behind the threshold (the very
+    # problem the paper separates outliers to avoid), so re-estimate the
+    # spread after each removal until the mask stabilizes. Capped at a few
+    # rounds and at marking 25% of GPUs so a genuinely wide bulk is never
+    # pruned away.
+    outlier_mask = np.zeros(raw.size, dtype=bool)
+    for _ in range(3):
+        kept = raw[~outlier_mask]
+        mean, std = float(kept.mean()), float(kept.std())
+        if std <= 0:
+            break
+        new_mask = np.abs(raw - mean) > outlier_sigma * std
+        if new_mask.sum() > 0.25 * raw.size or bool(np.all(new_mask == outlier_mask)):
+            break
+        outlier_mask = new_mask
+    inliers = raw[~outlier_mask]
+    outliers = raw[outlier_mask]
+    if inliers.size == 0:  # pathological: everything "outlier" — treat all as inliers
+        inliers, outliers = raw, raw[:0]
+        outlier_mask = np.zeros(raw.size, dtype=bool)
+
+    # --- inlier K selection + fit -------------------------------------
+    silhouette_by_k: dict[int, float] = {}
+    if k_override is not None:
+        k_in = min(k_override, np.unique(inliers).size)
+    else:
+        k_in, silhouette_by_k = select_k_by_silhouette(
+            inliers, k_min=k_min, k_max=k_max, rng=seed
+        )
+    fit_in = kmeans(inliers, max(k_in, 1), rng=seed, n_init=4)
+    inlier_centroids = fit_in.centroids[:, 0]
+    inlier_labels = fit_in.labels
+
+    # --- outlier K selection + fit ------------------------------------
+    if outliers.size == 0:
+        outlier_centroids = np.empty(0, dtype=np.float64)
+        outlier_labels = np.empty(0, dtype=np.int64)
+        k_out = 0
+    elif np.unique(outliers).size == 1 or outliers.size == 1:
+        outlier_centroids = np.array([float(outliers.mean())])
+        outlier_labels = np.zeros(outliers.size, dtype=np.int64)
+        k_out = 1
+    else:
+        k_out, _ = select_k_by_silhouette(
+            outliers, k_min=2, k_max=min(k_max, outliers.size - 1), rng=seed + 1
+        )
+        fit_out = kmeans(outliers, max(k_out, 1), rng=seed + 1, n_init=4)
+        outlier_centroids = fit_out.centroids[:, 0]
+        outlier_labels = fit_out.labels
+        k_out = outlier_centroids.size
+
+    # --- merge into one ascending centroid table -----------------------
+    centroids = np.concatenate([inlier_centroids, outlier_centroids])
+    order = np.argsort(centroids, kind="stable")
+    centroids = centroids[order]
+    remap = np.empty(order.size, dtype=np.int64)
+    remap[order] = np.arange(order.size)
+
+    gpu_bin = np.empty(raw.size, dtype=np.int64)
+    gpu_bin[~outlier_mask] = remap[inlier_labels]
+    if outliers.size:
+        gpu_bin[outlier_mask] = remap[inlier_centroids.size + outlier_labels]
+
+    binned = centroids[gpu_bin].copy()
+    # Extreme outliers keep their own (raw) PM-Score (paper Sec. III-B).
+    binned[outlier_mask] = raw[outlier_mask]
+    # Guarantee the last centroid dominates every binned score so that an
+    # L x V traversal's final column covers the whole cluster.
+    if binned.max() > centroids[-1]:
+        centroids = centroids.copy()
+        centroids[-1] = binned.max()
+
+    return ClassBinning(
+        centroids=centroids,
+        gpu_bin=gpu_bin,
+        binned_scores=binned,
+        raw_scores=raw,
+        outlier_mask=outlier_mask,
+        k_inlier=int(inlier_centroids.size),
+        k_outlier=int(k_out),
+        silhouette_by_k=silhouette_by_k,
+    )
+
+
+class PMScoreTable:
+    """Per-class PM-Score binnings for a whole cluster profile.
+
+    This is the scheduler-facing object: ``binned_scores(class_id)`` is
+    the ``ComputePMscore`` lookup of Algorithm 1, and ``centroids(...)``
+    supplies the V-axis of each class's L x V matrix.
+    """
+
+    def __init__(self, profile: VariabilityProfile, binnings: dict[int, ClassBinning]):
+        if set(binnings) != set(range(profile.n_classes)):
+            raise ConfigurationError("binnings must cover every class of the profile")
+        self.profile = profile
+        self._binnings = dict(binnings)
+
+    @classmethod
+    def fit(
+        cls,
+        profile: VariabilityProfile,
+        *,
+        outlier_sigma: float = 3.0,
+        k_min: int = 2,
+        k_max: int = 11,
+        k_override: int | None = None,
+        seed: int = 0,
+    ) -> "PMScoreTable":
+        """Fit a binning for every class of ``profile``."""
+        binnings = {
+            ci: fit_class_binning(
+                profile.class_scores(ci),
+                outlier_sigma=outlier_sigma,
+                k_min=k_min,
+                k_max=k_max,
+                k_override=k_override,
+                seed=seed + (stable_hash64(f"pm-bin/{ci}") % 65_536),
+            )
+            for ci in range(profile.n_classes)
+        }
+        return cls(profile, binnings)
+
+    @property
+    def n_classes(self) -> int:
+        return self.profile.n_classes
+
+    @property
+    def n_gpus(self) -> int:
+        return self.profile.n_gpus
+
+    def binning(self, class_id: int | str) -> ClassBinning:
+        if isinstance(class_id, str):
+            class_id = self.profile.class_index(class_id)
+        try:
+            return self._binnings[class_id]
+        except KeyError:
+            raise ConfigurationError(f"no binning for class {class_id}") from None
+
+    def binned_scores(self, class_id: int | str) -> np.ndarray:
+        """``(n_gpus,)`` PM-Score per GPU for ``class_id`` (read-only)."""
+        arr = self.binning(class_id).binned_scores
+        view = arr.view()
+        view.flags.writeable = False
+        return view
+
+    def centroids(self, class_id: int | str) -> np.ndarray:
+        """Ascending bin centroids for ``class_id`` (read-only)."""
+        arr = self.binning(class_id).centroids
+        view = arr.view()
+        view.flags.writeable = False
+        return view

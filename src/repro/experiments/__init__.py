@@ -1,0 +1,96 @@
+"""Experiment modules — one per paper table/figure.
+
+Each module exposes ``run(scale="ci", seed=0, **kwargs) -> ExperimentResult``.
+The registry below maps experiment ids (as used by the CLI and the
+benchmark harness) to the run callables.
+
+========  =====================================================
+id        paper content
+========  =====================================================
+fig03     application classification scatter (Sec. III-A)
+fig05     PM-Score binning example, 128-GPU class-A profile
+fig06-08  cluster variability profiles (Frontera/Longhorn/testbed)
+table4    testbed vs simulation avg JCT (+ Fig. 9 CDFs, Fig. 10 boxplots)
+fig11     Sia-Philly normalized avg JCT, 6 policies
+fig12     Sia-Philly wait times vs job id
+fig13     Sia-Philly locality-penalty sweep
+fig14     Synergy load sweep (FIFO)
+fig15     GPUs-in-use time series
+fig16     Synergy load sweep (LAS)
+fig17     Synergy load sweep (SRTF)
+fig18     PAL placement overhead vs cluster size
+fig19     wait times under LAS/SRTF/FIFO
+fig20     Synergy locality-penalty sweep
+headline  abstract's geomean improvement claims
+online    extension: dynamic online PM-Score updates (Sec. V-A
+          future work, implemented)
+hetero    extension: mixed-architecture cluster, PAL vs
+          Gavel-style arch-aware scheduling (Sec. VI claim)
+========  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..utils.errors import ConfigurationError
+from . import (
+    fig03_classifier,
+    fig05_binning,
+    fig11_sia,
+    fig12_waits,
+    fig13_sia_locality,
+    fig14_synergy_load,
+    fig15_utilization,
+    fig16_17_sched,
+    fig18_overhead,
+    fig19_sched_waits,
+    fig20_synergy_locality,
+    headline,
+    hetero,
+    online_updates,
+    profiles,
+    testbed,
+)
+from .common import SCALES, ExperimentResult, Scale, build_environment, get_scale
+
+__all__ = [
+    "EXPERIMENTS",
+    "run_experiment",
+    "ExperimentResult",
+    "Scale",
+    "SCALES",
+    "build_environment",
+    "get_scale",
+]
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "fig03": fig03_classifier.run,
+    "fig05": fig05_binning.run,
+    "fig06-08": profiles.run,
+    "table4": testbed.run,
+    "fig11": fig11_sia.run,
+    "fig12": fig12_waits.run,
+    "fig13": fig13_sia_locality.run,
+    "fig14": fig14_synergy_load.run,
+    "fig15": fig15_utilization.run,
+    "fig16": lambda scale="ci", seed=0: fig16_17_sched.run(scale, seed, scheduler="las"),
+    "fig17": lambda scale="ci", seed=0: fig16_17_sched.run(scale, seed, scheduler="srtf"),
+    "fig18": fig18_overhead.run,
+    "fig19": fig19_sched_waits.run,
+    "fig20": fig20_synergy_locality.run,
+    "headline": headline.run,
+    "online": online_updates.run,
+    "hetero": hetero.run,
+}
+
+
+def run_experiment(name: str, scale: str = "ci", seed: int = 0) -> ExperimentResult:
+    """Run an experiment by id (see module docstring for the catalog)."""
+    try:
+        fn = EXPERIMENTS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+    return fn(scale=scale, seed=seed)

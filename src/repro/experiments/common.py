@@ -1,0 +1,263 @@
+"""Shared experiment infrastructure.
+
+Every figure/table module builds on three pieces defined here:
+
+* :class:`Scale` — experiment sizing. ``paper`` matches the paper's
+  configurations (3200-job Synergy traces measured over job ids
+  2000-3000, full sweeps); ``ci`` is a documented scale-down that keeps
+  every mechanism and comparison intact while running in minutes;
+  ``smoke`` is for tests.
+* :func:`build_environment` — assembles a simulated cluster: topology,
+  ground-truth variability profile (sampled without replacement from a
+  synthesized cluster profile, exactly the paper's Sec. IV-C method), a
+  profiling campaign producing the believed PM-Score table, and the
+  locality model (constant or per-model penalties per Sec. IV-D).
+* :func:`run_policy_matrix` — runs a set of placement policies over a
+  set of traces under one scheduler and returns keyed results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..cluster.topology import ClusterTopology, LocalityModel
+from ..core.pm_score import PMScoreTable
+from ..scheduler.metrics import SimulationResult
+from ..scheduler.placement import make_placement
+from ..scheduler.policies import make_scheduler
+from ..scheduler.simulator import ClusterSimulator, SimulatorConfig
+from ..traces.trace import Trace
+from ..utils.errors import ConfigurationError
+from ..utils.rng import stream
+from ..variability.profiler import ProfileErrorInjection, run_profiling_campaign
+from ..variability.profiles import VariabilityProfile
+from ..variability.synthetic import synthesize_profile
+from ..workloads.models import MODEL_REGISTRY
+
+__all__ = [
+    "Scale",
+    "SCALES",
+    "get_scale",
+    "SimEnvironment",
+    "build_environment",
+    "per_model_locality",
+    "run_policy_matrix",
+    "ExperimentResult",
+]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Experiment sizing knobs (see module docstring)."""
+
+    name: str
+    sia_workloads: tuple[int, ...]
+    sia_n_jobs: int
+    sia_locality_workloads: tuple[int, ...]
+    synergy_n_jobs: int
+    synergy_measure: tuple[int, int]
+    synergy_loads: tuple[float, ...]
+    sched_loads: tuple[float, ...]
+    locality_sweep_sia: tuple[float, ...]
+    locality_sweep_synergy: tuple[float, ...]
+    overhead_cluster_sizes: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        lo, hi = self.synergy_measure
+        if not 0 <= lo < hi:
+            raise ConfigurationError("synergy_measure must satisfy 0 <= lo < hi")
+        if hi >= self.synergy_n_jobs:
+            raise ConfigurationError("synergy_measure window exceeds trace length")
+
+
+SCALES: dict[str, Scale] = {
+    # Fast enough for unit/integration tests.
+    "smoke": Scale(
+        name="smoke",
+        sia_workloads=(1, 2),
+        sia_n_jobs=48,
+        sia_locality_workloads=(1,),
+        synergy_n_jobs=160,
+        synergy_measure=(40, 120),
+        synergy_loads=(8.0, 12.0),
+        sched_loads=(8.0, 12.0),
+        locality_sweep_sia=(1.0, 2.0),
+        locality_sweep_synergy=(1.0, 1.7),
+        overhead_cluster_sizes=(64,),
+    ),
+    # Default for benchmarks: full mechanisms, minutes of wall clock.
+    "ci": Scale(
+        name="ci",
+        sia_workloads=(1, 2, 3, 4, 5, 6, 7, 8),
+        sia_n_jobs=160,
+        sia_locality_workloads=(1, 2, 3),
+        synergy_n_jobs=800,
+        synergy_measure=(300, 700),
+        synergy_loads=(4.0, 8.0, 12.0, 16.0, 20.0),
+        sched_loads=(8.0, 10.0, 12.0, 14.0),
+        locality_sweep_sia=(1.0, 1.5, 2.0, 2.5, 3.0),
+        locality_sweep_synergy=(1.0, 1.2, 1.4, 1.7),
+        overhead_cluster_sizes=(64, 128, 256),
+    ),
+    # The paper's configurations.
+    "paper": Scale(
+        name="paper",
+        sia_workloads=(1, 2, 3, 4, 5, 6, 7, 8),
+        sia_n_jobs=160,
+        sia_locality_workloads=(1, 2, 3, 4, 5, 6, 7, 8),
+        synergy_n_jobs=3200,
+        synergy_measure=(2000, 3000),
+        synergy_loads=(4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0, 18.0, 20.0),
+        sched_loads=(8.0, 10.0, 12.0, 14.0),
+        locality_sweep_sia=(1.0, 1.5, 2.0, 2.5, 3.0),
+        locality_sweep_synergy=(1.0, 1.1, 1.2, 1.3, 1.4, 1.5, 1.6, 1.7),
+        overhead_cluster_sizes=(64, 128, 256),
+    ),
+}
+
+
+def get_scale(scale: str | Scale) -> Scale:
+    if isinstance(scale, Scale):
+        return scale
+    try:
+        return SCALES[scale]
+    except KeyError:
+        raise ConfigurationError(f"unknown scale {scale!r}; known: {sorted(SCALES)}") from None
+
+
+def per_model_locality(default: float = 1.7) -> LocalityModel:
+    """Per-model inter-node penalties (paper Sec. IV-D, Secs. V-A/V-B)."""
+    return LocalityModel.from_models(
+        default=default,
+        models={name: spec.locality_penalty for name, spec in MODEL_REGISTRY.items()},
+    )
+
+
+@dataclass
+class SimEnvironment:
+    """A ready-to-simulate cluster: topology + truth + beliefs + locality."""
+
+    topology: ClusterTopology
+    true_profile: VariabilityProfile
+    pm_table: PMScoreTable
+    locality: LocalityModel
+    believed_profile: VariabilityProfile
+
+    @property
+    def n_gpus(self) -> int:
+        return self.topology.n_gpus
+
+
+def build_environment(
+    *,
+    n_gpus: int,
+    profile_cluster: str = "longhorn",
+    locality: LocalityModel | float | None = None,
+    use_per_model_locality: bool = False,
+    injections: Sequence[ProfileErrorInjection] = (),
+    measurement_noise: float = 0.0,
+    true_profile_override: VariabilityProfile | None = None,
+    seed: int = 0,
+) -> SimEnvironment:
+    """Assemble a simulation environment.
+
+    The ground truth is sampled without replacement from the named
+    synthetic cluster profile (paper Sec. IV-C); the believed PM-Score
+    table comes from a profiling campaign over that truth, optionally
+    with measurement noise or targeted error injections (Sec. V-A's
+    node-0 mis-profiling).
+    """
+    topology = ClusterTopology.from_gpu_count(n_gpus)
+    if true_profile_override is not None:
+        truth = true_profile_override
+        if truth.n_gpus != n_gpus:
+            raise ConfigurationError("true_profile_override size mismatch")
+    else:
+        base = synthesize_profile(profile_cluster, seed=seed)
+        truth = base.sample(n_gpus, rng=stream(seed, f"env/sample/{profile_cluster}/{n_gpus}"))
+    campaign = run_profiling_campaign(
+        truth,
+        measurement_noise=measurement_noise,
+        injections=injections,
+        seed=seed,
+    )
+    pm_table = PMScoreTable.fit(campaign.believed, seed=seed)
+    if isinstance(locality, LocalityModel):
+        loc = locality
+    elif isinstance(locality, (int, float)):
+        loc = LocalityModel(across_node=float(locality))
+    elif use_per_model_locality:
+        loc = per_model_locality()
+    else:
+        loc = LocalityModel(across_node=1.7)
+    return SimEnvironment(
+        topology=topology,
+        true_profile=truth,
+        pm_table=pm_table,
+        locality=loc,
+        believed_profile=campaign.believed,
+    )
+
+
+def run_policy_matrix(
+    traces: Sequence[Trace],
+    policy_names: Sequence[str],
+    scheduler_name: str,
+    env: SimEnvironment,
+    *,
+    config: SimulatorConfig | None = None,
+    seed: int = 0,
+    execute_on_believed: bool = False,
+) -> dict[tuple[str, str], SimulationResult]:
+    """Run every (trace, policy) pair; returns results keyed by names.
+
+    ``execute_on_believed`` switches the execution ground truth to the
+    believed profile — the "simulation" arm of the paper's testbed-vs-
+    simulation comparison (Sec. V-A), where the simulator's own world
+    model *is* the profiled data.
+    """
+    results: dict[tuple[str, str], SimulationResult] = {}
+    truth = env.believed_profile if execute_on_believed else env.true_profile
+    for trace in traces:
+        for pname in policy_names:
+            sim = ClusterSimulator(
+                topology=env.topology,
+                true_profile=truth,
+                scheduler=make_scheduler(scheduler_name),
+                placement=make_placement(pname),
+                pm_table=env.pm_table,
+                locality=env.locality,
+                config=config,
+                seed=seed,
+            )
+            res = sim.run(trace)
+            results[(trace.name, res.placement_name)] = res
+    return results
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform result container every experiment module returns."""
+
+    experiment: str
+    description: str
+    headers: list[str]
+    rows: list[list[object]]
+    notes: list[str] = field(default_factory=list)
+    extra_text: str = ""
+    data: Mapping[str, object] = field(default_factory=dict)
+
+    def render(self, *, precision: int = 3) -> str:
+        from ..analysis.reporting import format_table
+
+        parts = [
+            f"== {self.experiment}: {self.description} ==",
+            format_table(self.headers, self.rows, precision=precision),
+        ]
+        if self.notes:
+            parts.append("notes:")
+            parts.extend(f"  - {n}" for n in self.notes)
+        if self.extra_text:
+            parts.append(self.extra_text)
+        return "\n".join(parts)

@@ -1,0 +1,47 @@
+"""Fig. 3 — application classification in the DRAMUtil x PeakFUUtil plane.
+
+Profiles the paper's nine-application suite with the simulated nsight
+profiler, fits the K=3 classifier, and reports each application's
+coordinates and assigned class, cross-checked against the class the paper
+assigns (Table II / Fig. 3).
+"""
+
+from __future__ import annotations
+
+from ..core.classifier import ApplicationClassifier
+from ..workloads.models import MODEL_REGISTRY
+from ..workloads.nsight import measure_suite
+from .common import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(scale: str = "ci", seed: int = 0, *, n_classes: int = 3) -> ExperimentResult:
+    """Classify the registered application suite (scale has no effect)."""
+    measurements = measure_suite()
+    clf = ApplicationClassifier(n_classes=n_classes, seed=seed).fit(measurements)
+
+    rows: list[list[object]] = []
+    n_match = 0
+    for app in sorted(clf.fitted_apps, key=lambda a: (a.class_id, -a.peak_fu_util)):
+        expected = MODEL_REGISTRY[app.model].paper_class
+        match = app.class_name == expected
+        n_match += match
+        rows.append(
+            [app.model, app.peak_fu_util, app.dram_util, app.class_name, expected, match]
+        )
+    centroid_notes = [
+        f"class {name} centroid: PeakFU={c[0]:.2f}, DRAM={c[1]:.2f}"
+        for name, c in zip(clf.class_names, clf.centroids)
+    ]
+    return ExperimentResult(
+        experiment="fig03",
+        description="application classification (K-Means over PeakFUUtil x DRAMUtil)",
+        headers=["model", "peak_fu_util", "dram_util", "class", "paper_class", "match"],
+        rows=rows,
+        notes=[
+            f"{n_match}/{len(rows)} applications match the paper's class assignment",
+            *centroid_notes,
+        ],
+        data={"classifier": clf, "measurements": measurements},
+    )

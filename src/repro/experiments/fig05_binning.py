@@ -1,0 +1,58 @@
+"""Fig. 5 — PM-Score binning of a 128-GPU class-A variability profile.
+
+Reproduces the paper's worked example: K-Means bins over the class-A
+(ResNet-50-like) scores of a 128-GPU cluster sampled from the Longhorn
+profile, with the silhouette sweep that selected K and the >3-sigma
+outliers handled separately.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.pm_score import fit_class_binning
+from ..utils.rng import stream
+from ..variability.synthetic import synthesize_profile
+from .common import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(scale: str = "ci", seed: int = 0, *, n_gpus: int = 128, class_name: str = "A") -> ExperimentResult:
+    """Bin one class's scores for an ``n_gpus`` cluster (scale unused)."""
+    base = synthesize_profile("longhorn", seed=seed)
+    profile = base.sample(n_gpus, rng=stream(seed, f"fig05/sample/{n_gpus}"))
+    scores = profile.class_scores(class_name)
+    binning = fit_class_binning(scores, seed=seed)
+
+    rows: list[list[object]] = []
+    pops = binning.bin_populations()
+    for b in range(binning.n_bins):
+        members = scores[binning.gpu_bin == b]
+        is_outlier_bin = bool(np.all(binning.outlier_mask[binning.gpu_bin == b])) and members.size
+        rows.append(
+            [
+                b + 1,
+                binning.centroids[b],
+                int(pops[b]),
+                float(members.min()) if members.size else float("nan"),
+                float(members.max()) if members.size else float("nan"),
+                "outlier" if is_outlier_bin else "inlier",
+            ]
+        )
+    silhouette = ", ".join(
+        f"K={k}: {s:.3f}" for k, s in sorted(binning.silhouette_by_k.items())
+    )
+    return ExperimentResult(
+        experiment="fig05",
+        description=f"PM-Score bins for class {class_name} on a {n_gpus}-GPU cluster",
+        headers=["bin", "centroid", "n_gpus", "min_score", "max_score", "kind"],
+        rows=rows,
+        notes=[
+            f"selected K (inliers) = {binning.k_inlier}, K (outliers) = {binning.k_outlier}",
+            f"silhouette sweep: {silhouette}" if silhouette else "silhouette sweep: n/a",
+            f">{3}-sigma outliers: {int(binning.outlier_mask.sum())} GPUs "
+            "(keep their raw normalized score as their own PM-Score)",
+        ],
+        data={"binning": binning, "profile": profile},
+    )

@@ -1,0 +1,86 @@
+"""Fig. 11 — average JCT on the Sia-Philly workloads, normalized to
+Tiresias, under FIFO scheduling on a 64-GPU cluster.
+
+Runs all six placement policies over the eight Sia-Philly traces with
+Longhorn variability profiles and per-model locality penalties
+(Secs. IV-B1, IV-C, IV-D), and reports per-workload normalized average
+JCT plus the geomean row. The raw results are attached for downstream
+experiments (Fig. 12 reuses them, the headline aggregates them).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..scheduler.placement import ALL_POLICY_NAMES
+from ..traces.philly import SiaPhillyConfig, generate_sia_philly_trace
+from ..utils.stats import geomean
+from .common import ExperimentResult, build_environment, get_scale, run_policy_matrix
+
+__all__ = ["run", "POLICY_LABELS"]
+
+#: Display order of Fig. 11's bars.
+POLICY_LABELS: tuple[str, ...] = (
+    "Random-Non-Sticky",
+    "Random-Sticky",
+    "Gandiva",
+    "Tiresias",
+    "PM-First",
+    "PAL",
+)
+
+
+@lru_cache(maxsize=4)
+def run(scale: str = "ci", seed: int = 0) -> ExperimentResult:
+    """Run (or return the cached) Fig. 11 policy matrix.
+
+    Cached because Fig. 12 and the headline experiment aggregate the same
+    simulation results; callers must treat the returned object as
+    immutable.
+    """
+    sc = get_scale(scale)
+    env = build_environment(
+        n_gpus=64,
+        profile_cluster="longhorn",
+        use_per_model_locality=True,
+        seed=seed,
+    )
+    cfg = SiaPhillyConfig(n_jobs=sc.sia_n_jobs)
+    traces = [
+        generate_sia_philly_trace(w, config=cfg, seed=seed) for w in sc.sia_workloads
+    ]
+    results = run_policy_matrix(traces, ALL_POLICY_NAMES, "fifo", env, seed=seed)
+
+    rows: list[list[object]] = []
+    norm_by_policy: dict[str, list[float]] = {p: [] for p in POLICY_LABELS}
+    for w, trace in zip(sc.sia_workloads, traces):
+        base = results[(trace.name, "Tiresias")].avg_jct_s()
+        row: list[object] = [w]
+        for label in POLICY_LABELS:
+            ratio = results[(trace.name, label)].avg_jct_s() / base
+            norm_by_policy[label].append(ratio)
+            row.append(ratio)
+        rows.append(row)
+    geo_row: list[object] = ["geomean"]
+    for label in POLICY_LABELS:
+        geo_row.append(geomean(norm_by_policy[label]))
+    rows.append(geo_row)
+
+    pal_gain = 1.0 - geomean(norm_by_policy["PAL"])
+    pmfirst_gain = 1.0 - geomean(norm_by_policy["PM-First"])
+    return ExperimentResult(
+        experiment="fig11",
+        description=(
+            "Sia-Philly avg JCT normalized to Tiresias "
+            f"(64 GPUs, FIFO, {len(traces)} workloads)"
+        ),
+        headers=["workload", *POLICY_LABELS],
+        rows=rows,
+        notes=[
+            f"PAL improves geomean avg JCT by {pal_gain:.0%} over Tiresias "
+            "(paper: 43% geomean, min 21%, max 59%)",
+            f"PM-First improves geomean avg JCT by {pmfirst_gain:.0%} over Tiresias "
+            "(paper: 40% geomean, min 5%, max 59%)",
+        ],
+        data={"results": results, "traces": traces, "workload_ids": sc.sia_workloads},
+    )

@@ -1,0 +1,87 @@
+"""Fig. 13 — Sia-Philly average JCT as the inter-node locality penalty
+sweeps from 1.0 to 3.0.
+
+As ``L_across`` grows, packing-first baselines (Tiresias/Gandiva) close
+the gap on PM-First (which ignores locality), while PAL — co-optimizing
+both — should keep a margin over everyone at every penalty.
+"""
+
+from __future__ import annotations
+
+from ..cluster.topology import LocalityModel
+from ..scheduler.placement import ALL_POLICY_NAMES
+from ..traces.philly import SiaPhillyConfig, generate_sia_philly_trace
+from ..utils.stats import geomean
+from .common import ExperimentResult, build_environment, get_scale, run_policy_matrix
+
+__all__ = ["run"]
+
+
+def run(scale: str = "ci", seed: int = 0) -> ExperimentResult:
+    sc = get_scale(scale)
+    cfg = SiaPhillyConfig(n_jobs=sc.sia_n_jobs)
+    traces = [
+        generate_sia_philly_trace(w, config=cfg, seed=seed)
+        for w in sc.sia_locality_workloads
+    ]
+    rows: list[list[object]] = []
+    series: dict[str, list[float]] = {}
+    pal_vs_tiresias: list[tuple[float, float]] = []
+    for penalty in sc.locality_sweep_sia:
+        env = build_environment(
+            n_gpus=64,
+            profile_cluster="longhorn",
+            locality=LocalityModel(across_node=penalty),
+            seed=seed,
+        )
+        results = run_policy_matrix(traces, ALL_POLICY_NAMES, "fifo", env, seed=seed)
+        row: list[object] = [f"C{penalty:.1f}"]
+        for pname in (
+            "Random-Sticky",
+            "Gandiva",
+            "Random-Non-Sticky",
+            "Tiresias",
+            "PM-First",
+            "PAL",
+        ):
+            avg_h = float(
+                sum(results[(t.name, pname)].avg_jct_s() for t in traces)
+                / len(traces)
+                / 3600.0
+            )
+            row.append(avg_h)
+            series.setdefault(pname, []).append(avg_h)
+        rows.append(row)
+        gain = geomean(
+            [
+                results[(t.name, "PAL")].avg_jct_s()
+                / results[(t.name, "Tiresias")].avg_jct_s()
+                for t in traces
+            ]
+        )
+        pal_vs_tiresias.append((penalty, 1.0 - gain))
+    notes = [
+        "paper: PM-First's edge over Tiresias shrinks from 30% to 9% as the "
+        "penalty rises 1.0 -> 3.0; PAL's only from 30% to 20%",
+        "PAL vs Tiresias geomean improvement by penalty: "
+        + ", ".join(f"C{p:.1f}: {g:.0%}" for p, g in pal_vs_tiresias),
+    ]
+    return ExperimentResult(
+        experiment="fig13",
+        description=(
+            "Sia avg JCT (hours) vs inter-node locality penalty "
+            f"({len(traces)} workloads, FIFO, 64 GPUs)"
+        ),
+        headers=[
+            "penalty",
+            "Random-Sticky",
+            "Gandiva",
+            "Random-Non-Sticky",
+            "Tiresias",
+            "PM-First",
+            "PAL",
+        ],
+        rows=rows,
+        notes=notes,
+        data={"series": series, "pal_vs_tiresias": pal_vs_tiresias},
+    )

@@ -1,0 +1,62 @@
+"""Figs. 16 & 17 — Synergy average JCT vs load under LAS and SRTF.
+
+The same sweep as Fig. 14 but under the two preemptive schedulers; the
+paper reports up to 15 % (LAS) and 10 % (SRTF) improvement of PAL over
+Tiresias — larger than FIFO's because these schedulers generate larger
+wait-time components for PAL's run-ahead effect to shrink.
+"""
+
+from __future__ import annotations
+
+from ..cluster.topology import LocalityModel
+from ..scheduler.placement import ALL_POLICY_NAMES
+from ..traces.synergy import generate_synergy_trace
+from .common import ExperimentResult, build_environment, get_scale, run_policy_matrix
+from .fig14_synergy_load import POLICY_ORDER
+
+__all__ = ["run"]
+
+
+def run(scale: str = "ci", seed: int = 0, *, scheduler: str = "las") -> ExperimentResult:
+    if scheduler.lower() not in ("las", "srtf"):
+        raise ValueError("scheduler must be 'las' (Fig. 16) or 'srtf' (Fig. 17)")
+    sc = get_scale(scale)
+    env = build_environment(
+        n_gpus=256,
+        profile_cluster="longhorn",
+        locality=LocalityModel(across_node=1.7),
+        seed=seed,
+    )
+    lo, hi = sc.synergy_measure
+    rows: list[list[object]] = []
+    gains: list[tuple[float, float]] = []
+    for load in sc.sched_loads:
+        trace = generate_synergy_trace(load, n_jobs=sc.synergy_n_jobs, seed=seed)
+        results = run_policy_matrix(
+            [trace], ALL_POLICY_NAMES, scheduler, env, seed=seed
+        )
+        row: list[object] = [load]
+        for pname in POLICY_ORDER:
+            row.append(results[(trace.name, pname)].avg_jct_h(min_job_id=lo, max_job_id=hi))
+        rows.append(row)
+        t = results[(trace.name, "Tiresias")].avg_jct_s(min_job_id=lo, max_job_id=hi)
+        p = results[(trace.name, "PAL")].avg_jct_s(min_job_id=lo, max_job_id=hi)
+        gains.append((load, 1.0 - p / t))
+    figure = "fig16" if scheduler.lower() == "las" else "fig17"
+    target = "15%" if scheduler.lower() == "las" else "10%"
+    return ExperimentResult(
+        experiment=figure,
+        description=(
+            f"Synergy avg JCT (hours, jobs {lo}-{hi}) vs load "
+            f"({scheduler.upper()}, 256 GPUs, L_across=1.7)"
+        ),
+        headers=["jobs/hour", *POLICY_ORDER],
+        rows=rows,
+        notes=[
+            f"paper: PAL improves avg JCT by up to {target} over Tiresias under "
+            f"{scheduler.upper()}",
+            "PAL vs Tiresias improvement by load: "
+            + ", ".join(f"{l:g}/h: {g:.0%}" for l, g in gains),
+        ],
+        data={"gains": gains},
+    )

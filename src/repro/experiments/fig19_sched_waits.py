@@ -1,0 +1,86 @@
+"""Fig. 19 — per-job wait times under LAS / SRTF / FIFO, Tiresias vs PAL.
+
+The paper explains its scheduler-dependent gains through wait-time
+patterns: LAS's newest-first priority drives late-trace waits to zero but
+creates big early spikes; SRTF has fewer spikes; FIFO's waits grow
+monotonically and stay lower overall. PAL shrinks the spikes in all
+three via its run-ahead effect.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.reporting import ascii_series
+from ..cluster.topology import LocalityModel
+from ..traces.synergy import generate_synergy_trace
+from .common import ExperimentResult, build_environment, get_scale, run_policy_matrix
+
+__all__ = ["run"]
+
+
+def run(
+    scale: str = "ci",
+    seed: int = 0,
+    *,
+    load: float = 8.0,
+) -> ExperimentResult:
+    sc = get_scale(scale)
+    env = build_environment(
+        n_gpus=256,
+        profile_cluster="longhorn",
+        locality=LocalityModel(across_node=1.7),
+        seed=seed,
+    )
+    trace = generate_synergy_trace(load, n_jobs=sc.synergy_n_jobs, seed=seed)
+    rows: list[list[object]] = []
+    sketches: list[str] = []
+    wait_data = {}
+    for sched, panel in (("las", "a"), ("srtf", "b"), ("fifo", "c")):
+        results = run_policy_matrix([trace], ("tiresias", "pal"), sched, env, seed=seed)
+        waits = {}
+        for pol in ("Tiresias", "PAL"):
+            recs = sorted(results[(trace.name, pol)].records, key=lambda r: r.job_id)
+            waits[pol] = np.array([r.wait_s / 3600.0 for r in recs])
+        wait_data[sched] = waits
+        for pol in ("Tiresias", "PAL"):
+            w = waits[pol]
+            rows.append(
+                [
+                    f"({panel}) {sched.upper()}",
+                    pol,
+                    float(w.mean()),
+                    float(np.percentile(w, 95)),
+                    float(w.max()),
+                    float(np.mean(w < 0.1)),
+                ]
+            )
+        sketches.append(
+            ascii_series(
+                np.arange(waits["Tiresias"].size),
+                waits["Tiresias"] - waits["PAL"],
+                label=f"{sched.upper()}: Tiresias wait - PAL wait (hours) vs job id",
+            )
+        )
+    return ExperimentResult(
+        experiment="fig19",
+        description=(
+            f"wait times, Tiresias vs PAL, under LAS/SRTF/FIFO "
+            f"(Synergy {load:g} jobs/hour, 256 GPUs)"
+        ),
+        headers=[
+            "scheduler",
+            "policy",
+            "mean_wait_h",
+            "p95_wait_h",
+            "max_wait_h",
+            "frac_wait<6min",
+        ],
+        rows=rows,
+        notes=[
+            "paper: LAS shows the largest wait magnitudes (decreasing late in the "
+            "trace), SRTF fewer spikes, FIFO the lowest — PAL cuts waits in all three",
+        ],
+        extra_text="\n".join(sketches),
+        data={"waits": wait_data},
+    )

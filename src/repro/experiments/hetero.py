@@ -1,0 +1,87 @@
+"""Extension experiment — heterogeneous clusters: PAL vs Gavel-style
+architecture-aware scheduling.
+
+The paper's Related Work (Sec. VI) argues that Gavel "only consider[s]
+heterogeneity across different accelerator architectures" and still
+"assume[s] that all GPUs of a given architecture deliver equal
+performance". This experiment makes that claim quantitative on a mixed
+V100 / RTX 5000 cluster where both effects coexist:
+
+* **Tiresias** — blind to both architecture and variability;
+* **Gavel** — ranks architectures by per-class mean throughput, packs
+  inside the best architecture, blind to intra-arch variability;
+* **PM-First / PAL** — see per-GPU scores, which subsume the
+  architecture offsets (an RTX 5000 is just a GPU with a ~1.45x class-A
+  score).
+
+Expected ordering: Tiresias < Gavel < PM-First <= PAL — architecture
+awareness helps, and per-GPU variability awareness helps *again* on top.
+"""
+
+from __future__ import annotations
+
+from ..cluster.heterogeneity import make_heterogeneous_cluster
+from ..core.pm_score import PMScoreTable
+from ..scheduler.placement import make_placement
+from ..scheduler.policies import make_scheduler
+from ..scheduler.simulator import ClusterSimulator
+from ..cluster.topology import ClusterTopology
+from ..traces.philly import SiaPhillyConfig, generate_sia_philly_trace
+from .common import ExperimentResult, get_scale, per_model_locality
+
+__all__ = ["run"]
+
+_POLICIES = ("tiresias", "gavel", "pm-first", "pal")
+
+
+def run(scale: str = "ci", seed: int = 0) -> ExperimentResult:
+    sc = get_scale(scale)
+    hetero = make_heterogeneous_cluster(
+        ["V100"] * 8 + ["RTX5000"] * 8, gpus_per_node=4, seed=seed
+    )
+    topology = ClusterTopology.from_gpu_count(hetero.profile.n_gpus)
+    pm_table = PMScoreTable.fit(hetero.profile, seed=seed)
+    locality = per_model_locality()
+    trace = generate_sia_philly_trace(
+        1, config=SiaPhillyConfig(n_jobs=sc.sia_n_jobs), seed=seed
+    )
+
+    rows: list[list[object]] = []
+    results = {}
+    for pname in _POLICIES:
+        sim = ClusterSimulator(
+            topology=topology,
+            true_profile=hetero.profile,
+            scheduler=make_scheduler("fifo"),
+            placement=make_placement(pname),
+            pm_table=pm_table,
+            locality=locality,
+            arch_of_gpu=hetero.arch_of_gpu,
+            seed=seed,
+        )
+        res = sim.run(trace)
+        results[res.placement_name] = res
+        rows.append(
+            [res.placement_name, res.avg_jct_h(), res.makespan_s / 3600.0]
+        )
+    t = results["Tiresias"].avg_jct_s()
+    g = results["Gavel"].avg_jct_s()
+    p = results["PAL"].avg_jct_s()
+    return ExperimentResult(
+        experiment="hetero",
+        description=(
+            "mixed V100/RTX5000 cluster (8+8 nodes): architecture awareness "
+            "vs per-GPU variability awareness (Sia w1, FIFO)"
+        ),
+        headers=["policy", "avg JCT (h)", "makespan (h)"],
+        rows=rows,
+        notes=[
+            f"Gavel (arch-aware) improves {1 - g / t:.0%} over Tiresias; "
+            f"PAL improves {1 - p / g:.0%} further over Gavel",
+            "quantifies the paper's Sec. VI claim: iso-architecture GPU "
+            "variability matters even after architecture heterogeneity is handled",
+            "Gavel's avg-JCT edge is contention-dependent (under saturation "
+            "every architecture runs regardless); its makespan edge persists",
+        ],
+        data={"results": results},
+    )

@@ -1,0 +1,117 @@
+"""Extension experiment — dynamic online PM-Score updates.
+
+The paper's Sec. V-A closes by calling for "periodic re-profiling of the
+cluster, or dynamic online updates to GPU PM-Scores". This experiment
+implements and evaluates the latter on the paper's own failure case: the
+testbed scenario where node 0's class-A scores were profiled 8x too
+fast.
+
+Three PAL configurations run on the same corrupted-beliefs cluster:
+
+* ``static (stale)``  — the paper's setting: beliefs never change;
+* ``online updates``  — beliefs corrected from observed iteration times
+  (EWMA, max-likelihood attribution for multi-GPU jobs);
+* ``oracle``          — beliefs equal the truth (upper bound).
+
+The claim under test: online updates recover most of the JCT gap between
+stale beliefs and the oracle.
+"""
+
+from __future__ import annotations
+
+from ..core.pm_score import PMScoreTable
+from ..scheduler.online import OnlineUpdateConfig
+from ..scheduler.placement import make_placement
+from ..scheduler.policies import make_scheduler
+from ..scheduler.simulator import ClusterSimulator, SimulatorConfig
+from ..traces.philly import SiaPhillyConfig, generate_sia_philly_trace
+from ..variability.profiler import ProfileErrorInjection
+from ..variability.profiles import VariabilityProfile
+from ..variability.synthetic import synthesize_profile
+from .common import ExperimentResult, build_environment, get_scale
+
+__all__ = ["run"]
+
+_NODE0_GPUS = (0, 1, 2, 3)
+_NODE0_TRUE_SLOWDOWN = 2.0
+_NODE0_PROFILE_ERROR = 1.0 / 8.0
+
+
+def run(scale: str = "ci", seed: int = 0) -> ExperimentResult:
+    sc = get_scale(scale)
+
+    base = synthesize_profile("frontera64", seed=seed)
+    scores = base.scores.copy()
+    scores[base.class_index("A"), list(_NODE0_GPUS)] *= _NODE0_TRUE_SLOWDOWN
+    truth = VariabilityProfile(
+        cluster_name=base.cluster_name,
+        class_names=base.class_names,
+        scores=scores,
+        cabinets=base.cabinets.copy(),
+        gpu_uuids=base.gpu_uuids,
+    )
+    env = build_environment(
+        n_gpus=64,
+        use_per_model_locality=True,
+        injections=[
+            ProfileErrorInjection("A", _NODE0_GPUS, _NODE0_PROFILE_ERROR)
+        ],
+        true_profile_override=truth,
+        seed=seed,
+    )
+    trace = generate_sia_philly_trace(
+        1, config=SiaPhillyConfig(n_jobs=sc.sia_n_jobs), seed=seed
+    )
+
+    def run_pal(pm_table, config=None):
+        sim = ClusterSimulator(
+            topology=env.topology,
+            true_profile=env.true_profile,
+            scheduler=make_scheduler("las"),
+            placement=make_placement("pal"),
+            pm_table=pm_table,
+            locality=env.locality,
+            config=config,
+            seed=seed,
+        )
+        return sim.run(trace)
+
+    stale = run_pal(env.pm_table)
+    online = run_pal(
+        env.pm_table,
+        SimulatorConfig(
+            online_pm_updates=True,
+            online_update_config=OnlineUpdateConfig(),
+        ),
+    )
+    oracle = run_pal(PMScoreTable.fit(env.true_profile, seed=seed))
+
+    rows = [
+        ["static (stale profile)", stale.avg_jct_h(), stale.makespan_s / 3600.0],
+        ["online PM-Score updates", online.avg_jct_h(), online.makespan_s / 3600.0],
+        ["oracle (true scores)", oracle.avg_jct_h(), oracle.makespan_s / 3600.0],
+    ]
+    gap = stale.avg_jct_s() - oracle.avg_jct_s()
+    recovered = (
+        (stale.avg_jct_s() - online.avg_jct_s()) / gap if gap > 1e-9 else 1.0
+    )
+    return ExperimentResult(
+        experiment="online",
+        description=(
+            "PAL with dynamic online PM-Score updates on the mis-profiled "
+            "testbed (64 GPUs, LAS, node-0 class-A error 1/8)"
+        ),
+        headers=["beliefs", "avg JCT (h)", "makespan (h)"],
+        rows=rows,
+        notes=[
+            f"online updates recover {recovered:.0%} of the stale-vs-oracle "
+            "avg-JCT gap",
+            "implements the paper's Sec. V-A future-work proposal",
+        ],
+        data={
+            "stale": stale,
+            "online": online,
+            "oracle": oracle,
+            "recovered_fraction": recovered,
+        },
+    )

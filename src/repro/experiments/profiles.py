@@ -1,0 +1,62 @@
+"""Figs. 6-8 — cluster variability profiles (Frontera, Longhorn, testbed).
+
+Synthesizes the three cluster profiles and reports, per cluster and per
+class-representative application (ResNet50 / BERT / PageRank, Table III),
+the per-cabinet normalized-performance spread the paper's figures plot,
+plus the aggregate statistics the paper quotes in prose (geomean
+variability, max slowdown).
+"""
+
+from __future__ import annotations
+
+from ..variability.profiler import DEFAULT_CLASS_REPRESENTATIVES
+from ..variability.synthetic import CLUSTER_SPECS, synthesize_profile
+from .common import ExperimentResult
+
+__all__ = ["run"]
+
+_FIGURE_OF_CLUSTER = {"frontera": "fig06", "longhorn": "fig07", "frontera64": "fig08"}
+
+
+def run(scale: str = "ci", seed: int = 0) -> ExperimentResult:
+    """Generate and summarize all three cluster profiles (scale unused)."""
+    rows: list[list[object]] = []
+    notes: list[str] = []
+    profiles = {}
+    for cluster in ("frontera", "longhorn", "frontera64"):
+        profile = synthesize_profile(cluster, seed=seed)
+        profiles[cluster] = profile
+        fig = _FIGURE_OF_CLUSTER[cluster]
+        for class_name in profile.class_names:
+            app = DEFAULT_CLASS_REPRESENTATIVES[class_name]
+            agg = profile.summary(class_name)
+            for cab, stats in profile.cabinet_summary(class_name).items():
+                rows.append(
+                    [
+                        fig,
+                        cluster,
+                        app,
+                        f"c{cab:03d}",
+                        stats["median"],
+                        stats["max"],
+                        stats["max_over_median"],
+                    ]
+                )
+            notes.append(
+                f"{fig} {cluster}/{app}: geomean-over-min "
+                f"{(agg['geomean_over_min'] - 1) * 100:.1f}%, max {agg['max_over_median']:.2f}x "
+                f"median (paper: class A ~22% / up to 3.5x on Longhorn; testbed ~6%)"
+            )
+        spec = CLUSTER_SPECS[cluster]
+        notes.append(
+            f"{cluster}: {spec.n_gpus} x {spec.gpu_model}, "
+            f"{spec.gpus_per_node} GPUs/node"
+        )
+    return ExperimentResult(
+        experiment="fig06-08",
+        description="synthetic cluster variability profiles (per cabinet)",
+        headers=["figure", "cluster", "app", "cabinet", "median", "max", "max/median"],
+        rows=rows,
+        notes=notes,
+        data={"profiles": profiles},
+    )

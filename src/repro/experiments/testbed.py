@@ -1,0 +1,133 @@
+"""Sec. V-A — the 64-GPU testbed evaluation: Table IV, Fig. 9, Fig. 10.
+
+The paper runs PAL and Tiresias on a physical 64-GPU Frontera slice and
+compares against its simulator's prediction. It then traces the 11-14 %
+cluster-vs-simulation JCT gap to a profiling error: node 0's class-A
+PM-Scores were profiled ~8x *lower* (faster) than the penalties jobs
+actually experienced.
+
+We reproduce the whole comparison mechanism in simulation:
+
+* **"cluster" arm** — ground truth has node 0's class-A GPUs genuinely
+  slow, but the profiling campaign's measurement of them is injected with
+  a 1/8 error, so the believed PM-Score table thinks node 0 is fast.
+  Placement decides on beliefs; execution charges the truth.
+* **"simulation" arm** — the believed profile *is* the world (the
+  simulator's own self-consistent prediction, exactly what the paper's
+  Blox simulation did).
+
+Both arms run Tiresias and PAL under LAS (the paper's testbed scheduler)
+with per-model locality penalties; Table IV's layout, the JCT CDFs of
+Fig. 9, and the boxplots of Fig. 10 are all emitted from the four runs.
+"""
+
+from __future__ import annotations
+
+from ..analysis.reporting import ascii_cdf
+from ..traces.philly import SiaPhillyConfig, generate_sia_philly_trace
+from ..utils.stats import boxplot_stats
+from ..variability.profiler import ProfileErrorInjection
+from ..variability.synthetic import synthesize_profile
+from .common import ExperimentResult, build_environment, get_scale, run_policy_matrix
+
+__all__ = ["run"]
+
+#: GPUs of node 0 in a 4-GPU-per-node testbed — the mis-profiled node.
+_NODE0_GPUS = (0, 1, 2, 3)
+#: How much slower node 0's class-A truth is than the synthetic base.
+#: Together with the 1/8 measurement error below this keeps the paper's
+#: observed ratio (experienced penalty ~8x the profiled score) while the
+#: absolute slowdown stays small enough that the cluster-vs-sim JCT gap
+#: lands near the paper's 11-14% band (a larger true slowdown widens the
+#: gap because variability-aware placement *chases* the mis-profiled
+#: node).
+_NODE0_TRUE_SLOWDOWN = 1.5
+#: The campaign's measurement error on node 0 (under-reports slowness 8x).
+_NODE0_PROFILE_ERROR = 1.0 / 8.0
+
+
+def run(scale: str = "ci", seed: int = 0) -> ExperimentResult:
+    sc = get_scale(scale)
+
+    # Ground truth: the 64-GPU testbed profile with a genuinely slow node 0
+    # for class-A work (the condition the paper discovered post hoc).
+    truth = synthesize_profile("frontera64", seed=seed)
+    scores = truth.scores.copy()
+    a_idx = truth.class_index("A")
+    scores[a_idx, list(_NODE0_GPUS)] *= _NODE0_TRUE_SLOWDOWN
+    truth = type(truth)(
+        cluster_name=truth.cluster_name,
+        class_names=truth.class_names,
+        scores=scores,
+        cabinets=truth.cabinets.copy(),
+        gpu_uuids=truth.gpu_uuids,
+    )
+
+    env = build_environment(
+        n_gpus=64,
+        use_per_model_locality=True,
+        injections=[
+            ProfileErrorInjection(
+                class_name="A",
+                gpu_indices=_NODE0_GPUS,
+                factor=_NODE0_PROFILE_ERROR,
+            )
+        ],
+        true_profile_override=truth,
+        seed=seed,
+    )
+
+    cfg = SiaPhillyConfig(n_jobs=sc.sia_n_jobs)
+    trace = generate_sia_philly_trace(1, config=cfg, seed=seed)
+    policies = ("tiresias", "pal")
+    # "cluster" arm: decide on beliefs, execute on truth.
+    cluster_res = run_policy_matrix([trace], policies, "las", env, seed=seed)
+    # "simulation" arm: the believed profile is the world.
+    sim_res = run_policy_matrix(
+        [trace], policies, "las", env, seed=seed, execute_on_believed=True
+    )
+
+    rows: list[list[object]] = []
+    jct = {}
+    for pname in ("Tiresias", "PAL"):
+        c = cluster_res[(trace.name, pname)]
+        s = sim_res[(trace.name, pname)]
+        jct[(pname, "cluster")] = c
+        jct[(pname, "sim")] = s
+        gap = c.avg_jct_s() / s.avg_jct_s() - 1.0
+        rows.append([pname, c.avg_jct_h(), s.avg_jct_h(), f"{gap:.0%}"])
+    for arm, res_map in (("cluster", cluster_res), ("sim", sim_res)):
+        t = res_map[(trace.name, "Tiresias")].avg_jct_s()
+        p = res_map[(trace.name, "PAL")].avg_jct_s()
+        rows.append([f"% improvement ({arm})", "", "", f"{1.0 - p / t:.0%}"])
+
+    # Fig. 10: boxplot summaries of the four JCT distributions.
+    box_lines = ["Fig. 10 boxplot stats (JCT hours):"]
+    for (pname, arm), res in jct.items():
+        bp = boxplot_stats(res.jcts_s() / 3600.0)
+        box_lines.append(
+            f"  {pname}-{arm:8s} q1={bp.q1:7.2f} med={bp.median:7.2f} "
+            f"q3={bp.q3:7.2f} whiskers=({bp.whisker_low:.2f}, {bp.whisker_high:.2f})"
+        )
+    # Fig. 9: JCT CDFs.
+    cdf_lines = [
+        ascii_cdf(res.jcts_s(), label=f"Fig. 9 {pname}-{arm}")
+        for (pname, arm), res in jct.items()
+    ]
+    return ExperimentResult(
+        experiment="table4",
+        description=(
+            "testbed ('cluster') vs simulation avg JCT, Tiresias vs PAL "
+            "(64-GPU Frontera slice, LAS, node-0 class-A profile error 1/8)"
+        ),
+        headers=["placement policy", "cluster avg JCT (h)", "sim avg JCT (h)", "diff / gain"],
+        rows=rows,
+        notes=[
+            "paper Table IV: Tiresias 1.76h vs 1.56h (11% gap), PAL 1.35h vs 1.16h "
+            "(14% gap); PAL improvement 24% (cluster) / 26% (sim)",
+            "the gap comes from placement trusting profiled scores that understate "
+            "node 0's class-A slowness by 8x (Sec. V-A's root cause)",
+        ],
+        extra_text="\n".join(box_lines + cdf_lines),
+        data={"cluster": cluster_res, "sim": sim_res, "trace": trace},
+    )

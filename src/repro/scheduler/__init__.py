@@ -1,0 +1,65 @@
+"""Blox-like scheduler toolkit: policies, placement, simulator, metrics."""
+
+from .admission import (
+    AcceptAll,
+    AdmissionPolicy,
+    MaxOutstandingDemand,
+    MaxQueueLength,
+    make_admission,
+)
+from .events import Event, EventLog, EventType
+from .jobs import JobState, SimJob
+from .metrics import JobRecord, SimulationResult
+from .online import OnlinePMScoreTable, OnlineUpdateConfig
+from .placement import (
+    ALL_POLICY_NAMES,
+    BASELINE_POLICY_NAMES,
+    PackedPlacement,
+    PALPlacement,
+    PlacementContext,
+    PlacementPolicy,
+    PMFirstPlacement,
+    RandomPlacement,
+    make_placement,
+)
+from .policies import (
+    FIFOScheduler,
+    LASScheduler,
+    SchedulingPolicy,
+    SRTFScheduler,
+    make_scheduler,
+)
+from .simulator import ClusterSimulator, SimulatorConfig
+
+__all__ = [
+    "AcceptAll",
+    "AdmissionPolicy",
+    "MaxOutstandingDemand",
+    "MaxQueueLength",
+    "make_admission",
+    "JobState",
+    "SimJob",
+    "JobRecord",
+    "SimulationResult",
+    "OnlinePMScoreTable",
+    "OnlineUpdateConfig",
+    "Event",
+    "EventLog",
+    "EventType",
+    "ALL_POLICY_NAMES",
+    "BASELINE_POLICY_NAMES",
+    "PackedPlacement",
+    "PALPlacement",
+    "PlacementContext",
+    "PlacementPolicy",
+    "PMFirstPlacement",
+    "RandomPlacement",
+    "make_placement",
+    "FIFOScheduler",
+    "LASScheduler",
+    "SchedulingPolicy",
+    "SRTFScheduler",
+    "make_scheduler",
+    "ClusterSimulator",
+    "SimulatorConfig",
+]

@@ -1,0 +1,97 @@
+"""Admission control policies (paper Fig. 1's first module).
+
+Schedulers "admit jobs that do not adversely impact the performance of
+currently running jobs and do not violate resource constraints"
+(Sec. II-B). The paper's experiments effectively admit everything (the
+queue is the contention mechanism), so :class:`AcceptAll` is the default;
+the bounded policies exist for the toolkit's completeness and for
+failure-injection tests.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..utils.errors import ConfigurationError
+from .jobs import SimJob
+
+__all__ = [
+    "AdmissionPolicy",
+    "AcceptAll",
+    "MaxQueueLength",
+    "MaxOutstandingDemand",
+    "make_admission",
+]
+
+
+class AdmissionPolicy(ABC):
+    """Decides whether a pending job may enter the scheduling queue."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def admit(
+        self,
+        job: SimJob,
+        *,
+        queued_jobs: int,
+        outstanding_demand: int,
+        cluster_size: int,
+    ) -> bool:
+        """True to admit ``job`` now; False keeps it pending for a later round."""
+
+
+class AcceptAll(AdmissionPolicy):
+    """Admit every job immediately (the paper's evaluation setting)."""
+
+    name = "accept-all"
+
+    def admit(self, job, *, queued_jobs, outstanding_demand, cluster_size) -> bool:
+        return True
+
+
+class MaxQueueLength(AdmissionPolicy):
+    """Admit while fewer than ``limit`` jobs are queued or running."""
+
+    name = "max-queue-length"
+
+    def __init__(self, limit: int):
+        if limit < 1:
+            raise ConfigurationError(f"limit={limit} must be >= 1")
+        self.limit = limit
+
+    def admit(self, job, *, queued_jobs, outstanding_demand, cluster_size) -> bool:
+        return queued_jobs < self.limit
+
+
+class MaxOutstandingDemand(AdmissionPolicy):
+    """Admit while total outstanding GPU demand stays below a multiple of
+    the cluster size (a backpressure rule resembling quota admission)."""
+
+    name = "max-outstanding-demand"
+
+    def __init__(self, factor: float):
+        if factor <= 0:
+            raise ConfigurationError(f"factor={factor} must be positive")
+        self.factor = factor
+
+    def admit(self, job, *, queued_jobs, outstanding_demand, cluster_size) -> bool:
+        return outstanding_demand + job.demand <= self.factor * cluster_size
+
+
+_ADMISSIONS = {
+    "accept-all": lambda **kw: AcceptAll(),
+    "max-queue-length": lambda **kw: MaxQueueLength(**kw),
+    "max-outstanding-demand": lambda **kw: MaxOutstandingDemand(**kw),
+}
+
+
+def make_admission(name: str, **kwargs) -> AdmissionPolicy:
+    """Factory by name."""
+    try:
+        factory = _ADMISSIONS[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown admission policy {name!r}; known: {sorted(_ADMISSIONS)}"
+        ) from None
+    return factory(**kwargs)

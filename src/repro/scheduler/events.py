@@ -1,0 +1,167 @@
+"""Structured event log for simulator runs.
+
+A production scheduler's most important debugging artifact is its event
+stream. When :attr:`SimulatorConfig.record_events` is enabled, the
+simulator emits one :class:`Event` for every job lifecycle transition:
+
+=========  =====================================================
+type       meaning
+=========  =====================================================
+ADMIT      job entered the scheduling queue (arrival + admission)
+START      job received its first GPU allocation
+PREEMPT    a running job lost its guarantee and released its GPUs
+RESTART    a previously-preempted job received GPUs again
+MIGRATE    a non-sticky re-placement changed the job's GPU set
+FINISH     job completed all iterations
+=========  =====================================================
+
+:class:`EventLog` supports per-job queries, per-type filtering, JSONL
+round-tripping, and a lifecycle validator used by the test suite to
+check that every simulation's event stream is legal (e.g. FINISH is
+terminal and unique, MIGRATE only occurs while running).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from ..utils.errors import SimulationError
+
+__all__ = ["EventType", "Event", "EventLog"]
+
+
+class EventType(Enum):
+    ADMIT = "admit"
+    START = "start"
+    PREEMPT = "preempt"
+    RESTART = "restart"
+    MIGRATE = "migrate"
+    FINISH = "finish"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One lifecycle transition of one job."""
+
+    time_s: float
+    type: EventType
+    job_id: int
+    detail: Mapping[str, object] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "time_s": self.time_s,
+                "type": self.type.value,
+                "job_id": self.job_id,
+                "detail": dict(self.detail),
+            }
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "Event":
+        obj = json.loads(line)
+        return cls(
+            time_s=float(obj["time_s"]),
+            type=EventType(obj["type"]),
+            job_id=int(obj["job_id"]),
+            detail=obj.get("detail", {}),
+        )
+
+
+#: Which event types may follow each state of a job's lifecycle.
+_LEGAL_AFTER: dict[EventType | None, set[EventType]] = {
+    None: {EventType.ADMIT},
+    EventType.ADMIT: {EventType.START},
+    EventType.START: {EventType.PREEMPT, EventType.MIGRATE, EventType.FINISH},
+    EventType.MIGRATE: {EventType.PREEMPT, EventType.MIGRATE, EventType.FINISH},
+    EventType.PREEMPT: {EventType.RESTART},
+    EventType.RESTART: {EventType.PREEMPT, EventType.MIGRATE, EventType.FINISH},
+    EventType.FINISH: set(),
+}
+
+
+class EventLog:
+    """Append-only, time-ordered event container."""
+
+    def __init__(self, events: Iterable[Event] = ()):
+        self._events: list[Event] = list(events)
+
+    def append(
+        self,
+        time_s: float,
+        type: EventType,
+        job_id: int,
+        **detail: object,
+    ) -> None:
+        self._events.append(Event(time_s=time_s, type=type, job_id=job_id, detail=detail))
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    @property
+    def events(self) -> tuple[Event, ...]:
+        return tuple(self._events)
+
+    def for_job(self, job_id: int) -> tuple[Event, ...]:
+        return tuple(e for e in self._events if e.job_id == job_id)
+
+    def of_type(self, type: EventType) -> tuple[Event, ...]:
+        return tuple(e for e in self._events if e.type is type)
+
+    def counts(self) -> dict[EventType, int]:
+        out = {t: 0 for t in EventType}
+        for e in self._events:
+            out[e.type] += 1
+        return out
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check global time-ordering and every job's lifecycle legality.
+
+        Raises :class:`SimulationError` on the first violation — used by
+        tests as a deep structural check of the simulator's behaviour.
+        """
+        last_time = float("-inf")
+        for e in self._events:
+            if e.time_s < last_time - 1e-9:
+                raise SimulationError(
+                    f"event log out of order at t={e.time_s} (job {e.job_id})"
+                )
+            last_time = max(last_time, e.time_s)
+        job_ids = {e.job_id for e in self._events}
+        for job_id in job_ids:
+            state: EventType | None = None
+            for e in self.for_job(job_id):
+                if e.type not in _LEGAL_AFTER[state]:
+                    raise SimulationError(
+                        f"job {job_id}: illegal transition {state} -> {e.type}"
+                    )
+                state = e.type
+            if state is not EventType.FINISH:
+                raise SimulationError(f"job {job_id}: lifecycle ended in {state}")
+
+    # ------------------------------------------------------------------
+    def to_jsonl(self, path: str | Path | None = None) -> str:
+        text = "\n".join(e.to_json() for e in self._events) + ("\n" if self._events else "")
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+    @classmethod
+    def from_jsonl(cls, source: str | Path) -> "EventLog":
+        text = source
+        if isinstance(source, Path) or (isinstance(source, str) and "\n" not in source):
+            p = Path(source)
+            if p.is_file():
+                text = p.read_text()
+        events = [Event.from_json(line) for line in str(text).splitlines() if line.strip()]
+        return cls(events)

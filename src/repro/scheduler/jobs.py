@@ -1,0 +1,107 @@
+"""Runtime job state tracked by the simulator.
+
+:class:`SimJob` wraps an immutable :class:`repro.traces.JobSpec` with the
+mutable quantities a round-based preemptive scheduler needs: remaining
+work, attained service (LAS), execution/wait accounting, the current GPU
+allocation, and migration/preemption counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from ..traces.job import JobSpec
+from ..utils.errors import SimulationError
+
+__all__ = ["JobState", "SimJob"]
+
+
+class JobState(Enum):
+    """Lifecycle of a job inside the simulator.
+
+    PENDING   — arrived but not yet admitted by admission control.
+    QUEUED    — admitted, waiting for GPUs (never ran, or was preempted).
+    RUNNING   — holds GPUs this round.
+    FINISHED  — completed all iterations.
+    """
+
+    PENDING = "pending"
+    QUEUED = "queued"
+    RUNNING = "running"
+    FINISHED = "finished"
+
+
+@dataclass
+class SimJob:
+    """Mutable runtime wrapper around a trace job."""
+
+    spec: JobSpec
+    state: JobState = JobState.PENDING
+    remaining_iterations: float = field(default=None)  # type: ignore[assignment]
+    attained_service_gpu_s: float = 0.0
+    executed_time_s: float = 0.0
+    first_start_s: float | None = None
+    finish_time_s: float | None = None
+    allocation: np.ndarray | None = None
+    n_migrations: int = 0
+    n_preemptions: int = 0
+    n_restarts: int = 0
+    #: Simulator-internal cache of the allocation's effective iteration
+    #: time; invalidated whenever the allocation changes.
+    cached_iter_time_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.remaining_iterations is None:
+            self.remaining_iterations = float(self.spec.total_iterations)
+
+    # Convenience passthroughs -----------------------------------------
+    @property
+    def job_id(self) -> int:
+        return self.spec.job_id
+
+    @property
+    def demand(self) -> int:
+        return self.spec.demand
+
+    @property
+    def class_id(self) -> int:
+        return self.spec.class_id
+
+    @property
+    def model(self) -> str:
+        return self.spec.model
+
+    @property
+    def is_finished(self) -> bool:
+        return self.state is JobState.FINISHED
+
+    @property
+    def is_running(self) -> bool:
+        return self.state is JobState.RUNNING
+
+    # Derived metrics ----------------------------------------------------
+    @property
+    def jct_s(self) -> float:
+        """Job completion time (finish - arrival); requires FINISHED."""
+        if self.finish_time_s is None:
+            raise SimulationError(f"job {self.job_id} has not finished")
+        return self.finish_time_s - self.spec.arrival_time_s
+
+    @property
+    def wait_time_s(self) -> float:
+        """Time not spent executing: JCT minus pure execution time.
+
+        For non-preemptive FIFO this equals queueing delay before first
+        start; under LAS/SRTF it additionally counts preempted gaps,
+        matching the "waiting for resources" quantity of the paper's
+        Figs. 12 and 19.
+        """
+        return self.jct_s - self.executed_time_s
+
+    @property
+    def remaining_time_ideal_s(self) -> float:
+        """Oracle remaining runtime on median GPUs (SRTF's priority key)."""
+        return self.remaining_iterations * self.spec.iteration_time_s

@@ -1,0 +1,182 @@
+"""Simulation results: per-job records and cluster-level metrics.
+
+Collects exactly the quantities the paper reports: average and p99 JCT,
+makespan, utilization (GPU-busy time over cluster capacity), per-job wait
+times (Figs. 12/19), GPUs-in-use time series (Fig. 15), and per-epoch
+placement-computation times (Fig. 18).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Mapping
+
+import numpy as np
+
+from ..utils.errors import ConfigurationError
+from ..utils.stats import cdf_points, percentile
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a runtime import cycle
+    from .events import EventLog
+
+__all__ = ["JobRecord", "SimulationResult"]
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Immutable per-job outcome."""
+
+    job_id: int
+    model: str
+    class_id: int
+    demand: int
+    arrival_s: float
+    first_start_s: float
+    finish_s: float
+    executed_s: float
+    ideal_duration_s: float
+    n_migrations: int
+    n_preemptions: int
+    n_restarts: int
+
+    @property
+    def jct_s(self) -> float:
+        return self.finish_s - self.arrival_s
+
+    @property
+    def wait_s(self) -> float:
+        """JCT minus execution time — time spent waiting for resources."""
+        return self.jct_s - self.executed_s
+
+    @property
+    def slowdown(self) -> float:
+        """JCT over ideal runtime (>= 1 unless the profile is sub-median)."""
+        return self.jct_s / self.ideal_duration_s
+
+    @property
+    def is_multi_gpu(self) -> bool:
+        return self.demand > 1
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one (trace, scheduler, placement) simulation."""
+
+    trace_name: str
+    scheduler_name: str
+    placement_name: str
+    cluster_size: int
+    epoch_s: float
+    records: tuple[JobRecord, ...]
+    epoch_times_s: np.ndarray
+    gpus_in_use: np.ndarray
+    placement_times_s: np.ndarray
+    busy_gpu_seconds: float
+    metadata: Mapping[str, object] = field(default_factory=dict)
+    #: Structured lifecycle event log (None unless the simulation ran
+    #: with ``SimulatorConfig(record_events=True)``).
+    events: "EventLog | None" = None
+
+    def __post_init__(self) -> None:
+        if not self.records:
+            raise ConfigurationError("a simulation result needs at least one job record")
+
+    # ------------------------------------------------------------------
+    # Selections
+    # ------------------------------------------------------------------
+    def select(
+        self,
+        *,
+        min_job_id: int | None = None,
+        max_job_id: int | None = None,
+        multi_gpu_only: bool = False,
+        predicate: Callable[[JobRecord], bool] | None = None,
+    ) -> tuple[JobRecord, ...]:
+        """Filter records (the Synergy experiments measure an id window)."""
+        out = []
+        for r in self.records:
+            if min_job_id is not None and r.job_id < min_job_id:
+                continue
+            if max_job_id is not None and r.job_id > max_job_id:
+                continue
+            if multi_gpu_only and not r.is_multi_gpu:
+                continue
+            if predicate is not None and not predicate(r):
+                continue
+            out.append(r)
+        if not out:
+            raise ConfigurationError("selection matched no jobs")
+        return tuple(out)
+
+    def jcts_s(self, **select_kwargs) -> np.ndarray:
+        return np.array([r.jct_s for r in self.select(**select_kwargs)])
+
+    def wait_times_s(self, **select_kwargs) -> np.ndarray:
+        return np.array([r.wait_s for r in self.select(**select_kwargs)])
+
+    # ------------------------------------------------------------------
+    # Headline metrics
+    # ------------------------------------------------------------------
+    def avg_jct_s(self, **select_kwargs) -> float:
+        return float(self.jcts_s(**select_kwargs).mean())
+
+    def avg_jct_h(self, **select_kwargs) -> float:
+        return self.avg_jct_s(**select_kwargs) / 3600.0
+
+    def p99_jct_s(self, **select_kwargs) -> float:
+        return percentile(self.jcts_s(**select_kwargs), 99)
+
+    def jct_cdf(self, **select_kwargs) -> tuple[np.ndarray, np.ndarray]:
+        """(sorted JCTs, cumulative fraction) — the paper's Fig. 9 axes."""
+        return cdf_points(self.jcts_s(**select_kwargs))
+
+    @property
+    def makespan_s(self) -> float:
+        """Last completion relative to trace start (t=0)."""
+        return max(r.finish_s for r in self.records)
+
+    @property
+    def utilization(self) -> float:
+        """Occupancy: GPU-busy seconds over capacity across the makespan.
+
+        Note the subtlety for variability-aware policies: completing the
+        *same* work on faster GPUs consumes fewer GPU-seconds, which this
+        occupancy metric reads as a decrease. Use
+        :attr:`goodput_utilization` for an efficiency view.
+        """
+        return self.busy_gpu_seconds / (self.cluster_size * self.makespan_s)
+
+    @property
+    def goodput_utilization(self) -> float:
+        """Useful-work utilization: ideal GPU-seconds over capacity.
+
+        The numerator (sum of each job's median-GPU runtime x demand) is
+        policy-independent, so this metric rewards finishing the workload
+        sooner rather than keeping GPUs busy with slowdown-inflated work.
+        """
+        ideal = sum(r.ideal_duration_s * r.demand for r in self.records)
+        return ideal / (self.cluster_size * self.makespan_s)
+
+    @property
+    def total_migrations(self) -> int:
+        return sum(r.n_migrations for r in self.records)
+
+    @property
+    def total_preemptions(self) -> int:
+        return sum(r.n_preemptions for r in self.records)
+
+    def utilization_series(self) -> tuple[np.ndarray, np.ndarray]:
+        """(epoch start times, GPUs in use) — the paper's Fig. 15 axes."""
+        return self.epoch_times_s, self.gpus_in_use
+
+    def summary(self) -> dict[str, float]:
+        """One-line metric dict used by experiment tables."""
+        return {
+            "avg_jct_h": self.avg_jct_h(),
+            "p99_jct_h": self.p99_jct_s() / 3600.0,
+            "makespan_h": self.makespan_s / 3600.0,
+            "utilization": self.utilization,
+            "avg_wait_h": float(self.wait_times_s().mean() / 3600.0),
+            "migrations": float(self.total_migrations),
+            "preemptions": float(self.total_preemptions),
+        }

@@ -1,0 +1,177 @@
+"""Online PM-Score updates — the paper's stated future work, implemented.
+
+Sec. V-A ends with: "This highlights the need for periodic re-profiling
+of the cluster, or dynamic online updates to GPU PM-Scores to more
+accurately reflect the cluster's variability characteristics." This
+module provides those dynamic updates.
+
+Every scheduling epoch the cluster observes each running job's *actual*
+iteration time. Dividing out the job's locality penalty and base
+iteration time yields the allocation's effective variability factor —
+under the BSP model (Eq. 1) exactly ``max_g V_true(class, g)`` over the
+job's GPUs. That is a noisy, partial observation:
+
+* a **single-GPU** job pins down one GPU's score exactly;
+* a **multi-GPU** job only reveals the max over its set, which we
+  attribute to the GPU the current beliefs already consider slowest
+  (maximum-likelihood under the beliefs), nudging it toward the
+  observation with an exponentially weighted moving average.
+
+The updater wraps a static :class:`PMScoreTable` in a mutable
+:class:`OnlinePMScoreTable`; placement policies read believed scores
+through the same interface, so enabling online updates is a simulator
+config flag (:attr:`SimulatorConfig.online_pm_updates` — see
+:mod:`repro.scheduler.simulator`'s ``ClusterSimulator`` wiring in
+:func:`attach_online_table`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.pm_score import PMScoreTable
+from ..utils.errors import ConfigurationError
+
+__all__ = ["OnlineUpdateConfig", "OnlinePMScoreTable"]
+
+
+@dataclass(frozen=True)
+class OnlineUpdateConfig:
+    """Knobs of the online estimator.
+
+    ``alpha`` is the EWMA weight given to a fresh observation (1.0 means
+    "trust the newest measurement completely"); single-GPU observations
+    may use a larger weight (``alpha_exact``) since they are noiseless
+    per-GPU measurements under the BSP model. ``min_score`` guards
+    against degenerate updates from mis-measured observations.
+    """
+
+    alpha: float = 0.30
+    alpha_exact: float = 0.80
+    min_score: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha <= 1.0:
+            raise ConfigurationError(f"alpha={self.alpha} must be in (0, 1]")
+        if not 0.0 < self.alpha_exact <= 1.0:
+            raise ConfigurationError(f"alpha_exact={self.alpha_exact} must be in (0, 1]")
+        if self.min_score <= 0:
+            raise ConfigurationError(f"min_score={self.min_score} must be positive")
+
+
+class OnlinePMScoreTable:
+    """A mutable view over a fitted PM-Score table with online updates.
+
+    Exposes the same read interface placement policies use
+    (``binned_scores`` / ``centroids``) plus :meth:`observe`, which folds
+    an epoch's iteration-time observation back into the believed scores.
+
+    Centroids (the L x V matrix columns) are kept static: the matrix is a
+    traversal skeleton and stays valid as long as its final column
+    dominates every believed score, which :meth:`observe` maintains by
+    clipping grown scores into the matrix's range and flagging
+    ``needs_refit`` when an observation exceeds the last centroid (a
+    production system would re-run binning; the simulator's PAL remains
+    correct either way because the last column is also raised).
+    """
+
+    def __init__(self, base: PMScoreTable, config: OnlineUpdateConfig | None = None):
+        self.base = base
+        self.config = config or OnlineUpdateConfig()
+        self._scores = [
+            base.binned_scores(ci).copy() for ci in range(base.n_classes)
+        ]
+        self._centroids = [
+            base.centroids(ci).copy() for ci in range(base.n_classes)
+        ]
+        self.n_updates = 0
+        self.needs_refit = False
+
+    # -- read interface (what PlacementContext consumes) ----------------
+    @property
+    def n_classes(self) -> int:
+        return self.base.n_classes
+
+    @property
+    def n_gpus(self) -> int:
+        return self.base.n_gpus
+
+    @property
+    def profile(self):
+        return self.base.profile
+
+    def binned_scores(self, class_id: int | str) -> np.ndarray:
+        if isinstance(class_id, str):
+            class_id = self.base.profile.class_index(class_id)
+        view = self._scores[class_id].view()
+        view.flags.writeable = False
+        return view
+
+    def centroids(self, class_id: int | str) -> np.ndarray:
+        if isinstance(class_id, str):
+            class_id = self.base.profile.class_index(class_id)
+        view = self._centroids[class_id].view()
+        view.flags.writeable = False
+        return view
+
+    def binning(self, class_id: int | str):
+        return self.base.binning(class_id)
+
+    # -- write interface -------------------------------------------------
+    def observe(
+        self,
+        class_id: int,
+        gpu_ids: np.ndarray,
+        observed_v: float,
+    ) -> None:
+        """Fold one job-epoch observation into the believed scores.
+
+        Parameters
+        ----------
+        class_id:
+            The job's variability class.
+        gpu_ids:
+            The job's allocation.
+        observed_v:
+            The measured effective variability factor
+            ``t_iter_measured / (L * t_orig)`` — equals
+            ``max_g V_true(class, g)`` under BSP.
+        """
+        if observed_v <= 0:
+            raise ConfigurationError(f"observed_v={observed_v} must be positive")
+        cfg = self.config
+        observed_v = max(observed_v, cfg.min_score)
+        scores = self._scores[class_id]
+        ids = np.asarray(gpu_ids, dtype=np.int64).ravel()
+        if ids.size == 0:
+            raise ConfigurationError("observation needs at least one GPU")
+
+        if ids.size == 1:
+            g = int(ids[0])
+            scores[g] += cfg.alpha_exact * (observed_v - scores[g])
+        else:
+            believed = scores[ids]
+            worst = int(ids[np.argmax(believed)])
+            if observed_v > believed.max():
+                # Someone in the set is slower than believed; the believed-
+                # slowest GPU is the max-likelihood culprit.
+                scores[worst] += cfg.alpha * (observed_v - scores[worst])
+            else:
+                # The whole set ran faster than the believed max: the
+                # believed-slowest GPU is over-estimated. (The others are
+                # only known to be <= observed, which they already are.)
+                scores[worst] += cfg.alpha * (observed_v - scores[worst])
+        self.n_updates += 1
+
+        # Keep the L x V matrix's last column dominating every belief so
+        # PAL's traversal stays complete.
+        cents = self._centroids[class_id]
+        if scores.max() > cents[-1]:
+            cents[-1] = scores.max()
+            self.needs_refit = True
+
+    def max_abs_error(self, truth: np.ndarray, class_id: int) -> float:
+        """Largest absolute believed-vs-truth gap for a class (diagnostics)."""
+        return float(np.max(np.abs(self._scores[class_id] - np.asarray(truth))))

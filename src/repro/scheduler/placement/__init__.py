@@ -1,0 +1,78 @@
+"""Placement policies and the named-baseline factory.
+
+The paper's policy matrix (Sec. IV-A1):
+
+=====================  ==========================
+Name                   Meaning
+=====================  ==========================
+``tiresias``           Packed-Sticky
+``gandiva``            Packed-Non-Sticky
+``random-sticky``      Random-Sticky
+``random-non-sticky``  Random-Non-Sticky
+``pm-first``           PM-First (non-sticky)
+``pal``                PAL (non-sticky)
+=====================  ==========================
+
+``pm-first-sticky`` / ``pal-sticky`` exist as ablation variants.
+"""
+
+from __future__ import annotations
+
+from ...utils.errors import ConfigurationError
+from .base import PlacementContext, PlacementPolicy
+from .gavel import GavelPlacement
+from .packed import PackedPlacement
+from .pal import PALPlacement
+from .pm_first import PMFirstPlacement
+from .random_ import RandomPlacement
+
+__all__ = [
+    "PlacementContext",
+    "PlacementPolicy",
+    "GavelPlacement",
+    "PackedPlacement",
+    "PALPlacement",
+    "PMFirstPlacement",
+    "RandomPlacement",
+    "make_placement",
+    "BASELINE_POLICY_NAMES",
+    "ALL_POLICY_NAMES",
+]
+
+#: The four variability-agnostic baselines of the paper's evaluation.
+BASELINE_POLICY_NAMES: tuple[str, ...] = (
+    "random-sticky",
+    "random-non-sticky",
+    "gandiva",
+    "tiresias",
+)
+
+#: Baselines + the paper's two contributions, in the order Fig. 11 plots.
+ALL_POLICY_NAMES: tuple[str, ...] = BASELINE_POLICY_NAMES + ("pm-first", "pal")
+
+
+def make_placement(name: str) -> PlacementPolicy:
+    """Factory by case-insensitive policy name (see module docstring)."""
+    key = name.lower()
+    if key in ("tiresias", "packed-sticky"):
+        return PackedPlacement(sticky=True, name="Tiresias")
+    if key in ("gandiva", "packed-non-sticky"):
+        return PackedPlacement(sticky=False, name="Gandiva")
+    if key == "random-sticky":
+        return RandomPlacement(sticky=True)
+    if key == "random-non-sticky":
+        return RandomPlacement(sticky=False)
+    if key in ("pm-first", "pmfirst"):
+        return PMFirstPlacement(sticky=False)
+    if key in ("pm-first-sticky", "pmfirst-sticky"):
+        return PMFirstPlacement(sticky=True)
+    if key == "pal":
+        return PALPlacement(sticky=False)
+    if key == "pal-sticky":
+        return PALPlacement(sticky=True)
+    if key == "gavel":
+        return GavelPlacement()
+    raise ConfigurationError(
+        f"unknown placement policy {name!r}; known: "
+        f"{ALL_POLICY_NAMES + ('pm-first-sticky', 'pal-sticky', 'gavel')}"
+    )

@@ -1,0 +1,121 @@
+"""Placement-policy interface and the context policies operate on.
+
+A placement policy answers one question per scheduled job: *which* free
+GPUs should it run on. The simulator owns the surrounding mechanics
+(sticky vs non-sticky re-placement, preemption, migration accounting);
+policies only see a :class:`PlacementContext` snapshot and return GPU id
+arrays.
+
+Policies may also reorder the guaranteed job prefix before GPU selection
+(``placement_order``): PM-First and PAL sort it by variability class so
+class-A jobs pick GPUs first (paper Fig. 4), while locality-only policies
+keep the scheduling order.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...cluster.state import ClusterState
+from ...cluster.topology import ClusterTopology, LocalityModel
+from ...core.lv_matrix import LVMatrix
+from ...core.pm_score import PMScoreTable
+from ...utils.errors import ConfigurationError
+from ..jobs import SimJob
+
+__all__ = ["PlacementContext", "PlacementPolicy"]
+
+
+@dataclass
+class PlacementContext:
+    """Everything a placement policy may consult.
+
+    ``pm_table`` holds the *believed* (profiled, binned) PM-Scores; it is
+    None for variability-agnostic baselines. L x V matrices are built
+    lazily per (class, inter-node penalty) pair and cached — they only
+    depend on static profile data (paper: built "at design time").
+    """
+
+    state: ClusterState
+    topology: ClusterTopology
+    locality: LocalityModel
+    pm_table: PMScoreTable | None = None
+    rng: np.random.Generator | None = None
+    #: Per-GPU architecture index for heterogeneous clusters (None on
+    #: homogeneous ones); consumed by arch-aware policies like Gavel.
+    arch_of_gpu: np.ndarray | None = None
+    _lv_cache: dict[tuple[int, float], tuple[LVMatrix, float]] = field(
+        default_factory=dict, repr=False
+    )
+
+    def require_pm_table(self) -> PMScoreTable:
+        if self.pm_table is None:
+            raise ConfigurationError(
+                "this placement policy needs PM-Score profiles but the "
+                "context has none — pass pm_table to the simulator"
+            )
+        return self.pm_table
+
+    def binned_scores(self, class_id: int) -> np.ndarray:
+        """Believed per-GPU PM-Scores for a class (the policy's view)."""
+        return self.require_pm_table().binned_scores(class_id)
+
+    def lv_matrix(self, class_id: int, model_name: str | None = None) -> LVMatrix:
+        """The class's L x V matrix under the job's locality penalty.
+
+        Cached per (class, penalty). The cache entry is invalidated when
+        the class's final centroid moves — online PM-Score updates
+        (:mod:`repro.scheduler.online`) grow it when an observation
+        exceeds the old ceiling, and PAL's traversal must keep covering
+        every believed score.
+        """
+        across = self.locality.across(model_name)
+        key = (class_id, across)
+        centroids = self.require_pm_table().centroids(class_id)
+        tail = float(centroids[-1])
+        cached = self._lv_cache.get(key)
+        if cached is not None and cached[1] == tail:
+            return cached[0]
+        lv = LVMatrix.build(centroids, self.locality, model_name=model_name)
+        self._lv_cache[key] = (lv, tail)
+        return lv
+
+
+class PlacementPolicy(ABC):
+    """GPU-selection strategy for one scheduling round."""
+
+    #: Display name used in experiment tables ("Tiresias", "PAL", ...).
+    name: str = "abstract"
+    #: Sticky policies keep a running job's GPUs until completion or
+    #: preemption; non-sticky policies re-place every job every round.
+    sticky: bool = False
+    #: Whether the policy consumes PM-Score profiles.
+    variability_aware: bool = False
+    #: Deterministic policies produce identical allocations for identical
+    #: (job order, cluster state) inputs, letting the simulator skip
+    #: re-placement on quiet rounds as a pure memoization. Randomized
+    #: policies must set this False.
+    deterministic: bool = True
+
+    def placement_order(self, scheduled: list[SimJob]) -> list[SimJob]:
+        """Order in which the scheduled jobs pick GPUs.
+
+        Defaults to the scheduling order; variability-aware policies
+        override with the class-priority re-sort of the guaranteed
+        prefix.
+        """
+        return list(scheduled)
+
+    @abstractmethod
+    def select_gpus(self, ctx: PlacementContext, job: SimJob) -> np.ndarray:
+        """Choose ``job.demand`` free GPU ids for ``job``.
+
+        Must not mutate ``ctx.state`` — the simulator performs the actual
+        allocation so invariants stay centralized.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"<{type(self).__name__} {self.name} sticky={self.sticky}>"

@@ -1,0 +1,94 @@
+"""Gavel-style heterogeneity-aware (but intra-arch-blind) placement.
+
+Gavel (OSDI '20) schedules against a per-(model, architecture)
+throughput matrix but treats every GPU of one architecture as identical
+— the exact assumption the paper challenges (Sec. VI). This policy is
+the faithful strawman: per job class it ranks *architectures* by their
+mean believed PM-Score, then performs packed selection inside the best
+architecture with room, spilling to the next-best architecture before
+ever spilling across architectures.
+
+It needs the per-GPU architecture map
+(:attr:`PlacementContext.arch_of_gpu`), supplied by the simulator when
+the cluster is heterogeneous.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...utils.errors import AllocationError, ConfigurationError
+from ..jobs import SimJob
+from .base import PlacementContext, PlacementPolicy
+
+__all__ = ["GavelPlacement"]
+
+
+class GavelPlacement(PlacementPolicy):
+    """Arch-aware packed placement, blind to iso-architecture variability."""
+
+    name = "Gavel"
+    sticky = False
+    variability_aware = True  # consumes the PM table, but only per-arch means
+
+    def select_gpus(self, ctx: PlacementContext, job: SimJob) -> np.ndarray:
+        if ctx.arch_of_gpu is None:
+            raise ConfigurationError(
+                "GavelPlacement needs a heterogeneous cluster: pass arch_of_gpu "
+                "to the simulator"
+            )
+        state, topo = ctx.state, ctx.topology
+        if state.n_free < job.demand:
+            raise AllocationError(
+                f"job {job.job_id}: demand {job.demand} exceeds {state.n_free} free GPUs"
+            )
+        scores = ctx.binned_scores(job.class_id)
+        archs = ctx.arch_of_gpu
+
+        # Rank architectures by mean believed score for this class — the
+        # "throughput matrix" view that cannot see per-GPU variability.
+        free = state.free_gpu_ids()
+        arch_rank: list[tuple[float, int]] = []
+        for arch in np.unique(archs):
+            members = archs == arch
+            arch_rank.append((float(scores[members].mean()), int(arch)))
+        arch_rank.sort()
+
+        chosen: list[np.ndarray] = []
+        needed = job.demand
+        for _, arch in arch_rank:
+            if needed <= 0:
+                break
+            candidates = free[archs[free] == arch]
+            if candidates.size == 0:
+                continue
+            take = self._packed_take(topo, state, candidates, min(needed, candidates.size))
+            chosen.append(take)
+            needed -= take.size
+        if needed > 0:  # pragma: no cover - guarded by the n_free check
+            raise AllocationError(f"job {job.job_id}: failed to gather {job.demand} GPUs")
+        return np.sort(np.concatenate(chosen))
+
+    @staticmethod
+    def _packed_take(topo, state, candidates: np.ndarray, count: int) -> np.ndarray:
+        """Packed selection restricted to ``candidates`` (one architecture)."""
+        nodes = topo.node_of_gpu[candidates]
+        free_per_node = np.bincount(nodes, minlength=topo.n_nodes)
+        fits = np.flatnonzero(free_per_node >= count)
+        if fits.size:
+            node = int(fits[np.argmin(free_per_node[fits])])
+            in_node = candidates[nodes == node]
+            return in_node[:count]
+        order = np.argsort(-free_per_node, kind="stable")
+        out: list[np.ndarray] = []
+        needed = count
+        for node in order:
+            if needed <= 0:
+                break
+            in_node = candidates[nodes == node]
+            if in_node.size == 0:
+                continue
+            take = in_node[: min(needed, in_node.size)]
+            out.append(take)
+            needed -= take.size
+        return np.concatenate(out)

@@ -1,0 +1,73 @@
+"""Packed (consolidated) placement — the Tiresias / Gandiva baselines.
+
+Packed placement minimizes the number of nodes a job spans to avoid the
+inter-node locality penalty (paper Sec. IV-A1). The paper's baseline
+naming:
+
+* **Tiresias** = Packed-Sticky,
+* **Gandiva** = Packed-Non-Sticky.
+
+Selection is variability-agnostic: within the chosen node(s), GPUs are
+taken by lowest id (all GPUs look identical to these policies).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...utils.errors import AllocationError
+from ..jobs import SimJob
+from .base import PlacementContext, PlacementPolicy
+
+__all__ = ["PackedPlacement"]
+
+
+class PackedPlacement(PlacementPolicy):
+    """Best-fit node packing with greedy spill.
+
+    Single-node case: among nodes with enough free GPUs, pick the one
+    with the *fewest* free GPUs (best fit — keeps large holes available
+    for large jobs). Spill case: take whole nodes with the most free
+    GPUs first, which minimizes the number of nodes spanned.
+    """
+
+    variability_aware = False
+
+    def __init__(self, *, sticky: bool, name: str | None = None):
+        self.sticky = bool(sticky)
+        self.name = name or ("Packed-Sticky" if sticky else "Packed-Non-Sticky")
+
+    def select_gpus(self, ctx: PlacementContext, job: SimJob) -> np.ndarray:
+        state, topo = ctx.state, ctx.topology
+        demand = job.demand
+        if state.n_free < demand:
+            raise AllocationError(
+                f"job {job.job_id}: demand {demand} exceeds {state.n_free} free GPUs"
+            )
+        free_per_node = state.free_count_per_node()
+
+        fits = np.flatnonzero(free_per_node >= demand)
+        if fits.size:
+            # Best fit: fewest free GPUs; ties -> lowest node id.
+            node = int(fits[np.argmin(free_per_node[fits])])
+            node_gpus = topo.gpus_of_node(node)
+            free_in_node = node_gpus[state.free_mask[node_gpus]]
+            return free_in_node[:demand]
+
+        # Spill: drain the fullest-free nodes first to touch few nodes.
+        order = np.argsort(-free_per_node, kind="stable")
+        chosen: list[np.ndarray] = []
+        needed = demand
+        for node in order:
+            if needed <= 0:
+                break
+            if free_per_node[node] == 0:
+                continue
+            node_gpus = topo.gpus_of_node(int(node))
+            free_in_node = node_gpus[state.free_mask[node_gpus]]
+            take = free_in_node[: min(needed, free_in_node.size)]
+            chosen.append(take)
+            needed -= take.size
+        if needed > 0:  # pragma: no cover - guarded by the n_free check
+            raise AllocationError(f"job {job.job_id}: packing failed to gather {demand} GPUs")
+        return np.sort(np.concatenate(chosen))

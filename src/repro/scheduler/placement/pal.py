@@ -1,0 +1,44 @@
+"""PAL placement policy (paper Sec. III-C, Algorithm 2) as a
+scheduler-pluggable policy.
+
+Wraps :func:`repro.core.pal.pal_placement` with the class-priority queue
+re-sort shared with PM-First, and builds/caches each class's L x V matrix
+(with per-model inter-node penalties when configured).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.pal import pal_placement
+from ..jobs import SimJob
+from .base import PlacementContext, PlacementPolicy
+
+__all__ = ["PALPlacement"]
+
+
+class PALPlacement(PlacementPolicy):
+    """Locality-and-variability co-optimizing placement."""
+
+    variability_aware = True
+
+    def __init__(self, *, sticky: bool = False, name: str | None = None):
+        self.sticky = bool(sticky)
+        self.name = name or ("PAL-Sticky" if sticky else "PAL")
+
+    def placement_order(self, scheduled: list[SimJob]) -> list[SimJob]:
+        """Class-A first, scheduling order within a class (paper Fig. 4)."""
+        return sorted(scheduled, key=lambda j: j.class_id)  # stable
+
+    def select_gpus(self, ctx: PlacementContext, job: SimJob) -> np.ndarray:
+        free = ctx.state.free_gpu_ids()
+        scores = ctx.binned_scores(job.class_id)[free]
+        lv = ctx.lv_matrix(job.class_id, job.model)
+        return pal_placement(
+            free,
+            scores,
+            job.demand,
+            lv,
+            ctx.topology.node_of_gpu,
+            ctx.topology.gpus_per_node,
+        )

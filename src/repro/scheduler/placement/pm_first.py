@@ -1,0 +1,41 @@
+"""PM-First placement policy (paper Sec. III-B, Algorithm 1) as a
+scheduler-pluggable policy.
+
+Non-sticky by design: "Our PAL and PM-First placement policies are both
+Non-Sticky to ensure jobs can migrate to better GPUs in each scheduling
+round" (Sec. IV-A1). A sticky variant exists as an ablation knob.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.pm_first import get_pmfirst_gpus
+from ..jobs import SimJob
+from .base import PlacementContext, PlacementPolicy
+
+__all__ = ["PMFirstPlacement"]
+
+
+class PMFirstPlacement(PlacementPolicy):
+    """Greedy best-PM-Score-first GPU selection with class priority."""
+
+    variability_aware = True
+
+    def __init__(self, *, sticky: bool = False, name: str | None = None):
+        self.sticky = bool(sticky)
+        self.name = name or ("PM-First-Sticky" if sticky else "PM-First")
+
+    def placement_order(self, scheduled: list[SimJob]) -> list[SimJob]:
+        """Class-A jobs pick GPUs first; scheduling order within a class.
+
+        This is the placement-priority re-sort of the guaranteed prefix
+        (paper Fig. 4) — the scheduling policy already decided *who* runs
+        this round, the re-sort only decides who chooses GPUs first.
+        """
+        return sorted(scheduled, key=lambda j: j.class_id)  # stable
+
+    def select_gpus(self, ctx: PlacementContext, job: SimJob) -> np.ndarray:
+        free = ctx.state.free_gpu_ids()
+        scores = ctx.binned_scores(job.class_id)[free]
+        return np.sort(get_pmfirst_gpus(free, scores, job.demand))

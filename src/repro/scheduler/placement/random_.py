@@ -1,0 +1,38 @@
+"""Random (scattered) placement baselines.
+
+Random placement samples the job's GPUs uniformly from the free list
+(paper Sec. IV-A1: operators use it to avoid thermal hotspots, balance
+device wear, and favor CPU-to-GPU locality — at the cost of GPU-to-GPU
+communication). Evaluated in Sticky and Non-Sticky flavors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...utils.errors import AllocationError, ConfigurationError
+from ..jobs import SimJob
+from .base import PlacementContext, PlacementPolicy
+
+__all__ = ["RandomPlacement"]
+
+
+class RandomPlacement(PlacementPolicy):
+    """Uniform without-replacement sampling from the free GPU list."""
+
+    variability_aware = False
+    deterministic = False  # re-randomizes every round; never memoizable
+
+    def __init__(self, *, sticky: bool, name: str | None = None):
+        self.sticky = bool(sticky)
+        self.name = name or ("Random-Sticky" if sticky else "Random-Non-Sticky")
+
+    def select_gpus(self, ctx: PlacementContext, job: SimJob) -> np.ndarray:
+        if ctx.rng is None:
+            raise ConfigurationError("RandomPlacement requires a context RNG")
+        free = ctx.state.free_gpu_ids()
+        if free.size < job.demand:
+            raise AllocationError(
+                f"job {job.job_id}: demand {job.demand} exceeds {free.size} free GPUs"
+            )
+        return np.sort(ctx.rng.choice(free, size=job.demand, replace=False))

@@ -1,0 +1,115 @@
+"""Scheduling (job-selection) policies: FIFO, LAS/Tiresias, SRTF.
+
+The scheduling policy orders the active-job queue each round; the
+placement policy then decides *which GPUs* the guaranteed prefix gets
+(paper Fig. 1 separates the two). The paper evaluates its placement
+policies under all three of these schedulers (Sec. IV-A2).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from ..utils.errors import ConfigurationError
+from .jobs import SimJob
+
+__all__ = [
+    "SchedulingPolicy",
+    "FIFOScheduler",
+    "LASScheduler",
+    "SRTFScheduler",
+    "make_scheduler",
+]
+
+
+class SchedulingPolicy(ABC):
+    """Orders active jobs by scheduling priority (highest first)."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def order(self, jobs: Sequence[SimJob], now_s: float) -> list[SimJob]:
+        """Return ``jobs`` sorted by descending scheduling priority.
+
+        Must be a *total*, deterministic order (ties broken by job id) so
+        simulations are reproducible.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class FIFOScheduler(SchedulingPolicy):
+    """First-in-first-out: earlier arrivals run first.
+
+    Because arrival order is static, running jobs are never overtaken and
+    FIFO behaves non-preemptively: wait time is all queueing delay before
+    first start.
+    """
+
+    name = "FIFO"
+
+    def order(self, jobs: Sequence[SimJob], now_s: float) -> list[SimJob]:
+        return sorted(jobs, key=lambda j: (j.spec.arrival_time_s, j.job_id))
+
+
+class LASScheduler(SchedulingPolicy):
+    """Tiresias-style two-level Least-Attained-Service scheduling.
+
+    Jobs whose attained GPU service is below ``promote_threshold_gpu_s``
+    sit in the high-priority queue; the rest are demoted (Tiresias's
+    discretized 2-queue MLFQ). Within a queue, less-attained jobs go
+    first. New arrivals have zero attained service, so they always enter
+    at the top — the effect behind the paper's Fig. 19(a) wait-time
+    pattern, where late-arriving jobs see near-zero waits.
+    """
+
+    name = "LAS"
+
+    def __init__(self, promote_threshold_gpu_s: float = 8.0 * 3600.0):
+        if promote_threshold_gpu_s <= 0:
+            raise ConfigurationError("promote_threshold_gpu_s must be positive")
+        self.promote_threshold_gpu_s = promote_threshold_gpu_s
+
+    def order(self, jobs: Sequence[SimJob], now_s: float) -> list[SimJob]:
+        def key(j: SimJob) -> tuple[int, float, float, int]:
+            level = 0 if j.attained_service_gpu_s < self.promote_threshold_gpu_s else 1
+            return (level, j.attained_service_gpu_s, j.spec.arrival_time_s, j.job_id)
+
+        return sorted(jobs, key=key)
+
+
+class SRTFScheduler(SchedulingPolicy):
+    """Preemptive Shortest-Remaining-Time-First.
+
+    Uses the oracle remaining ideal runtime (remaining iterations x
+    median-GPU iteration time), the standard simulation idealization for
+    SRTF studies.
+    """
+
+    name = "SRTF"
+
+    def order(self, jobs: Sequence[SimJob], now_s: float) -> list[SimJob]:
+        return sorted(
+            jobs,
+            key=lambda j: (j.remaining_time_ideal_s, j.spec.arrival_time_s, j.job_id),
+        )
+
+
+_SCHEDULERS = {
+    "fifo": FIFOScheduler,
+    "las": LASScheduler,
+    "srtf": SRTFScheduler,
+}
+
+
+def make_scheduler(name: str, **kwargs) -> SchedulingPolicy:
+    """Factory by case-insensitive name: ``fifo`` / ``las`` / ``srtf``."""
+    try:
+        cls = _SCHEDULERS[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scheduler {name!r}; known: {sorted(_SCHEDULERS)}"
+        ) from None
+    return cls(**kwargs)

@@ -1,0 +1,451 @@
+"""Round-based cluster simulator (the Blox-style engine).
+
+Implements the paper's evaluation loop faithfully:
+
+1. every ``epoch_s`` (= 300 s, Sec. V-C) the scheduler wakes up: arrivals
+   are admitted, the scheduling policy orders the active queue;
+2. the queue is *marked at cluster size* — the maximal priority prefix
+   whose summed GPU demand fits the cluster is guaranteed to run this
+   round (paper Fig. 4); running jobs outside the prefix are preempted;
+3. the placement policy assigns GPUs: sticky policies touch only jobs
+   without an allocation, non-sticky policies re-place the whole prefix
+   (counting migrations when a job's GPU set changes);
+4. jobs execute for the epoch under the BSP slowdown model (Eq. 1):
+   ``t_iter = L(alloc) * max_g V_true(class, g) * t_orig`` — placement
+   decided on *believed* (profiled, binned) scores, execution charges
+   *true* scores, which is how profile-error experiments create a
+   cluster-vs-simulation gap;
+5. completions release GPUs immediately (mid-epoch), but freed GPUs are
+   only re-assigned at the next round boundary, as in a real round-based
+   scheduler.
+
+The engine records everything the paper measures, including the
+wall-clock time spent inside the placement policy each round (Fig. 18).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.state import ClusterState
+from ..cluster.topology import ClusterTopology, LocalityModel
+from ..core.pm_first import mark_queue_at_cluster_size
+from ..core.pm_score import PMScoreTable
+from ..traces.trace import Trace
+from ..utils.errors import ConfigurationError, SimulationError
+from ..utils.rng import stream
+from ..variability.profiles import VariabilityProfile
+from .admission import AcceptAll, AdmissionPolicy
+from .jobs import JobState, SimJob
+from .events import EventLog, EventType
+from .metrics import JobRecord, SimulationResult
+from .online import OnlinePMScoreTable, OnlineUpdateConfig
+from .placement.base import PlacementContext, PlacementPolicy
+from .policies import SchedulingPolicy
+
+__all__ = ["SimulatorConfig", "ClusterSimulator"]
+
+
+@dataclass(frozen=True)
+class SimulatorConfig:
+    """Engine knobs.
+
+    ``migration_overhead_s`` charges a fixed checkpoint/restore cost at
+    the start of an epoch in which a job was migrated or restarted
+    (paper: "typically negligible", default 0 — the ablation benches
+    sweep it). ``validate_invariants`` re-checks cluster-state
+    consistency every round (tests enable it; large sweeps keep it off).
+    """
+
+    epoch_s: float = 300.0
+    migration_overhead_s: float = 0.0
+    max_epochs: int = 2_000_000
+    record_utilization: bool = True
+    validate_invariants: bool = False
+    #: Enable dynamic online PM-Score updates (the paper's Sec. V-A
+    #: future work): each epoch's observed iteration times are folded
+    #: back into the believed scores (see repro.scheduler.online).
+    online_pm_updates: bool = False
+    #: EWMA parameters for the online updater (None = defaults).
+    online_update_config: "OnlineUpdateConfig | None" = None
+    #: Record a structured per-job lifecycle event log (see
+    #: repro.scheduler.events) on the result's ``events`` attribute.
+    record_events: bool = False
+
+    def __post_init__(self) -> None:
+        if self.epoch_s <= 0:
+            raise ConfigurationError("epoch_s must be positive")
+        if self.migration_overhead_s < 0:
+            raise ConfigurationError("migration_overhead_s must be >= 0")
+        if self.migration_overhead_s >= self.epoch_s:
+            raise ConfigurationError("migration_overhead_s must be < epoch_s")
+        if self.max_epochs < 1:
+            raise ConfigurationError("max_epochs must be >= 1")
+
+
+class ClusterSimulator:
+    """Simulates one placement/scheduling policy pair on one cluster."""
+
+    def __init__(
+        self,
+        *,
+        topology: ClusterTopology,
+        true_profile: VariabilityProfile,
+        scheduler: SchedulingPolicy,
+        placement: PlacementPolicy,
+        pm_table: PMScoreTable | None = None,
+        locality: LocalityModel | None = None,
+        admission: AdmissionPolicy | None = None,
+        config: SimulatorConfig | None = None,
+        arch_of_gpu: np.ndarray | None = None,
+        seed: int = 0,
+    ):
+        """
+        Parameters
+        ----------
+        topology:
+            Cluster shape; must match the profile's GPU count.
+        true_profile:
+            Ground-truth per-class scores charged during execution.
+        scheduler / placement:
+            The policy pair under test.
+        pm_table:
+            Believed (profiled + binned) scores for variability-aware
+            placements. Defaults to a table fitted on ``true_profile``
+            (i.e., perfect profiling); pass a table fitted on a corrupted
+            campaign to model profile error.
+        locality:
+            Inter-node penalty model (default ``L_across = 1.7``).
+        admission:
+            Admission control (default accept-all).
+        config:
+            Engine knobs.
+        arch_of_gpu:
+            Per-GPU architecture index for heterogeneous clusters
+            (required by arch-aware policies such as Gavel).
+        seed:
+            Seeds the placement RNG stream (random placement baselines).
+        """
+        if true_profile.n_gpus != topology.n_gpus:
+            raise ConfigurationError(
+                f"profile covers {true_profile.n_gpus} GPUs but topology has {topology.n_gpus}"
+            )
+        self.topology = topology
+        self.true_profile = true_profile
+        self.scheduler = scheduler
+        self.placement = placement
+        if pm_table is None and placement.variability_aware:
+            pm_table = PMScoreTable.fit(true_profile, seed=seed)
+        if pm_table is not None and pm_table.n_gpus != topology.n_gpus:
+            raise ConfigurationError("pm_table GPU count does not match topology")
+        self.pm_table = pm_table
+        self.locality = locality or LocalityModel()
+        self.admission = admission or AcceptAll()
+        self.config = config or SimulatorConfig()
+        self.seed = seed
+        if arch_of_gpu is not None:
+            arch_of_gpu = np.asarray(arch_of_gpu, dtype=np.int64)
+            if arch_of_gpu.shape != (topology.n_gpus,):
+                raise ConfigurationError("arch_of_gpu must have one entry per GPU")
+        self.arch_of_gpu = arch_of_gpu
+        # True scores as a dense (classes x gpus) array for fast max().
+        self._true_scores = np.ascontiguousarray(true_profile.scores)
+        self._online_table: OnlinePMScoreTable | None = None
+
+    # ------------------------------------------------------------------
+    def run(self, trace: Trace) -> SimulationResult:
+        """Simulate ``trace`` to completion and return the metrics."""
+        if trace.max_demand > self.topology.n_gpus:
+            raise ConfigurationError(
+                f"trace {trace.name!r} contains a {trace.max_demand}-GPU job; "
+                f"cluster has only {self.topology.n_gpus} GPUs"
+            )
+        for spec in trace:
+            if spec.class_id >= self.true_profile.n_classes:
+                raise ConfigurationError(
+                    f"job {spec.job_id} has class {spec.class_id} but the profile "
+                    f"defines {self.true_profile.n_classes} classes"
+                )
+
+        cfg = self.config
+        epoch_s = cfg.epoch_s
+        state = ClusterState(self.topology)
+        table = self.pm_table
+        online: OnlinePMScoreTable | None = None
+        if cfg.online_pm_updates and table is not None:
+            online = OnlinePMScoreTable(
+                table, cfg.online_update_config or OnlineUpdateConfig()
+            )
+            table = online  # placement reads the live beliefs
+            self._online_table = online
+        ctx = PlacementContext(
+            state=state,
+            topology=self.topology,
+            locality=self.locality,
+            pm_table=table,
+            rng=stream(self.seed, f"placement/{self.placement.name}/{trace.name}"),
+            arch_of_gpu=self.arch_of_gpu,
+        )
+
+        events: EventLog | None = EventLog() if cfg.record_events else None
+        jobs = [SimJob(spec) for spec in trace]
+        pending: list[SimJob] = list(jobs)  # arrival-ordered
+        next_pending = 0
+        active: list[SimJob] = []
+        n_finished = 0
+
+        epoch_times: list[float] = []
+        gpus_in_use: list[int] = []
+        placement_times: list[float] = []
+        busy_gpu_seconds = 0.0
+
+        now = 0.0
+        epochs_run = 0
+        # Steady-state memoization for deterministic non-sticky policies:
+        # if the guaranteed prefix is identical to last round's and nothing
+        # released or rearranged GPUs in between, re-placement would
+        # reproduce the same allocations — skip it. Online updates mutate
+        # the beliefs between rounds, so they disable the memoization.
+        can_memoize = (
+            self.placement.deterministic
+            and not self.placement.sticky
+            and online is None
+        )
+        prev_sched_ids: tuple[int, ...] | None = None
+        state_dirty = True
+        while n_finished < len(jobs):
+            if epochs_run >= cfg.max_epochs:
+                raise SimulationError(
+                    f"simulation exceeded max_epochs={cfg.max_epochs} "
+                    f"({n_finished}/{len(jobs)} jobs finished at t={now:.0f}s)"
+                )
+            epochs_run += 1
+
+            # ---- (1) arrivals + admission ---------------------------------
+            outstanding = sum(j.demand for j in active)
+            while next_pending < len(pending):
+                job = pending[next_pending]
+                if job.spec.arrival_time_s > now:
+                    break
+                if not self.admission.admit(
+                    job,
+                    queued_jobs=len(active),
+                    outstanding_demand=outstanding,
+                    cluster_size=self.topology.n_gpus,
+                ):
+                    break  # re-offered (in arrival order) next round
+                job.state = JobState.QUEUED
+                active.append(job)
+                outstanding += job.demand
+                next_pending += 1
+                if events is not None:
+                    events.append(now, EventType.ADMIT, job.job_id,
+                                  arrival_s=job.spec.arrival_time_s)
+
+            # ---- idle fast-forward ----------------------------------------
+            if not active:
+                if next_pending >= len(pending):  # pragma: no cover - loop guard
+                    raise SimulationError("no active or pending jobs but not all finished")
+                arrival = pending[next_pending].spec.arrival_time_s
+                now = float(np.ceil(max(arrival, now + epoch_s) / epoch_s) * epoch_s)
+                continue
+
+            # ---- (2) scheduling order + queue marking ---------------------
+            ordered = self.scheduler.order(active, now)
+            n_guaranteed = mark_queue_at_cluster_size(
+                [j.demand for j in ordered], self.topology.n_gpus
+            )
+            scheduled = ordered[:n_guaranteed]
+
+            # Preempt running jobs that lost their guarantee this round.
+            for job in ordered[n_guaranteed:]:
+                if job.allocation is not None:
+                    state.release(job.job_id)
+                    job.allocation = None
+                    job.n_preemptions += 1
+                    job.state = JobState.QUEUED
+                    state_dirty = True
+                    if events is not None:
+                        events.append(now, EventType.PREEMPT, job.job_id)
+
+            # ---- (3) placement --------------------------------------------
+            t0 = time.perf_counter()
+            sched_ids = tuple(j.job_id for j in scheduled)
+            if can_memoize and not state_dirty and sched_ids == prev_sched_ids:
+                disturbed: set[int] = set()
+            else:
+                disturbed = self._place(ctx, scheduled, now, events)
+                prev_sched_ids = sched_ids
+                state_dirty = False
+            placement_times.append(time.perf_counter() - t0)
+            if cfg.validate_invariants:
+                state.check_invariants()
+
+            if cfg.record_utilization:
+                epoch_times.append(now)
+                gpus_in_use.append(state.n_busy)
+
+            # ---- (4) execute the epoch ------------------------------------
+            gpn = self.topology.gpus_per_node
+            for job in scheduled:
+                if job.allocation is None:  # pragma: no cover - placement is total
+                    raise SimulationError(f"scheduled job {job.job_id} has no allocation")
+                overhead = (
+                    cfg.migration_overhead_s if job.job_id in disturbed else 0.0
+                )
+                t_iter_eff = job.cached_iter_time_s
+                if t_iter_eff is None:
+                    alloc = job.allocation
+                    # Allocations are sorted, so comparing the endpoint nodes
+                    # decides packing in O(1) (vs. a unique() over the array).
+                    packed = (alloc[0] // gpn) == (alloc[-1] // gpn)
+                    l_factor = self.locality.penalty(job.model, packed)
+                    v_factor = float(self._true_scores[job.class_id, alloc].max())
+                    t_iter_eff = l_factor * v_factor * job.spec.iteration_time_s
+                    job.cached_iter_time_s = t_iter_eff
+                    if online is not None:
+                        # The measured iteration time divided by L * t_orig
+                        # is exactly the allocation's max true score under
+                        # BSP — fold it into the believed table.
+                        online.observe(job.class_id, alloc, v_factor)
+
+                window = epoch_s - overhead
+                time_needed = job.remaining_iterations * t_iter_eff
+                if time_needed <= window:
+                    run_s = time_needed
+                    job.remaining_iterations = 0.0
+                    job.finish_time_s = now + overhead + run_s
+                    job.state = JobState.FINISHED
+                    state.release(job.job_id)
+                    job.allocation = None
+                    n_finished += 1
+                    state_dirty = True
+                    if events is not None:
+                        events.append(job.finish_time_s, EventType.FINISH,
+                                      job.job_id)
+                else:
+                    run_s = window
+                    job.remaining_iterations -= run_s / t_iter_eff
+                job.executed_time_s += run_s
+                job.attained_service_gpu_s += run_s * job.demand
+                busy_gpu_seconds += (overhead + run_s) * job.demand
+
+            active = [j for j in active if not j.is_finished]
+            now += epoch_s
+
+        if events is not None:
+            # Emission happens in scheduling order within an epoch, but
+            # FINISH timestamps land mid-epoch; a stable time sort makes
+            # the log globally ordered while preserving same-instant
+            # causality (ADMIT before START, etc.).
+            events = EventLog(sorted(events.events, key=lambda e: e.time_s))
+        records = tuple(
+            JobRecord(
+                job_id=j.job_id,
+                model=j.model,
+                class_id=j.class_id,
+                demand=j.demand,
+                arrival_s=j.spec.arrival_time_s,
+                first_start_s=float(j.first_start_s),  # type: ignore[arg-type]
+                finish_s=float(j.finish_time_s),  # type: ignore[arg-type]
+                executed_s=j.executed_time_s,
+                ideal_duration_s=j.spec.ideal_duration_s,
+                n_migrations=j.n_migrations,
+                n_preemptions=j.n_preemptions,
+                n_restarts=j.n_restarts,
+            )
+            for j in jobs
+        )
+        return SimulationResult(
+            trace_name=trace.name,
+            scheduler_name=self.scheduler.name,
+            placement_name=self.placement.name,
+            cluster_size=self.topology.n_gpus,
+            epoch_s=epoch_s,
+            records=records,
+            epoch_times_s=np.asarray(epoch_times, dtype=np.float64),
+            gpus_in_use=np.asarray(gpus_in_use, dtype=np.int64),
+            placement_times_s=np.asarray(placement_times, dtype=np.float64),
+            busy_gpu_seconds=busy_gpu_seconds,
+            metadata={"seed": self.seed, "epochs_run": epochs_run},
+            events=events,
+        )
+
+    # ------------------------------------------------------------------
+    def _place(
+        self,
+        ctx: PlacementContext,
+        scheduled: list[SimJob],
+        now: float,
+        events: EventLog | None = None,
+    ) -> set[int]:
+        """Assign GPUs to the guaranteed prefix; returns disturbed job ids.
+
+        A job is *disturbed* (and pays the migration overhead, if any)
+        when it was running and its GPU set changed, or when it resumed
+        after a preemption.
+        """
+        policy = self.placement
+        cluster = ctx.state
+        disturbed: set[int] = set()
+
+        if policy.sticky:
+            # Running jobs keep their GPUs; only allocation-less jobs
+            # (new or resuming) pick GPUs, in placement-priority order.
+            to_place = [j for j in scheduled if j.allocation is None]
+            for job in policy.placement_order(to_place):
+                alloc = policy.select_gpus(ctx, job)
+                cluster.allocate(job.job_id, alloc)
+                job.allocation = alloc
+                job.cached_iter_time_s = None
+                if job.first_start_s is None:
+                    job.first_start_s = now
+                    if events is not None:
+                        events.append(now, EventType.START, job.job_id,
+                                      gpus=alloc.tolist())
+                else:
+                    job.n_restarts += 1
+                    disturbed.add(job.job_id)
+                    if events is not None:
+                        events.append(now, EventType.RESTART, job.job_id,
+                                      gpus=alloc.tolist())
+                job.state = JobState.RUNNING
+            return disturbed
+
+        # Non-sticky: release the whole prefix, then re-place it.
+        previous: dict[int, np.ndarray] = {}
+        for job in scheduled:
+            if job.allocation is not None:
+                previous[job.job_id] = job.allocation
+                cluster.release(job.job_id)
+                job.allocation = None
+        for job in policy.placement_order(scheduled):
+            alloc = policy.select_gpus(ctx, job)
+            cluster.allocate(job.job_id, alloc)
+            job.allocation = alloc
+            prev = previous.get(job.job_id)
+            if prev is None:
+                job.cached_iter_time_s = None
+                if job.first_start_s is None:
+                    job.first_start_s = now
+                    if events is not None:
+                        events.append(now, EventType.START, job.job_id,
+                                      gpus=alloc.tolist())
+                else:
+                    job.n_restarts += 1
+                    disturbed.add(job.job_id)
+                    if events is not None:
+                        events.append(now, EventType.RESTART, job.job_id,
+                                      gpus=alloc.tolist())
+            elif not np.array_equal(prev, alloc):
+                job.cached_iter_time_s = None
+                job.n_migrations += 1
+                disturbed.add(job.job_id)
+                if events is not None:
+                    events.append(now, EventType.MIGRATE, job.job_id,
+                                  from_gpus=prev.tolist(), to_gpus=alloc.tolist())
+            job.state = JobState.RUNNING
+        return disturbed

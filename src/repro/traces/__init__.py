@@ -1,0 +1,18 @@
+"""Trace substrate: job specs, trace containers, Sia-Philly & Synergy generators."""
+
+from .job import PAPER_CLASS_INDEX, JobSpec, class_index_of_model
+from .philly import SiaPhillyConfig, generate_sia_philly_suite, generate_sia_philly_trace
+from .synergy import SynergyConfig, generate_synergy_trace
+from .trace import Trace
+
+__all__ = [
+    "PAPER_CLASS_INDEX",
+    "JobSpec",
+    "class_index_of_model",
+    "SiaPhillyConfig",
+    "generate_sia_philly_suite",
+    "generate_sia_philly_trace",
+    "SynergyConfig",
+    "generate_synergy_trace",
+    "Trace",
+]

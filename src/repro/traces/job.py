@@ -1,0 +1,92 @@
+"""Static job descriptions as they appear in a workload trace.
+
+A :class:`JobSpec` is everything the scheduler knows about a job when it
+arrives: arrival time, GPU demand, the model it trains (hence its
+variability class, assigned by the classification layer at submission —
+paper Fig. 2 steps 1-2), its per-iteration time on a median GPU, and its
+total iteration count. Runtime state (progress, allocations, preemptions)
+lives in the simulator's :class:`repro.scheduler.jobs.SimJob` wrapper so
+traces stay immutable and reusable across policy comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..utils.errors import TraceError
+from ..workloads.models import MODEL_REGISTRY
+
+__all__ = ["JobSpec", "PAPER_CLASS_INDEX", "class_index_of_model"]
+
+#: Canonical mapping of the paper's class letters to indices (A = most
+#: variability-sensitive = 0). VariabilityProfile class rows use the same
+#: order, keeping ``JobSpec.class_id`` a direct row index.
+PAPER_CLASS_INDEX: dict[str, int] = {"A": 0, "B": 1, "C": 2}
+
+
+def class_index_of_model(model_name: str) -> int:
+    """Class index of a registered model per the paper's assignment."""
+    try:
+        spec = MODEL_REGISTRY[model_name]
+    except KeyError:
+        raise TraceError(f"unknown model {model_name!r}") from None
+    return PAPER_CLASS_INDEX[spec.paper_class]
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One trace entry.
+
+    Attributes
+    ----------
+    job_id:
+        Unique, dense id; trace generators number jobs by arrival order.
+    arrival_time_s:
+        Submission time relative to trace start.
+    demand:
+        Number of GPUs the job requires (gang-scheduled; the BSP model
+        runs all of them or none).
+    model:
+        Registered model name (keys of ``MODEL_REGISTRY``).
+    class_id:
+        Variability class index (0 = class A). Stored on the spec because
+        the classifier tags jobs at admission, before scheduling.
+    iteration_time_s:
+        Per-iteration time on a median GPU with a packed allocation
+        (``t_orig`` in the paper's Eq. 1).
+    total_iterations:
+        Job length in iterations; ideal runtime is
+        ``total_iterations * iteration_time_s``.
+    """
+
+    job_id: int
+    arrival_time_s: float
+    demand: int
+    model: str
+    class_id: int
+    iteration_time_s: float
+    total_iterations: int
+
+    def __post_init__(self) -> None:
+        if self.job_id < 0:
+            raise TraceError(f"job_id {self.job_id} must be >= 0")
+        if self.arrival_time_s < 0:
+            raise TraceError(f"job {self.job_id}: arrival {self.arrival_time_s} must be >= 0")
+        if self.demand < 1:
+            raise TraceError(f"job {self.job_id}: demand {self.demand} must be >= 1")
+        if self.class_id < 0:
+            raise TraceError(f"job {self.job_id}: class_id must be >= 0")
+        if self.iteration_time_s <= 0:
+            raise TraceError(f"job {self.job_id}: iteration_time_s must be positive")
+        if self.total_iterations < 1:
+            raise TraceError(f"job {self.job_id}: total_iterations must be >= 1")
+
+    @property
+    def ideal_duration_s(self) -> float:
+        """Runtime on median GPUs with a packed allocation (no slowdowns)."""
+        return self.total_iterations * self.iteration_time_s
+
+    @property
+    def service_demand_gpu_s(self) -> float:
+        """Ideal GPU-seconds of service (demand x ideal duration)."""
+        return self.demand * self.ideal_duration_s

@@ -1,0 +1,159 @@
+"""Sia-Philly-style trace generation (paper Sec. IV-B1).
+
+Sia derives eight traces by sampling jobs from Microsoft's public Philly
+production traces: 160 jobs each, submitted over an 8-hour window at
+20 jobs/hour; 40 % single-GPU jobs; the largest jobs request 48 GPUs on a
+64-GPU cluster. The raw Philly data is not shippable here, so this module
+regenerates traces statistically from exactly those published parameters:
+
+* arrivals: order statistics of uniform draws over the window (a Poisson
+  process conditioned on the job count);
+* GPU demands: 40 % singles; multi-GPU demands follow a Philly-like
+  geometric-ish decay over {2, 4, 8, 16, 24, 32, 48};
+* durations: heavy-tailed lognormal (Philly's hallmark), clipped;
+* models: uniform over the paper's Table II six-model mix, which fixes
+  each job's variability class and per-iteration time.
+
+``workload_id`` (1..8) seeds an independent stream per trace, mirroring
+Sia's eight derived workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..utils.errors import ConfigurationError
+from ..utils.rng import stream
+from ..workloads.models import TABLE2_MODELS, get_model
+from .job import JobSpec, class_index_of_model
+from .trace import Trace
+
+__all__ = ["SiaPhillyConfig", "generate_sia_philly_trace", "generate_sia_philly_suite"]
+
+
+@dataclass(frozen=True)
+class SiaPhillyConfig:
+    """Knobs of the Sia-Philly generator (defaults = the paper's settings)."""
+
+    n_jobs: int = 160
+    window_hours: float = 8.0
+    single_gpu_fraction: float = 0.40
+    multi_demands: tuple[int, ...] = (2, 4, 8, 16, 24, 32, 48)
+    multi_weights: tuple[float, ...] = (0.33, 0.28, 0.20, 0.09, 0.04, 0.03, 0.03)
+    duration_median_s: float = 4000.0
+    duration_sigma: float = 1.3
+    duration_min_s: float = 300.0
+    duration_max_s: float = 48.0 * 3600.0
+    models: tuple[str, ...] = TABLE2_MODELS
+    model_weights: tuple[float, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_jobs < 1:
+            raise ConfigurationError("n_jobs must be >= 1")
+        if self.window_hours <= 0:
+            raise ConfigurationError("window_hours must be positive")
+        if not 0.0 <= self.single_gpu_fraction <= 1.0:
+            raise ConfigurationError("single_gpu_fraction must be in [0, 1]")
+        if len(self.multi_demands) != len(self.multi_weights):
+            raise ConfigurationError("multi_demands and multi_weights must align")
+        if any(d < 2 for d in self.multi_demands):
+            raise ConfigurationError("multi_demands must all be >= 2")
+        if abs(sum(self.multi_weights) - 1.0) > 1e-6:
+            raise ConfigurationError("multi_weights must sum to 1")
+        if self.model_weights is not None and len(self.model_weights) != len(self.models):
+            raise ConfigurationError("model_weights must align with models")
+        if not 0 < self.duration_min_s <= self.duration_max_s:
+            raise ConfigurationError("duration bounds must satisfy 0 < min <= max")
+        for m in self.models:
+            get_model(m)  # raises on unknown model names
+
+
+def generate_sia_philly_trace(
+    workload_id: int,
+    *,
+    config: SiaPhillyConfig | None = None,
+    seed: int = 0,
+) -> Trace:
+    """Generate one Sia-Philly-style trace.
+
+    Parameters
+    ----------
+    workload_id:
+        1..8 in the paper; any positive integer works and selects an
+        independent random stream under the shared ``seed``.
+    config:
+        Generator parameters (defaults follow the paper).
+    seed:
+        Experiment-level seed.
+    """
+    if workload_id < 1:
+        raise ConfigurationError(f"workload_id={workload_id} must be >= 1")
+    cfg = config or SiaPhillyConfig()
+    rng = stream(seed, f"trace/sia-philly/{workload_id}")
+
+    window_s = cfg.window_hours * 3600.0
+    arrivals = np.sort(rng.uniform(0.0, window_s, size=cfg.n_jobs))
+
+    demands = np.ones(cfg.n_jobs, dtype=np.int64)
+    multi_mask = rng.random(cfg.n_jobs) >= cfg.single_gpu_fraction
+    n_multi = int(multi_mask.sum())
+    if n_multi:
+        demands[multi_mask] = rng.choice(
+            np.asarray(cfg.multi_demands, dtype=np.int64),
+            size=n_multi,
+            p=np.asarray(cfg.multi_weights, dtype=np.float64),
+        )
+
+    durations = cfg.duration_median_s * np.exp(
+        rng.normal(0.0, cfg.duration_sigma, size=cfg.n_jobs)
+    )
+    np.clip(durations, cfg.duration_min_s, cfg.duration_max_s, out=durations)
+
+    weights = (
+        np.asarray(cfg.model_weights, dtype=np.float64)
+        if cfg.model_weights is not None
+        else np.full(len(cfg.models), 1.0 / len(cfg.models))
+    )
+    model_idx = rng.choice(len(cfg.models), size=cfg.n_jobs, p=weights)
+
+    jobs = []
+    for i in range(cfg.n_jobs):
+        model = get_model(cfg.models[model_idx[i]])
+        iters = max(1, int(round(durations[i] / model.iteration_time_s)))
+        jobs.append(
+            JobSpec(
+                job_id=i,
+                arrival_time_s=float(arrivals[i]),
+                demand=int(demands[i]),
+                model=model.name,
+                class_id=class_index_of_model(model.name),
+                iteration_time_s=model.iteration_time_s,
+                total_iterations=iters,
+            )
+        )
+    return Trace(
+        name=f"sia-philly-w{workload_id}",
+        jobs=tuple(jobs),
+        metadata={
+            "generator": "sia-philly",
+            "workload_id": workload_id,
+            "seed": seed,
+            "n_jobs": cfg.n_jobs,
+            "window_hours": cfg.window_hours,
+        },
+    )
+
+
+def generate_sia_philly_suite(
+    *,
+    n_workloads: int = 8,
+    config: SiaPhillyConfig | None = None,
+    seed: int = 0,
+) -> list[Trace]:
+    """All eight Sia-Philly workloads (paper Fig. 11's x-axis)."""
+    return [
+        generate_sia_philly_trace(w, config=config, seed=seed)
+        for w in range(1, n_workloads + 1)
+    ]

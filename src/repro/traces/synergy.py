@@ -1,0 +1,144 @@
+"""Synergy-style trace generation (paper Sec. IV-B1).
+
+Synergy's workloads preserve the Philly trace's GPU-demand distribution
+(> 80 % single-GPU jobs) and draw arrivals from a Poisson process whose
+rate is the experiment's "job load" knob (jobs/hour). The paper runs
+these on a 256-GPU simulated cluster and reports steady-state metrics for
+a window of job ids (2000-3000 at full scale).
+
+This generator reproduces those statistics: exponential inter-arrivals at
+the requested rate, a demand mix dominated by single-GPU jobs with small
+multi-GPU jobs {2, 4, 8}, lognormal durations with a shorter median than
+the Sia mix (Synergy jobs are numerous and small), and the Table II model
+mix for class assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..utils.errors import ConfigurationError
+from ..utils.rng import stream
+from ..workloads.models import TABLE2_MODELS, get_model
+from .job import JobSpec, class_index_of_model
+from .trace import Trace
+
+__all__ = ["SynergyConfig", "generate_synergy_trace"]
+
+
+@dataclass(frozen=True)
+class SynergyConfig:
+    """Knobs of the Synergy generator (defaults follow the paper)."""
+
+    n_jobs: int = 3200
+    single_gpu_fraction: float = 0.82
+    multi_demands: tuple[int, ...] = (2, 4, 8)
+    multi_weights: tuple[float, ...] = (0.46, 0.34, 0.20)
+    # Philly training jobs are long (tens of hours). The median below puts
+    # the offered load (rate x mean service) at the 256-GPU cluster's
+    # capacity around ~7 jobs/hour, reproducing the paper's Fig. 14/15
+    # regime: low contention at 4-8 jobs/hour, saturation from ~10.
+    duration_median_s: float = 46800.0
+    duration_sigma: float = 1.10
+    duration_min_s: float = 600.0
+    duration_max_s: float = 120.0 * 3600.0
+    models: tuple[str, ...] = TABLE2_MODELS
+    model_weights: tuple[float, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_jobs < 1:
+            raise ConfigurationError("n_jobs must be >= 1")
+        if not 0.0 <= self.single_gpu_fraction <= 1.0:
+            raise ConfigurationError("single_gpu_fraction must be in [0, 1]")
+        if len(self.multi_demands) != len(self.multi_weights):
+            raise ConfigurationError("multi_demands and multi_weights must align")
+        if any(d < 2 for d in self.multi_demands):
+            raise ConfigurationError("multi_demands must all be >= 2")
+        if abs(sum(self.multi_weights) - 1.0) > 1e-6:
+            raise ConfigurationError("multi_weights must sum to 1")
+        if self.model_weights is not None and len(self.model_weights) != len(self.models):
+            raise ConfigurationError("model_weights must align with models")
+        if not 0 < self.duration_min_s <= self.duration_max_s:
+            raise ConfigurationError("duration bounds must satisfy 0 < min <= max")
+        for m in self.models:
+            get_model(m)
+
+
+def generate_synergy_trace(
+    jobs_per_hour: float,
+    *,
+    n_jobs: int | None = None,
+    config: SynergyConfig | None = None,
+    seed: int = 0,
+) -> Trace:
+    """Generate one Synergy-style trace at the given arrival rate.
+
+    Parameters
+    ----------
+    jobs_per_hour:
+        Poisson arrival rate — the x-axis of the paper's Figs. 14/16/17.
+    n_jobs:
+        Trace length override (the paper simulates enough jobs to measure
+        ids 2000-3000 at steady state; scaled runs use fewer).
+    config, seed:
+        Generator parameters and experiment seed.
+    """
+    if jobs_per_hour <= 0:
+        raise ConfigurationError(f"jobs_per_hour={jobs_per_hour} must be positive")
+    cfg = config or SynergyConfig()
+    n = int(n_jobs) if n_jobs is not None else cfg.n_jobs
+    if n < 1:
+        raise ConfigurationError(f"n_jobs={n} must be >= 1")
+    rng = stream(seed, f"trace/synergy/rate{jobs_per_hour:g}")
+
+    mean_gap_s = 3600.0 / jobs_per_hour
+    arrivals = np.cumsum(rng.exponential(mean_gap_s, size=n))
+    arrivals -= arrivals[0]  # first job arrives at t=0
+
+    demands = np.ones(n, dtype=np.int64)
+    multi_mask = rng.random(n) >= cfg.single_gpu_fraction
+    n_multi = int(multi_mask.sum())
+    if n_multi:
+        demands[multi_mask] = rng.choice(
+            np.asarray(cfg.multi_demands, dtype=np.int64),
+            size=n_multi,
+            p=np.asarray(cfg.multi_weights, dtype=np.float64),
+        )
+
+    durations = cfg.duration_median_s * np.exp(rng.normal(0.0, cfg.duration_sigma, size=n))
+    np.clip(durations, cfg.duration_min_s, cfg.duration_max_s, out=durations)
+
+    weights = (
+        np.asarray(cfg.model_weights, dtype=np.float64)
+        if cfg.model_weights is not None
+        else np.full(len(cfg.models), 1.0 / len(cfg.models))
+    )
+    model_idx = rng.choice(len(cfg.models), size=n, p=weights)
+
+    jobs = []
+    for i in range(n):
+        model = get_model(cfg.models[model_idx[i]])
+        iters = max(1, int(round(durations[i] / model.iteration_time_s)))
+        jobs.append(
+            JobSpec(
+                job_id=i,
+                arrival_time_s=float(arrivals[i]),
+                demand=int(demands[i]),
+                model=model.name,
+                class_id=class_index_of_model(model.name),
+                iteration_time_s=model.iteration_time_s,
+                total_iterations=iters,
+            )
+        )
+    return Trace(
+        name=f"synergy-{jobs_per_hour:g}jph",
+        jobs=tuple(jobs),
+        metadata={
+            "generator": "synergy",
+            "jobs_per_hour": jobs_per_hour,
+            "seed": seed,
+            "n_jobs": n,
+        },
+    )

@@ -1,0 +1,150 @@
+"""Workload trace container with validation, statistics, and CSV I/O."""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from ..utils.errors import TraceError
+from .job import JobSpec
+
+__all__ = ["Trace"]
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An immutable, arrival-ordered sequence of jobs.
+
+    ``metadata`` records the generator and its parameters so experiment
+    outputs are self-describing.
+    """
+
+    name: str
+    jobs: tuple[JobSpec, ...]
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.jobs:
+            raise TraceError(f"trace {self.name!r} is empty")
+        arrivals = [j.arrival_time_s for j in self.jobs]
+        if any(b < a for a, b in zip(arrivals, arrivals[1:])):
+            raise TraceError(f"trace {self.name!r}: jobs must be sorted by arrival time")
+        ids = [j.job_id for j in self.jobs]
+        if len(set(ids)) != len(ids):
+            raise TraceError(f"trace {self.name!r}: duplicate job ids")
+        object.__setattr__(self, "metadata", dict(self.metadata))
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self) -> Iterator[JobSpec]:
+        return iter(self.jobs)
+
+    def __getitem__(self, idx: int) -> JobSpec:
+        return self.jobs[idx]
+
+    @property
+    def max_demand(self) -> int:
+        return max(j.demand for j in self.jobs)
+
+    @property
+    def span_s(self) -> float:
+        """Arrival window length (first to last submission)."""
+        return self.jobs[-1].arrival_time_s - self.jobs[0].arrival_time_s
+
+    def stats(self) -> dict[str, float]:
+        """Aggregate statistics used by generator tests and reports."""
+        demands = np.array([j.demand for j in self.jobs], dtype=np.float64)
+        durations = np.array([j.ideal_duration_s for j in self.jobs], dtype=np.float64)
+        span_h = max(self.span_s / 3600.0, 1e-9)
+        return {
+            "n_jobs": float(len(self.jobs)),
+            "single_gpu_fraction": float(np.mean(demands == 1)),
+            "mean_demand": float(demands.mean()),
+            "max_demand": float(demands.max()),
+            "arrival_rate_per_h": (len(self.jobs) - 1) / span_h,
+            "mean_duration_h": float(durations.mean() / 3600.0),
+            "p95_duration_h": float(np.percentile(durations, 95) / 3600.0),
+            "total_gpu_hours": float(np.dot(demands, durations) / 3600.0),
+        }
+
+    def truncated(self, n_jobs: int, *, name: str | None = None) -> "Trace":
+        """First ``n_jobs`` jobs — used for scaled-down CI benchmark runs."""
+        if not 1 <= n_jobs <= len(self.jobs):
+            raise TraceError(f"cannot truncate to {n_jobs} of {len(self.jobs)} jobs")
+        return Trace(
+            name=name or f"{self.name}-first{n_jobs}",
+            jobs=self.jobs[:n_jobs],
+            metadata={**self.metadata, "truncated_to": n_jobs},
+        )
+
+    # ------------------------------------------------------------------
+    _CSV_FIELDS = (
+        "job_id",
+        "arrival_time_s",
+        "demand",
+        "model",
+        "class_id",
+        "iteration_time_s",
+        "total_iterations",
+    )
+
+    def to_csv(self, path: str | Path | None = None) -> str:
+        """Serialize to CSV; returns the text and optionally writes ``path``."""
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(["trace", self.name])
+        writer.writerow(self._CSV_FIELDS)
+        for j in self.jobs:
+            writer.writerow(
+                [
+                    j.job_id,
+                    f"{j.arrival_time_s:.6f}",
+                    j.demand,
+                    j.model,
+                    j.class_id,
+                    f"{j.iteration_time_s:.9g}",
+                    j.total_iterations,
+                ]
+            )
+        text = buf.getvalue()
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+    @classmethod
+    def from_csv(cls, source: str | Path) -> "Trace":
+        """Load a trace written by :meth:`to_csv` (path or CSV text)."""
+        text = source
+        if isinstance(source, Path) or (isinstance(source, str) and "\n" not in source):
+            p = Path(source)
+            if p.is_file():
+                text = p.read_text()
+        rows = list(csv.reader(io.StringIO(str(text))))
+        if len(rows) < 3 or rows[0][0] != "trace":
+            raise TraceError("malformed trace CSV")
+        name = rows[0][1]
+        if tuple(rows[1]) != cls._CSV_FIELDS:
+            raise TraceError(f"unexpected trace CSV header: {rows[1]}")
+        jobs = []
+        for row in rows[2:]:
+            if not row:
+                continue
+            jobs.append(
+                JobSpec(
+                    job_id=int(row[0]),
+                    arrival_time_s=float(row[1]),
+                    demand=int(row[2]),
+                    model=row[3],
+                    class_id=int(row[4]),
+                    iteration_time_s=float(row[5]),
+                    total_iterations=int(row[6]),
+                )
+            )
+        return cls(name=name, jobs=tuple(jobs), metadata={"source": "csv"})

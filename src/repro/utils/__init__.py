@@ -1,0 +1,56 @@
+"""Numeric utilities: RNG streams, clustering, statistics, errors."""
+
+from .errors import (
+    AllocationError,
+    ConfigurationError,
+    ProfileError,
+    ReproError,
+    SimulationError,
+    TraceError,
+)
+from .kmeans import (
+    KMeansResult,
+    assign_labels,
+    kmeans,
+    select_k_by_silhouette,
+    silhouette_samples,
+    silhouette_score,
+)
+from .rng import ensure_rng, stable_hash64, stream, substreams
+from .stats import (
+    BoxplotStats,
+    boxplot_stats,
+    cdf_points,
+    describe,
+    geomean,
+    geomean_improvement,
+    improvement,
+    percentile,
+)
+
+__all__ = [
+    "AllocationError",
+    "ConfigurationError",
+    "ProfileError",
+    "ReproError",
+    "SimulationError",
+    "TraceError",
+    "KMeansResult",
+    "assign_labels",
+    "kmeans",
+    "select_k_by_silhouette",
+    "silhouette_samples",
+    "silhouette_score",
+    "ensure_rng",
+    "stable_hash64",
+    "stream",
+    "substreams",
+    "BoxplotStats",
+    "boxplot_stats",
+    "cdf_points",
+    "describe",
+    "geomean",
+    "geomean_improvement",
+    "improvement",
+    "percentile",
+]

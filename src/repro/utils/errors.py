@@ -1,0 +1,46 @@
+"""Shared exception hierarchy for the PAL reproduction library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch every failure mode of this package with a single ``except`` clause
+while still being able to discriminate the common cases.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "AllocationError",
+    "ProfileError",
+    "TraceError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class AllocationError(ReproError, RuntimeError):
+    """A placement policy could not produce a valid GPU allocation.
+
+    Raised when a policy is asked for more GPUs than are free, when an
+    allocation would double-book a GPU, or when releasing GPUs that are
+    not held by the releasing job.
+    """
+
+
+class ProfileError(ReproError, ValueError):
+    """A variability or utilization profile is malformed or inconsistent."""
+
+
+class TraceError(ReproError, ValueError):
+    """A workload trace is malformed (bad ordering, demands, durations)."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The simulator reached an inconsistent state (should never happen)."""

@@ -1,0 +1,323 @@
+"""From-scratch K-Means clustering and silhouette analysis.
+
+The paper uses K-Means twice:
+
+* 2-D clustering of applications in the ``DRAMUtil x PeakFUUtil`` space to
+  form variability classes (paper Sec. III-A, Fig. 3), and
+* 1-D clustering of per-GPU PM-Scores into bins, with K selected by the
+  silhouette-score method over K in [2, 11] (paper Sec. III-B, Fig. 5).
+
+scikit-learn is not a dependency of this reproduction, so both K-Means
+(k-means++ initialization + Lloyd iterations, multiple restarts) and the
+silhouette coefficient are implemented here with vectorized NumPy. For the
+problem sizes in the paper (tens of applications, at most a few tens of
+thousands of GPUs) the O(n * k) Lloyd step and the O(n^2) silhouette are
+comfortably fast; the silhouette computation avoids materializing an
+n x n matrix row-block-wise only when n is large.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .errors import ConfigurationError
+from .rng import ensure_rng
+
+__all__ = [
+    "KMeansResult",
+    "kmeans",
+    "assign_labels",
+    "silhouette_samples",
+    "silhouette_score",
+    "select_k_by_silhouette",
+]
+
+_BLOCK = 2048  # row-block size for the pairwise-distance sweep in silhouette
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Outcome of one :func:`kmeans` fit.
+
+    Attributes
+    ----------
+    centroids:
+        ``(k, d)`` array of cluster centers, sorted so that clusters are in
+        ascending order of their first coordinate (deterministic labeling).
+    labels:
+        ``(n,)`` integer array assigning each input point to a centroid row.
+    inertia:
+        Sum of squared distances of points to their assigned centroid.
+    n_iter:
+        Number of Lloyd iterations executed by the best restart.
+    converged:
+        Whether the best restart reached the movement tolerance before
+        ``max_iter``.
+    """
+
+    centroids: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    n_iter: int
+    converged: bool
+
+    @property
+    def k(self) -> int:
+        return int(self.centroids.shape[0])
+
+
+def _as_points(points: np.ndarray) -> np.ndarray:
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim == 1:
+        pts = pts[:, None]
+    if pts.ndim != 2 or pts.shape[0] == 0:
+        raise ConfigurationError(f"points must be a non-empty 1-D or 2-D array, got shape {pts.shape}")
+    if not np.all(np.isfinite(pts)):
+        raise ConfigurationError("points must be finite")
+    return pts
+
+
+def _plus_plus_init(pts: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """k-means++ seeding: iteratively sample centers ~ D^2 weighting."""
+    n = pts.shape[0]
+    centers = np.empty((k, pts.shape[1]), dtype=np.float64)
+    first = int(rng.integers(n))
+    centers[0] = pts[first]
+    # Squared distance to the nearest already-chosen center.
+    d2 = np.sum((pts - centers[0]) ** 2, axis=1)
+    for i in range(1, k):
+        total = d2.sum()
+        if total <= 0.0:
+            # All remaining points coincide with chosen centers; any pick works.
+            idx = int(rng.integers(n))
+        else:
+            probs = d2 / total
+            idx = int(rng.choice(n, p=probs))
+        centers[i] = pts[idx]
+        np.minimum(d2, np.sum((pts - centers[i]) ** 2, axis=1), out=d2)
+    return centers
+
+
+def assign_labels(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Assign each point to the nearest centroid (Euclidean).
+
+    Ties break toward the lower centroid index, matching the behaviour of
+    ``argmin``. Used both inside Lloyd iterations and to classify new
+    applications/GPUs against an already-fitted clustering.
+    """
+    pts = _as_points(points)
+    cen = np.asarray(centroids, dtype=np.float64)
+    if cen.ndim == 1:
+        cen = cen[:, None]
+    if cen.shape[1] != pts.shape[1]:
+        raise ConfigurationError(
+            f"centroid dimensionality {cen.shape[1]} != point dimensionality {pts.shape[1]}"
+        )
+    # ||p - c||^2 = ||p||^2 - 2 p.c + ||c||^2 ; the ||p||^2 term is constant
+    # per row and can be dropped for argmin purposes.
+    cross = pts @ cen.T
+    d2 = np.sum(cen**2, axis=1)[None, :] - 2.0 * cross
+    return np.argmin(d2, axis=1)
+
+
+def _lloyd(
+    pts: np.ndarray,
+    init_centers: np.ndarray,
+    max_iter: int,
+    tol: float,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray, float, int, bool]:
+    centers = init_centers.copy()
+    k = centers.shape[0]
+    labels = assign_labels(pts, centers)
+    converged = False
+    it = 0
+    for it in range(1, max_iter + 1):
+        new_centers = np.empty_like(centers)
+        counts = np.bincount(labels, minlength=k)
+        for dim in range(pts.shape[1]):
+            sums = np.bincount(labels, weights=pts[:, dim], minlength=k)
+            with np.errstate(invalid="ignore"):
+                new_centers[:, dim] = sums / counts
+        empty = counts == 0
+        if np.any(empty):
+            # Re-seed empty clusters at the points farthest from their
+            # current centroid — the standard fix that keeps k clusters live.
+            d2 = np.sum((pts - centers[labels]) ** 2, axis=1)
+            farthest = np.argsort(d2)[::-1]
+            for j, cluster in enumerate(np.flatnonzero(empty)):
+                new_centers[cluster] = pts[farthest[j % len(farthest)]]
+        shift = float(np.max(np.sum((new_centers - centers) ** 2, axis=1)))
+        centers = new_centers
+        labels = assign_labels(pts, centers)
+        if shift <= tol * tol:
+            converged = True
+            break
+    inertia = float(np.sum((pts - centers[labels]) ** 2))
+    return centers, labels, inertia, it, converged
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    *,
+    rng: np.random.Generator | int | None = None,
+    n_init: int = 4,
+    max_iter: int = 200,
+    tol: float = 1e-8,
+) -> KMeansResult:
+    """Cluster ``points`` into ``k`` groups with restarted k-means++/Lloyd.
+
+    Parameters
+    ----------
+    points:
+        ``(n,)`` or ``(n, d)`` array.
+    k:
+        Number of clusters; must satisfy ``1 <= k <= n``.
+    rng:
+        Generator, seed, or None (see :func:`repro.utils.rng.ensure_rng`).
+    n_init:
+        Independent restarts; the restart with the lowest inertia wins.
+    max_iter, tol:
+        Lloyd iteration cap and centroid-movement convergence tolerance.
+
+    Returns
+    -------
+    KMeansResult
+        With centroids sorted ascending by first coordinate so that label
+        ``0`` is always the "smallest" cluster — the PM-Score binning and
+        the class ordering both depend on this determinism.
+    """
+    pts = _as_points(points)
+    n = pts.shape[0]
+    if not 1 <= k <= n:
+        raise ConfigurationError(f"k={k} must be in [1, n={n}]")
+    if n_init < 1:
+        raise ConfigurationError(f"n_init={n_init} must be >= 1")
+    gen = ensure_rng(rng, default_name="kmeans")
+
+    best: tuple[np.ndarray, np.ndarray, float, int, bool] | None = None
+    for _ in range(n_init):
+        init = _plus_plus_init(pts, k, gen)
+        fit = _lloyd(pts, init, max_iter, tol, gen)
+        if best is None or fit[2] < best[2]:
+            best = fit
+    assert best is not None
+    centers, labels, inertia, n_iter, converged = best
+
+    order = np.argsort(centers[:, 0], kind="stable")
+    centers = centers[order]
+    relabel = np.empty(k, dtype=np.int64)
+    relabel[order] = np.arange(k)
+    labels = relabel[labels]
+    return KMeansResult(
+        centroids=centers,
+        labels=labels.astype(np.int64),
+        inertia=inertia,
+        n_iter=n_iter,
+        converged=converged,
+    )
+
+
+def silhouette_samples(points: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Per-sample silhouette coefficients ``(b - a) / max(a, b)``.
+
+    ``a`` is the mean intra-cluster distance and ``b`` the mean distance to
+    the nearest other cluster. Singleton clusters receive silhouette 0, the
+    convention used by Rousseeuw (1987) and scikit-learn.
+    """
+    pts = _as_points(points)
+    lab = np.asarray(labels)
+    if lab.shape[0] != pts.shape[0]:
+        raise ConfigurationError("labels and points must align")
+    uniq, lab_idx = np.unique(lab, return_inverse=True)
+    k = uniq.shape[0]
+    if k < 2:
+        raise ConfigurationError("silhouette requires at least 2 clusters")
+    n = pts.shape[0]
+    counts = np.bincount(lab_idx, minlength=k).astype(np.float64)
+
+    # Mean distance from every point to every cluster, computed in row
+    # blocks to bound peak memory at BLOCK x n.
+    mean_dist = np.empty((n, k), dtype=np.float64)
+    for start in range(0, n, _BLOCK):
+        stop = min(start + _BLOCK, n)
+        block = pts[start:stop]
+        d2 = (
+            np.sum(block**2, axis=1)[:, None]
+            - 2.0 * block @ pts.T
+            + np.sum(pts**2, axis=1)[None, :]
+        )
+        np.maximum(d2, 0.0, out=d2)
+        dist = np.sqrt(d2)
+        for c in range(k):
+            mean_dist[start:stop, c] = dist[:, lab_idx == c].sum(axis=1)
+    mean_dist /= counts[None, :]
+
+    own = mean_dist[np.arange(n), lab_idx]
+    own_count = counts[lab_idx]
+    # Intra-cluster mean excludes the point itself.
+    with np.errstate(invalid="ignore", divide="ignore"):
+        a = own * own_count / np.maximum(own_count - 1.0, 1.0)
+    other = mean_dist.copy()
+    other[np.arange(n), lab_idx] = np.inf
+    b = np.min(other, axis=1)
+    denom = np.maximum(a, b)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        s = (b - a) / denom
+    s[own_count <= 1] = 0.0
+    s[~np.isfinite(s)] = 0.0
+    return s
+
+
+def silhouette_score(points: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient over all samples."""
+    return float(np.mean(silhouette_samples(points, labels)))
+
+
+def select_k_by_silhouette(
+    points: np.ndarray,
+    *,
+    k_min: int = 2,
+    k_max: int = 11,
+    rng: np.random.Generator | int | None = None,
+    n_init: int = 4,
+    tolerance: float = 0.05,
+) -> tuple[int, dict[int, float]]:
+    """Sweep K in ``[k_min, k_max]`` and return the silhouette-optimal K.
+
+    This is the paper's bin-count selection procedure (Sec. III-B): "We
+    select the K value that gives silhouette scores as close to +1 as
+    possible" so that bins are "distinct and relatively well-separated".
+    K values exceeding ``n - 1`` (or the number of distinct points) are
+    skipped. Returns the winning K and the per-K score map for reporting.
+
+    Selection applies a parsimony rule: the *smallest* K whose score is
+    within ``tolerance`` of the sweep maximum wins. On near-continuous
+    data the silhouette curve is flat and its argmax is sampling noise;
+    the tolerance keeps bin counts small (fewer bins = cheaper scheduler,
+    the paper's stated preference) without sacrificing genuinely
+    well-separated structure, where score gaps far exceed the tolerance.
+    """
+    pts = _as_points(points)
+    n_distinct = np.unique(pts, axis=0).shape[0]
+    hi = min(k_max, pts.shape[0] - 1, n_distinct)
+    if hi < k_min:
+        # Degenerate data (e.g. all GPUs identical): a single bin is exact.
+        return 1, {}
+    gen = ensure_rng(rng, default_name="kmeans/select_k")
+    scores: dict[int, float] = {}
+    for k in range(k_min, hi + 1):
+        fit = kmeans(pts, k, rng=gen, n_init=n_init)
+        if np.unique(fit.labels).shape[0] < 2:
+            continue
+        scores[k] = silhouette_score(pts, fit.labels)
+    if not scores:
+        return 1, {}
+    if tolerance < 0:
+        raise ConfigurationError(f"tolerance={tolerance} must be >= 0")
+    best_score = max(scores.values())
+    best_k = min(k for k, s in scores.items() if s >= best_score - tolerance)
+    return best_k, scores

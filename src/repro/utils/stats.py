@@ -1,0 +1,150 @@
+"""Statistics helpers shared by experiments and metric reporting.
+
+The paper reports geometric means of ratios (JCT improvements), tail
+percentiles (p99 JCT), empirical CDFs (Fig. 9), and boxplot summaries
+(Fig. 10, Fig. 18). These small, well-tested helpers keep every
+experiment module consistent about edge cases (empty inputs, zeros in
+geomeans, interpolation mode for percentiles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .errors import ConfigurationError
+
+__all__ = [
+    "geomean",
+    "percentile",
+    "improvement",
+    "geomean_improvement",
+    "cdf_points",
+    "BoxplotStats",
+    "boxplot_stats",
+    "describe",
+]
+
+
+def _as_array(values: Sequence[float] | np.ndarray, name: str) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    if arr.size == 0:
+        raise ConfigurationError(f"{name} must be non-empty")
+    if not np.all(np.isfinite(arr)):
+        raise ConfigurationError(f"{name} must be finite")
+    return arr
+
+
+def geomean(values: Sequence[float] | np.ndarray) -> float:
+    """Geometric mean of strictly positive values."""
+    arr = _as_array(values, "values")
+    if np.any(arr <= 0):
+        raise ConfigurationError("geomean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def percentile(values: Sequence[float] | np.ndarray, q: float) -> float:
+    """Linear-interpolation percentile, ``q`` in [0, 100]."""
+    if not 0.0 <= q <= 100.0:
+        raise ConfigurationError(f"q={q} must be in [0, 100]")
+    return float(np.percentile(_as_array(values, "values"), q))
+
+
+def improvement(baseline: float, candidate: float) -> float:
+    """Fractional improvement of ``candidate`` over ``baseline``.
+
+    Positive when the candidate is better for a lower-is-better metric:
+    ``improvement(10, 6) == 0.4`` (a 40 % reduction, the convention used by
+    the paper's "PAL improves average JCT by 42 %" statements).
+    """
+    if baseline <= 0:
+        raise ConfigurationError(f"baseline must be positive, got {baseline}")
+    return 1.0 - candidate / baseline
+
+
+def geomean_improvement(
+    baselines: Sequence[float] | np.ndarray,
+    candidates: Sequence[float] | np.ndarray,
+) -> float:
+    """Geomean-of-ratios improvement across paired experiments.
+
+    The paper's headline numbers aggregate per-trace ratios with a
+    geometric mean; equivalent to ``1 - geomean(candidate / baseline)``.
+    """
+    b = _as_array(baselines, "baselines")
+    c = _as_array(candidates, "candidates")
+    if b.shape != c.shape:
+        raise ConfigurationError("baselines and candidates must have equal length")
+    return 1.0 - geomean(c / b)
+
+
+def cdf_points(values: Sequence[float] | np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF as ``(sorted_values, cumulative_fraction)`` arrays.
+
+    The fraction at index ``i`` is ``(i + 1) / n`` — the convention used
+    when plotting JCT CDFs like the paper's Fig. 9.
+    """
+    arr = np.sort(_as_array(values, "values"))
+    frac = np.arange(1, arr.size + 1, dtype=np.float64) / arr.size
+    return arr, frac
+
+
+@dataclass(frozen=True)
+class BoxplotStats:
+    """Five-number summary plus whiskers, as drawn by matplotlib boxplots."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    whisker_low: float
+    whisker_high: float
+    n_outliers: int
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+
+def boxplot_stats(values: Sequence[float] | np.ndarray) -> BoxplotStats:
+    """Tukey boxplot summary (1.5 x IQR whiskers), used for Figs. 10 and 18."""
+    arr = _as_array(values, "values")
+    q1, med, q3 = (float(np.percentile(arr, q)) for q in (25, 50, 75))
+    iqr = q3 - q1
+    lo_fence = q1 - 1.5 * iqr
+    hi_fence = q3 + 1.5 * iqr
+    inside = arr[(arr >= lo_fence) & (arr <= hi_fence)]
+    # Whiskers reach the farthest in-fence points but never retreat past
+    # the quartiles (matplotlib's convention; matters when every point
+    # beyond a quartile is an outlier).
+    whisk_lo = min(float(inside.min()), q1) if inside.size else q1
+    whisk_hi = max(float(inside.max()), q3) if inside.size else q3
+    outliers = int(np.sum((arr < whisk_lo) | (arr > whisk_hi)))
+    return BoxplotStats(
+        minimum=float(arr.min()),
+        q1=q1,
+        median=med,
+        q3=q3,
+        maximum=float(arr.max()),
+        whisker_low=whisk_lo,
+        whisker_high=whisk_hi,
+        n_outliers=outliers,
+    )
+
+
+def describe(values: Sequence[float] | np.ndarray) -> dict[str, float]:
+    """Compact summary dict used in rendered experiment tables."""
+    arr = _as_array(values, "values")
+    return {
+        "n": float(arr.size),
+        "mean": float(arr.mean()),
+        "std": float(arr.std()),
+        "min": float(arr.min()),
+        "p50": float(np.percentile(arr, 50)),
+        "p95": float(np.percentile(arr, 95)),
+        "p99": float(np.percentile(arr, 99)),
+        "max": float(arr.max()),
+    }

@@ -1,0 +1,34 @@
+"""Variability substrate: profiles, synthetic generators, profiling harness."""
+
+from .profiler import (
+    DEFAULT_CLASS_REPRESENTATIVES,
+    ProfileErrorInjection,
+    ProfilingCampaign,
+    run_profiling_campaign,
+)
+from .profiles import VariabilityProfile, variability_summary
+from .synthetic import (
+    CLUSTER_SPECS,
+    FRONTERA,
+    FRONTERA_TESTBED,
+    LONGHORN,
+    ClassVariabilitySpec,
+    ClusterVariabilitySpec,
+    synthesize_profile,
+)
+
+__all__ = [
+    "DEFAULT_CLASS_REPRESENTATIVES",
+    "ProfileErrorInjection",
+    "ProfilingCampaign",
+    "run_profiling_campaign",
+    "VariabilityProfile",
+    "variability_summary",
+    "CLUSTER_SPECS",
+    "FRONTERA",
+    "FRONTERA_TESTBED",
+    "LONGHORN",
+    "ClassVariabilitySpec",
+    "ClusterVariabilitySpec",
+    "synthesize_profile",
+]

@@ -1,0 +1,167 @@
+"""Offline variability-profiling harness.
+
+The paper's step (0): run one representative application per class
+(ResNet-50 / BERT / PageRank — Table III) on *every* GPU of the cluster,
+collect per-GPU iteration times, and normalize to the cluster median to
+obtain PM penalties (Sec. IV-C).
+
+This module models that campaign on top of a ground-truth profile:
+
+* measured iteration time = class-representative iteration time x the
+  GPU's true score x multiplicative measurement noise;
+* optional :class:`ProfileErrorInjection` entries corrupt specific GPUs'
+  *measurements* — the mechanism behind the paper's cluster-vs-simulation
+  gap, where node c196-071's profiled class-A scores were ~8x lower than
+  the penalties jobs actually experienced (Sec. V-A);
+* the believed profile handed to the scheduler is the median-normalized
+  measurement, while the simulator executes jobs against the truth.
+
+Profiles are static by design ("generated at design time and remain
+constant throughout"), matching the paper; the gap experiment then
+quantifies the cost of that staleness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..utils.errors import ConfigurationError, ProfileError
+from ..utils.rng import stream
+from ..workloads.models import get_model
+from .profiles import VariabilityProfile
+
+__all__ = [
+    "ProfileErrorInjection",
+    "ProfilingCampaign",
+    "DEFAULT_CLASS_REPRESENTATIVES",
+    "run_profiling_campaign",
+]
+
+#: Table III: the representative application profiled for each class.
+DEFAULT_CLASS_REPRESENTATIVES: Mapping[str, str] = {
+    "A": "resnet50",
+    "B": "bert",
+    "C": "pagerank",
+}
+
+
+@dataclass(frozen=True)
+class ProfileErrorInjection:
+    """Corrupt the *measured* times of some GPUs for one class.
+
+    ``factor`` multiplies the measured iteration times: a factor of 1/8
+    makes slow GPUs look 8x faster than they are (under-profiling, the
+    paper's observed failure), a factor of 2 would over-profile them.
+    """
+
+    class_name: str
+    gpu_indices: tuple[int, ...]
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.factor <= 0:
+            raise ConfigurationError(f"injection factor must be positive, got {self.factor}")
+        if not self.gpu_indices:
+            raise ConfigurationError("injection must target at least one GPU")
+
+
+@dataclass
+class ProfilingCampaign:
+    """Everything a profiling campaign produced.
+
+    Attributes
+    ----------
+    believed:
+        The median-normalized profile the scheduler will consume.
+    measured_times_s:
+        ``(n_classes, n_gpus)`` raw measured iteration times (seconds),
+        before normalization — the quantity nsight compute reports.
+    representatives:
+        class name -> model name actually profiled (Table III).
+    """
+
+    believed: VariabilityProfile
+    measured_times_s: np.ndarray
+    representatives: dict[str, str]
+    injections: tuple[ProfileErrorInjection, ...] = field(default_factory=tuple)
+
+    def measured_time(self, class_name: str, gpu_index: int) -> float:
+        ci = self.believed.class_index(class_name)
+        return float(self.measured_times_s[ci, gpu_index])
+
+
+def run_profiling_campaign(
+    truth: VariabilityProfile,
+    *,
+    representatives: Mapping[str, str] | None = None,
+    measurement_noise: float = 0.0,
+    injections: Sequence[ProfileErrorInjection] = (),
+    seed: int = 0,
+) -> ProfilingCampaign:
+    """Profile every GPU of ``truth`` and build the believed profile.
+
+    Parameters
+    ----------
+    truth:
+        Ground-truth per-class scores (what jobs will actually experience).
+    representatives:
+        class name -> model name to "run"; defaults to Table III
+        (ResNet-50 / BERT / PageRank). Classes without an entry fall back
+        to the default map; unknown classes raise.
+    measurement_noise:
+        Relative std-dev of multiplicative lognormal noise on each
+        measured time (a real campaign averages a finite number of
+        iterations).
+    injections:
+        Measurement corruptions (see :class:`ProfileErrorInjection`).
+    seed:
+        RNG seed for the noise stream.
+    """
+    if measurement_noise < 0:
+        raise ConfigurationError(f"measurement_noise must be >= 0, got {measurement_noise}")
+    reps = dict(DEFAULT_CLASS_REPRESENTATIVES)
+    if representatives:
+        reps.update(representatives)
+
+    n_classes, n_gpus = truth.scores.shape
+    measured = np.empty_like(truth.scores)
+    rng = stream(seed, f"profiling/{truth.cluster_name}")
+    used_reps: dict[str, str] = {}
+    for ci, cname in enumerate(truth.class_names):
+        if cname not in reps:
+            raise ProfileError(
+                f"no representative application configured for class {cname!r}"
+            )
+        model = get_model(reps[cname])
+        used_reps[cname] = model.name
+        noise = (
+            np.exp(rng.normal(0.0, measurement_noise, size=n_gpus))
+            if measurement_noise > 0
+            else np.ones(n_gpus)
+        )
+        measured[ci] = model.iteration_time_s * truth.scores[ci] * noise
+
+    for inj in injections:
+        ci = truth.class_index(inj.class_name)
+        idx = np.asarray(inj.gpu_indices, dtype=np.int64)
+        if np.any(idx < 0) or np.any(idx >= n_gpus):
+            raise ProfileError(f"injection targets GPU out of range [0, {n_gpus})")
+        measured[ci, idx] *= inj.factor
+
+    med = np.median(measured, axis=1, keepdims=True)
+    believed = VariabilityProfile(
+        cluster_name=truth.cluster_name,
+        class_names=truth.class_names,
+        scores=measured / med,
+        cabinets=truth.cabinets.copy(),
+        gpu_uuids=truth.gpu_uuids,
+    )
+    return ProfilingCampaign(
+        believed=believed,
+        measured_times_s=measured,
+        representatives=used_reps,
+        injections=tuple(injections),
+    )

@@ -1,0 +1,282 @@
+"""Variability-profile containers.
+
+A :class:`VariabilityProfile` holds, for one cluster, the per-GPU
+median-normalized performance score of each application class: score 1.0
+means the GPU matches the cluster's median iteration time for that class's
+representative application, 1.5 means 50 % slower (paper Sec. III-B —
+these are the raw inputs to PM-Score binning).
+
+Profiles support without-replacement sampling (the paper's method for
+simulating an N-GPU cluster from a measured profile, Sec. IV-C),
+per-cabinet summaries (Figs. 6-8), and CSV round-tripping so campaigns
+can be persisted and shared.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from ..utils.errors import ProfileError
+from ..utils.rng import ensure_rng
+from ..utils.stats import geomean
+
+__all__ = ["VariabilityProfile", "variability_summary"]
+
+
+def variability_summary(scores: np.ndarray) -> dict[str, float]:
+    """Summary statistics for one class's median-normalized scores.
+
+    ``geomean_over_min`` mirrors the paper's "22 % geomean variability"
+    framing (geometric-mean slowdown relative to the fastest GPU);
+    ``max_over_median`` mirrors "up to 3.5x".
+    """
+    arr = np.asarray(scores, dtype=np.float64)
+    if arr.size == 0 or np.any(arr <= 0) or not np.all(np.isfinite(arr)):
+        raise ProfileError("scores must be positive and finite")
+    med = float(np.median(arr))
+    mn = float(arr.min())
+    return {
+        "n_gpus": float(arr.size),
+        "min": mn,
+        "median": med,
+        "max": float(arr.max()),
+        "std": float(arr.std()),
+        "geomean_over_min": geomean(arr / mn),
+        "max_over_median": float(arr.max() / med),
+        "p95_over_median": float(np.percentile(arr, 95) / med),
+        "frac_above_1p5": float(np.mean(arr / med > 1.5)),
+    }
+
+
+@dataclass
+class VariabilityProfile:
+    """Per-class, per-GPU median-normalized performance scores.
+
+    Attributes
+    ----------
+    cluster_name:
+        Which cluster the profile describes (e.g. ``"longhorn"``).
+    class_names:
+        Ordered class labels, most variability-sensitive first
+        (``("A", "B", "C")`` in the paper's running example).
+    scores:
+        ``(n_classes, n_gpus)`` array of positive scores.
+    cabinets:
+        ``(n_gpus,)`` integer cabinet index per GPU (Figs. 6-8 group GPUs
+        by cabinet).
+    gpu_uuids:
+        Stable per-GPU identifiers; the paper indexes its testbed profile
+        by ``nvidia-smi`` UUID (Sec. IV-C).
+    """
+
+    cluster_name: str
+    class_names: tuple[str, ...]
+    scores: np.ndarray
+    cabinets: np.ndarray = field(default=None)  # type: ignore[assignment]
+    gpu_uuids: tuple[str, ...] = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.scores = np.asarray(self.scores, dtype=np.float64)
+        if self.scores.ndim != 2:
+            raise ProfileError(f"scores must be 2-D (classes x gpus), got {self.scores.shape}")
+        if len(self.class_names) != self.scores.shape[0]:
+            raise ProfileError(
+                f"{len(self.class_names)} class names but {self.scores.shape[0]} score rows"
+            )
+        if self.scores.shape[1] == 0:
+            raise ProfileError("profile must cover at least one GPU")
+        if np.any(self.scores <= 0) or not np.all(np.isfinite(self.scores)):
+            raise ProfileError("scores must be positive and finite")
+        n = self.scores.shape[1]
+        if self.cabinets is None:
+            self.cabinets = np.zeros(n, dtype=np.int64)
+        else:
+            self.cabinets = np.asarray(self.cabinets, dtype=np.int64)
+            if self.cabinets.shape != (n,):
+                raise ProfileError("cabinets must have one entry per GPU")
+        if self.gpu_uuids is None:
+            self.gpu_uuids = tuple(f"GPU-{self.cluster_name}-{i:05d}" for i in range(n))
+        elif len(self.gpu_uuids) != n:
+            raise ProfileError("gpu_uuids must have one entry per GPU")
+        elif len(set(self.gpu_uuids)) != n:
+            raise ProfileError("gpu_uuids must be unique")
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_classes(self) -> int:
+        return self.scores.shape[0]
+
+    @property
+    def n_gpus(self) -> int:
+        return self.scores.shape[1]
+
+    def class_index(self, name: str) -> int:
+        try:
+            return self.class_names.index(name)
+        except ValueError:
+            raise ProfileError(
+                f"unknown class {name!r}; profile has {self.class_names}"
+            ) from None
+
+    def class_scores(self, class_id: int | str) -> np.ndarray:
+        """Read-only view of one class's per-GPU scores."""
+        if isinstance(class_id, str):
+            class_id = self.class_index(class_id)
+        if not 0 <= class_id < self.n_classes:
+            raise ProfileError(f"class_id {class_id} out of range [0, {self.n_classes})")
+        view = self.scores[class_id]
+        view.flags.writeable = False
+        return view
+
+    def score(self, class_id: int | str, gpu_index: int) -> float:
+        """Score of one GPU for one class."""
+        return float(self.class_scores(class_id)[gpu_index])
+
+    def score_by_uuid(self, class_id: int | str, uuid: str) -> float:
+        """Look up by GPU UUID, as the paper's testbed harness does."""
+        try:
+            idx = self.gpu_uuids.index(uuid)
+        except ValueError:
+            raise ProfileError(f"unknown GPU uuid {uuid!r}") from None
+        return self.score(class_id, idx)
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def renormalized(self) -> "VariabilityProfile":
+        """Return a copy with every class re-normalized to median 1.0."""
+        med = np.median(self.scores, axis=1, keepdims=True)
+        return VariabilityProfile(
+            cluster_name=self.cluster_name,
+            class_names=self.class_names,
+            scores=self.scores / med,
+            cabinets=self.cabinets.copy(),
+            gpu_uuids=self.gpu_uuids,
+        )
+
+    def sample(
+        self,
+        n_gpus: int,
+        rng: np.random.Generator | int | None = None,
+        *,
+        renormalize: bool = True,
+    ) -> "VariabilityProfile":
+        """Sample ``n_gpus`` GPUs without replacement (paper Sec. IV-C).
+
+        "When simulating an N-GPU cluster, we discretely, randomly sample
+        this profiling data without repetition to obtain N PM penalty
+        values for each class." Per-GPU rows stay aligned across classes
+        (the same physical GPU keeps its class-A and class-C scores),
+        preserving the paper's observation that ill-performing GPUs are
+        consistently ill-performing.
+        """
+        if not 1 <= n_gpus <= self.n_gpus:
+            raise ProfileError(
+                f"cannot sample {n_gpus} GPUs from a profile of {self.n_gpus}"
+            )
+        gen = ensure_rng(rng, default_name=f"profile-sample/{self.cluster_name}")
+        idx = np.sort(gen.choice(self.n_gpus, size=n_gpus, replace=False))
+        prof = VariabilityProfile(
+            cluster_name=self.cluster_name,
+            class_names=self.class_names,
+            scores=self.scores[:, idx].copy(),
+            cabinets=self.cabinets[idx].copy(),
+            gpu_uuids=tuple(self.gpu_uuids[i] for i in idx),
+        )
+        return prof.renormalized() if renormalize else prof
+
+    def subset(self, gpu_indices: Sequence[int], *, renormalize: bool = False) -> "VariabilityProfile":
+        """Deterministic subset by GPU index (e.g. the 64-GPU testbed slice)."""
+        idx = np.asarray(gpu_indices, dtype=np.int64)
+        if idx.size == 0:
+            raise ProfileError("subset must select at least one GPU")
+        if np.any(idx < 0) or np.any(idx >= self.n_gpus):
+            raise ProfileError("subset indices out of range")
+        if np.unique(idx).size != idx.size:
+            raise ProfileError("subset indices must be unique")
+        prof = VariabilityProfile(
+            cluster_name=self.cluster_name,
+            class_names=self.class_names,
+            scores=self.scores[:, idx].copy(),
+            cabinets=self.cabinets[idx].copy(),
+            gpu_uuids=tuple(self.gpu_uuids[i] for i in idx),
+        )
+        return prof.renormalized() if renormalize else prof
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def summary(self, class_id: int | str) -> dict[str, float]:
+        """Variability statistics for one class (see :func:`variability_summary`)."""
+        return variability_summary(self.class_scores(class_id))
+
+    def cabinet_summary(self, class_id: int | str) -> dict[int, dict[str, float]]:
+        """Per-cabinet score statistics, the view drawn in Figs. 6-8."""
+        scores = self.class_scores(class_id)
+        out: dict[int, dict[str, float]] = {}
+        for cab in np.unique(self.cabinets):
+            out[int(cab)] = variability_summary(scores[self.cabinets == cab])
+        return out
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_csv(self, path: str | Path | None = None) -> str:
+        """Serialize to CSV (one row per GPU); returns the CSV text."""
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(["cluster", self.cluster_name])
+        writer.writerow(["gpu_index", "uuid", "cabinet", *[f"score_{c}" for c in self.class_names]])
+        for i in range(self.n_gpus):
+            writer.writerow(
+                [i, self.gpu_uuids[i], int(self.cabinets[i])]
+                + [f"{self.scores[c, i]:.9g}" for c in range(self.n_classes)]
+            )
+        text = buf.getvalue()
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+    @classmethod
+    def from_csv(cls, source: str | Path) -> "VariabilityProfile":
+        """Load a profile previously written by :meth:`to_csv`.
+
+        ``source`` may be a path or the CSV text itself.
+        """
+        text = source
+        if isinstance(source, Path) or (isinstance(source, str) and "\n" not in source):
+            p = Path(source)
+            if p.is_file():
+                text = p.read_text()
+        rows = list(csv.reader(io.StringIO(str(text))))
+        if len(rows) < 3 or rows[0][0] != "cluster":
+            raise ProfileError("malformed profile CSV")
+        cluster_name = rows[0][1]
+        header = rows[1]
+        class_names = tuple(h.removeprefix("score_") for h in header[3:])
+        if not class_names:
+            raise ProfileError("profile CSV has no score columns")
+        uuids: list[str] = []
+        cabinets: list[int] = []
+        scores: list[list[float]] = []
+        for row in rows[2:]:
+            if not row:
+                continue
+            uuids.append(row[1])
+            cabinets.append(int(row[2]))
+            scores.append([float(v) for v in row[3:]])
+        return cls(
+            cluster_name=cluster_name,
+            class_names=class_names,
+            scores=np.asarray(scores, dtype=np.float64).T,
+            cabinets=np.asarray(cabinets, dtype=np.int64),
+            gpu_uuids=tuple(uuids),
+        )

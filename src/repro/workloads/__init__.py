@@ -1,0 +1,19 @@
+"""Workload substrate: kernel model, ML model registry, simulated nsight."""
+
+from .kernels import FUNCTIONAL_UNITS, KernelProfile, validate_kernel_mix
+from .models import MODEL_REGISTRY, TABLE2_MODELS, ModelSpec, get_model, models_for_class
+from .nsight import UtilizationMeasurement, measure_model, measure_suite
+
+__all__ = [
+    "FUNCTIONAL_UNITS",
+    "KernelProfile",
+    "validate_kernel_mix",
+    "MODEL_REGISTRY",
+    "TABLE2_MODELS",
+    "ModelSpec",
+    "get_model",
+    "models_for_class",
+    "UtilizationMeasurement",
+    "measure_model",
+    "measure_suite",
+]

@@ -1,0 +1,100 @@
+"""GPU kernel model underlying the simulated ``nsight compute`` profiler.
+
+The paper classifies applications by two scalars measured with NVIDIA's
+nsight compute: DRAM utilization and peak functional-unit (FU)
+utilization, both on a [0, 10] scale, aggregated across an application's
+kernels weighted by kernel runtime (paper Sec. III-A).
+
+We reproduce the *measurement substrate* with an explicit kernel mix per
+ML model: each :class:`KernelProfile` carries per-FU utilizations and a
+DRAM utilization, and a runtime fraction within one training iteration.
+The profiler in :mod:`repro.workloads.nsight` then applies the paper's
+aggregation formulas verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+from ..utils.errors import ConfigurationError
+
+__all__ = ["FUNCTIONAL_UNITS", "KernelProfile", "validate_kernel_mix"]
+
+#: The functional units the paper enumerates: "single precision, double
+#: precision, texture, special and tensor function units".
+FUNCTIONAL_UNITS: tuple[str, ...] = ("fp32", "fp64", "texture", "special", "tensor")
+
+_UTIL_LO, _UTIL_HI = 0.0, 10.0
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """One kernel type inside a model's training iteration.
+
+    Attributes
+    ----------
+    name:
+        Kernel identifier (e.g. ``"conv2d_fprop"``).
+    runtime_fraction:
+        Fraction of one iteration's GPU time spent in this kernel type
+        (summed over all launches of the type). Fractions across a model's
+        kernel mix must sum to 1.
+    fu_util:
+        Mapping from functional-unit name to utilization in [0, 10]
+        (nsight compute's reporting range). Units omitted default to 0.
+    dram_util:
+        DRAM bandwidth utilization in [0, 10]:
+        ``DRAMBandwidth / DRAMPeakBandwidth * 10``.
+    """
+
+    name: str
+    runtime_fraction: float
+    fu_util: Mapping[str, float] = field(default_factory=dict)
+    dram_util: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("kernel name must be non-empty")
+        if not 0.0 < self.runtime_fraction <= 1.0:
+            raise ConfigurationError(
+                f"kernel {self.name!r}: runtime_fraction={self.runtime_fraction} not in (0, 1]"
+            )
+        for unit, util in self.fu_util.items():
+            if unit not in FUNCTIONAL_UNITS:
+                raise ConfigurationError(
+                    f"kernel {self.name!r}: unknown functional unit {unit!r}; "
+                    f"expected one of {FUNCTIONAL_UNITS}"
+                )
+            if not _UTIL_LO <= util <= _UTIL_HI:
+                raise ConfigurationError(
+                    f"kernel {self.name!r}: {unit} utilization {util} not in [0, 10]"
+                )
+        if not _UTIL_LO <= self.dram_util <= _UTIL_HI:
+            raise ConfigurationError(
+                f"kernel {self.name!r}: dram_util={self.dram_util} not in [0, 10]"
+            )
+        # Freeze the mapping so profiles are safely shareable.
+        object.__setattr__(self, "fu_util", MappingProxyType(dict(self.fu_util)))
+
+    def utilization(self, unit: str) -> float:
+        """Utilization of ``unit`` in [0, 10]; 0 for units the kernel skips."""
+        if unit not in FUNCTIONAL_UNITS:
+            raise ConfigurationError(f"unknown functional unit {unit!r}")
+        return float(self.fu_util.get(unit, 0.0))
+
+
+def validate_kernel_mix(kernels: tuple[KernelProfile, ...]) -> None:
+    """Check that a kernel mix is non-empty and its fractions sum to 1."""
+    if not kernels:
+        raise ConfigurationError("kernel mix must contain at least one kernel")
+    total = sum(k.runtime_fraction for k in kernels)
+    if abs(total - 1.0) > 1e-6:
+        raise ConfigurationError(
+            f"kernel runtime fractions must sum to 1, got {total:.6f} "
+            f"for mix {[k.name for k in kernels]}"
+        )
+    names = [k.name for k in kernels]
+    if len(set(names)) != len(names):
+        raise ConfigurationError(f"duplicate kernel names in mix: {names}")

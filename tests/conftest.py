@@ -1,0 +1,68 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+# Make the suite runnable without an installed package (e.g. a fresh
+# checkout before `pip install -e .`).
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.cluster import ClusterState, ClusterTopology, LocalityModel  # noqa: E402
+from repro.core import PMScoreTable  # noqa: E402
+from repro.variability import VariabilityProfile, synthesize_profile  # noqa: E402
+
+
+@pytest.fixture
+def topo16() -> ClusterTopology:
+    """A small 4-node / 16-GPU cluster."""
+    return ClusterTopology.from_gpu_count(16)
+
+
+@pytest.fixture
+def state16(topo16) -> ClusterState:
+    return ClusterState(topo16)
+
+
+@pytest.fixture
+def locality() -> LocalityModel:
+    return LocalityModel(across_node=1.5)
+
+
+@pytest.fixture(scope="session")
+def longhorn_profile() -> VariabilityProfile:
+    """The full synthetic Longhorn profile (session-cached)."""
+    return synthesize_profile("longhorn", seed=7)
+
+
+@pytest.fixture(scope="session")
+def profile64(longhorn_profile) -> VariabilityProfile:
+    """64 GPUs sampled from Longhorn (paper's simulation method)."""
+    return longhorn_profile.sample(64, rng=11)
+
+
+@pytest.fixture(scope="session")
+def table64(profile64) -> PMScoreTable:
+    return PMScoreTable.fit(profile64, seed=3)
+
+
+@pytest.fixture
+def handcrafted_profile() -> VariabilityProfile:
+    """A tiny profile with known structure for deterministic assertions.
+
+    16 GPUs, 2 classes. Class 0 ("A"): GPUs 0-11 fast (1.0), GPUs 12-13
+    moderate (1.4), GPUs 14-15 slow outliers (3.0). Class 1 ("C"): all 1.0.
+    """
+    a = np.array([1.0] * 12 + [1.4, 1.4, 3.0, 3.0])
+    c = np.ones(16)
+    return VariabilityProfile(
+        cluster_name="handcrafted",
+        class_names=("A", "C"),
+        scores=np.vstack([a, c]),
+    )

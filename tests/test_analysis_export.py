@@ -1,0 +1,88 @@
+"""Tests for result export helpers."""
+
+import csv
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.export import (
+    result_to_csv,
+    result_to_json,
+    results_to_comparison_csv,
+)
+from repro.cluster.topology import ClusterTopology, LocalityModel
+from repro.scheduler.placement import make_placement
+from repro.scheduler.policies import make_scheduler
+from repro.scheduler.simulator import ClusterSimulator
+from repro.traces.job import JobSpec
+from repro.traces.trace import Trace
+from repro.variability.profiles import VariabilityProfile
+
+
+@pytest.fixture(scope="module")
+def result():
+    profile = VariabilityProfile("t", ("A", "B", "C"), np.ones((3, 8)))
+    jobs = tuple(
+        JobSpec(
+            job_id=i,
+            arrival_time_s=i * 100.0,
+            demand=1 + i % 2,
+            model="resnet50",
+            class_id=0,
+            iteration_time_s=1.0,
+            total_iterations=200,
+        )
+        for i in range(5)
+    )
+    sim = ClusterSimulator(
+        topology=ClusterTopology.from_gpu_count(8),
+        true_profile=profile,
+        scheduler=make_scheduler("fifo"),
+        placement=make_placement("pal"),
+        locality=LocalityModel(),
+    )
+    return sim.run(Trace("export", jobs))
+
+
+class TestJobCsv:
+    def test_one_row_per_job(self, result):
+        rows = list(csv.reader(io.StringIO(result_to_csv(result))))
+        assert len(rows) == 1 + len(result.records)
+        assert rows[0][0] == "job_id"
+
+    def test_derived_columns_present(self, result):
+        rows = list(csv.DictReader(io.StringIO(result_to_csv(result))))
+        first = rows[0]
+        assert float(first["jct_s"]) == pytest.approx(
+            float(first["finish_s"]) - float(first["arrival_s"])
+        )
+        assert float(first["slowdown"]) >= 0.9
+
+    def test_writes_file(self, result, tmp_path):
+        path = tmp_path / "jobs.csv"
+        result_to_csv(result, path)
+        assert path.exists() and path.read_text().startswith("job_id")
+
+
+class TestJsonSummary:
+    def test_round_trips(self, result):
+        payload = json.loads(result_to_json(result))
+        assert payload["placement"] == "PAL"
+        assert payload["n_jobs"] == 5
+        assert payload["metrics"]["avg_jct_h"] > 0
+        assert 0 < payload["metrics"]["utilization_goodput"] <= 1.5
+
+    def test_writes_file(self, result, tmp_path):
+        path = tmp_path / "summary.json"
+        result_to_json(result, path)
+        assert json.loads(path.read_text())["trace"] == "export"
+
+
+class TestComparisonCsv:
+    def test_one_row_per_label(self, result):
+        text = results_to_comparison_csv({"pal-a": result, "pal-b": result})
+        rows = list(csv.reader(io.StringIO(text)))
+        assert len(rows) == 3
+        assert rows[1][0] == "pal-a"

@@ -1,0 +1,76 @@
+"""Tests for the text rendering helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import ascii_cdf, ascii_series, format_kv, format_table
+from repro.utils.errors import ConfigurationError
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        text = format_table(["name", "value"], [["a", 1.5], ["bb", 20]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.500" in text and "20" in text
+        # All rows share the same width.
+        assert len({len(l) for l in lines}) == 1
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="hello")
+        assert text.splitlines()[0] == "hello"
+
+    def test_precision(self):
+        text = format_table(["x"], [[1.23456]], precision=1)
+        assert "1.2" in text and "1.23" not in text
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table([], [])
+
+    def test_bool_and_string_cells(self):
+        text = format_table(["x"], [[True], ["abc"]])
+        assert "True" in text and "abc" in text
+
+
+class TestFormatKv:
+    def test_renders_pairs(self):
+        text = format_kv({"alpha": 1.0, "b": "x"}, title="t")
+        assert text.splitlines()[0] == "t"
+        assert "alpha : 1.000" in text
+        assert "b     : x" in text
+
+
+class TestAsciiSeries:
+    def test_basic_render(self):
+        x = np.linspace(0, 100, 50)
+        y = np.sin(x / 10)
+        text = ascii_series(x, y, label="wave")
+        assert text.startswith("wave")
+        assert "*" in text
+
+    def test_size_validation(self):
+        with pytest.raises(ConfigurationError):
+            ascii_series(np.array([1.0]), np.array([1.0, 2.0]))
+        with pytest.raises(ConfigurationError):
+            ascii_series(np.array([1.0]), np.array([1.0]), width=2)
+
+    def test_constant_series(self):
+        x = np.arange(10.0)
+        y = np.ones(10)
+        text = ascii_series(x, y)
+        assert "*" in text  # no div-by-zero on a flat series
+
+
+class TestAsciiCdf:
+    def test_quantile_rows(self):
+        text = ascii_cdf(np.arange(100.0), label="jct")
+        assert "p 50" in text and "p100" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_cdf(np.array([]))

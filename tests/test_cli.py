@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "fig03", "--scale", "smoke"])
+        assert args.id == "fig03" and args.scale == "smoke"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig11" in out and "table4" in out
+
+    def test_experiment_fig03(self, capsys):
+        assert main(["experiment", "fig03", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "classification" in out and "resnet50" in out
+
+    def test_trace_sia_stdout(self, capsys):
+        assert main(["trace", "sia", "--jobs", "12"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("trace,sia-philly-w1")
+        assert len(out.strip().splitlines()) == 14  # header x2 + 12 jobs
+
+    def test_trace_synergy_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "t.csv"
+        assert main(["trace", "synergy", "--jobs", "10", "--out", str(out_file)]) == 0
+        assert out_file.exists()
+        assert "wrote 10 jobs" in capsys.readouterr().out
+
+    def test_trace_roundtrips(self, tmp_path):
+        from repro.traces import Trace
+
+        out_file = tmp_path / "t.csv"
+        main(["trace", "sia", "--jobs", "8", "--out", str(out_file)])
+        assert len(Trace.from_csv(out_file)) == 8
+
+    def test_profile_summary(self, capsys):
+        assert main(["profile", "frontera64"]) == 0
+        out = capsys.readouterr().out
+        assert "class A" in out and "max_over_median" in out
+
+    def test_profile_csv(self, tmp_path, capsys):
+        out_file = tmp_path / "p.csv"
+        assert main(["profile", "frontera64", "--out", str(out_file)]) == 0
+        from repro.variability import VariabilityProfile
+
+        prof = VariabilityProfile.from_csv(out_file)
+        assert prof.n_gpus == 64
+
+    def test_simulate_small(self, capsys):
+        rc = main(
+            [
+                "simulate",
+                "--trace", "synergy",
+                "--jobs", "30",
+                "--rate", "20",
+                "--gpus", "16",
+                "--placement", "pal",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "avg_jct_h" in out and "PAL" in out

@@ -1,0 +1,204 @@
+"""Tests for the cluster substrate: topology, locality, allocation state."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.state import ClusterState
+from repro.cluster.topology import (
+    ACROSS_NODES,
+    WITHIN_NODE,
+    ClusterTopology,
+    LocalityModel,
+)
+from repro.utils.errors import AllocationError, ConfigurationError
+
+
+class TestTopology:
+    def test_from_gpu_count(self):
+        topo = ClusterTopology.from_gpu_count(64)
+        assert topo.n_nodes == 16 and topo.n_gpus == 64
+
+    def test_from_gpu_count_must_divide(self):
+        with pytest.raises(ConfigurationError):
+            ClusterTopology.from_gpu_count(63)
+
+    def test_node_of_gpu_layout(self, topo16):
+        np.testing.assert_array_equal(
+            topo16.node_of_gpu, np.repeat(np.arange(4), 4)
+        )
+
+    def test_node_of_gpu_cached_and_readonly(self, topo16):
+        a = topo16.node_of_gpu
+        assert a is topo16.node_of_gpu  # cached: same object
+        with pytest.raises(ValueError):
+            a[0] = 3
+
+    def test_gpus_of_node(self, topo16):
+        np.testing.assert_array_equal(topo16.gpus_of_node(2), [8, 9, 10, 11])
+        with pytest.raises(ConfigurationError):
+            topo16.gpus_of_node(4)
+
+    def test_nodes_spanned_and_packed(self, topo16):
+        assert topo16.is_packed(np.array([4, 5, 6, 7]))
+        assert not topo16.is_packed(np.array([3, 4]))
+        np.testing.assert_array_equal(
+            topo16.nodes_spanned(np.array([0, 5, 15])), [0, 1, 3]
+        )
+
+    def test_nodes_spanned_out_of_range(self, topo16):
+        with pytest.raises(ConfigurationError):
+            topo16.nodes_spanned(np.array([16]))
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ConfigurationError):
+            ClusterTopology(n_nodes=0)
+        with pytest.raises(ConfigurationError):
+            ClusterTopology(n_nodes=2, gpus_per_node=0)
+
+
+class TestLocalityModel:
+    def test_defaults(self):
+        loc = LocalityModel()
+        assert loc.penalty("resnet50", packed=True) == 1.0
+        assert loc.penalty("resnet50", packed=False) == pytest.approx(1.7)
+
+    def test_per_model_penalty(self):
+        loc = LocalityModel(across_node=1.7, per_model={"bert": 1.2})
+        assert loc.across("bert") == pytest.approx(1.2)
+        assert loc.across("resnet50") == pytest.approx(1.7)
+        assert loc.across(None) == pytest.approx(1.7)
+
+    def test_levels_order(self):
+        loc = LocalityModel(across_node=2.0)
+        levels = loc.levels()
+        assert levels[0] == (WITHIN_NODE, 1.0)
+        assert levels[1] == (ACROSS_NODES, 2.0)
+
+    def test_within_must_be_one(self):
+        with pytest.raises(ConfigurationError):
+            LocalityModel(within_node=1.1)
+
+    def test_across_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LocalityModel(across_node=0.9)
+        with pytest.raises(ConfigurationError):
+            LocalityModel(per_model={"x": 0.5})
+
+    def test_from_models(self):
+        loc = LocalityModel.from_models(1.5, {"vgg19": 1.9})
+        assert loc.across("vgg19") == pytest.approx(1.9)
+        assert loc.across_node == pytest.approx(1.5)
+
+
+class TestClusterState:
+    def test_initial_all_free(self, state16):
+        assert state16.n_free == 16 and state16.n_busy == 0
+        np.testing.assert_array_equal(state16.free_gpu_ids(), np.arange(16))
+
+    def test_allocate_release_cycle(self, state16):
+        state16.allocate(7, np.array([1, 2, 3]))
+        assert state16.n_free == 13
+        assert state16.owner_of(2) == 7
+        np.testing.assert_array_equal(state16.allocation_of(7), [1, 2, 3])
+        freed = state16.release(7)
+        np.testing.assert_array_equal(freed, [1, 2, 3])
+        assert state16.n_free == 16
+        assert state16.owner_of(2) is None
+
+    def test_allocation_stored_sorted(self, state16):
+        state16.allocate(1, np.array([9, 2, 5]))
+        np.testing.assert_array_equal(state16.allocation_of(1), [2, 5, 9])
+
+    def test_double_allocation_rejected(self, state16):
+        state16.allocate(1, np.array([0]))
+        with pytest.raises(AllocationError):
+            state16.allocate(1, np.array([1]))
+
+    def test_busy_gpu_rejected(self, state16):
+        state16.allocate(1, np.array([0, 1]))
+        with pytest.raises(AllocationError):
+            state16.allocate(2, np.array([1, 2]))
+        # Failed allocation must not leak partial state.
+        assert state16.n_free == 14
+        assert state16.owner_of(2) is None
+
+    def test_duplicate_ids_rejected(self, state16):
+        with pytest.raises(AllocationError):
+            state16.allocate(1, np.array([3, 3]))
+
+    def test_out_of_range_rejected(self, state16):
+        with pytest.raises(AllocationError):
+            state16.allocate(1, np.array([16]))
+        with pytest.raises(AllocationError):
+            state16.allocate(1, np.array([-1]))
+
+    def test_empty_allocation_rejected(self, state16):
+        with pytest.raises(AllocationError):
+            state16.allocate(1, np.array([], dtype=np.int64))
+
+    def test_release_unknown_job(self, state16):
+        with pytest.raises(AllocationError):
+            state16.release(99)
+
+    def test_release_all(self, state16):
+        state16.allocate(1, np.array([0]))
+        state16.allocate(2, np.array([1, 2]))
+        state16.release_all()
+        assert state16.n_free == 16
+        assert list(state16.jobs_with_allocations()) == []
+
+    def test_free_count_per_node(self, state16):
+        state16.allocate(1, np.array([0, 1, 4]))
+        np.testing.assert_array_equal(state16.free_count_per_node(), [2, 3, 4, 4])
+
+    def test_free_mask_read_only(self, state16):
+        with pytest.raises(ValueError):
+            state16.free_mask[0] = False
+
+    def test_allocation_of_returns_copy(self, state16):
+        state16.allocate(1, np.array([0, 1]))
+        alloc = state16.allocation_of(1)
+        alloc[0] = 99
+        np.testing.assert_array_equal(state16.allocation_of(1), [0, 1])
+
+    def test_owner_of_range_check(self, state16):
+        with pytest.raises(ConfigurationError):
+            state16.owner_of(99)
+
+    def test_invariants_pass_after_operations(self, state16):
+        state16.allocate(1, np.array([0, 5]))
+        state16.allocate(2, np.array([1]))
+        state16.release(1)
+        state16.check_invariants()
+
+
+class TestClusterStateProperties:
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=7),  # job id
+                st.integers(min_value=1, max_value=5),  # demand
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_alloc_release_never_corrupts(self, ops):
+        topo = ClusterTopology.from_gpu_count(16)
+        state = ClusterState(topo)
+        held: set[int] = set()
+        for job_id, demand in ops:
+            if job_id in held:
+                state.release(job_id)
+                held.discard(job_id)
+            elif state.n_free >= demand:
+                free = state.free_gpu_ids()
+                state.allocate(job_id, free[:demand])
+                held.add(job_id)
+            state.check_invariants()
+        assert state.n_busy == sum(
+            state.allocation_of(j).size for j in held  # type: ignore[union-attr]
+        )

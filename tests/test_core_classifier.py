@@ -1,0 +1,100 @@
+"""Tests for the application classification layer (paper Sec. III-A)."""
+
+import pytest
+
+from repro.core.classifier import ApplicationClassifier
+from repro.utils.errors import ConfigurationError
+from repro.workloads.models import MODEL_REGISTRY
+from repro.workloads.nsight import UtilizationMeasurement, measure_suite
+
+
+def _m(name, fu, dram):
+    return UtilizationMeasurement(
+        model=name, dram_util=dram, peak_fu_util=fu, fu_util={"fp32": fu}
+    )
+
+
+class TestClassifierFit:
+    def test_reproduces_paper_assignments(self):
+        clf = ApplicationClassifier(3, seed=0).fit(measure_suite())
+        for model, cls in clf.assignments().items():
+            assert cls == MODEL_REGISTRY[model].paper_class, model
+
+    def test_class_ordering_a_is_most_compute_bound(self):
+        clf = ApplicationClassifier(3, seed=0).fit(measure_suite())
+        fu = clf.centroids[:, 0]
+        assert fu[0] > fu[1] > fu[2]
+
+    def test_class_names(self):
+        clf = ApplicationClassifier(4, seed=0)
+        assert clf.class_names == ("A", "B", "C", "D")
+
+    def test_needs_enough_measurements(self):
+        with pytest.raises(ConfigurationError):
+            ApplicationClassifier(3).fit([_m("a", 9, 1), _m("b", 5, 3)])
+
+    def test_unfitted_raises(self):
+        clf = ApplicationClassifier(3)
+        with pytest.raises(ConfigurationError):
+            clf.classify((5.0, 5.0))
+        with pytest.raises(ConfigurationError):
+            _ = clf.centroids
+
+    def test_invalid_n_classes(self):
+        with pytest.raises(ConfigurationError):
+            ApplicationClassifier(0)
+        with pytest.raises(ConfigurationError):
+            ApplicationClassifier(27)
+
+    def test_fit_returns_self(self):
+        clf = ApplicationClassifier(2, seed=0)
+        assert clf.fit([_m("a", 9, 1), _m("b", 1, 9), _m("c", 8.5, 1.5)]) is clf
+
+
+class TestClassifyNew:
+    @pytest.fixture
+    def fitted(self):
+        suite = [
+            _m("compute1", 9.0, 2.0),
+            _m("compute2", 8.5, 2.5),
+            _m("mid1", 5.0, 4.0),
+            _m("mid2", 5.5, 3.5),
+            _m("mem1", 1.5, 6.0),
+            _m("mem2", 2.0, 5.5),
+        ]
+        return ApplicationClassifier(3, seed=0).fit(suite)
+
+    def test_nearest_centroid_assignment(self, fitted):
+        assert fitted.classify((9.2, 2.1)) == 0  # near compute cluster
+        assert fitted.classify((5.2, 3.8)) == 1
+        assert fitted.classify((1.0, 6.2)) == 2
+
+    def test_classify_by_measurement_object(self, fitted):
+        assert fitted.classify(_m("new", 8.8, 2.2)) == 0
+
+    def test_classify_name(self, fitted):
+        assert fitted.classify_name((9.0, 2.0)) == "A"
+
+    def test_class_of_model_seen(self, fitted):
+        assert fitted.class_of_model("mem1") == 2
+
+    def test_class_of_model_unseen_raises(self, fitted):
+        with pytest.raises(ConfigurationError):
+            fitted.class_of_model("never-profiled")
+
+    def test_fitted_apps_exposed(self, fitted):
+        apps = fitted.fitted_apps
+        assert len(apps) == 6
+        assert {a.class_name for a in apps} == {"A", "B", "C"}
+
+    def test_two_class_configuration(self):
+        suite = [_m("a", 9, 1), _m("b", 8, 2), _m("c", 1, 8), _m("d", 2, 7)]
+        clf = ApplicationClassifier(2, seed=0).fit(suite)
+        assert clf.assignments() == {"a": "A", "b": "A", "c": "B", "d": "B"}
+
+    def test_noise_robustness(self):
+        # With profiling noise the suite should classify identically.
+        clean = ApplicationClassifier(3, seed=0).fit(measure_suite())
+        noisy_suite = measure_suite(noise=0.03, rng=5)
+        for m in noisy_suite:
+            assert clean.classify(m) == clean.class_of_model(m.model)

@@ -1,0 +1,135 @@
+"""Tests for the L x V matrix and its traversal order (paper Sec. III-C1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.topology import LocalityModel
+from repro.core.lv_matrix import LVMatrix
+from repro.utils.errors import ConfigurationError
+
+
+class TestPaperExample:
+    """The worked example from Sec. III-C1: V = (0.89, 0.94, 1.06, 2.55),
+    L_across = 1.5."""
+
+    @pytest.fixture
+    def lv(self):
+        return LVMatrix(
+            levels=[("within", 1.0), ("across", 1.5)],
+            centroids=[0.89, 0.94, 1.06, 2.55],
+        )
+
+    def test_matrix_entries(self, lv):
+        arr = lv.as_array()
+        np.testing.assert_allclose(arr[0], [0.89, 0.94, 1.06, 2.55])
+        np.testing.assert_allclose(arr[1], [1.335, 1.41, 1.59, 3.825])
+
+    def test_traversal_order_matches_paper(self, lv):
+        # Paper: (1,0.89) -> (1,0.94) -> (1,1.06) -> (1.5,1.34) ->
+        # (1.5,1.41) -> (1.5,1.59) -> (1.5,3.88); the 2.55 within-node
+        # entry precedes only the across entries with larger product.
+        order = [(e.locality, round(e.product, 3)) for e in lv.traversal]
+        assert order == [
+            (1.0, 0.89),
+            (1.0, 0.94),
+            (1.0, 1.06),
+            (1.5, 1.335),
+            (1.5, 1.41),
+            (1.5, 1.59),
+            (1.0, 2.55),
+            (1.5, 3.825),
+        ]
+
+    def test_shape_and_len(self, lv):
+        assert lv.shape == (2, 4)
+        assert len(lv) == 8
+
+    def test_render_contains_values(self, lv):
+        text = lv.render()
+        assert "2.55" in text and "traversal" in text
+
+
+class TestConstruction:
+    def test_build_from_locality_model(self):
+        loc = LocalityModel(across_node=1.7, per_model={"bert": 1.2})
+        lv = LVMatrix.build([1.0, 2.0], loc, model_name="bert")
+        assert lv.levels[1][1] == pytest.approx(1.2)
+        lv2 = LVMatrix.build([1.0, 2.0], loc)
+        assert lv2.levels[1][1] == pytest.approx(1.7)
+
+    def test_descending_centroids_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LVMatrix([("w", 1.0)], [2.0, 1.0])
+
+    def test_nonpositive_centroids_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LVMatrix([("w", 1.0)], [0.0, 1.0])
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LVMatrix([], [1.0])
+        with pytest.raises(ConfigurationError):
+            LVMatrix([("w", 1.0)], [])
+
+    def test_duplicate_level_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LVMatrix([("w", 1.0), ("w", 1.5)], [1.0])
+
+    def test_sub_one_locality_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LVMatrix([("w", 0.9)], [1.0])
+
+
+class TestTraversalProperties:
+    @given(
+        centroids=st.lists(
+            st.floats(min_value=0.5, max_value=5.0, allow_nan=False),
+            min_size=1,
+            max_size=8,
+        ),
+        across=st.floats(min_value=1.0, max_value=4.0, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_traversal_sorted_and_complete(self, centroids, across):
+        cents = np.sort(np.asarray(centroids))
+        lv = LVMatrix([("within", 1.0), ("across", across)], cents)
+        products = [e.product for e in lv.traversal]
+        # Monotone non-decreasing products, all entries visited once.
+        assert all(a <= b + 1e-12 for a, b in zip(products, products[1:]))
+        assert len(lv.traversal) == 2 * len(cents)
+
+    @given(
+        centroids=st.lists(
+            st.floats(min_value=0.5, max_value=5.0, allow_nan=False),
+            min_size=2,
+            max_size=8,
+            unique=True,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_ties_prefer_packed(self, centroids):
+        cents = np.sort(np.asarray(centroids))
+        lv = LVMatrix([("within", 1.0), ("across", 1.5)], cents)
+        seen = {}
+        for i, e in enumerate(lv.traversal):
+            key = round(e.product, 12)
+            if key in seen:
+                # On an exact product tie the within-node entry comes first.
+                first = lv.traversal[seen[key]]
+                assert first.locality <= e.locality
+            else:
+                seen[key] = i
+
+    def test_unit_across_penalty_interleaves(self):
+        # L_across = 1.0: each centroid appears twice consecutively, the
+        # within entry first.
+        lv = LVMatrix([("within", 1.0), ("across", 1.0)], [1.0, 2.0])
+        order = [(e.level_name, e.centroid) for e in lv.traversal]
+        assert order == [
+            ("within", 1.0),
+            ("across", 1.0),
+            ("within", 2.0),
+            ("across", 2.0),
+        ]

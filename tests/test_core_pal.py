@@ -1,0 +1,165 @@
+"""Tests for PAL placement selection (Algorithm 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.lv_matrix import LVMatrix
+from repro.core.pal import pal_placement
+from repro.utils.errors import AllocationError, ConfigurationError
+
+
+def make_lv(centroids, across=1.5):
+    return LVMatrix([("within", 1.0), ("across", across)], np.sort(centroids))
+
+
+class TestPalSmallCluster:
+    """A 4-node x 4-GPU cluster with controlled scores."""
+
+    @pytest.fixture
+    def topo(self):
+        return ClusterTopology.from_gpu_count(16)
+
+    def test_prefers_packed_good_node(self, topo):
+        # Node 0 all 1.0; node 1 has one 2.5x GPU; rest 1.0.
+        scores = np.ones(16)
+        scores[5] = 2.5
+        lv = make_lv([1.0, 2.5])
+        alloc = pal_placement(np.arange(16), scores, 4, lv, topo.node_of_gpu, 4)
+        # A fully-clean packed node exists; must take one (node 0, 2, or 3).
+        assert np.all(scores[alloc] == 1.0)
+        assert topo.is_packed(alloc)
+
+    def test_spreads_rather_than_take_outlier(self, topo):
+        # Every node has exactly one 2.55x outlier: a clean packed 4-set
+        # does not exist. With L=1.5 the product 1.5*1.0 < 1*2.55, so PAL
+        # must spread across nodes using only clean GPUs.
+        scores = np.ones(16)
+        scores[[0, 4, 8, 12]] = 2.55
+        lv = make_lv([1.0, 2.55])
+        alloc = pal_placement(np.arange(16), scores, 4, lv, topo.node_of_gpu, 4)
+        assert np.all(scores[alloc] == 1.0)
+        assert not topo.is_packed(alloc)
+
+    def test_packs_when_penalty_dominates(self, topo):
+        # Same outlier layout but the outliers are only 1.2x: packing with
+        # the 1.2 GPU (product 1.2) beats spreading (product 1.5).
+        scores = np.ones(16)
+        scores[[0, 4, 8, 12]] = 1.2
+        lv = make_lv([1.0, 1.2])
+        alloc = pal_placement(np.arange(16), scores, 4, lv, topo.node_of_gpu, 4)
+        assert topo.is_packed(alloc)
+
+    def test_single_gpu_job_gets_best_gpu(self, topo):
+        scores = np.linspace(2.0, 1.0, 16)
+        lv = make_lv(np.unique(scores))
+        alloc = pal_placement(np.arange(16), scores, 1, lv, topo.node_of_gpu, 4)
+        assert alloc.tolist() == [15]  # lowest score
+
+    def test_large_job_falls_back_to_pm_first(self, topo):
+        # Demand > gpus_per_node: Algorithm 2 lines 22-25.
+        scores = np.ones(16)
+        scores[:8] = 0.9
+        lv = make_lv([0.9, 1.0])
+        alloc = pal_placement(np.arange(16), scores, 8, lv, topo.node_of_gpu, 4)
+        np.testing.assert_array_equal(alloc, np.arange(8))
+
+    def test_min_v_within_node(self, topo):
+        # Two nodes can host the job; PAL must pick the one whose 2-set
+        # has the lower max score.
+        scores = np.ones(16)
+        scores[0:4] = [1.0, 1.0, 1.3, 1.3]  # node 0: best pair max 1.0
+        scores[4:8] = [1.1, 1.1, 1.1, 1.1]  # node 1: best pair max 1.1
+        scores[8:] = 1.3
+        lv = make_lv(np.unique(scores))
+        alloc = pal_placement(np.arange(16), scores, 2, lv, topo.node_of_gpu, 4)
+        np.testing.assert_array_equal(alloc, [0, 1])
+
+    def test_respects_free_list(self, topo):
+        scores_all = np.ones(16)
+        free = np.array([2, 3, 9, 10, 11, 14])
+        alloc = pal_placement(
+            free, scores_all[free], 2, make_lv([1.0]), topo.node_of_gpu, 4
+        )
+        assert set(alloc.tolist()) <= set(free.tolist())
+
+    def test_insufficient_free_raises(self, topo):
+        with pytest.raises(AllocationError):
+            pal_placement(np.arange(3), np.ones(3), 4, make_lv([1.0]), topo.node_of_gpu, 4)
+
+    def test_validation_errors(self, topo):
+        with pytest.raises(ConfigurationError):
+            pal_placement(np.arange(4), np.ones(3), 2, make_lv([1.0]), topo.node_of_gpu, 4)
+        with pytest.raises(ConfigurationError):
+            pal_placement(np.arange(4), np.ones(4), 0, make_lv([1.0]), topo.node_of_gpu, 4)
+        with pytest.raises(ConfigurationError):
+            pal_placement(np.arange(4), np.ones(4), 2, make_lv([1.0]), topo.node_of_gpu, 0)
+
+    def test_uncovering_matrix_raises(self, topo):
+        # A matrix whose centroids cannot cover the scores must fail loudly.
+        scores = np.full(16, 3.0)
+        lv = make_lv([1.0])  # max centroid 1.0 < all scores
+        with pytest.raises(AllocationError):
+            pal_placement(np.arange(16), scores, 2, lv, topo.node_of_gpu, 4)
+
+
+class TestPalProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=200),
+        demand=st.integers(min_value=1, max_value=8),
+        n_free=st.integers(min_value=8, max_value=32),
+        across=st.floats(min_value=1.0, max_value=3.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_always_valid_allocation(self, seed, demand, n_free, across):
+        topo = ClusterTopology.from_gpu_count(32)
+        rng = np.random.default_rng(seed)
+        free = np.sort(rng.choice(32, size=n_free, replace=False))
+        # Scores drawn from a few discrete bins (as binning produces).
+        bins = np.array([0.95, 1.0, 1.3, 2.5])
+        scores = bins[rng.integers(0, len(bins), size=n_free)]
+        lv = make_lv(bins, across=across)
+        if demand > n_free:
+            with pytest.raises(AllocationError):
+                pal_placement(free, scores, demand, lv, topo.node_of_gpu, 4)
+            return
+        alloc = pal_placement(free, scores, demand, lv, topo.node_of_gpu, 4)
+        # Exactly `demand` distinct free GPUs, sorted.
+        assert alloc.size == demand
+        assert np.all(np.diff(alloc) > 0)
+        assert set(alloc.tolist()) <= set(free.tolist())
+
+    @given(
+        seed=st.integers(min_value=0, max_value=200),
+        demand=st.integers(min_value=2, max_value=4),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_minimizes_lv_product(self, seed, demand):
+        """PAL's choice achieves the optimal (min) LV-product over all
+        feasible allocations — verified against brute force."""
+        from itertools import combinations
+
+        topo = ClusterTopology.from_gpu_count(16)
+        rng = np.random.default_rng(seed)
+        n_free = int(rng.integers(demand, 16))
+        free = np.sort(rng.choice(16, size=n_free, replace=False))
+        bins = np.array([0.9, 1.0, 1.4, 2.6])
+        scores = bins[rng.integers(0, len(bins), size=n_free)]
+        across = 1.5
+        lv = make_lv(bins, across=across)
+
+        alloc = pal_placement(free, scores, demand, lv, topo.node_of_gpu, 4)
+        by_id = dict(zip(free.tolist(), scores.tolist()))
+        chosen_packed = topo.is_packed(alloc)
+        chosen_product = (1.0 if chosen_packed else across) * max(
+            by_id[g] for g in alloc.tolist()
+        )
+
+        best = min(
+            (1.0 if topo.is_packed(np.array(combo)) else across)
+            * max(by_id[g] for g in combo)
+            for combo in combinations(free.tolist(), demand)
+        )
+        assert chosen_product == pytest.approx(best)

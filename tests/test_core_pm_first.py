@@ -1,0 +1,134 @@
+"""Tests for PM-First selection (Algorithm 1) and queue marking (Fig. 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pm_first import (
+    get_pmfirst_gpus,
+    mark_queue_at_cluster_size,
+    placement_priority_order,
+)
+from repro.utils.errors import AllocationError, ConfigurationError
+
+
+class TestGetPMFirstGpus:
+    def test_picks_lowest_scores(self):
+        ids = np.array([10, 11, 12, 13])
+        scores = np.array([2.0, 1.0, 1.5, 3.0])
+        np.testing.assert_array_equal(get_pmfirst_gpus(ids, scores, 2), [11, 12])
+
+    def test_tie_breaks_toward_lower_id(self):
+        ids = np.array([5, 3, 9])
+        scores = np.array([1.0, 1.0, 1.0])
+        np.testing.assert_array_equal(get_pmfirst_gpus(ids, scores, 2), [3, 5])
+
+    def test_full_demand(self):
+        ids = np.arange(4)
+        scores = np.array([4.0, 3.0, 2.0, 1.0])
+        np.testing.assert_array_equal(get_pmfirst_gpus(ids, scores, 4), [3, 2, 1, 0])
+
+    def test_insufficient_gpus_raises(self):
+        with pytest.raises(AllocationError):
+            get_pmfirst_gpus(np.arange(2), np.ones(2), 3)
+
+    def test_misaligned_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_pmfirst_gpus(np.arange(3), np.ones(2), 1)
+
+    def test_nonpositive_demand_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_pmfirst_gpus(np.arange(3), np.ones(3), 0)
+
+    @given(
+        n=st.integers(min_value=1, max_value=40),
+        demand=st.integers(min_value=1, max_value=40),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_selection_is_optimal(self, n, demand, seed):
+        if demand > n:
+            return
+        rng = np.random.default_rng(seed)
+        ids = np.sort(rng.choice(1000, size=n, replace=False))
+        scores = rng.uniform(0.8, 3.5, size=n)
+        chosen = get_pmfirst_gpus(ids, scores, demand)
+        assert len(set(chosen.tolist())) == demand
+        assert set(chosen.tolist()) <= set(ids.tolist())
+        # Optimality: the chosen max score never exceeds the demand-th
+        # smallest score overall.
+        kth = np.sort(scores)[demand - 1]
+        by_id = dict(zip(ids.tolist(), scores.tolist()))
+        assert max(by_id[g] for g in chosen.tolist()) <= kth + 1e-12
+
+
+class TestMarkQueue:
+    def test_paper_example(self):
+        # Fig. 4: demand exceeds cluster size after the first 5 jobs.
+        demands = [16, 8, 16, 8, 16, 8]
+        assert mark_queue_at_cluster_size(demands, 64) == 5
+
+    def test_all_fit(self):
+        assert mark_queue_at_cluster_size([1, 2, 3], 64) == 3
+
+    def test_first_job_blocks(self):
+        assert mark_queue_at_cluster_size([64, 1], 64) == 1
+        assert mark_queue_at_cluster_size([63, 2], 64) == 1
+
+    def test_exact_fill(self):
+        assert mark_queue_at_cluster_size([32, 32, 1], 64) == 2
+
+    def test_oversized_job_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mark_queue_at_cluster_size([65], 64)
+
+    def test_nonpositive_demand_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mark_queue_at_cluster_size([4, 0], 64)
+
+    def test_empty_queue(self):
+        assert mark_queue_at_cluster_size([], 64) == 0
+
+    @given(
+        demands=st.lists(st.integers(min_value=1, max_value=16), max_size=30),
+        cluster=st.integers(min_value=16, max_value=128),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_prefix_is_maximal(self, demands, cluster):
+        n = mark_queue_at_cluster_size(demands, cluster)
+        assert sum(demands[:n]) <= cluster
+        if n < len(demands):
+            assert sum(demands[: n + 1]) > cluster
+
+
+class TestPlacementPriorityOrder:
+    def test_class_a_first_stable_within_class(self):
+        # Fig. 4's running example: queue ABABCA, marked at 5.
+        classes = [0, 1, 0, 1, 2, 0]
+        order = placement_priority_order(classes, 5)
+        assert order == [0, 2, 1, 3, 4]  # A, A, B, B, C — original order kept
+
+    def test_job_past_mark_not_promoted(self):
+        classes = [2, 2, 0]  # late class-A job...
+        order = placement_priority_order(classes, 2)  # ...outside the mark
+        assert order == [0, 1]
+
+    def test_empty_prefix(self):
+        assert placement_priority_order([1, 2], 0) == []
+
+    def test_bounds_checked(self):
+        with pytest.raises(ConfigurationError):
+            placement_priority_order([0], 2)
+
+    @given(
+        classes=st.lists(st.integers(min_value=0, max_value=3), max_size=25),
+        frac=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_permutation_and_sortedness(self, classes, frac):
+        n = int(len(classes) * frac)
+        order = placement_priority_order(classes, n)
+        assert sorted(order) == list(range(n))
+        ordered_classes = [classes[i] for i in order]
+        assert ordered_classes == sorted(ordered_classes)

@@ -1,0 +1,130 @@
+"""Tests for PM-Score binning (paper Sec. III-B, Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pm_score import PMScoreTable, fit_class_binning
+from repro.utils.errors import ConfigurationError, ProfileError
+
+
+class TestFitClassBinning:
+    def test_handcrafted_structure(self, handcrafted_profile):
+        b = fit_class_binning(handcrafted_profile.class_scores("A"), seed=0)
+        # Bulk at 1.0, moderates near 1.4, outliers at 3.0.
+        assert b.centroids[0] == pytest.approx(1.0, abs=0.05)
+        assert np.any(np.isclose(b.centroids, 1.4, atol=0.05))
+        assert b.centroids[-1] == pytest.approx(3.0, abs=0.05)
+
+    def test_outliers_keep_raw_scores(self):
+        rng = np.random.default_rng(0)
+        scores = np.concatenate([rng.normal(1.0, 0.02, 96), [3.1, 3.3, 3.5, 3.7]])
+        b = fit_class_binning(scores, seed=0)
+        out_idx = np.flatnonzero(b.outlier_mask)
+        assert out_idx.size >= 4
+        for i in out_idx:
+            assert b.binned_scores[i] == pytest.approx(b.raw_scores[i])
+
+    def test_inliers_get_centroid_scores(self):
+        rng = np.random.default_rng(0)
+        scores = np.concatenate([rng.normal(1.0, 0.02, 60), rng.normal(1.5, 0.02, 20)])
+        b = fit_class_binning(scores, seed=0)
+        inl = ~b.outlier_mask
+        # Every inlier's binned score is exactly its bin's centroid.
+        np.testing.assert_allclose(
+            b.binned_scores[inl], b.centroids[b.gpu_bin[inl]]
+        )
+
+    def test_last_centroid_dominates_binned(self):
+        rng = np.random.default_rng(2)
+        scores = np.concatenate([rng.normal(1.0, 0.05, 100), [2.8, 3.5]])
+        b = fit_class_binning(scores, seed=0)
+        assert b.centroids[-1] >= b.binned_scores.max() - 1e-12
+
+    def test_centroids_ascending(self, longhorn_profile):
+        for ci in range(longhorn_profile.n_classes):
+            b = fit_class_binning(longhorn_profile.class_scores(ci), seed=1)
+            assert np.all(np.diff(b.centroids) >= 0)
+
+    def test_k_override(self):
+        rng = np.random.default_rng(1)
+        scores = rng.normal(1.0, 0.05, 80)
+        b = fit_class_binning(scores, k_override=3, seed=0)
+        assert b.k_inlier == 3
+        assert b.silhouette_by_k == {}  # sweep skipped
+
+    def test_k_override_validation(self):
+        with pytest.raises(ConfigurationError):
+            fit_class_binning(np.ones(10), k_override=0)
+
+    def test_uniform_scores_single_bin(self):
+        b = fit_class_binning(np.ones(32), seed=0)
+        assert b.n_bins == 1
+        assert b.centroids[0] == pytest.approx(1.0)
+        assert not b.outlier_mask.any()
+
+    def test_all_gpus_binned(self, longhorn_profile):
+        scores = longhorn_profile.class_scores("A")
+        b = fit_class_binning(scores, seed=0)
+        assert b.bin_populations().sum() == scores.size
+        assert b.gpu_bin.min() >= 0 and b.gpu_bin.max() < b.n_bins
+
+    def test_binned_preserves_order(self, longhorn_profile):
+        # Binning must never invert the relative order of two GPUs by
+        # more than a bin width: a strictly faster GPU never gets a
+        # strictly larger binned score.
+        scores = longhorn_profile.class_scores("A")
+        b = fit_class_binning(scores, seed=0)
+        order = np.argsort(scores)
+        binned_sorted = b.binned_scores[order]
+        assert np.all(np.diff(binned_sorted) >= -1e-9)
+
+    def test_invalid_scores_rejected(self):
+        with pytest.raises(ProfileError):
+            fit_class_binning(np.array([1.0, -1.0]))
+        with pytest.raises(ProfileError):
+            fit_class_binning(np.array([]))
+
+    def test_iterated_outlier_cut_catches_shadowed_tier(self):
+        # A huge outlier inflates sigma enough to hide the 2.8 tier in a
+        # single-pass cut; the iterated cut must catch both tiers.
+        rng = np.random.default_rng(3)
+        scores = np.concatenate(
+            [rng.normal(1.0, 0.03, 110), np.full(6, 2.8), np.full(6, 3.4)]
+        )
+        b = fit_class_binning(scores, seed=0)
+        assert b.outlier_mask.sum() >= 12
+
+
+class TestPMScoreTable:
+    def test_fit_covers_all_classes(self, profile64):
+        table = PMScoreTable.fit(profile64, seed=0)
+        assert table.n_classes == profile64.n_classes
+        assert table.n_gpus == 64
+        for ci in range(table.n_classes):
+            assert table.binned_scores(ci).shape == (64,)
+
+    def test_class_lookup_by_name(self, table64):
+        np.testing.assert_array_equal(
+            table64.binned_scores("A"), table64.binned_scores(0)
+        )
+
+    def test_read_only_views(self, table64):
+        with pytest.raises(ValueError):
+            table64.binned_scores(0)[0] = 9.9
+        with pytest.raises(ValueError):
+            table64.centroids(0)[0] = 9.9
+
+    def test_unknown_class(self, table64):
+        with pytest.raises(ConfigurationError):
+            table64.binning(17)
+
+    def test_class_a_more_spread_than_c(self, table64):
+        a = table64.binned_scores("A")
+        c = table64.binned_scores("C")
+        assert a.max() - a.min() > c.max() - c.min()
+
+    def test_incomplete_binnings_rejected(self, profile64):
+        from repro.core.pm_score import fit_class_binning as f
+
+        with pytest.raises(ConfigurationError):
+            PMScoreTable(profile64, {0: f(profile64.class_scores(0))})

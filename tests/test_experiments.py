@@ -1,0 +1,140 @@
+"""Smoke-scale tests of every experiment module.
+
+Each experiment must run end to end at the smoke scale, render, and
+satisfy its paper-shape claims loosely (tight checks live in the
+benchmark harness at ci scale).
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.common import (
+    SCALES,
+    Scale,
+    build_environment,
+    get_scale,
+    per_model_locality,
+)
+from repro.utils.errors import ConfigurationError
+
+FAST = ("fig03", "fig05", "fig06-08")
+SIM_BASED = ("table4", "fig11", "fig12", "fig13", "fig15", "fig18", "headline",
+             "online", "hetero")
+HEAVY = ("fig14", "fig16", "fig17", "fig19", "fig20")
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {
+            "fig03", "fig05", "fig06-08", "table4", "fig11", "fig12", "fig13",
+            "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
+            "headline", "online", "hetero",
+        }
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment("fig99")
+
+
+class TestScales:
+    def test_known_scales(self):
+        assert set(SCALES) == {"smoke", "ci", "paper"}
+        assert get_scale("ci").name == "ci"
+        assert get_scale(SCALES["smoke"]) is SCALES["smoke"]
+
+    def test_unknown_scale(self):
+        with pytest.raises(ConfigurationError):
+            get_scale("galactic")
+
+    def test_measure_window_validation(self):
+        with pytest.raises(ConfigurationError):
+            Scale(
+                name="bad",
+                sia_workloads=(1,),
+                sia_n_jobs=10,
+                sia_locality_workloads=(1,),
+                synergy_n_jobs=100,
+                synergy_measure=(150, 200),
+                synergy_loads=(8.0,),
+                sched_loads=(8.0,),
+                locality_sweep_sia=(1.0,),
+                locality_sweep_synergy=(1.0,),
+                overhead_cluster_sizes=(64,),
+            )
+
+    def test_paper_scale_matches_paper(self):
+        sc = get_scale("paper")
+        assert sc.sia_n_jobs == 160
+        assert sc.synergy_measure == (2000, 3000)
+        assert len(sc.sia_workloads) == 8
+
+
+class TestEnvironment:
+    def test_build_basic(self):
+        env = build_environment(n_gpus=32, seed=0)
+        assert env.n_gpus == 32
+        assert env.pm_table.n_gpus == 32
+        assert env.locality.across_node == pytest.approx(1.7)
+
+    def test_scalar_locality(self):
+        env = build_environment(n_gpus=32, locality=2.5, seed=0)
+        assert env.locality.across_node == pytest.approx(2.5)
+
+    def test_per_model_locality_flag(self):
+        env = build_environment(n_gpus=32, use_per_model_locality=True, seed=0)
+        assert env.locality.across("bert") != env.locality.across("vgg19")
+
+    def test_per_model_locality_helper(self):
+        loc = per_model_locality()
+        assert loc.across("pointnet") == pytest.approx(1.10)
+
+    def test_override_profile_size_checked(self, handcrafted_profile):
+        with pytest.raises(ConfigurationError):
+            build_environment(n_gpus=32, true_profile_override=handcrafted_profile)
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_fast_experiments_render(name):
+    result = run_experiment(name, scale="smoke")
+    text = result.render()
+    assert result.experiment in text
+    assert result.rows
+
+
+@pytest.mark.parametrize("name", SIM_BASED)
+def test_sim_experiments_smoke(name):
+    result = run_experiment(name, scale="smoke")
+    assert result.rows
+    assert result.render()
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", HEAVY)
+def test_heavy_experiments_smoke(name):
+    result = run_experiment(name, scale="smoke")
+    assert result.rows
+
+
+class TestFig11Shape:
+    def test_pal_beats_tiresias_geomean(self):
+        result = run_experiment("fig11", scale="smoke")
+        geo = dict(zip(result.headers[1:], result.rows[-1][1:]))
+        assert geo["PAL"] < 1.0
+        assert geo["PM-First"] < 1.0
+
+    def test_cached_across_calls(self):
+        a = run_experiment("fig11", scale="smoke")
+        b = run_experiment("fig11", scale="smoke")
+        assert a is b  # lru_cache returns the same object
+
+
+class TestTable4Shape:
+    def test_cluster_slower_than_sim(self):
+        result = run_experiment("table4", scale="smoke")
+        cluster, sim = result.data["cluster"], result.data["sim"]
+        trace = result.data["trace"]
+        for pol in ("Tiresias", "PAL"):
+            assert (
+                cluster[(trace.name, pol)].avg_jct_s()
+                >= sim[(trace.name, pol)].avg_jct_s() * 0.99
+            )

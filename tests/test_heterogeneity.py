@@ -1,0 +1,139 @@
+"""Tests for the heterogeneous-cluster substrate and Gavel placement."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.heterogeneity import (
+    ARCH_REGISTRY,
+    GpuArchSpec,
+    make_heterogeneous_cluster,
+)
+from repro.cluster.state import ClusterState
+from repro.cluster.topology import ClusterTopology, LocalityModel
+from repro.core.pm_score import PMScoreTable
+from repro.scheduler.jobs import SimJob
+from repro.scheduler.placement import GavelPlacement, PlacementContext, make_placement
+from repro.traces.job import JobSpec
+from repro.utils.errors import ConfigurationError
+
+
+class TestArchSpec:
+    def test_registry_contents(self):
+        assert {"V100", "RTX5000", "A100"} <= set(ARCH_REGISTRY)
+        assert ARCH_REGISTRY["V100"].slowdown("A") == 1.0
+        # Compute-bound work differentiates architectures most.
+        rtx = ARCH_REGISTRY["RTX5000"]
+        assert rtx.slowdown("A") > rtx.slowdown("C")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GpuArchSpec("bad", {"A": 0.0})
+        with pytest.raises(ConfigurationError):
+            ARCH_REGISTRY["V100"].slowdown("Z")
+
+
+class TestMakeHeterogeneousCluster:
+    def test_shapes_and_arch_map(self):
+        hc = make_heterogeneous_cluster(["V100"] * 2 + ["RTX5000"] * 2, seed=0)
+        assert hc.profile.n_gpus == 16
+        assert hc.gpus_of_arch("V100").size == 8
+        assert hc.gpus_of_arch("RTX5000").size == 8
+        with pytest.raises(ConfigurationError):
+            hc.gpus_of_arch("H100")
+
+    def test_arch_offset_applied(self):
+        hc = make_heterogeneous_cluster(["V100"] * 4 + ["RTX5000"] * 4, seed=0)
+        a_scores = hc.profile.class_scores("A")
+        v100 = a_scores[hc.gpus_of_arch("V100")]
+        rtx = a_scores[hc.gpus_of_arch("RTX5000")]
+        # RTX 5000 class-A scores carry the ~1.45x architecture offset.
+        assert rtx.mean() / v100.mean() == pytest.approx(1.45, rel=0.1)
+
+    def test_memory_bound_class_barely_differs(self):
+        hc = make_heterogeneous_cluster(["V100"] * 4 + ["RTX5000"] * 4, seed=0)
+        c_scores = hc.profile.class_scores("C")
+        v100 = c_scores[hc.gpus_of_arch("V100")].mean()
+        rtx = c_scores[hc.gpus_of_arch("RTX5000")].mean()
+        assert rtx / v100 == pytest.approx(1.10, rel=0.05)
+
+    def test_unknown_arch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_heterogeneous_cluster(["V100", "H100"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_heterogeneous_cluster([])
+
+
+class TestGavelPlacement:
+    @pytest.fixture
+    def hetero_ctx(self):
+        hc = make_heterogeneous_cluster(["V100"] * 2 + ["RTX5000"] * 2, seed=0)
+        topo = ClusterTopology.from_gpu_count(16)
+        return (
+            PlacementContext(
+                state=ClusterState(topo),
+                topology=topo,
+                locality=LocalityModel(),
+                pm_table=PMScoreTable.fit(hc.profile, seed=0),
+                arch_of_gpu=hc.arch_of_gpu,
+            ),
+            hc,
+        )
+
+    def _job(self, demand, class_id=0):
+        return SimJob(
+            JobSpec(
+                job_id=0,
+                arrival_time_s=0.0,
+                demand=demand,
+                model="resnet50",
+                class_id=class_id,
+                iteration_time_s=0.2,
+                total_iterations=10,
+            )
+        )
+
+    def test_prefers_faster_architecture(self, hetero_ctx):
+        ctx, hc = hetero_ctx
+        alloc = GavelPlacement().select_gpus(ctx, self._job(4))
+        assert set(alloc.tolist()) <= set(hc.gpus_of_arch("V100").tolist())
+
+    def test_packs_within_architecture(self, hetero_ctx):
+        ctx, _ = hetero_ctx
+        alloc = GavelPlacement().select_gpus(ctx, self._job(4))
+        assert ctx.topology.is_packed(alloc)
+
+    def test_spills_to_slower_arch_when_fast_full(self, hetero_ctx):
+        ctx, hc = hetero_ctx
+        ctx.state.allocate(99, hc.gpus_of_arch("V100"))  # V100s all busy
+        alloc = GavelPlacement().select_gpus(ctx, self._job(4))
+        assert set(alloc.tolist()) <= set(hc.gpus_of_arch("RTX5000").tolist())
+
+    def test_blind_to_intra_arch_variability(self, hetero_ctx):
+        # Gavel's choice within an architecture ignores per-GPU scores:
+        # it best-fit packs by node regardless of which V100 node hosts
+        # slower GPUs — assert it picks the lowest-id fitting node.
+        ctx, hc = hetero_ctx
+        alloc = GavelPlacement().select_gpus(ctx, self._job(4))
+        np.testing.assert_array_equal(alloc, [0, 1, 2, 3])
+
+    def test_requires_arch_map(self, hetero_ctx):
+        ctx, _ = hetero_ctx
+        ctx.arch_of_gpu = None
+        with pytest.raises(ConfigurationError):
+            GavelPlacement().select_gpus(ctx, self._job(1))
+
+    def test_factory(self):
+        assert make_placement("gavel").name == "Gavel"
+        assert make_placement("gavel").sticky is False
+
+
+class TestHeteroExperiment:
+    def test_expected_policy_ordering(self):
+        from repro.experiments import run_experiment
+
+        result = run_experiment("hetero", scale="smoke")
+        results = result.data["results"]
+        assert results["Gavel"].avg_jct_s() < results["Tiresias"].avg_jct_s()
+        assert results["PAL"].avg_jct_s() < results["Gavel"].avg_jct_s()

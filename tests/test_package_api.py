@@ -1,0 +1,70 @@
+"""Tests for the top-level package API."""
+
+import pytest
+
+import repro
+
+
+class TestTopLevelApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quick_compare_runs(self):
+        text = repro.quick_compare(n_gpus=16, n_jobs=12, seed=0)
+        assert "Tiresias" in text and "PAL" in text
+        assert "improves average JCT" in text
+
+    def test_quick_compare_deterministic(self):
+        a = repro.quick_compare(n_gpus=16, n_jobs=12, seed=1)
+        b = repro.quick_compare(n_gpus=16, n_jobs=12, seed=1)
+        assert a == b
+
+
+class TestSimJobDerivedMetrics:
+    def test_remaining_time_and_jct_guards(self):
+        from repro.scheduler.jobs import SimJob
+        from repro.traces.job import JobSpec
+        from repro.utils.errors import SimulationError
+
+        job = SimJob(
+            JobSpec(
+                job_id=0,
+                arrival_time_s=10.0,
+                demand=2,
+                model="bert",
+                class_id=1,
+                iteration_time_s=0.5,
+                total_iterations=100,
+            )
+        )
+        assert job.remaining_time_ideal_s == pytest.approx(50.0)
+        with pytest.raises(SimulationError):
+            _ = job.jct_s  # not finished yet
+        job.finish_time_s = 110.0
+        job.executed_time_s = 60.0
+        assert job.jct_s == pytest.approx(100.0)
+        assert job.wait_time_s == pytest.approx(40.0)
+
+    def test_passthrough_properties(self):
+        from repro.scheduler.jobs import JobState, SimJob
+        from repro.traces.job import JobSpec
+
+        job = SimJob(
+            JobSpec(
+                job_id=7,
+                arrival_time_s=0.0,
+                demand=4,
+                model="vgg19",
+                class_id=0,
+                iteration_time_s=0.35,
+                total_iterations=10,
+            )
+        )
+        assert job.job_id == 7 and job.demand == 4
+        assert job.model == "vgg19" and job.class_id == 0
+        assert job.state is JobState.PENDING
+        assert not job.is_finished and not job.is_running

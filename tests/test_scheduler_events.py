@@ -1,0 +1,145 @@
+"""Tests for the structured event log and its simulator integration."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.topology import ClusterTopology, LocalityModel
+from repro.scheduler.events import Event, EventLog, EventType
+from repro.scheduler.placement import make_placement
+from repro.scheduler.policies import make_scheduler
+from repro.scheduler.simulator import ClusterSimulator, SimulatorConfig
+from repro.traces.job import JobSpec
+from repro.traces.trace import Trace
+from repro.utils.errors import SimulationError
+from repro.variability.profiles import VariabilityProfile
+
+
+def flat_profile(n=16):
+    return VariabilityProfile("t", ("A", "B", "C"), np.ones((3, n)))
+
+
+def job(i, arrival=0.0, demand=1, iters=100):
+    return JobSpec(
+        job_id=i,
+        arrival_time_s=arrival,
+        demand=demand,
+        model="resnet50",
+        class_id=0,
+        iteration_time_s=1.0,
+        total_iterations=iters,
+    )
+
+
+def simulate(jobs, *, placement="tiresias", scheduler="fifo", n_gpus=16):
+    sim = ClusterSimulator(
+        topology=ClusterTopology.from_gpu_count(n_gpus),
+        true_profile=flat_profile(n_gpus),
+        scheduler=make_scheduler(scheduler),
+        placement=make_placement(placement),
+        locality=LocalityModel(across_node=1.5),
+        config=SimulatorConfig(record_events=True, validate_invariants=True),
+        seed=0,
+    )
+    return sim.run(Trace("ev", tuple(jobs)))
+
+
+class TestEventLogContainer:
+    def test_append_and_query(self):
+        log = EventLog()
+        log.append(0.0, EventType.ADMIT, 1)
+        log.append(10.0, EventType.START, 1, gpus=[0, 1])
+        assert len(log) == 2
+        assert log.for_job(1)[1].detail["gpus"] == [0, 1]
+        assert len(log.of_type(EventType.START)) == 1
+        assert log.counts()[EventType.ADMIT] == 1
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        log = EventLog()
+        log.append(0.0, EventType.ADMIT, 3)
+        log.append(5.0, EventType.START, 3, gpus=[2])
+        path = tmp_path / "events.jsonl"
+        log.to_jsonl(path)
+        loaded = EventLog.from_jsonl(path)
+        assert len(loaded) == 2
+        assert loaded.events[1].type is EventType.START
+        assert loaded.events[1].detail["gpus"] == [2]
+
+    def test_event_json_single(self):
+        e = Event(1.5, EventType.MIGRATE, 7, detail={"from_gpus": [1]})
+        assert Event.from_json(e.to_json()) == e
+
+    def test_validate_rejects_out_of_order(self):
+        log = EventLog(
+            [Event(10.0, EventType.ADMIT, 1), Event(5.0, EventType.START, 1)]
+        )
+        with pytest.raises(SimulationError):
+            log.validate()
+
+    def test_validate_rejects_illegal_transition(self):
+        log = EventLog(
+            [Event(0.0, EventType.ADMIT, 1), Event(1.0, EventType.MIGRATE, 1)]
+        )
+        with pytest.raises(SimulationError):
+            log.validate()
+
+    def test_validate_requires_finish(self):
+        log = EventLog(
+            [Event(0.0, EventType.ADMIT, 1), Event(1.0, EventType.START, 1)]
+        )
+        with pytest.raises(SimulationError):
+            log.validate()
+
+
+class TestSimulatorIntegration:
+    def test_simple_lifecycle(self):
+        res = simulate([job(0, iters=50)])
+        assert res.events is not None
+        types = [e.type for e in res.events.for_job(0)]
+        assert types == [EventType.ADMIT, EventType.START, EventType.FINISH]
+        res.events.validate()
+
+    def test_events_disabled_by_default(self):
+        sim = ClusterSimulator(
+            topology=ClusterTopology.from_gpu_count(4),
+            true_profile=flat_profile(4),
+            scheduler=make_scheduler("fifo"),
+            placement=make_placement("tiresias"),
+        )
+        res = sim.run(Trace("t", (job(0, iters=10),)))
+        assert res.events is None
+
+    def test_preemption_and_restart_recorded(self):
+        res = simulate(
+            [job(0, demand=16, iters=5000), job(1, arrival=250.0, demand=16, iters=50)],
+            scheduler="las",
+        )
+        job0 = [e.type for e in res.events.for_job(0)]
+        assert EventType.PREEMPT in job0
+        assert EventType.RESTART in job0
+        res.events.validate()
+
+    def test_migrations_recorded_for_random_non_sticky(self):
+        res = simulate(
+            [job(i, demand=2, iters=2000) for i in range(3)],
+            placement="random-non-sticky",
+        )
+        migrations = res.events.of_type(EventType.MIGRATE)
+        assert len(migrations) == res.total_migrations
+        assert len(migrations) > 0
+        for e in migrations:
+            assert e.detail["from_gpus"] != e.detail["to_gpus"]
+        res.events.validate()
+
+    def test_every_job_has_complete_lifecycle(self):
+        jobs = [job(i, arrival=i * 120.0, demand=1 + i % 3, iters=400) for i in range(12)]
+        res = simulate(jobs, placement="pal", scheduler="las")
+        res.events.validate()
+        counts = res.events.counts()
+        assert counts[EventType.ADMIT] == 12
+        assert counts[EventType.START] == 12
+        assert counts[EventType.FINISH] == 12
+
+    def test_event_times_match_records(self):
+        res = simulate([job(0, iters=77)])
+        finish = res.events.of_type(EventType.FINISH)[0]
+        assert finish.time_s == pytest.approx(res.records[0].finish_s)

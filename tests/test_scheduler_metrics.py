@@ -1,0 +1,110 @@
+"""Tests for JobRecord / SimulationResult metrics."""
+
+import numpy as np
+import pytest
+
+from repro.scheduler.metrics import JobRecord, SimulationResult
+from repro.utils.errors import ConfigurationError
+
+
+def record(i=0, arrival=0.0, start=0.0, finish=100.0, executed=100.0,
+           demand=1, ideal=100.0, migrations=0):
+    return JobRecord(
+        job_id=i,
+        model="resnet50",
+        class_id=0,
+        demand=demand,
+        arrival_s=arrival,
+        first_start_s=start,
+        finish_s=finish,
+        executed_s=executed,
+        ideal_duration_s=ideal,
+        n_migrations=migrations,
+        n_preemptions=0,
+        n_restarts=0,
+    )
+
+
+def result(records, cluster=4, busy=None):
+    busy = busy if busy is not None else sum(r.executed_s * r.demand for r in records)
+    return SimulationResult(
+        trace_name="t",
+        scheduler_name="FIFO",
+        placement_name="PAL",
+        cluster_size=cluster,
+        epoch_s=300.0,
+        records=tuple(records),
+        epoch_times_s=np.array([0.0, 300.0]),
+        gpus_in_use=np.array([2, 1]),
+        placement_times_s=np.array([0.001, 0.001]),
+        busy_gpu_seconds=busy,
+    )
+
+
+class TestJobRecord:
+    def test_derived_metrics(self):
+        r = record(arrival=50.0, finish=250.0, executed=150.0, ideal=100.0)
+        assert r.jct_s == pytest.approx(200.0)
+        assert r.wait_s == pytest.approx(50.0)
+        assert r.slowdown == pytest.approx(2.0)
+
+    def test_multi_gpu_flag(self):
+        assert record(demand=4).is_multi_gpu
+        assert not record(demand=1).is_multi_gpu
+
+
+class TestSimulationResult:
+    def test_avg_and_p99(self):
+        res = result([record(i, finish=100.0 * (i + 1), executed=50.0) for i in range(10)])
+        assert res.avg_jct_s() == pytest.approx(np.mean([100.0 * (i + 1) for i in range(10)]))
+        assert res.p99_jct_s() <= 1000.0
+
+    def test_selection_window(self):
+        res = result([record(i, finish=100.0) for i in range(10)])
+        sel = res.select(min_job_id=3, max_job_id=5)
+        assert [r.job_id for r in sel] == [3, 4, 5]
+
+    def test_selection_multi_gpu_only(self):
+        res = result([record(0, demand=1), record(1, demand=4)])
+        sel = res.select(multi_gpu_only=True)
+        assert [r.job_id for r in sel] == [1]
+
+    def test_selection_predicate(self):
+        res = result([record(0), record(1, demand=8)])
+        sel = res.select(predicate=lambda r: r.demand == 8)
+        assert len(sel) == 1
+
+    def test_empty_selection_raises(self):
+        res = result([record(0)])
+        with pytest.raises(ConfigurationError):
+            res.select(min_job_id=5)
+
+    def test_makespan_and_utilization(self):
+        recs = [record(0, finish=1000.0, executed=1000.0, demand=2)]
+        res = result(recs, cluster=4)
+        assert res.makespan_s == pytest.approx(1000.0)
+        assert res.utilization == pytest.approx(2000.0 / (4 * 1000.0))
+
+    def test_cdf(self):
+        res = result([record(i, finish=float(100 + i)) for i in range(5)])
+        xs, fr = res.jct_cdf()
+        assert xs.size == 5 and fr[-1] == pytest.approx(1.0)
+
+    def test_utilization_series(self):
+        res = result([record(0)])
+        t, u = res.utilization_series()
+        np.testing.assert_array_equal(t, [0.0, 300.0])
+        np.testing.assert_array_equal(u, [2, 1])
+
+    def test_summary_keys(self):
+        s = result([record(0)]).summary()
+        assert {"avg_jct_h", "p99_jct_h", "makespan_h", "utilization",
+                "avg_wait_h", "migrations", "preemptions"} <= set(s)
+
+    def test_totals(self):
+        res = result([record(0, migrations=3), record(1, migrations=2)])
+        assert res.total_migrations == 5
+
+    def test_empty_records_rejected(self):
+        with pytest.raises(ConfigurationError):
+            result([])

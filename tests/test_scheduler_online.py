@@ -1,0 +1,151 @@
+"""Tests for dynamic online PM-Score updates."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.topology import ClusterTopology, LocalityModel
+from repro.core.pm_score import PMScoreTable
+from repro.scheduler.online import OnlinePMScoreTable, OnlineUpdateConfig
+from repro.scheduler.placement import make_placement
+from repro.scheduler.policies import make_scheduler
+from repro.scheduler.simulator import ClusterSimulator, SimulatorConfig
+from repro.traces.job import JobSpec
+from repro.traces.trace import Trace
+from repro.utils.errors import ConfigurationError
+from repro.variability.profiles import VariabilityProfile
+
+
+def flat_profile(n=16, overrides=None):
+    scores = np.ones((3, n))
+    for (ci, g), v in (overrides or {}).items():
+        scores[ci, g] = v
+    return VariabilityProfile("t", ("A", "B", "C"), scores)
+
+
+@pytest.fixture
+def table16():
+    return PMScoreTable.fit(flat_profile(overrides={(0, 5): 2.0}), seed=0)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            OnlineUpdateConfig(alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            OnlineUpdateConfig(alpha=1.5)
+        with pytest.raises(ConfigurationError):
+            OnlineUpdateConfig(alpha_exact=0.0)
+        with pytest.raises(ConfigurationError):
+            OnlineUpdateConfig(min_score=0.0)
+
+
+class TestOnlineTable:
+    def test_starts_at_base_beliefs(self, table16):
+        online = OnlinePMScoreTable(table16)
+        np.testing.assert_array_equal(
+            online.binned_scores(0), table16.binned_scores(0)
+        )
+        assert online.n_gpus == 16 and online.n_classes == 3
+
+    def test_single_gpu_observation_converges(self, table16):
+        online = OnlinePMScoreTable(table16, OnlineUpdateConfig(alpha_exact=0.8))
+        for _ in range(10):
+            online.observe(0, np.array([3]), observed_v=1.8)
+        assert online.binned_scores(0)[3] == pytest.approx(1.8, rel=0.01)
+        assert online.n_updates == 10
+
+    def test_multi_gpu_observation_blames_believed_slowest(self, table16):
+        online = OnlinePMScoreTable(table16)
+        before = online.binned_scores(0).copy()
+        worst = int(np.argmax(before[[2, 5, 7]]))
+        target = [2, 5, 7][worst]
+        online.observe(0, np.array([2, 5, 7]), observed_v=2.6)
+        after = online.binned_scores(0)
+        assert after[target] > before[target]
+        untouched = [g for g in (2, 5, 7) if g != target]
+        np.testing.assert_array_equal(after[untouched], before[untouched])
+
+    def test_overestimate_corrected_downward(self, table16):
+        online = OnlinePMScoreTable(table16, OnlineUpdateConfig(alpha=0.5))
+        # GPU 5 believed ~2.0, but the set runs at 1.0.
+        before = online.binned_scores(0)[5]
+        online.observe(0, np.array([4, 5, 6]), observed_v=1.0)
+        assert online.binned_scores(0)[5] < before
+
+    def test_centroid_ceiling_grows(self, table16):
+        online = OnlinePMScoreTable(table16)
+        old_tail = online.centroids(0)[-1]
+        online.observe(0, np.array([1]), observed_v=old_tail * 3)
+        assert online.centroids(0)[-1] >= online.binned_scores(0).max()
+        assert online.needs_refit
+
+    def test_observation_validation(self, table16):
+        online = OnlinePMScoreTable(table16)
+        with pytest.raises(ConfigurationError):
+            online.observe(0, np.array([1]), observed_v=0.0)
+        with pytest.raises(ConfigurationError):
+            online.observe(0, np.array([], dtype=np.int64), observed_v=1.0)
+
+    def test_read_views_immutable(self, table16):
+        online = OnlinePMScoreTable(table16)
+        with pytest.raises(ValueError):
+            online.binned_scores(0)[0] = 5.0
+
+    def test_class_name_lookup(self, table16):
+        online = OnlinePMScoreTable(table16)
+        np.testing.assert_array_equal(
+            online.binned_scores("A"), online.binned_scores(0)
+        )
+
+    def test_max_abs_error_diagnostic(self, table16):
+        online = OnlinePMScoreTable(table16)
+        truth = np.ones(16)
+        assert online.max_abs_error(truth, 0) >= 0.0
+
+
+class TestSimulatorIntegration:
+    def _run(self, pm_table, *, online):
+        # Truth: GPUs 12-15 are 3x slow for class A, but beliefs say 0.5x.
+        truth = flat_profile(overrides={(0, g): 3.0 for g in (12, 13, 14, 15)})
+        jobs = tuple(
+            JobSpec(
+                job_id=i,
+                arrival_time_s=i * 300.0,
+                demand=4,
+                model="resnet50",
+                class_id=0,
+                iteration_time_s=1.0,
+                total_iterations=900,
+            )
+            for i in range(8)
+        )
+        sim = ClusterSimulator(
+            topology=ClusterTopology.from_gpu_count(16),
+            true_profile=truth,
+            scheduler=make_scheduler("fifo"),
+            placement=make_placement("pal"),
+            pm_table=pm_table,
+            locality=LocalityModel(across_node=1.5),
+            config=SimulatorConfig(
+                validate_invariants=True, online_pm_updates=online
+            ),
+            seed=0,
+        )
+        return sim.run(Trace("online-int", jobs))
+
+    def test_online_updates_beat_stale_beliefs(self):
+        lying = flat_profile(overrides={(0, g): 0.5 for g in (12, 13, 14, 15)})
+        lying_table = PMScoreTable.fit(lying, seed=0)
+        stale = self._run(lying_table, online=False)
+        corrected = self._run(lying_table, online=True)
+        # With online updates the scheduler learns node 3 is slow and
+        # stops placing class-A jobs there; JCT must improve.
+        assert corrected.avg_jct_s() < stale.avg_jct_s()
+
+    def test_online_noop_when_beliefs_correct(self):
+        truth = flat_profile(overrides={(0, g): 3.0 for g in (12, 13, 14, 15)})
+        table = PMScoreTable.fit(truth, seed=0)
+        a = self._run(table, online=False)
+        b = self._run(table, online=True)
+        # Correct beliefs: observations confirm them; JCTs match closely.
+        assert b.avg_jct_s() == pytest.approx(a.avg_jct_s(), rel=0.05)

@@ -1,0 +1,191 @@
+"""Tests for placement policies: Packed, Random, PM-First, PAL wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.state import ClusterState
+from repro.cluster.topology import ClusterTopology, LocalityModel
+from repro.core.pm_score import PMScoreTable
+from repro.scheduler.jobs import SimJob
+from repro.scheduler.placement import (
+    ALL_POLICY_NAMES,
+    PackedPlacement,
+    PALPlacement,
+    PlacementContext,
+    PMFirstPlacement,
+    RandomPlacement,
+    make_placement,
+)
+from repro.traces.job import JobSpec
+from repro.utils.errors import AllocationError, ConfigurationError
+from repro.utils.rng import stream
+from repro.variability.profiles import VariabilityProfile
+
+
+def sim_job(i=0, demand=1, class_id=0, model="resnet50"):
+    return SimJob(
+        JobSpec(
+            job_id=i,
+            arrival_time_s=0.0,
+            demand=demand,
+            model=model,
+            class_id=class_id,
+            iteration_time_s=0.2,
+            total_iterations=10,
+        )
+    )
+
+
+@pytest.fixture
+def ctx16(handcrafted_profile):
+    topo = ClusterTopology.from_gpu_count(16)
+    return PlacementContext(
+        state=ClusterState(topo),
+        topology=topo,
+        locality=LocalityModel(across_node=1.5),
+        pm_table=PMScoreTable.fit(handcrafted_profile, seed=0),
+        rng=stream(0, "test/placement"),
+    )
+
+
+class TestFactory:
+    def test_paper_baseline_names(self):
+        assert make_placement("tiresias").name == "Tiresias"
+        assert make_placement("tiresias").sticky is True
+        assert make_placement("gandiva").name == "Gandiva"
+        assert make_placement("gandiva").sticky is False
+        assert make_placement("random-sticky").sticky is True
+        assert make_placement("pm-first").sticky is False
+        assert make_placement("pal").sticky is False
+
+    def test_sticky_ablation_variants(self):
+        assert make_placement("pal-sticky").sticky is True
+        assert make_placement("pm-first-sticky").sticky is True
+
+    def test_all_policy_names_constructible(self):
+        for name in ALL_POLICY_NAMES:
+            assert make_placement(name) is not None
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_placement("best-fit-decreasing")
+
+    def test_determinism_flags(self):
+        assert make_placement("pal").deterministic
+        assert make_placement("tiresias").deterministic
+        assert not make_placement("random-sticky").deterministic
+
+
+class TestPackedPlacement:
+    def test_single_node_best_fit(self, ctx16):
+        # Occupy 3 GPUs of node 0 -> node 0 has 1 free; a 1-GPU job should
+        # best-fit into node 0, preserving empty nodes for big jobs.
+        ctx16.state.allocate(99, np.array([0, 1, 2]))
+        alloc = PackedPlacement(sticky=False).select_gpus(ctx16, sim_job(1, demand=1))
+        np.testing.assert_array_equal(alloc, [3])
+
+    def test_packs_within_one_node(self, ctx16):
+        alloc = PackedPlacement(sticky=False).select_gpus(ctx16, sim_job(1, demand=4))
+        assert ctx16.topology.is_packed(alloc)
+
+    def test_spill_uses_fullest_nodes(self, ctx16):
+        # Node 0: 1 free, others full nodes of 4. An 8-GPU job must take
+        # two whole free nodes, not dribble across three.
+        ctx16.state.allocate(99, np.array([0, 1, 2]))
+        alloc = PackedPlacement(sticky=False).select_gpus(ctx16, sim_job(1, demand=8))
+        assert ctx16.topology.nodes_spanned(alloc).size == 2
+
+    def test_insufficient_raises(self, ctx16):
+        ctx16.state.allocate(99, np.arange(10))
+        with pytest.raises(AllocationError):
+            PackedPlacement(sticky=False).select_gpus(ctx16, sim_job(1, demand=8))
+
+    def test_variability_blind(self, ctx16):
+        # Handcrafted profile: GPUs 14-15 are 3.0x outliers, but Packed
+        # placement ignores scores entirely — that is the baseline's flaw.
+        ctx16.state.allocate(99, np.arange(12))  # only node 3 (12-15) free
+        alloc = PackedPlacement(sticky=False).select_gpus(ctx16, sim_job(1, demand=4))
+        np.testing.assert_array_equal(alloc, [12, 13, 14, 15])
+
+
+class TestRandomPlacement:
+    def test_samples_without_replacement(self, ctx16):
+        alloc = RandomPlacement(sticky=False).select_gpus(ctx16, sim_job(1, demand=6))
+        assert np.unique(alloc).size == 6
+
+    def test_requires_rng(self, ctx16):
+        ctx16.rng = None
+        with pytest.raises(ConfigurationError):
+            RandomPlacement(sticky=False).select_gpus(ctx16, sim_job(1, demand=1))
+
+    def test_insufficient_raises(self, ctx16):
+        ctx16.state.allocate(99, np.arange(16))
+        with pytest.raises(AllocationError):
+            RandomPlacement(sticky=False).select_gpus(ctx16, sim_job(1, demand=1))
+
+    def test_distribution_spans_cluster(self, ctx16):
+        seen = set()
+        pol = RandomPlacement(sticky=False)
+        for _ in range(50):
+            seen.update(pol.select_gpus(ctx16, sim_job(1, demand=2)).tolist())
+        assert len(seen) >= 12  # random picks should touch most GPUs
+
+
+class TestPMFirstPlacement:
+    def test_avoids_outliers(self, ctx16):
+        # Class A (class_id 0): GPUs 14-15 score 3.0 — never picked while
+        # 14 better GPUs exist.
+        alloc = PMFirstPlacement().select_gpus(ctx16, sim_job(1, demand=12, class_id=0))
+        assert 14 not in alloc and 15 not in alloc
+
+    def test_class_c_indifferent(self, ctx16):
+        # Class C scores are flat 1.0: selection degenerates to id order.
+        alloc = PMFirstPlacement().select_gpus(ctx16, sim_job(1, demand=4, class_id=1))
+        np.testing.assert_array_equal(alloc, [0, 1, 2, 3])
+
+    def test_placement_order_class_priority(self):
+        jobs = [sim_job(0, class_id=2), sim_job(1, class_id=0), sim_job(2, class_id=1)]
+        order = PMFirstPlacement().placement_order(jobs)
+        assert [j.job_id for j in order] == [1, 2, 0]
+
+    def test_placement_order_stable_within_class(self):
+        jobs = [sim_job(0, class_id=0), sim_job(1, class_id=0)]
+        order = PMFirstPlacement().placement_order(jobs)
+        assert [j.job_id for j in order] == [0, 1]
+
+    def test_requires_pm_table(self, ctx16):
+        ctx16.pm_table = None
+        with pytest.raises(ConfigurationError):
+            PMFirstPlacement().select_gpus(ctx16, sim_job(1, demand=1))
+
+
+class TestPALPlacement:
+    def test_packs_class_a_on_clean_node(self, ctx16):
+        alloc = PALPlacement().select_gpus(ctx16, sim_job(1, demand=4, class_id=0))
+        assert ctx16.topology.is_packed(alloc)
+        # Must avoid node 3 (hosts the 3.0x outliers 14, 15).
+        assert set(alloc.tolist()).isdisjoint({14, 15})
+
+    def test_spreads_when_only_dirty_nodes_remain(self, ctx16):
+        # Free: node 2's GPUs 10,11 + node 3 (12,13 moderate 1.4; 14,15
+        # outliers 3.0). A packed 4-set must use node 3 and its outliers
+        # (within-product 3.0); spreading over {10,11,12,13} costs
+        # 1.5 x 1.4 = 2.1 — PAL must spread.
+        ctx16.state.allocate(99, np.arange(10))
+        alloc = PALPlacement().select_gpus(ctx16, sim_job(1, demand=4, class_id=0))
+        assert not ctx16.topology.is_packed(alloc)
+        assert set(alloc.tolist()).isdisjoint({14, 15})
+
+    def test_lv_matrix_cached_per_class_and_penalty(self, ctx16):
+        lv1 = ctx16.lv_matrix(0, "resnet50")
+        lv2 = ctx16.lv_matrix(0, "resnet50")
+        assert lv1 is lv2
+        # A model with a different per-model penalty gets its own matrix.
+        ctx16.locality = LocalityModel(across_node=1.5, per_model={"bert": 1.2})
+        ctx16._lv_cache.clear()
+        assert ctx16.lv_matrix(0, "bert") is not ctx16.lv_matrix(0, "resnet50")
+
+    def test_single_gpu_job_best_score(self, ctx16):
+        alloc = PALPlacement().select_gpus(ctx16, sim_job(1, demand=1, class_id=0))
+        scores = ctx16.binned_scores(0)
+        assert scores[alloc[0]] == scores.min()

@@ -1,0 +1,145 @@
+"""Tests for scheduling policies (FIFO / LAS / SRTF) and admission control."""
+
+import pytest
+
+from repro.scheduler.admission import (
+    AcceptAll,
+    MaxOutstandingDemand,
+    MaxQueueLength,
+    make_admission,
+)
+from repro.scheduler.jobs import SimJob
+from repro.scheduler.policies import (
+    FIFOScheduler,
+    LASScheduler,
+    SRTFScheduler,
+    make_scheduler,
+)
+from repro.traces.job import JobSpec
+from repro.utils.errors import ConfigurationError
+
+
+def sim_job(i, arrival=0.0, demand=1, iters=100, t_iter=1.0, attained=0.0, executed=0.0):
+    spec = JobSpec(
+        job_id=i,
+        arrival_time_s=arrival,
+        demand=demand,
+        model="resnet50",
+        class_id=0,
+        iteration_time_s=t_iter,
+        total_iterations=iters,
+    )
+    job = SimJob(spec)
+    job.attained_service_gpu_s = attained
+    job.executed_time_s = executed
+    return job
+
+
+class TestFIFO:
+    def test_orders_by_arrival(self):
+        jobs = [sim_job(0, 30.0), sim_job(1, 10.0), sim_job(2, 20.0)]
+        order = FIFOScheduler().order(jobs, now_s=100.0)
+        assert [j.job_id for j in order] == [1, 2, 0]
+
+    def test_ties_break_by_id(self):
+        jobs = [sim_job(5, 10.0), sim_job(2, 10.0)]
+        order = FIFOScheduler().order(jobs, now_s=0.0)
+        assert [j.job_id for j in order] == [2, 5]
+
+    def test_running_jobs_never_overtaken(self):
+        # A running (earlier-arrived) job keeps priority over later ones.
+        early = sim_job(0, 0.0, attained=1e6, executed=1e5)
+        late = sim_job(1, 50.0)
+        order = FIFOScheduler().order([late, early], now_s=100.0)
+        assert order[0] is early
+
+
+class TestLAS:
+    def test_new_jobs_jump_ahead(self):
+        running = sim_job(0, 0.0, attained=5000.0)
+        newbie = sim_job(1, 900.0, attained=0.0)
+        order = LASScheduler().order([running, newbie], now_s=1000.0)
+        assert order[0] is newbie
+
+    def test_two_level_queue_demotion(self):
+        thresh = 3600.0
+        sched = LASScheduler(promote_threshold_gpu_s=thresh)
+        demoted = sim_job(0, 0.0, attained=thresh + 1)
+        fresh = sim_job(1, 0.0, attained=thresh - 1)
+        order = sched.order([demoted, fresh], now_s=0.0)
+        assert order[0] is fresh
+
+    def test_within_queue_less_attained_first(self):
+        a = sim_job(0, 0.0, attained=100.0)
+        b = sim_job(1, 0.0, attained=50.0)
+        order = LASScheduler().order([a, b], now_s=0.0)
+        assert order[0] is b
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            LASScheduler(promote_threshold_gpu_s=0.0)
+
+
+class TestSRTF:
+    def test_shortest_remaining_first(self):
+        long_job = sim_job(0, 0.0, iters=1000, t_iter=1.0)
+        short_job = sim_job(1, 0.0, iters=10, t_iter=1.0)
+        order = SRTFScheduler().order([long_job, short_job], now_s=0.0)
+        assert order[0] is short_job
+
+    def test_remaining_time_updates_with_progress(self):
+        a = sim_job(0, 0.0, iters=100, t_iter=1.0)
+        b = sim_job(1, 0.0, iters=50, t_iter=1.0)
+        a.remaining_iterations = 10.0  # a has nearly finished
+        order = SRTFScheduler().order([a, b], now_s=0.0)
+        assert order[0] is a
+
+    def test_iteration_time_matters(self):
+        few_slow = sim_job(0, 0.0, iters=10, t_iter=100.0)  # 1000s left
+        many_fast = sim_job(1, 0.0, iters=100, t_iter=1.0)  # 100s left
+        order = SRTFScheduler().order([few_slow, many_fast], now_s=0.0)
+        assert order[0] is many_fast
+
+
+class TestFactory:
+    def test_known_names(self):
+        assert isinstance(make_scheduler("fifo"), FIFOScheduler)
+        assert isinstance(make_scheduler("LAS"), LASScheduler)
+        assert isinstance(make_scheduler("srtf"), SRTFScheduler)
+
+    def test_kwargs_forwarded(self):
+        s = make_scheduler("las", promote_threshold_gpu_s=123.0)
+        assert s.promote_threshold_gpu_s == 123.0
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            make_scheduler("lottery")
+
+
+class TestAdmission:
+    def test_accept_all(self):
+        assert AcceptAll().admit(
+            sim_job(0), queued_jobs=10**6, outstanding_demand=10**6, cluster_size=4
+        )
+
+    def test_max_queue_length(self):
+        pol = MaxQueueLength(2)
+        assert pol.admit(sim_job(0), queued_jobs=1, outstanding_demand=0, cluster_size=4)
+        assert not pol.admit(sim_job(0), queued_jobs=2, outstanding_demand=0, cluster_size=4)
+        with pytest.raises(ConfigurationError):
+            MaxQueueLength(0)
+
+    def test_max_outstanding_demand(self):
+        pol = MaxOutstandingDemand(2.0)
+        ok = pol.admit(sim_job(0, demand=4), queued_jobs=0, outstanding_demand=4, cluster_size=4)
+        assert ok  # 4 + 4 <= 8
+        no = pol.admit(sim_job(0, demand=8), queued_jobs=0, outstanding_demand=4, cluster_size=4)
+        assert not no
+        with pytest.raises(ConfigurationError):
+            MaxOutstandingDemand(0.0)
+
+    def test_factory(self):
+        assert isinstance(make_admission("accept-all"), AcceptAll)
+        assert isinstance(make_admission("max-queue-length", limit=3), MaxQueueLength)
+        with pytest.raises(ConfigurationError):
+            make_admission("vip-only")

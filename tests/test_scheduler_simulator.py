@@ -1,0 +1,338 @@
+"""Semantic tests for the round-based simulator engine."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.topology import ClusterTopology, LocalityModel
+from repro.core.pm_score import PMScoreTable
+from repro.scheduler.placement import PALPlacement, make_placement
+from repro.scheduler.policies import make_scheduler
+from repro.scheduler.simulator import ClusterSimulator, SimulatorConfig
+from repro.traces.job import JobSpec
+from repro.traces.trace import Trace
+from repro.utils.errors import ConfigurationError, SimulationError
+from repro.variability.profiles import VariabilityProfile
+
+
+def flat_profile(n_gpus, score=1.0, overrides=None):
+    """A 3-class profile with constant scores (plus optional overrides)."""
+    scores = np.full((3, n_gpus), score)
+    for (ci, gpu), v in (overrides or {}).items():
+        scores[ci, gpu] = v
+    return VariabilityProfile(
+        cluster_name="flat", class_names=("A", "B", "C"), scores=scores
+    )
+
+
+def job(i, arrival=0.0, demand=1, iters=100, t_iter=1.0, class_id=0, model="resnet50"):
+    return JobSpec(
+        job_id=i,
+        arrival_time_s=arrival,
+        demand=demand,
+        model=model,
+        class_id=class_id,
+        iteration_time_s=t_iter,
+        total_iterations=iters,
+    )
+
+
+def simulate(jobs, *, n_gpus=16, placement="pal", scheduler="fifo",
+             profile=None, locality=None, config=None, seed=0, pm_table=None):
+    topo = ClusterTopology.from_gpu_count(n_gpus)
+    profile = profile or flat_profile(n_gpus)
+    sim = ClusterSimulator(
+        topology=topo,
+        true_profile=profile,
+        scheduler=make_scheduler(scheduler),
+        placement=make_placement(placement) if isinstance(placement, str) else placement,
+        pm_table=pm_table,
+        locality=locality or LocalityModel(across_node=1.5),
+        config=config or SimulatorConfig(validate_invariants=True),
+        seed=seed,
+    )
+    return sim.run(Trace("test", tuple(jobs)))
+
+
+class TestSingleJobExecution:
+    def test_ideal_runtime_on_clean_cluster(self):
+        res = simulate([job(0, iters=100, t_iter=1.0, demand=2)])
+        rec = res.records[0]
+        assert rec.finish_s == pytest.approx(100.0)
+        assert rec.jct_s == pytest.approx(100.0)
+        assert rec.executed_s == pytest.approx(100.0)
+        assert rec.wait_s == pytest.approx(0.0)
+
+    def test_multi_epoch_job(self):
+        res = simulate([job(0, iters=1000, t_iter=1.0)])  # 1000s > 300s epoch
+        assert res.records[0].finish_s == pytest.approx(1000.0)
+
+    def test_locality_penalty_applied_when_spread(self):
+        # Demand 8 on 4-GPU nodes must span nodes and pay L = 1.5.
+        res = simulate([job(0, iters=100, t_iter=1.0, demand=8)])
+        assert res.records[0].finish_s == pytest.approx(150.0)
+
+    def test_per_model_locality_penalty(self):
+        loc = LocalityModel(across_node=1.5, per_model={"bert": 1.2})
+        res = simulate(
+            [job(0, iters=100, t_iter=1.0, demand=8, model="bert", class_id=1)],
+            locality=loc,
+        )
+        assert res.records[0].finish_s == pytest.approx(120.0)
+
+    def test_bsp_slowest_gpu_dominates(self):
+        # One slow GPU (2x) in an otherwise clean cluster: a 16-GPU job
+        # must run at the slow GPU's pace (plus the spread penalty).
+        prof = flat_profile(16, overrides={(0, 7): 2.0})
+        res = simulate([job(0, iters=100, t_iter=1.0, demand=16)], profile=prof)
+        assert res.records[0].finish_s == pytest.approx(100 * 2.0 * 1.5)
+
+    def test_late_arrival_starts_at_epoch_boundary(self):
+        res = simulate([job(0, arrival=450.0, iters=10, t_iter=1.0)])
+        rec = res.records[0]
+        assert rec.first_start_s == pytest.approx(600.0)  # next boundary
+        assert rec.finish_s == pytest.approx(610.0)
+
+    def test_arrival_exactly_on_boundary(self):
+        res = simulate([job(0, arrival=300.0, iters=10, t_iter=1.0)])
+        assert res.records[0].first_start_s == pytest.approx(300.0)
+
+
+class TestQueueingSemantics:
+    def test_fifo_serializes_on_tiny_cluster(self):
+        res = simulate(
+            [job(0, iters=100, t_iter=1.0), job(1, iters=100, t_iter=1.0)],
+            n_gpus=4,
+        )
+        # Cluster has 4 GPUs, both jobs demand 1... they fit concurrently.
+        assert res.records[0].wait_s == pytest.approx(0.0)
+        assert res.records[1].wait_s == pytest.approx(0.0)
+
+    def test_blocked_job_waits_for_next_round(self):
+        # 4-GPU cluster; job 0 takes all 4 GPUs for 100s; job 1 must wait
+        # until the *next scheduling round* (t=300) even though GPUs free
+        # up at t=100 — round-based scheduling.
+        res = simulate(
+            [job(0, demand=4, iters=100, t_iter=1.0), job(1, demand=4, iters=50, t_iter=1.0)],
+            n_gpus=4,
+        )
+        rec1 = res.records[1]
+        assert rec1.first_start_s == pytest.approx(300.0)
+        assert rec1.finish_s == pytest.approx(350.0)
+
+    def test_guaranteed_prefix_blocks_later_small_jobs(self):
+        # FIFO order: big job (demand 4) first, small job behind it; the
+        # prefix marks at the big job, so the small one waits even though
+        # it would fit — the paper's strict marking discipline.
+        res = simulate(
+            [
+                job(0, demand=3, iters=1000, t_iter=1.0),
+                job(1, demand=4, iters=100, t_iter=1.0),
+                job(2, demand=1, iters=10, t_iter=1.0),
+            ],
+            n_gpus=4,
+        )
+        rec2 = res.records[2]
+        # Job 1 (demand 4) cannot start while job 0 holds 3 GPUs; job 2
+        # is behind job 1 in FIFO order and must not leapfrog it.
+        assert res.records[1].first_start_s < rec2.first_start_s
+
+    def test_las_preempts_for_new_arrival(self):
+        res = simulate(
+            [
+                job(0, demand=16, iters=5000, t_iter=1.0),
+                job(1, arrival=250.0, demand=16, iters=100, t_iter=1.0),
+            ],
+            scheduler="las",
+        )
+        rec0, rec1 = res.records
+        assert rec0.n_preemptions >= 1  # the long job lost its GPUs
+        # The newcomer ran before the long job finished.
+        assert rec1.finish_s < rec0.finish_s
+
+    def test_fifo_never_preempts(self):
+        res = simulate(
+            [
+                job(0, demand=16, iters=5000, t_iter=1.0),
+                job(1, arrival=250.0, demand=16, iters=100, t_iter=1.0),
+            ],
+            scheduler="fifo",
+        )
+        assert res.records[0].n_preemptions == 0
+
+    def test_srtf_prefers_short_job(self):
+        res = simulate(
+            [
+                job(0, demand=16, iters=5000, t_iter=1.0),
+                job(1, arrival=250.0, demand=16, iters=100, t_iter=1.0),
+            ],
+            scheduler="srtf",
+        )
+        assert res.records[1].finish_s < res.records[0].finish_s
+
+    def test_idle_gap_fast_forward(self):
+        res = simulate(
+            [job(0, iters=10, t_iter=1.0), job(1, arrival=30000.0, iters=10, t_iter=1.0)]
+        )
+        assert res.records[1].first_start_s == pytest.approx(30000.0)
+        # The engine must not have stepped through every idle epoch.
+        assert res.metadata["epochs_run"] < 50
+
+
+class TestConservation:
+    def test_all_jobs_finish_and_accounting_balances(self):
+        rng = np.random.default_rng(0)
+        jobs = [
+            job(
+                i,
+                arrival=float(rng.uniform(0, 3600)),
+                demand=int(rng.choice([1, 1, 2, 4])),
+                iters=int(rng.integers(50, 2000)),
+                class_id=int(rng.integers(0, 3)),
+            )
+            for i in range(40)
+        ]
+        jobs.sort(key=lambda j: j.arrival_time_s)
+        jobs = [
+            JobSpec(
+                job_id=i,
+                arrival_time_s=j.arrival_time_s,
+                demand=j.demand,
+                model=j.model,
+                class_id=j.class_id,
+                iteration_time_s=j.iteration_time_s,
+                total_iterations=j.total_iterations,
+            )
+            for i, j in enumerate(jobs)
+        ]
+        res = simulate(jobs, n_gpus=8)
+        assert len(res.records) == 40
+        busy = sum(r.executed_s * r.demand for r in res.records)
+        assert busy == pytest.approx(res.busy_gpu_seconds)
+        for r in res.records:
+            assert r.finish_s >= r.arrival_s
+            assert r.executed_s >= r.ideal_duration_s - 1e-6  # slowdowns only add
+            assert r.wait_s >= -1e-9
+        assert res.makespan_s >= max(r.finish_s for r in res.records) - 1e-9
+        assert 0.0 < res.utilization <= 1.0
+
+    def test_gpus_in_use_never_exceed_cluster(self):
+        jobs = [job(i, arrival=i * 60.0, demand=4, iters=2000) for i in range(10)]
+        res = simulate(jobs, n_gpus=8)
+        assert res.gpus_in_use.max() <= 8
+        assert res.epoch_times_s.shape == res.gpus_in_use.shape
+        assert res.placement_times_s.size == res.metadata["epochs_run"]
+
+
+class TestStickyVsNonSticky:
+    def test_sticky_jobs_never_migrate(self):
+        jobs = [job(i, arrival=i * 100.0, demand=2, iters=3000) for i in range(6)]
+        res = simulate(jobs, n_gpus=8, placement="tiresias")
+        assert res.total_migrations == 0
+
+    def test_non_sticky_policy_may_migrate(self):
+        # Random-Non-Sticky re-rolls every round; with multiple rounds the
+        # odds of zero migrations are negligible.
+        jobs = [job(i, demand=2, iters=3000) for i in range(3)]
+        res = simulate(jobs, n_gpus=16, placement="random-non-sticky")
+        assert res.total_migrations > 0
+
+    def test_migration_overhead_slows_jobs(self):
+        jobs = [job(i, demand=2, iters=3000) for i in range(3)]
+        fast = simulate(jobs, n_gpus=16, placement="random-non-sticky",
+                        config=SimulatorConfig(validate_invariants=True))
+        slow = simulate(jobs, n_gpus=16, placement="random-non-sticky",
+                        config=SimulatorConfig(migration_overhead_s=60.0,
+                                               validate_invariants=True))
+        assert slow.avg_jct_s() > fast.avg_jct_s()
+
+    def test_memoization_is_behavior_preserving(self):
+        # Forcing deterministic=False disables the steady-state skip; the
+        # results must be bit-identical either way.
+        class NoMemoPAL(PALPlacement):
+            deterministic = False
+
+        jobs = [job(i, arrival=i * 200.0, demand=int(1 + i % 4), iters=2500,
+                    class_id=i % 3) for i in range(12)]
+        prof = flat_profile(16, overrides={(0, 3): 2.5, (0, 8): 1.4})
+        a = simulate(jobs, n_gpus=16, placement="pal", profile=prof)
+        b = simulate(jobs, n_gpus=16, placement=NoMemoPAL(), profile=prof)
+        for ra, rb in zip(a.records, b.records):
+            assert ra.finish_s == pytest.approx(rb.finish_s)
+            assert ra.executed_s == pytest.approx(rb.executed_s)
+
+
+class TestBelievedVsTrue:
+    def test_profile_error_degrades_pal(self):
+        # Truth: GPUs 12-15 are 3x slow for class A. Beliefs say they are
+        # the *fastest* — PAL chases them and suffers; with correct
+        # beliefs it avoids them.
+        truth = flat_profile(16, overrides={(0, g): 3.0 for g in (12, 13, 14, 15)})
+        lying_scores = truth.scores.copy()
+        lying_scores[0, 12:] = 0.5
+        lies = VariabilityProfile(
+            cluster_name="lies", class_names=("A", "B", "C"), scores=lying_scores
+        )
+        jobs = [job(i, demand=4, iters=1000, class_id=0) for i in range(4)]
+        informed = simulate(jobs, n_gpus=16, placement="pal",
+                            profile=truth, pm_table=PMScoreTable.fit(truth, seed=0))
+        misled = simulate(jobs, n_gpus=16, placement="pal",
+                          profile=truth, pm_table=PMScoreTable.fit(lies, seed=0))
+        assert misled.avg_jct_s() > informed.avg_jct_s()
+
+
+class TestValidation:
+    def test_oversized_job_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simulate([job(0, demand=64)], n_gpus=16)
+
+    def test_class_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simulate([job(0, class_id=7)], n_gpus=16)
+
+    def test_profile_topology_mismatch(self):
+        topo = ClusterTopology.from_gpu_count(16)
+        with pytest.raises(ConfigurationError):
+            ClusterSimulator(
+                topology=topo,
+                true_profile=flat_profile(8),
+                scheduler=make_scheduler("fifo"),
+                placement=make_placement("pal"),
+            )
+
+    def test_max_epochs_guard(self):
+        with pytest.raises(SimulationError):
+            simulate(
+                [job(0, iters=10**6, t_iter=1.0)],
+                config=SimulatorConfig(max_epochs=3),
+            )
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            SimulatorConfig(epoch_s=0)
+        with pytest.raises(ConfigurationError):
+            SimulatorConfig(migration_overhead_s=-1)
+        with pytest.raises(ConfigurationError):
+            SimulatorConfig(migration_overhead_s=400.0)  # >= epoch
+        with pytest.raises(ConfigurationError):
+            SimulatorConfig(max_epochs=0)
+
+
+class TestAdmissionIntegration:
+    def test_bounded_queue_delays_admission(self):
+        from repro.scheduler.admission import MaxQueueLength
+
+        topo = ClusterTopology.from_gpu_count(4)
+        jobs = [job(i, demand=4, iters=100, t_iter=1.0) for i in range(3)]
+        sim = ClusterSimulator(
+            topology=topo,
+            true_profile=flat_profile(4),
+            scheduler=make_scheduler("fifo"),
+            placement=make_placement("tiresias"),
+            admission=MaxQueueLength(1),
+            config=SimulatorConfig(validate_invariants=True),
+        )
+        res = sim.run(Trace("t", tuple(jobs)))
+        # All jobs still complete; admission only delays entry.
+        assert all(r.finish_s > 0 for r in res.records)
+        starts = [r.first_start_s for r in res.records]
+        assert starts == sorted(starts)

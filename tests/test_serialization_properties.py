@@ -1,0 +1,104 @@
+"""Property tests: every serialization round-trips losslessly."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scheduler.events import Event, EventLog, EventType
+from repro.traces.job import JobSpec
+from repro.traces.trace import Trace
+from repro.variability.profiles import VariabilityProfile
+
+MODELS = ("resnet50", "bert", "pagerank", "vgg19", "gpt2", "pointnet")
+
+
+@st.composite
+def traces(draw):
+    n = draw(st.integers(min_value=1, max_value=25))
+    arrival = 0.0
+    jobs = []
+    for i in range(n):
+        arrival += draw(st.floats(min_value=0.0, max_value=10_000.0))
+        jobs.append(
+            JobSpec(
+                job_id=i,
+                arrival_time_s=round(arrival, 6),
+                demand=draw(st.integers(min_value=1, max_value=48)),
+                model=draw(st.sampled_from(MODELS)),
+                class_id=draw(st.integers(min_value=0, max_value=2)),
+                iteration_time_s=draw(
+                    st.floats(min_value=1e-3, max_value=10.0).map(lambda x: round(x, 9))
+                ),
+                total_iterations=draw(st.integers(min_value=1, max_value=10**6)),
+            )
+        )
+    return Trace(draw(st.sampled_from(["t1", "trace-x", "w5"])), tuple(jobs))
+
+
+@st.composite
+def profiles(draw):
+    n_classes = draw(st.integers(min_value=1, max_value=4))
+    n_gpus = draw(st.integers(min_value=1, max_value=40))
+    rng = np.random.default_rng(draw(st.integers(min_value=0, max_value=10**6)))
+    scores = rng.uniform(0.5, 3.5, size=(n_classes, n_gpus))
+    return VariabilityProfile(
+        cluster_name="prop",
+        class_names=tuple(f"C{i}" for i in range(n_classes)),
+        scores=scores,
+        cabinets=rng.integers(0, 4, size=n_gpus),
+    )
+
+
+class TestTraceRoundTrip:
+    @given(trace=traces())
+    @settings(max_examples=50, deadline=None)
+    def test_csv_lossless(self, trace):
+        loaded = Trace.from_csv(trace.to_csv())
+        assert loaded.name == trace.name
+        assert len(loaded) == len(trace)
+        for a, b in zip(trace, loaded):
+            assert a.job_id == b.job_id
+            assert a.arrival_time_s == pytest.approx(b.arrival_time_s, abs=1e-5)
+            assert a.demand == b.demand
+            assert a.model == b.model
+            assert a.class_id == b.class_id
+            assert a.total_iterations == b.total_iterations
+
+
+class TestProfileRoundTrip:
+    @given(profile=profiles())
+    @settings(max_examples=50, deadline=None)
+    def test_csv_lossless(self, profile):
+        loaded = VariabilityProfile.from_csv(profile.to_csv())
+        assert loaded.cluster_name == profile.cluster_name
+        assert loaded.class_names == profile.class_names
+        np.testing.assert_allclose(loaded.scores, profile.scores, rtol=1e-8)
+        np.testing.assert_array_equal(loaded.cabinets, profile.cabinets)
+        assert loaded.gpu_uuids == profile.gpu_uuids
+
+
+class TestEventLogRoundTrip:
+    @given(
+        entries=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1e6),
+                st.sampled_from(list(EventType)),
+                st.integers(min_value=0, max_value=500),
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_jsonl_lossless(self, entries):
+        entries.sort(key=lambda e: e[0])  # time-ordered, type not comparable
+        log = EventLog(
+            [Event(round(t, 6), ty, j, detail={"k": j}) for t, ty, j in entries]
+        )
+        loaded = EventLog.from_jsonl(log.to_jsonl())
+        assert len(loaded) == len(log)
+        for a, b in zip(log, loaded):
+            assert a.type is b.type
+            assert a.job_id == b.job_id
+            assert a.time_s == pytest.approx(b.time_s)
+            assert dict(a.detail) == dict(b.detail)

@@ -1,0 +1,154 @@
+"""Edge-case tests for the simulator engine."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.topology import ClusterTopology, LocalityModel
+from repro.scheduler.placement import make_placement
+from repro.scheduler.policies import make_scheduler
+from repro.scheduler.simulator import ClusterSimulator, SimulatorConfig
+from repro.traces.job import JobSpec
+from repro.traces.trace import Trace
+from repro.variability.profiles import VariabilityProfile
+
+
+def flat_profile(n=8):
+    return VariabilityProfile("t", ("A", "B", "C"), np.ones((3, n)))
+
+
+def job(i, arrival=0.0, demand=1, iters=10, t_iter=1.0):
+    return JobSpec(
+        job_id=i,
+        arrival_time_s=arrival,
+        demand=demand,
+        model="resnet50",
+        class_id=0,
+        iteration_time_s=t_iter,
+        total_iterations=iters,
+    )
+
+
+def simulate(jobs, *, n_gpus=8, placement="pal", scheduler="fifo", config=None):
+    sim = ClusterSimulator(
+        topology=ClusterTopology.from_gpu_count(n_gpus),
+        true_profile=flat_profile(n_gpus),
+        scheduler=make_scheduler(scheduler),
+        placement=make_placement(placement),
+        locality=LocalityModel(across_node=1.5),
+        config=config or SimulatorConfig(validate_invariants=True),
+    )
+    return sim.run(Trace("edge", tuple(jobs)))
+
+
+class TestTinyJobs:
+    def test_single_iteration_job(self):
+        res = simulate([job(0, iters=1, t_iter=0.5)])
+        assert res.records[0].finish_s == pytest.approx(0.5)
+
+    def test_job_finishing_exactly_at_epoch_boundary(self):
+        res = simulate([job(0, iters=300, t_iter=1.0)])  # exactly one epoch
+        assert res.records[0].finish_s == pytest.approx(300.0)
+        # Must not bleed into a second epoch of execution.
+        assert res.records[0].executed_s == pytest.approx(300.0)
+
+    def test_many_tiny_jobs_one_epoch(self):
+        jobs = [job(i, iters=5) for i in range(8)]
+        res = simulate(jobs)
+        assert all(r.finish_s <= 300.0 for r in res.records)
+
+
+class TestFullClusterJob:
+    def test_demand_equals_cluster_size(self):
+        res = simulate([job(0, demand=8, iters=100)])
+        # Spans both nodes -> pays the locality penalty.
+        assert res.records[0].finish_s == pytest.approx(150.0)
+
+    def test_back_to_back_full_cluster_jobs(self):
+        res = simulate(
+            [job(0, demand=8, iters=100), job(1, demand=8, iters=100)]
+        )
+        r0, r1 = res.records
+        assert r1.first_start_s >= 300.0  # next round after job 0's epoch
+        assert r1.finish_s > r0.finish_s
+
+
+class TestRecordingKnobs:
+    def test_utilization_recording_disabled(self):
+        res = simulate(
+            [job(0, iters=500)],
+            config=SimulatorConfig(record_utilization=False),
+        )
+        assert res.epoch_times_s.size == 0
+        assert res.gpus_in_use.size == 0
+        # Metrics that do not depend on the series still work.
+        assert res.utilization > 0
+        assert res.makespan_s == pytest.approx(500.0)
+
+    def test_placement_times_always_recorded(self):
+        res = simulate([job(0, iters=500)])
+        assert res.placement_times_s.size == res.metadata["epochs_run"]
+        assert np.all(res.placement_times_s >= 0)
+
+
+class TestGoodputUtilization:
+    def test_equals_ideal_over_capacity(self):
+        res = simulate([job(0, demand=2, iters=100)])
+        ideal = 2 * 100.0
+        assert res.goodput_utilization == pytest.approx(
+            ideal / (8 * res.makespan_s)
+        )
+
+    def test_goodput_below_occupancy_when_slowed(self):
+        # With a locality-penalized job, occupancy counts the inflated
+        # busy time while goodput counts only ideal work.
+        res = simulate([job(0, demand=8, iters=100)])
+        assert res.goodput_utilization < res.utilization
+
+
+class TestSchedulerInteractions:
+    def test_las_attained_service_ordering_changes_rounds(self):
+        # Two long jobs alternate under LAS as their attained service
+        # leapfrogs; both must finish and neither starves.
+        res = simulate(
+            [job(0, demand=8, iters=2000), job(1, arrival=10.0, demand=8, iters=2000)],
+            scheduler="las",
+        )
+        r0, r1 = res.records
+        assert r0.n_preemptions + r1.n_preemptions >= 2
+        assert abs(r0.finish_s - r1.finish_s) < 2500.0  # fair sharing
+
+    def test_srtf_no_starvation_on_finite_trace(self):
+        jobs = [job(0, demand=8, iters=50_000)] + [
+            job(i, arrival=i * 400.0, demand=8, iters=50) for i in range(1, 12)
+        ]
+        res = simulate(jobs, scheduler="srtf")
+        # The long job finishes eventually (finite trace => no livelock).
+        assert res.records[0].finish_s > 0
+
+    def test_online_flag_ignored_without_pm_table(self):
+        # Variability-agnostic placement has no pm_table; enabling online
+        # updates must be a harmless no-op.
+        sim = ClusterSimulator(
+            topology=ClusterTopology.from_gpu_count(8),
+            true_profile=flat_profile(8),
+            scheduler=make_scheduler("fifo"),
+            placement=make_placement("tiresias"),
+            config=SimulatorConfig(online_pm_updates=True),
+        )
+        res = sim.run(Trace("t", (job(0, iters=10),)))
+        assert res.records[0].finish_s > 0
+
+
+class TestRepeatedRuns:
+    def test_simulator_instance_reusable(self):
+        sim = ClusterSimulator(
+            topology=ClusterTopology.from_gpu_count(8),
+            true_profile=flat_profile(8),
+            scheduler=make_scheduler("fifo"),
+            placement=make_placement("pal"),
+        )
+        trace = Trace("t", (job(0, iters=100), job(1, iters=100)))
+        a = sim.run(trace)
+        b = sim.run(trace)  # fresh ClusterState per run
+        for ra, rb in zip(a.records, b.records):
+            assert ra.finish_s == rb.finish_s

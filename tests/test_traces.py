@@ -1,0 +1,200 @@
+"""Tests for the trace substrate: job specs, containers, generators."""
+
+import numpy as np
+import pytest
+
+from repro.traces.job import PAPER_CLASS_INDEX, JobSpec, class_index_of_model
+from repro.traces.philly import (
+    SiaPhillyConfig,
+    generate_sia_philly_suite,
+    generate_sia_philly_trace,
+)
+from repro.traces.synergy import SynergyConfig, generate_synergy_trace
+from repro.traces.trace import Trace
+from repro.utils.errors import ConfigurationError, TraceError
+
+
+def _job(i=0, arrival=0.0, demand=1, **kw):
+    defaults = dict(
+        job_id=i,
+        arrival_time_s=arrival,
+        demand=demand,
+        model="resnet50",
+        class_id=0,
+        iteration_time_s=0.18,
+        total_iterations=100,
+    )
+    defaults.update(kw)
+    return JobSpec(**defaults)
+
+
+class TestJobSpec:
+    def test_derived_quantities(self):
+        j = _job(total_iterations=100, iteration_time_s=0.5, demand=4)
+        assert j.ideal_duration_s == pytest.approx(50.0)
+        assert j.service_demand_gpu_s == pytest.approx(200.0)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("job_id", -1),
+            ("arrival_time_s", -1.0),
+            ("demand", 0),
+            ("class_id", -1),
+            ("iteration_time_s", 0.0),
+            ("total_iterations", 0),
+        ],
+    )
+    def test_validation(self, field, value):
+        with pytest.raises(TraceError):
+            _job(**{field: value})
+
+    def test_class_index_of_model(self):
+        assert class_index_of_model("resnet50") == PAPER_CLASS_INDEX["A"]
+        assert class_index_of_model("bert") == PAPER_CLASS_INDEX["B"]
+        assert class_index_of_model("pagerank") == PAPER_CLASS_INDEX["C"]
+        with pytest.raises(TraceError):
+            class_index_of_model("unknown")
+
+
+class TestTraceContainer:
+    def test_requires_sorted_arrivals(self):
+        with pytest.raises(TraceError):
+            Trace("t", (_job(0, 10.0), _job(1, 5.0)))
+
+    def test_requires_unique_ids(self):
+        with pytest.raises(TraceError):
+            Trace("t", (_job(0, 0.0), _job(0, 1.0)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            Trace("t", ())
+
+    def test_accessors(self):
+        t = Trace("t", (_job(0, 0.0, demand=2), _job(1, 10.0, demand=8)))
+        assert len(t) == 2
+        assert t.max_demand == 8
+        assert t.span_s == pytest.approx(10.0)
+        assert t[1].job_id == 1
+        assert [j.job_id for j in t] == [0, 1]
+
+    def test_truncated(self):
+        t = Trace("t", tuple(_job(i, float(i)) for i in range(10)))
+        sub = t.truncated(4)
+        assert len(sub) == 4 and sub.metadata["truncated_to"] == 4
+        with pytest.raises(TraceError):
+            t.truncated(0)
+        with pytest.raises(TraceError):
+            t.truncated(11)
+
+    def test_csv_roundtrip(self, tmp_path):
+        t = generate_sia_philly_trace(1, config=SiaPhillyConfig(n_jobs=20), seed=0)
+        path = tmp_path / "trace.csv"
+        t.to_csv(path)
+        loaded = Trace.from_csv(path)
+        assert len(loaded) == len(t)
+        for a, b in zip(t, loaded):
+            assert a.job_id == b.job_id
+            assert a.arrival_time_s == pytest.approx(b.arrival_time_s)
+            assert a.demand == b.demand
+            assert a.model == b.model
+            assert a.total_iterations == b.total_iterations
+
+    def test_malformed_csv(self):
+        with pytest.raises(TraceError):
+            Trace.from_csv("bogus,csv\n1,2\n")
+
+
+class TestSiaPhillyGenerator:
+    def test_paper_parameters(self):
+        t = generate_sia_philly_trace(1, seed=0)
+        s = t.stats()
+        assert s["n_jobs"] == 160
+        assert t.span_s <= 8 * 3600
+        # ~40% single-GPU jobs (sampling tolerance).
+        assert 0.28 <= s["single_gpu_fraction"] <= 0.52
+        assert s["max_demand"] <= 48
+
+    def test_workloads_differ(self):
+        t1 = generate_sia_philly_trace(1, seed=0)
+        t2 = generate_sia_philly_trace(2, seed=0)
+        a1 = [j.arrival_time_s for j in t1]
+        a2 = [j.arrival_time_s for j in t2]
+        assert a1 != a2
+
+    def test_deterministic(self):
+        a = generate_sia_philly_trace(3, seed=5)
+        b = generate_sia_philly_trace(3, seed=5)
+        assert [j.demand for j in a] == [j.demand for j in b]
+        assert [j.arrival_time_s for j in a] == [j.arrival_time_s for j in b]
+
+    def test_suite_has_eight_workloads(self):
+        suite = generate_sia_philly_suite(seed=0)
+        assert len(suite) == 8
+        assert {t.name for t in suite} == {f"sia-philly-w{i}" for i in range(1, 9)}
+
+    def test_class_ids_match_models(self):
+        for j in generate_sia_philly_trace(1, seed=0):
+            assert j.class_id == class_index_of_model(j.model)
+
+    def test_durations_respect_bounds(self):
+        cfg = SiaPhillyConfig(duration_min_s=600, duration_max_s=7200)
+        for j in generate_sia_philly_trace(1, config=cfg, seed=0):
+            # total_iterations rounds the duration to iteration granularity.
+            assert j.ideal_duration_s >= 500
+            assert j.ideal_duration_s <= 7200 + j.iteration_time_s
+
+    def test_invalid_workload_id(self):
+        with pytest.raises(ConfigurationError):
+            generate_sia_philly_trace(0)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            SiaPhillyConfig(multi_weights=(1.0,))
+        with pytest.raises(ConfigurationError):
+            SiaPhillyConfig(single_gpu_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            SiaPhillyConfig(models=("not-a-model",))
+        with pytest.raises(ConfigurationError):
+            SiaPhillyConfig(duration_min_s=100, duration_max_s=50)
+
+
+class TestSynergyGenerator:
+    def test_arrival_rate_matches(self):
+        t = generate_synergy_trace(10.0, n_jobs=1500, seed=0)
+        assert t.stats()["arrival_rate_per_h"] == pytest.approx(10.0, rel=0.15)
+
+    def test_mostly_single_gpu(self):
+        t = generate_synergy_trace(10.0, n_jobs=1000, seed=0)
+        assert t.stats()["single_gpu_fraction"] >= 0.75
+
+    def test_small_multi_gpu_jobs_only(self):
+        t = generate_synergy_trace(10.0, n_jobs=500, seed=0)
+        assert t.max_demand <= 8
+
+    def test_first_arrival_at_zero(self):
+        t = generate_synergy_trace(5.0, n_jobs=10, seed=3)
+        assert t[0].arrival_time_s == 0.0
+
+    def test_load_knob_changes_density(self):
+        lo = generate_synergy_trace(4.0, n_jobs=300, seed=0)
+        hi = generate_synergy_trace(16.0, n_jobs=300, seed=0)
+        assert hi.span_s < lo.span_s
+
+    def test_rate_validation(self):
+        with pytest.raises(ConfigurationError):
+            generate_synergy_trace(0.0)
+        with pytest.raises(ConfigurationError):
+            generate_synergy_trace(10.0, n_jobs=0)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            SynergyConfig(multi_demands=(1, 2), multi_weights=(0.5, 0.5))
+
+    def test_offered_load_saturates_256_gpus_near_paper_point(self):
+        """The calibration target: offered load crosses 256 GPUs somewhere
+        between 4 and 10 jobs/hour (paper Fig. 15: dip at 8, saturated at 10)."""
+        t = generate_synergy_trace(10.0, n_jobs=2000, seed=0)
+        s = t.stats()
+        offered = s["total_gpu_hours"] / (t.span_s / 3600.0)
+        assert 200 <= offered <= 500

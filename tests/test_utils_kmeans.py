@@ -1,0 +1,228 @@
+"""Tests for the from-scratch K-Means and silhouette implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.errors import ConfigurationError
+from repro.utils.kmeans import (
+    assign_labels,
+    kmeans,
+    select_k_by_silhouette,
+    silhouette_samples,
+    silhouette_score,
+)
+
+
+def three_blob_data(rng=None):
+    gen = rng or np.random.default_rng(0)
+    return np.concatenate(
+        [
+            gen.normal(0.0, 0.05, 40),
+            gen.normal(1.0, 0.05, 30),
+            gen.normal(3.0, 0.05, 20),
+        ]
+    )
+
+
+class TestKMeansBasics:
+    def test_recovers_separated_blobs(self):
+        pts = three_blob_data()
+        fit = kmeans(pts, 3, rng=0)
+        assert fit.k == 3
+        np.testing.assert_allclose(fit.centroids[:, 0], [0.0, 1.0, 3.0], atol=0.1)
+
+    def test_centroids_sorted_by_first_coordinate(self):
+        fit = kmeans(three_blob_data(), 3, rng=0)
+        assert np.all(np.diff(fit.centroids[:, 0]) > 0)
+
+    def test_labels_match_nearest_centroid(self):
+        pts = three_blob_data()
+        fit = kmeans(pts, 3, rng=0)
+        np.testing.assert_array_equal(fit.labels, assign_labels(pts, fit.centroids))
+
+    def test_k_equals_n_gives_zero_inertia(self):
+        pts = np.array([0.0, 1.0, 2.0, 5.0])
+        fit = kmeans(pts, 4, rng=0)
+        assert fit.inertia == pytest.approx(0.0, abs=1e-12)
+
+    def test_k1_centroid_is_mean(self):
+        pts = np.array([1.0, 2.0, 3.0, 10.0])
+        fit = kmeans(pts, 1, rng=0)
+        assert fit.centroids[0, 0] == pytest.approx(pts.mean())
+        assert np.all(fit.labels == 0)
+
+    def test_2d_clustering(self):
+        gen = np.random.default_rng(1)
+        pts = np.vstack(
+            [gen.normal([0, 0], 0.1, (30, 2)), gen.normal([5, 5], 0.1, (30, 2))]
+        )
+        fit = kmeans(pts, 2, rng=0)
+        np.testing.assert_allclose(fit.centroids[0], [0, 0], atol=0.2)
+        np.testing.assert_allclose(fit.centroids[1], [5, 5], atol=0.2)
+
+    def test_deterministic_given_seed(self):
+        pts = three_blob_data()
+        a = kmeans(pts, 3, rng=123)
+        b = kmeans(pts, 3, rng=123)
+        np.testing.assert_array_equal(a.labels, b.labels)
+        np.testing.assert_array_equal(a.centroids, b.centroids)
+
+    def test_identical_points_handled(self):
+        pts = np.ones(10)
+        fit = kmeans(pts, 2, rng=0)
+        # Empty-cluster reseeding keeps it alive; every point maps somewhere.
+        assert fit.labels.shape == (10,)
+        assert fit.inertia == pytest.approx(0.0, abs=1e-12)
+
+
+class TestKMeansValidation:
+    def test_k_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            kmeans(np.arange(5.0), 0)
+
+    def test_k_exceeding_n_rejected(self):
+        with pytest.raises(ConfigurationError):
+            kmeans(np.arange(5.0), 6)
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(ConfigurationError):
+            kmeans(np.empty(0), 1)
+
+    def test_nan_points_rejected(self):
+        with pytest.raises(ConfigurationError):
+            kmeans(np.array([1.0, np.nan]), 1)
+
+    def test_n_init_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            kmeans(np.arange(5.0), 2, n_init=0)
+
+    def test_assign_labels_dim_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            assign_labels(np.ones((3, 2)), np.ones((2, 3)))
+
+
+class TestSilhouette:
+    def test_perfect_separation_near_one(self):
+        pts = np.concatenate([np.full(10, 0.0), np.full(10, 100.0)])
+        labels = np.array([0] * 10 + [1] * 10)
+        assert silhouette_score(pts, labels) > 0.99
+
+    def test_bad_labeling_scores_low(self):
+        pts = np.concatenate([np.full(10, 0.0), np.full(10, 100.0)])
+        good = np.array([0] * 10 + [1] * 10)
+        bad = np.array([0, 1] * 10)
+        assert silhouette_score(pts, bad) < silhouette_score(pts, good)
+
+    def test_samples_in_range(self):
+        pts = three_blob_data()
+        labels = kmeans(pts, 3, rng=0).labels
+        s = silhouette_samples(pts, labels)
+        assert np.all(s >= -1.0) and np.all(s <= 1.0)
+
+    def test_singleton_cluster_silhouette_zero(self):
+        pts = np.array([0.0, 0.1, 5.0])
+        labels = np.array([0, 0, 1])
+        s = silhouette_samples(pts, labels)
+        assert s[2] == 0.0
+
+    def test_requires_two_clusters(self):
+        with pytest.raises(ConfigurationError):
+            silhouette_score(np.arange(5.0), np.zeros(5, dtype=int))
+
+    def test_matches_scipy_reference(self):
+        # Independent cross-check against a brute-force implementation.
+        gen = np.random.default_rng(3)
+        pts = gen.normal(size=(30, 2))
+        labels = kmeans(pts, 3, rng=0).labels
+        ours = silhouette_samples(pts, labels)
+        ref = _brute_silhouette(pts, labels)
+        np.testing.assert_allclose(ours, ref, atol=1e-10)
+
+
+def _brute_silhouette(pts, labels):
+    n = len(pts)
+    out = np.zeros(n)
+    for i in range(n):
+        same = [j for j in range(n) if labels[j] == labels[i] and j != i]
+        if not same:
+            continue
+        a = np.mean([np.linalg.norm(pts[i] - pts[j]) for j in same])
+        bs = []
+        for c in set(labels) - {labels[i]}:
+            other = [j for j in range(n) if labels[j] == c]
+            bs.append(np.mean([np.linalg.norm(pts[i] - pts[j]) for j in other]))
+        b = min(bs)
+        out[i] = (b - a) / max(a, b)
+    return out
+
+
+class TestSelectK:
+    def test_finds_true_k_on_separated_data(self):
+        gen = np.random.default_rng(5)
+        pts = np.concatenate(
+            [gen.normal(0, 0.01, 50), gen.normal(1.4, 0.01, 30), gen.normal(2.5, 0.01, 10)]
+        )
+        k, scores = select_k_by_silhouette(pts, rng=0)
+        assert k == 3
+        assert scores[3] > 0.9
+
+    def test_parsimony_on_unimodal_data(self):
+        gen = np.random.default_rng(6)
+        pts = gen.normal(1.0, 0.05, 120)
+        k, _ = select_k_by_silhouette(pts, rng=0)
+        # Near-flat silhouette curve: the tolerance rule keeps K small.
+        assert k <= 4
+
+    def test_degenerate_identical_points(self):
+        k, scores = select_k_by_silhouette(np.ones(20), rng=0)
+        assert k == 1
+        assert scores == {}
+
+    def test_k_range_respected(self):
+        pts = three_blob_data()
+        k, scores = select_k_by_silhouette(pts, k_min=2, k_max=4, rng=0)
+        assert set(scores) <= {2, 3, 4}
+        assert 2 <= k <= 4
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            select_k_by_silhouette(three_blob_data(), rng=0, tolerance=-0.1)
+
+
+class TestKMeansProperties:
+    @given(
+        data=st.lists(
+            st.floats(min_value=0.5, max_value=4.0, allow_nan=False),
+            min_size=4,
+            max_size=60,
+        ),
+        k=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_invariants(self, data, k):
+        pts = np.asarray(data)
+        k = min(k, len(pts))
+        fit = kmeans(pts, k, rng=0)
+        # Every label valid; every cluster's centroid is finite.
+        assert fit.labels.min() >= 0 and fit.labels.max() < k
+        assert np.all(np.isfinite(fit.centroids))
+        # Assignment optimality: no point is closer to another centroid.
+        d = np.abs(pts[:, None] - fit.centroids[None, :, 0])
+        chosen = d[np.arange(len(pts)), fit.labels]
+        assert np.all(chosen <= d.min(axis=1) + 1e-9)
+        # Inertia is the sum of squared chosen distances.
+        assert fit.inertia == pytest.approx(float(np.sum(chosen**2)), rel=1e-6, abs=1e-9)
+
+    @given(
+        shift=st.floats(min_value=-5, max_value=5, allow_nan=False),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_translation_equivariance(self, shift):
+        pts = three_blob_data()
+        a = kmeans(pts, 3, rng=0)
+        b = kmeans(pts + shift, 3, rng=0)
+        np.testing.assert_allclose(
+            b.centroids[:, 0], a.centroids[:, 0] + shift, atol=1e-6
+        )

@@ -1,0 +1,138 @@
+"""Tests for repro.utils.stats."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.errors import ConfigurationError
+from repro.utils.stats import (
+    boxplot_stats,
+    cdf_points,
+    describe,
+    geomean,
+    geomean_improvement,
+    improvement,
+    percentile,
+)
+
+positive_lists = st.lists(
+    st.floats(min_value=0.01, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=50,
+)
+
+
+class TestGeomean:
+    def test_known_value(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_constant(self):
+        assert geomean([3.0] * 7) == pytest.approx(3.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            geomean([1.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            geomean([])
+
+    @given(positive_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_between_min_and_max(self, values):
+        g = geomean(values)
+        assert min(values) * (1 - 1e-9) <= g <= max(values) * (1 + 1e-9)
+
+    @given(positive_lists, st.floats(min_value=0.1, max_value=10))
+    @settings(max_examples=50, deadline=None)
+    def test_scale_equivariance(self, values, c):
+        assert geomean(np.asarray(values) * c) == pytest.approx(
+            geomean(values) * c, rel=1e-6
+        )
+
+
+class TestImprovement:
+    def test_forty_percent(self):
+        assert improvement(10.0, 6.0) == pytest.approx(0.4)
+
+    def test_regression_is_negative(self):
+        assert improvement(10.0, 15.0) == pytest.approx(-0.5)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            improvement(0.0, 1.0)
+
+    def test_geomean_improvement_pairs(self):
+        base = [10.0, 10.0]
+        cand = [5.0, 20.0]  # ratios 0.5 and 2.0 -> geomean 1.0
+        assert geomean_improvement(base, cand) == pytest.approx(0.0)
+
+    def test_geomean_improvement_mismatched(self):
+        with pytest.raises(ConfigurationError):
+            geomean_improvement([1.0], [1.0, 2.0])
+
+
+class TestPercentileAndCdf:
+    def test_percentile_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == pytest.approx(3.0)
+
+    def test_percentile_range_check(self):
+        with pytest.raises(ConfigurationError):
+            percentile([1.0], 101)
+
+    def test_cdf_shape(self):
+        xs, fr = cdf_points([3.0, 1.0, 2.0])
+        np.testing.assert_array_equal(xs, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(fr, [1 / 3, 2 / 3, 1.0])
+
+    @given(positive_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_cdf_monotone_and_ends_at_one(self, values):
+        xs, fr = cdf_points(values)
+        assert np.all(np.diff(xs) >= 0)
+        assert np.all(np.diff(fr) > 0)
+        assert fr[-1] == pytest.approx(1.0)
+
+
+class TestBoxplot:
+    def test_known_quartiles(self):
+        bp = boxplot_stats(np.arange(1, 101, dtype=float))
+        assert bp.median == pytest.approx(50.5)
+        assert bp.q1 == pytest.approx(25.75)
+        assert bp.q3 == pytest.approx(75.25)
+        assert bp.n_outliers == 0
+
+    def test_outlier_detection(self):
+        vals = np.concatenate([np.ones(50), [100.0]])
+        bp = boxplot_stats(vals)
+        assert bp.n_outliers == 1
+        assert bp.whisker_high == pytest.approx(1.0)
+        assert bp.maximum == pytest.approx(100.0)
+
+    @given(positive_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_ordering_invariants(self, values):
+        bp = boxplot_stats(values)
+        assert (
+            bp.minimum
+            <= bp.whisker_low + 1e-9
+            and bp.whisker_low <= bp.q1 + 1e-9
+            and bp.q1 <= bp.median + 1e-9
+            and bp.median <= bp.q3 + 1e-9
+            and bp.q3 <= bp.whisker_high + 1e-9
+            and bp.whisker_high <= bp.maximum + 1e-9
+        )
+        assert bp.iqr == pytest.approx(bp.q3 - bp.q1)
+
+
+class TestDescribe:
+    def test_keys_and_values(self):
+        d = describe([1.0, 2.0, 3.0])
+        assert d["n"] == 3
+        assert d["mean"] == pytest.approx(2.0)
+        assert d["min"] == 1.0 and d["max"] == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            describe([])

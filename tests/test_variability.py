@@ -1,0 +1,240 @@
+"""Tests for the variability substrate: profiles, synthetic generators,
+profiling campaigns."""
+
+import numpy as np
+import pytest
+
+from repro.utils.errors import ProfileError
+from repro.variability.profiler import (
+    DEFAULT_CLASS_REPRESENTATIVES,
+    ProfileErrorInjection,
+    run_profiling_campaign,
+)
+from repro.variability.profiles import VariabilityProfile, variability_summary
+from repro.variability.synthetic import (
+    CLUSTER_SPECS,
+    FRONTERA_TESTBED,
+    LONGHORN,
+    synthesize_profile,
+)
+
+
+class TestVariabilityProfile:
+    def test_shape_validation(self):
+        with pytest.raises(ProfileError):
+            VariabilityProfile("x", ("A",), np.ones((2, 4)))
+
+    def test_nonpositive_scores_rejected(self):
+        with pytest.raises(ProfileError):
+            VariabilityProfile("x", ("A",), np.array([[1.0, -0.5]]))
+
+    def test_uuid_uniqueness_enforced(self):
+        with pytest.raises(ProfileError):
+            VariabilityProfile(
+                "x", ("A",), np.ones((1, 2)), gpu_uuids=("u", "u")
+            )
+
+    def test_class_lookup(self, handcrafted_profile):
+        assert handcrafted_profile.class_index("C") == 1
+        assert handcrafted_profile.score("A", 14) == pytest.approx(3.0)
+        with pytest.raises(ProfileError):
+            handcrafted_profile.class_index("Z")
+
+    def test_score_by_uuid(self, handcrafted_profile):
+        uuid = handcrafted_profile.gpu_uuids[15]
+        assert handcrafted_profile.score_by_uuid("A", uuid) == pytest.approx(3.0)
+        with pytest.raises(ProfileError):
+            handcrafted_profile.score_by_uuid("A", "missing")
+
+    def test_class_scores_read_only(self, handcrafted_profile):
+        view = handcrafted_profile.class_scores(0)
+        with pytest.raises(ValueError):
+            view[0] = 2.0
+
+    def test_renormalized_median_one(self, longhorn_profile):
+        prof = longhorn_profile.renormalized()
+        for ci in range(prof.n_classes):
+            assert np.median(prof.class_scores(ci)) == pytest.approx(1.0)
+
+    def test_sample_without_replacement(self, longhorn_profile):
+        sub = longhorn_profile.sample(64, rng=0)
+        assert sub.n_gpus == 64
+        assert len(set(sub.gpu_uuids)) == 64
+        assert set(sub.gpu_uuids) <= set(longhorn_profile.gpu_uuids)
+
+    def test_sample_keeps_rows_aligned(self, longhorn_profile):
+        # The same physical GPU keeps its cross-class identity: sampling
+        # must not shuffle classes independently.
+        sub = longhorn_profile.sample(32, rng=1, renormalize=False)
+        for j, uuid in enumerate(sub.gpu_uuids):
+            src = longhorn_profile.gpu_uuids.index(uuid)
+            np.testing.assert_array_equal(
+                sub.scores[:, j], longhorn_profile.scores[:, src]
+            )
+
+    def test_sample_bounds(self, handcrafted_profile):
+        with pytest.raises(ProfileError):
+            handcrafted_profile.sample(17)
+        with pytest.raises(ProfileError):
+            handcrafted_profile.sample(0)
+
+    def test_subset_deterministic(self, handcrafted_profile):
+        sub = handcrafted_profile.subset([14, 15])
+        assert np.all(sub.class_scores("A") == 3.0)
+        with pytest.raises(ProfileError):
+            handcrafted_profile.subset([0, 0])
+
+    def test_csv_roundtrip(self, handcrafted_profile, tmp_path):
+        path = tmp_path / "prof.csv"
+        handcrafted_profile.to_csv(path)
+        loaded = VariabilityProfile.from_csv(path)
+        np.testing.assert_allclose(loaded.scores, handcrafted_profile.scores)
+        assert loaded.class_names == handcrafted_profile.class_names
+        assert loaded.gpu_uuids == handcrafted_profile.gpu_uuids
+
+    def test_csv_roundtrip_from_text(self, handcrafted_profile):
+        text = handcrafted_profile.to_csv()
+        loaded = VariabilityProfile.from_csv(text)
+        np.testing.assert_allclose(loaded.scores, handcrafted_profile.scores)
+
+    def test_malformed_csv_rejected(self):
+        with pytest.raises(ProfileError):
+            VariabilityProfile.from_csv("not,a\nprofile,csv\n")
+
+    def test_summary_keys(self, handcrafted_profile):
+        s = handcrafted_profile.summary("A")
+        assert s["max_over_median"] == pytest.approx(3.0)
+        assert s["n_gpus"] == 16
+
+    def test_variability_summary_rejects_bad(self):
+        with pytest.raises(ProfileError):
+            variability_summary(np.array([1.0, 0.0]))
+
+
+class TestSyntheticGenerators:
+    def test_named_specs_exist(self):
+        assert set(CLUSTER_SPECS) == {"longhorn", "frontera", "frontera64"}
+
+    def test_median_normalized(self, longhorn_profile):
+        for ci in range(longhorn_profile.n_classes):
+            assert np.median(longhorn_profile.class_scores(ci)) == pytest.approx(1.0)
+
+    def test_class_a_calibration(self, longhorn_profile):
+        """Class A must match the paper's published statistics."""
+        s = longhorn_profile.summary("A")
+        assert 1.10 <= s["geomean_over_min"] <= 1.35  # paper: ~22%
+        assert 2.0 <= s["max_over_median"] <= 3.6  # paper: up to 3.5x
+
+    def test_class_c_nearly_flat(self, longhorn_profile):
+        s = longhorn_profile.summary("C")
+        assert s["max_over_median"] < 1.06  # paper: ~1%
+
+    def test_class_ordering_by_sensitivity(self, longhorn_profile):
+        spreads = [
+            longhorn_profile.summary(c)["max_over_median"]
+            for c in longhorn_profile.class_names
+        ]
+        assert spreads[0] > spreads[1] > spreads[2]
+
+    def test_badness_consistency_across_classes(self, longhorn_profile):
+        # Ill-performing GPUs are consistently ill-performing (Sec. II-A):
+        # the worst class-A GPUs must also be above-median for class B.
+        a = longhorn_profile.class_scores("A")
+        b = longhorn_profile.class_scores("B")
+        worst = np.argsort(a)[-10:]
+        assert np.mean(b[worst] > 1.0) > 0.8
+
+    def test_testbed_less_variable_than_full_cluster(self):
+        testbed = synthesize_profile("frontera64", seed=0)
+        full = synthesize_profile("frontera", seed=0)
+        assert (
+            testbed.summary("A")["geomean_over_min"]
+            < full.summary("A")["geomean_over_min"]
+        )
+
+    def test_custom_gpu_count(self):
+        prof = synthesize_profile("longhorn", n_gpus=128, seed=0)
+        assert prof.n_gpus == 128
+
+    def test_gpu_count_must_divide_nodes(self):
+        from repro.utils.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            synthesize_profile("longhorn", n_gpus=130, seed=0)
+
+    def test_unknown_cluster_rejected(self):
+        from repro.utils.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            synthesize_profile("summit", seed=0)
+
+    def test_seed_determinism(self):
+        a = synthesize_profile("longhorn", seed=5)
+        b = synthesize_profile("longhorn", seed=5)
+        np.testing.assert_array_equal(a.scores, b.scores)
+
+    def test_seeds_differ(self):
+        a = synthesize_profile("longhorn", seed=5)
+        b = synthesize_profile("longhorn", seed=6)
+        assert not np.allclose(a.scores, b.scores)
+
+    def test_spec_constants(self):
+        assert LONGHORN.gpus_per_node == 4
+        assert FRONTERA_TESTBED.n_gpus == 64
+
+
+class TestProfilingCampaign:
+    def test_perfect_campaign_reproduces_truth(self, handcrafted_profile):
+        camp = run_profiling_campaign(handcrafted_profile)
+        np.testing.assert_allclose(
+            camp.believed.scores, handcrafted_profile.scores, rtol=1e-12
+        )
+
+    def test_representatives_default_table3(self, handcrafted_profiled=None):
+        prof = VariabilityProfile("x", ("A", "B", "C"), np.ones((3, 8)))
+        camp = run_profiling_campaign(prof)
+        assert camp.representatives == dict(DEFAULT_CLASS_REPRESENTATIVES)
+
+    def test_measured_times_scale_with_truth(self, handcrafted_profile):
+        camp = run_profiling_campaign(handcrafted_profile)
+        # Class A representative is resnet50 (0.18 s/iter on the median GPU).
+        assert camp.measured_time("A", 14) == pytest.approx(0.18 * 3.0)
+
+    def test_injection_corrupts_believed_scores(self, handcrafted_profile):
+        inj = ProfileErrorInjection(class_name="A", gpu_indices=(14, 15), factor=1 / 8)
+        camp = run_profiling_campaign(handcrafted_profile, injections=[inj])
+        believed = camp.believed.class_scores("A")
+        # The slow outliers now look *faster* than the median.
+        assert believed[14] < 1.0 and believed[15] < 1.0
+        # Untouched GPUs stay near 1.0.
+        assert believed[0] == pytest.approx(1.0, rel=1e-6)
+
+    def test_injection_validation(self):
+        with pytest.raises(Exception):
+            ProfileErrorInjection(class_name="A", gpu_indices=(), factor=0.5)
+        with pytest.raises(Exception):
+            ProfileErrorInjection(class_name="A", gpu_indices=(0,), factor=0.0)
+
+    def test_injection_out_of_range_gpu(self, handcrafted_profile):
+        inj = ProfileErrorInjection(class_name="A", gpu_indices=(99,), factor=0.5)
+        with pytest.raises(ProfileError):
+            run_profiling_campaign(handcrafted_profile, injections=[inj])
+
+    def test_measurement_noise_seeded(self, handcrafted_profile):
+        a = run_profiling_campaign(handcrafted_profile, measurement_noise=0.05, seed=3)
+        b = run_profiling_campaign(handcrafted_profile, measurement_noise=0.05, seed=3)
+        np.testing.assert_array_equal(a.believed.scores, b.believed.scores)
+        c = run_profiling_campaign(handcrafted_profile, measurement_noise=0.05, seed=4)
+        assert not np.allclose(a.believed.scores, c.believed.scores)
+
+    def test_unknown_class_needs_representative(self):
+        prof = VariabilityProfile("x", ("Z",), np.ones((1, 4)))
+        with pytest.raises(ProfileError):
+            run_profiling_campaign(prof)
+        camp = run_profiling_campaign(prof, representatives={"Z": "bert"})
+        assert camp.representatives["Z"] == "bert"
+
+    def test_believed_profile_median_normalized(self, longhorn_profile):
+        camp = run_profiling_campaign(longhorn_profile, measurement_noise=0.02)
+        for ci in range(camp.believed.n_classes):
+            assert np.median(camp.believed.class_scores(ci)) == pytest.approx(1.0)

@@ -1,0 +1,176 @@
+"""Tests for the workload substrate: kernels, models, simulated nsight."""
+
+import numpy as np
+import pytest
+
+from repro.utils.errors import ConfigurationError
+from repro.workloads.kernels import FUNCTIONAL_UNITS, KernelProfile, validate_kernel_mix
+from repro.workloads.models import (
+    MODEL_REGISTRY,
+    TABLE2_MODELS,
+    get_model,
+    models_for_class,
+)
+from repro.workloads.nsight import measure_model, measure_suite
+
+
+class TestKernelProfile:
+    def test_valid_kernel(self):
+        k = KernelProfile("conv", 0.5, {"fp32": 9.0}, dram_util=3.0)
+        assert k.utilization("fp32") == 9.0
+        assert k.utilization("tensor") == 0.0
+
+    def test_unknown_unit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KernelProfile("k", 0.5, {"int8": 1.0})
+
+    def test_out_of_range_util_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KernelProfile("k", 0.5, {"fp32": 11.0})
+        with pytest.raises(ConfigurationError):
+            KernelProfile("k", 0.5, dram_util=-1.0)
+
+    def test_bad_fraction_rejected(self):
+        for frac in (0.0, -0.1, 1.5):
+            with pytest.raises(ConfigurationError):
+                KernelProfile("k", frac)
+
+    def test_fu_util_immutable(self):
+        k = KernelProfile("k", 1.0, {"fp32": 5.0})
+        with pytest.raises(TypeError):
+            k.fu_util["fp32"] = 1.0  # type: ignore[index]
+
+    def test_utilization_unknown_unit_query(self):
+        k = KernelProfile("k", 1.0)
+        with pytest.raises(ConfigurationError):
+            k.utilization("nope")
+
+
+class TestKernelMixValidation:
+    def test_fractions_must_sum_to_one(self):
+        ks = (KernelProfile("a", 0.5), KernelProfile("b", 0.4))
+        with pytest.raises(ConfigurationError):
+            validate_kernel_mix(ks)
+
+    def test_duplicate_names_rejected(self):
+        ks = (KernelProfile("a", 0.5), KernelProfile("a", 0.5))
+        with pytest.raises(ConfigurationError):
+            validate_kernel_mix(ks)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            validate_kernel_mix(())
+
+
+class TestModelRegistry:
+    def test_table2_models_present(self):
+        for name in TABLE2_MODELS:
+            assert name in MODEL_REGISTRY
+
+    def test_every_model_mix_valid(self):
+        for spec in MODEL_REGISTRY.values():
+            validate_kernel_mix(spec.kernels)  # must not raise
+            assert spec.iteration_time_s > 0
+            assert spec.locality_penalty >= 1.0
+
+    def test_paper_class_coverage(self):
+        # All three classes are represented in the registry.
+        assert models_for_class("A") and models_for_class("B") and models_for_class("C")
+
+    def test_get_model_unknown(self):
+        with pytest.raises(ConfigurationError):
+            get_model("alexnet-9000")
+
+    def test_models_for_class_validation(self):
+        with pytest.raises(ConfigurationError):
+            models_for_class("D")
+
+    def test_table2_matches_paper_classes(self):
+        # Table II's assignments: pointnet C, vgg19 A, dcgan A, bert B,
+        # resnet50 A, gpt2 B.
+        expected = {
+            "pointnet": "C",
+            "vgg19": "A",
+            "dcgan": "A",
+            "bert": "B",
+            "resnet50": "A",
+            "gpt2": "B",
+        }
+        for name, cls in expected.items():
+            assert MODEL_REGISTRY[name].paper_class == cls
+
+
+class TestNsight:
+    def test_measurement_in_range(self):
+        for spec in MODEL_REGISTRY.values():
+            m = measure_model(spec)
+            assert 0.0 <= m.dram_util <= 10.0
+            assert 0.0 <= m.peak_fu_util <= 10.0
+            assert m.peak_fu_util == pytest.approx(max(m.fu_util.values()))
+
+    def test_weighted_aggregation_formula(self):
+        # Hand-check one model against the paper's runtime-weighted mean.
+        spec = get_model("sgemm")  # single kernel -> utilization = kernel's
+        m = measure_model(spec)
+        k = spec.kernels[0]
+        assert m.dram_util == pytest.approx(k.dram_util)
+        assert m.fu_util["fp32"] == pytest.approx(k.utilization("fp32"))
+
+    def test_two_kernel_weighting(self):
+        from repro.workloads.models import ModelSpec
+
+        spec = ModelSpec(
+            name="synthetic-test",
+            task="t",
+            dataset="d",
+            batch_size=1,
+            kernels=(
+                KernelProfile("a", 0.75, {"fp32": 8.0}, dram_util=2.0),
+                KernelProfile("b", 0.25, {"fp32": 4.0}, dram_util=6.0),
+            ),
+            iteration_time_s=0.1,
+            locality_penalty=1.0,
+            paper_class="A",
+        )
+        m = measure_model(spec)
+        assert m.fu_util["fp32"] == pytest.approx(0.75 * 8 + 0.25 * 4)
+        assert m.dram_util == pytest.approx(0.75 * 2 + 0.25 * 6)
+
+    def test_by_name(self):
+        assert measure_model("bert").model == "bert"
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            measure_model("unknown-model")
+
+    def test_noise_is_bounded_and_seeded(self):
+        a = measure_model("bert", noise=0.05, rng=1)
+        b = measure_model("bert", noise=0.05, rng=1)
+        assert a.dram_util == b.dram_util
+        assert 0.0 <= a.dram_util <= 10.0
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ConfigurationError):
+            measure_model("bert", noise=-0.1)
+
+    def test_suite_covers_registry(self):
+        suite = measure_suite()
+        assert {m.model for m in suite} == set(MODEL_REGISTRY)
+
+    def test_point_orientation(self):
+        m = measure_model("vgg19")
+        fu, dram = m.point
+        assert fu == m.peak_fu_util and dram == m.dram_util
+
+    def test_relative_positions_match_fig3(self):
+        # Vision models must out-FU the language models, which out-FU the
+        # memory-bound codes; pagerank has the highest DRAM utilization.
+        by_name = {m.model: m for m in measure_suite()}
+        assert by_name["vgg19"].peak_fu_util > by_name["bert"].peak_fu_util
+        assert by_name["bert"].peak_fu_util > by_name["pagerank"].peak_fu_util
+        assert by_name["pagerank"].dram_util == max(
+            m.dram_util for m in by_name.values()
+        )
+
+    def test_functional_units_constant(self):
+        assert set(FUNCTIONAL_UNITS) == {"fp32", "fp64", "texture", "special", "tensor"}
