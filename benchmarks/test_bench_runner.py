@@ -1,0 +1,71 @@
+"""Micro-benchmark: serial vs process executor on a fixed sweep.
+
+Times the identical (2 traces x 6 placements) Sia grid through both
+executors of :mod:`repro.runner`, asserts the process pool changes
+nothing but wall-clock, and reports the scaling table to
+``benchmarks/out/test_runner_scaling.txt``.
+
+The grid is fixed (not scaled by ``REPRO_BENCH_SCALE``) so numbers are
+comparable across machines and commits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.analysis.reporting import format_table
+from repro.runner import EnvSpec, SweepSpec, TraceSpec, make_executor, run_sweep
+from repro.scheduler.placement import ALL_POLICY_NAMES
+
+_SPEC = SweepSpec(
+    traces=(
+        TraceSpec("sia", workload=1, n_jobs=48),
+        TraceSpec("sia", workload=2, n_jobs=48),
+    ),
+    schedulers=("fifo",),
+    placements=ALL_POLICY_NAMES,
+    seeds=(0,),
+    env=EnvSpec(n_gpus=64, use_per_model_locality=True),
+    name="bench-runner",
+)
+
+
+def _summaries(result) -> list[str]:
+    return [json.dumps(r.summary(), sort_keys=True) for r in result.results]
+
+
+def test_runner_scaling(report):
+    n_workers = min(os.cpu_count() or 1, len(_SPEC.expand()))
+
+    t0 = time.perf_counter()
+    serial = run_sweep(_SPEC, executor="serial")
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    process = run_sweep(
+        _SPEC, executor=make_executor("process", max_workers=n_workers)
+    )
+    process_s = time.perf_counter() - t0
+
+    assert _summaries(process) == _summaries(serial)
+
+    speedup = serial_s / process_s if process_s > 0 else float("inf")
+    table = format_table(
+        ["executor", "workers", "cells", "wall_s", "speedup"],
+        [
+            ["serial", 1, len(serial), serial_s, 1.0],
+            ["process", n_workers, len(process), process_s, speedup],
+        ],
+        precision=3,
+        title="sweep-runner executor scaling (fixed 12-cell Sia grid)",
+    )
+    report(
+        table
+        + "\nprocess summaries byte-identical to serial: True"
+        + "\n(speedup < 1 means pool startup dominated this grid size)"
+    )
+    # Sanity only — CI machines vary; the assertion is correctness, the
+    # numbers are the artifact.
+    assert serial_s > 0 and process_s > 0

@@ -14,6 +14,14 @@ Commands
 ``simulate``
     Run a single (trace, scheduler, placement) simulation and print the
     metric summary — the building block for custom studies.
+``sweep``
+    Run an ad-hoc (traces x schedulers x placements x seeds) grid
+    through the parallel sweep runner, optionally with a process-pool
+    executor and an on-disk result cache (see ``repro.runner``)::
+
+        pal-repro sweep --traces sia:1,synergy:12 --schedulers fifo,las \\
+            --placements tiresias,pm-first,pal --seeds 0,1 \\
+            --executor process --cache-dir ~/.cache/pal-repro
 """
 
 from __future__ import annotations
@@ -25,11 +33,13 @@ from pathlib import Path
 from .analysis.reporting import format_kv
 from .cluster.topology import ClusterTopology, LocalityModel
 from .experiments import EXPERIMENTS, run_experiment
+from .runner import EXECUTOR_NAMES, EnvSpec, SweepSpec, TraceSpec, run_sweep
 from .scheduler.placement import ALL_POLICY_NAMES, make_placement
 from .scheduler.policies import make_scheduler
 from .scheduler.simulator import ClusterSimulator
 from .traces.philly import SiaPhillyConfig, generate_sia_philly_trace
 from .traces.synergy import generate_synergy_trace
+from .utils.errors import ConfigurationError
 from .utils.rng import stream
 from .variability.synthetic import CLUSTER_SPECS, synthesize_profile
 
@@ -80,6 +90,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--locality", type=float, default=1.7)
     p_sim.add_argument("--profile", default="longhorn", choices=sorted(CLUSTER_SPECS))
     p_sim.add_argument("--seed", type=int, default=0)
+
+    p_sweep = sub.add_parser("sweep", help="run a simulation grid via the sweep runner")
+    p_sweep.add_argument(
+        "--traces",
+        default="sia:1",
+        help="comma list of trace specs: sia:<workload> or synergy:<jobs/hour>",
+    )
+    p_sweep.add_argument(
+        "--schedulers", default="fifo", help="comma list of fifo,las,srtf"
+    )
+    p_sweep.add_argument(
+        "--placements",
+        default="tiresias,pm-first,pal",
+        help="comma list of placement policy names",
+    )
+    p_sweep.add_argument("--seeds", default="0", help="comma list of seeds")
+    p_sweep.add_argument("--jobs", type=int, default=None, help="jobs per trace")
+    p_sweep.add_argument("--gpus", type=int, default=64)
+    p_sweep.add_argument("--profile", default="longhorn", choices=sorted(CLUSTER_SPECS))
+    p_sweep.add_argument(
+        "--locality", type=float, default=None,
+        help="constant L_across (default: per-model penalties)",
+    )
+    p_sweep.add_argument("--executor", default=None, choices=EXECUTOR_NAMES)
+    p_sweep.add_argument("--workers", type=int, default=None)
+    p_sweep.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help="on-disk result cache; repeated sweeps only run new cells",
+    )
+    p_sweep.add_argument("--force", action="store_true", help="ignore cached results")
+    p_sweep.add_argument(
+        "--per-cell", action="store_true", help="print one row per cell (no seed averaging)"
+    )
+    p_sweep.add_argument("--out", type=Path, default=None, help="write comparison CSV here")
     return parser
 
 
@@ -152,12 +196,72 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_trace_specs(text: str, n_jobs: int | None) -> tuple[TraceSpec, ...]:
+    specs = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        kind, _, value = part.partition(":")
+        kind = kind.lower()
+        try:
+            if kind == "sia":
+                specs.append(TraceSpec("sia", workload=int(value or 1), n_jobs=n_jobs))
+            elif kind == "synergy":
+                specs.append(
+                    TraceSpec("synergy", load=float(value or 10.0), n_jobs=n_jobs)
+                )
+            else:
+                raise ValueError
+        except ValueError:
+            raise ConfigurationError(
+                f"bad trace spec {part!r}; use sia:<workload> or synergy:<jobs/hour>"
+            ) from None
+    if not specs:
+        raise ConfigurationError("--traces must name at least one trace")
+    return tuple(specs)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        seeds = tuple(int(s) for s in args.seeds.split(",") if s.strip())
+    except ValueError:
+        raise ConfigurationError(
+            f"--seeds must be a comma list of integers, got {args.seeds!r}"
+        ) from None
+    spec = SweepSpec(
+        traces=_parse_trace_specs(args.traces, args.jobs),
+        schedulers=tuple(s.strip() for s in args.schedulers.split(",") if s.strip()),
+        placements=tuple(p.strip() for p in args.placements.split(",") if p.strip()),
+        seeds=seeds,
+        env=EnvSpec(
+            n_gpus=args.gpus,
+            profile_cluster=args.profile,
+            locality=args.locality,
+            use_per_model_locality=args.locality is None,
+        ),
+    )
+    result = run_sweep(
+        spec,
+        executor=args.executor,
+        workers=args.workers,
+        cache=args.cache_dir,
+        force=args.force,
+    )
+    print(result.render(per_cell=args.per_cell))
+    if args.out is not None:
+        result.to_comparison_csv(args.out)
+        print(f"wrote {len(result)} rows to {args.out}")
+    return 0
+
+
 _COMMANDS = {
     "experiment": _cmd_experiment,
     "list": _cmd_list,
     "trace": _cmd_trace,
     "profile": _cmd_profile,
     "simulate": _cmd_simulate,
+    "sweep": _cmd_sweep,
 }
 
 

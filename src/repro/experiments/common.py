@@ -13,7 +13,11 @@ Every figure/table module builds on three pieces defined here:
   profiling campaign producing the believed PM-Score table, and the
   locality model (constant or per-model penalties per Sec. IV-D).
 * :func:`run_policy_matrix` — runs a set of placement policies over a
-  set of traces under one scheduler and returns keyed results.
+  set of traces under one scheduler and returns keyed results. The grid
+  routes through :mod:`repro.runner`'s executor seam, so every
+  experiment parallelizes across processes by setting
+  ``REPRO_EXECUTOR=process`` (or passing ``executor=``) with bit-
+  identical results to the serial path.
 """
 
 from __future__ import annotations
@@ -21,12 +25,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
+import numpy as np
+
 from ..cluster.topology import ClusterTopology, LocalityModel
 from ..core.pm_score import PMScoreTable
+from ..runner.execute import SimCell, execute_sim_cell
+from ..runner.executors import Executor, resolve_executor
 from ..scheduler.metrics import SimulationResult
-from ..scheduler.placement import make_placement
-from ..scheduler.policies import make_scheduler
-from ..scheduler.simulator import ClusterSimulator, SimulatorConfig
+from ..scheduler.simulator import SimulatorConfig
 from ..traces.trace import Trace
 from ..utils.errors import ConfigurationError
 from ..utils.rng import stream
@@ -209,30 +215,41 @@ def run_policy_matrix(
     config: SimulatorConfig | None = None,
     seed: int = 0,
     execute_on_believed: bool = False,
+    arch_of_gpu: np.ndarray | None = None,
+    executor: Executor | str | None = None,
 ) -> dict[tuple[str, str], SimulationResult]:
     """Run every (trace, policy) pair; returns results keyed by names.
 
     ``execute_on_believed`` switches the execution ground truth to the
     believed profile — the "simulation" arm of the paper's testbed-vs-
     simulation comparison (Sec. V-A), where the simulator's own world
-    model *is* the profiled data.
+    model *is* the profiled data. ``arch_of_gpu`` feeds architecture-
+    aware policies (Gavel) on heterogeneous clusters. ``executor``
+    selects the runner executor (None reads ``REPRO_EXECUTOR``,
+    defaulting to serial); cells are deterministic, so every executor
+    yields identical results.
     """
-    results: dict[tuple[str, str], SimulationResult] = {}
     truth = env.believed_profile if execute_on_believed else env.true_profile
-    for trace in traces:
-        for pname in policy_names:
-            sim = ClusterSimulator(
-                topology=env.topology,
-                true_profile=truth,
-                scheduler=make_scheduler(scheduler_name),
-                placement=make_placement(pname),
-                pm_table=env.pm_table,
-                locality=env.locality,
-                config=config,
-                seed=seed,
-            )
-            res = sim.run(trace)
-            results[(trace.name, res.placement_name)] = res
+    cells = [
+        SimCell(
+            trace=trace,
+            scheduler=scheduler_name,
+            placement=pname,
+            seed=seed,
+            topology=env.topology,
+            true_profile=truth,
+            pm_table=env.pm_table,
+            locality=env.locality,
+            config=config,
+            arch_of_gpu=arch_of_gpu,
+        )
+        for trace in traces
+        for pname in policy_names
+    ]
+    outcomes = resolve_executor(executor).map(execute_sim_cell, cells)
+    results: dict[tuple[str, str], SimulationResult] = {}
+    for cell, res in zip(cells, outcomes):
+        results[(cell.trace.name, res.placement_name)] = res
     return results
 
 

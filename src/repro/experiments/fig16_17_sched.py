@@ -28,13 +28,17 @@ def run(scale: str = "ci", seed: int = 0, *, scheduler: str = "las") -> Experime
         seed=seed,
     )
     lo, hi = sc.synergy_measure
+    # One flat (load x policy) grid through the runner seam: under a
+    # process executor the whole load sweep fans out at once instead of
+    # barriering between loads.
+    traces = [
+        generate_synergy_trace(load, n_jobs=sc.synergy_n_jobs, seed=seed)
+        for load in sc.sched_loads
+    ]
+    results = run_policy_matrix(traces, ALL_POLICY_NAMES, scheduler, env, seed=seed)
     rows: list[list[object]] = []
     gains: list[tuple[float, float]] = []
-    for load in sc.sched_loads:
-        trace = generate_synergy_trace(load, n_jobs=sc.synergy_n_jobs, seed=seed)
-        results = run_policy_matrix(
-            [trace], ALL_POLICY_NAMES, scheduler, env, seed=seed
-        )
+    for load, trace in zip(sc.sched_loads, traces):
         row: list[object] = [load]
         for pname in POLICY_ORDER:
             row.append(results[(trace.name, pname)].avg_jct_h(min_job_id=lo, max_job_id=hi))

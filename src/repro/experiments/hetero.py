@@ -22,12 +22,15 @@ from __future__ import annotations
 
 from ..cluster.heterogeneity import make_heterogeneous_cluster
 from ..core.pm_score import PMScoreTable
-from ..scheduler.placement import make_placement
-from ..scheduler.policies import make_scheduler
-from ..scheduler.simulator import ClusterSimulator
 from ..cluster.topology import ClusterTopology
 from ..traces.philly import SiaPhillyConfig, generate_sia_philly_trace
-from .common import ExperimentResult, get_scale, per_model_locality
+from .common import (
+    ExperimentResult,
+    SimEnvironment,
+    get_scale,
+    per_model_locality,
+    run_policy_matrix,
+)
 
 __all__ = ["run"]
 
@@ -39,28 +42,24 @@ def run(scale: str = "ci", seed: int = 0) -> ExperimentResult:
     hetero = make_heterogeneous_cluster(
         ["V100"] * 8 + ["RTX5000"] * 8, gpus_per_node=4, seed=seed
     )
-    topology = ClusterTopology.from_gpu_count(hetero.profile.n_gpus)
-    pm_table = PMScoreTable.fit(hetero.profile, seed=seed)
-    locality = per_model_locality()
+    env = SimEnvironment(
+        topology=ClusterTopology.from_gpu_count(hetero.profile.n_gpus),
+        true_profile=hetero.profile,
+        pm_table=PMScoreTable.fit(hetero.profile, seed=seed),
+        locality=per_model_locality(),
+        believed_profile=hetero.profile,
+    )
     trace = generate_sia_philly_trace(
         1, config=SiaPhillyConfig(n_jobs=sc.sia_n_jobs), seed=seed
     )
 
+    matrix = run_policy_matrix(
+        [trace], _POLICIES, "fifo", env, seed=seed, arch_of_gpu=hetero.arch_of_gpu
+    )
     rows: list[list[object]] = []
     results = {}
-    for pname in _POLICIES:
-        sim = ClusterSimulator(
-            topology=topology,
-            true_profile=hetero.profile,
-            scheduler=make_scheduler("fifo"),
-            placement=make_placement(pname),
-            pm_table=pm_table,
-            locality=locality,
-            arch_of_gpu=hetero.arch_of_gpu,
-            seed=seed,
-        )
-        res = sim.run(trace)
-        results[res.placement_name] = res
+    for (_, pname), res in matrix.items():
+        results[pname] = res
         rows.append(
             [res.placement_name, res.avg_jct_h(), res.makespan_s / 3600.0]
         )

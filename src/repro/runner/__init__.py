@@ -1,0 +1,60 @@
+"""Parallel sweep runner — the scale seam of the reproduction.
+
+The paper's whole evaluation is a grid of (trace x scheduler x
+placement x seed) simulations. This package turns that shape into a
+first-class subsystem:
+
+* :mod:`~repro.runner.spec` — declarative, hashable sweep/cell specs
+  with stable content digests;
+* :mod:`~repro.runner.execute` — the one place a cell becomes a
+  :class:`~repro.scheduler.metrics.SimulationResult` (picklable,
+  worker-safe);
+* :mod:`~repro.runner.executors` — pluggable ``serial`` / ``process``
+  execution with chunked sharding;
+* :mod:`~repro.runner.cache` — on-disk, content-addressed result cache
+  making repeated sweeps incremental;
+* :mod:`~repro.runner.aggregate` — per-cell and seed-averaged tables
+  plus CSV export;
+* :mod:`~repro.runner.sweep` — :func:`run_sweep` orchestration.
+
+Every experiment module's grid routes through this seam (via
+``run_policy_matrix``), and ``pal-repro sweep`` exposes ad-hoc grids on
+the command line.
+"""
+
+from __future__ import annotations
+
+from .aggregate import SweepResult
+from .cache import CacheStats, ResultCache
+from .execute import SimCell, execute_run_spec, execute_sim_cell
+from .executors import (
+    EXECUTOR_NAMES,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    make_executor,
+    resolve_executor,
+)
+from .spec import SPEC_VERSION, EnvSpec, RunSpec, SweepSpec, TraceSpec
+from .sweep import run_sweep
+
+__all__ = [
+    "SPEC_VERSION",
+    "TraceSpec",
+    "EnvSpec",
+    "RunSpec",
+    "SweepSpec",
+    "SimCell",
+    "execute_sim_cell",
+    "execute_run_spec",
+    "Executor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "make_executor",
+    "resolve_executor",
+    "EXECUTOR_NAMES",
+    "ResultCache",
+    "CacheStats",
+    "SweepResult",
+    "run_sweep",
+]

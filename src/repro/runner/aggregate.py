@@ -1,0 +1,196 @@
+"""Sweep aggregation — fold per-cell results into reportable tables.
+
+The output side of the runner: a :class:`SweepResult` pairs every
+expanded :class:`RunSpec` cell with its :class:`SimulationResult` and
+renders the same text tables the experiment modules produce (via
+:mod:`repro.analysis.reporting`), plus seed-averaged views and the
+comparison-CSV export from :mod:`repro.analysis.export`.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..analysis.export import results_to_comparison_csv
+from ..analysis.reporting import format_table
+from ..scheduler.metrics import SimulationResult
+from ..utils.errors import ConfigurationError
+from .spec import RunSpec, SweepSpec
+
+__all__ = ["SweepResult"]
+
+_SUMMARY_METRICS = (
+    "avg_jct_h",
+    "p99_jct_h",
+    "makespan_h",
+    "utilization",
+    "avg_wait_h",
+    "migrations",
+    "preemptions",
+)
+
+
+@dataclass
+class SweepResult:
+    """All cells of one executed sweep, in grid order."""
+
+    spec: SweepSpec
+    cells: tuple[RunSpec, ...]
+    results: tuple[SimulationResult, ...]
+    cache_hits: int = 0
+    cache_misses: int = 0
+    executor_name: str = "serial"
+    cache_enabled: bool = False
+    _by_cell: dict[RunSpec, SimulationResult] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if len(self.cells) != len(self.results):
+            raise ConfigurationError("cells and results must align")
+        self._by_cell = dict(zip(self.cells, self.results))
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __getitem__(self, cell: RunSpec) -> SimulationResult:
+        return self._by_cell[cell]
+
+    def select(
+        self,
+        *,
+        trace: str | None = None,
+        scheduler: str | None = None,
+        placement: str | None = None,
+        seed: int | None = None,
+    ) -> list[tuple[RunSpec, SimulationResult]]:
+        """Cells matching every given filter, in grid order.
+
+        ``trace`` matches the :attr:`TraceSpec.label` (e.g. ``"sia:3"``);
+        ``placement`` matches either the spec name (``"pm-first"``) or
+        the policy's display name (``"PM-First"``), case-insensitively.
+        """
+        out = []
+        for cell, res in zip(self.cells, self.results):
+            if trace is not None and cell.trace.label != trace:
+                continue
+            if scheduler is not None and cell.scheduler.lower() != scheduler.lower():
+                continue
+            if placement is not None and placement.lower() not in (
+                cell.placement.lower(),
+                res.placement_name.lower(),
+            ):
+                continue
+            if seed is not None and cell.seed != seed:
+                continue
+            out.append((cell, res))
+        return out
+
+    def get(self, **filters) -> SimulationResult:
+        """The unique result matching the filters (raises otherwise)."""
+        matches = self.select(**filters)
+        if len(matches) != 1:
+            raise ConfigurationError(
+                f"filters {filters} matched {len(matches)} cells, expected 1"
+            )
+        return matches[0][1]
+
+    # ------------------------------------------------------------------
+    # Tables
+    # ------------------------------------------------------------------
+    def summary_rows(self) -> tuple[list[str], list[list[object]]]:
+        """(headers, rows): one row per cell, every headline metric."""
+        headers = ["trace", "scheduler", "placement", "seed", *_SUMMARY_METRICS]
+        rows: list[list[object]] = []
+        for cell, res in zip(self.cells, self.results):
+            summary = res.summary()
+            rows.append(
+                [
+                    cell.trace.label,
+                    cell.scheduler,
+                    res.placement_name,
+                    cell.seed,
+                    *[summary[m] for m in _SUMMARY_METRICS],
+                ]
+            )
+        return headers, rows
+
+    def seed_mean_rows(self) -> tuple[list[str], list[list[object]]]:
+        """(headers, rows): metrics averaged over the seed axis.
+
+        Adds a ``±std`` column for avg JCT when there is more than one
+        seed — the view a load/policy sweep actually reports.
+        """
+        groups: dict[tuple[str, str, str], list[SimulationResult]] = {}
+        order: list[tuple[str, str, str]] = []
+        display: dict[tuple[str, str, str], str] = {}
+        for cell, res in zip(self.cells, self.results):
+            key = (cell.trace.label, cell.scheduler, cell.placement)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+                display[key] = res.placement_name
+            groups[key].append(res)
+        headers = [
+            "trace",
+            "scheduler",
+            "placement",
+            "seeds",
+            *_SUMMARY_METRICS,
+            "avg_jct_h_std",
+        ]
+        rows: list[list[object]] = []
+        for key in order:
+            rs = groups[key]
+            summaries = [r.summary() for r in rs]
+            means = {
+                m: sum(s[m] for s in summaries) / len(summaries)
+                for m in _SUMMARY_METRICS
+            }
+            std = (
+                statistics.stdev([s["avg_jct_h"] for s in summaries])
+                if len(summaries) > 1
+                else 0.0
+            )
+            rows.append(
+                [
+                    key[0],
+                    key[1],
+                    display[key],
+                    len(rs),
+                    *[means[m] for m in _SUMMARY_METRICS],
+                    std,
+                ]
+            )
+        return headers, rows
+
+    def render(self, *, precision: int = 3, per_cell: bool = False) -> str:
+        """Text report: seed-averaged table (+ per-cell detail), cache line."""
+        headers, rows = (
+            self.summary_rows() if per_cell else self.seed_mean_rows()
+        )
+        parts = [
+            f"== sweep {self.spec.name}: {len(self)} cells "
+            f"({len(self.spec.traces)} traces x {len(self.spec.schedulers)} "
+            f"schedulers x {len(self.spec.placements)} placements x "
+            f"{len(self.spec.seeds)} seeds) ==",
+            format_table(headers, rows, precision=precision),
+            f"executor: {self.executor_name}; cache: "
+            + (
+                f"{self.cache_hits} hits / {self.cache_misses} misses"
+                if self.cache_enabled
+                else "disabled"
+            ),
+        ]
+        return "\n".join(parts)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_comparison_csv(self, path: str | Path | None = None) -> str:
+        """One-row-per-cell CSV via the standard exporter."""
+        labeled = {cell.label: res for cell, res in zip(self.cells, self.results)}
+        return results_to_comparison_csv(labeled, path)

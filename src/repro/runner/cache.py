@@ -1,0 +1,119 @@
+"""On-disk result cache keyed by :meth:`RunSpec.digest`.
+
+Layout (two-level fan-out keeps directories small at paper scale)::
+
+    <root>/
+      <digest[:2]>/
+        <digest>.pkl    # pickled SimulationResult (full fidelity)
+        <digest>.json   # human-readable sidecar: spec payload + summary
+
+Writes are atomic (tmp file + ``os.replace``) so a killed sweep never
+leaves a truncated entry; a corrupt or version-mismatched entry reads
+as a miss and is deleted. Because a cell digest covers every input —
+trace recipe, environment recipe, policy names, seed, simulator config,
+and :data:`~repro.runner.spec.SPEC_VERSION` — a hit is exactly a rerun.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..scheduler.metrics import SimulationResult
+from .spec import RunSpec
+
+__all__ = ["CacheStats", "ResultCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache instance's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ResultCache:
+    """Content-addressed store of finished simulation cells."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def _pkl_path(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}.pkl"
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def __contains__(self, spec: RunSpec) -> bool:
+        return self._pkl_path(spec.digest()).is_file()
+
+    # ------------------------------------------------------------------
+    def get(self, spec: RunSpec) -> SimulationResult | None:
+        """Cached result for ``spec``, or None (counted as hit/miss)."""
+        path = self._pkl_path(spec.digest())
+        try:
+            with path.open("rb") as fh:
+                result = pickle.load(fh)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except Exception:
+            # Truncated or corrupt entry: drop it and treat as a miss.
+            # Depending on which opcode the corrupt bytes mimic, pickle
+            # raises UnpicklingError, ValueError, EOFError, ImportError,
+            # ... — any read failure must degrade to a re-run, never a
+            # crashed sweep.
+            path.unlink(missing_ok=True)
+            self.stats.misses += 1
+            return None
+        if not isinstance(result, SimulationResult):
+            path.unlink(missing_ok=True)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, spec: RunSpec, result: SimulationResult) -> Path:
+        """Store ``result`` under ``spec``'s digest (atomic)."""
+        digest = spec.digest()
+        path = self._pkl_path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        with tmp.open("wb") as fh:
+            pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        sidecar = {
+            "digest": digest,
+            "spec": spec.payload(),
+            "summary": result.summary(),
+        }
+        tmp_json = path.with_suffix(f".jtmp{os.getpid()}")
+        tmp_json.write_text(json.dumps(sidecar, indent=2, sort_keys=True))
+        os.replace(tmp_json, path.with_suffix(".json"))
+        self.stats.puts += 1
+        return path
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of cells removed."""
+        n = 0
+        for pkl in self.root.glob("*/*.pkl"):
+            pkl.unlink(missing_ok=True)
+            pkl.with_suffix(".json").unlink(missing_ok=True)
+            n += 1
+        return n

@@ -1,0 +1,106 @@
+"""Cell execution — the single place a sweep cell becomes a simulation.
+
+Two cell flavors exist:
+
+* :class:`RunSpec` (declarative, hashable) — rebuilt from primitives
+  inside the worker via :func:`execute_run_spec`; used by
+  :func:`repro.runner.sweep.run_sweep` and the result cache.
+* :class:`SimCell` (concrete) — carries already-built ``Trace`` and
+  environment objects; used by
+  :func:`repro.experiments.common.run_policy_matrix`, whose callers
+  construct traces and environments with arbitrary overrides (error
+  injections, heterogeneous profiles) that a declarative spec cannot
+  name. Concrete cells pickle fine but are not cacheable.
+
+Both entry points are module-level functions so they are picklable by
+``ProcessPoolExecutor``. Determinism is end-to-end: a cell's outcome is
+a pure function of its fields, which is what makes the serial and
+process executors interchangeable and the cache sound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from ..cluster.topology import ClusterTopology, LocalityModel
+from ..core.pm_score import PMScoreTable
+from ..scheduler.metrics import SimulationResult
+from ..scheduler.placement import make_placement
+from ..scheduler.policies import make_scheduler
+from ..scheduler.simulator import ClusterSimulator, SimulatorConfig
+from ..traces.trace import Trace
+from ..variability.profiles import VariabilityProfile
+from .spec import RunSpec
+
+__all__ = ["SimCell", "execute_sim_cell", "execute_run_spec"]
+
+
+@dataclass(frozen=True, eq=False)
+class SimCell:
+    """A concrete, picklable simulation work item (see module docstring)."""
+
+    trace: Trace
+    scheduler: str
+    placement: str
+    seed: int
+    topology: ClusterTopology
+    true_profile: VariabilityProfile
+    pm_table: PMScoreTable | None
+    locality: LocalityModel
+    config: SimulatorConfig | None = None
+    arch_of_gpu: np.ndarray | None = None
+
+
+def execute_sim_cell(cell: SimCell) -> SimulationResult:
+    """Run one concrete cell to completion."""
+    sim = ClusterSimulator(
+        topology=cell.topology,
+        true_profile=cell.true_profile,
+        scheduler=make_scheduler(cell.scheduler),
+        placement=make_placement(cell.placement),
+        pm_table=cell.pm_table,
+        locality=cell.locality,
+        config=cell.config,
+        arch_of_gpu=cell.arch_of_gpu,
+        seed=cell.seed,
+    )
+    return sim.run(cell.trace)
+
+
+# Per-process memoization: every cell sharing (spec, seed) builds the
+# identical environment/trace, and a grid reuses both across its
+# scheduler/placement axes — exactly how run_policy_matrix shares
+# concrete objects. Both built objects are treated as immutable by the
+# simulator, so sharing is safe; the cache is per worker process.
+_build_env = lru_cache(maxsize=16)(lambda env_spec, seed: env_spec.build(seed))
+_build_trace = lru_cache(maxsize=32)(lambda trace_spec, seed: trace_spec.build(seed))
+
+
+def execute_run_spec(spec: RunSpec) -> SimulationResult:
+    """Materialize a declarative cell and run it.
+
+    Environment and trace construction are memoized per process (see
+    above). The result's metadata records the cell digest so exported
+    artifacts remain traceable to the exact spec that produced them.
+    """
+    env = _build_env(spec.env, spec.seed)
+    trace = _build_trace(spec.trace, spec.seed)
+    truth = env.believed_profile if spec.env.execute_on_believed else env.true_profile
+    result = execute_sim_cell(
+        SimCell(
+            trace=trace,
+            scheduler=spec.scheduler,
+            placement=spec.placement,
+            seed=spec.seed,
+            topology=env.topology,
+            true_profile=truth,
+            pm_table=env.pm_table,
+            locality=env.locality,
+            config=spec.config,
+        )
+    )
+    result.metadata["run_digest"] = spec.digest()  # type: ignore[index]
+    return result

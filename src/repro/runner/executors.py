@@ -1,0 +1,139 @@
+"""Pluggable sweep executors.
+
+An executor maps a pure worker function over a list of cells and
+returns results **in input order**. Two implementations:
+
+* :class:`SerialExecutor` — in-process loop; zero overhead, the
+  reference semantics.
+* :class:`ProcessExecutor` — ``concurrent.futures.ProcessPoolExecutor``
+  with chunked sharding: cells are distributed in contiguous chunks to
+  amortize pickling, and worker count never exceeds the number of
+  cells. Because cells are deterministic pure functions, process
+  results are identical to serial results cell-for-cell.
+
+``REPRO_EXECUTOR`` / ``REPRO_WORKERS`` environment variables pick the
+process-wide default used by :func:`resolve_executor` — which is how
+every existing experiment (all grids route through
+``run_policy_matrix``) gains parallelism without signature changes.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from ..utils.errors import ConfigurationError
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "make_executor",
+    "resolve_executor",
+    "EXECUTOR_NAMES",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+EXECUTOR_NAMES: tuple[str, ...] = ("serial", "process")
+
+
+class Executor(ABC):
+    """Maps a worker over cells, preserving order."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        """Apply ``fn`` to every item; results align with input order."""
+
+
+class SerialExecutor(Executor):
+    """Run cells one by one in the calling process."""
+
+    name = "serial"
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        return [fn(item) for item in items]
+
+
+class ProcessExecutor(Executor):
+    """Fan cells out over a process pool in contiguous chunks."""
+
+    name = "process"
+
+    def __init__(self, max_workers: int | None = None, chunk_size: int | None = None):
+        if max_workers is not None and max_workers < 1:
+            raise ConfigurationError(f"max_workers={max_workers} must be >= 1")
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigurationError(f"chunk_size={chunk_size} must be >= 1")
+        self.max_workers = max_workers
+        self.chunk_size = chunk_size
+
+    def _plan(self, n_items: int) -> tuple[int, int]:
+        """(workers, chunksize) for ``n_items`` cells."""
+        workers = self.max_workers or os.cpu_count() or 1
+        workers = max(1, min(workers, n_items))
+        if self.chunk_size is not None:
+            return workers, self.chunk_size
+        # Aim for ~4 chunks per worker: large enough to amortize IPC,
+        # small enough that one slow shard doesn't serialize the tail.
+        return workers, max(1, math.ceil(n_items / (workers * 4)))
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        cells: Sequence[T] = list(items)
+        if len(cells) <= 1:
+            return [fn(c) for c in cells]
+        workers, chunksize = self._plan(len(cells))
+        if workers == 1:
+            return [fn(c) for c in cells]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, cells, chunksize=chunksize))
+
+
+def make_executor(
+    name: str,
+    *,
+    max_workers: int | None = None,
+    chunk_size: int | None = None,
+) -> Executor:
+    """Factory by case-insensitive executor name."""
+    key = name.lower()
+    if key == "serial":
+        return SerialExecutor()
+    if key == "process":
+        return ProcessExecutor(max_workers=max_workers, chunk_size=chunk_size)
+    raise ConfigurationError(
+        f"unknown executor {name!r}; known: {EXECUTOR_NAMES}"
+    )
+
+
+def resolve_executor(
+    executor: "Executor | str | None",
+    workers: int | None = None,
+) -> Executor:
+    """Normalize an executor argument.
+
+    ``None`` reads ``REPRO_EXECUTOR`` (default ``serial``) and
+    ``REPRO_WORKERS``; a string goes through :func:`make_executor`;
+    an :class:`Executor` passes through. ``workers`` overrides the
+    worker count for the name-based paths (including the environment
+    default); combining it with an :class:`Executor` instance is
+    rejected rather than silently ignored.
+    """
+    if isinstance(executor, Executor):
+        if workers is not None:
+            raise ConfigurationError(
+                "pass the worker count via the Executor instance, not workers="
+            )
+        return executor
+    if executor is None:
+        executor = os.environ.get("REPRO_EXECUTOR", "serial")
+        if workers is None:
+            env_workers = os.environ.get("REPRO_WORKERS")
+            workers = int(env_workers) if env_workers else None
+    return make_executor(executor, max_workers=workers)

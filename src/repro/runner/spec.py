@@ -1,0 +1,237 @@
+"""Declarative sweep specifications.
+
+A sweep is a grid of simulations — the shape of every figure in the
+paper's evaluation: (trace x scheduler x placement x seed) under one
+simulated environment. The spec layer describes that grid as plain
+frozen dataclasses of primitives so a cell can be
+
+* **hashed** — :meth:`RunSpec.digest` is a stable content address used
+  by the on-disk result cache (stable across process restarts, unlike
+  ``hash()``);
+* **pickled** — cells cross the ``ProcessPoolExecutor`` boundary and are
+  rebuilt into concrete traces/environments inside the worker;
+* **printed** — every cell is self-describing in logs and cache
+  sidecars.
+
+Nothing here runs a simulation; see :mod:`repro.runner.execute`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING
+
+from ..scheduler.simulator import SimulatorConfig
+from ..utils.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - avoids an import cycle at runtime
+    from ..experiments.common import SimEnvironment
+    from ..traces.trace import Trace
+
+__all__ = ["TraceSpec", "EnvSpec", "RunSpec", "SweepSpec", "SPEC_VERSION"]
+
+#: Bumped whenever spec semantics change in a way that invalidates
+#: previously cached results (part of every digest).
+SPEC_VERSION = 1
+
+_TRACE_KINDS = ("sia", "synergy")
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Recipe for one workload trace.
+
+    ``kind="sia"`` uses ``workload`` (the Sia-Philly workload id);
+    ``kind="synergy"`` uses ``load`` (Poisson jobs/hour). ``seed=None``
+    inherits the cell seed, so a seed sweep re-generates traces per
+    seed; pin it to sweep schedulers/placements over one fixed trace.
+    """
+
+    kind: str
+    workload: int = 1
+    load: float = 10.0
+    n_jobs: int | None = None
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _TRACE_KINDS:
+            raise ConfigurationError(
+                f"unknown trace kind {self.kind!r}; known: {_TRACE_KINDS}"
+            )
+        if self.kind == "sia" and self.workload < 1:
+            raise ConfigurationError(f"workload={self.workload} must be >= 1")
+        if self.kind == "synergy" and self.load <= 0:
+            raise ConfigurationError(f"load={self.load} must be positive")
+        if self.n_jobs is not None and self.n_jobs < 1:
+            raise ConfigurationError(f"n_jobs={self.n_jobs} must be >= 1")
+
+    @property
+    def label(self) -> str:
+        if self.kind == "sia":
+            return f"sia:{self.workload}"
+        return f"synergy:{self.load:g}"
+
+    def build(self, default_seed: int) -> "Trace":
+        """Generate the concrete trace (worker-side)."""
+        seed = self.seed if self.seed is not None else default_seed
+        if self.kind == "sia":
+            from ..traces.philly import SiaPhillyConfig, generate_sia_philly_trace
+
+            cfg = SiaPhillyConfig(n_jobs=self.n_jobs) if self.n_jobs else None
+            return generate_sia_philly_trace(self.workload, config=cfg, seed=seed)
+        from ..traces.synergy import generate_synergy_trace
+
+        return generate_synergy_trace(self.load, n_jobs=self.n_jobs, seed=seed)
+
+
+@dataclass(frozen=True)
+class EnvSpec:
+    """Recipe for the simulated cluster environment.
+
+    Mirrors :func:`repro.experiments.common.build_environment`:
+    ground-truth variability sampled from a synthetic cluster profile,
+    a profiling campaign producing believed PM-Scores, and a locality
+    model (``locality=None`` + ``use_per_model_locality`` selects the
+    per-model penalty table; a float is a constant ``L_across``).
+    """
+
+    n_gpus: int = 64
+    profile_cluster: str = "longhorn"
+    locality: float | None = None
+    use_per_model_locality: bool = False
+    measurement_noise: float = 0.0
+    execute_on_believed: bool = False
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_gpus < 1:
+            raise ConfigurationError(f"n_gpus={self.n_gpus} must be >= 1")
+        if self.measurement_noise < 0:
+            raise ConfigurationError("measurement_noise must be >= 0")
+
+    def build(self, default_seed: int) -> "SimEnvironment":
+        """Assemble the concrete environment (worker-side)."""
+        # Imported lazily: experiments.common itself imports the runner's
+        # executor seam, and module-level cross-imports would cycle.
+        from ..experiments.common import build_environment
+
+        return build_environment(
+            n_gpus=self.n_gpus,
+            profile_cluster=self.profile_cluster,
+            locality=self.locality,
+            use_per_model_locality=self.use_per_model_locality,
+            measurement_noise=self.measurement_noise,
+            seed=self.seed if self.seed is not None else default_seed,
+        )
+
+
+def _canonical(payload: object) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _digest(payload: object) -> str:
+    blob = _canonical(payload).encode("utf-8")
+    return hashlib.blake2b(blob, digest_size=16).hexdigest()
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One hashable cell of a sweep: a single simulation to run."""
+
+    trace: TraceSpec
+    scheduler: str
+    placement: str
+    seed: int
+    env: EnvSpec = field(default_factory=EnvSpec)
+    config: SimulatorConfig | None = None
+
+    def __post_init__(self) -> None:
+        if not self.scheduler:
+            raise ConfigurationError("scheduler name must be non-empty")
+        if not self.placement:
+            raise ConfigurationError("placement name must be non-empty")
+
+    @property
+    def label(self) -> str:
+        return (
+            f"{self.trace.label}/{self.scheduler}/{self.placement}/s{self.seed}"
+        )
+
+    def payload(self) -> dict:
+        """JSON-serializable canonical form (the digest pre-image)."""
+        return {
+            "version": SPEC_VERSION,
+            "trace": asdict(self.trace),
+            "scheduler": self.scheduler.lower(),
+            "placement": self.placement.lower(),
+            "seed": self.seed,
+            "env": asdict(self.env),
+            "config": None if self.config is None else asdict(self.config),
+        }
+
+    def digest(self) -> str:
+        """Stable 32-hex-char content address (see module docstring)."""
+        return _digest(self.payload())
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A full grid: traces x schedulers x placements x seeds."""
+
+    traces: tuple[TraceSpec, ...]
+    schedulers: tuple[str, ...] = ("fifo",)
+    placements: tuple[str, ...] = ("pal",)
+    seeds: tuple[int, ...] = (0,)
+    env: EnvSpec = field(default_factory=EnvSpec)
+    config: SimulatorConfig | None = None
+    name: str = "sweep"
+
+    def __post_init__(self) -> None:
+        for axis, values in (
+            ("traces", self.traces),
+            ("schedulers", self.schedulers),
+            ("placements", self.placements),
+            ("seeds", self.seeds),
+        ):
+            if not values:
+                raise ConfigurationError(f"sweep axis {axis!r} must be non-empty")
+            if len(set(values)) != len(values):
+                raise ConfigurationError(f"sweep axis {axis!r} has duplicates")
+
+    @property
+    def n_cells(self) -> int:
+        return (
+            len(self.traces)
+            * len(self.schedulers)
+            * len(self.placements)
+            * len(self.seeds)
+        )
+
+    def expand(self) -> tuple[RunSpec, ...]:
+        """All cells in deterministic (trace, scheduler, placement, seed)
+        lexicographic grid order — the order results are reported in."""
+        return tuple(
+            RunSpec(
+                trace=t,
+                scheduler=s,
+                placement=p,
+                seed=seed,
+                env=self.env,
+                config=self.config,
+            )
+            for t, s, p, seed in itertools.product(
+                self.traces, self.schedulers, self.placements, self.seeds
+            )
+        )
+
+    def digest(self) -> str:
+        """Content address of the whole grid (cache-directory friendly)."""
+        return _digest(
+            {
+                "version": SPEC_VERSION,
+                "cells": [c.digest() for c in self.expand()],
+            }
+        )

@@ -1,0 +1,87 @@
+"""Sweep orchestration: expand, consult the cache, execute, aggregate.
+
+:func:`run_sweep` is the runner's front door::
+
+    spec = SweepSpec(
+        traces=(TraceSpec("sia", workload=1), TraceSpec("synergy", load=12.0)),
+        schedulers=("fifo", "las"),
+        placements=("tiresias", "pm-first", "pal"),
+        seeds=(0, 1),
+        env=EnvSpec(n_gpus=64),
+    )
+    result = run_sweep(spec, executor="process", cache="~/.cache/pal-repro")
+    print(result.render())
+
+Only cache misses are executed (incremental sweeps); freshly computed
+cells are written back, so a repeated invocation is served from disk.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .aggregate import SweepResult
+from .cache import ResultCache
+from .execute import execute_run_spec
+from .executors import Executor, resolve_executor
+from .spec import RunSpec, SweepSpec
+
+__all__ = ["run_sweep"]
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    executor: Executor | str | None = None,
+    workers: int | None = None,
+    cache: ResultCache | str | Path | None = None,
+    force: bool = False,
+) -> SweepResult:
+    """Execute every cell of ``spec`` and return the aggregate.
+
+    Parameters
+    ----------
+    executor:
+        ``"serial"``, ``"process"``, an :class:`Executor`, or None for
+        the ``REPRO_EXECUTOR`` environment default.
+    workers:
+        Worker-count override when ``executor`` names the process pool.
+    cache:
+        Result cache (instance or directory path). None disables
+        caching; cells then always execute.
+    force:
+        Re-execute every cell even on a cache hit (results are written
+        back, refreshing the cache).
+    """
+    exec_ = resolve_executor(executor, workers)
+    if cache is not None and not isinstance(cache, ResultCache):
+        cache = ResultCache(cache)
+
+    cells = spec.expand()
+    results: dict[RunSpec, object] = {}
+    hits = 0
+    to_run: list[RunSpec] = []
+    for cell in cells:
+        cached = None if (cache is None or force) else cache.get(cell)
+        if cached is not None:
+            results[cell] = cached
+            hits += 1
+        else:
+            to_run.append(cell)
+
+    if to_run:
+        fresh = exec_.map(execute_run_spec, to_run)
+        for cell, res in zip(to_run, fresh):
+            results[cell] = res
+            if cache is not None:
+                cache.put(cell, res)
+
+    return SweepResult(
+        spec=spec,
+        cells=cells,
+        results=tuple(results[c] for c in cells),
+        cache_hits=hits,
+        cache_misses=len(to_run),
+        executor_name=exec_.name,
+        cache_enabled=cache is not None,
+    )

@@ -17,11 +17,34 @@ from .jobs import SimJob
 
 __all__ = [
     "AdmissionPolicy",
+    "AdmissionRejectionWarning",
     "AcceptAll",
     "MaxQueueLength",
     "MaxOutstandingDemand",
     "make_admission",
 ]
+
+
+class AdmissionRejectionWarning(UserWarning):
+    """Structured warning raised by the simulator the first time an
+    admission policy rejects a job.
+
+    A rejection is legal behavior (the job is re-offered in arrival
+    order every subsequent round), but because later arrivals queue
+    behind the rejected job, a persistently rejecting policy stalls the
+    whole arrival stream — surfacing the first occurrence makes that
+    observable instead of silent. The attributes identify the decision.
+    """
+
+    def __init__(self, job_id: int, policy: str, time_s: float, reason: str):
+        self.job_id = job_id
+        self.policy = policy
+        self.time_s = time_s
+        self.reason = reason
+        super().__init__(
+            f"admission policy {policy!r} rejected job {job_id} at t={time_s:.0f}s "
+            f"({reason}); the job stays pending and blocks later arrivals until admitted"
+        )
 
 
 class AdmissionPolicy(ABC):

@@ -7,6 +7,8 @@ simulator emits one :class:`Event` for every job lifecycle transition:
 =========  =====================================================
 type       meaning
 =========  =====================================================
+REJECT     admission control refused the job this round (it stays
+           pending and is re-offered, in arrival order, next round)
 ADMIT      job entered the scheduling queue (arrival + admission)
 START      job received its first GPU allocation
 PREEMPT    a running job lost its guarantee and released its GPUs
@@ -35,6 +37,7 @@ __all__ = ["EventType", "Event", "EventLog"]
 
 
 class EventType(Enum):
+    REJECT = "reject"
     ADMIT = "admit"
     START = "start"
     PREEMPT = "preempt"
@@ -75,7 +78,8 @@ class Event:
 
 #: Which event types may follow each state of a job's lifecycle.
 _LEGAL_AFTER: dict[EventType | None, set[EventType]] = {
-    None: {EventType.ADMIT},
+    None: {EventType.REJECT, EventType.ADMIT},
+    EventType.REJECT: {EventType.REJECT, EventType.ADMIT},
     EventType.ADMIT: {EventType.START},
     EventType.START: {EventType.PREEMPT, EventType.MIGRATE, EventType.FINISH},
     EventType.MIGRATE: {EventType.PREEMPT, EventType.MIGRATE, EventType.FINISH},

@@ -26,6 +26,7 @@ wall-clock time spent inside the placement policy each round (Fig. 18).
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -38,7 +39,7 @@ from ..traces.trace import Trace
 from ..utils.errors import ConfigurationError, SimulationError
 from ..utils.rng import stream
 from ..variability.profiles import VariabilityProfile
-from .admission import AcceptAll, AdmissionPolicy
+from .admission import AcceptAll, AdmissionPolicy, AdmissionRejectionWarning
 from .jobs import JobState, SimJob
 from .events import EventLog, EventType
 from .metrics import JobRecord, SimulationResult
@@ -204,6 +205,8 @@ class ClusterSimulator:
 
         now = 0.0
         epochs_run = 0
+        n_rejections = 0
+        warned_rejects: set[int] = set()
         # Steady-state memoization for deterministic non-sticky policies:
         # if the guaranteed prefix is identical to last round's and nothing
         # released or rearranged GPUs in between, re-placement would
@@ -236,6 +239,33 @@ class ClusterSimulator:
                     outstanding_demand=outstanding,
                     cluster_size=self.topology.n_gpus,
                 ):
+                    # The job stays pending and is re-offered, in arrival
+                    # order, next round — which also stalls every later
+                    # arrival. Surface it: a structured warning on the
+                    # first rejection of each job, a REJECT event per
+                    # occurrence, and a metadata counter.
+                    n_rejections += 1
+                    reason = (
+                        f"{len(active)} queued jobs, outstanding demand "
+                        f"{outstanding}/{self.topology.n_gpus} GPUs"
+                    )
+                    if job.job_id not in warned_rejects:
+                        warned_rejects.add(job.job_id)
+                        warnings.warn(
+                            AdmissionRejectionWarning(
+                                job.job_id, self.admission.name, now, reason
+                            ),
+                            stacklevel=2,
+                        )
+                    if events is not None:
+                        events.append(
+                            now,
+                            EventType.REJECT,
+                            job.job_id,
+                            policy=self.admission.name,
+                            queued_jobs=len(active),
+                            outstanding_demand=outstanding,
+                        )
                     break  # re-offered (in arrival order) next round
                 job.state = JobState.QUEUED
                 active.append(job)
@@ -370,7 +400,11 @@ class ClusterSimulator:
             gpus_in_use=np.asarray(gpus_in_use, dtype=np.int64),
             placement_times_s=np.asarray(placement_times, dtype=np.float64),
             busy_gpu_seconds=busy_gpu_seconds,
-            metadata={"seed": self.seed, "epochs_run": epochs_run},
+            metadata={
+                "seed": self.seed,
+                "epochs_run": epochs_run,
+                "admission_rejections": n_rejections,
+            },
             events=events,
         )
 

@@ -1,0 +1,140 @@
+"""Admission-rejection observability: warnings, REJECT events, and
+re-offer ordering.
+
+Before this fix, a rejecting :class:`AdmissionPolicy` silently stalled
+the arrival loop (the rejected job — and every arrival behind it —
+simply waited). The simulator now surfaces each rejection: an
+:class:`AdmissionRejectionWarning` on a job's first rejection, a REJECT
+event per occurrence (when events are recorded), and an
+``admission_rejections`` counter in the result metadata.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.scheduler.admission import (
+    AdmissionRejectionWarning,
+    MaxOutstandingDemand,
+    MaxQueueLength,
+)
+from repro.scheduler.events import EventType
+from repro.scheduler.placement import make_placement
+from repro.scheduler.policies import make_scheduler
+from repro.scheduler.simulator import ClusterSimulator, SimulatorConfig
+from repro.traces.philly import SiaPhillyConfig, generate_sia_philly_trace
+from repro.utils.rng import stream
+from repro.variability.synthetic import synthesize_profile
+
+
+@pytest.fixture(scope="module")
+def profile64():
+    return synthesize_profile("longhorn", seed=0).sample(
+        64, rng=stream(0, "admission/sample")
+    )
+
+
+def run_sim(profile, admission, n_jobs=12, seed=0):
+    sim = ClusterSimulator(
+        topology=ClusterTopology.from_gpu_count(64),
+        true_profile=profile,
+        scheduler=make_scheduler("fifo"),
+        placement=make_placement("tiresias"),
+        admission=admission,
+        config=SimulatorConfig(record_events=True, validate_invariants=True),
+        seed=seed,
+    )
+    trace = generate_sia_philly_trace(
+        1, config=SiaPhillyConfig(n_jobs=n_jobs), seed=seed
+    )
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        result = sim.run(trace)
+    rejections = [
+        w.message for w in caught if isinstance(w.message, AdmissionRejectionWarning)
+    ]
+    return result, rejections
+
+
+class TestRejectionObservability:
+    def test_accept_all_emits_nothing(self, profile64):
+        from repro.scheduler.admission import AcceptAll
+
+        result, rejections = run_sim(profile64, AcceptAll())
+        assert rejections == []
+        assert result.metadata["admission_rejections"] == 0
+        assert len(result.events.of_type(EventType.REJECT)) == 0
+
+    def test_rejections_are_warned_once_per_job(self, profile64):
+        result, rejections = run_sim(profile64, MaxQueueLength(2))
+        assert result.metadata["admission_rejections"] > 0
+        # One structured warning per rejected job, not per epoch.
+        warned_ids = [w.job_id for w in rejections]
+        assert len(warned_ids) == len(set(warned_ids)) > 0
+        w = rejections[0]
+        assert w.policy == "max-queue-length"
+        assert w.time_s >= 0.0
+        assert "rejected job" in str(w)
+
+    def test_reject_events_recorded_and_legal(self, profile64):
+        result, _ = run_sim(profile64, MaxQueueLength(2))
+        rejects = result.events.of_type(EventType.REJECT)
+        assert len(rejects) == result.metadata["admission_rejections"]
+        detail = rejects[0].detail
+        assert detail["policy"] == "max-queue-length"
+        assert "queued_jobs" in detail and "outstanding_demand" in detail
+        # REJECT is part of the legal lifecycle grammar.
+        result.events.validate()
+
+    def test_reoffer_preserves_arrival_order(self, profile64):
+        """A rejected job is re-offered before any later arrival: ADMIT
+        events appear in arrival (job-id) order despite rejections."""
+        result, _ = run_sim(profile64, MaxQueueLength(2))
+        admit_ids = [e.job_id for e in result.events.of_type(EventType.ADMIT)]
+        assert admit_ids == sorted(admit_ids)
+        assert len(admit_ids) == len(result.records)  # everyone eventually ran
+        # The rejected job's REJECT events all precede its ADMIT.
+        for job_id in {e.job_id for e in result.events.of_type(EventType.REJECT)}:
+            events = result.events.for_job(job_id)
+            admit_index = [e.type for e in events].index(EventType.ADMIT)
+            assert all(e.type is EventType.REJECT for e in events[:admit_index])
+
+    def test_rejection_blocks_later_arrivals(self, profile64):
+        """Arrival-order re-offers mean a later job is never admitted
+        before an earlier rejected one (head-of-line semantics)."""
+        # factor 0.375 caps outstanding demand at 24 GPUs — exactly the
+        # largest job in this trace, so that job only clears admission
+        # once the queue fully drains, rejecting along the way.
+        result, _ = run_sim(profile64, MaxOutstandingDemand(0.375), n_jobs=24)
+        rejects = result.events.of_type(EventType.REJECT)
+        assert rejects, "expected rejections under a 24-GPU demand cap"
+        first_reject = rejects[0]
+        later_admits = [
+            e
+            for e in result.events.of_type(EventType.ADMIT)
+            if e.job_id > first_reject.job_id
+        ]
+        for admit in later_admits:
+            assert admit.time_s >= first_reject.time_s
+
+    def test_results_unchanged_for_accept_all(self, profile64):
+        """The observability hook is free when nothing rejects: metrics
+        match a simulator without events/validation enabled."""
+        from repro.scheduler.admission import AcceptAll
+
+        base = ClusterSimulator(
+            topology=ClusterTopology.from_gpu_count(64),
+            true_profile=profile64,
+            scheduler=make_scheduler("fifo"),
+            placement=make_placement("tiresias"),
+            seed=0,
+        )
+        trace = generate_sia_philly_trace(
+            1, config=SiaPhillyConfig(n_jobs=12), seed=0
+        )
+        plain = base.run(trace)
+        observed, _ = run_sim(profile64, AcceptAll())
+        assert plain.summary() == observed.summary()

@@ -74,3 +74,36 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "avg_jct_h" in out and "PAL" in out
+
+    def test_sweep_small_grid(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        csv_out = tmp_path / "sweep.csv"
+        args = [
+            "sweep",
+            "--traces", "sia:1",
+            "--schedulers", "fifo",
+            "--placements", "tiresias,pal",
+            "--seeds", "0",
+            "--jobs", "12",
+            "--cache-dir", str(cache_dir),
+            "--out", str(csv_out),
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "2 cells" in out and "0 hits / 2 misses" in out
+        assert len(csv_out.read_text().strip().splitlines()) == 3
+        # Second invocation of the same grid is served from the cache.
+        assert main(args) == 0
+        assert "2 hits / 0 misses" in capsys.readouterr().out
+
+    def test_sweep_bad_trace_spec(self):
+        from repro.utils.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["sweep", "--traces", "philly:1"])
+        with pytest.raises(ConfigurationError):
+            main(["sweep", "--traces", "sia:one"])
+        with pytest.raises(ConfigurationError):
+            main(["sweep", "--traces", "synergy:fast"])
+        with pytest.raises(ConfigurationError):
+            main(["sweep", "--traces", "sia:1", "--seeds", "0,x"])

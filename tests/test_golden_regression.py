@@ -1,0 +1,125 @@
+"""Golden regression tests: pinned smoke-scale headline metrics.
+
+The simulator's outputs are fully determined by (trace recipe,
+environment recipe, policy pair, seed). These tests pin the headline
+metrics of a smoke-scale sweep — every placement policy under FIFO, and
+the two paper policies under LAS/SRTF — to values committed in
+``tests/golden/``, so a refactor of the simulator, placement policies,
+trace generators, or variability synthesis cannot silently drift
+results. A *deliberate* behavior change regenerates the goldens::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_regression.py
+
+and the diff of the JSON file becomes part of the review.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.runner import EnvSpec, SweepSpec, TraceSpec, run_sweep
+from repro.scheduler.placement import ALL_POLICY_NAMES
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+GOLDEN_FILE = GOLDEN_DIR / "smoke_metrics.json"
+
+#: Exact-match integer metrics; everything else compares at REL_TOL.
+_COUNT_METRICS = ("migrations", "preemptions")
+REL_TOL = 1e-9
+
+#: The pinned grid: the paper's six policies under FIFO on the Sia
+#: smoke trace, plus PM-First/PAL under the preemptive schedulers
+#: (which exercise preemption/restart accounting).
+SWEEPS = {
+    "sia_w1_fifo": SweepSpec(
+        traces=(TraceSpec("sia", workload=1, n_jobs=48),),
+        schedulers=("fifo",),
+        placements=ALL_POLICY_NAMES,
+        seeds=(0,),
+        env=EnvSpec(n_gpus=64, use_per_model_locality=True),
+        name="golden-sia-fifo",
+    ),
+    "sia_w1_preemptive": SweepSpec(
+        traces=(TraceSpec("sia", workload=1, n_jobs=48),),
+        schedulers=("las", "srtf"),
+        placements=("tiresias", "pm-first", "pal"),
+        seeds=(0,),
+        env=EnvSpec(n_gpus=64, use_per_model_locality=True),
+        name="golden-sia-preemptive",
+    ),
+}
+
+
+def _metrics(result) -> dict[str, float]:
+    return {
+        "avg_jct_s": result.avg_jct_s(),
+        "p99_jct_s": result.p99_jct_s(),
+        "makespan_s": result.makespan_s,
+        "utilization": result.utilization,
+        "goodput_utilization": result.goodput_utilization,
+        "avg_wait_s": float(result.wait_times_s().mean()),
+        "migrations": result.total_migrations,
+        "preemptions": result.total_preemptions,
+    }
+
+
+def _measure(name: str) -> dict[str, dict[str, float]]:
+    sweep = run_sweep(SWEEPS[name])
+    return {cell.label: _metrics(res) for cell, res in zip(sweep.cells, sweep.results)}
+
+
+def _regen_requested() -> bool:
+    return bool(os.environ.get("REPRO_REGEN_GOLDEN"))
+
+
+@pytest.mark.parametrize("name", sorted(SWEEPS))
+def test_golden_metrics(name):
+    measured = _measure(name)
+    if _regen_requested():
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        existing = (
+            json.loads(GOLDEN_FILE.read_text()) if GOLDEN_FILE.is_file() else {}
+        )
+        existing[name] = measured
+        GOLDEN_FILE.write_text(
+            json.dumps(existing, indent=2, sort_keys=True) + "\n"
+        )
+        pytest.skip(f"regenerated golden values for {name}")
+    assert GOLDEN_FILE.is_file(), (
+        "golden file missing; regenerate with REPRO_REGEN_GOLDEN=1"
+    )
+    golden = json.loads(GOLDEN_FILE.read_text())[name]
+    assert sorted(measured) == sorted(golden), "sweep grid changed shape"
+    for cell_label, golden_metrics in golden.items():
+        for metric, expected in golden_metrics.items():
+            got = measured[cell_label][metric]
+            if metric in _COUNT_METRICS:
+                assert got == expected, (
+                    f"{name}/{cell_label}/{metric}: {got} != pinned {expected}"
+                )
+            else:
+                assert got == pytest.approx(expected, rel=REL_TOL), (
+                    f"{name}/{cell_label}/{metric}: {got} drifted from "
+                    f"pinned {expected}"
+                )
+
+
+def test_golden_file_schema():
+    """Every pinned cell carries the full metric set (guards against a
+    partial regeneration committing a truncated file)."""
+    if _regen_requested():
+        pytest.skip("regenerating")
+    golden = json.loads(GOLDEN_FILE.read_text())
+    assert sorted(golden) == sorted(SWEEPS)
+    want = {
+        "avg_jct_s", "p99_jct_s", "makespan_s", "utilization",
+        "goodput_utilization", "avg_wait_s", "migrations", "preemptions",
+    }
+    for sweep_name, cells in golden.items():
+        assert cells, f"{sweep_name} has no cells"
+        for label, metrics in cells.items():
+            assert set(metrics) == want, f"{sweep_name}/{label} incomplete"

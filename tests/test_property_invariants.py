@@ -1,0 +1,187 @@
+"""Property-based hardening of queue marking, cluster state, and the
+simulator's end-to-end invariants.
+
+Three layers, per the runner subsystem's determinism contract:
+
+* algebraic properties of ``mark_queue_at_cluster_size`` beyond the
+  maximality check in test_core_pm_first (suffix independence,
+  monotonicity in cluster size);
+* a model-based test of :class:`ClusterState`: random interleavings of
+  allocate/release with *arbitrary free-GPU subsets* are mirrored in a
+  pure-Python shadow model that must agree with every query, with
+  ``check_invariants`` after each step;
+* randomized end-to-end simulations with
+  ``SimulatorConfig(validate_invariants=True)``: any (workload, seed,
+  scheduler, placement) combination must finish with a consistent
+  cluster, a legal event log, and per-job accounting identities.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.state import ClusterState
+from repro.cluster.topology import ClusterTopology
+from repro.core.pm_first import mark_queue_at_cluster_size
+from repro.scheduler.placement import ALL_POLICY_NAMES, make_placement
+from repro.scheduler.policies import make_scheduler
+from repro.scheduler.simulator import ClusterSimulator, SimulatorConfig
+from repro.traces.philly import SiaPhillyConfig, generate_sia_philly_trace
+from repro.utils.rng import stream
+from repro.variability.synthetic import synthesize_profile
+
+
+class TestMarkQueueProperties:
+    @given(
+        demands=st.lists(st.integers(min_value=1, max_value=16), max_size=25),
+        suffix=st.lists(st.integers(min_value=1, max_value=16), max_size=10),
+        cluster=st.integers(min_value=16, max_value=96),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_suffix_independence(self, demands, suffix, cluster):
+        """Jobs past the mark never influence it: the marking is a pure
+        function of the guaranteed prefix."""
+        n = mark_queue_at_cluster_size(demands, cluster)
+        if n == len(demands):
+            return  # everything fits; appending can only extend
+        # The prefix alone reproduces the mark, and anything appended
+        # after the first overflowing job is irrelevant.
+        assert mark_queue_at_cluster_size(demands[:n], cluster) == n
+        extended = demands[: n + 1] + suffix
+        assert mark_queue_at_cluster_size(extended, cluster) == n
+
+    @given(
+        demands=st.lists(st.integers(min_value=1, max_value=16), max_size=25),
+        cluster=st.integers(min_value=16, max_value=96),
+        growth=st.integers(min_value=0, max_value=64),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_cluster_size(self, demands, cluster, growth):
+        """A bigger cluster never guarantees fewer jobs."""
+        n_small = mark_queue_at_cluster_size(demands, cluster)
+        n_big = mark_queue_at_cluster_size(demands, cluster + growth)
+        assert n_big >= n_small
+
+    @given(
+        demands=st.lists(st.integers(min_value=1, max_value=8), max_size=25),
+        cluster=st.integers(min_value=8, max_value=64),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_guaranteed_prefix_always_placeable(self, demands, cluster):
+        """The marked prefix fits simultaneously — a placement policy can
+        always honor the guarantee."""
+        n = mark_queue_at_cluster_size(demands, cluster)
+        assert sum(demands[:n]) <= cluster
+
+
+class TestClusterStateModelBased:
+    @given(data=st.data(), n_ops=st.integers(min_value=1, max_value=40))
+    @settings(max_examples=40, deadline=None)
+    def test_random_schedule_agrees_with_model(self, data, n_ops):
+        topo = ClusterTopology.from_gpu_count(16)
+        state = ClusterState(topo)
+        model: dict[int, tuple[int, ...]] = {}
+        next_job = 0
+        for _ in range(n_ops):
+            can_alloc = state.n_free > 0
+            do_alloc = can_alloc and (
+                not model or data.draw(st.booleans(), label="op:allocate?")
+            )
+            if do_alloc:
+                free = state.free_gpu_ids().tolist()
+                demand = data.draw(
+                    st.integers(min_value=1, max_value=len(free)), label="demand"
+                )
+                picked = data.draw(
+                    st.lists(
+                        st.sampled_from(free),
+                        min_size=demand,
+                        max_size=demand,
+                        unique=True,
+                    ),
+                    label="gpus",
+                )
+                state.allocate(next_job, np.array(picked))
+                model[next_job] = tuple(sorted(picked))
+                next_job += 1
+            elif model:
+                victim = data.draw(
+                    st.sampled_from(sorted(model)), label="release"
+                )
+                freed = state.release(victim)
+                assert tuple(freed.tolist()) == model.pop(victim)
+            state.check_invariants()
+            # Every query agrees with the shadow model.
+            assert state.n_busy == sum(len(g) for g in model.values())
+            owner_by_gpu = {g: j for j, gpus in model.items() for g in gpus}
+            for gpu in range(topo.n_gpus):
+                assert state.owner_of(gpu) == owner_by_gpu.get(gpu)
+            for job, gpus in model.items():
+                alloc = state.allocation_of(job)
+                assert alloc is not None and tuple(alloc.tolist()) == gpus
+            per_node = state.free_count_per_node()
+            for node in range(topo.n_nodes):
+                node_gpus = set(topo.gpus_of_node(node).tolist())
+                expect = len(node_gpus - set(owner_by_gpu))
+                assert per_node[node] == expect
+        # Drain: releasing everything restores a pristine cluster.
+        for job in sorted(model):
+            state.release(job)
+        state.check_invariants()
+        assert state.n_free == topo.n_gpus
+
+
+@lru_cache(maxsize=1)
+def _profile64():
+    return synthesize_profile("longhorn", seed=0).sample(
+        64, rng=stream(0, "prop/sample")
+    )
+
+
+class TestSimulatorInvariantsUnderRandomSchedules:
+    @given(
+        workload=st.integers(min_value=1, max_value=12),
+        seed=st.integers(min_value=0, max_value=2**16),
+        scheduler=st.sampled_from(("fifo", "las", "srtf")),
+        placement=st.sampled_from(ALL_POLICY_NAMES),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_random_runs_stay_consistent(self, workload, seed, scheduler, placement):
+        profile = _profile64()
+        trace = generate_sia_philly_trace(
+            workload, config=SiaPhillyConfig(n_jobs=10), seed=seed
+        )
+        sim = ClusterSimulator(
+            topology=ClusterTopology.from_gpu_count(64),
+            true_profile=profile,
+            scheduler=make_scheduler(scheduler),
+            placement=make_placement(placement),
+            config=SimulatorConfig(validate_invariants=True, record_events=True),
+            seed=seed,
+        )
+        res = sim.run(trace)
+
+        # Per-job accounting identities.
+        assert len(res.records) == len(trace)
+        for rec in res.records:
+            assert rec.arrival_s <= rec.first_start_s <= rec.finish_s
+            assert rec.executed_s > 0
+            assert rec.wait_s >= -1e-6
+            if placement in ("tiresias", "random-sticky"):
+                assert rec.n_migrations == 0  # sticky jobs never migrate
+            if scheduler == "fifo":
+                assert rec.n_preemptions == 0
+
+        # Cluster-level accounting.
+        assert 0.0 < res.utilization <= 1.0 + 1e-9
+        executed_gpu_s = sum(r.executed_s * r.demand for r in res.records)
+        assert res.busy_gpu_seconds == pytest.approx(executed_gpu_s)
+
+        # The event stream must describe a legal lifecycle per job.
+        assert res.events is not None
+        res.events.validate()

@@ -1,0 +1,371 @@
+"""Tests for the parallel sweep-runner subsystem (repro.runner)."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.runner import (
+    EnvSpec,
+    ProcessExecutor,
+    ResultCache,
+    RunSpec,
+    SerialExecutor,
+    SweepSpec,
+    TraceSpec,
+    execute_run_spec,
+    make_executor,
+    resolve_executor,
+    run_sweep,
+)
+from repro.scheduler.simulator import SimulatorConfig
+from repro.utils.errors import ConfigurationError
+
+# Small but non-trivial: 48-GPU demands exist in the Sia generator, so
+# the environment must stay at 64 GPUs; 12 jobs keeps each cell fast.
+SMOKE_ENV = EnvSpec(n_gpus=64)
+SMOKE_TRACE = TraceSpec("sia", workload=1, n_jobs=12)
+
+
+def smoke_spec(**overrides) -> SweepSpec:
+    kwargs = dict(
+        traces=(SMOKE_TRACE,),
+        schedulers=("fifo",),
+        placements=("tiresias", "pal"),
+        seeds=(0,),
+        env=SMOKE_ENV,
+        name="smoke",
+    )
+    kwargs.update(overrides)
+    return SweepSpec(**kwargs)
+
+
+def summaries(result) -> list[str]:
+    """Canonical byte-level representation of every cell's summary."""
+    return [json.dumps(r.summary(), sort_keys=True) for r in result.results]
+
+
+class TestSpecs:
+    def test_trace_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            TraceSpec("unknown")
+        with pytest.raises(ConfigurationError):
+            TraceSpec("sia", workload=0)
+        with pytest.raises(ConfigurationError):
+            TraceSpec("synergy", load=0.0)
+        with pytest.raises(ConfigurationError):
+            TraceSpec("sia", n_jobs=0)
+
+    def test_trace_spec_build(self):
+        trace = TraceSpec("sia", workload=2, n_jobs=8).build(0)
+        assert len(trace) == 8
+        trace = TraceSpec("synergy", load=12.0, n_jobs=6).build(0)
+        assert len(trace) == 6
+
+    def test_trace_seed_pinning(self):
+        pinned = TraceSpec("sia", workload=1, n_jobs=8, seed=5)
+        assert pinned.build(0).to_csv() == pinned.build(99).to_csv()
+        floating = TraceSpec("sia", workload=1, n_jobs=8)
+        assert floating.build(0).to_csv() != floating.build(99).to_csv()
+
+    def test_env_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            EnvSpec(n_gpus=0)
+        with pytest.raises(ConfigurationError):
+            EnvSpec(measurement_noise=-0.1)
+
+    def test_run_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            RunSpec(trace=SMOKE_TRACE, scheduler="", placement="pal", seed=0)
+        with pytest.raises(ConfigurationError):
+            RunSpec(trace=SMOKE_TRACE, scheduler="fifo", placement="", seed=0)
+
+    def test_sweep_axes_validated(self):
+        with pytest.raises(ConfigurationError):
+            smoke_spec(placements=())
+        with pytest.raises(ConfigurationError):
+            smoke_spec(placements=("pal", "pal"))
+        with pytest.raises(ConfigurationError):
+            smoke_spec(seeds=(0, 0))
+
+
+class TestGridExpansion:
+    def test_cell_count_and_order(self):
+        spec = SweepSpec(
+            traces=(TraceSpec("sia", workload=1), TraceSpec("synergy", load=8.0)),
+            schedulers=("fifo", "las"),
+            placements=("tiresias", "pm-first", "pal"),
+            seeds=(0, 1),
+            env=SMOKE_ENV,
+        )
+        cells = spec.expand()
+        assert len(cells) == spec.n_cells == 2 * 2 * 3 * 2
+        # Grid order: trace-major, seed-minor.
+        assert cells[0].trace.label == "sia:1" and cells[0].seed == 0
+        assert cells[1].seed == 1
+        assert cells[1].placement == "tiresias"
+        assert cells[-1].trace.label == "synergy:8"
+        assert cells[-1].placement == "pal" and cells[-1].seed == 1
+        # Deterministic re-expansion.
+        assert cells == spec.expand()
+
+    def test_cells_hashable_and_unique(self):
+        spec = SweepSpec(
+            traces=(TraceSpec("sia", workload=1), TraceSpec("sia", workload=2)),
+            schedulers=("fifo",),
+            placements=("tiresias", "pal"),
+            seeds=(0, 1),
+            env=SMOKE_ENV,
+        )
+        cells = spec.expand()
+        assert len(set(cells)) == len(cells)
+        assert len({c.digest() for c in cells}) == len(cells)
+
+    def test_digest_sensitivity(self):
+        base = RunSpec(
+            trace=SMOKE_TRACE, scheduler="fifo", placement="pal", seed=0,
+            env=SMOKE_ENV,
+        )
+        variants = [
+            RunSpec(trace=SMOKE_TRACE, scheduler="las", placement="pal",
+                    seed=0, env=SMOKE_ENV),
+            RunSpec(trace=SMOKE_TRACE, scheduler="fifo", placement="pm-first",
+                    seed=0, env=SMOKE_ENV),
+            RunSpec(trace=SMOKE_TRACE, scheduler="fifo", placement="pal",
+                    seed=1, env=SMOKE_ENV),
+            RunSpec(trace=SMOKE_TRACE, scheduler="fifo", placement="pal",
+                    seed=0, env=EnvSpec(n_gpus=128)),
+            RunSpec(trace=SMOKE_TRACE, scheduler="fifo", placement="pal",
+                    seed=0, env=SMOKE_ENV,
+                    config=SimulatorConfig(epoch_s=600.0)),
+        ]
+        digests = {base.digest(), *(v.digest() for v in variants)}
+        assert len(digests) == len(variants) + 1
+
+    def test_digest_case_insensitive_names(self):
+        a = RunSpec(trace=SMOKE_TRACE, scheduler="FIFO", placement="PAL",
+                    seed=0, env=SMOKE_ENV)
+        b = RunSpec(trace=SMOKE_TRACE, scheduler="fifo", placement="pal",
+                    seed=0, env=SMOKE_ENV)
+        assert a.digest() == b.digest()
+
+    def test_digest_stable_across_process_restarts(self):
+        """The digest is a content address: it must not depend on any
+        per-process state (hash randomization, import order, ...)."""
+        spec = RunSpec(
+            trace=TraceSpec("synergy", load=12.0, n_jobs=40),
+            scheduler="las",
+            placement="pm-first",
+            seed=3,
+            env=EnvSpec(n_gpus=64, use_per_model_locality=True),
+            config=SimulatorConfig(migration_overhead_s=30.0),
+        )
+        code = (
+            "from repro.runner import RunSpec, TraceSpec, EnvSpec\n"
+            "from repro.scheduler.simulator import SimulatorConfig\n"
+            "spec = RunSpec(trace=TraceSpec('synergy', load=12.0, n_jobs=40),"
+            " scheduler='las', placement='pm-first', seed=3,"
+            " env=EnvSpec(n_gpus=64, use_per_model_locality=True),"
+            " config=SimulatorConfig(migration_overhead_s=30.0))\n"
+            "print(spec.digest())\n"
+        )
+        src = Path(__file__).resolve().parent.parent / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = f"{src}{os.pathsep}" + env.get("PYTHONPATH", "")
+        env["PYTHONHASHSEED"] = "random"
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        assert out.stdout.strip() == spec.digest()
+
+    def test_sweep_digest_covers_all_cells(self):
+        a = smoke_spec()
+        b = smoke_spec(seeds=(1,))
+        assert a.digest() != b.digest()
+        assert a.digest() == smoke_spec().digest()
+
+
+class TestExecutors:
+    def test_make_executor(self):
+        assert isinstance(make_executor("serial"), SerialExecutor)
+        assert isinstance(make_executor("process"), ProcessExecutor)
+        with pytest.raises(ConfigurationError):
+            make_executor("threads")
+        with pytest.raises(ConfigurationError):
+            ProcessExecutor(max_workers=0)
+
+    def test_resolve_executor(self, monkeypatch):
+        assert resolve_executor("serial").name == "serial"
+        exec_ = SerialExecutor()
+        assert resolve_executor(exec_) is exec_
+        monkeypatch.setenv("REPRO_EXECUTOR", "process")
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        resolved = resolve_executor(None)
+        assert isinstance(resolved, ProcessExecutor)
+        assert resolved.max_workers == 2
+
+    def test_resolve_executor_workers_override(self, monkeypatch):
+        # Explicit workers beats the environment default...
+        monkeypatch.setenv("REPRO_EXECUTOR", "process")
+        monkeypatch.setenv("REPRO_WORKERS", "8")
+        assert resolve_executor(None, workers=3).max_workers == 3
+        assert resolve_executor("process", workers=3).max_workers == 3
+        # ...and is rejected (not silently dropped) with an instance.
+        with pytest.raises(ConfigurationError):
+            resolve_executor(ProcessExecutor(max_workers=2), workers=3)
+
+    def test_chunk_plan(self):
+        ex = ProcessExecutor(max_workers=4)
+        workers, chunk = ex._plan(32)
+        assert workers == 4 and chunk == 2
+        # Never more workers than cells.
+        workers, _ = ex._plan(2)
+        assert workers == 2
+        # Explicit chunk size wins.
+        assert ProcessExecutor(max_workers=4, chunk_size=5)._plan(32)[1] == 5
+
+    def test_process_map_preserves_order(self):
+        ex = ProcessExecutor(max_workers=2, chunk_size=1)
+        assert ex.map(abs, [-3, 1, -2, 0]) == [3, 1, 2, 0]
+
+
+class TestSweepExecution:
+    @pytest.fixture(scope="class")
+    def serial_result(self):
+        return run_sweep(smoke_spec(), executor="serial")
+
+    def test_serial_process_summaries_identical(self, serial_result):
+        """The acceptance property: the process executor is a pure
+        speedup — summaries are byte-identical to the serial run."""
+        process = run_sweep(smoke_spec(), executor="process", workers=2)
+        assert summaries(process) == summaries(serial_result)
+        assert process.executor_name == "process"
+
+    def test_results_in_grid_order(self, serial_result):
+        assert [c.placement for c in serial_result.cells] == ["tiresias", "pal"]
+        assert [r.placement_name for r in serial_result.results] == [
+            "Tiresias",
+            "PAL",
+        ]
+
+    def test_execute_run_spec_records_digest(self):
+        cell = smoke_spec().expand()[0]
+        res = execute_run_spec(cell)
+        assert res.metadata["run_digest"] == cell.digest()
+
+    def test_select_and_get(self, serial_result):
+        assert len(serial_result.select(trace="sia:1")) == 2
+        res = serial_result.get(placement="pal")
+        assert res.placement_name == "PAL"
+        assert serial_result.get(placement="Tiresias").placement_name == "Tiresias"
+        with pytest.raises(ConfigurationError):
+            serial_result.get(scheduler="fifo")  # matches 2 cells
+
+    def test_render_and_csv(self, serial_result, tmp_path):
+        text = serial_result.render()
+        assert "2 cells" in text and "Tiresias" in text
+        assert "cache: disabled" in text  # no cache was configured
+        per_cell = serial_result.render(per_cell=True)
+        assert "seed" in per_cell.splitlines()[1]
+        out = tmp_path / "sweep.csv"
+        serial_result.to_comparison_csv(out)
+        lines = out.read_text().strip().splitlines()
+        assert len(lines) == 1 + len(serial_result)
+        assert lines[1].startswith("sia:1/fifo/tiresias/s0,")
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        first = run_sweep(smoke_spec(), cache=cache)
+        assert (first.cache_hits, first.cache_misses) == (0, 2)
+        second = run_sweep(smoke_spec(), cache=cache)
+        assert (second.cache_hits, second.cache_misses) == (2, 0)
+        assert summaries(second) == summaries(first)
+        assert cache.stats.hits == 2 and cache.stats.puts == 2
+        assert len(cache) == 2
+
+    def test_incremental_extension(self, tmp_path):
+        """Growing the grid only runs the new cells."""
+        cache = ResultCache(tmp_path / "cache")
+        run_sweep(smoke_spec(), cache=cache)
+        grown = run_sweep(
+            smoke_spec(placements=("tiresias", "pal", "pm-first")), cache=cache
+        )
+        assert (grown.cache_hits, grown.cache_misses) == (2, 1)
+
+    def test_force_reruns(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_sweep(smoke_spec(), cache=cache)
+        forced = run_sweep(smoke_spec(), cache=cache, force=True)
+        assert (forced.cache_hits, forced.cache_misses) == (0, 2)
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [
+            b"not a pickle",  # raises UnpicklingError
+            b"garbage\n",  # 'g' mimics the GET opcode -> ValueError
+            b"",  # truncated -> EOFError
+        ],
+    )
+    def test_corrupt_entry_is_a_miss(self, tmp_path, garbage):
+        cache = ResultCache(tmp_path / "cache")
+        spec = smoke_spec().expand()[0]
+        result = execute_run_spec(spec)
+        path = cache.put(spec, result)
+        path.write_bytes(garbage)
+        assert cache.get(spec) is None
+        assert not path.exists()  # corrupt entry dropped
+
+    def test_sidecar_json(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = smoke_spec().expand()[0]
+        path = cache.put(spec, execute_run_spec(spec))
+        sidecar = json.loads(path.with_suffix(".json").read_text())
+        assert sidecar["digest"] == spec.digest()
+        assert sidecar["spec"]["placement"] == "tiresias"
+        assert "avg_jct_h" in sidecar["summary"]
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_sweep(smoke_spec(), cache=cache)
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+
+class TestPolicyMatrixSeam:
+    """run_policy_matrix (every experiment's grid) through the runner."""
+
+    def test_executor_equivalence(self, profile64, table64):
+        from repro.cluster.topology import ClusterTopology, LocalityModel
+        from repro.experiments.common import SimEnvironment, run_policy_matrix
+        from repro.traces.philly import SiaPhillyConfig, generate_sia_philly_trace
+
+        env = SimEnvironment(
+            topology=ClusterTopology.from_gpu_count(64),
+            true_profile=profile64,
+            pm_table=table64,
+            locality=LocalityModel(across_node=1.7),
+            believed_profile=profile64,
+        )
+        trace = generate_sia_philly_trace(
+            1, config=SiaPhillyConfig(n_jobs=12), seed=0
+        )
+        serial = run_policy_matrix(
+            [trace], ("tiresias", "pal"), "fifo", env, seed=0, executor="serial"
+        )
+        process = run_policy_matrix(
+            [trace], ("tiresias", "pal"), "fifo", env, seed=0,
+            executor=ProcessExecutor(max_workers=2),
+        )
+        assert serial.keys() == process.keys()
+        for key in serial:
+            assert json.dumps(serial[key].summary(), sort_keys=True) == json.dumps(
+                process[key].summary(), sort_keys=True
+            )

@@ -319,7 +319,7 @@ class TestValidation:
 
 class TestAdmissionIntegration:
     def test_bounded_queue_delays_admission(self):
-        from repro.scheduler.admission import MaxQueueLength
+        from repro.scheduler.admission import AdmissionRejectionWarning, MaxQueueLength
 
         topo = ClusterTopology.from_gpu_count(4)
         jobs = [job(i, demand=4, iters=100, t_iter=1.0) for i in range(3)]
@@ -331,8 +331,11 @@ class TestAdmissionIntegration:
             admission=MaxQueueLength(1),
             config=SimulatorConfig(validate_invariants=True),
         )
-        res = sim.run(Trace("t", tuple(jobs)))
+        # Rejections are surfaced as structured warnings (one per job).
+        with pytest.warns(AdmissionRejectionWarning):
+            res = sim.run(Trace("t", tuple(jobs)))
         # All jobs still complete; admission only delays entry.
         assert all(r.finish_s > 0 for r in res.records)
         starts = [r.first_start_s for r in res.records]
         assert starts == sorted(starts)
+        assert res.metadata["admission_rejections"] > 0
