@@ -22,6 +22,12 @@ Commands
         pal-repro sweep --traces sia:1,synergy:12 --schedulers fifo,las \\
             --placements tiresias,pm-first,pal --seeds 0,1 \\
             --executor process --cache-dir ~/.cache/pal-repro
+``cache-gc``
+    Prune a sweep result cache to a size and/or age budget (LRU
+    eviction; reads refresh recency)::
+
+        pal-repro cache-gc --cache-dir ~/.cache/pal-repro \\
+            --max-bytes 500000000 --max-age-days 30
 """
 
 from __future__ import annotations
@@ -124,6 +130,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--per-cell", action="store_true", help="print one row per cell (no seed averaging)"
     )
     p_sweep.add_argument("--out", type=Path, default=None, help="write comparison CSV here")
+
+    p_gc = sub.add_parser("cache-gc", help="prune a sweep result cache")
+    p_gc.add_argument("--cache-dir", type=Path, required=True, help="cache root to prune")
+    p_gc.add_argument(
+        "--max-bytes", type=int, default=None,
+        help="evict least-recently-used entries until the cache fits",
+    )
+    p_gc.add_argument(
+        "--max-age-days", type=float, default=None,
+        help="drop entries not used for this many days",
+    )
+    p_gc.add_argument(
+        "--clear", action="store_true", help="delete every entry instead of pruning"
+    )
     return parser
 
 
@@ -255,6 +275,33 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache_gc(args: argparse.Namespace) -> int:
+    from .runner import ResultCache
+
+    if not args.cache_dir.is_dir():
+        raise ConfigurationError(f"cache directory {args.cache_dir} does not exist")
+    cache = ResultCache(args.cache_dir)
+    if args.clear:
+        print(f"cache-gc: cleared {cache.clear()} entries")
+        return 0
+    if args.max_bytes is None and args.max_age_days is None:
+        raise ConfigurationError(
+            "cache-gc needs --max-bytes, --max-age-days, or --clear"
+        )
+    if args.max_bytes is not None and args.max_bytes < 0:
+        raise ConfigurationError(f"--max-bytes {args.max_bytes} must be >= 0")
+    if args.max_age_days is not None and args.max_age_days < 0:
+        raise ConfigurationError(
+            f"--max-age-days {args.max_age_days} must be >= 0"
+        )
+    stats = cache.gc(
+        max_bytes=args.max_bytes,
+        max_age_s=None if args.max_age_days is None else args.max_age_days * 86400.0,
+    )
+    print(stats.render())
+    return 0
+
+
 _COMMANDS = {
     "experiment": _cmd_experiment,
     "list": _cmd_list,
@@ -262,6 +309,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "simulate": _cmd_simulate,
     "sweep": _cmd_sweep,
+    "cache-gc": _cmd_cache_gc,
 }
 
 

@@ -2,7 +2,9 @@
 
 Tracks which GPUs are free and which job holds which GPUs, with strict
 invariant checking: a GPU is held by at most one job, allocations are
-released exactly once, and every query is O(n_gpus) NumPy work at worst.
+released exactly once, and every query is O(n_gpus) NumPy work at worst
+(the free/busy counters are maintained incrementally and are O(1) — the
+simulator reads them every round).
 This is the "Cluster State Monitor" box of Blox's architecture (paper
 Fig. 1) that every placement policy reads and writes.
 """
@@ -27,6 +29,10 @@ class ClusterState:
         self._free = np.ones(topology.n_gpus, dtype=bool)
         self._owner = np.full(topology.n_gpus, -1, dtype=np.int64)
         self._allocations: dict[int, np.ndarray] = {}
+        # Maintained incrementally by allocate/release: n_free/n_busy are
+        # queried every scheduling round (utilization recording), so they
+        # must not re-reduce the boolean mask each time.
+        self._n_free = topology.n_gpus
 
     # ------------------------------------------------------------------
     # Queries
@@ -37,7 +43,7 @@ class ClusterState:
 
     @property
     def n_free(self) -> int:
-        return int(self._free.sum())
+        return self._n_free
 
     @property
     def n_busy(self) -> int:
@@ -99,6 +105,7 @@ class ClusterState:
         self._free[ids] = False
         self._owner[ids] = job_id
         self._allocations[job_id] = ids
+        self._n_free -= ids.size
 
     def release(self, job_id: int) -> np.ndarray:
         """Release all GPUs held by ``job_id``; returns the freed ids."""
@@ -107,6 +114,7 @@ class ClusterState:
             raise AllocationError(f"job {job_id} holds no allocation")
         self._free[alloc] = True
         self._owner[alloc] = -1
+        self._n_free += alloc.size
         return alloc
 
     def release_all(self) -> None:
@@ -114,6 +122,7 @@ class ClusterState:
         self._free[:] = True
         self._owner[:] = -1
         self._allocations.clear()
+        self._n_free = self.n_gpus
 
     # ------------------------------------------------------------------
     # Invariants
@@ -123,6 +132,11 @@ class ClusterState:
 
         Cheap enough to call after every scheduling round in tests.
         """
+        if self._n_free != int(self._free.sum()):
+            raise AllocationError(
+                f"free counter {self._n_free} disagrees with mask "
+                f"({int(self._free.sum())} free GPUs)"
+            )
         owned = np.flatnonzero(self._owner >= 0)
         if np.any(self._free[owned]):
             raise AllocationError("GPU marked both free and owned")

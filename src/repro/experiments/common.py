@@ -18,10 +18,17 @@ Every figure/table module builds on three pieces defined here:
   experiment parallelizes across processes by setting
   ``REPRO_EXECUTOR=process`` (or passing ``executor=``) with bit-
   identical results to the serial path.
+* :func:`run_matrix_sweep` — the declarative sibling: experiments whose
+  environment is expressible as an :class:`~repro.runner.spec.EnvSpec`
+  (no error injections / profile overrides) hand :class:`TraceSpec`
+  grids plus a seed axis to :func:`repro.runner.run_sweep`, gaining the
+  on-disk result cache (``REPRO_CACHE_DIR``) and cheap multi-seed
+  averaging on top of the executor seam.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
@@ -29,8 +36,11 @@ import numpy as np
 
 from ..cluster.topology import ClusterTopology, LocalityModel
 from ..core.pm_score import PMScoreTable
+from ..runner.cache import ResultCache
 from ..runner.execute import SimCell, execute_sim_cell
 from ..runner.executors import Executor, resolve_executor
+from ..runner.spec import EnvSpec, SweepSpec, TraceSpec
+from ..runner.sweep import run_sweep
 from ..scheduler.metrics import SimulationResult
 from ..scheduler.simulator import SimulatorConfig
 from ..traces.trace import Trace
@@ -49,6 +59,10 @@ __all__ = [
     "build_environment",
     "per_model_locality",
     "run_policy_matrix",
+    "run_matrix_sweep",
+    "keyed_results",
+    "cells_by_label",
+    "seeds_note",
     "ExperimentResult",
 ]
 
@@ -251,6 +265,75 @@ def run_policy_matrix(
     for cell, res in zip(cells, outcomes):
         results[(cell.trace.name, res.placement_name)] = res
     return results
+
+
+def run_matrix_sweep(
+    trace_specs: Sequence[TraceSpec],
+    policy_names: Sequence[str],
+    scheduler_name: str,
+    env_spec: EnvSpec,
+    *,
+    seeds: Sequence[int] = (0,),
+    config: SimulatorConfig | None = None,
+    executor: Executor | str | None = None,
+    cache: ResultCache | str | None = None,
+    name: str = "experiment",
+):
+    """Run a declaratively-specified experiment grid through the runner.
+
+    The :func:`run_policy_matrix` sibling for experiments whose cells
+    need no imperative overrides: the whole (trace x policy x seed) grid
+    becomes one :class:`SweepSpec`, so it inherits the runner's process
+    executor (``REPRO_EXECUTOR``), content-digest result cache
+    (``cache=`` or the ``REPRO_CACHE_DIR`` environment variable — a
+    repeated experiment only simulates new cells), and seed-averaged
+    aggregation.  Returns the :class:`~repro.runner.aggregate.SweepResult`;
+    use :func:`keyed_results` for the ``(trace, policy)``-keyed view the
+    figure modules consume.
+    """
+    spec = SweepSpec(
+        traces=tuple(trace_specs),
+        schedulers=(scheduler_name,),
+        placements=tuple(policy_names),
+        seeds=tuple(seeds),
+        env=env_spec,
+        config=config,
+        name=name,
+    )
+    if cache is None:
+        cache = os.environ.get("REPRO_CACHE_DIR") or None
+    return run_sweep(spec, executor=executor, cache=cache)
+
+
+def keyed_results(
+    sweep, seed: int
+) -> dict[tuple[str, str], SimulationResult]:
+    """One seed's cells of a :func:`run_matrix_sweep` result, keyed by
+    ``(trace name, placement display name)`` — the shape every figure
+    module and downstream aggregation consumes."""
+    out: dict[tuple[str, str], SimulationResult] = {}
+    for cell, res in zip(sweep.cells, sweep.results):
+        if cell.seed == seed:
+            out[(res.trace_name, res.placement_name)] = res
+    return out
+
+
+def cells_by_label(
+    sweep,
+) -> dict[tuple[str, str, int], SimulationResult]:
+    """All cells keyed by ``(trace label, placement display name, seed)``
+    — the lookup the figure modules' per-seed averaging iterates over."""
+    return {
+        (cell.trace.label, res.placement_name, cell.seed): res
+        for cell, res in zip(sweep.cells, sweep.results)
+    }
+
+
+def seeds_note(seed_axis: Sequence[int]) -> list[str]:
+    """The table footnote for a multi-seed run (empty for one seed)."""
+    if len(seed_axis) > 1:
+        return [f"metrics averaged over seeds {tuple(seed_axis)}"]
+    return []
 
 
 @dataclass

@@ -6,16 +6,29 @@ Longhorn variability profiles and per-model locality penalties
 (Secs. IV-B1, IV-C, IV-D), and reports per-workload normalized average
 JCT plus the geomean row. The raw results are attached for downstream
 experiments (Fig. 12 reuses them, the headline aggregates them).
+
+The grid is declarative, so it routes through :func:`run_matrix_sweep`
+— i.e. the parallel sweep runner — and thereby inherits the process
+executor, the on-disk result cache (``REPRO_CACHE_DIR``), and a cheap
+``seeds=`` axis: pass several seeds and the table reports seed-averaged
+normalized JCTs.
 """
 
 from __future__ import annotations
 
 from functools import lru_cache
 
+from ..runner.spec import EnvSpec, TraceSpec
 from ..scheduler.placement import ALL_POLICY_NAMES
-from ..traces.philly import SiaPhillyConfig, generate_sia_philly_trace
 from ..utils.stats import geomean
-from .common import ExperimentResult, build_environment, get_scale, run_policy_matrix
+from .common import (
+    ExperimentResult,
+    cells_by_label,
+    get_scale,
+    keyed_results,
+    run_matrix_sweep,
+    seeds_note,
+)
 
 __all__ = ["run", "POLICY_LABELS"]
 
@@ -31,33 +44,46 @@ POLICY_LABELS: tuple[str, ...] = (
 
 
 @lru_cache(maxsize=4)
-def run(scale: str = "ci", seed: int = 0) -> ExperimentResult:
+def run(
+    scale: str = "ci", seed: int = 0, seeds: tuple[int, ...] | None = None
+) -> ExperimentResult:
     """Run (or return the cached) Fig. 11 policy matrix.
 
     Cached because Fig. 12 and the headline experiment aggregate the same
     simulation results; callers must treat the returned object as
-    immutable.
+    immutable.  ``seeds`` (a tuple, hashable for the cache) widens the
+    grid to a seed sweep whose ratios are averaged per workload; the
+    attached ``data["results"]`` stays the first seed's runs for
+    downstream single-seed consumers.
     """
     sc = get_scale(scale)
-    env = build_environment(
-        n_gpus=64,
-        profile_cluster="longhorn",
-        use_per_model_locality=True,
-        seed=seed,
+    seed_axis = (seed,) if seeds is None else tuple(seeds)
+    env_spec = EnvSpec(
+        n_gpus=64, profile_cluster="longhorn", use_per_model_locality=True
     )
-    cfg = SiaPhillyConfig(n_jobs=sc.sia_n_jobs)
-    traces = [
-        generate_sia_philly_trace(w, config=cfg, seed=seed) for w in sc.sia_workloads
+    trace_specs = [
+        TraceSpec("sia", workload=w, n_jobs=sc.sia_n_jobs) for w in sc.sia_workloads
     ]
-    results = run_policy_matrix(traces, ALL_POLICY_NAMES, "fifo", env, seed=seed)
+    sweep = run_matrix_sweep(
+        trace_specs,
+        ALL_POLICY_NAMES,
+        "fifo",
+        env_spec,
+        seeds=seed_axis,
+        name="fig11",
+    )
+    by_cell = cells_by_label(sweep)
 
     rows: list[list[object]] = []
     norm_by_policy: dict[str, list[float]] = {p: [] for p in POLICY_LABELS}
-    for w, trace in zip(sc.sia_workloads, traces):
-        base = results[(trace.name, "Tiresias")].avg_jct_s()
+    for w, tspec in zip(sc.sia_workloads, trace_specs):
         row: list[object] = [w]
         for label in POLICY_LABELS:
-            ratio = results[(trace.name, label)].avg_jct_s() / base
+            ratios = []
+            for s in seed_axis:
+                base = by_cell[(tspec.label, "Tiresias", s)].avg_jct_s()
+                ratios.append(by_cell[(tspec.label, label, s)].avg_jct_s() / base)
+            ratio = sum(ratios) / len(ratios)
             norm_by_policy[label].append(ratio)
             row.append(ratio)
         rows.append(row)
@@ -66,13 +92,17 @@ def run(scale: str = "ci", seed: int = 0) -> ExperimentResult:
         geo_row.append(geomean(norm_by_policy[label]))
     rows.append(geo_row)
 
+    first_seed = seed_axis[0]
+    results = keyed_results(sweep, first_seed)
+    traces = [tspec.build(first_seed) for tspec in trace_specs]
+
     pal_gain = 1.0 - geomean(norm_by_policy["PAL"])
     pmfirst_gain = 1.0 - geomean(norm_by_policy["PM-First"])
     return ExperimentResult(
         experiment="fig11",
         description=(
             "Sia-Philly avg JCT normalized to Tiresias "
-            f"(64 GPUs, FIFO, {len(traces)} workloads)"
+            f"(64 GPUs, FIFO, {len(trace_specs)} workloads)"
         ),
         headers=["workload", *POLICY_LABELS],
         rows=rows,
@@ -81,6 +111,12 @@ def run(scale: str = "ci", seed: int = 0) -> ExperimentResult:
             "(paper: 43% geomean, min 21%, max 59%)",
             f"PM-First improves geomean avg JCT by {pmfirst_gain:.0%} over Tiresias "
             "(paper: 40% geomean, min 5%, max 59%)",
+            *seeds_note(seed_axis),
         ],
-        data={"results": results, "traces": traces, "workload_ids": sc.sia_workloads},
+        data={
+            "results": results,
+            "traces": traces,
+            "workload_ids": sc.sia_workloads,
+            "sweep": sweep,
+        },
     )

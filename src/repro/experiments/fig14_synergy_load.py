@@ -4,14 +4,25 @@ Sweeps the Poisson arrival rate and reports steady-state average JCT for
 all six placement policies, plus the multi-GPU-only improvement of PAL
 over Tiresias (the paper's 5-31 % band) — multi-GPU jobs are where BSP
 makes the slowest GPU's variability bite.
+
+The whole (load x policy x seed) grid is one declarative sweep through
+:func:`run_matrix_sweep`, so it fans out under a process executor, hits
+the on-disk result cache on repeats, and averages over ``seeds=`` when
+asked.
 """
 
 from __future__ import annotations
 
-from ..cluster.topology import LocalityModel
+from ..runner.spec import EnvSpec, TraceSpec
 from ..scheduler.placement import ALL_POLICY_NAMES
-from ..traces.synergy import generate_synergy_trace
-from .common import ExperimentResult, build_environment, get_scale, run_policy_matrix
+from .common import (
+    ExperimentResult,
+    cells_by_label,
+    get_scale,
+    keyed_results,
+    run_matrix_sweep,
+    seeds_note,
+)
 
 __all__ = ["run", "POLICY_ORDER"]
 
@@ -25,36 +36,66 @@ POLICY_ORDER: tuple[str, ...] = (
 )
 
 
-def run(scale: str = "ci", seed: int = 0, *, scheduler: str = "fifo") -> ExperimentResult:
+def run(
+    scale: str = "ci",
+    seed: int = 0,
+    *,
+    scheduler: str = "fifo",
+    seeds: tuple[int, ...] | None = None,
+) -> ExperimentResult:
     sc = get_scale(scale)
-    env = build_environment(
-        n_gpus=256,
-        profile_cluster="longhorn",
-        locality=LocalityModel(across_node=1.7),
-        seed=seed,
+    seed_axis = (seed,) if seeds is None else tuple(seeds)
+    env_spec = EnvSpec(n_gpus=256, profile_cluster="longhorn", locality=1.7)
+    trace_specs = [
+        TraceSpec("synergy", load=load, n_jobs=sc.synergy_n_jobs)
+        for load in sc.synergy_loads
+    ]
+    sweep = run_matrix_sweep(
+        trace_specs,
+        ALL_POLICY_NAMES,
+        scheduler,
+        env_spec,
+        seeds=seed_axis,
+        name="fig14",
     )
+    by_cell = cells_by_label(sweep)
     lo, hi = sc.synergy_measure
     rows: list[list[object]] = []
     multi_gains: list[tuple[float, float]] = []
-    all_results = {}
-    for load in sc.synergy_loads:
-        trace = generate_synergy_trace(load, n_jobs=sc.synergy_n_jobs, seed=seed)
-        results = run_policy_matrix(
-            [trace], ALL_POLICY_NAMES, scheduler, env, seed=seed
-        )
-        all_results[load] = results
+    first_seed = seed_axis[0]
+    for load, tspec in zip(sc.synergy_loads, trace_specs):
         row: list[object] = [load]
         for pname in POLICY_ORDER:
-            res = results[(trace.name, pname)]
-            row.append(res.avg_jct_h(min_job_id=lo, max_job_id=hi))
+            vals = [
+                by_cell[(tspec.label, pname, s)].avg_jct_h(
+                    min_job_id=lo, max_job_id=hi
+                )
+                for s in seed_axis
+            ]
+            row.append(sum(vals) / len(vals))
         rows.append(row)
-        t = results[(trace.name, "Tiresias")]
-        p = results[(trace.name, "PAL")]
-        gain = 1.0 - (
-            p.avg_jct_s(min_job_id=lo, max_job_id=hi, multi_gpu_only=True)
-            / t.avg_jct_s(min_job_id=lo, max_job_id=hi, multi_gpu_only=True)
-        )
-        multi_gains.append((load, gain))
+        gains = []
+        for s in seed_axis:
+            t = by_cell[(tspec.label, "Tiresias", s)]
+            p = by_cell[(tspec.label, "PAL", s)]
+            gains.append(
+                1.0
+                - p.avg_jct_s(min_job_id=lo, max_job_id=hi, multi_gpu_only=True)
+                / t.avg_jct_s(min_job_id=lo, max_job_id=hi, multi_gpu_only=True)
+            )
+        multi_gains.append((load, sum(gains) / len(gains)))
+    # Per-load keyed view for downstream consumers (first seed's runs):
+    # the standard keyed_results shape, grouped by each trace's load.
+    load_of_label = {
+        tspec.label: load for load, tspec in zip(sc.synergy_loads, trace_specs)
+    }
+    load_of_trace = {
+        res.trace_name: load_of_label[cell.trace.label]
+        for cell, res in zip(sweep.cells, sweep.results)
+    }
+    all_results: dict[float, dict] = {load: {} for load in sc.synergy_loads}
+    for (trace_name, pname), res in keyed_results(sweep, first_seed).items():
+        all_results[load_of_trace[trace_name]][(trace_name, pname)] = res
     return ExperimentResult(
         experiment="fig14",
         description=(
@@ -68,6 +109,11 @@ def run(scale: str = "ci", seed: int = 0, *, scheduler: str = "fifo") -> Experim
             "jobs by 5-31% as load rises 4 -> 12 jobs/hour",
             "PAL vs Tiresias multi-GPU-only improvement by load: "
             + ", ".join(f"{l:g}/h: {g:.0%}" for l, g in multi_gains),
+            *seeds_note(seed_axis),
         ],
-        data={"results": all_results, "measure_window": (lo, hi)},
+        data={
+            "results": all_results,
+            "measure_window": (lo, hi),
+            "sweep": sweep,
+        },
     )

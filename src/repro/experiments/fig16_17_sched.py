@@ -8,44 +8,71 @@ wait-time components for PAL's run-ahead effect to shrink.
 
 from __future__ import annotations
 
-from ..cluster.topology import LocalityModel
+from ..runner.spec import EnvSpec, TraceSpec
 from ..scheduler.placement import ALL_POLICY_NAMES
-from ..traces.synergy import generate_synergy_trace
-from .common import ExperimentResult, build_environment, get_scale, run_policy_matrix
+from .common import (
+    ExperimentResult,
+    cells_by_label,
+    get_scale,
+    run_matrix_sweep,
+    seeds_note,
+)
 from .fig14_synergy_load import POLICY_ORDER
 
 __all__ = ["run"]
 
 
-def run(scale: str = "ci", seed: int = 0, *, scheduler: str = "las") -> ExperimentResult:
+def run(
+    scale: str = "ci",
+    seed: int = 0,
+    *,
+    scheduler: str = "las",
+    seeds: tuple[int, ...] | None = None,
+) -> ExperimentResult:
     if scheduler.lower() not in ("las", "srtf"):
         raise ValueError("scheduler must be 'las' (Fig. 16) or 'srtf' (Fig. 17)")
     sc = get_scale(scale)
-    env = build_environment(
-        n_gpus=256,
-        profile_cluster="longhorn",
-        locality=LocalityModel(across_node=1.7),
-        seed=seed,
-    )
+    seed_axis = (seed,) if seeds is None else tuple(seeds)
     lo, hi = sc.synergy_measure
-    # One flat (load x policy) grid through the runner seam: under a
-    # process executor the whole load sweep fans out at once instead of
-    # barriering between loads.
-    traces = [
-        generate_synergy_trace(load, n_jobs=sc.synergy_n_jobs, seed=seed)
+    # One flat declarative (load x policy x seed) grid through run_sweep:
+    # under a process executor the whole sweep fans out at once, and a
+    # REPRO_CACHE_DIR re-run only simulates new cells.
+    trace_specs = [
+        TraceSpec("synergy", load=load, n_jobs=sc.synergy_n_jobs)
         for load in sc.sched_loads
     ]
-    results = run_policy_matrix(traces, ALL_POLICY_NAMES, scheduler, env, seed=seed)
+    sweep = run_matrix_sweep(
+        trace_specs,
+        ALL_POLICY_NAMES,
+        scheduler,
+        EnvSpec(n_gpus=256, profile_cluster="longhorn", locality=1.7),
+        seeds=seed_axis,
+        name=f"fig16-17-{scheduler.lower()}",
+    )
+    by_cell = cells_by_label(sweep)
     rows: list[list[object]] = []
     gains: list[tuple[float, float]] = []
-    for load, trace in zip(sc.sched_loads, traces):
+    for load, tspec in zip(sc.sched_loads, trace_specs):
         row: list[object] = [load]
         for pname in POLICY_ORDER:
-            row.append(results[(trace.name, pname)].avg_jct_h(min_job_id=lo, max_job_id=hi))
+            vals = [
+                by_cell[(tspec.label, pname, s)].avg_jct_h(
+                    min_job_id=lo, max_job_id=hi
+                )
+                for s in seed_axis
+            ]
+            row.append(sum(vals) / len(vals))
         rows.append(row)
-        t = results[(trace.name, "Tiresias")].avg_jct_s(min_job_id=lo, max_job_id=hi)
-        p = results[(trace.name, "PAL")].avg_jct_s(min_job_id=lo, max_job_id=hi)
-        gains.append((load, 1.0 - p / t))
+        per_seed = []
+        for s in seed_axis:
+            t = by_cell[(tspec.label, "Tiresias", s)].avg_jct_s(
+                min_job_id=lo, max_job_id=hi
+            )
+            p = by_cell[(tspec.label, "PAL", s)].avg_jct_s(
+                min_job_id=lo, max_job_id=hi
+            )
+            per_seed.append(1.0 - p / t)
+        gains.append((load, sum(per_seed) / len(per_seed)))
     figure = "fig16" if scheduler.lower() == "las" else "fig17"
     target = "15%" if scheduler.lower() == "las" else "10%"
     return ExperimentResult(
@@ -61,6 +88,7 @@ def run(scale: str = "ci", seed: int = 0, *, scheduler: str = "las") -> Experime
             f"{scheduler.upper()}",
             "PAL vs Tiresias improvement by load: "
             + ", ".join(f"{l:g}/h: {g:.0%}" for l, g in gains),
+            *seeds_note(seed_axis),
         ],
-        data={"gains": gains},
+        data={"gains": gains, "sweep": sweep},
     )

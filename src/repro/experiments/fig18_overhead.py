@@ -15,11 +15,17 @@ with cluster size and stays orders of magnitude below the epoch length.
 from __future__ import annotations
 
 from ..cluster.topology import LocalityModel
+from ..scheduler.simulator import SimulatorConfig
 from ..traces.synergy import generate_synergy_trace
 from ..utils.stats import boxplot_stats
 from .common import ExperimentResult, build_environment, get_scale, run_policy_matrix
 
 __all__ = ["run"]
+
+#: This experiment *measures* per-round placement wall-clock, so it pins
+#: the naive loop: with fast-forward on, skipped quiet rounds would
+#: record 0.0 placement times and skew the distribution under test.
+_CONFIG = SimulatorConfig(fast_forward=False)
 
 
 def run(scale: str = "ci", seed: int = 0, *, policy: str = "pal") -> ExperimentResult:
@@ -37,7 +43,9 @@ def run(scale: str = "ci", seed: int = 0, *, policy: str = "pal") -> ExperimentR
         load = 10.0 * n_gpus / 256.0
         n_jobs = max(120, int(sc.synergy_n_jobs * n_gpus / 256))
         trace = generate_synergy_trace(load, n_jobs=n_jobs, seed=seed)
-        results = run_policy_matrix([trace], (policy,), "fifo", env, seed=seed)
+        results = run_policy_matrix(
+            [trace], (policy,), "fifo", env, config=_CONFIG, seed=seed
+        )
         res = next(iter(results.values()))
         times_ms = res.placement_times_s * 1e3
         samples[n_gpus] = times_ms

@@ -25,7 +25,7 @@ the command line.
 from __future__ import annotations
 
 from .aggregate import SweepResult
-from .cache import CacheStats, ResultCache
+from .cache import CacheStats, GCStats, ResultCache
 from .execute import SimCell, execute_run_spec, execute_sim_cell
 from .executors import (
     EXECUTOR_NAMES,
@@ -55,6 +55,7 @@ __all__ = [
     "EXECUTOR_NAMES",
     "ResultCache",
     "CacheStats",
+    "GCStats",
     "SweepResult",
     "run_sweep",
 ]

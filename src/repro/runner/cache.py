@@ -19,13 +19,14 @@ from __future__ import annotations
 import json
 import os
 import pickle
+import time
 from dataclasses import dataclass
 from pathlib import Path
 
 from ..scheduler.metrics import SimulationResult
 from .spec import RunSpec
 
-__all__ = ["CacheStats", "ResultCache"]
+__all__ = ["CacheStats", "GCStats", "ResultCache"]
 
 
 @dataclass
@@ -43,6 +44,24 @@ class CacheStats:
     @property
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class GCStats:
+    """Outcome of one :meth:`ResultCache.gc` pass."""
+
+    scanned: int = 0
+    removed: int = 0
+    reclaimed_bytes: int = 0
+    kept: int = 0
+    kept_bytes: int = 0
+
+    def render(self) -> str:
+        return (
+            f"cache-gc: scanned {self.scanned} entries, removed "
+            f"{self.removed} ({self.reclaimed_bytes / 1e6:.1f} MB), kept "
+            f"{self.kept} ({self.kept_bytes / 1e6:.1f} MB)"
+        )
 
 
 class ResultCache:
@@ -87,6 +106,12 @@ class ResultCache:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
+        try:
+            # Refresh recency so gc()'s size-cap eviction is LRU rather
+            # than insertion-ordered.
+            os.utime(path)
+        except OSError:  # pragma: no cover - racing eviction is fine
+            pass
         return result
 
     def put(self, spec: RunSpec, result: SimulationResult) -> Path:
@@ -117,3 +142,60 @@ class ResultCache:
             pkl.with_suffix(".json").unlink(missing_ok=True)
             n += 1
         return n
+
+    # ------------------------------------------------------------------
+    def gc(
+        self,
+        *,
+        max_bytes: int | None = None,
+        max_age_s: float | None = None,
+        now: float | None = None,
+    ) -> GCStats:
+        """Prune the cache to an age and/or size budget.
+
+        ``max_age_s`` drops entries whose last use (mtime — :meth:`get`
+        touches on hit) is older than the budget; ``max_bytes`` then
+        evicts least-recently-used entries until the remaining pickles +
+        sidecars fit.  Both limits optional; with neither this is a
+        no-op scan.  Safe to run concurrently with sweeps: a racing
+        reader sees a miss and re-executes the cell.
+        """
+        if now is None:
+            now = time.time()
+        entries: list[tuple[float, int, Path]] = []
+        for pkl in self.root.glob("*/*.pkl"):
+            try:
+                stat = pkl.stat()
+            except FileNotFoundError:  # pragma: no cover - concurrent gc
+                continue
+            size = stat.st_size
+            sidecar = pkl.with_suffix(".json")
+            try:
+                size += sidecar.stat().st_size
+            except FileNotFoundError:
+                pass
+            entries.append((stat.st_mtime, size, pkl))
+        stats = GCStats(scanned=len(entries))
+
+        def drop(size: int, pkl: Path) -> None:
+            pkl.unlink(missing_ok=True)
+            pkl.with_suffix(".json").unlink(missing_ok=True)
+            stats.removed += 1
+            stats.reclaimed_bytes += size
+
+        survivors: list[tuple[float, int, Path]] = []
+        for mtime, size, pkl in entries:
+            if max_age_s is not None and now - mtime > max_age_s:
+                drop(size, pkl)
+            else:
+                survivors.append((mtime, size, pkl))
+        if max_bytes is not None:
+            survivors.sort()  # oldest first
+            total = sum(size for _, size, _ in survivors)
+            while survivors and total > max_bytes:
+                mtime, size, pkl = survivors.pop(0)
+                drop(size, pkl)
+                total -= size
+        stats.kept = len(survivors)
+        stats.kept_bytes = sum(size for _, size, _ in survivors)
+        return stats

@@ -34,8 +34,11 @@ if TYPE_CHECKING:  # pragma: no cover - avoids an import cycle at runtime
 __all__ = ["TraceSpec", "EnvSpec", "RunSpec", "SweepSpec", "SPEC_VERSION"]
 
 #: Bumped whenever spec semantics change in a way that invalidates
-#: previously cached results (part of every digest).
-SPEC_VERSION = 1
+#: previously cached results (part of every digest).  v2: the simulator
+#: moved to segment-lazy closed-form accounting (event-horizon
+#: fast-forward), which perturbs float metrics at the ~1e-12 level
+#: relative to v1's per-epoch accumulation.
+SPEC_VERSION = 2
 
 _TRACE_KINDS = ("sia", "synergy")
 

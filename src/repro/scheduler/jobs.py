@@ -4,11 +4,28 @@
 mutable quantities a round-based preemptive scheduler needs: remaining
 work, attained service (LAS), execution/wait accounting, the current GPU
 allocation, and migration/preemption counters.
+
+Segment-lazy accounting
+-----------------------
+Execution charges are *segment-based*: a segment is a maximal run of
+full, uninterrupted epochs on one allocation at one effective iteration
+time.  While a segment is open the engine only bumps an integer epoch
+counter (:meth:`SimJob.advance_epochs`); the float counters are
+materialized in closed form — ``base + n_epochs * stride`` — either on
+demand (the public properties) or permanently when the segment ends
+(:meth:`SimJob.commit_segment`).
+
+This is what makes the simulator's event-horizon fast-forward exact: a
+window of ``n`` quiet epochs advanced in one jump leaves a job in the
+bit-identical state the per-epoch loop reaches by calling
+``advance_epochs(1)`` ``n`` times, because both paths evaluate the same
+closed-form expressions with the same integer ``n``.  Irregular windows
+(migration overhead, the finishing partial epoch) are charged eagerly
+through :meth:`charge_window` / :meth:`finish_at`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from enum import Enum
 
 import numpy as np
@@ -34,28 +51,52 @@ class JobState(Enum):
     FINISHED = "finished"
 
 
-@dataclass
 class SimJob:
-    """Mutable runtime wrapper around a trace job."""
+    """Mutable runtime wrapper around a trace job (see module docstring)."""
 
-    spec: JobSpec
-    state: JobState = JobState.PENDING
-    remaining_iterations: float = field(default=None)  # type: ignore[assignment]
-    attained_service_gpu_s: float = 0.0
-    executed_time_s: float = 0.0
-    first_start_s: float | None = None
-    finish_time_s: float | None = None
-    allocation: np.ndarray | None = None
-    n_migrations: int = 0
-    n_preemptions: int = 0
-    n_restarts: int = 0
-    #: Simulator-internal cache of the allocation's effective iteration
-    #: time; invalidated whenever the allocation changes.
-    cached_iter_time_s: float | None = None
+    __slots__ = (
+        "spec",
+        "state",
+        "first_start_s",
+        "finish_time_s",
+        "allocation",
+        "n_migrations",
+        "n_preemptions",
+        "n_restarts",
+        "cached_iter_time_s",
+        "busy_gpu_s",
+        "_remaining_base",
+        "_attained_base",
+        "_executed_base",
+        "_seg_epochs",
+        "_seg_epoch_s",
+        "_seg_iters_per_epoch",
+        "_seg_service_stride",
+    )
 
-    def __post_init__(self) -> None:
-        if self.remaining_iterations is None:
-            self.remaining_iterations = float(self.spec.total_iterations)
+    def __init__(self, spec: JobSpec, state: JobState = JobState.PENDING):
+        self.spec = spec
+        self.state = state
+        self.first_start_s: float | None = None
+        self.finish_time_s: float | None = None
+        self.allocation: np.ndarray | None = None
+        self.n_migrations = 0
+        self.n_preemptions = 0
+        self.n_restarts = 0
+        #: Effective iteration time of the current allocation; None until
+        #: the engine computes it (and whenever the allocation changes).
+        self.cached_iter_time_s: float | None = None
+        #: GPU-seconds this job has kept GPUs busy (incl. overheads).
+        self.busy_gpu_s = 0.0
+        # Segment anchors (values as of the open segment's start) plus the
+        # integer epoch counter and per-epoch strides.
+        self._remaining_base = float(spec.total_iterations)
+        self._attained_base = 0.0
+        self._executed_base = 0.0
+        self._seg_epochs = 0
+        self._seg_epoch_s = 0.0
+        self._seg_iters_per_epoch = 0.0
+        self._seg_service_stride = 0.0
 
     # Convenience passthroughs -----------------------------------------
     @property
@@ -82,6 +123,147 @@ class SimJob:
     def is_running(self) -> bool:
         return self.state is JobState.RUNNING
 
+    # Lazily-materialized counters ---------------------------------------
+    @property
+    def remaining_iterations(self) -> float:
+        """Iterations still to run (closed form over the open segment)."""
+        if self._seg_epochs:
+            return self._remaining_base - self._seg_epochs * self._seg_iters_per_epoch
+        return self._remaining_base
+
+    @remaining_iterations.setter
+    def remaining_iterations(self, value: float) -> None:
+        self.commit_segment()
+        self._remaining_base = float(value)
+
+    @property
+    def executed_time_s(self) -> float:
+        """Wall-clock seconds spent executing."""
+        if self._seg_epochs:
+            return self._executed_base + self._seg_epochs * self._seg_epoch_s
+        return self._executed_base
+
+    @executed_time_s.setter
+    def executed_time_s(self, value: float) -> None:
+        self.commit_segment()
+        self._executed_base = float(value)
+
+    @property
+    def attained_service_gpu_s(self) -> float:
+        """Attained GPU service (LAS's priority key)."""
+        if self._seg_epochs:
+            return self._attained_base + self._seg_epochs * self._seg_service_stride
+        return self._attained_base
+
+    @attained_service_gpu_s.setter
+    def attained_service_gpu_s(self, value: float) -> None:
+        self.commit_segment()
+        self._attained_base = float(value)
+
+    # Segment machinery ---------------------------------------------------
+    def begin_segment(self, t_iter_s: float, epoch_s: float) -> None:
+        """Open a fixed-rate segment at ``t_iter_s`` seconds/iteration.
+
+        Called by the engine right after it computes the allocation's
+        effective iteration time; any previous segment must already be
+        committed (allocation changes go through :meth:`end_segment`).
+        """
+        if self._seg_epochs:
+            raise SimulationError(
+                f"job {self.job_id}: begin_segment with {self._seg_epochs} "
+                "uncommitted epochs"
+            )
+        self.cached_iter_time_s = t_iter_s
+        self._seg_epoch_s = epoch_s
+        self._seg_iters_per_epoch = epoch_s / t_iter_s
+        self._seg_service_stride = epoch_s * self.spec.demand
+
+    def advance_epochs(self, n: int) -> None:
+        """Record ``n`` further full, overhead-free epochs of execution.
+
+        O(1) integer work — the per-epoch hot path and the multi-epoch
+        fast-forward both land here, which is why they agree bit-for-bit.
+        """
+        self._seg_epochs += n
+
+    def commit_segment(self) -> None:
+        """Fold the open segment's epochs into the base counters."""
+        n = self._seg_epochs
+        if n:
+            run_s = n * self._seg_epoch_s
+            self._remaining_base = self._remaining_base - n * self._seg_iters_per_epoch
+            self._executed_base = self._executed_base + run_s
+            self._attained_base = self._attained_base + n * self._seg_service_stride
+            self.busy_gpu_s += run_s * self.spec.demand
+            self._seg_epochs = 0
+
+    def end_segment(self) -> None:
+        """Commit and close the segment (allocation change / preemption)."""
+        self.commit_segment()
+        self.cached_iter_time_s = None
+
+    # Exact-arithmetic previews (scheduler stability analysis) ------------
+    def service_after(self, extra_epochs: int) -> float:
+        """Attained service after ``extra_epochs`` more full epochs.
+
+        Evaluates the *same* closed-form expression the engine will use,
+        so order-stability proofs over future rounds are exact.
+        """
+        n = self._seg_epochs + extra_epochs
+        if n:
+            return self._attained_base + n * self._seg_service_stride
+        return self._attained_base
+
+    def remaining_after(self, extra_epochs: int) -> float:
+        """Remaining iterations after ``extra_epochs`` more full epochs."""
+        n = self._seg_epochs + extra_epochs
+        if n:
+            return self._remaining_base - n * self._seg_iters_per_epoch
+        return self._remaining_base
+
+    @property
+    def service_stride_gpu_s(self) -> float:
+        """GPU-seconds of service one full epoch adds (open segment)."""
+        return self._seg_service_stride
+
+    @property
+    def ideal_stride_s(self) -> float:
+        """Drop in ideal remaining runtime one full epoch causes."""
+        return self._seg_iters_per_epoch * self.spec.iteration_time_s
+
+    @property
+    def anchor_ideal_s(self) -> float:
+        """Ideal runtime outstanding at the segment anchor.
+
+        Upper-bounds every intermediate magnitude in the
+        ``(base - n*stride) * t`` closed form while remaining work is
+        positive — the scale float-error margins must be measured in,
+        since the remaining-time *key* cancels toward zero.
+        """
+        return self._remaining_base * self.spec.iteration_time_s
+
+    # Irregular-window charges -------------------------------------------
+    def charge_window(self, run_s: float, overhead_s: float = 0.0) -> None:
+        """Charge a non-full executed window (e.g. after migration overhead)."""
+        self.commit_segment()
+        t_iter = self.cached_iter_time_s
+        if t_iter is None:
+            raise SimulationError(f"job {self.job_id}: charge_window without segment")
+        self._remaining_base = self._remaining_base - run_s / t_iter
+        self._executed_base += run_s
+        self._attained_base += run_s * self.spec.demand
+        self.busy_gpu_s += (overhead_s + run_s) * self.spec.demand
+
+    def finish_at(self, finish_time_s: float, run_s: float, overhead_s: float = 0.0) -> None:
+        """Charge the finishing partial epoch and mark the job FINISHED."""
+        self.commit_segment()
+        self._remaining_base = 0.0
+        self._executed_base += run_s
+        self._attained_base += run_s * self.spec.demand
+        self.busy_gpu_s += (overhead_s + run_s) * self.spec.demand
+        self.finish_time_s = finish_time_s
+        self.state = JobState.FINISHED
+
     # Derived metrics ----------------------------------------------------
     @property
     def jct_s(self) -> float:
@@ -105,3 +287,9 @@ class SimJob:
     def remaining_time_ideal_s(self) -> float:
         """Oracle remaining runtime on median GPUs (SRTF's priority key)."""
         return self.remaining_iterations * self.spec.iteration_time_s
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (
+            f"<SimJob {self.job_id} {self.state.value} demand={self.demand} "
+            f"remaining={self.remaining_iterations:.1f}>"
+        )

@@ -169,6 +169,48 @@ class SimulationResult:
         """(epoch start times, GPUs in use) — the paper's Fig. 15 axes."""
         return self.epoch_times_s, self.gpus_in_use
 
+    # ------------------------------------------------------------------
+    # Structural equality
+    # ------------------------------------------------------------------
+    def same_outcome_as(self, other: "SimulationResult") -> list[str]:
+        """Fields on which two runs of the same cell disagree (empty = none).
+
+        Compares every *deterministic* output bit-for-bit: identity
+        fields, per-job records, the utilization series, busy GPU-seconds,
+        the event log, and metadata.  Wall-clock measurements are checked
+        by shape only (``placement_times_s`` values vary run to run, and
+        the fast-forward engine records 0.0 for skipped rounds), and the
+        ``run_digest`` metadata key is ignored (it encodes the engine
+        configuration, which may legitimately differ between the compared
+        runs).  Used by the fast-forward equivalence suite and any other
+        determinism test.
+        """
+        diffs: list[str] = []
+        for name in ("trace_name", "scheduler_name", "placement_name",
+                     "cluster_size", "epoch_s"):
+            if getattr(self, name) != getattr(other, name):
+                diffs.append(name)
+        if self.records != other.records:
+            diffs.append("records")
+        if not np.array_equal(self.epoch_times_s, other.epoch_times_s):
+            diffs.append("epoch_times_s")
+        if not np.array_equal(self.gpus_in_use, other.gpus_in_use):
+            diffs.append("gpus_in_use")
+        if self.placement_times_s.shape != other.placement_times_s.shape:
+            diffs.append("placement_times_s.shape")
+        if self.busy_gpu_seconds != other.busy_gpu_seconds:
+            diffs.append("busy_gpu_seconds")
+        meta_a = {k: v for k, v in self.metadata.items() if k != "run_digest"}
+        meta_b = {k: v for k, v in other.metadata.items() if k != "run_digest"}
+        if meta_a != meta_b:
+            diffs.append("metadata")
+        if (self.events is None) != (other.events is None):
+            diffs.append("events")
+        elif self.events is not None and other.events is not None:
+            if self.events.events != other.events.events:
+                diffs.append("events")
+        return diffs
+
     def summary(self) -> dict[str, float]:
         """One-line metric dict used by experiment tables."""
         return {

@@ -4,12 +4,35 @@ The scheduling policy orders the active-job queue each round; the
 placement policy then decides *which GPUs* the guaranteed prefix gets
 (paper Fig. 1 separates the two). The paper evaluates its placement
 policies under all three of these schedulers (Sec. IV-A2).
+
+Order-stability analysis
+------------------------
+The simulator's event-horizon fast-forward may only skip a round if the
+scheduler would provably return the *exact same* ordering again.  Each
+policy therefore exposes :meth:`SchedulingPolicy.stable_epochs`: given
+that the guaranteed prefix executes full uninterrupted epochs and
+nothing else changes, for how many epochs does the current order
+certainly persist?  FIFO keys are static (stable forever); LAS and SRTF
+keys evolve linearly in the epoch count, so stability reduces to
+finding, per adjacent pair of the current order, the first epoch at
+which the pair could invert:
+
+* pairs where only one side evolves are decided by binary search on a
+  monotone predicate built from the engine's own closed-form arithmetic
+  (:meth:`SimJob.service_after` / :meth:`SimJob.remaining_after`), which
+  is *exact* — the engine evaluates the identical expressions later;
+* pairs where both sides evolve are bounded conservatively: the real
+  crossing point of the two linear keys, shrunk by an explicit
+  floating-point wobble margin (:func:`_pair_safe_epochs`).  An
+  under-estimate only costs an extra scheduling round, never
+  correctness.
 """
 
 from __future__ import annotations
 
+import sys
 from abc import ABC, abstractmethod
-from typing import Sequence
+from typing import Callable, Sequence
 
 from ..utils.errors import ConfigurationError
 from .jobs import SimJob
@@ -21,6 +44,71 @@ __all__ = [
     "SRTFScheduler",
     "make_scheduler",
 ]
+
+
+_EPS = sys.float_info.epsilon
+
+
+def _first_true(pred: Callable[[int], bool], hi: int) -> int | None:
+    """Smallest ``k`` in ``[1, hi]`` with ``pred(k)`` for monotone ``pred``.
+
+    Returns None when ``pred(hi)`` is False (no flip within the horizon).
+    """
+    if not pred(hi):
+        return None
+    lo = 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if pred(mid):
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def _pair_safe_epochs(
+    eval_u: Callable[[int], float],
+    eval_v: Callable[[int], float],
+    gap_slope: float,
+    horizon: int,
+    scale: float,
+) -> int:
+    """Epochs for which ``eval_u(k) < eval_v(k)`` certainly holds.
+
+    Both evaluators are float-linear in ``k`` (the engine's closed-form
+    segment arithmetic); ``gap_slope`` is the real per-epoch change of
+    ``eval_v - eval_u``.  The check demands the float gap clear an
+    explicit rounding-wobble margin, so a positive verdict survives the
+    few-ulp difference between the real crossing point and the exact
+    float evaluations the engine performs at every intermediate round.
+    ``scale`` must upper-bound the magnitude of every *intermediate*
+    quantity inside both evaluators across the window — not just the key
+    values: SRTF's ``(base - n*stride) * t`` cancels catastrophically
+    near completion, so its rounding wobble is ulps of the anchor, not
+    of the (tiny) remaining time.  Conservative by construction:
+    returns 0 when in doubt.
+    """
+    margin = 16.0 * _EPS * scale + 1e-300
+
+    def margin_ok(k: int) -> bool:
+        return (eval_v(k) - eval_u(k)) > margin
+
+    if not margin_ok(1):
+        return 0
+    if gap_slope >= 0.0:
+        # Real gap never shrinks; endpoint checks cover the window.
+        return horizon if margin_ok(horizon) else 0
+    if margin_ok(horizon):
+        return horizon
+    # Real gap shrinks linearly: the safe region is a prefix.  Start from
+    # the real-arithmetic crossing, back off, then verify the endpoint —
+    # intermediate epochs have a strictly larger real gap.
+    gap0 = eval_v(0) - eval_u(0)
+    k_est = int(gap0 / -gap_slope) - 2
+    k = max(0, min(k_est, horizon))
+    while k > 0 and not margin_ok(k):
+        k //= 2
+    return k
 
 
 class SchedulingPolicy(ABC):
@@ -35,6 +123,21 @@ class SchedulingPolicy(ABC):
         Must be a *total*, deterministic order (ties broken by job id) so
         simulations are reproducible.
         """
+
+    def stable_epochs(
+        self, ordered: Sequence[SimJob], n_scheduled: int, horizon: int
+    ) -> int:
+        """Epochs the current ordering provably persists (0..horizon).
+
+        Contract: assuming each of ``ordered[:n_scheduled]`` executes one
+        full uninterrupted epoch per round (open segments advancing via
+        :meth:`SimJob.advance_epochs`) and every other job stays frozen,
+        :meth:`order` returns exactly ``ordered`` after each of the next
+        ``stable_epochs`` epochs.  Must be conservative — the simulator
+        uses it to skip rounds wholesale.  Unknown subclasses default to
+        0, which disables multi-epoch fast-forward under them.
+        """
+        return 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
         return f"<{type(self).__name__} {self.name}>"
@@ -52,6 +155,12 @@ class FIFOScheduler(SchedulingPolicy):
 
     def order(self, jobs: Sequence[SimJob], now_s: float) -> list[SimJob]:
         return sorted(jobs, key=lambda j: (j.spec.arrival_time_s, j.job_id))
+
+    def stable_epochs(
+        self, ordered: Sequence[SimJob], n_scheduled: int, horizon: int
+    ) -> int:
+        """Arrival order never changes while jobs execute."""
+        return horizon
 
 
 class LASScheduler(SchedulingPolicy):
@@ -79,6 +188,79 @@ class LASScheduler(SchedulingPolicy):
 
         return sorted(jobs, key=key)
 
+    def stable_epochs(
+        self, ordered: Sequence[SimJob], n_scheduled: int, horizon: int
+    ) -> int:
+        """Attained service grows only for the scheduled prefix.
+
+        The window must end before (a) any scheduled job crosses the
+        promotion threshold (its queue level would flip) and (b) any
+        adjacent pair of the current order inverts.  Running-vs-frozen
+        pairs are resolved by exact monotone binary search; pairs where
+        both sides accrue service use the conservative margin bound.
+        """
+        if horizon <= 0 or n_scheduled <= 0:
+            return 0
+        threshold = self.promote_threshold_gpu_s
+        h = horizon
+        for j in ordered[:n_scheduled]:
+            if j.attained_service_gpu_s < threshold:
+                k = _first_true(
+                    lambda k, j=j: j.service_after(k) >= threshold, h
+                )
+                if k is not None:
+                    h = k - 1
+                    if h <= 0:
+                        return 0
+        # Levels are frozen within h epochs now; check adjacent pairs.
+        for i in range(len(ordered) - 1):
+            u, v = ordered[i], ordered[i + 1]
+            u_runs, v_runs = i < n_scheduled, i + 1 < n_scheduled
+            if not u_runs:
+                # u frozen: if v also frozen nothing moves; if v runs its
+                # key only grows further behind u's.
+                continue
+            level_u = 0 if u.attained_service_gpu_s < threshold else 1
+            level_v = 0 if v.attained_service_gpu_s < threshold else 1
+            if level_u < level_v:
+                continue  # level gap persists while no job promotes
+            if not v_runs:
+                # u's service climbs toward frozen v's.  Inversion is a
+                # monotone predicate; equal service falls back to the
+                # static (arrival, id) tiebreak.
+                service_v = v.attained_service_gpu_s
+                tie_u_first = (u.spec.arrival_time_s, u.job_id) < (
+                    v.spec.arrival_time_s,
+                    v.job_id,
+                )
+
+                def bad(k: int, u=u, sv=service_v, tie=tie_u_first) -> bool:
+                    s = u.service_after(k)
+                    return s > sv or (s == sv and not tie)
+
+                k = _first_true(bad, h)
+                if k is not None:
+                    h = k - 1
+                    if h <= 0:
+                        return 0
+            else:
+                # Attained service is a cancellation-free sum of positives,
+                # so its values at the far end of the window bound every
+                # intermediate magnitude.
+                h = min(
+                    h,
+                    _pair_safe_epochs(
+                        u.service_after,
+                        v.service_after,
+                        v.service_stride_gpu_s - u.service_stride_gpu_s,
+                        h,
+                        u.service_after(h) + v.service_after(h),
+                    ),
+                )
+                if h <= 0:
+                    return 0
+        return h
+
 
 class SRTFScheduler(SchedulingPolicy):
     """Preemptive Shortest-Remaining-Time-First.
@@ -95,6 +277,48 @@ class SRTFScheduler(SchedulingPolicy):
             jobs,
             key=lambda j: (j.remaining_time_ideal_s, j.spec.arrival_time_s, j.job_id),
         )
+
+    def stable_epochs(
+        self, ordered: Sequence[SimJob], n_scheduled: int, horizon: int
+    ) -> int:
+        """Remaining time shrinks only for the scheduled prefix.
+
+        A running job's key only improves, so it can never fall behind a
+        frozen one (and the scheduled set is a contiguous prefix, so no
+        frozen job sits ahead of a running one) — the only risky pairs
+        are two running jobs draining at different rates (margin bound).
+        """
+        if horizon <= 0 or n_scheduled <= 0:
+            return 0
+
+        def ideal_after(j: SimJob, k: int) -> float:
+            return j.remaining_after(k) * j.spec.iteration_time_s
+
+        h = horizon
+        for i in range(len(ordered) - 1):
+            u, v = ordered[i], ordered[i + 1]
+            if i + 1 >= n_scheduled:
+                # v frozen — and u (earlier in the contiguous scheduled
+                # prefix) is either frozen too or only pulling ahead.
+                continue
+            # Both run (the prefix is contiguous, so v running implies u
+            # running): the pair inverts if v drains faster than u.  The
+            # wobble scale is the segment-anchor ideal time — the
+            # remaining-time key itself cancels toward 0 while its
+            # rounding error stays at ulps of the anchor.
+            h = min(
+                h,
+                _pair_safe_epochs(
+                    lambda k, u=u: ideal_after(u, k),
+                    lambda k, v=v: ideal_after(v, k),
+                    u.ideal_stride_s - v.ideal_stride_s,
+                    h,
+                    u.anchor_ideal_s + v.anchor_ideal_s,
+                ),
+            )
+            if h <= 0:
+                return 0
+        return h
 
 
 _SCHEDULERS = {

@@ -107,3 +107,55 @@ class TestCommands:
             main(["sweep", "--traces", "synergy:fast"])
         with pytest.raises(ConfigurationError):
             main(["sweep", "--traces", "sia:1", "--seeds", "0,x"])
+
+
+class TestCacheGCCommand:
+    def _populate(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        args = [
+            "sweep", "--traces", "sia:1", "--jobs", "6", "--gpus", "16",
+            "--schedulers", "fifo", "--placements", "tiresias,pal",
+            "--cache-dir", str(cache_dir),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        return cache_dir
+
+    def test_gc_reports_and_prunes(self, tmp_path, capsys):
+        cache_dir = self._populate(tmp_path, capsys)
+        assert main(["cache-gc", "--cache-dir", str(cache_dir), "--max-bytes", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "cache-gc:" in out and "removed 2" in out
+        assert not list(cache_dir.glob("*/*.pkl"))
+
+    def test_gc_age_budget_keeps_fresh_entries(self, tmp_path, capsys):
+        cache_dir = self._populate(tmp_path, capsys)
+        assert main(
+            ["cache-gc", "--cache-dir", str(cache_dir), "--max-age-days", "1"]
+        ) == 0
+        assert "kept 2" in capsys.readouterr().out
+
+    def test_gc_clear(self, tmp_path, capsys):
+        cache_dir = self._populate(tmp_path, capsys)
+        assert main(["cache-gc", "--cache-dir", str(cache_dir), "--clear"]) == 0
+        assert "cleared 2" in capsys.readouterr().out
+
+    def test_gc_requires_a_budget(self, tmp_path, capsys):
+        from repro.utils.errors import ConfigurationError
+
+        cache_dir = self._populate(tmp_path, capsys)
+        with pytest.raises(ConfigurationError):
+            main(["cache-gc", "--cache-dir", str(cache_dir)])
+        with pytest.raises(ConfigurationError):
+            main(["cache-gc", "--cache-dir", str(tmp_path / "missing")])
+
+    def test_gc_rejects_negative_budgets(self, tmp_path, capsys):
+        """A negative age/size budget would silently wipe the cache."""
+        from repro.utils.errors import ConfigurationError
+
+        cache_dir = self._populate(tmp_path, capsys)
+        with pytest.raises(ConfigurationError):
+            main(["cache-gc", "--cache-dir", str(cache_dir), "--max-age-days", "-1"])
+        with pytest.raises(ConfigurationError):
+            main(["cache-gc", "--cache-dir", str(cache_dir), "--max-bytes", "-5"])
+        assert len(list(cache_dir.glob("*/*.pkl"))) == 2  # nothing deleted

@@ -202,3 +202,33 @@ class TestClusterStateProperties:
         assert state.n_busy == sum(
             state.allocation_of(j).size for j in held  # type: ignore[union-attr]
         )
+
+
+class TestIncrementalFreeCounter:
+    """n_free is a counter maintained by allocate/release, not a mask sum."""
+
+    def test_counter_tracks_mask_through_random_schedule(self):
+        topo = ClusterTopology.from_gpu_count(32)
+        state = ClusterState(topo)
+        rng = np.random.default_rng(3)
+        held: list[int] = []
+        for step in range(200):
+            if held and rng.random() < 0.4:
+                state.release(held.pop(rng.integers(len(held))))
+            elif state.n_free > 0:
+                free = state.free_gpu_ids()
+                take = rng.choice(free, size=rng.integers(1, free.size + 1), replace=False)
+                state.allocate(1000 + step, take)
+                held.append(1000 + step)
+            assert state.n_free == int(state._free.sum())
+            assert state.n_busy == topo.n_gpus - state.n_free
+        state.release_all()
+        assert state.n_free == topo.n_gpus
+
+    def test_check_invariants_catches_counter_corruption(self):
+        state = ClusterState(ClusterTopology.from_gpu_count(8))
+        state.allocate(1, np.array([0, 1]))
+        state.check_invariants()
+        state._n_free += 1  # simulate a bookkeeping bug
+        with pytest.raises(AllocationError, match="free counter"):
+            state.check_invariants()

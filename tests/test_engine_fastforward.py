@@ -1,0 +1,362 @@
+"""Event-horizon fast-forward: equivalence and mechanics.
+
+The engine contract is strict: with ``fast_forward=True`` (the default)
+every deterministic output of a simulation — per-job records, the
+utilization series, busy GPU-seconds, the event log, metadata incl.
+``epochs_run`` — must be *bit-identical* to the naive per-epoch loop
+(``fast_forward=False``).  Three layers enforce it:
+
+* a hypothesis property sweep over random (workload, seed, scheduler,
+  placement) cells, including sticky/non-sticky, randomized placements
+  and migration overhead;
+* directed cases for the paths that gate fast-forward: admission
+  rejection stalls, online PM updates, ``max_epochs`` truncation;
+* unit checks of the machinery itself — :class:`SimJob`'s segment-lazy
+  accounting and :meth:`SchedulingPolicy.stable_epochs`'s conservatism.
+"""
+
+from __future__ import annotations
+
+import warnings
+from functools import lru_cache
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.topology import ClusterTopology
+from repro.scheduler.admission import AdmissionRejectionWarning, MaxQueueLength
+from repro.scheduler.jobs import JobState, SimJob
+from repro.scheduler.placement import ALL_POLICY_NAMES, make_placement
+from repro.scheduler.policies import make_scheduler
+from repro.scheduler.simulator import ClusterSimulator, SimulatorConfig
+from repro.traces.job import JobSpec
+from repro.traces.philly import SiaPhillyConfig, generate_sia_philly_trace
+from repro.traces.trace import Trace
+from repro.utils.errors import SimulationError
+from repro.utils.rng import stream
+from repro.variability.synthetic import synthesize_profile
+
+POLICIES = ALL_POLICY_NAMES + ("pm-first-sticky", "pal-sticky")
+
+
+@lru_cache(maxsize=1)
+def _profile64():
+    return synthesize_profile("longhorn", seed=0).sample(
+        64, rng=stream(0, "ff/sample")
+    )
+
+
+def _simulate(trace, *, fast_forward, scheduler="fifo", placement="pal",
+              seed=0, admission=None, **config_kwargs):
+    sim = ClusterSimulator(
+        topology=ClusterTopology.from_gpu_count(64),
+        true_profile=_profile64(),
+        scheduler=make_scheduler(scheduler),
+        placement=make_placement(placement),
+        admission=admission,
+        config=SimulatorConfig(
+            fast_forward=fast_forward, record_events=True, **config_kwargs
+        ),
+        seed=seed,
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", AdmissionRejectionWarning)
+        return sim.run(trace)
+
+
+def _assert_equivalent(trace, **kwargs):
+    naive = _simulate(trace, fast_forward=False, **kwargs)
+    fast = _simulate(trace, fast_forward=True, **kwargs)
+    assert naive.same_outcome_as(fast) == []
+    return naive, fast
+
+
+def _sparse_trace(n_jobs=8, gap_epochs=50, dur_epochs=40, epoch_s=300.0):
+    """Hand-built long-quiet-stretch trace (the fast-forward sweet spot)."""
+    specs = tuple(
+        JobSpec(
+            job_id=i,
+            arrival_time_s=i * gap_epochs * epoch_s,
+            demand=1 + (i % 4),
+            model="resnet50",
+            class_id=i % 3,
+            iteration_time_s=0.25,
+            total_iterations=int(dur_epochs * epoch_s / 0.25),
+        )
+        for i in range(n_jobs)
+    )
+    return Trace(name="ff-sparse", jobs=specs)
+
+
+class TestEquivalenceProperty:
+    @given(
+        workload=st.integers(min_value=1, max_value=12),
+        seed=st.integers(min_value=0, max_value=2**16),
+        scheduler=st.sampled_from(("fifo", "las", "srtf")),
+        placement=st.sampled_from(POLICIES),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_cells_bit_identical(self, workload, seed, scheduler, placement):
+        trace = generate_sia_philly_trace(
+            workload, config=SiaPhillyConfig(n_jobs=12), seed=seed
+        )
+        _assert_equivalent(trace, scheduler=scheduler, placement=placement, seed=seed)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        scheduler=st.sampled_from(("fifo", "las", "srtf")),
+        placement=st.sampled_from(POLICIES),
+        overhead=st.sampled_from((0.0, 30.0)),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_sparse_traces_bit_identical(self, seed, scheduler, placement, overhead):
+        """Long quiet stretches — where the jump actually fires."""
+        rng = np.random.default_rng(seed)
+        specs = []
+        t = 0.0
+        for i in range(6):
+            t += float(rng.integers(0, 80)) * 300.0
+            specs.append(
+                JobSpec(
+                    job_id=i,
+                    arrival_time_s=t,
+                    demand=int(rng.integers(1, 9)),
+                    model="resnet50",
+                    class_id=int(rng.integers(0, 3)),
+                    iteration_time_s=0.2,
+                    total_iterations=int(rng.integers(1, 60 * 1500)),
+                )
+            )
+        trace = Trace(name=f"ff-rand-{seed}", jobs=tuple(specs))
+        _assert_equivalent(
+            trace,
+            scheduler=scheduler,
+            placement=placement,
+            seed=seed,
+            migration_overhead_s=overhead,
+        )
+
+
+class TestEquivalenceDirected:
+    def test_jump_actually_fires(self):
+        """The sparse trace must be solved in far fewer loop passes —
+        observable through identical outputs but >5x fewer placement
+        evaluations being timed as nonzero (skipped rounds record 0.0)."""
+        naive, fast = _assert_equivalent(_sparse_trace())
+        assert naive.metadata["epochs_run"] == fast.metadata["epochs_run"]
+        # Every skipped round records a 0.0 placement time.
+        assert np.count_nonzero(fast.placement_times_s == 0.0) > 0.8 * len(
+            fast.placement_times_s
+        )
+
+    def test_admission_rejections_disable_the_jump_but_match(self):
+        trace = _sparse_trace(n_jobs=10, gap_epochs=2, dur_epochs=30)
+        naive, fast = _assert_equivalent(
+            trace, admission=MaxQueueLength(2), scheduler="fifo"
+        )
+        assert naive.metadata["admission_rejections"] > 0
+
+    def test_online_updates_force_naive_loop(self):
+        trace = _sparse_trace(n_jobs=4)
+        _assert_equivalent(trace, online_pm_updates=True, placement="pal")
+
+    def test_max_epochs_truncation_matches(self):
+        trace = _sparse_trace(n_jobs=4)
+        for ff in (False, True):
+            with pytest.raises(SimulationError, match="max_epochs=120"):
+                _simulate(trace, fast_forward=ff, max_epochs=120)
+
+    def test_migration_overhead_rounds_match(self):
+        """Disturbed rounds charge shortened windows eagerly; the jump
+        must stay disabled for them yet resume afterwards."""
+        trace = generate_sia_philly_trace(
+            3, config=SiaPhillyConfig(n_jobs=10), seed=5
+        )
+        _assert_equivalent(
+            trace, scheduler="las", placement="pal", migration_overhead_s=45.0
+        )
+
+    def test_dense_trace_matches(self):
+        trace = _sparse_trace(n_jobs=12, gap_epochs=1, dur_epochs=3)
+        _assert_equivalent(trace, scheduler="srtf", placement="pm-first")
+
+    def test_fast_forward_defaults_on(self):
+        assert SimulatorConfig().fast_forward is True
+
+    def test_gavel_on_heterogeneous_cluster_matches(self):
+        """Arch-aware placement (not part of ALL_POLICY_NAMES) through
+        both engine paths on a mixed V100/RTX5000 cluster."""
+        from repro.cluster.heterogeneity import make_heterogeneous_cluster
+        from repro.core.pm_score import PMScoreTable
+
+        hc = make_heterogeneous_cluster(
+            ["V100"] * 4 + ["RTX5000"] * 4, gpus_per_node=4, seed=0
+        )
+        trace = _sparse_trace(n_jobs=6, gap_epochs=30, dur_epochs=25)
+        results = []
+        for ff in (False, True):
+            sim = ClusterSimulator(
+                topology=ClusterTopology.from_gpu_count(hc.profile.n_gpus),
+                true_profile=hc.profile,
+                scheduler=make_scheduler("las"),
+                placement=make_placement("gavel"),
+                pm_table=PMScoreTable.fit(hc.profile, seed=0),
+                arch_of_gpu=hc.arch_of_gpu,
+                config=SimulatorConfig(fast_forward=ff, record_events=True),
+                seed=0,
+            )
+            results.append(sim.run(trace))
+        assert results[0].same_outcome_as(results[1]) == []
+
+
+class TestSegmentLazyAccounting:
+    def _job(self, total_iterations=6000, demand=2):
+        return SimJob(
+            JobSpec(
+                job_id=0,
+                arrival_time_s=0.0,
+                demand=demand,
+                model="resnet50",
+                class_id=0,
+                iteration_time_s=0.2,
+                total_iterations=total_iterations,
+            )
+        )
+
+    def test_jump_equals_stepping(self):
+        a, b = self._job(), self._job()
+        a.begin_segment(0.5, 300.0)
+        b.begin_segment(0.5, 300.0)
+        for _ in range(7):
+            a.advance_epochs(1)
+        b.advance_epochs(7)
+        assert a.remaining_iterations == b.remaining_iterations
+        assert a.executed_time_s == b.executed_time_s
+        assert a.attained_service_gpu_s == b.attained_service_gpu_s
+        a.commit_segment()
+        b.commit_segment()
+        assert a.remaining_iterations == b.remaining_iterations
+        assert a.busy_gpu_s == b.busy_gpu_s
+
+    def test_service_after_matches_future_property(self):
+        job = self._job()
+        job.begin_segment(0.4, 300.0)
+        job.advance_epochs(3)
+        preview = job.service_after(5)
+        job.advance_epochs(5)
+        assert job.attained_service_gpu_s == preview
+
+    def test_begin_segment_guards_uncommitted_epochs(self):
+        job = self._job()
+        job.begin_segment(0.5, 300.0)
+        job.advance_epochs(1)
+        with pytest.raises(SimulationError):
+            job.begin_segment(0.4, 300.0)
+
+    def test_setters_commit_first(self):
+        job = self._job()
+        job.begin_segment(0.5, 300.0)
+        job.advance_epochs(2)
+        job.attained_service_gpu_s = 123.0
+        assert job.attained_service_gpu_s == 123.0
+        # the commit also materialized remaining/executed for those epochs
+        assert job.executed_time_s == 600.0
+
+    def test_finish_at_closes_everything(self):
+        job = self._job(total_iterations=100)
+        job.begin_segment(0.5, 300.0)
+        job.finish_at(50.0, 50.0)
+        assert job.state is JobState.FINISHED
+        assert job.remaining_iterations == 0.0
+        assert job.busy_gpu_s == 100.0  # 50 s x demand 2
+
+
+class TestStableEpochs:
+    def _job(self, job_id, *, arrival=0.0, demand=1, iters=10**9, it_time=0.2):
+        return SimJob(
+            JobSpec(
+                job_id=job_id,
+                arrival_time_s=arrival,
+                demand=demand,
+                model="resnet50",
+                class_id=0,
+                iteration_time_s=it_time,
+                total_iterations=iters,
+            )
+        )
+
+    def test_fifo_is_always_stable(self):
+        sched = make_scheduler("fifo")
+        jobs = [self._job(0), self._job(1, arrival=10.0)]
+        ordered = sched.order(jobs, 0.0)
+        assert sched.stable_epochs(ordered, 1, 10**6) == 10**6
+
+    def test_las_stops_before_promotion(self):
+        sched = make_scheduler("las", promote_threshold_gpu_s=10 * 300.0)
+        job = self._job(0)
+        job.begin_segment(0.5, 300.0)
+        ordered = sched.order([job], 0.0)
+        # promotes when attained (= k * 300 gpu-s) reaches 3000: at k=10
+        assert sched.stable_epochs(ordered, 1, 10**6) == 9
+
+    def test_las_running_overtakes_frozen(self):
+        sched = make_scheduler("las")
+        runner = self._job(0, demand=4)
+        runner.begin_segment(0.5, 300.0)
+        frozen = self._job(1)
+        frozen.attained_service_gpu_s = 13_000.0
+        ordered = sched.order([runner, frozen], 0.0)
+        assert ordered == [runner, frozen]
+        stable = sched.stable_epochs(ordered, 1, 10**6)
+        # runner accrues 1200 gpu-s/epoch; crosses 13000 between k=10, 11
+        assert stable == 10
+        # contract check: the order really is unchanged for k <= stable
+        runner.advance_epochs(stable)
+        assert sched.order([runner, frozen], 0.0) == ordered
+        runner.advance_epochs(1)
+        assert sched.order([runner, frozen], 0.0) != ordered
+
+    def test_srtf_running_catches_frozen(self):
+        sched = make_scheduler("srtf")
+        runner = self._job(0, iters=10**7)
+        runner.begin_segment(0.4, 300.0)  # 750 iters/epoch -> 150 s ideal/epoch
+        frozen = self._job(1, iters=10**7 - 50_000)
+        ordered = sched.order([runner, frozen], 0.0)
+        assert ordered == [frozen, runner]
+        stable = sched.stable_epochs(ordered, 2, 10**6)
+        # frozen is scheduled too but never advanced here; position 0 runs
+        # nothing in this synthetic check, so emulate only the runner.
+        runner.advance_epochs(stable)
+        assert sched.order([runner, frozen], 0.0) == ordered
+
+    def test_srtf_margin_respects_anchor_cancellation(self):
+        """Near-complete long jobs: the remaining-time keys are ~600 s but
+        their closed-form evaluation wobbles at ulps of the ~1e7 s anchor
+        (catastrophic cancellation).  The stability bound must stay inside
+        the window where the engine's own float order really holds."""
+        sched = make_scheduler("srtf")
+        u = self._job(0, iters=50_000_000, it_time=0.2)
+        v = self._job(1, iters=50_000_000, it_time=0.2)
+        u.begin_segment(0.25, 300.0)
+        v.begin_segment(0.2499, 300.0)  # v drains marginally faster
+        u.advance_epochs(41_660)
+        v.advance_epochs(41_655)
+        ordered = sched.order([u, v], 0.0)
+        h = sched.stable_epochs(ordered, 2, 10_000)
+        assert 0 <= h <= 10_000
+        for _ in range(min(h, 200)):
+            u.advance_epochs(1)
+            v.advance_epochs(1)
+            assert sched.order([u, v], 0.0) == ordered
+
+    def test_conservative_never_negative_or_above_horizon(self):
+        for name in ("fifo", "las", "srtf"):
+            sched = make_scheduler(name)
+            a, b = self._job(0), self._job(1)
+            a.begin_segment(0.5, 300.0)
+            b.begin_segment(0.25, 300.0)
+            ordered = sched.order([a, b], 0.0)
+            got = sched.stable_epochs(ordered, 2, 500)
+            assert 0 <= got <= 500

@@ -369,3 +369,58 @@ class TestPolicyMatrixSeam:
             assert json.dumps(serial[key].summary(), sort_keys=True) == json.dumps(
                 process[key].summary(), sort_keys=True
             )
+
+
+class TestCacheGC:
+    def _entry_paths(self, cache):
+        return sorted(cache.root.glob("*/*.pkl"))
+
+    def test_age_budget_drops_stale_entries(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_sweep(smoke_spec(), cache=cache)
+        paths = self._entry_paths(cache)
+        now = paths[0].stat().st_mtime
+        os.utime(paths[0], (now - 10_000, now - 10_000))
+        stats = cache.gc(max_age_s=5_000, now=now)
+        assert (stats.scanned, stats.removed, stats.kept) == (2, 1, 1)
+        assert stats.reclaimed_bytes > 0
+        assert len(cache) == 1
+        assert not paths[0].exists()
+        assert not paths[0].with_suffix(".json").exists()  # sidecar pruned too
+
+    def test_size_budget_evicts_lru_first(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        sweep = run_sweep(smoke_spec(), cache=cache)
+        paths = self._entry_paths(cache)
+        # Make the first entry the least recently used...
+        old = paths[0].stat().st_mtime - 5_000
+        os.utime(paths[0], (old, old))
+        # ...then touch it through a read: get() refreshes recency.
+        lru_cell, mru_cell = sweep.cells
+        lru_digest = paths[0].stem
+        touched = lru_cell if lru_cell.digest() == lru_digest else mru_cell
+        assert cache.get(touched) is not None
+        survivor_total = sum(
+            p.stat().st_size + p.with_suffix(".json").stat().st_size
+            for p in paths
+        )
+        stats = cache.gc(max_bytes=survivor_total // 2 + 1)
+        assert stats.removed == 1 and stats.kept == 1
+        # The read-refreshed entry survived the LRU eviction.
+        assert cache.get(touched) is not None
+
+    def test_no_budgets_is_a_scan(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_sweep(smoke_spec(), cache=cache)
+        stats = cache.gc()
+        assert (stats.scanned, stats.removed, stats.kept) == (2, 0, 2)
+        assert stats.kept_bytes > 0
+        assert "kept 2" in stats.render()
+
+    def test_gc_then_sweep_reexecutes_only_pruned_cells(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_sweep(smoke_spec(), cache=cache)
+        cache.gc(max_bytes=0)
+        assert len(cache) == 0
+        again = run_sweep(smoke_spec(), cache=cache)
+        assert (again.cache_hits, again.cache_misses) == (0, 2)
