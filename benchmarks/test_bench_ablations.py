@@ -14,7 +14,6 @@ import pytest
 from conftest import run_once
 
 from repro.analysis.reporting import format_table
-from repro.cluster.topology import LocalityModel
 from repro.core.pm_score import PMScoreTable
 from repro.experiments.common import build_environment
 from repro.scheduler.placement import make_placement

@@ -3,7 +3,6 @@
 from conftest import run_once
 
 from repro.experiments import run_experiment
-from repro.utils.stats import geomean
 
 
 def test_fig11_sia_jct(benchmark, report, bench_scale):

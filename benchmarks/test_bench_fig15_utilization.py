@@ -1,6 +1,5 @@
 """Fig. 15 bench — GPUs-in-use time series, Tiresias vs PAL."""
 
-import numpy as np
 from conftest import run_once
 
 from repro.experiments import run_experiment

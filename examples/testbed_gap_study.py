@@ -10,7 +10,6 @@ Run:  python examples/testbed_gap_study.py
 """
 
 from repro.analysis import format_table
-from repro.core import PMScoreTable
 from repro.experiments.common import build_environment, run_policy_matrix
 from repro.traces import generate_sia_philly_trace
 from repro.variability import ProfileErrorInjection, synthesize_profile

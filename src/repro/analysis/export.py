@@ -35,6 +35,7 @@ _JOB_FIELDS = (
     "n_migrations",
     "n_preemptions",
     "n_restarts",
+    "n_resizes",
 )
 
 

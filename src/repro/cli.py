@@ -71,6 +71,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--workload", type=int, default=1, help="Sia workload id (1..8)")
     p_trace.add_argument("--jobs", type=int, default=None, help="number of jobs")
     p_trace.add_argument("--rate", type=float, default=10.0, help="Synergy jobs/hour")
+    p_trace.add_argument(
+        "--elastic-fraction", type=float, default=0.0,
+        help="fraction of Synergy jobs generated with elastic-demand bounds",
+    )
     p_trace.add_argument("--seed", type=int, default=0)
     p_trace.add_argument("--out", type=Path, default=None, help="write CSV here")
 
@@ -87,7 +91,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--rate", type=float, default=10.0)
     p_sim.add_argument("--jobs", type=int, default=None)
     p_sim.add_argument("--gpus", type=int, default=64)
-    p_sim.add_argument("--scheduler", choices=("fifo", "las", "srtf"), default="fifo")
+    p_sim.add_argument(
+        "--scheduler", choices=("fifo", "las", "elastic-las", "srtf"), default="fifo"
+    )
+    p_sim.add_argument(
+        "--elastic-fraction", type=float, default=0.0,
+        help="fraction of Synergy jobs generated with elastic-demand bounds "
+        "(pair with --scheduler elastic-las to see resizing)",
+    )
     p_sim.add_argument(
         "--placement",
         default="pal",
@@ -101,10 +112,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--traces",
         default="sia:1",
-        help="comma list of trace specs: sia:<workload> or synergy:<jobs/hour>",
+        help="comma list of trace specs: sia:<workload>, synergy:<jobs/hour>, "
+        "or synergy:<jobs/hour>:e<fraction> for elastic-demand jobs",
     )
     p_sweep.add_argument(
-        "--schedulers", default="fifo", help="comma list of fifo,las,srtf"
+        "--schedulers", default="fifo",
+        help="comma list of fifo,las,elastic-las,srtf",
     )
     p_sweep.add_argument(
         "--placements",
@@ -161,10 +174,19 @@ def _cmd_list(_: argparse.Namespace) -> int:
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     if args.kind == "sia":
+        if args.elastic_fraction:
+            raise ConfigurationError(
+                "--elastic-fraction is only supported for synergy traces"
+            )
         cfg = SiaPhillyConfig(n_jobs=args.jobs) if args.jobs else None
         trace = generate_sia_philly_trace(args.workload, config=cfg, seed=args.seed)
     else:
-        trace = generate_synergy_trace(args.rate, n_jobs=args.jobs, seed=args.seed)
+        trace = generate_synergy_trace(
+            args.rate,
+            n_jobs=args.jobs,
+            elastic_fraction=args.elastic_fraction or None,
+            seed=args.seed,
+        )
     text = trace.to_csv(args.out)
     if args.out is None:
         print(text, end="")
@@ -193,10 +215,19 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         args.gpus, rng=stream(args.seed, "cli/sample")
     )
     if args.trace == "sia":
+        if args.elastic_fraction:
+            raise ConfigurationError(
+                "--elastic-fraction is only supported for synergy traces"
+            )
         cfg = SiaPhillyConfig(n_jobs=args.jobs) if args.jobs else None
         trace = generate_sia_philly_trace(args.workload, config=cfg, seed=args.seed)
     else:
-        trace = generate_synergy_trace(args.rate, n_jobs=args.jobs or 800, seed=args.seed)
+        trace = generate_synergy_trace(
+            args.rate,
+            n_jobs=args.jobs or 800,
+            elastic_fraction=args.elastic_fraction or None,
+            seed=args.seed,
+        )
     sim = ClusterSimulator(
         topology=topo,
         true_profile=profile,
@@ -228,14 +259,26 @@ def _parse_trace_specs(text: str, n_jobs: int | None) -> tuple[TraceSpec, ...]:
             if kind == "sia":
                 specs.append(TraceSpec("sia", workload=int(value or 1), n_jobs=n_jobs))
             elif kind == "synergy":
+                load_text, _, elastic_text = value.partition(":")
+                elastic = 0.0
+                if elastic_text:
+                    if not elastic_text.startswith("e"):
+                        raise ValueError
+                    elastic = float(elastic_text[1:])
                 specs.append(
-                    TraceSpec("synergy", load=float(value or 10.0), n_jobs=n_jobs)
+                    TraceSpec(
+                        "synergy",
+                        load=float(load_text or 10.0),
+                        n_jobs=n_jobs,
+                        elastic_fraction=elastic,
+                    )
                 )
             else:
                 raise ValueError
         except ValueError:
             raise ConfigurationError(
-                f"bad trace spec {part!r}; use sia:<workload> or synergy:<jobs/hour>"
+                f"bad trace spec {part!r}; use sia:<workload>, "
+                f"synergy:<jobs/hour>, or synergy:<jobs/hour>:e<fraction>"
             ) from None
     if not specs:
         raise ConfigurationError("--traces must name at least one trace")

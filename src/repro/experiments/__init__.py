@@ -26,6 +26,8 @@ online    extension: dynamic online PM-Score updates (Sec. V-A
           future work, implemented)
 hetero    extension: mixed-architecture cluster, PAL vs
           Gavel-style arch-aware scheduling (Sec. VI claim)
+elastic   extension: elastic-demand jobs (Pollux-style resizing)
+          — ElasticLAS vs rigid LAS on the fig14 load sweep
 ========  =====================================================
 """
 
@@ -35,6 +37,7 @@ from typing import Callable
 
 from ..utils.errors import ConfigurationError
 from . import (
+    elastic,
     fig03_classifier,
     fig05_binning,
     fig11_sia,
@@ -82,6 +85,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "headline": headline.run,
     "online": online_updates.run,
     "hetero": hetero.run,
+    "elastic": elastic.run,
 }
 
 

@@ -37,8 +37,10 @@ __all__ = ["TraceSpec", "EnvSpec", "RunSpec", "SweepSpec", "SPEC_VERSION"]
 #: previously cached results (part of every digest).  v2: the simulator
 #: moved to segment-lazy closed-form accounting (event-horizon
 #: fast-forward), which perturbs float metrics at the ~1e-12 level
-#: relative to v1's per-epoch accumulation.
-SPEC_VERSION = 2
+#: relative to v1's per-epoch accumulation.  v3: ``TraceSpec`` grew the
+#: ``elastic_fraction`` axis (elastic-demand jobs), changing every
+#: cell's digest pre-image.
+SPEC_VERSION = 3
 
 _TRACE_KINDS = ("sia", "synergy")
 
@@ -51,6 +53,8 @@ class TraceSpec:
     ``kind="synergy"`` uses ``load`` (Poisson jobs/hour). ``seed=None``
     inherits the cell seed, so a seed sweep re-generates traces per
     seed; pin it to sweep schedulers/placements over one fixed trace.
+    ``elastic_fraction`` (synergy only) emits that share of jobs with
+    elastic-demand bounds for elastic-aware schedulers to resize.
     """
 
     kind: str
@@ -58,6 +62,7 @@ class TraceSpec:
     load: float = 10.0
     n_jobs: int | None = None
     seed: int | None = None
+    elastic_fraction: float = 0.0
 
     def __post_init__(self) -> None:
         if self.kind not in _TRACE_KINDS:
@@ -70,12 +75,23 @@ class TraceSpec:
             raise ConfigurationError(f"load={self.load} must be positive")
         if self.n_jobs is not None and self.n_jobs < 1:
             raise ConfigurationError(f"n_jobs={self.n_jobs} must be >= 1")
+        if not 0.0 <= self.elastic_fraction <= 1.0:
+            raise ConfigurationError(
+                f"elastic_fraction={self.elastic_fraction} must be in [0, 1]"
+            )
+        if self.kind == "sia" and self.elastic_fraction > 0.0:
+            raise ConfigurationError(
+                "elastic_fraction is only supported for synergy traces"
+            )
 
     @property
     def label(self) -> str:
         if self.kind == "sia":
             return f"sia:{self.workload}"
-        return f"synergy:{self.load:g}"
+        base = f"synergy:{self.load:g}"
+        if self.elastic_fraction > 0.0:
+            return f"{base}:e{self.elastic_fraction:g}"
+        return base
 
     def build(self, default_seed: int) -> "Trace":
         """Generate the concrete trace (worker-side)."""
@@ -87,7 +103,12 @@ class TraceSpec:
             return generate_sia_philly_trace(self.workload, config=cfg, seed=seed)
         from ..traces.synergy import generate_synergy_trace
 
-        return generate_synergy_trace(self.load, n_jobs=self.n_jobs, seed=seed)
+        return generate_synergy_trace(
+            self.load,
+            n_jobs=self.n_jobs,
+            elastic_fraction=self.elastic_fraction or None,
+            seed=seed,
+        )
 
 
 @dataclass(frozen=True)

@@ -7,9 +7,10 @@ from .admission import (
     MaxQueueLength,
     make_admission,
 )
+from .engine import RoundContext, RoundEngine, RoundStage, StageOutcome
 from .events import Event, EventLog, EventType
 from .jobs import JobState, SimJob
-from .metrics import JobRecord, SimulationResult
+from .metrics import ADMISSION_REJECTIONS_KEY, JobRecord, SimulationResult
 from .online import OnlinePMScoreTable, OnlineUpdateConfig
 from .placement import (
     ALL_POLICY_NAMES,
@@ -23,6 +24,7 @@ from .placement import (
     make_placement,
 )
 from .policies import (
+    ElasticLASScheduler,
     FIFOScheduler,
     LASScheduler,
     SchedulingPolicy,
@@ -39,8 +41,13 @@ __all__ = [
     "make_admission",
     "JobState",
     "SimJob",
+    "ADMISSION_REJECTIONS_KEY",
     "JobRecord",
     "SimulationResult",
+    "RoundEngine",
+    "RoundContext",
+    "RoundStage",
+    "StageOutcome",
     "OnlinePMScoreTable",
     "OnlineUpdateConfig",
     "Event",
@@ -57,6 +64,7 @@ __all__ = [
     "make_placement",
     "FIFOScheduler",
     "LASScheduler",
+    "ElasticLASScheduler",
     "SchedulingPolicy",
     "SRTFScheduler",
     "make_scheduler",

@@ -1,0 +1,69 @@
+"""Composable round-pipeline engine for the cluster simulator.
+
+The paper's evaluation loop (Sec. V-C) is a sequence of per-round
+phases: admit → order → mark-at-cluster-size → place → execute.  This
+package makes each phase an explicit, replaceable :class:`RoundStage`
+operating on a shared :class:`RoundContext` blackboard:
+
+=====================  ==================================================
+stage                  responsibility
+=====================  ==================================================
+:class:`ArrivalStage`      admission control, queue entry, idle
+                           fast-forward to the next pending arrival
+:class:`OrderingStage`     scheduling-policy order + guaranteed-prefix
+                           marking + preemption of demoted jobs
+:class:`ResizeStage`       (elastic pipelines only) shrink/grow the
+                           GPU demand of marked elastic jobs per the
+                           scheduler's :meth:`plan_demands`
+:class:`PlacementStage`    sticky/non-sticky GPU dispatch, steady-state
+                           memoization, placement wall-clock timing
+:class:`FastForwardStage`  event-horizon multi-epoch jump over provably
+                           quiet rounds (bit-identical to stepping)
+:class:`ExecutionStage`    one epoch of BSP execution: slowdown
+                           charging, completions, the batched
+                           idle→arrival jump
+=====================  ==================================================
+
+:class:`RoundEngine` wires the stages into a pipeline and drives the
+outer loop; :class:`repro.scheduler.simulator.ClusterSimulator` is the
+thin public façade over it.  A stage returns
+:data:`StageOutcome.NEXT_STAGE` to pass control down the pipeline or
+:data:`StageOutcome.NEXT_ROUND` to abandon the rest of the round (e.g.
+after an idle or event-horizon jump).  New scenarios plug in as new
+stages (or stage subclasses) instead of new conditionals inside a
+monolithic loop — see README "The engine" for a worked example.
+"""
+
+from .config import SimulatorConfig
+from .context import (
+    PlacementTimeRecorder,
+    RoundContext,
+    StageOutcome,
+    UtilizationRecorder,
+)
+from .core import RoundEngine
+from .stages import (
+    ArrivalStage,
+    ExecutionStage,
+    FastForwardStage,
+    OrderingStage,
+    PlacementStage,
+    ResizeStage,
+    RoundStage,
+)
+
+__all__ = [
+    "SimulatorConfig",
+    "RoundContext",
+    "StageOutcome",
+    "UtilizationRecorder",
+    "PlacementTimeRecorder",
+    "RoundEngine",
+    "RoundStage",
+    "ArrivalStage",
+    "OrderingStage",
+    "ResizeStage",
+    "PlacementStage",
+    "FastForwardStage",
+    "ExecutionStage",
+]

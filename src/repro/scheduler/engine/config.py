@@ -1,0 +1,66 @@
+"""Engine configuration (public surface: ``SimulatorConfig``).
+
+Lives inside the engine package so every stage can import it without
+touching the :mod:`repro.scheduler.simulator` façade; the façade
+re-exports it, keeping ``from repro.scheduler.simulator import
+SimulatorConfig`` working unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...utils.errors import ConfigurationError
+from ..online import OnlineUpdateConfig
+
+__all__ = ["SimulatorConfig"]
+
+
+@dataclass(frozen=True)
+class SimulatorConfig:
+    """Engine knobs.
+
+    ``migration_overhead_s`` charges a fixed checkpoint/restore cost at
+    the start of an epoch in which a job was migrated, restarted, or
+    resized (paper: "typically negligible", default 0 — the ablation
+    benches sweep it). ``validate_invariants`` re-checks cluster-state
+    consistency every round (tests enable it; large sweeps keep it off).
+
+    ``fast_forward`` enables the event-horizon fast-forward (see
+    :mod:`repro.scheduler.engine`): quiet rounds are batched into one
+    analytic jump whose results are bit-identical to the naive per-epoch
+    loop — same records, metrics, utilization series, event log, and
+    ``epochs_run`` (only the wall-clock ``placement_times_s`` entries of
+    skipped rounds read 0.0, as no placement code runs for them).  It
+    auto-disables itself wherever semantics forbid skipping (online PM
+    updates, non-sticky randomized placement, blocked admissions,
+    overhead rounds, resizable elastic jobs), so it is safe to leave on;
+    set False to force the naive loop, e.g. when benchmarking the engine
+    itself.
+    """
+
+    epoch_s: float = 300.0
+    migration_overhead_s: float = 0.0
+    max_epochs: int = 2_000_000
+    record_utilization: bool = True
+    validate_invariants: bool = False
+    fast_forward: bool = True
+    #: Enable dynamic online PM-Score updates (the paper's Sec. V-A
+    #: future work): each epoch's observed iteration times are folded
+    #: back into the believed scores (see repro.scheduler.online).
+    online_pm_updates: bool = False
+    #: EWMA parameters for the online updater (None = defaults).
+    online_update_config: "OnlineUpdateConfig | None" = None
+    #: Record a structured per-job lifecycle event log (see
+    #: repro.scheduler.events) on the result's ``events`` attribute.
+    record_events: bool = False
+
+    def __post_init__(self) -> None:
+        if self.epoch_s <= 0:
+            raise ConfigurationError("epoch_s must be positive")
+        if self.migration_overhead_s < 0:
+            raise ConfigurationError("migration_overhead_s must be >= 0")
+        if self.migration_overhead_s >= self.epoch_s:
+            raise ConfigurationError("migration_overhead_s must be < epoch_s")
+        if self.max_epochs < 1:
+            raise ConfigurationError("max_epochs must be >= 1")

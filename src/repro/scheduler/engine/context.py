@@ -1,0 +1,235 @@
+"""The round pipeline's shared state and batched series recorders.
+
+:class:`RoundContext` is the blackboard every :class:`RoundStage` reads
+and writes: the simulated clock, the job queues, the current round's
+ordering/marking/placement products, and the cross-round flags that
+drive memoization and fast-forward.  Keeping all of it in one explicit
+dataclass (instead of local variables of a monolithic loop) is what
+lets stages compose.
+
+The two recorders batch the per-round series bookkeeping:
+
+* :class:`UtilizationRecorder` stores the GPUs-in-use series as
+  run-length segments ``(start epoch, n epochs, busy)`` and materializes
+  the dense ``epoch_times_s`` / ``gpus_in_use`` arrays once at the end
+  of the run.  A multi-epoch fast-forward jump extends the last segment
+  in O(1) instead of appending one Python float per skipped epoch.
+* :class:`PlacementTimeRecorder` stores only the rounds in which
+  placement code actually ran (index, wall-clock seconds) plus a total
+  round counter; skipped rounds cost a single integer add, and the
+  final dense array (zeros for skipped rounds) is materialized once.
+
+Both recorders reproduce the exact arrays the eager per-round appends
+produced — ``epoch_times_s[i] = epoch_idx * epoch_s`` evaluates the
+same float multiplication either way — so golden metrics and the
+fast-forward equivalence contract are unaffected.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ...cluster.state import ClusterState
+from ...cluster.topology import ClusterTopology, LocalityModel
+from ...utils.errors import SimulationError
+from ..admission import AdmissionPolicy
+from ..events import EventLog
+from ..jobs import SimJob
+from ..placement.base import PlacementContext, PlacementPolicy
+from ..policies import SchedulingPolicy
+from .config import SimulatorConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..online import OnlinePMScoreTable
+
+__all__ = [
+    "StageOutcome",
+    "UtilizationRecorder",
+    "PlacementTimeRecorder",
+    "RoundContext",
+]
+
+
+class StageOutcome(enum.Enum):
+    """What a stage tells the engine to do next."""
+
+    #: Hand control to the next stage of the pipeline.
+    NEXT_STAGE = "next-stage"
+    #: Abandon the rest of this round and start the next one (the clock
+    #: has already been advanced by the stage — idle jump, event-horizon
+    #: jump).
+    NEXT_ROUND = "next-round"
+
+
+class UtilizationRecorder:
+    """GPUs-in-use series as run-length segments (see module docstring)."""
+
+    __slots__ = ("_starts", "_counts", "_busy")
+
+    def __init__(self) -> None:
+        self._starts: list[int] = []
+        self._counts: list[int] = []
+        self._busy: list[int] = []
+
+    def record(self, epoch_idx: int, busy: int, n: int = 1) -> None:
+        """Record ``n`` consecutive epochs starting at ``epoch_idx`` with
+        ``busy`` GPUs in use; contiguous equal-busy runs coalesce."""
+        if (
+            self._starts
+            and self._busy[-1] == busy
+            and self._starts[-1] + self._counts[-1] == epoch_idx
+        ):
+            self._counts[-1] += n
+        else:
+            self._starts.append(epoch_idx)
+            self._counts.append(n)
+            self._busy.append(busy)
+
+    def materialize(self, epoch_s: float) -> tuple[np.ndarray, np.ndarray]:
+        """Dense ``(epoch_times_s, gpus_in_use)`` arrays."""
+        if not self._starts:
+            return (
+                np.asarray([], dtype=np.float64),
+                np.asarray([], dtype=np.int64),
+            )
+        times = (
+            np.concatenate(
+                [
+                    np.arange(s, s + c, dtype=np.float64)
+                    for s, c in zip(self._starts, self._counts)
+                ]
+            )
+            * epoch_s
+        )
+        busy = np.repeat(
+            np.asarray(self._busy, dtype=np.int64),
+            np.asarray(self._counts, dtype=np.int64),
+        )
+        return times, busy
+
+
+class PlacementTimeRecorder:
+    """Sparse per-round placement wall-clock times (see module docstring)."""
+
+    __slots__ = ("_n", "_indices", "_values")
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._indices: list[int] = []
+        self._values: list[float] = []
+
+    def record(self, seconds: float) -> None:
+        """One round in which placement code ran for ``seconds``."""
+        self._indices.append(self._n)
+        self._values.append(seconds)
+        self._n += 1
+
+    def skip(self, n: int) -> None:
+        """``n`` jumped rounds in which no placement code ran (0.0 s)."""
+        self._n += n
+
+    def materialize(self) -> np.ndarray:
+        out = np.zeros(self._n, dtype=np.float64)
+        if self._indices:
+            out[np.asarray(self._indices, dtype=np.int64)] = self._values
+        return out
+
+
+@dataclass
+class RoundContext:
+    """Blackboard shared by every stage of one simulation run."""
+
+    # ---- fixed collaborators (set once per run) -----------------------
+    config: SimulatorConfig
+    topology: ClusterTopology
+    scheduler: SchedulingPolicy
+    placement: PlacementPolicy
+    admission: AdmissionPolicy
+    locality: LocalityModel
+    cluster: ClusterState
+    placement_ctx: PlacementContext
+    #: Dense (classes x gpus) ground-truth scores charged at execution.
+    true_scores: np.ndarray
+    online: "OnlinePMScoreTable | None"
+    events: EventLog | None
+    jobs: list[SimJob]
+    #: Arrival-ordered view of ``jobs``; ``pending[next_pending:]`` have
+    #: not been admitted yet.
+    pending: list[SimJob]
+
+    # ---- simulated clock ---------------------------------------------
+    #: Simulated time is an integer epoch index; ``now`` is always
+    #: ``epoch_idx * epoch_s``, so a multi-epoch jump lands on the
+    #: bit-identical timestamp the per-epoch loop would reach.
+    epoch_idx: int = 0
+    epochs_run: int = 0
+    now: float = 0.0
+
+    # ---- queue state --------------------------------------------------
+    next_pending: int = 0
+    active: list[SimJob] = field(default_factory=list)
+    n_finished: int = 0
+
+    # ---- per-round products (rewritten every round) -------------------
+    ordered: list[SimJob] = field(default_factory=list)
+    n_guaranteed: int = 0
+    scheduled: list[SimJob] = field(default_factory=list)
+    #: Job ids that migrated/restarted this round (pay migration overhead).
+    disturbed: set[int] = field(default_factory=set)
+    #: job id -> (previous GPU set, previous demand) for jobs whose
+    #: allocation was released by a ResizeStage demand change this round.
+    resized: dict[int, tuple[np.ndarray, int]] = field(default_factory=dict)
+
+    # ---- cross-round flags --------------------------------------------
+    #: True whenever GPUs were released or rearranged since the last
+    #: placement, invalidating the steady-state memoization.
+    state_dirty: bool = True
+    prev_sched_ids: tuple[int, ...] | None = None
+    can_memoize: bool = False
+    ff_enabled: bool = False
+    #: True when the pipeline contains an active ResizeStage (elastic
+    #: jobs under an elastic-aware scheduler) — disables fast-forward.
+    resize_active: bool = False
+
+    # ---- batched series recorders -------------------------------------
+    utilization: UtilizationRecorder = field(default_factory=UtilizationRecorder)
+    placement_times: PlacementTimeRecorder = field(
+        default_factory=PlacementTimeRecorder
+    )
+
+    @property
+    def epoch_s(self) -> float:
+        return self.config.epoch_s
+
+    # ------------------------------------------------------------------
+    def begin_round(self) -> None:
+        """Advance the clock to this round and account it.
+
+        Raises :class:`SimulationError` when the ``max_epochs`` budget is
+        exhausted — evaluated *before* the round is counted, exactly as
+        the monolithic loop did.
+        """
+        self.now = self.epoch_idx * self.epoch_s
+        if self.epochs_run >= self.config.max_epochs:
+            raise SimulationError(
+                f"simulation exceeded max_epochs={self.config.max_epochs} "
+                f"({self.n_finished}/{len(self.jobs)} jobs finished "
+                f"at t={self.now:.0f}s)"
+            )
+        self.epochs_run += 1
+
+    def idle_jump(self) -> None:
+        """Jump the clock to the next pending arrival's epoch.
+
+        Called on a round with an empty active queue; lands on the same
+        epoch index the per-epoch loop's ``arrival > now`` comparisons
+        would first admit the job at.
+        """
+        arrival = self.pending[self.next_pending].spec.arrival_time_s
+        self.epoch_idx = max(
+            self.epoch_idx + 1, int(np.ceil(arrival / self.epoch_s))
+        )

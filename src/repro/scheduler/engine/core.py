@@ -1,0 +1,233 @@
+"""The round-pipeline driver: wires stages, runs the loop, collects results.
+
+:class:`RoundEngine` owns one simulation run.  It validates the trace,
+builds the :class:`~repro.scheduler.engine.context.RoundContext`,
+assembles the stage pipeline (inserting the
+:class:`~repro.scheduler.engine.stages.ResizeStage` only when the
+scheduler is elastic-aware and the trace actually contains elastic
+jobs), and drives rounds until every job finishes:
+
+.. code-block:: text
+
+    while unfinished jobs:
+        ctx.begin_round()                  # clock + max_epochs guard
+        for stage in pipeline:
+            if stage.run(ctx) is NEXT_ROUND:
+                break
+
+Custom engines subclass and override :meth:`build_stages` to insert,
+replace, or remove stages; everything a stage needs lives on the
+context, so stages compose without knowing about each other.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...cluster.state import ClusterState
+from ...cluster.topology import ClusterTopology, LocalityModel
+from ...core.pm_score import PMScoreTable
+from ...traces.trace import Trace
+from ...utils.errors import ConfigurationError
+from ...utils.rng import stream
+from ...variability.profiles import VariabilityProfile
+from ..admission import AdmissionPolicy
+from ..events import EventLog
+from ..jobs import SimJob
+from ..metrics import ADMISSION_REJECTIONS_KEY, JobRecord, SimulationResult
+from ..online import OnlinePMScoreTable, OnlineUpdateConfig
+from ..placement.base import PlacementContext, PlacementPolicy
+from ..policies import SchedulingPolicy
+from .config import SimulatorConfig
+from .context import RoundContext, StageOutcome
+from .stages import (
+    ArrivalStage,
+    ExecutionStage,
+    FastForwardStage,
+    OrderingStage,
+    PlacementStage,
+    ResizeStage,
+    RoundStage,
+)
+
+__all__ = ["RoundEngine"]
+
+
+class RoundEngine:
+    """Runs one (trace, scheduler, placement) simulation as a stage pipeline."""
+
+    def __init__(
+        self,
+        *,
+        topology: ClusterTopology,
+        true_profile: VariabilityProfile,
+        scheduler: SchedulingPolicy,
+        placement: PlacementPolicy,
+        pm_table: PMScoreTable | None,
+        locality: LocalityModel,
+        admission: AdmissionPolicy,
+        config: SimulatorConfig,
+        arch_of_gpu: np.ndarray | None = None,
+        seed: int = 0,
+    ):
+        self.topology = topology
+        self.true_profile = true_profile
+        self.scheduler = scheduler
+        self.placement = placement
+        self.pm_table = pm_table
+        self.locality = locality
+        self.admission = admission
+        self.config = config
+        self.arch_of_gpu = arch_of_gpu
+        self.seed = seed
+        # True scores as a dense (classes x gpus) array for fast max().
+        self._true_scores = np.ascontiguousarray(true_profile.scores)
+        self.online_table: OnlinePMScoreTable | None = None
+
+    # ------------------------------------------------------------------
+    def _validate_trace(self, trace: Trace) -> None:
+        if trace.max_demand > self.topology.n_gpus:
+            raise ConfigurationError(
+                f"trace {trace.name!r} contains a {trace.max_demand}-GPU job; "
+                f"cluster has only {self.topology.n_gpus} GPUs"
+            )
+        for spec in trace:
+            if spec.class_id >= self.true_profile.n_classes:
+                raise ConfigurationError(
+                    f"job {spec.job_id} has class {spec.class_id} but the profile "
+                    f"defines {self.true_profile.n_classes} classes"
+                )
+
+    def build_context(self, trace: Trace) -> RoundContext:
+        """Assemble the run's blackboard (see :class:`RoundContext`)."""
+        cfg = self.config
+        state = ClusterState(self.topology)
+        table = self.pm_table
+        online: OnlinePMScoreTable | None = None
+        if cfg.online_pm_updates and table is not None:
+            online = OnlinePMScoreTable(
+                table, cfg.online_update_config or OnlineUpdateConfig()
+            )
+            table = online  # placement reads the live beliefs
+            self.online_table = online
+        placement_ctx = PlacementContext(
+            state=state,
+            topology=self.topology,
+            locality=self.locality,
+            pm_table=table,
+            rng=stream(self.seed, f"placement/{self.placement.name}/{trace.name}"),
+            arch_of_gpu=self.arch_of_gpu,
+        )
+        jobs = [SimJob(spec) for spec in trace]
+        # Steady-state memoization for deterministic non-sticky policies:
+        # if the guaranteed prefix is identical to last round's and nothing
+        # released or rearranged GPUs in between, re-placement would
+        # reproduce the same allocations — skip it. Online updates mutate
+        # the beliefs between rounds, so they disable the memoization.
+        can_memoize = (
+            self.placement.deterministic
+            and not self.placement.sticky
+            and online is None
+        )
+        resize_active = self.scheduler.elastic_aware and any(
+            j.spec.is_elastic for j in jobs
+        )
+        # Fast-forward needs rounds to be provably quiet; online belief
+        # updates and elastic demand re-planning both mutate state the
+        # quiet-window analysis cannot see, so they force the naive loop.
+        ff_enabled = cfg.fast_forward and online is None and not resize_active
+        return RoundContext(
+            config=cfg,
+            topology=self.topology,
+            scheduler=self.scheduler,
+            placement=self.placement,
+            admission=self.admission,
+            locality=self.locality,
+            cluster=state,
+            placement_ctx=placement_ctx,
+            true_scores=self._true_scores,
+            online=online,
+            events=EventLog() if cfg.record_events else None,
+            jobs=jobs,
+            pending=list(jobs),  # arrival-ordered
+            can_memoize=can_memoize,
+            ff_enabled=ff_enabled,
+            resize_active=resize_active,
+        )
+
+    def build_stages(self, ctx: RoundContext) -> list[RoundStage]:
+        """The default pipeline; override to insert or replace stages."""
+        stages: list[RoundStage] = [
+            ArrivalStage(),
+            OrderingStage(mark_and_preempt=not ctx.resize_active),
+        ]
+        if ctx.resize_active:
+            stages.append(ResizeStage())
+        stages.extend([PlacementStage(), FastForwardStage(), ExecutionStage()])
+        return stages
+
+    # ------------------------------------------------------------------
+    def run(self, trace: Trace) -> SimulationResult:
+        """Simulate ``trace`` to completion and return the metrics."""
+        self._validate_trace(trace)
+        ctx = self.build_context(trace)
+        stages = self.build_stages(ctx)
+        arrival_stage = next(s for s in stages if isinstance(s, ArrivalStage))
+
+        n_jobs = len(ctx.jobs)
+        while ctx.n_finished < n_jobs:
+            ctx.begin_round()
+            for stage in stages:
+                if stage.run(ctx) is StageOutcome.NEXT_ROUND:
+                    break
+
+        return self._collect(trace, ctx, arrival_stage)
+
+    # ------------------------------------------------------------------
+    def _collect(
+        self, trace: Trace, ctx: RoundContext, arrival_stage: ArrivalStage
+    ) -> SimulationResult:
+        events = ctx.events
+        if events is not None:
+            # Emission happens in scheduling order within an epoch, but
+            # FINISH timestamps land mid-epoch; a stable time sort makes
+            # the log globally ordered while preserving same-instant
+            # causality (ADMIT before START, etc.).
+            events = EventLog(sorted(events.events, key=lambda e: e.time_s))
+        records = tuple(
+            JobRecord(
+                job_id=j.job_id,
+                model=j.model,
+                class_id=j.class_id,
+                demand=j.spec.demand,
+                arrival_s=j.spec.arrival_time_s,
+                first_start_s=float(j.first_start_s),  # type: ignore[arg-type]
+                finish_s=float(j.finish_time_s),  # type: ignore[arg-type]
+                executed_s=j.executed_time_s,
+                ideal_duration_s=j.spec.ideal_duration_s,
+                n_migrations=j.n_migrations,
+                n_preemptions=j.n_preemptions,
+                n_restarts=j.n_restarts,
+                n_resizes=j.n_resizes,
+            )
+            for j in ctx.jobs
+        )
+        epoch_times, gpus_in_use = ctx.utilization.materialize(ctx.epoch_s)
+        return SimulationResult(
+            trace_name=trace.name,
+            scheduler_name=self.scheduler.name,
+            placement_name=self.placement.name,
+            cluster_size=self.topology.n_gpus,
+            epoch_s=ctx.epoch_s,
+            records=records,
+            epoch_times_s=epoch_times,
+            gpus_in_use=gpus_in_use,
+            placement_times_s=ctx.placement_times.materialize(),
+            busy_gpu_seconds=sum(j.busy_gpu_s for j in ctx.jobs),
+            metadata={
+                "seed": self.seed,
+                "epochs_run": ctx.epochs_run,
+                ADMISSION_REJECTIONS_KEY: arrival_stage.n_rejections,
+            },
+            events=events,
+        )

@@ -1,0 +1,600 @@
+"""The round pipeline's stages (see package docstring for the map).
+
+Each stage is a small object with one ``run(ctx)`` method over the
+shared :class:`~repro.scheduler.engine.context.RoundContext`.  The
+stages are written to be *individually* replaceable: a custom pipeline
+may subclass any of them (or insert new ones) without touching the
+others, as long as it preserves each stage's documented contract on the
+context fields it reads and writes.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ...core.pm_first import mark_queue_at_cluster_size
+from ...utils.errors import SimulationError
+from ..admission import AdmissionRejectionWarning
+from ..events import EventType
+from ..jobs import JobState, SimJob
+from .context import RoundContext, StageOutcome
+
+__all__ = [
+    "RoundStage",
+    "ArrivalStage",
+    "OrderingStage",
+    "ResizeStage",
+    "PlacementStage",
+    "FastForwardStage",
+    "ExecutionStage",
+]
+
+_NEXT_STAGE = StageOutcome.NEXT_STAGE
+_NEXT_ROUND = StageOutcome.NEXT_ROUND
+
+
+class RoundStage(ABC):
+    """One phase of the scheduling round pipeline."""
+
+    #: Stable identifier used in progress/debug output.
+    name: str = "stage"
+
+    @abstractmethod
+    def run(self, ctx: RoundContext) -> StageOutcome:
+        """Execute this phase for the current round."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class ArrivalStage(RoundStage):
+    """Admission control + queue entry + idle fast-forward.
+
+    Reads ``pending``/``next_pending``; appends admitted jobs to
+    ``active``.  Owns the rejection observability state: the
+    ``warned_rejects`` one-warning-per-job set and the rejection counter
+    surfaced in ``SimulationResult.metadata`` under
+    :data:`repro.scheduler.metrics.ADMISSION_REJECTIONS_KEY`.
+
+    When the active queue is empty after arrivals, jumps the clock to
+    the next pending arrival and ends the round.
+    """
+
+    name = "arrival"
+
+    def __init__(self) -> None:
+        self.n_rejections = 0
+        self.warned_rejects: set[int] = set()
+
+    def run(self, ctx: RoundContext) -> StageOutcome:
+        now = ctx.now
+        events = ctx.events
+        # Demand-based admission backpressure measures the width the
+        # scheduler is *committed* to.  In an elastic pipeline that is
+        # each job's demand floor — a job temporarily grown to soak up
+        # idle GPUs would otherwise inflate `outstanding` and starve
+        # later arrivals the scheduler could trivially make room for by
+        # shrinking it.  Rigid pipelines keep the current-width sum
+        # (identical to the submitted demand there).
+        if ctx.resize_active:
+            outstanding = sum(j.spec.demand_floor for j in ctx.active)
+        else:
+            outstanding = sum(j.demand for j in ctx.active)
+        while ctx.next_pending < len(ctx.pending):
+            job = ctx.pending[ctx.next_pending]
+            if job.spec.arrival_time_s > now:
+                break
+            if not ctx.admission.admit(
+                job,
+                queued_jobs=len(ctx.active),
+                outstanding_demand=outstanding,
+                cluster_size=ctx.topology.n_gpus,
+            ):
+                # The job stays pending and is re-offered, in arrival
+                # order, next round — which also stalls every later
+                # arrival. Surface it: a structured warning on the
+                # first rejection of each job, a REJECT event per
+                # occurrence, and a metadata counter.
+                self.n_rejections += 1
+                reason = (
+                    f"{len(ctx.active)} queued jobs, outstanding demand "
+                    f"{outstanding}/{ctx.topology.n_gpus} GPUs"
+                )
+                if job.job_id not in self.warned_rejects:
+                    self.warned_rejects.add(job.job_id)
+                    warnings.warn(
+                        AdmissionRejectionWarning(
+                            job.job_id, ctx.admission.name, now, reason
+                        ),
+                        stacklevel=2,
+                    )
+                if events is not None:
+                    events.append(
+                        now,
+                        EventType.REJECT,
+                        job.job_id,
+                        policy=ctx.admission.name,
+                        queued_jobs=len(ctx.active),
+                        outstanding_demand=outstanding,
+                    )
+                break  # re-offered (in arrival order) next round
+            job.state = JobState.QUEUED
+            ctx.active.append(job)
+            outstanding += (
+                job.spec.demand_floor if ctx.resize_active else job.demand
+            )
+            ctx.next_pending += 1
+            if events is not None:
+                events.append(now, EventType.ADMIT, job.job_id,
+                              arrival_s=job.spec.arrival_time_s)
+
+        if not ctx.active:
+            if ctx.next_pending >= len(ctx.pending):  # pragma: no cover - loop guard
+                raise SimulationError(
+                    "no active or pending jobs but not all finished"
+                )
+            ctx.idle_jump()
+            return _NEXT_ROUND
+        return _NEXT_STAGE
+
+
+def _preempt_unmarked(ctx: RoundContext) -> None:
+    """Preempt running jobs that lost their guarantee this round."""
+    for job in ctx.ordered[ctx.n_guaranteed:]:
+        if job.allocation is not None:
+            ctx.cluster.release(job.job_id)
+            job.allocation = None
+            job.end_segment()  # commit attained service before idling
+            job.n_preemptions += 1
+            job.state = JobState.QUEUED
+            ctx.state_dirty = True
+            if ctx.events is not None:
+                ctx.events.append(ctx.now, EventType.PREEMPT, job.job_id)
+
+
+class OrderingStage(RoundStage):
+    """Scheduling order + guaranteed-prefix marking (paper Fig. 4).
+
+    Writes ``ordered``/``n_guaranteed``/``scheduled`` and preempts
+    running jobs outside the prefix.  An elastic pipeline constructs it
+    with ``mark_and_preempt=False``: the :class:`ResizeStage` that
+    follows re-marks under its own demand plan (which can only *extend*
+    the prefix) and preempts against that, so marking here would be
+    recomputed-and-discarded work on every round.
+    """
+
+    name = "ordering"
+
+    def __init__(self, mark_and_preempt: bool = True):
+        self.mark_and_preempt = mark_and_preempt
+
+    def run(self, ctx: RoundContext) -> StageOutcome:
+        ctx.ordered = ctx.scheduler.order(ctx.active, ctx.now)
+        if self.mark_and_preempt:
+            ctx.n_guaranteed = mark_queue_at_cluster_size(
+                [j.demand for j in ctx.ordered], ctx.topology.n_gpus
+            )
+            ctx.scheduled = ctx.ordered[:ctx.n_guaranteed]
+            _preempt_unmarked(ctx)
+        return _NEXT_STAGE
+
+
+class ResizeStage(RoundStage):
+    """Shrink/grow elastic jobs between ``min_demand`` and ``max_demand``.
+
+    Only present in pipelines whose scheduler is elastic-aware
+    (``SchedulingPolicy.elastic_aware``) *and* whose trace contains
+    elastic jobs.  Each round it asks the scheduler for a demand plan
+    over the priority order (:meth:`SchedulingPolicy.plan_demands`),
+    re-marks the prefix under the planned demands, preempts running
+    jobs outside it, and applies the demand changes: a running job whose
+    demand changes releases its GPUs (recording the old set in
+    ``ctx.resized`` so the placement stage emits a RESIZE event instead
+    of a RESTART) and is re-placed this same round.
+
+    The plan contract: demands of marked jobs stay within each job's
+    ``[min_demand, max_demand]`` (rigid jobs keep their demand), and the
+    planned prefix's summed demand fits the cluster.
+    """
+
+    name = "resize"
+
+    def run(self, ctx: RoundContext) -> StageOutcome:
+        n_marked, targets = ctx.scheduler.plan_demands(
+            ctx.ordered, ctx.topology.n_gpus
+        )
+        ctx.n_guaranteed = n_marked
+        ctx.scheduled = ctx.ordered[:n_marked]
+        _preempt_unmarked(ctx)
+        ctx.resized.clear()
+        if ctx.config.validate_invariants:
+            planned = sum(targets.get(j.job_id, j.demand) for j in ctx.scheduled)
+            if planned > ctx.topology.n_gpus:
+                raise SimulationError(
+                    f"{ctx.scheduler.name} demand plan oversubscribes the "
+                    f"cluster: {planned} > {ctx.topology.n_gpus} GPUs"
+                )
+        for job in ctx.scheduled:
+            target = targets.get(job.job_id, job.demand)
+            if target == job.demand:
+                continue
+            if not (job.spec.demand_floor <= target <= job.spec.demand_ceiling):
+                raise SimulationError(
+                    f"{ctx.scheduler.name} planned demand {target} outside "
+                    f"job {job.job_id}'s elastic range "
+                    f"[{job.spec.demand_floor}, {job.spec.demand_ceiling}]"
+                )
+            if job.allocation is not None:
+                # Release now; the placement stage re-places the job this
+                # round and emits the RESIZE event with the new GPU set.
+                ctx.resized[job.job_id] = (job.allocation, job.demand)
+                ctx.cluster.release(job.job_id)
+                job.allocation = None
+                job.end_segment()  # commit service accrued at the old width
+                job.n_resizes += 1
+                ctx.state_dirty = True
+            elif job.first_start_s is not None:
+                # A checkpointed (preempted) job changing width while
+                # queued: no GPUs move, so no RESIZE event, but the
+                # width change still counts in the job's resize tally.
+                job.n_resizes += 1
+            job.resize_to(target)
+            ctx.state_dirty = True
+        return _NEXT_STAGE
+
+
+class PlacementStage(RoundStage):
+    """GPU dispatch for the guaranteed prefix.
+
+    Sticky policies place only allocation-less jobs; non-sticky
+    policies re-place the whole prefix (counting migrations).  A
+    steady-state memoization skips re-placement for deterministic
+    non-sticky policies when the prefix and cluster state are unchanged.
+    Also records the per-round placement wall-clock time and the
+    utilization sample.
+    """
+
+    name = "placement"
+
+    def run(self, ctx: RoundContext) -> StageOutcome:
+        cfg = ctx.config
+        t0 = time.perf_counter()
+        sched_ids = tuple(j.job_id for j in ctx.scheduled)
+        if ctx.can_memoize and not ctx.state_dirty and sched_ids == ctx.prev_sched_ids:
+            ctx.disturbed = set()
+        else:
+            ctx.disturbed = self._place(ctx)
+            ctx.prev_sched_ids = sched_ids
+            ctx.state_dirty = False
+        ctx.placement_times.record(time.perf_counter() - t0)
+        if cfg.validate_invariants:
+            ctx.cluster.check_invariants()
+        if cfg.record_utilization:
+            ctx.utilization.record(ctx.epoch_idx, ctx.cluster.n_busy)
+        return _NEXT_STAGE
+
+    # ------------------------------------------------------------------
+    def _start_or_restart(self, ctx: RoundContext, job: SimJob,
+                          alloc: np.ndarray, disturbed: set[int]) -> None:
+        """Shared bookkeeping for a job receiving GPUs without a previous
+        allocation this round (new start, restart, or resize)."""
+        if job.first_start_s is None:
+            job.first_start_s = ctx.now
+            if ctx.events is not None:
+                ctx.events.append(ctx.now, EventType.START, job.job_id,
+                                  gpus=alloc.tolist())
+        elif job.job_id in ctx.resized:
+            prev_alloc, prev_demand = ctx.resized[job.job_id]
+            disturbed.add(job.job_id)
+            if ctx.events is not None:
+                ctx.events.append(
+                    ctx.now, EventType.RESIZE, job.job_id,
+                    from_gpus=prev_alloc.tolist(), to_gpus=alloc.tolist(),
+                    from_demand=prev_demand, to_demand=job.demand,
+                )
+        else:
+            job.n_restarts += 1
+            disturbed.add(job.job_id)
+            if ctx.events is not None:
+                ctx.events.append(ctx.now, EventType.RESTART, job.job_id,
+                                  gpus=alloc.tolist())
+
+    def _place(self, ctx: RoundContext) -> set[int]:
+        """Assign GPUs to the guaranteed prefix; returns disturbed job ids.
+
+        A job is *disturbed* (and pays the migration overhead, if any)
+        when it was running and its GPU set changed, or when it resumed
+        after a preemption or an elastic resize.
+        """
+        policy = ctx.placement
+        cluster = ctx.cluster
+        pctx = ctx.placement_ctx
+        disturbed: set[int] = set()
+
+        if policy.sticky:
+            # Running jobs keep their GPUs; only allocation-less jobs
+            # (new or resuming) pick GPUs, in placement-priority order.
+            to_place = [j for j in ctx.scheduled if j.allocation is None]
+            for job in policy.placement_order(to_place):
+                alloc = policy.select_gpus(pctx, job)
+                cluster.allocate(job.job_id, alloc)
+                job.allocation = alloc
+                job.end_segment()
+                self._start_or_restart(ctx, job, alloc, disturbed)
+                job.state = JobState.RUNNING
+            return disturbed
+
+        # Non-sticky: release the whole prefix, then re-place it.
+        previous: dict[int, np.ndarray] = {}
+        for job in ctx.scheduled:
+            if job.allocation is not None:
+                previous[job.job_id] = job.allocation
+                cluster.release(job.job_id)
+                job.allocation = None
+        for job in policy.placement_order(ctx.scheduled):
+            alloc = policy.select_gpus(pctx, job)
+            cluster.allocate(job.job_id, alloc)
+            job.allocation = alloc
+            prev = previous.get(job.job_id)
+            if prev is None:
+                job.end_segment()
+                self._start_or_restart(ctx, job, alloc, disturbed)
+            elif not np.array_equal(prev, alloc):
+                job.end_segment()  # commits the epochs run on the old GPUs
+                job.n_migrations += 1
+                disturbed.add(job.job_id)
+                if ctx.events is not None:
+                    ctx.events.append(ctx.now, EventType.MIGRATE, job.job_id,
+                                      from_gpus=prev.tolist(),
+                                      to_gpus=alloc.tolist())
+            job.state = JobState.RUNNING
+        return disturbed
+
+
+class FastForwardStage(RoundStage):
+    """Event-horizon multi-epoch jump over provably quiet rounds.
+
+    A quiet round can be batched with the quiet rounds that provably
+    follow it: nothing finishes, nothing arrives, the scheduling order
+    holds, and placement would no-op (memoized non-sticky, or sticky
+    with every job already running).  The jump advances integer epoch
+    counters only (segment-lazy job accounting), so it is bit-identical
+    to stepping the same epochs one by one.
+    """
+
+    name = "fast-forward"
+
+    def run(self, ctx: RoundContext) -> StageOutcome:
+        if not (
+            ctx.ff_enabled
+            and not ctx.disturbed
+            and (ctx.can_memoize or ctx.placement.sticky)
+            and (
+                ctx.next_pending >= len(ctx.pending)
+                or ctx.pending[ctx.next_pending].spec.arrival_time_s > ctx.now
+            )
+        ):
+            return _NEXT_STAGE
+        n_window = self._quiet_window(
+            ctx,
+            ctx.pending[ctx.next_pending].spec.arrival_time_s
+            if ctx.next_pending < len(ctx.pending)
+            else None,
+        )
+        if n_window < 2:
+            return _NEXT_STAGE
+        for job in ctx.scheduled:
+            job.advance_epochs(n_window)
+        extra = n_window - 1  # the current round is already booked
+        if ctx.config.record_utilization:
+            ctx.utilization.record(ctx.epoch_idx + 1, ctx.cluster.n_busy, extra)
+        ctx.placement_times.skip(extra)
+        ctx.epochs_run += extra
+        ctx.epoch_idx += n_window
+        return _NEXT_ROUND
+
+    # ------------------------------------------------------------------
+    def _quiet_window(
+        self, ctx: RoundContext, next_arrival_s: float | None
+    ) -> int:
+        """Epochs (including the current one) the engine may jump at once.
+
+        Returns the largest ``n`` such that epochs ``epoch_idx ..
+        epoch_idx + n - 1`` are provably event-free: no scheduled job
+        completes, no pending arrival crosses an epoch boundary, the
+        scheduling order is stable, and ``max_epochs`` is respected.
+        Every bound is evaluated with the exact closed-form float
+        expressions the per-epoch loop uses, so jumping ``n`` epochs is
+        indistinguishable from stepping them.  ``n < 2`` means "run this
+        round normally".
+        """
+        cfg = ctx.config
+        epoch_s = cfg.epoch_s
+        scheduled = ctx.scheduled
+        horizon = cfg.max_epochs - ctx.epochs_run + 1
+        if horizon < 2:
+            return 1
+
+        # Cheap scalar pre-pass: a missing iteration-time cache means a
+        # job was (re)placed this round; an imminent completion caps the
+        # window at 1 before any vector work.
+        for job in scheduled:
+            t_iter = job.cached_iter_time_s
+            if t_iter is None or job.remaining_iterations * t_iter <= epoch_s:
+                return 1
+
+        # First window epoch (1-based) at which each job would finish:
+        # the smallest e with (rem - (p + e - 1) * ipe) * t <= epoch_s —
+        # the identical expression the execution step evaluates, monotone
+        # in e.  Small prefixes take a scalar analytic guess plus exact
+        # monotone fixup; large ones a vectorized binary search over a
+        # structure-of-arrays view (sentinel horizon + 1 = "no completion
+        # inside the horizon").
+        m = len(scheduled)
+        n = horizon
+        if m <= 32:
+            for job in scheduled:
+                rb = job._remaining_base
+                p = job._seg_epochs
+                ipe = job._seg_iters_per_epoch
+                t = job.cached_iter_time_s
+                est = (rb - epoch_s / t) / ipe - p + 1.0
+                e = int(est) if est > 1.0 else 1
+                if e > horizon + 1:
+                    e = horizon + 1
+                while e > 1 and (rb - (p + e - 2) * ipe) * t <= epoch_s:
+                    e -= 1
+                while e <= horizon and (rb - (p + e - 1) * ipe) * t > epoch_s:
+                    e += 1
+                if e - 1 < n:
+                    n = e - 1
+                    if n < 2:
+                        return n
+        else:
+            rem_base = np.empty(m, dtype=np.float64)
+            seg_epochs = np.empty(m, dtype=np.int64)
+            iters_per_epoch = np.empty(m, dtype=np.float64)
+            iter_time = np.empty(m, dtype=np.float64)
+            for i, job in enumerate(scheduled):
+                rem_base[i] = job._remaining_base
+                seg_epochs[i] = job._seg_epochs
+                iters_per_epoch[i] = job._seg_iters_per_epoch
+                iter_time[i] = job.cached_iter_time_s
+
+            def finishes_by(e: np.ndarray) -> np.ndarray:
+                return (
+                    rem_base - (seg_epochs + e - 1) * iters_per_epoch
+                ) * iter_time <= epoch_s
+
+            lo = np.ones(m, dtype=np.int64)
+            hi = np.full(m, horizon, dtype=np.int64)
+            never = ~finishes_by(hi)
+            lo[never] = horizon + 1
+            hi[never] = horizon + 1
+            while True:
+                open_ = lo < hi
+                if not np.any(open_):
+                    break
+                mid = (lo + hi) // 2
+                ok = finishes_by(mid) & open_
+                hi = np.where(ok, mid, hi)
+                lo = np.where(open_ & ~ok, mid + 1, lo)
+            n = int(lo.min()) - 1
+            if n < 2:
+                return n
+
+        # Next arrival: quiet rounds must keep seeing an empty arrival
+        # queue, using the loop's own `arrival > epoch_idx * epoch_s`
+        # comparison at each future round start.
+        # (Callers guarantee no arrival is due at the current round.)
+        if next_arrival_s is not None:
+            arrival = next_arrival_s
+            epoch_idx = ctx.epoch_idx
+            k_lo, k_hi = 1, min(n, horizon)
+            if arrival <= (epoch_idx + k_hi) * epoch_s:
+                while k_lo < k_hi:
+                    k_mid = (k_lo + k_hi) // 2
+                    if arrival <= (epoch_idx + k_mid) * epoch_s:
+                        k_hi = k_mid
+                    else:
+                        k_lo = k_mid + 1
+                n = min(n, k_lo)
+        if n < 2:
+            return n
+
+        # Scheduling-order stability over the window's interior rounds.
+        stable = ctx.scheduler.stable_epochs(ctx.ordered, ctx.n_guaranteed, n - 1)
+        return min(n, stable + 1)
+
+
+class ExecutionStage(RoundStage):
+    """One epoch of BSP execution (paper Eq. 1) + completions.
+
+    Placement decided on *believed* scores; execution charges *true*
+    scores — the gap behind the profile-error experiments.  Completions
+    release GPUs mid-epoch, but freed GPUs are only re-assigned at the
+    next round boundary, as in a real round-based scheduler.  Elastic
+    jobs running at a width other than their submitted demand scale
+    their iteration rate linearly with width (idealized data-parallel
+    scaling, as in Gavel/Pollux round-based resizing).
+
+    Ends the round; when the cluster drained and the next arrival is
+    beyond the next epoch, the would-be idle round is accounted and
+    jumped here (the batched idle→arrival fast-forward) instead of
+    waking the full pipeline once per gap.
+    """
+
+    name = "execution"
+
+    def run(self, ctx: RoundContext) -> StageOutcome:
+        cfg = ctx.config
+        epoch_s = cfg.epoch_s
+        now = ctx.now
+        online = ctx.online
+        gpn = ctx.topology.gpus_per_node
+        for job in ctx.scheduled:
+            if job.allocation is None:  # pragma: no cover - placement is total
+                raise SimulationError(
+                    f"scheduled job {job.job_id} has no allocation"
+                )
+            t_iter_eff = job.cached_iter_time_s
+            if t_iter_eff is None:
+                alloc = job.allocation
+                # Allocations are sorted, so comparing the endpoint nodes
+                # decides packing in O(1) (vs. a unique() over the array).
+                packed = (alloc[0] // gpn) == (alloc[-1] // gpn)
+                l_factor = ctx.locality.penalty(job.model, packed)
+                v_factor = float(ctx.true_scores[job.class_id, alloc].max())
+                t_iter_eff = l_factor * v_factor * job.spec.iteration_time_s
+                if job.demand != job.spec.demand:
+                    # Elastic width w: data-parallel iterations finish
+                    # w/demand times faster (linear scaling idealization).
+                    t_iter_eff *= job.spec.demand / job.demand
+                job.begin_segment(t_iter_eff, epoch_s)
+                if online is not None:
+                    # The measured iteration time divided by L * t_orig
+                    # is exactly the allocation's max true score under
+                    # BSP — fold it into the believed table.
+                    online.observe(job.class_id, alloc, v_factor)
+
+            overhead = (
+                cfg.migration_overhead_s if job.job_id in ctx.disturbed else 0.0
+            )
+            window = epoch_s - overhead
+            time_needed = job.remaining_iterations * t_iter_eff
+            if time_needed <= window:
+                job.finish_at(now + overhead + time_needed, time_needed, overhead)
+                ctx.cluster.release(job.job_id)
+                job.allocation = None
+                ctx.n_finished += 1
+                ctx.state_dirty = True
+                if ctx.events is not None:
+                    ctx.events.append(job.finish_time_s, EventType.FINISH,
+                                      job.job_id)
+            elif overhead:
+                # Irregular (checkpoint/restore-shortened) window:
+                # charge it eagerly — segments only batch full epochs.
+                job.charge_window(window, overhead)
+            else:
+                job.advance_epochs(1)
+
+        ctx.active = [j for j in ctx.active if not j.is_finished]
+        ctx.epoch_idx += 1
+
+        # Batched idle→arrival fast-forward: when the cluster just
+        # drained and the next arrival is beyond the upcoming epoch, the
+        # next round would be a pure idle-detection round (count it, see
+        # nothing, jump).  Account that round here and jump directly,
+        # sparing a full pipeline pass per idle gap.  `epochs_run`, the
+        # max_epochs check, and the landing epoch are identical to
+        # running the idle round through the ArrivalStage.
+        if not ctx.active and ctx.next_pending < len(ctx.pending):
+            arrival = ctx.pending[ctx.next_pending].spec.arrival_time_s
+            if arrival > ctx.epoch_idx * ctx.epoch_s:
+                ctx.begin_round()
+                ctx.idle_jump()
+        return _NEXT_STAGE

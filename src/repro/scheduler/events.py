@@ -14,6 +14,8 @@ START      job received its first GPU allocation
 PREEMPT    a running job lost its guarantee and released its GPUs
 RESTART    a previously-preempted job received GPUs again
 MIGRATE    a non-sticky re-placement changed the job's GPU set
+RESIZE     an elastic-aware scheduler changed a running job's GPU
+           demand (detail carries the old/new GPU sets and demands)
 FINISH     job completed all iterations
 =========  =====================================================
 
@@ -43,6 +45,7 @@ class EventType(Enum):
     PREEMPT = "preempt"
     RESTART = "restart"
     MIGRATE = "migrate"
+    RESIZE = "resize"
     FINISH = "finish"
 
 
@@ -77,14 +80,23 @@ class Event:
 
 
 #: Which event types may follow each state of a job's lifecycle.
+#: RESIZE behaves like MIGRATE: it occurs only while running and leaves
+#: the job running (on a differently-sized GPU set).
+_RUNNING_NEXT = {
+    EventType.PREEMPT,
+    EventType.MIGRATE,
+    EventType.RESIZE,
+    EventType.FINISH,
+}
 _LEGAL_AFTER: dict[EventType | None, set[EventType]] = {
     None: {EventType.REJECT, EventType.ADMIT},
     EventType.REJECT: {EventType.REJECT, EventType.ADMIT},
     EventType.ADMIT: {EventType.START},
-    EventType.START: {EventType.PREEMPT, EventType.MIGRATE, EventType.FINISH},
-    EventType.MIGRATE: {EventType.PREEMPT, EventType.MIGRATE, EventType.FINISH},
+    EventType.START: _RUNNING_NEXT,
+    EventType.MIGRATE: _RUNNING_NEXT,
+    EventType.RESIZE: _RUNNING_NEXT,
     EventType.PREEMPT: {EventType.RESTART},
-    EventType.RESTART: {EventType.PREEMPT, EventType.MIGRATE, EventType.FINISH},
+    EventType.RESTART: _RUNNING_NEXT,
     EventType.FINISH: set(),
 }
 

@@ -63,8 +63,10 @@ class SimJob:
         "n_migrations",
         "n_preemptions",
         "n_restarts",
+        "n_resizes",
         "cached_iter_time_s",
         "busy_gpu_s",
+        "_current_demand",
         "_remaining_base",
         "_attained_base",
         "_executed_base",
@@ -83,6 +85,11 @@ class SimJob:
         self.n_migrations = 0
         self.n_preemptions = 0
         self.n_restarts = 0
+        self.n_resizes = 0
+        #: Current GPU demand; equals ``spec.demand`` for rigid jobs and
+        #: moves within ``[spec.demand_floor, spec.demand_ceiling]`` for
+        #: elastic jobs (see :meth:`resize_to`).
+        self._current_demand = spec.demand
         #: Effective iteration time of the current allocation; None until
         #: the engine computes it (and whenever the allocation changes).
         self.cached_iter_time_s: float | None = None
@@ -105,7 +112,8 @@ class SimJob:
 
     @property
     def demand(self) -> int:
-        return self.spec.demand
+        """Current GPU demand (elastic jobs may be resized per round)."""
+        return self._current_demand
 
     @property
     def class_id(self) -> int:
@@ -176,7 +184,7 @@ class SimJob:
         self.cached_iter_time_s = t_iter_s
         self._seg_epoch_s = epoch_s
         self._seg_iters_per_epoch = epoch_s / t_iter_s
-        self._seg_service_stride = epoch_s * self.spec.demand
+        self._seg_service_stride = epoch_s * self._current_demand
 
     def advance_epochs(self, n: int) -> None:
         """Record ``n`` further full, overhead-free epochs of execution.
@@ -194,13 +202,34 @@ class SimJob:
             self._remaining_base = self._remaining_base - n * self._seg_iters_per_epoch
             self._executed_base = self._executed_base + run_s
             self._attained_base = self._attained_base + n * self._seg_service_stride
-            self.busy_gpu_s += run_s * self.spec.demand
+            self.busy_gpu_s += run_s * self._current_demand
             self._seg_epochs = 0
 
     def end_segment(self) -> None:
         """Commit and close the segment (allocation change / preemption)."""
         self.commit_segment()
         self.cached_iter_time_s = None
+
+    def resize_to(self, new_demand: int) -> None:
+        """Change the current GPU demand of an elastic job.
+
+        Demand is constant within a segment (attained-service strides and
+        busy-GPU charges are per-segment), so the open segment must be
+        committed first — the engine's ResizeStage calls
+        :meth:`end_segment` before resizing a running job; queued jobs
+        have no open segment.
+        """
+        if self._seg_epochs:
+            raise SimulationError(
+                f"job {self.job_id}: resize_to with {self._seg_epochs} "
+                "uncommitted epochs"
+            )
+        if not self.spec.demand_floor <= new_demand <= self.spec.demand_ceiling:
+            raise SimulationError(
+                f"job {self.job_id}: demand {new_demand} outside elastic "
+                f"range [{self.spec.demand_floor}, {self.spec.demand_ceiling}]"
+            )
+        self._current_demand = int(new_demand)
 
     # Exact-arithmetic previews (scheduler stability analysis) ------------
     def service_after(self, extra_epochs: int) -> float:
@@ -227,6 +256,23 @@ class SimJob:
         return self._seg_service_stride
 
     @property
+    def attained_anchor_gpu_s(self) -> float:
+        """Attained service at the segment anchor (the closed form's base).
+
+        Together with :attr:`segment_epochs` and
+        :attr:`service_stride_gpu_s` this exposes the exact operands of
+        the ``base + (p + k) * stride`` evaluation the engine performs,
+        letting the LAS order-stability analysis reason about the float
+        expression in exact (rational) arithmetic.
+        """
+        return self._attained_base
+
+    @property
+    def segment_epochs(self) -> int:
+        """Uncommitted full epochs of the open segment (``p`` above)."""
+        return self._seg_epochs
+
+    @property
     def ideal_stride_s(self) -> float:
         """Drop in ideal remaining runtime one full epoch causes."""
         return self._seg_iters_per_epoch * self.spec.iteration_time_s
@@ -251,16 +297,16 @@ class SimJob:
             raise SimulationError(f"job {self.job_id}: charge_window without segment")
         self._remaining_base = self._remaining_base - run_s / t_iter
         self._executed_base += run_s
-        self._attained_base += run_s * self.spec.demand
-        self.busy_gpu_s += (overhead_s + run_s) * self.spec.demand
+        self._attained_base += run_s * self._current_demand
+        self.busy_gpu_s += (overhead_s + run_s) * self._current_demand
 
     def finish_at(self, finish_time_s: float, run_s: float, overhead_s: float = 0.0) -> None:
         """Charge the finishing partial epoch and mark the job FINISHED."""
         self.commit_segment()
         self._remaining_base = 0.0
         self._executed_base += run_s
-        self._attained_base += run_s * self.spec.demand
-        self.busy_gpu_s += (overhead_s + run_s) * self.spec.demand
+        self._attained_base += run_s * self._current_demand
+        self.busy_gpu_s += (overhead_s + run_s) * self._current_demand
         self.finish_time_s = finish_time_s
         self.state = JobState.FINISHED
 

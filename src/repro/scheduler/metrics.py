@@ -19,12 +19,23 @@ from ..utils.stats import cdf_points, percentile
 if TYPE_CHECKING:  # pragma: no cover - avoids a runtime import cycle
     from .events import EventLog
 
-__all__ = ["JobRecord", "SimulationResult"]
+__all__ = ["ADMISSION_REJECTIONS_KEY", "JobRecord", "SimulationResult"]
+
+#: ``SimulationResult.metadata`` key holding the total number of
+#: admission rejections the run observed (one count per rejected offer,
+#: not per job).  Owned by the engine's ArrivalStage; documented here as
+#: part of the result's public metadata contract alongside ``"seed"``
+#: and ``"epochs_run"``.
+ADMISSION_REJECTIONS_KEY = "admission_rejections"
 
 
 @dataclass(frozen=True)
 class JobRecord:
-    """Immutable per-job outcome."""
+    """Immutable per-job outcome.
+
+    ``demand`` is the *submitted* GPU demand; elastic jobs may have run
+    at other widths (``n_resizes`` counts the running-width changes).
+    """
 
     job_id: int
     model: str
@@ -38,6 +49,7 @@ class JobRecord:
     n_migrations: int
     n_preemptions: int
     n_restarts: int
+    n_resizes: int = 0
 
     @property
     def jct_s(self) -> float:
@@ -165,6 +177,10 @@ class SimulationResult:
     def total_preemptions(self) -> int:
         return sum(r.n_preemptions for r in self.records)
 
+    @property
+    def total_resizes(self) -> int:
+        return sum(r.n_resizes for r in self.records)
+
     def utilization_series(self) -> tuple[np.ndarray, np.ndarray]:
         """(epoch start times, GPUs in use) — the paper's Fig. 15 axes."""
         return self.epoch_times_s, self.gpus_in_use
@@ -221,4 +237,5 @@ class SimulationResult:
             "avg_wait_h": float(self.wait_times_s().mean() / 3600.0),
             "migrations": float(self.total_migrations),
             "preemptions": float(self.total_preemptions),
+            "resizes": float(self.total_resizes),
         }

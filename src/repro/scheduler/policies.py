@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import sys
 from abc import ABC, abstractmethod
+from fractions import Fraction
 from typing import Callable, Sequence
 
 from ..utils.errors import ConfigurationError
@@ -41,6 +42,7 @@ __all__ = [
     "SchedulingPolicy",
     "FIFOScheduler",
     "LASScheduler",
+    "ElasticLASScheduler",
     "SRTFScheduler",
     "make_scheduler",
 ]
@@ -111,10 +113,59 @@ def _pair_safe_epochs(
     return k
 
 
+def _las_pair_exact_epochs(u: SimJob, v: SimJob, horizon: int) -> int:
+    """Exact crossing bound for two *running* LAS-adjacent jobs.
+
+    Both attained-service keys evolve as ``A + (p + k) * s`` — the exact
+    closed form the engine evaluates in float64.  Every operand is a
+    float (an exact rational) or an integer, so both the real gap and a
+    rigorous bound on the two evaluations' rounding error are exactly
+    computable with :class:`fractions.Fraction`:
+
+    * per evaluation, ``fl(A ⊕ fl(m ⊗ s))`` differs from the real value
+      by at most ``eps * (|A|/2 + |m s|)`` (one rounding per operation,
+      unit roundoff ``eps/2``); ``2 * eps * (|A| + m |s|)`` over-covers
+      it with a 2x safety factor;
+    * the certified predicate ``gap(k) > wobble_u(k) + wobble_v(k)`` is
+      *linear* in ``k`` with exact rational coefficients, so the largest
+      safe ``k`` is a closed-form floor division — no conservative
+      backoff at all.
+
+    Strictly sharper than the float-margin bound for same-level pairs
+    with close strides, where the 16-ulp global margin plus halving
+    backoff can halve the window: here the window runs to within a few
+    ulps of the true crossing.  A positive verdict guarantees the float
+    keys compare strictly (``fl(key_u) < fl(key_v)``) at every round of
+    the window, so the tiebreak is never consulted.
+    """
+    eps = Fraction(_EPS)
+    au = Fraction(u.attained_anchor_gpu_s)
+    av = Fraction(v.attained_anchor_gpu_s)
+    su = Fraction(u.service_stride_gpu_s)
+    sv = Fraction(v.service_stride_gpu_s)
+    pu, pv = u.segment_epochs, v.segment_epochs
+    # f(k) = gap(k) - wobble(k), linear in k: f(k) = f0 + k * slope.
+    gap0 = (av + pv * sv) - (au + pu * su)
+    wobble0 = 2 * eps * (abs(au) + pu * abs(su) + abs(av) + pv * abs(sv))
+    f0 = gap0 - wobble0
+    slope = (sv - su) - 2 * eps * (abs(su) + abs(sv))
+    if f0 + slope <= 0:  # f(1) <= 0: not even one epoch is certain
+        return 0
+    if slope >= 0:  # certainty margin only grows; whole horizon is safe
+        return horizon
+    # Largest integer k with f(k) > 0  <=>  k < f0 / -slope.
+    q = f0 / -slope
+    k_max = (q.numerator - 1) // q.denominator
+    return min(horizon, k_max)
+
+
 class SchedulingPolicy(ABC):
     """Orders active jobs by scheduling priority (highest first)."""
 
     name: str = "abstract"
+    #: Elastic-aware policies implement :meth:`plan_demands` and the
+    #: engine inserts a ResizeStage when the trace has elastic jobs.
+    elastic_aware: bool = False
 
     @abstractmethod
     def order(self, jobs: Sequence[SimJob], now_s: float) -> list[SimJob]:
@@ -123,6 +174,24 @@ class SchedulingPolicy(ABC):
         Must be a *total*, deterministic order (ties broken by job id) so
         simulations are reproducible.
         """
+
+    def plan_demands(
+        self, ordered: Sequence[SimJob], cluster_size: int
+    ) -> tuple[int, dict[int, int]]:
+        """Per-round demand plan for elastic jobs (elastic-aware only).
+
+        Given the policy's own priority order, return ``(n_marked,
+        targets)``: the guaranteed-prefix length under the planned
+        demands and a ``job_id -> demand`` mapping for (at least) the
+        marked jobs.  Contract: every planned demand lies within the
+        job's ``[demand_floor, demand_ceiling]``, and the marked
+        prefix's summed planned demand fits ``cluster_size``.  Rigid
+        policies never implement this — the engine only consults it when
+        :attr:`elastic_aware` is set.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} is not elastic-aware"
+        )  # pragma: no cover - engine gates on elastic_aware
 
     def stable_epochs(
         self, ordered: Sequence[SimJob], n_scheduled: int, horizon: int
@@ -246,20 +315,78 @@ class LASScheduler(SchedulingPolicy):
             else:
                 # Attained service is a cancellation-free sum of positives,
                 # so its values at the far end of the window bound every
-                # intermediate magnitude.
-                h = min(
+                # intermediate magnitude.  The cheap float-margin bound
+                # handles the common no-crossing case; when it cannot
+                # certify the whole window (close strides crossing inside
+                # it), the exact rational bound extends the window to
+                # within ulps of the true crossing.
+                k_pair = _pair_safe_epochs(
+                    u.service_after,
+                    v.service_after,
+                    v.service_stride_gpu_s - u.service_stride_gpu_s,
                     h,
-                    _pair_safe_epochs(
-                        u.service_after,
-                        v.service_after,
-                        v.service_stride_gpu_s - u.service_stride_gpu_s,
-                        h,
-                        u.service_after(h) + v.service_after(h),
-                    ),
+                    u.service_after(h) + v.service_after(h),
                 )
+                if k_pair < h:
+                    k_pair = max(k_pair, _las_pair_exact_epochs(u, v, h))
+                h = min(h, k_pair)
                 if h <= 0:
                     return 0
         return h
+
+
+class ElasticLASScheduler(LASScheduler):
+    """LAS with Pollux/adaptdl-style elastic-demand re-planning.
+
+    Ordering is identical to :class:`LASScheduler`; what changes is the
+    per-round demand plan the engine's ResizeStage applies to jobs that
+    declared ``min_demand``/``max_demand`` bounds:
+
+    1. **Shrink-to-fit** — walk the priority order charging every
+       elastic job its ``demand_floor`` (rigid jobs their demand) and
+       mark the maximal contiguous prefix that fits the cluster, so
+       under contention elastic jobs yield GPUs and *more* jobs run
+       concurrently;
+    2. **Grow-by-priority** — hand the leftover GPUs to the marked
+       elastic jobs in priority order (least attained service first),
+       each up to ``demand_ceiling`` (capped at the cluster size), so
+       under light load elastic jobs widen and finish sooner.
+
+    The plan is a deterministic function of (order, demands, cluster
+    size): between arrivals/completions/order changes it is a fixed
+    point and no resizes occur.  Because attained service accrues at
+    ``width x epoch`` GPU-seconds, grown jobs demote themselves in the
+    LAS queues — the policy's own fairness keeps widths churning toward
+    the jobs with the least service, echoing Pollux's
+    goodput-proportional re-allocation in discretized form.
+    """
+
+    name = "ElasticLAS"
+    elastic_aware = True
+
+    def plan_demands(
+        self, ordered: Sequence[SimJob], cluster_size: int
+    ) -> tuple[int, dict[int, int]]:
+        targets: dict[int, int] = {}
+        free = cluster_size
+        n_marked = 0
+        for job in ordered:
+            floor = job.spec.demand_floor
+            if floor > free:
+                break
+            targets[job.job_id] = floor
+            free -= floor
+            n_marked += 1
+        if free > 0:
+            for job in ordered[:n_marked]:
+                if free <= 0:
+                    break
+                ceiling = min(job.spec.demand_ceiling, cluster_size)
+                grow = min(free, ceiling - targets[job.job_id])
+                if grow > 0:
+                    targets[job.job_id] += grow
+                    free -= grow
+        return n_marked, targets
 
 
 class SRTFScheduler(SchedulingPolicy):
@@ -324,12 +451,14 @@ class SRTFScheduler(SchedulingPolicy):
 _SCHEDULERS = {
     "fifo": FIFOScheduler,
     "las": LASScheduler,
+    "elastic-las": ElasticLASScheduler,
     "srtf": SRTFScheduler,
 }
 
 
 def make_scheduler(name: str, **kwargs) -> SchedulingPolicy:
-    """Factory by case-insensitive name: ``fifo`` / ``las`` / ``srtf``."""
+    """Factory by case-insensitive name:
+    ``fifo`` / ``las`` / ``elastic-las`` / ``srtf``."""
     try:
         cls = _SCHEDULERS[name.lower()]
     except KeyError:

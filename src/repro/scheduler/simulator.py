@@ -1,4 +1,4 @@
-"""Round-based cluster simulator (the Blox-style engine).
+"""Round-based cluster simulator (the Blox-style engine) — public façade.
 
 Implements the paper's evaluation loop faithfully:
 
@@ -7,123 +7,54 @@ Implements the paper's evaluation loop faithfully:
 2. the queue is *marked at cluster size* — the maximal priority prefix
    whose summed GPU demand fits the cluster is guaranteed to run this
    round (paper Fig. 4); running jobs outside the prefix are preempted;
-3. the placement policy assigns GPUs: sticky policies touch only jobs
+3. (elastic pipelines only) an elastic-aware scheduler re-plans the GPU
+   demand of marked elastic jobs between their ``min_demand`` and
+   ``max_demand``;
+4. the placement policy assigns GPUs: sticky policies touch only jobs
    without an allocation, non-sticky policies re-place the whole prefix
    (counting migrations when a job's GPU set changes);
-4. jobs execute for the epoch under the BSP slowdown model (Eq. 1):
+5. jobs execute for the epoch under the BSP slowdown model (Eq. 1):
    ``t_iter = L(alloc) * max_g V_true(class, g) * t_orig`` — placement
    decided on *believed* (profiled, binned) scores, execution charges
    *true* scores, which is how profile-error experiments create a
    cluster-vs-simulation gap;
-5. completions release GPUs immediately (mid-epoch), but freed GPUs are
+6. completions release GPUs immediately (mid-epoch), but freed GPUs are
    only re-assigned at the next round boundary, as in a real round-based
    scheduler.
 
 The engine records everything the paper measures, including the
 wall-clock time spent inside the placement policy each round (Fig. 18).
 
-Event-horizon fast-forward
---------------------------
-Stepping every 300 s epoch in Python makes wall-clock scale with
-*simulated time*; on sparse traces almost all of those rounds are
-"quiet" — the guaranteed prefix, its allocations, and its effective
-iteration times are all unchanged, so the round is pure bookkeeping.
-When :attr:`SimulatorConfig.fast_forward` is on (the default), the
-engine detects a quiet round and computes analytically how many epochs
-may elapse before the next *event*:
-
-* the earliest completion of a scheduled job (vectorized over a
-  structure-of-arrays view of the prefix: remaining iterations, epoch
-  offsets, iterations-per-epoch, iteration times);
-* the next pending arrival crossing an epoch boundary;
-* the first epoch at which the scheduling order could change
-  (:meth:`SchedulingPolicy.stable_epochs`);
-* the ``max_epochs`` guard.
-
-It then jumps the whole window in one step.  Because job accounting is
-segment-lazy (see :mod:`repro.scheduler.jobs`), the jump bumps integer
-epoch counters and extends the utilization arrays — bit-identical to
-stepping the same epochs one by one, including ``epochs_run`` and the
-per-epoch array shapes.  Fast-forward disables itself automatically
-whenever its preconditions fail: online PM-Score updates, non-sticky
-non-deterministic placement, a blocked admission, a disturbed
-(migration-overhead) round, or a prefix containing a freshly placed job.
+Since the round-pipeline refactor, the mechanics live in
+:mod:`repro.scheduler.engine`: each phase above is a composable
+``RoundStage`` over an explicit ``RoundContext``, and this module's
+:class:`ClusterSimulator` is a thin façade that validates the
+configuration and delegates to :class:`repro.scheduler.engine.RoundEngine`.
+The public API — constructor signature, :meth:`ClusterSimulator.run`,
+:class:`SimulatorConfig` — is unchanged, and the pipeline reproduces the
+pre-refactor engine bit-for-bit (same records, golden metrics,
+utilization series, event log, and ``epochs_run``), with the
+event-horizon fast-forward (see the engine package docstring) still on
+by default and still auto-disabling wherever semantics forbid skipping.
 """
 
 from __future__ import annotations
 
-import time
-import warnings
-from dataclasses import dataclass
-
 import numpy as np
 
-from ..cluster.state import ClusterState
 from ..cluster.topology import ClusterTopology, LocalityModel
-from ..core.pm_first import mark_queue_at_cluster_size
 from ..core.pm_score import PMScoreTable
 from ..traces.trace import Trace
-from ..utils.errors import ConfigurationError, SimulationError
-from ..utils.rng import stream
+from ..utils.errors import ConfigurationError
 from ..variability.profiles import VariabilityProfile
-from .admission import AcceptAll, AdmissionPolicy, AdmissionRejectionWarning
-from .jobs import JobState, SimJob
-from .events import EventLog, EventType
-from .metrics import JobRecord, SimulationResult
-from .online import OnlinePMScoreTable, OnlineUpdateConfig
-from .placement.base import PlacementContext, PlacementPolicy
+from .admission import AcceptAll, AdmissionPolicy
+from .engine import RoundEngine, SimulatorConfig
+from .metrics import SimulationResult
+from .online import OnlinePMScoreTable
+from .placement.base import PlacementPolicy
 from .policies import SchedulingPolicy
 
 __all__ = ["SimulatorConfig", "ClusterSimulator"]
-
-
-@dataclass(frozen=True)
-class SimulatorConfig:
-    """Engine knobs.
-
-    ``migration_overhead_s`` charges a fixed checkpoint/restore cost at
-    the start of an epoch in which a job was migrated or restarted
-    (paper: "typically negligible", default 0 — the ablation benches
-    sweep it). ``validate_invariants`` re-checks cluster-state
-    consistency every round (tests enable it; large sweeps keep it off).
-
-    ``fast_forward`` enables the event-horizon fast-forward (see module
-    docstring): quiet rounds are batched into one analytic jump whose
-    results are bit-identical to the naive per-epoch loop — same
-    records, metrics, utilization series, event log, and ``epochs_run``
-    (only the wall-clock ``placement_times_s`` entries of skipped rounds
-    read 0.0, as no placement code runs for them).  It auto-disables
-    itself wherever semantics forbid skipping (online PM updates,
-    non-sticky randomized placement, blocked admissions, overhead
-    rounds), so it is safe to leave on; set False to force the naive
-    loop, e.g. when benchmarking the engine itself.
-    """
-
-    epoch_s: float = 300.0
-    migration_overhead_s: float = 0.0
-    max_epochs: int = 2_000_000
-    record_utilization: bool = True
-    validate_invariants: bool = False
-    fast_forward: bool = True
-    #: Enable dynamic online PM-Score updates (the paper's Sec. V-A
-    #: future work): each epoch's observed iteration times are folded
-    #: back into the believed scores (see repro.scheduler.online).
-    online_pm_updates: bool = False
-    #: EWMA parameters for the online updater (None = defaults).
-    online_update_config: "OnlineUpdateConfig | None" = None
-    #: Record a structured per-job lifecycle event log (see
-    #: repro.scheduler.events) on the result's ``events`` attribute.
-    record_events: bool = False
-
-    def __post_init__(self) -> None:
-        if self.epoch_s <= 0:
-            raise ConfigurationError("epoch_s must be positive")
-        if self.migration_overhead_s < 0:
-            raise ConfigurationError("migration_overhead_s must be >= 0")
-        if self.migration_overhead_s >= self.epoch_s:
-            raise ConfigurationError("migration_overhead_s must be < epoch_s")
-        if self.max_epochs < 1:
-            raise ConfigurationError("max_epochs must be >= 1")
 
 
 class ClusterSimulator:
@@ -191,498 +122,23 @@ class ClusterSimulator:
             if arch_of_gpu.shape != (topology.n_gpus,):
                 raise ConfigurationError("arch_of_gpu must have one entry per GPU")
         self.arch_of_gpu = arch_of_gpu
-        # True scores as a dense (classes x gpus) array for fast max().
-        self._true_scores = np.ascontiguousarray(true_profile.scores)
         self._online_table: OnlinePMScoreTable | None = None
 
     # ------------------------------------------------------------------
     def run(self, trace: Trace) -> SimulationResult:
         """Simulate ``trace`` to completion and return the metrics."""
-        if trace.max_demand > self.topology.n_gpus:
-            raise ConfigurationError(
-                f"trace {trace.name!r} contains a {trace.max_demand}-GPU job; "
-                f"cluster has only {self.topology.n_gpus} GPUs"
-            )
-        for spec in trace:
-            if spec.class_id >= self.true_profile.n_classes:
-                raise ConfigurationError(
-                    f"job {spec.job_id} has class {spec.class_id} but the profile "
-                    f"defines {self.true_profile.n_classes} classes"
-                )
-
-        cfg = self.config
-        epoch_s = cfg.epoch_s
-        state = ClusterState(self.topology)
-        table = self.pm_table
-        online: OnlinePMScoreTable | None = None
-        if cfg.online_pm_updates and table is not None:
-            online = OnlinePMScoreTable(
-                table, cfg.online_update_config or OnlineUpdateConfig()
-            )
-            table = online  # placement reads the live beliefs
-            self._online_table = online
-        ctx = PlacementContext(
-            state=state,
+        engine = RoundEngine(
             topology=self.topology,
+            true_profile=self.true_profile,
+            scheduler=self.scheduler,
+            placement=self.placement,
+            pm_table=self.pm_table,
             locality=self.locality,
-            pm_table=table,
-            rng=stream(self.seed, f"placement/{self.placement.name}/{trace.name}"),
+            admission=self.admission,
+            config=self.config,
             arch_of_gpu=self.arch_of_gpu,
+            seed=self.seed,
         )
-
-        events: EventLog | None = EventLog() if cfg.record_events else None
-        jobs = [SimJob(spec) for spec in trace]
-        pending: list[SimJob] = list(jobs)  # arrival-ordered
-        next_pending = 0
-        active: list[SimJob] = []
-        n_finished = 0
-
-        epoch_times: list[float] = []
-        gpus_in_use: list[int] = []
-        placement_times: list[float] = []
-
-        # Simulated time is tracked as an integer epoch index; ``now`` is
-        # always ``epoch_idx * epoch_s``, so a multi-epoch jump lands on
-        # the bit-identical timestamp the per-epoch loop would reach.
-        epoch_idx = 0
-        epochs_run = 0
-        n_rejections = 0
-        warned_rejects: set[int] = set()
-        # Steady-state memoization for deterministic non-sticky policies:
-        # if the guaranteed prefix is identical to last round's and nothing
-        # released or rearranged GPUs in between, re-placement would
-        # reproduce the same allocations — skip it. Online updates mutate
-        # the beliefs between rounds, so they disable the memoization.
-        can_memoize = (
-            self.placement.deterministic
-            and not self.placement.sticky
-            and online is None
-        )
-        ff_enabled = cfg.fast_forward and online is None
-        prev_sched_ids: tuple[int, ...] | None = None
-        state_dirty = True
-        while n_finished < len(jobs):
-            now = epoch_idx * epoch_s
-            if epochs_run >= cfg.max_epochs:
-                raise SimulationError(
-                    f"simulation exceeded max_epochs={cfg.max_epochs} "
-                    f"({n_finished}/{len(jobs)} jobs finished at t={now:.0f}s)"
-                )
-            epochs_run += 1
-
-            # ---- (1) arrivals + admission ---------------------------------
-            outstanding = sum(j.demand for j in active)
-            while next_pending < len(pending):
-                job = pending[next_pending]
-                if job.spec.arrival_time_s > now:
-                    break
-                if not self.admission.admit(
-                    job,
-                    queued_jobs=len(active),
-                    outstanding_demand=outstanding,
-                    cluster_size=self.topology.n_gpus,
-                ):
-                    # The job stays pending and is re-offered, in arrival
-                    # order, next round — which also stalls every later
-                    # arrival. Surface it: a structured warning on the
-                    # first rejection of each job, a REJECT event per
-                    # occurrence, and a metadata counter.
-                    n_rejections += 1
-                    reason = (
-                        f"{len(active)} queued jobs, outstanding demand "
-                        f"{outstanding}/{self.topology.n_gpus} GPUs"
-                    )
-                    if job.job_id not in warned_rejects:
-                        warned_rejects.add(job.job_id)
-                        warnings.warn(
-                            AdmissionRejectionWarning(
-                                job.job_id, self.admission.name, now, reason
-                            ),
-                            stacklevel=2,
-                        )
-                    if events is not None:
-                        events.append(
-                            now,
-                            EventType.REJECT,
-                            job.job_id,
-                            policy=self.admission.name,
-                            queued_jobs=len(active),
-                            outstanding_demand=outstanding,
-                        )
-                    break  # re-offered (in arrival order) next round
-                job.state = JobState.QUEUED
-                active.append(job)
-                outstanding += job.demand
-                next_pending += 1
-                if events is not None:
-                    events.append(now, EventType.ADMIT, job.job_id,
-                                  arrival_s=job.spec.arrival_time_s)
-
-            # ---- idle fast-forward ----------------------------------------
-            if not active:
-                if next_pending >= len(pending):  # pragma: no cover - loop guard
-                    raise SimulationError("no active or pending jobs but not all finished")
-                arrival = pending[next_pending].spec.arrival_time_s
-                epoch_idx = max(epoch_idx + 1, int(np.ceil(arrival / epoch_s)))
-                continue
-
-            # ---- (2) scheduling order + queue marking ---------------------
-            ordered = self.scheduler.order(active, now)
-            n_guaranteed = mark_queue_at_cluster_size(
-                [j.demand for j in ordered], self.topology.n_gpus
-            )
-            scheduled = ordered[:n_guaranteed]
-
-            # Preempt running jobs that lost their guarantee this round.
-            for job in ordered[n_guaranteed:]:
-                if job.allocation is not None:
-                    state.release(job.job_id)
-                    job.allocation = None
-                    job.end_segment()  # commit attained service before idling
-                    job.n_preemptions += 1
-                    job.state = JobState.QUEUED
-                    state_dirty = True
-                    if events is not None:
-                        events.append(now, EventType.PREEMPT, job.job_id)
-
-            # ---- (3) placement --------------------------------------------
-            t0 = time.perf_counter()
-            sched_ids = tuple(j.job_id for j in scheduled)
-            if can_memoize and not state_dirty and sched_ids == prev_sched_ids:
-                disturbed: set[int] = set()
-            else:
-                disturbed = self._place(ctx, scheduled, now, events)
-                prev_sched_ids = sched_ids
-                state_dirty = False
-            placement_times.append(time.perf_counter() - t0)
-            if cfg.validate_invariants:
-                state.check_invariants()
-
-            if cfg.record_utilization:
-                epoch_times.append(now)
-                gpus_in_use.append(state.n_busy)
-
-            # ---- (3.5) event-horizon fast-forward -------------------------
-            # A quiet round can be batched with the quiet rounds that
-            # provably follow it: nothing finishes, nothing arrives, the
-            # scheduling order holds, and placement would no-op (memoized
-            # non-sticky, or sticky with every job already running).
-            if (
-                ff_enabled
-                and not disturbed
-                and (can_memoize or self.placement.sticky)
-                and (
-                    next_pending >= len(pending)
-                    or pending[next_pending].spec.arrival_time_s > now
-                )
-            ):
-                n_window = self._quiet_window(
-                    scheduled,
-                    ordered,
-                    n_guaranteed,
-                    epoch_idx,
-                    epochs_run,
-                    pending[next_pending].spec.arrival_time_s
-                    if next_pending < len(pending)
-                    else None,
-                )
-                if n_window >= 2:
-                    for job in scheduled:
-                        job.advance_epochs(n_window)
-                    extra = n_window - 1  # the current round is already booked
-                    if cfg.record_utilization:
-                        epoch_times.extend(
-                            (
-                                np.arange(
-                                    epoch_idx + 1,
-                                    epoch_idx + n_window,
-                                    dtype=np.float64,
-                                )
-                                * epoch_s
-                            ).tolist()
-                        )
-                        gpus_in_use.extend([state.n_busy] * extra)
-                    placement_times.extend([0.0] * extra)
-                    epochs_run += extra
-                    epoch_idx += n_window
-                    continue
-
-            # ---- (4) execute the epoch ------------------------------------
-            gpn = self.topology.gpus_per_node
-            for job in scheduled:
-                if job.allocation is None:  # pragma: no cover - placement is total
-                    raise SimulationError(f"scheduled job {job.job_id} has no allocation")
-                t_iter_eff = job.cached_iter_time_s
-                if t_iter_eff is None:
-                    alloc = job.allocation
-                    # Allocations are sorted, so comparing the endpoint nodes
-                    # decides packing in O(1) (vs. a unique() over the array).
-                    packed = (alloc[0] // gpn) == (alloc[-1] // gpn)
-                    l_factor = self.locality.penalty(job.model, packed)
-                    v_factor = float(self._true_scores[job.class_id, alloc].max())
-                    t_iter_eff = l_factor * v_factor * job.spec.iteration_time_s
-                    job.begin_segment(t_iter_eff, epoch_s)
-                    if online is not None:
-                        # The measured iteration time divided by L * t_orig
-                        # is exactly the allocation's max true score under
-                        # BSP — fold it into the believed table.
-                        online.observe(job.class_id, alloc, v_factor)
-
-                overhead = (
-                    cfg.migration_overhead_s if job.job_id in disturbed else 0.0
-                )
-                window = epoch_s - overhead
-                time_needed = job.remaining_iterations * t_iter_eff
-                if time_needed <= window:
-                    job.finish_at(now + overhead + time_needed, time_needed, overhead)
-                    state.release(job.job_id)
-                    job.allocation = None
-                    n_finished += 1
-                    state_dirty = True
-                    if events is not None:
-                        events.append(job.finish_time_s, EventType.FINISH,
-                                      job.job_id)
-                elif overhead:
-                    # Irregular (checkpoint/restore-shortened) window:
-                    # charge it eagerly — segments only batch full epochs.
-                    job.charge_window(window, overhead)
-                else:
-                    job.advance_epochs(1)
-
-            active = [j for j in active if not j.is_finished]
-            epoch_idx += 1
-
-        if events is not None:
-            # Emission happens in scheduling order within an epoch, but
-            # FINISH timestamps land mid-epoch; a stable time sort makes
-            # the log globally ordered while preserving same-instant
-            # causality (ADMIT before START, etc.).
-            events = EventLog(sorted(events.events, key=lambda e: e.time_s))
-        records = tuple(
-            JobRecord(
-                job_id=j.job_id,
-                model=j.model,
-                class_id=j.class_id,
-                demand=j.demand,
-                arrival_s=j.spec.arrival_time_s,
-                first_start_s=float(j.first_start_s),  # type: ignore[arg-type]
-                finish_s=float(j.finish_time_s),  # type: ignore[arg-type]
-                executed_s=j.executed_time_s,
-                ideal_duration_s=j.spec.ideal_duration_s,
-                n_migrations=j.n_migrations,
-                n_preemptions=j.n_preemptions,
-                n_restarts=j.n_restarts,
-            )
-            for j in jobs
-        )
-        return SimulationResult(
-            trace_name=trace.name,
-            scheduler_name=self.scheduler.name,
-            placement_name=self.placement.name,
-            cluster_size=self.topology.n_gpus,
-            epoch_s=epoch_s,
-            records=records,
-            epoch_times_s=np.asarray(epoch_times, dtype=np.float64),
-            gpus_in_use=np.asarray(gpus_in_use, dtype=np.int64),
-            placement_times_s=np.asarray(placement_times, dtype=np.float64),
-            busy_gpu_seconds=sum(j.busy_gpu_s for j in jobs),
-            metadata={
-                "seed": self.seed,
-                "epochs_run": epochs_run,
-                "admission_rejections": n_rejections,
-            },
-            events=events,
-        )
-
-    # ------------------------------------------------------------------
-    def _quiet_window(
-        self,
-        scheduled: list[SimJob],
-        ordered: list[SimJob],
-        n_guaranteed: int,
-        epoch_idx: int,
-        epochs_run: int,
-        next_arrival_s: float | None,
-    ) -> int:
-        """Epochs (including the current one) the engine may jump at once.
-
-        Returns the largest ``n`` such that epochs ``epoch_idx ..
-        epoch_idx + n - 1`` are provably event-free: no scheduled job
-        completes, no pending arrival crosses an epoch boundary, the
-        scheduling order is stable, and ``max_epochs`` is respected.
-        Every bound is evaluated with the exact closed-form float
-        expressions the per-epoch loop uses, so jumping ``n`` epochs is
-        indistinguishable from stepping them.  ``n < 2`` means "run this
-        round normally".
-        """
-        cfg = self.config
-        epoch_s = cfg.epoch_s
-        horizon = cfg.max_epochs - epochs_run + 1
-        if horizon < 2:
-            return 1
-
-        # Cheap scalar pre-pass: a missing iteration-time cache means a
-        # job was (re)placed this round; an imminent completion caps the
-        # window at 1 before any vector work.
-        for job in scheduled:
-            t_iter = job.cached_iter_time_s
-            if t_iter is None or job.remaining_iterations * t_iter <= epoch_s:
-                return 1
-
-        # First window epoch (1-based) at which each job would finish:
-        # the smallest e with (rem - (p + e - 1) * ipe) * t <= epoch_s —
-        # the identical expression the execution step evaluates, monotone
-        # in e.  Small prefixes take a scalar analytic guess plus exact
-        # monotone fixup; large ones a vectorized binary search over a
-        # structure-of-arrays view (sentinel horizon + 1 = "no completion
-        # inside the horizon").
-        m = len(scheduled)
-        n = horizon
-        if m <= 32:
-            for job in scheduled:
-                rb = job._remaining_base
-                p = job._seg_epochs
-                ipe = job._seg_iters_per_epoch
-                t = job.cached_iter_time_s
-                est = (rb - epoch_s / t) / ipe - p + 1.0
-                e = int(est) if est > 1.0 else 1
-                if e > horizon + 1:
-                    e = horizon + 1
-                while e > 1 and (rb - (p + e - 2) * ipe) * t <= epoch_s:
-                    e -= 1
-                while e <= horizon and (rb - (p + e - 1) * ipe) * t > epoch_s:
-                    e += 1
-                if e - 1 < n:
-                    n = e - 1
-                    if n < 2:
-                        return n
-        else:
-            rem_base = np.empty(m, dtype=np.float64)
-            seg_epochs = np.empty(m, dtype=np.int64)
-            iters_per_epoch = np.empty(m, dtype=np.float64)
-            iter_time = np.empty(m, dtype=np.float64)
-            for i, job in enumerate(scheduled):
-                rem_base[i] = job._remaining_base
-                seg_epochs[i] = job._seg_epochs
-                iters_per_epoch[i] = job._seg_iters_per_epoch
-                iter_time[i] = job.cached_iter_time_s
-
-            def finishes_by(e: np.ndarray) -> np.ndarray:
-                return (
-                    rem_base - (seg_epochs + e - 1) * iters_per_epoch
-                ) * iter_time <= epoch_s
-
-            lo = np.ones(m, dtype=np.int64)
-            hi = np.full(m, horizon, dtype=np.int64)
-            never = ~finishes_by(hi)
-            lo[never] = horizon + 1
-            hi[never] = horizon + 1
-            while True:
-                open_ = lo < hi
-                if not np.any(open_):
-                    break
-                mid = (lo + hi) // 2
-                ok = finishes_by(mid) & open_
-                hi = np.where(ok, mid, hi)
-                lo = np.where(open_ & ~ok, mid + 1, lo)
-            n = int(lo.min()) - 1
-            if n < 2:
-                return n
-
-        # Next arrival: quiet rounds must keep seeing an empty arrival
-        # queue, using the loop's own `arrival > epoch_idx * epoch_s`
-        # comparison at each future round start.
-        # (Callers guarantee no arrival is due at the current round.)
-        if next_arrival_s is not None:
-            arrival = next_arrival_s
-            k_lo, k_hi = 1, min(n, horizon)
-            if arrival <= (epoch_idx + k_hi) * epoch_s:
-                while k_lo < k_hi:
-                    k_mid = (k_lo + k_hi) // 2
-                    if arrival <= (epoch_idx + k_mid) * epoch_s:
-                        k_hi = k_mid
-                    else:
-                        k_lo = k_mid + 1
-                n = min(n, k_lo)
-        if n < 2:
-            return n
-
-        # Scheduling-order stability over the window's interior rounds.
-        stable = self.scheduler.stable_epochs(ordered, n_guaranteed, n - 1)
-        return min(n, stable + 1)
-
-    # ------------------------------------------------------------------
-    def _place(
-        self,
-        ctx: PlacementContext,
-        scheduled: list[SimJob],
-        now: float,
-        events: EventLog | None = None,
-    ) -> set[int]:
-        """Assign GPUs to the guaranteed prefix; returns disturbed job ids.
-
-        A job is *disturbed* (and pays the migration overhead, if any)
-        when it was running and its GPU set changed, or when it resumed
-        after a preemption.
-        """
-        policy = self.placement
-        cluster = ctx.state
-        disturbed: set[int] = set()
-
-        if policy.sticky:
-            # Running jobs keep their GPUs; only allocation-less jobs
-            # (new or resuming) pick GPUs, in placement-priority order.
-            to_place = [j for j in scheduled if j.allocation is None]
-            for job in policy.placement_order(to_place):
-                alloc = policy.select_gpus(ctx, job)
-                cluster.allocate(job.job_id, alloc)
-                job.allocation = alloc
-                job.end_segment()
-                if job.first_start_s is None:
-                    job.first_start_s = now
-                    if events is not None:
-                        events.append(now, EventType.START, job.job_id,
-                                      gpus=alloc.tolist())
-                else:
-                    job.n_restarts += 1
-                    disturbed.add(job.job_id)
-                    if events is not None:
-                        events.append(now, EventType.RESTART, job.job_id,
-                                      gpus=alloc.tolist())
-                job.state = JobState.RUNNING
-            return disturbed
-
-        # Non-sticky: release the whole prefix, then re-place it.
-        previous: dict[int, np.ndarray] = {}
-        for job in scheduled:
-            if job.allocation is not None:
-                previous[job.job_id] = job.allocation
-                cluster.release(job.job_id)
-                job.allocation = None
-        for job in policy.placement_order(scheduled):
-            alloc = policy.select_gpus(ctx, job)
-            cluster.allocate(job.job_id, alloc)
-            job.allocation = alloc
-            prev = previous.get(job.job_id)
-            if prev is None:
-                job.end_segment()
-                if job.first_start_s is None:
-                    job.first_start_s = now
-                    if events is not None:
-                        events.append(now, EventType.START, job.job_id,
-                                      gpus=alloc.tolist())
-                else:
-                    job.n_restarts += 1
-                    disturbed.add(job.job_id)
-                    if events is not None:
-                        events.append(now, EventType.RESTART, job.job_id,
-                                      gpus=alloc.tolist())
-            elif not np.array_equal(prev, alloc):
-                job.end_segment()  # commits the epochs run on the old GPUs
-                job.n_migrations += 1
-                disturbed.add(job.job_id)
-                if events is not None:
-                    events.append(now, EventType.MIGRATE, job.job_id,
-                                  from_gpus=prev.tolist(), to_gpus=alloc.tolist())
-            job.state = JobState.RUNNING
-        return disturbed
+        result = engine.run(trace)
+        self._online_table = engine.online_table
+        return result

@@ -53,10 +53,18 @@ class JobSpec:
         the classifier tags jobs at admission, before scheduling.
     iteration_time_s:
         Per-iteration time on a median GPU with a packed allocation
-        (``t_orig`` in the paper's Eq. 1).
+        (``t_orig`` in the paper's Eq. 1), *at the submitted demand* —
+        elastic jobs resized to another width scale linearly.
     total_iterations:
         Job length in iterations; ideal runtime is
         ``total_iterations * iteration_time_s``.
+    min_demand / max_demand:
+        Optional elastic-demand bounds (Pollux/adaptdl-style resizable
+        jobs). ``None`` (the default) pins the corresponding bound to
+        ``demand`` — a rigid job. When set, an elastic-aware scheduler
+        may resize the job's GPU allocation anywhere within
+        ``[min_demand, max_demand]`` each round; rigid schedulers ignore
+        the bounds entirely.
     """
 
     job_id: int
@@ -66,6 +74,8 @@ class JobSpec:
     class_id: int
     iteration_time_s: float
     total_iterations: int
+    min_demand: int | None = None
+    max_demand: int | None = None
 
     def __post_init__(self) -> None:
         if self.job_id < 0:
@@ -80,6 +90,31 @@ class JobSpec:
             raise TraceError(f"job {self.job_id}: iteration_time_s must be positive")
         if self.total_iterations < 1:
             raise TraceError(f"job {self.job_id}: total_iterations must be >= 1")
+        if self.min_demand is not None and not 1 <= self.min_demand <= self.demand:
+            raise TraceError(
+                f"job {self.job_id}: min_demand {self.min_demand} must be in "
+                f"[1, demand={self.demand}]"
+            )
+        if self.max_demand is not None and self.max_demand < self.demand:
+            raise TraceError(
+                f"job {self.job_id}: max_demand {self.max_demand} must be "
+                f">= demand={self.demand}"
+            )
+
+    @property
+    def demand_floor(self) -> int:
+        """Smallest legal GPU demand (``demand`` for rigid jobs)."""
+        return self.demand if self.min_demand is None else self.min_demand
+
+    @property
+    def demand_ceiling(self) -> int:
+        """Largest legal GPU demand (``demand`` for rigid jobs)."""
+        return self.demand if self.max_demand is None else self.max_demand
+
+    @property
+    def is_elastic(self) -> bool:
+        """True when an elastic-aware scheduler has any resizing freedom."""
+        return self.demand_floor < self.demand_ceiling
 
     @property
     def ideal_duration_s(self) -> float:

@@ -46,6 +46,14 @@ class SynergyConfig:
     duration_max_s: float = 120.0 * 3600.0
     models: tuple[str, ...] = TABLE2_MODELS
     model_weights: tuple[float, ...] | None = None
+    #: Fraction of jobs generated as *elastic* (Pollux/adaptdl-style
+    #: resizable demand): an elastic job may be shrunk to
+    #: ``max(1, demand // 2)`` and grown to ``demand * elastic_grow_factor``
+    #: by an elastic-aware scheduler.  0.0 (the default) generates the
+    #: classic all-rigid trace and consumes no extra RNG draws, so
+    #: existing traces are reproduced bit-identically.
+    elastic_fraction: float = 0.0
+    elastic_grow_factor: int = 2
 
     def __post_init__(self) -> None:
         if self.n_jobs < 1:
@@ -62,6 +70,10 @@ class SynergyConfig:
             raise ConfigurationError("model_weights must align with models")
         if not 0 < self.duration_min_s <= self.duration_max_s:
             raise ConfigurationError("duration bounds must satisfy 0 < min <= max")
+        if not 0.0 <= self.elastic_fraction <= 1.0:
+            raise ConfigurationError("elastic_fraction must be in [0, 1]")
+        if self.elastic_grow_factor < 1:
+            raise ConfigurationError("elastic_grow_factor must be >= 1")
         for m in self.models:
             get_model(m)
 
@@ -71,6 +83,7 @@ def generate_synergy_trace(
     *,
     n_jobs: int | None = None,
     config: SynergyConfig | None = None,
+    elastic_fraction: float | None = None,
     seed: int = 0,
 ) -> Trace:
     """Generate one Synergy-style trace at the given arrival rate.
@@ -82,12 +95,23 @@ def generate_synergy_trace(
     n_jobs:
         Trace length override (the paper simulates enough jobs to measure
         ids 2000-3000 at steady state; scaled runs use fewer).
+    elastic_fraction:
+        Override for :attr:`SynergyConfig.elastic_fraction` — the share
+        of jobs emitted with elastic-demand bounds. A positive value
+        changes the trace name (``-e<frac>`` suffix) so elastic and
+        rigid variants never collide in keyed results.
     config, seed:
         Generator parameters and experiment seed.
     """
     if jobs_per_hour <= 0:
         raise ConfigurationError(f"jobs_per_hour={jobs_per_hour} must be positive")
     cfg = config or SynergyConfig()
+    if elastic_fraction is not None:
+        if not 0.0 <= elastic_fraction <= 1.0:
+            raise ConfigurationError("elastic_fraction must be in [0, 1]")
+        e_frac = elastic_fraction
+    else:
+        e_frac = cfg.elastic_fraction
     n = int(n_jobs) if n_jobs is not None else cfg.n_jobs
     if n < 1:
         raise ConfigurationError(f"n_jobs={n} must be >= 1")
@@ -117,28 +141,43 @@ def generate_synergy_trace(
     )
     model_idx = rng.choice(len(cfg.models), size=n, p=weights)
 
+    # Drawn strictly after every classic draw (and only when requested),
+    # so elastic_fraction=0 reproduces existing traces bit-identically.
+    elastic_mask = np.zeros(n, dtype=bool)
+    if e_frac > 0.0:
+        elastic_mask = rng.random(n) < e_frac
+
     jobs = []
     for i in range(n):
         model = get_model(cfg.models[model_idx[i]])
         iters = max(1, int(round(durations[i] / model.iteration_time_s)))
+        demand = int(demands[i])
+        min_d = max_d = None
+        if elastic_mask[i]:
+            min_d = max(1, demand // 2)
+            max_d = demand * cfg.elastic_grow_factor
         jobs.append(
             JobSpec(
                 job_id=i,
                 arrival_time_s=float(arrivals[i]),
-                demand=int(demands[i]),
+                demand=demand,
                 model=model.name,
                 class_id=class_index_of_model(model.name),
                 iteration_time_s=model.iteration_time_s,
                 total_iterations=iters,
+                min_demand=min_d,
+                max_demand=max_d,
             )
         )
+    suffix = f"-e{e_frac:g}" if e_frac > 0.0 else ""
     return Trace(
-        name=f"synergy-{jobs_per_hour:g}jph",
+        name=f"synergy-{jobs_per_hour:g}jph{suffix}",
         jobs=tuple(jobs),
         metadata={
             "generator": "synergy",
             "jobs_per_hour": jobs_per_hour,
             "seed": seed,
             "n_jobs": n,
+            "elastic_fraction": e_frac,
         },
     )

@@ -94,25 +94,37 @@ class Trace:
         "iteration_time_s",
         "total_iterations",
     )
+    #: Elastic-demand columns, appended only when the trace contains
+    #: elastic jobs (empty cells mean "rigid"); purely-rigid traces keep
+    #: emitting the original 7-column format.
+    _CSV_ELASTIC_FIELDS = _CSV_FIELDS + ("min_demand", "max_demand")
+
+    @property
+    def has_elastic_jobs(self) -> bool:
+        """True when any job carries elastic-demand bounds."""
+        return any(j.is_elastic for j in self.jobs)
 
     def to_csv(self, path: str | Path | None = None) -> str:
         """Serialize to CSV; returns the text and optionally writes ``path``."""
+        elastic = self.has_elastic_jobs
         buf = io.StringIO()
         writer = csv.writer(buf)
         writer.writerow(["trace", self.name])
-        writer.writerow(self._CSV_FIELDS)
+        writer.writerow(self._CSV_ELASTIC_FIELDS if elastic else self._CSV_FIELDS)
         for j in self.jobs:
-            writer.writerow(
-                [
-                    j.job_id,
-                    f"{j.arrival_time_s:.6f}",
-                    j.demand,
-                    j.model,
-                    j.class_id,
-                    f"{j.iteration_time_s:.9g}",
-                    j.total_iterations,
-                ]
-            )
+            row = [
+                j.job_id,
+                f"{j.arrival_time_s:.6f}",
+                j.demand,
+                j.model,
+                j.class_id,
+                f"{j.iteration_time_s:.9g}",
+                j.total_iterations,
+            ]
+            if elastic:
+                row.append("" if j.min_demand is None else j.min_demand)
+                row.append("" if j.max_demand is None else j.max_demand)
+            writer.writerow(row)
         text = buf.getvalue()
         if path is not None:
             Path(path).write_text(text)
@@ -130,8 +142,10 @@ class Trace:
         if len(rows) < 3 or rows[0][0] != "trace":
             raise TraceError("malformed trace CSV")
         name = rows[0][1]
-        if tuple(rows[1]) != cls._CSV_FIELDS:
+        header = tuple(rows[1])
+        if header not in (cls._CSV_FIELDS, cls._CSV_ELASTIC_FIELDS):
             raise TraceError(f"unexpected trace CSV header: {rows[1]}")
+        elastic = header == cls._CSV_ELASTIC_FIELDS
         jobs = []
         for row in rows[2:]:
             if not row:
@@ -145,6 +159,8 @@ class Trace:
                     class_id=int(row[4]),
                     iteration_time_s=float(row[5]),
                     total_iterations=int(row[6]),
+                    min_demand=int(row[7]) if elastic and row[7] else None,
+                    max_demand=int(row[8]) if elastic and row[8] else None,
                 )
             )
         return cls(name=name, jobs=tuple(jobs), metadata={"source": "csv"})

@@ -2,17 +2,33 @@
 
 from __future__ import annotations
 
+import os
 import sys
 from pathlib import Path
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 
 # Make the suite runnable without an installed package (e.g. a fresh
 # checkout before `pip install -e .`).
 _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+# Hypothesis profiles: "dev" (default) explores fresh examples each run;
+# "ci" (selected via HYPOTHESIS_PROFILE=ci, as the GitHub Actions
+# workflow does) is fully derandomized so CI results are reproducible
+# run-to-run and across machines.
+settings.register_profile("dev", deadline=None)
+settings.register_profile(
+    "ci",
+    deadline=None,
+    derandomize=True,
+    print_blob=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 from repro.cluster import ClusterState, ClusterTopology, LocalityModel  # noqa: E402
 from repro.core import PMScoreTable  # noqa: E402

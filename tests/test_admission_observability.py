@@ -22,6 +22,7 @@ from repro.scheduler.admission import (
     MaxQueueLength,
 )
 from repro.scheduler.events import EventType
+from repro.scheduler.metrics import ADMISSION_REJECTIONS_KEY
 from repro.scheduler.placement import make_placement
 from repro.scheduler.policies import make_scheduler
 from repro.scheduler.simulator import ClusterSimulator, SimulatorConfig
@@ -65,12 +66,22 @@ class TestRejectionObservability:
 
         result, rejections = run_sim(profile64, AcceptAll())
         assert rejections == []
-        assert result.metadata["admission_rejections"] == 0
+        assert result.metadata[ADMISSION_REJECTIONS_KEY] == 0
         assert len(result.events.of_type(EventType.REJECT)) == 0
+
+    def test_metadata_key_is_documented_constant(self, profile64):
+        """The counter lives under the documented public key (owned by
+        the engine's ArrivalStage, surfaced via metrics)."""
+        assert ADMISSION_REJECTIONS_KEY == "admission_rejections"
+        result, _ = run_sim(profile64, MaxQueueLength(2))
+        assert ADMISSION_REJECTIONS_KEY in result.metadata
+        assert result.metadata[ADMISSION_REJECTIONS_KEY] == len(
+            result.events.of_type(EventType.REJECT)
+        )
 
     def test_rejections_are_warned_once_per_job(self, profile64):
         result, rejections = run_sim(profile64, MaxQueueLength(2))
-        assert result.metadata["admission_rejections"] > 0
+        assert result.metadata[ADMISSION_REJECTIONS_KEY] > 0
         # One structured warning per rejected job, not per epoch.
         warned_ids = [w.job_id for w in rejections]
         assert len(warned_ids) == len(set(warned_ids)) > 0
@@ -82,7 +93,7 @@ class TestRejectionObservability:
     def test_reject_events_recorded_and_legal(self, profile64):
         result, _ = run_sim(profile64, MaxQueueLength(2))
         rejects = result.events.of_type(EventType.REJECT)
-        assert len(rejects) == result.metadata["admission_rejections"]
+        assert len(rejects) == result.metadata[ADMISSION_REJECTIONS_KEY]
         detail = rejects[0].detail
         assert detail["policy"] == "max-queue-length"
         assert "queued_jobs" in detail and "outstanding_demand" in detail

@@ -1,0 +1,390 @@
+"""Elastic-demand jobs: invariants, events, policy, and the experiment.
+
+Covers the new seams end to end:
+
+* hypothesis invariants over random elastic workloads — every placed
+  allocation stays within the job's ``[min_demand, max_demand]``, total
+  assigned GPUs never exceed the cluster, and RESIZE events are
+  consistent with the allocations they describe;
+* the ElasticLAS demand plan (shrink-to-fit + grow-by-priority);
+* rigid traces under ElasticLAS are bit-identical to plain LAS;
+* the ``elastic`` experiment runs end-to-end through the runner with
+  deterministic digests and shows a JCT/utilization delta.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.topology import ClusterTopology, LocalityModel
+from repro.scheduler.admission import AcceptAll
+from repro.scheduler.engine import RoundEngine, SimulatorConfig, StageOutcome
+from repro.scheduler.engine.stages import PlacementStage, RoundStage
+from repro.scheduler.events import EventType
+from repro.scheduler.jobs import SimJob
+from repro.scheduler.placement import make_placement
+from repro.scheduler.policies import ElasticLASScheduler, make_scheduler
+from repro.scheduler.simulator import ClusterSimulator
+from repro.traces.job import JobSpec
+from repro.traces.synergy import generate_synergy_trace
+from repro.traces.trace import Trace
+from repro.utils.errors import TraceError
+from repro.variability.profiles import VariabilityProfile
+
+
+def flat_profile(n_gpus):
+    return VariabilityProfile(
+        cluster_name="flat",
+        class_names=("A", "B", "C"),
+        scores=np.ones((3, n_gpus)),
+    )
+
+
+def ejob(i, arrival=0.0, demand=2, iters=2000, min_d=1, max_d=4, t_iter=1.0):
+    return JobSpec(
+        job_id=i,
+        arrival_time_s=arrival,
+        demand=demand,
+        model="resnet50",
+        class_id=i % 3,
+        iteration_time_s=t_iter,
+        total_iterations=iters,
+        min_demand=min_d,
+        max_demand=max_d,
+    )
+
+
+class _InvariantProbe(RoundStage):
+    """Post-placement live checks: width bounds + capacity every round."""
+
+    name = "invariant-probe"
+
+    def __init__(self):
+        self.rounds_checked = 0
+
+    def run(self, ctx):
+        total = 0
+        for job in ctx.scheduled:
+            assert job.allocation is not None
+            assert len(job.allocation) == job.demand, (
+                f"job {job.job_id}: allocation {len(job.allocation)} != "
+                f"demand {job.demand}"
+            )
+            assert (
+                job.spec.demand_floor <= job.demand <= job.spec.demand_ceiling
+            ), f"job {job.job_id}: width {job.demand} escaped its bounds"
+            total += job.demand
+        assert total <= ctx.topology.n_gpus, "cluster oversubscribed"
+        self.rounds_checked += 1
+        return StageOutcome.NEXT_STAGE
+
+
+class _ProbedEngine(RoundEngine):
+    def build_stages(self, ctx):
+        stages = super().build_stages(ctx)
+        self.probe = _InvariantProbe()
+        out = []
+        for s in stages:
+            out.append(s)
+            if isinstance(s, PlacementStage):
+                out.append(self.probe)
+        return out
+
+
+def run_probed(jobs, *, n_gpus=8, placement="tiresias", scheduler="elastic-las"):
+    from repro.core.pm_score import PMScoreTable
+
+    profile = flat_profile(n_gpus)
+    engine = _ProbedEngine(
+        topology=ClusterTopology.from_gpu_count(n_gpus),
+        true_profile=profile,
+        scheduler=make_scheduler(scheduler),
+        placement=make_placement(placement),
+        pm_table=PMScoreTable.fit(profile, seed=0),
+        locality=LocalityModel(across_node=1.5),
+        admission=AcceptAll(),
+        config=SimulatorConfig(validate_invariants=True, record_events=True),
+    )
+    result = engine.run(Trace("elastic-t", tuple(jobs)))
+    assert engine.probe.rounds_checked > 0
+    return result
+
+
+class TestElasticInvariantsProperty:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        n_gpus=st.sampled_from((8, 16)),
+        placement=st.sampled_from(("tiresias", "gandiva", "pal")),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_random_elastic_workloads_respect_bounds(self, seed, n_gpus, placement):
+        rng = np.random.default_rng(seed)
+        jobs = []
+        t = 0.0
+        for i in range(8):
+            t += float(rng.integers(0, 6)) * 300.0
+            demand = int(rng.integers(1, 5))
+            elastic = rng.random() < 0.7
+            jobs.append(
+                JobSpec(
+                    job_id=i,
+                    arrival_time_s=t,
+                    demand=demand,
+                    model="resnet50",
+                    class_id=int(rng.integers(0, 3)),
+                    iteration_time_s=0.5,
+                    total_iterations=int(rng.integers(100, 4000)),
+                    min_demand=max(1, demand // 2) if elastic else None,
+                    max_demand=demand * 2 if elastic else None,
+                )
+            )
+        res = run_probed(jobs, n_gpus=n_gpus, placement=placement)
+        assert len(res.records) == len(jobs)
+        # RESIZE events are consistent with the allocations they moved.
+        for e in res.events.of_type(EventType.RESIZE):
+            assert len(e.detail["from_gpus"]) == e.detail["from_demand"]
+            assert len(e.detail["to_gpus"]) == e.detail["to_demand"]
+            spec = jobs[e.job_id]
+            assert spec.demand_floor <= e.detail["to_demand"] <= spec.demand_ceiling
+        # Every RESIZE event belongs to a job whose tally counts it.
+        by_job = {r.job_id: r.n_resizes for r in res.records}
+        for e in res.events.of_type(EventType.RESIZE):
+            assert by_job[e.job_id] >= 1
+        res.events.validate()
+
+
+class TestResizeMechanics:
+    def test_grow_then_shrink_then_regrow(self):
+        """One elastic job alone grows to max; a rival arrival shrinks it
+        (RESIZE recorded); the rival's completion regrows it."""
+        jobs = [
+            ejob(0, demand=4, iters=20000, min_d=2, max_d=8),
+            ejob(1, arrival=900.0, demand=4, iters=2000, min_d=2, max_d=8),
+        ]
+        res = run_probed(jobs, n_gpus=8)
+        resizes = res.events.of_type(EventType.RESIZE)
+        # The lone job grew to 8 and is shrunk when the rival arrives...
+        assert resizes[0].job_id == 0
+        assert resizes[0].detail["from_demand"] == 8
+        assert resizes[0].detail["to_demand"] == 2
+        # ...and ends regrown to the full cluster after the rival leaves
+        # (LAS growth hand-offs in between may add further resizes).
+        job0_resizes = [e for e in resizes if e.job_id == 0]
+        assert job0_resizes[-1].detail["to_demand"] == 8
+        assert res.records[0].n_resizes >= 2
+        assert res.total_resizes == len(resizes)
+        res.events.validate()
+
+    def test_linear_scaling_speeds_grown_jobs(self):
+        """A lone elastic job grown from 4 to 8 GPUs finishes in half the
+        ideal time (idealized data-parallel scaling)."""
+        res = run_probed([ejob(0, demand=4, iters=2000, min_d=2, max_d=8)])
+        rec = res.records[0]
+        # 2000 iters * 1 s at width 4 -> 1000 s at width 8, times the
+        # inter-node penalty 1.5 (8 GPUs span both 4-GPU nodes).
+        assert rec.finish_s == pytest.approx(1500.0)
+        assert rec.executed_s == pytest.approx(1500.0)
+
+    def test_rigid_jobs_unaffected_by_elastic_scheduler(self):
+        """ElasticLAS on an all-rigid trace is bit-identical to LAS."""
+        jobs = [
+            JobSpec(i, i * 200.0, 1 + i % 3, "resnet50", i % 3, 1.0, 1500)
+            for i in range(8)
+        ]
+        results = []
+        for sched in ("las", "elastic-las"):
+            sim = ClusterSimulator(
+                topology=ClusterTopology.from_gpu_count(8),
+                true_profile=flat_profile(8),
+                scheduler=make_scheduler(sched),
+                placement=make_placement("tiresias"),
+                locality=LocalityModel(across_node=1.5),
+                config=SimulatorConfig(record_events=True),
+            )
+            results.append(sim.run(Trace("rigid", tuple(jobs))))
+        diffs = results[0].same_outcome_as(results[1])
+        assert diffs == ["scheduler_name"] or diffs == []
+
+    def test_busy_gpu_accounting_uses_current_width(self):
+        """GPU-seconds are charged at the running width, not the
+        submitted demand."""
+        res = run_probed([ejob(0, demand=4, iters=2000, min_d=2, max_d=8)])
+        # Ran 1500 s (locality-penalized) at width 8.
+        assert res.busy_gpu_seconds == pytest.approx(8 * 1500.0)
+
+    def test_grown_width_does_not_starve_demand_based_admission(self):
+        """A job grown to soak up idle GPUs must not inflate the
+        outstanding demand seen by admission control: the scheduler can
+        always shrink it back to its floor, so admission counts elastic
+        jobs at their floor in elastic pipelines."""
+        import warnings
+
+        from repro.scheduler.admission import (
+            AdmissionRejectionWarning,
+            MaxOutstandingDemand,
+        )
+
+        jobs = [
+            ejob(0, demand=4, iters=30000, min_d=2, max_d=8, t_iter=1.0),
+            JobSpec(1, 1200.0, 1, "resnet50", 0, 1.0, 100),
+        ]
+        sim = ClusterSimulator(
+            topology=ClusterTopology.from_gpu_count(8),
+            true_profile=flat_profile(8),
+            scheduler=make_scheduler("elastic-las"),
+            placement=make_placement("tiresias"),
+            admission=MaxOutstandingDemand(1.0),
+            locality=LocalityModel(across_node=1.0),
+            config=SimulatorConfig(record_events=True),
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", AdmissionRejectionWarning)
+            res = sim.run(Trace("t", tuple(jobs)))
+        # Job 0 grows to 8 GPUs while alone; the 1-GPU arrival is still
+        # admitted at its first round (floor 2 + 1 <= 8), not after the
+        # grown job's entire lifetime.
+        rec1 = res.records[1]
+        assert rec1.first_start_s == pytest.approx(1200.0)
+        assert res.metadata["admission_rejections"] == 0
+
+
+class TestElasticLASPlan:
+    def _sim_job(self, i, demand, min_d=None, max_d=None, attained=0.0):
+        j = SimJob(
+            JobSpec(i, 0.0, demand, "resnet50", 0, 1.0, 1000,
+                    min_demand=min_d, max_demand=max_d)
+        )
+        j.attained_service_gpu_s = attained
+        return j
+
+    def test_shrink_to_fit_extends_the_prefix(self):
+        sched = ElasticLASScheduler()
+        jobs = [
+            self._sim_job(0, 4, min_d=2, max_d=8, attained=0.0),
+            self._sim_job(1, 4, min_d=2, max_d=8, attained=100.0),
+            self._sim_job(2, 4, attained=200.0),  # rigid
+        ]
+        ordered = sched.order(jobs, 0.0)
+        n_marked, targets = sched.plan_demands(ordered, 8)
+        # Floors 2 + 2 + 4 = 8: all three fit (rigid LAS would mark 2).
+        assert n_marked == 3
+        assert targets == {0: 2, 1: 2, 2: 4}
+
+    def test_grow_by_priority_consumes_leftover(self):
+        sched = ElasticLASScheduler()
+        jobs = [
+            self._sim_job(0, 2, min_d=1, max_d=6, attained=0.0),
+            self._sim_job(1, 2, min_d=1, max_d=6, attained=500.0),
+        ]
+        ordered = sched.order(jobs, 0.0)
+        n_marked, targets = sched.plan_demands(ordered, 8)
+        assert n_marked == 2
+        # Least-attained grows first to its ceiling, then the next.
+        assert targets == {0: 6, 1: 2}
+
+    def test_ceiling_capped_at_cluster_size(self):
+        sched = ElasticLASScheduler()
+        jobs = [self._sim_job(0, 4, min_d=2, max_d=64)]
+        _, targets = sched.plan_demands(sched.order(jobs, 0.0), 8)
+        assert targets[0] == 8
+
+
+class TestElasticTraceLayer:
+    def test_jobspec_validation(self):
+        with pytest.raises(TraceError):
+            ejob(0, demand=2, min_d=3, max_d=4)  # min > demand
+        with pytest.raises(TraceError):
+            ejob(0, demand=4, min_d=1, max_d=2)  # max < demand
+        with pytest.raises(TraceError):
+            ejob(0, demand=2, min_d=0, max_d=4)  # min < 1
+        spec = ejob(0, demand=2, min_d=1, max_d=4)
+        assert spec.is_elastic
+        assert (spec.demand_floor, spec.demand_ceiling) == (1, 4)
+        rigid = JobSpec(0, 0.0, 2, "resnet50", 0, 1.0, 10)
+        assert not rigid.is_elastic
+        assert (rigid.demand_floor, rigid.demand_ceiling) == (2, 2)
+
+    def test_csv_round_trip_preserves_elastic_bounds(self):
+        trace = Trace(
+            "e",
+            (
+                ejob(0, demand=2, min_d=1, max_d=4),
+                JobSpec(1, 10.0, 2, "resnet50", 0, 1.0, 10),
+            ),
+        )
+        loaded = Trace.from_csv(trace.to_csv())
+        assert loaded.jobs[0].min_demand == 1
+        assert loaded.jobs[0].max_demand == 4
+        assert loaded.jobs[1].min_demand is None
+        assert loaded.has_elastic_jobs
+
+    def test_rigid_csv_format_unchanged(self):
+        trace = Trace("r", (JobSpec(0, 0.0, 2, "resnet50", 0, 1.0, 10),))
+        text = trace.to_csv()
+        assert "min_demand" not in text
+        assert Trace.from_csv(text).jobs[0].demand == 2
+
+    def test_synergy_generator_elastic_knob(self):
+        rigid = generate_synergy_trace(10.0, n_jobs=200, seed=3)
+        elastic = generate_synergy_trace(
+            10.0, n_jobs=200, elastic_fraction=0.5, seed=3
+        )
+        assert not rigid.has_elastic_jobs
+        assert elastic.name.endswith("-e0.5")
+        frac = sum(j.is_elastic for j in elastic) / len(elastic)
+        assert 0.3 < frac < 0.7
+        # The classic draws are untouched: same arrivals/demands/durations.
+        for a, b in zip(rigid, elastic):
+            assert a.arrival_time_s == b.arrival_time_s
+            assert a.demand == b.demand
+            assert a.total_iterations == b.total_iterations
+        for j in elastic:
+            if j.is_elastic:
+                assert j.min_demand == max(1, j.demand // 2)
+                assert j.max_demand == 2 * j.demand
+
+
+class TestElasticExperiment:
+    def test_runs_end_to_end_with_deterministic_digests(self, tmp_path):
+        from repro.experiments.elastic import run
+        from repro.runner.spec import TraceSpec
+
+        spec = TraceSpec("synergy", load=12.0, n_jobs=64, elastic_fraction=0.5)
+        assert spec.label == "synergy:12:e0.5"
+        # Digest is stable across instantiations (cacheable cells).
+        again = TraceSpec("synergy", load=12.0, n_jobs=64, elastic_fraction=0.5)
+        from repro.runner.spec import RunSpec
+
+        d1 = RunSpec(trace=spec, scheduler="elastic-las",
+                     placement="tiresias", seed=0).digest()
+        d2 = RunSpec(trace=again, scheduler="elastic-las",
+                     placement="tiresias", seed=0).digest()
+        assert d1 == d2
+
+        import os
+
+        old = os.environ.get("REPRO_CACHE_DIR")
+        os.environ["REPRO_CACHE_DIR"] = str(tmp_path)
+        try:
+            result = run("smoke")
+        finally:
+            if old is None:
+                os.environ.pop("REPRO_CACHE_DIR", None)
+            else:
+                os.environ["REPRO_CACHE_DIR"] = old
+        assert result.experiment == "elastic"
+        # Acceptance: a JCT or utilization delta at >= 1 load point.
+        deltas = [abs(row[3]) for row in result.rows]
+        util_deltas = [abs(row[5] - row[4]) for row in result.rows]
+        assert max(max(deltas), max(util_deltas)) > 0.0
+        # The sweep populated the cache; re-running is all hits.
+        sweep = result.data["sweep"]
+        assert sweep.cache_misses > 0 and sweep.cache_hits == 0
+
+    def test_registered_in_catalog(self):
+        from repro.experiments import EXPERIMENTS
+
+        assert "elastic" in EXPERIMENTS

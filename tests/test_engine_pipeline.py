@@ -1,0 +1,260 @@
+"""Round-pipeline engine: structure, recorders, and golden equivalence.
+
+The multi-layer refactor's contract: the stage pipeline behind the
+``ClusterSimulator`` façade must reproduce the pre-refactor monolithic
+engine *bit-for-bit*.  Three angles enforce it here (on top of the
+fast-forward equivalence suite and the pinned golden metrics):
+
+* the golden smoke grid re-measured with fast-forward **off** must be
+  outcome-identical to the default fast-forward run — i.e. the façade's
+  numbers match ``tests/golden/smoke_metrics.json`` through *both*
+  engine paths;
+* the batched idle→arrival jump and the batched series recorders must
+  preserve the exact ``epochs_run`` / array semantics of the eager
+  per-round bookkeeping;
+* the pipeline must assemble the documented stage sequence, inserting
+  the ResizeStage only for elastic traces under elastic-aware
+  schedulers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cluster.topology import ClusterTopology, LocalityModel
+from repro.runner.spec import EnvSpec
+from repro.scheduler.engine import (
+    ArrivalStage,
+    ExecutionStage,
+    FastForwardStage,
+    OrderingStage,
+    PlacementStage,
+    PlacementTimeRecorder,
+    ResizeStage,
+    RoundEngine,
+    SimulatorConfig,
+    UtilizationRecorder,
+)
+from repro.scheduler.placement import make_placement
+from repro.scheduler.policies import make_scheduler
+from repro.scheduler.simulator import ClusterSimulator
+from repro.traces.job import JobSpec
+from repro.traces.trace import Trace
+from repro.variability.profiles import VariabilityProfile
+
+GOLDEN_FILE = Path(__file__).resolve().parent / "golden" / "smoke_metrics.json"
+
+
+def flat_profile(n_gpus: int) -> VariabilityProfile:
+    return VariabilityProfile(
+        cluster_name="flat",
+        class_names=("A", "B", "C"),
+        scores=np.ones((3, n_gpus)),
+    )
+
+
+def job(i, arrival=0.0, demand=1, iters=100, t_iter=1.0, **kw):
+    return JobSpec(
+        job_id=i,
+        arrival_time_s=arrival,
+        demand=demand,
+        model="resnet50",
+        class_id=0,
+        iteration_time_s=t_iter,
+        total_iterations=iters,
+        **kw,
+    )
+
+
+def simulate(jobs, *, n_gpus=16, scheduler="fifo", placement="pal", config=None):
+    sim = ClusterSimulator(
+        topology=ClusterTopology.from_gpu_count(n_gpus),
+        true_profile=flat_profile(n_gpus),
+        scheduler=make_scheduler(scheduler),
+        placement=make_placement(placement),
+        locality=LocalityModel(across_node=1.5),
+        config=config or SimulatorConfig(validate_invariants=True),
+    )
+    return sim.run(Trace("t", tuple(jobs)))
+
+
+class TestGoldenEquivalenceBothEnginePaths:
+    """Acceptance criterion: the façade matches the pinned goldens with
+    fast-forward on AND off (the goldens were recorded pre-refactor)."""
+
+    @pytest.mark.parametrize("fast_forward", [True, False])
+    def test_golden_fifo_grid(self, fast_forward):
+        from repro.runner import SweepSpec, TraceSpec, run_sweep
+        from repro.scheduler.placement import ALL_POLICY_NAMES
+
+        spec = SweepSpec(
+            traces=(TraceSpec("sia", workload=1, n_jobs=48),),
+            schedulers=("fifo",),
+            placements=ALL_POLICY_NAMES,
+            seeds=(0,),
+            env=EnvSpec(n_gpus=64, use_per_model_locality=True),
+            config=None if fast_forward else SimulatorConfig(fast_forward=False),
+            name="pipeline-golden",
+        )
+        sweep = run_sweep(spec)
+        golden = json.loads(GOLDEN_FILE.read_text())["sia_w1_fifo"]
+        for cell, res in zip(sweep.cells, sweep.results):
+            want = golden[cell.label]
+            assert res.avg_jct_s() == pytest.approx(want["avg_jct_s"], rel=1e-9)
+            assert res.makespan_s == pytest.approx(want["makespan_s"], rel=1e-9)
+            assert res.utilization == pytest.approx(want["utilization"], rel=1e-9)
+            assert res.total_migrations == want["migrations"]
+            assert res.total_preemptions == want["preemptions"]
+
+    def test_fast_forward_off_is_outcome_identical(self):
+        jobs = [job(i, arrival=i * 500.0, demand=1 + i % 4, iters=3000)
+                for i in range(10)]
+        on = simulate(jobs, config=SimulatorConfig(record_events=True))
+        off = simulate(
+            jobs, config=SimulatorConfig(fast_forward=False, record_events=True)
+        )
+        assert on.same_outcome_as(off) == []
+
+
+class TestBatchedBookkeeping:
+    def test_idle_round_accounting_is_exact(self):
+        """One run round, one (batched) idle round, one final run round —
+        the merged idle→arrival jump must count exactly the rounds the
+        per-round loop counted."""
+        res = simulate([job(0, iters=10), job(1, arrival=30000.0, iters=10)])
+        assert res.metadata["epochs_run"] == 3
+        # Idle epochs record no utilization samples and no placement
+        # timings, exactly as before.
+        assert res.placement_times_s.size == 2
+        assert res.epoch_times_s.tolist() == [0.0, 30000.0]
+
+    def test_consecutive_idle_gaps(self):
+        """Several tiny jobs separated by long idle gaps: per gap, one
+        execution round plus one merged idle round."""
+        jobs = [job(i, arrival=i * 60000.0, iters=10) for i in range(5)]
+        res = simulate(jobs)
+        # 5 execution rounds + 5 idle rounds (one per gap incl. none after
+        # the last job finishing the trace: the final round has no pending
+        # arrivals, so no idle round follows it).
+        assert res.metadata["epochs_run"] == 9
+        assert res.placement_times_s.size == 5
+
+    def test_utilization_recorder_matches_eager_appends(self):
+        rec = UtilizationRecorder()
+        eager_t, eager_b = [], []
+        series = [(0, 5), (1, 5), (2, 3), (5, 3), (6, 0), (7, 4)]
+        for idx, busy in series:
+            rec.record(idx, busy)
+            eager_t.append(idx * 300.0)
+            eager_b.append(busy)
+        t, b = rec.materialize(300.0)
+        assert t.tolist() == eager_t
+        assert b.tolist() == eager_b
+        assert t.dtype == np.float64 and b.dtype == np.int64
+
+    def test_utilization_recorder_multi_epoch_runs(self):
+        rec = UtilizationRecorder()
+        rec.record(10, 7)
+        rec.record(11, 7, n=999)  # a fast-forward jump
+        t, b = rec.materialize(300.0)
+        assert t.shape == (1000,)
+        assert t[0] == 3000.0 and t[-1] == 1009 * 300.0
+        assert set(b.tolist()) == {7}
+
+    def test_utilization_recorder_empty(self):
+        t, b = UtilizationRecorder().materialize(300.0)
+        assert t.shape == (0,) and b.shape == (0,)
+
+    def test_placement_time_recorder_sparse_zeros(self):
+        rec = PlacementTimeRecorder()
+        rec.record(0.5)
+        rec.skip(3)
+        rec.record(0.25)
+        out = rec.materialize()
+        assert out.tolist() == [0.5, 0.0, 0.0, 0.0, 0.25]
+        assert PlacementTimeRecorder().materialize().shape == (0,)
+
+
+class TestPipelineComposition:
+    def _engine(self, scheduler="fifo"):
+        from repro.scheduler.admission import AcceptAll
+
+        return RoundEngine(
+            topology=ClusterTopology.from_gpu_count(16),
+            true_profile=flat_profile(16),
+            scheduler=make_scheduler(scheduler),
+            placement=make_placement("tiresias"),
+            pm_table=None,
+            locality=LocalityModel(),
+            admission=AcceptAll(),
+            config=SimulatorConfig(),
+        )
+
+    def test_default_stage_sequence(self):
+        engine = self._engine()
+        ctx = engine.build_context(Trace("t", (job(0),)))
+        stages = engine.build_stages(ctx)
+        assert [type(s) for s in stages] == [
+            ArrivalStage,
+            OrderingStage,
+            PlacementStage,
+            FastForwardStage,
+            ExecutionStage,
+        ]
+        assert not ctx.resize_active
+
+    def test_resize_stage_requires_both_elastic_trace_and_scheduler(self):
+        elastic_trace = Trace("t", (job(0, demand=2, min_demand=1, max_demand=4),))
+        rigid_trace = Trace("t", (job(0, demand=2),))
+        # Elastic-aware scheduler + elastic trace -> ResizeStage, no FF.
+        engine = self._engine("elastic-las")
+        ctx = engine.build_context(elastic_trace)
+        assert ctx.resize_active and not ctx.ff_enabled
+        assert any(isinstance(s, ResizeStage) for s in engine.build_stages(ctx))
+        # Elastic-aware scheduler + rigid trace -> plain pipeline, FF on.
+        ctx = engine.build_context(rigid_trace)
+        assert not ctx.resize_active and ctx.ff_enabled
+        assert not any(isinstance(s, ResizeStage) for s in engine.build_stages(ctx))
+        # Rigid scheduler + elastic trace -> plain pipeline, FF on.
+        engine = self._engine("las")
+        ctx = engine.build_context(elastic_trace)
+        assert not ctx.resize_active and ctx.ff_enabled
+
+    def test_custom_stage_injection(self):
+        """The documented extension seam: subclass the engine, splice in
+        a stage, observe it running every round."""
+        from repro.scheduler.engine import RoundStage, StageOutcome
+
+        seen = []
+
+        class ProbeStage(RoundStage):
+            name = "probe"
+
+            def run(self, ctx):
+                seen.append(ctx.epoch_idx)
+                return StageOutcome.NEXT_STAGE
+
+        from repro.scheduler.admission import AcceptAll
+
+        class ProbedEngine(RoundEngine):
+            def build_stages(self, ctx):
+                stages = super().build_stages(ctx)
+                return [stages[0], ProbeStage(), *stages[1:]]
+
+        engine = ProbedEngine(
+            topology=ClusterTopology.from_gpu_count(16),
+            true_profile=flat_profile(16),
+            scheduler=make_scheduler("fifo"),
+            placement=make_placement("tiresias"),
+            pm_table=None,
+            locality=LocalityModel(),
+            admission=AcceptAll(),
+            config=SimulatorConfig(),
+        )
+        res = engine.run(Trace("t", (job(0, iters=1000),)))
+        assert len(seen) > 0
+        assert len(res.records) == 1

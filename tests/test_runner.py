@@ -400,11 +400,14 @@ class TestCacheGC:
         lru_digest = paths[0].stem
         touched = lru_cell if lru_cell.digest() == lru_digest else mru_cell
         assert cache.get(touched) is not None
-        survivor_total = sum(
-            p.stat().st_size + p.with_suffix(".json").stat().st_size
-            for p in paths
+        # Budget exactly the refreshed (most-recently-used) entry: it fits,
+        # the stale one does not — regardless of the two entries' relative
+        # sizes (digest order, and hence which cell is which, shifts when
+        # SPEC_VERSION bumps).
+        survivor_size = (
+            paths[0].stat().st_size + paths[0].with_suffix(".json").stat().st_size
         )
-        stats = cache.gc(max_bytes=survivor_total // 2 + 1)
+        stats = cache.gc(max_bytes=survivor_size)
         assert stats.removed == 1 and stats.kept == 1
         # The read-refreshed entry survived the LRU eviction.
         assert cache.get(touched) is not None

@@ -19,7 +19,6 @@ from repro.scheduler.placement import (
 from repro.traces.job import JobSpec
 from repro.utils.errors import AllocationError, ConfigurationError
 from repro.utils.rng import stream
-from repro.variability.profiles import VariabilityProfile
 
 
 def sim_job(i=0, demand=1, class_id=0, model="resnet50"):

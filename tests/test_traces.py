@@ -1,6 +1,5 @@
 """Tests for the trace substrate: job specs, containers, generators."""
 
-import numpy as np
 import pytest
 
 from repro.traces.job import PAPER_CLASS_INDEX, JobSpec, class_index_of_model

@@ -1,6 +1,5 @@
 """Tests for the workload substrate: kernels, models, simulated nsight."""
 
-import numpy as np
 import pytest
 
 from repro.utils.errors import ConfigurationError
