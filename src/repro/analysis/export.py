@@ -5,7 +5,9 @@ helpers serialize :class:`~repro.scheduler.metrics.SimulationResult`
 objects to per-job CSV (one row per job, every recorded field) and to a
 compact JSON summary (the metrics the paper reports plus run metadata),
 both round-trippable for plotting or cross-run comparison outside
-Python.
+Python.  For time-varying runs (:mod:`repro.dynamics`),
+:func:`dynamics_timeline_csv` flattens the availability timeline and
+the cluster-scoped event stream into one chronological table.
 """
 
 from __future__ import annotations
@@ -15,9 +17,16 @@ import io
 import json
 from pathlib import Path
 
+from ..scheduler.events import CLUSTER_JOB_ID
 from ..scheduler.metrics import SimulationResult
+from ..utils.errors import ConfigurationError
 
-__all__ = ["result_to_csv", "result_to_json", "results_to_comparison_csv"]
+__all__ = [
+    "result_to_csv",
+    "result_to_json",
+    "results_to_comparison_csv",
+    "dynamics_timeline_csv",
+]
 
 _JOB_FIELDS = (
     "job_id",
@@ -36,6 +45,7 @@ _JOB_FIELDS = (
     "n_preemptions",
     "n_restarts",
     "n_resizes",
+    "n_evictions",
 )
 
 
@@ -74,6 +84,52 @@ def result_to_json(result: SimulationResult, path: str | Path | None = None) -> 
         "metadata": dict(result.metadata),
     }
     text = json.dumps(payload, indent=2, sort_keys=True)
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def dynamics_timeline_csv(
+    result: SimulationResult, path: str | Path | None = None
+) -> str:
+    """Chronological table of a dynamic run's cluster transitions.
+
+    One row per cluster-scoped event (FAIL / REPAIR / DRAIN / DRIFT)
+    with the in-service capacity after it took effect — the flat form
+    of the metadata's ``capacity_timeline`` plus the event log's
+    cluster stream, ready for plotting availability over time.
+    Requires a run with ``SimulatorConfig.dynamics`` set and
+    ``record_events=True``.
+    """
+    dmeta = result.metadata.get("dynamics")
+    if dmeta is None:
+        raise ConfigurationError(
+            "result has no dynamics metadata — was SimulatorConfig.dynamics set?"
+        )
+    if result.events is None:
+        raise ConfigurationError(
+            "dynamics_timeline_csv needs record_events=True"
+        )
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(
+        ["time_s", "epoch", "event", "cause", "n_gpus_affected", "capacity"]
+    )
+    for e in result.events:
+        if e.job_id != CLUSTER_JOB_ID:
+            continue
+        epoch = int(round(e.time_s / result.epoch_s))
+        writer.writerow(
+            [
+                f"{e.time_s:g}",
+                epoch,
+                e.type.value,
+                e.detail.get("cause", e.type.value),
+                len(e.detail.get("gpus", ())),
+                e.detail.get("capacity", result.cluster_size),
+            ]
+        )
+    text = buf.getvalue()
     if path is not None:
         Path(path).write_text(text)
     return text

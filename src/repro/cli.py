@@ -13,7 +13,14 @@ Commands
     Synthesize a cluster variability profile; print summary or CSV.
 ``simulate``
     Run a single (trace, scheduler, placement) simulation and print the
-    metric summary — the building block for custom studies.
+    metric summary — the building block for custom studies.  The
+    cluster-dynamics flags (``--gpu-mtbf-hours``, ``--drift-sigma``,
+    ``--drain`` ...; shared with ``sweep``) make the simulated cluster
+    time-varying (see ``repro.dynamics``)::
+
+        pal-repro simulate --trace synergy --rate 10 --jobs 400 \\
+            --scheduler las --placement pal \\
+            --gpu-mtbf-hours 500 --drift-sigma 0.05 --drain 12:8:0-7
 ``sweep``
     Run an ad-hoc (traces x schedulers x placements x seeds) grid
     through the parallel sweep runner, optionally with a process-pool
@@ -38,11 +45,12 @@ from pathlib import Path
 
 from .analysis.reporting import format_kv
 from .cluster.topology import ClusterTopology, LocalityModel
+from .dynamics import DrainWindow, DriftSpec, DynamicsConfig
 from .experiments import EXPERIMENTS, run_experiment
 from .runner import EXECUTOR_NAMES, EnvSpec, SweepSpec, TraceSpec, run_sweep
 from .scheduler.placement import ALL_POLICY_NAMES, make_placement
 from .scheduler.policies import make_scheduler
-from .scheduler.simulator import ClusterSimulator
+from .scheduler.simulator import ClusterSimulator, SimulatorConfig
 from .traces.philly import SiaPhillyConfig, generate_sia_philly_trace
 from .traces.synergy import generate_synergy_trace
 from .utils.errors import ConfigurationError
@@ -107,6 +115,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--locality", type=float, default=1.7)
     p_sim.add_argument("--profile", default="longhorn", choices=sorted(CLUSTER_SPECS))
     p_sim.add_argument("--seed", type=int, default=0)
+    _add_dynamics_args(p_sim)
 
     p_sweep = sub.add_parser("sweep", help="run a simulation grid via the sweep runner")
     p_sweep.add_argument(
@@ -143,6 +152,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--per-cell", action="store_true", help="print one row per cell (no seed averaging)"
     )
     p_sweep.add_argument("--out", type=Path, default=None, help="write comparison CSV here")
+    _add_dynamics_args(p_sweep)
 
     p_gc = sub.add_parser("cache-gc", help="prune a sweep result cache")
     p_gc.add_argument("--cache-dir", type=Path, required=True, help="cache root to prune")
@@ -158,6 +168,84 @@ def build_parser() -> argparse.ArgumentParser:
         "--clear", action="store_true", help="delete every entry instead of pruning"
     )
     return parser
+
+
+def _add_dynamics_args(parser: argparse.ArgumentParser) -> None:
+    """Time-varying-cluster knobs shared by ``simulate`` and ``sweep``
+    (see :mod:`repro.dynamics`); all off by default."""
+    g = parser.add_argument_group("cluster dynamics (repro.dynamics)")
+    g.add_argument(
+        "--gpu-mtbf-hours", type=float, default=0.0,
+        help="per-GPU mean time between failures (0 = no GPU failures)",
+    )
+    g.add_argument(
+        "--node-mtbf-hours", type=float, default=0.0,
+        help="per-node mean time between failures (0 = no node failures)",
+    )
+    g.add_argument(
+        "--repair-hours", type=float, default=4.0,
+        help="outage length of a failed GPU/node",
+    )
+    g.add_argument(
+        "--restart-penalty-s", type=float, default=300.0,
+        help="work lost by a failure-evicted job (checkpoint restart)",
+    )
+    g.add_argument(
+        "--drift-sigma", type=float, default=0.0,
+        help="OU drift of the true variability scores (0 = no drift)",
+    )
+    g.add_argument(
+        "--drift-interval-epochs", type=int, default=12,
+        help="scheduling epochs between drift steps",
+    )
+    g.add_argument(
+        "--drain", action="append", default=[], metavar="START_H:DUR_H:NODES",
+        help="scheduled maintenance drain, e.g. 12:8:0-7 "
+        "(start hour, duration hours, node range; repeatable)",
+    )
+
+
+def _parse_drain(text: str) -> DrainWindow:
+    try:
+        start_h, dur_h, nodes_text = text.split(":")
+        lo, _, hi = nodes_text.partition("-")
+        nodes = tuple(range(int(lo), int(hi or lo) + 1))
+        return DrainWindow(
+            start_s=float(start_h) * 3600.0,
+            duration_s=float(dur_h) * 3600.0,
+            nodes=nodes,
+        )
+    except (ValueError, TypeError):
+        raise ConfigurationError(
+            f"bad drain spec {text!r}; use START_H:DUR_H:NODE or "
+            f"START_H:DUR_H:FIRST-LAST (e.g. 12:8:0-7)"
+        ) from None
+
+
+def _dynamics_from_args(args: argparse.Namespace) -> DynamicsConfig | None:
+    """Build the dynamics recipe from CLI flags (None when all off)."""
+    drift = None
+    if args.drift_sigma > 0.0:
+        drift = DriftSpec(
+            kind="ou",
+            interval_epochs=args.drift_interval_epochs,
+            sigma=args.drift_sigma,
+        )
+    drains = tuple(_parse_drain(d) for d in args.drain)
+    if not (args.gpu_mtbf_hours or args.node_mtbf_hours or drift or drains):
+        return None
+    return DynamicsConfig(
+        drift=drift,
+        gpu_failure_rate_per_hour=(
+            1.0 / args.gpu_mtbf_hours if args.gpu_mtbf_hours else 0.0
+        ),
+        node_failure_rate_per_hour=(
+            1.0 / args.node_mtbf_hours if args.node_mtbf_hours else 0.0
+        ),
+        repair_time_s=args.repair_hours * 3600.0,
+        restart_penalty_s=args.restart_penalty_s,
+        drains=drains,
+    )
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -228,18 +316,30 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             elastic_fraction=args.elastic_fraction or None,
             seed=args.seed,
         )
+    dynamics = _dynamics_from_args(args)
     sim = ClusterSimulator(
         topology=topo,
         true_profile=profile,
         scheduler=make_scheduler(args.scheduler),
         placement=make_placement(args.placement),
         locality=LocalityModel(across_node=args.locality),
+        config=(
+            None if dynamics is None else SimulatorConfig(dynamics=dynamics)
+        ),
         seed=args.seed,
     )
     res = sim.run(trace)
+    summary = res.summary()
+    dmeta = res.metadata.get("dynamics")
+    if dmeta is not None:
+        summary["evictions"] = float(dmeta["evictions"])
+        summary["gpu_failures"] = float(dmeta["gpu_failures"])
+        summary["node_failures"] = float(dmeta["node_failures"])
+        summary["drift_events"] = float(dmeta["drift_events"])
+        summary["min_capacity"] = float(dmeta["min_capacity"])
     print(
         format_kv(
-            res.summary(),
+            summary,
             title=f"{res.placement_name} + {res.scheduler_name} on {trace.name} "
             f"({args.gpus} GPUs)",
         )
@@ -292,6 +392,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         raise ConfigurationError(
             f"--seeds must be a comma list of integers, got {args.seeds!r}"
         ) from None
+    dynamics = _dynamics_from_args(args)
     spec = SweepSpec(
         traces=_parse_trace_specs(args.traces, args.jobs),
         schedulers=tuple(s.strip() for s in args.schedulers.split(",") if s.strip()),
@@ -303,6 +404,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             locality=args.locality,
             use_per_model_locality=args.locality is None,
         ),
+        config=None if dynamics is None else SimulatorConfig(dynamics=dynamics),
     )
     result = run_sweep(
         spec,

@@ -7,6 +7,12 @@ released exactly once, and every query is O(n_gpus) NumPy work at worst
 simulator reads them every round).
 This is the "Cluster State Monitor" box of Blox's architecture (paper
 Fig. 1) that every placement policy reads and writes.
+
+GPUs additionally carry an *availability* flag (``repro.dynamics``:
+failures and maintenance drains).  An unavailable GPU is neither free
+nor busy: it is excluded from every free-pool query placement policies
+consult, cannot be allocated, and does not count toward utilization.
+With no dynamics in play every GPU is available and the flag is inert.
 """
 
 from __future__ import annotations
@@ -28,11 +34,13 @@ class ClusterState:
         self.topology = topology
         self._free = np.ones(topology.n_gpus, dtype=bool)
         self._owner = np.full(topology.n_gpus, -1, dtype=np.int64)
+        self._unavailable = np.zeros(topology.n_gpus, dtype=bool)
         self._allocations: dict[int, np.ndarray] = {}
         # Maintained incrementally by allocate/release: n_free/n_busy are
         # queried every scheduling round (utilization recording), so they
         # must not re-reduce the boolean mask each time.
         self._n_free = topology.n_gpus
+        self._n_unavailable = 0
 
     # ------------------------------------------------------------------
     # Queries
@@ -47,7 +55,17 @@ class ClusterState:
 
     @property
     def n_busy(self) -> int:
-        return self.n_gpus - self.n_free
+        return self.n_gpus - self._n_free - self._n_unavailable
+
+    @property
+    def n_unavailable(self) -> int:
+        """GPUs out of service (failed or draining, ``repro.dynamics``)."""
+        return self._n_unavailable
+
+    @property
+    def n_available(self) -> int:
+        """In-service capacity: total GPUs minus the unavailable ones."""
+        return self.n_gpus - self._n_unavailable
 
     @property
     def free_mask(self) -> np.ndarray:
@@ -77,6 +95,12 @@ class ClusterState:
         """GPU ids held by ``job_id`` (copy), or None."""
         alloc = self._allocations.get(job_id)
         return None if alloc is None else alloc.copy()
+
+    def is_available(self, gpu_id: int) -> bool:
+        """Whether ``gpu_id`` is in service (it may still be busy)."""
+        if not 0 <= gpu_id < self.n_gpus:
+            raise ConfigurationError(f"gpu_id {gpu_id} out of range")
+        return not bool(self._unavailable[gpu_id])
 
     def jobs_with_allocations(self) -> Iterator[int]:
         return iter(tuple(self._allocations.keys()))
@@ -119,10 +143,56 @@ class ClusterState:
 
     def release_all(self) -> None:
         """Release every allocation (used by non-sticky re-placement rounds)."""
-        self._free[:] = True
+        self._free[:] = ~self._unavailable
         self._owner[:] = -1
         self._allocations.clear()
-        self._n_free = self.n_gpus
+        self._n_free = self.n_gpus - self._n_unavailable
+
+    # ------------------------------------------------------------------
+    # Availability (repro.dynamics: failures and maintenance drains)
+    # ------------------------------------------------------------------
+    def mark_unavailable(self, gpu_ids) -> None:
+        """Take ``gpu_ids`` out of service.
+
+        The GPUs must be free — the dynamics stage evicts their jobs
+        first — and not already unavailable (each GPU belongs to exactly
+        one outage at a time; the dynamics process guarantees it).
+        """
+        ids = np.asarray(gpu_ids, dtype=np.int64).ravel()
+        if ids.size == 0:
+            raise ConfigurationError("mark_unavailable needs at least one GPU")
+        if ids.min() < 0 or ids.max() >= self.n_gpus:
+            raise ConfigurationError("mark_unavailable: GPU id out of range")
+        if np.any(self._owner[ids] >= 0):
+            raise AllocationError(
+                f"cannot take allocated GPUs out of service: "
+                f"{ids[self._owner[ids] >= 0].tolist()}"
+            )
+        if np.any(self._unavailable[ids]):
+            raise AllocationError(
+                f"GPUs already unavailable: "
+                f"{ids[self._unavailable[ids]].tolist()}"
+            )
+        self._free[ids] = False
+        self._unavailable[ids] = True
+        self._n_free -= ids.size
+        self._n_unavailable += ids.size
+
+    def mark_available(self, gpu_ids) -> None:
+        """Return ``gpu_ids`` to service (they rejoin the free pool)."""
+        ids = np.asarray(gpu_ids, dtype=np.int64).ravel()
+        if ids.size == 0:
+            raise ConfigurationError("mark_available needs at least one GPU")
+        if ids.min() < 0 or ids.max() >= self.n_gpus:
+            raise ConfigurationError("mark_available: GPU id out of range")
+        if not np.all(self._unavailable[ids]):
+            raise AllocationError(
+                f"GPUs not unavailable: {ids[~self._unavailable[ids]].tolist()}"
+            )
+        self._free[ids] = True
+        self._unavailable[ids] = False
+        self._n_free += ids.size
+        self._n_unavailable -= ids.size
 
     # ------------------------------------------------------------------
     # Invariants
@@ -137,10 +207,20 @@ class ClusterState:
                 f"free counter {self._n_free} disagrees with mask "
                 f"({int(self._free.sum())} free GPUs)"
             )
+        if self._n_unavailable != int(self._unavailable.sum()):
+            raise AllocationError(
+                f"unavailable counter {self._n_unavailable} disagrees with "
+                f"mask ({int(self._unavailable.sum())} unavailable GPUs)"
+            )
         owned = np.flatnonzero(self._owner >= 0)
         if np.any(self._free[owned]):
             raise AllocationError("GPU marked both free and owned")
-        if np.any(~self._free[self._owner < 0]):
+        if np.any(self._unavailable[owned]):
+            raise AllocationError("GPU marked both unavailable and owned")
+        if np.any(self._free & self._unavailable):
+            raise AllocationError("GPU marked both free and unavailable")
+        orphaned = ~self._free & ~self._unavailable & (self._owner < 0)
+        if np.any(orphaned):
             raise AllocationError("GPU marked busy but has no owner")
         seen = np.zeros(self.n_gpus, dtype=bool)
         for job_id, alloc in self._allocations.items():

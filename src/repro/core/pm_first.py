@@ -75,7 +75,9 @@ def get_pmfirst_gpus(
     return ids[order[:demand]]
 
 
-def mark_queue_at_cluster_size(demands: Sequence[int], cluster_size: int) -> int:
+def mark_queue_at_cluster_size(
+    demands: Sequence[int], cluster_size: int, *, strict: bool = True
+) -> int:
     """Length of the guaranteed prefix of the scheduling queue.
 
     Walks jobs in scheduling-priority order, accumulating GPU demand, and
@@ -85,16 +87,24 @@ def mark_queue_at_cluster_size(demands: Sequence[int], cluster_size: int) -> int
     fit — the marking is what lets placement re-order by class without
     dispatching a lower-priority job "out of turn".
 
-    A single job whose demand alone exceeds the cluster can never run and
-    raises immediately rather than deadlocking the queue.
+    In strict mode (the default, for statically-sized clusters) a single
+    job whose demand alone exceeds the cluster can never run and raises
+    immediately rather than deadlocking the queue.  Non-strict mode is
+    for a *temporarily* shrunk cluster (``repro.dynamics`` failures and
+    drains, where the engine has already validated the trace against the
+    nameplate size): an over-demand job simply ends the prefix — it and
+    everything behind it wait for capacity to return, and a fully-drained
+    cluster marks nothing.
     """
     if cluster_size <= 0:
-        raise ConfigurationError(f"cluster_size={cluster_size} must be positive")
+        if strict:
+            raise ConfigurationError(f"cluster_size={cluster_size} must be positive")
+        return 0
     total = 0
     for i, demand in enumerate(demands):
         if demand <= 0:
             raise ConfigurationError(f"job at queue position {i} has demand {demand}")
-        if demand > cluster_size:
+        if strict and demand > cluster_size:
             raise ConfigurationError(
                 f"job at queue position {i} demands {demand} GPUs; cluster has "
                 f"{cluster_size} — the job can never be scheduled"

@@ -1,0 +1,38 @@
+"""Time-varying clusters: variability drift, failures, maintenance drains.
+
+PAL's Sec. V-A motivates "periodic re-profiling of the cluster, or
+dynamic online updates to GPU PM-Scores" precisely because real
+clusters are not static.  This package makes the simulated cluster
+evolve over time:
+
+* :mod:`repro.dynamics.config` — declarative, digest-able recipes
+  (:class:`DynamicsConfig` / :class:`DriftSpec` / :class:`DrainWindow`);
+* :mod:`repro.dynamics.drift` — the drift models mutating the *true*
+  variability table (:class:`OUDrift`, :class:`StepDrift`);
+* :mod:`repro.dynamics.process` — the deterministic lazy event
+  timeline (:class:`DynamicsProcess`);
+* :mod:`repro.dynamics.stage` — the engine pipeline stage applying
+  events each round (:class:`DynamicsStage`).
+
+Enable it per run via ``SimulatorConfig(dynamics=DynamicsConfig(...))``;
+with the default ``dynamics=None`` the engine pipeline, outputs, and
+golden metrics are untouched.  See README "Dynamic clusters".
+"""
+
+from .config import DrainWindow, DriftSpec, DynamicsConfig
+from .drift import DriftModel, OUDrift, StepDrift, make_drift
+from .process import ClusterEvent, DynamicsProcess
+from .stage import DynamicsStage
+
+__all__ = [
+    "DrainWindow",
+    "DriftSpec",
+    "DynamicsConfig",
+    "DriftModel",
+    "OUDrift",
+    "StepDrift",
+    "make_drift",
+    "ClusterEvent",
+    "DynamicsProcess",
+    "DynamicsStage",
+]

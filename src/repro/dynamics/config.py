@@ -1,0 +1,155 @@
+"""Declarative configuration of time-varying cluster behaviour.
+
+Everything here is a frozen dataclass of primitives, for the same
+reasons as :mod:`repro.runner.spec`: a dynamics recipe must be hashable
+(sweep grids), pickleable (process executors), ``asdict``-able (the
+run-spec content digest), and printable.  Nothing here *runs* anything;
+the runtime lives in :mod:`repro.dynamics.process`.
+
+Three independent legs can be combined freely:
+
+* **variability drift** (:class:`DriftSpec`) — the *true* per-GPU
+  variability scores evolve over time, so believed PM-Scores go stale
+  (the situation PAL Sec. V-A warns about);
+* **failure/repair processes** — per-GPU and per-node Poisson failure
+  hazards; a failed unit evicts its jobs (checkpoint-restart penalty)
+  and removes capacity until repair;
+* **maintenance drains** (:class:`DrainWindow`) — scheduled windows in
+  which whole nodes are taken out of service and given back afterwards.
+
+The default :class:`DynamicsConfig` is inert (no drift, no failures, no
+drains); the engine only changes behaviour at all when
+``SimulatorConfig.dynamics`` is non-None.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..utils.errors import ConfigurationError
+
+__all__ = ["DriftSpec", "DrainWindow", "DynamicsConfig"]
+
+_DRIFT_KINDS = ("ou", "steps")
+
+
+@dataclass(frozen=True)
+class DriftSpec:
+    """How the true variability scores move over time.
+
+    ``kind="ou"`` applies a mean-reverting (Ornstein-Uhlenbeck in log
+    space) step every ``interval_epochs`` scheduling epochs: each
+    (class, GPU) score random-walks with per-step noise ``sigma`` while
+    being pulled back toward its initial value with strength ``theta``
+    — scores wander but stay in a realistic band.
+
+    ``kind="steps"`` models re-imaged / thermally re-seated hardware: at
+    each epoch in ``step_epochs`` a random ``step_fraction`` of GPUs has
+    its scores multiplied by ``1 + step_magnitude`` (all classes of a
+    GPU move together — ill-performing GPUs are consistently
+    ill-performing, paper Sec. III-B).
+    """
+
+    kind: str = "ou"
+    interval_epochs: int = 12
+    theta: float = 0.05
+    sigma: float = 0.02
+    step_epochs: tuple[int, ...] = ()
+    step_magnitude: float = 0.25
+    step_fraction: float = 0.125
+    #: Scores never drift below this floor (mirrors the online
+    #: estimator's ``min_score`` guard).
+    min_score: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.kind not in _DRIFT_KINDS:
+            raise ConfigurationError(
+                f"unknown drift kind {self.kind!r}; known: {_DRIFT_KINDS}"
+            )
+        if self.interval_epochs < 1:
+            raise ConfigurationError("interval_epochs must be >= 1")
+        if not 0.0 <= self.theta <= 1.0:
+            raise ConfigurationError("theta must be in [0, 1]")
+        if self.sigma < 0.0:
+            raise ConfigurationError("sigma must be >= 0")
+        if self.kind == "steps":
+            if not self.step_epochs:
+                raise ConfigurationError("steps drift needs step_epochs")
+            if any(e < 1 for e in self.step_epochs):
+                raise ConfigurationError("step_epochs must all be >= 1")
+            if len(set(self.step_epochs)) != len(self.step_epochs):
+                raise ConfigurationError("step_epochs must be unique")
+            if self.step_magnitude <= -1.0:
+                raise ConfigurationError("step_magnitude must be > -1")
+            if not 0.0 < self.step_fraction <= 1.0:
+                raise ConfigurationError("step_fraction must be in (0, 1]")
+        if self.min_score <= 0.0:
+            raise ConfigurationError("min_score must be positive")
+
+
+@dataclass(frozen=True)
+class DrainWindow:
+    """One scheduled maintenance drain: ``nodes`` leave service at
+    ``start_s`` and return ``duration_s`` later.  Running jobs on the
+    drained nodes are evicted like failure victims (checkpoint-restart
+    penalty) — real drains migrate rather than kill, which in a
+    round-based model is the same preempt-and-requeue mechanics."""
+
+    start_s: float
+    duration_s: float
+    nodes: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0.0:
+            raise ConfigurationError("drain start_s must be >= 0")
+        if self.duration_s <= 0.0:
+            raise ConfigurationError("drain duration_s must be positive")
+        if not self.nodes:
+            raise ConfigurationError("drain must name at least one node")
+        if any(n < 0 for n in self.nodes):
+            raise ConfigurationError("drain node indices must be >= 0")
+        if len(set(self.nodes)) != len(self.nodes):
+            raise ConfigurationError("drain node indices must be unique")
+
+
+@dataclass(frozen=True)
+class DynamicsConfig:
+    """Knobs of the time-varying cluster (see module docstring).
+
+    ``gpu_failure_rate_per_hour`` / ``node_failure_rate_per_hour`` are
+    *per-unit* Poisson hazards (a 1000-hour MTBF is a rate of 0.001).
+    ``repair_time_s`` is the deterministic outage length of a failure.
+    ``restart_penalty_s`` is the work lost by an evicted job — it
+    resumes from its last implicit checkpoint, modelled as rolling back
+    that many seconds of progress at the iteration rate it was running
+    at.  ``seed_salt`` decorrelates the dynamics streams from the cell
+    seed without changing it.
+    """
+
+    drift: DriftSpec | None = None
+    gpu_failure_rate_per_hour: float = 0.0
+    node_failure_rate_per_hour: float = 0.0
+    repair_time_s: float = 4.0 * 3600.0
+    restart_penalty_s: float = 300.0
+    drains: tuple[DrainWindow, ...] = ()
+    seed_salt: int = 0
+
+    def __post_init__(self) -> None:
+        if self.gpu_failure_rate_per_hour < 0.0:
+            raise ConfigurationError("gpu_failure_rate_per_hour must be >= 0")
+        if self.node_failure_rate_per_hour < 0.0:
+            raise ConfigurationError("node_failure_rate_per_hour must be >= 0")
+        if self.repair_time_s <= 0.0:
+            raise ConfigurationError("repair_time_s must be positive")
+        if self.restart_penalty_s < 0.0:
+            raise ConfigurationError("restart_penalty_s must be >= 0")
+
+    @property
+    def any_enabled(self) -> bool:
+        """True when at least one leg can ever produce an event."""
+        return (
+            self.drift is not None
+            or self.gpu_failure_rate_per_hour > 0.0
+            or self.node_failure_rate_per_hour > 0.0
+            or bool(self.drains)
+        )

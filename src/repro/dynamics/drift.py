@@ -1,0 +1,115 @@
+"""Drift models: how the *true* variability table moves between rounds.
+
+A drift model mutates a ``(n_classes, n_gpus)`` score array in place and
+reports the largest relative change it made.  Models are pure given
+their RNG, so the engine's event timeline (not wall-clock or round
+batching) fully determines every trajectory — the property the
+fast-forward equivalence suite relies on.
+
+Both models anchor on the scores they were built with: OU drift
+mean-reverts toward the anchor, and step drift multiplies the *current*
+scores (steps compound, as consecutive hardware events do in practice).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from .config import DriftSpec
+
+__all__ = ["DriftModel", "OUDrift", "StepDrift", "make_drift"]
+
+
+class DriftModel(ABC):
+    """Mutates a score table in place; returns the max relative change."""
+
+    @abstractmethod
+    def apply(self, scores: np.ndarray, rng: np.random.Generator) -> float:
+        """Advance the table by one drift event.
+
+        Parameters
+        ----------
+        scores:
+            ``(n_classes, n_gpus)`` positive score array, mutated in
+            place.
+        rng:
+            The drift stream (owned by the dynamics process).
+
+        Returns the largest ``|new - old| / old`` over all entries.
+        """
+
+
+def _max_rel_change(before: np.ndarray, after: np.ndarray) -> float:
+    return float(np.max(np.abs(after - before) / before)) if before.size else 0.0
+
+
+class OUDrift(DriftModel):
+    """Mean-reverting log-space random walk (see :class:`DriftSpec`).
+
+    Per event, for every (class, GPU) entry::
+
+        log s  <-  log s + theta * (log s0 - log s) + sigma * N(0, 1)
+
+    ``s0`` is the anchor (the scores at simulation start), so the
+    stationary spread is ``sigma / sqrt(2 theta - theta^2)`` around it —
+    scores wander but cannot run away, matching how real silicon
+    degrades and recovers around its characteristic performance.
+    """
+
+    def __init__(self, anchor: np.ndarray, *, theta: float, sigma: float,
+                 min_score: float):
+        self._anchor_log = np.log(np.asarray(anchor, dtype=np.float64))
+        self.theta = theta
+        self.sigma = sigma
+        self.min_score = min_score
+
+    def apply(self, scores: np.ndarray, rng: np.random.Generator) -> float:
+        before = scores.copy()
+        logs = np.log(scores)
+        logs += self.theta * (self._anchor_log - logs)
+        logs += rng.normal(0.0, self.sigma, size=scores.shape)
+        np.exp(logs, out=scores)
+        np.maximum(scores, self.min_score, out=scores)
+        return _max_rel_change(before, scores)
+
+
+class StepDrift(DriftModel):
+    """Step changes hitting a random subset of GPUs (see :class:`DriftSpec`).
+
+    Each event multiplies the scores of a freshly drawn
+    ``fraction``-sized GPU subset by ``1 + magnitude`` — all classes of
+    a hit GPU move together, preserving the paper's observation that
+    ill-performing GPUs are consistently ill-performing.
+    """
+
+    def __init__(self, *, magnitude: float, fraction: float, min_score: float):
+        self.magnitude = magnitude
+        self.fraction = fraction
+        self.min_score = min_score
+
+    def apply(self, scores: np.ndarray, rng: np.random.Generator) -> float:
+        n_gpus = scores.shape[1]
+        n_hit = max(1, int(round(self.fraction * n_gpus)))
+        hit = rng.choice(n_gpus, size=n_hit, replace=False)
+        before = scores[:, hit].copy()
+        scores[:, hit] *= 1.0 + self.magnitude
+        np.maximum(scores, self.min_score, out=scores)
+        return _max_rel_change(before, scores[:, hit])
+
+
+def make_drift(spec: DriftSpec, anchor: np.ndarray) -> DriftModel:
+    """Build the runtime model for a :class:`DriftSpec`."""
+    if spec.kind == "ou":
+        return OUDrift(
+            anchor,
+            theta=spec.theta,
+            sigma=spec.sigma,
+            min_score=spec.min_score,
+        )
+    return StepDrift(
+        magnitude=spec.step_magnitude,
+        fraction=spec.step_fraction,
+        min_score=spec.min_score,
+    )

@@ -1,0 +1,298 @@
+"""The dynamics runtime: a deterministic, lazily-extended event timeline.
+
+:class:`DynamicsProcess` owns everything stochastic about a
+time-varying cluster so the engine stages stay mechanical:
+
+* a min-heap of upcoming :class:`ClusterEvent`\\ s over *continuous*
+  simulated time — failures are sampled when their predecessor is
+  consumed, so the realized timeline is a pure function of (config,
+  topology, seed) and never depends on how the engine batches rounds
+  (the fast-forward equivalence contract);
+* the availability ledger: which GPUs are currently down, and the
+  capacity timeline the result metadata reports;
+* the drift model plus its private RNG stream.
+
+Events *take effect* at the first scheduling round at or after their
+scheduled time (``due_epoch``), exactly as a round-based scheduler
+observes the world; during idle gaps the engine wakes at each due
+epoch so availability transitions land on their true rounds.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.topology import ClusterTopology
+from ..scheduler.events import EventType
+from ..utils.errors import ConfigurationError
+from ..utils.rng import stream
+from .config import DynamicsConfig
+from .drift import DriftModel, make_drift
+
+__all__ = ["ClusterEvent", "DynamicsProcess"]
+
+
+@dataclass(frozen=True)
+class ClusterEvent:
+    """One resolved cluster transition, ready for the stage to apply."""
+
+    time_s: float
+    kind: EventType
+    #: Affected GPU ids (empty for DRIFT).
+    gpus: tuple[int, ...]
+    #: What produced the event: ``"gpu"``, ``"node"``, ``"drain"``,
+    #: ``"drain-end"``, or ``"drift"``.
+    cause: str
+
+
+class DynamicsProcess:
+    """Deterministic event source for one simulation run (see module doc)."""
+
+    def __init__(
+        self,
+        config: DynamicsConfig,
+        topology: ClusterTopology,
+        epoch_s: float,
+        seed: int,
+        *,
+        scope: str = "run",
+    ):
+        self.config = config
+        self.topology = topology
+        self.epoch_s = epoch_s
+        for drain in config.drains:
+            if any(n >= topology.n_nodes for n in drain.nodes):
+                raise ConfigurationError(
+                    f"drain names node >= n_nodes={topology.n_nodes}: "
+                    f"{drain.nodes}"
+                )
+        salt = seed + config.seed_salt
+        self._gpu_rng = stream(salt, f"dynamics/gpu-failures/{scope}")
+        self._node_rng = stream(salt, f"dynamics/node-failures/{scope}")
+        self._drift_rng = stream(salt, f"dynamics/drift/{scope}")
+        self.drift_model: DriftModel | None = None
+        self._down: set[int] = set()
+        #: gpu -> time its current outage(s) end.  Overlapping outages
+        #: extend this (a node failing mid-drain keeps its GPUs down
+        #: until the *latest* covering outage ends), and a REPAIR only
+        #: releases GPUs whose extended end has actually arrived.
+        self._down_until: dict[int, float] = {}
+        # (time, seq, kind, gpus, cause, payload) — payload carries the
+        # drain duration so resolution needs no config lookup.
+        self._heap: list[
+            tuple[float, int, EventType, tuple[int, ...], str, float]
+        ] = []
+        self._seq = 0
+        # Observability: counters + the capacity transition timeline.
+        self.n_gpu_failures = 0
+        self.n_node_failures = 0
+        self.n_repairs = 0
+        self.n_drains = 0
+        self.n_drift_events = 0
+        self.n_evictions = 0
+        self.capacity_timeline: list[tuple[int, int]] = [(0, topology.n_gpus)]
+        self._seed_initial_events()
+
+    # ------------------------------------------------------------------
+    # Timeline construction
+    # ------------------------------------------------------------------
+    def _push(self, time_s: float, kind: EventType, gpus: tuple[int, ...],
+              cause: str, payload: float = 0.0) -> None:
+        heapq.heappush(
+            self._heap, (time_s, self._seq, kind, gpus, cause, payload)
+        )
+        self._seq += 1
+
+    def _gpus_of_nodes(self, nodes: tuple[int, ...]) -> tuple[int, ...]:
+        gpn = self.topology.gpus_per_node
+        return tuple(
+            g for n in sorted(nodes) for g in range(n * gpn, (n + 1) * gpn)
+        )
+
+    def _seed_initial_events(self) -> None:
+        cfg = self.config
+        if cfg.gpu_failure_rate_per_hour > 0.0:
+            self._push_next_gpu_failure(0.0)
+        if cfg.node_failure_rate_per_hour > 0.0:
+            self._push_next_node_failure(0.0)
+        for drain in cfg.drains:
+            self._push(
+                drain.start_s, EventType.DRAIN, self._gpus_of_nodes(drain.nodes),
+                "drain", drain.duration_s,
+            )
+        if cfg.drift is not None:
+            spec = cfg.drift
+            if spec.kind == "steps":
+                for e in sorted(spec.step_epochs):
+                    self._push(e * self.epoch_s, EventType.DRIFT, (), "drift")
+            else:
+                self._push(
+                    spec.interval_epochs * self.epoch_s, EventType.DRIFT, (),
+                    "drift",
+                )
+
+    def _take(self, gpus: tuple[int, ...], until_s: float) -> tuple[int, ...]:
+        """Acquire the not-yet-down subset of ``gpus`` until ``until_s``;
+        GPUs already down have their outage extended instead."""
+        taken = []
+        for g in gpus:
+            if g in self._down:
+                if until_s > self._down_until[g]:
+                    self._down_until[g] = until_s
+            else:
+                taken.append(g)
+                self._down.add(g)
+                self._down_until[g] = until_s
+        return tuple(taken)
+
+    def _push_next_gpu_failure(self, after_s: float) -> None:
+        rate = self.config.gpu_failure_rate_per_hour * self.topology.n_gpus
+        gap = self._gpu_rng.exponential(3600.0 / rate)
+        victim = int(self._gpu_rng.integers(self.topology.n_gpus))
+        self._push(after_s + gap, EventType.FAIL, (victim,), "gpu")
+
+    def _push_next_node_failure(self, after_s: float) -> None:
+        rate = self.config.node_failure_rate_per_hour * self.topology.n_nodes
+        gap = self._node_rng.exponential(3600.0 / rate)
+        victim = int(self._node_rng.integers(self.topology.n_nodes))
+        self._push(
+            after_s + gap, EventType.FAIL, self._gpus_of_nodes((victim,)),
+            "node",
+        )
+
+    # ------------------------------------------------------------------
+    # Consumption (engine-facing)
+    # ------------------------------------------------------------------
+    def due_epoch(self, time_s: float) -> int:
+        """First epoch index whose round observes an event at ``time_s``."""
+        return int(math.ceil(time_s / self.epoch_s))
+
+    def next_due_epoch(self) -> int | None:
+        """Due epoch of the earliest pending event (None when exhausted).
+
+        Bounds both the event-horizon fast-forward window and the idle
+        jumps: no multi-epoch skip may cross a pending event's due
+        epoch.
+        """
+        if not self._heap:
+            return None
+        return self.due_epoch(self._heap[0][0])
+
+    def pop_due(self, epoch_idx: int) -> list[ClusterEvent]:
+        """Resolve and return every event due at or before ``epoch_idx``.
+
+        Resolution is where laziness happens: consuming a failure
+        samples its successor, schedules its repair, and applies the
+        availability ledger.  A unit already down is not taken twice —
+        instead the overlapping outage *extends* its down-until time,
+        and repairs release only GPUs whose latest covering outage has
+        ended (deferring the rest).  Events come back in time order.
+        """
+        out: list[ClusterEvent] = []
+        while self._heap and self.due_epoch(self._heap[0][0]) <= epoch_idx:
+            time_s, _, kind, gpus, cause, payload = heapq.heappop(self._heap)
+            resolved = self._resolve(time_s, kind, gpus, cause, payload)
+            if resolved is not None:
+                out.append(resolved)
+        return out
+
+    def _resolve(self, time_s: float, kind: EventType, gpus: tuple[int, ...],
+                 cause: str, payload: float) -> ClusterEvent | None:
+        if kind is EventType.FAIL:
+            if cause == "gpu":
+                self._push_next_gpu_failure(time_s)
+            else:
+                self._push_next_node_failure(time_s)
+            taken = self._take(gpus, time_s + self.config.repair_time_s)
+            if not taken:
+                return None  # fully overlapped an existing outage
+            self._push(
+                time_s + self.config.repair_time_s, EventType.REPAIR, taken,
+                cause,
+            )
+            if cause == "gpu":
+                self.n_gpu_failures += 1
+            else:
+                self.n_node_failures += 1
+            return ClusterEvent(time_s, kind, taken, cause)
+        if kind is EventType.DRAIN:
+            taken = self._take(gpus, time_s + payload)
+            if not taken:
+                return None
+            self._push(time_s + payload, EventType.REPAIR, taken, "drain-end")
+            self.n_drains += 1
+            return ClusterEvent(time_s, kind, taken, cause)
+        if kind is EventType.REPAIR:
+            # Release only GPUs whose latest covering outage has ended;
+            # GPUs extended by an overlapping outage stay down and get
+            # their own deferred REPAIR at the extended end.
+            up = []
+            deferred: dict[float, list[int]] = {}
+            for g in gpus:
+                until = self._down_until.get(g, time_s)
+                if until > time_s:
+                    deferred.setdefault(until, []).append(g)
+                else:
+                    up.append(g)
+            for until in sorted(deferred):
+                self._push(until, EventType.REPAIR, tuple(deferred[until]),
+                           cause)
+            if not up:
+                return None
+            for g in up:
+                self._down.discard(g)
+                self._down_until.pop(g, None)
+            self.n_repairs += 1
+            return ClusterEvent(time_s, kind, tuple(up), cause)
+        # DRIFT: recurring ticks reschedule themselves; step events are
+        # finite and fully scheduled up front.
+        spec = self.config.drift
+        assert spec is not None
+        if spec.kind == "ou":
+            self._push(
+                time_s + spec.interval_epochs * self.epoch_s, EventType.DRIFT,
+                (), "drift",
+            )
+        return ClusterEvent(time_s, kind, (), cause)
+
+    # ------------------------------------------------------------------
+    # Drift + bookkeeping (stage-facing)
+    # ------------------------------------------------------------------
+    def attach_scores(self, scores: np.ndarray) -> None:
+        """Anchor the drift model on the run's initial true scores."""
+        if self.config.drift is not None:
+            self.drift_model = make_drift(self.config.drift, scores)
+
+    def apply_drift(self, scores: np.ndarray) -> float:
+        """Advance the true-score table by one drift event (in place)."""
+        if self.drift_model is None:  # pragma: no cover - stage gates on DRIFT
+            raise ConfigurationError("apply_drift without a drift model")
+        self.n_drift_events += 1
+        return self.drift_model.apply(scores, self._drift_rng)
+
+    def record_capacity(self, epoch_idx: int, capacity: int) -> None:
+        """Append a capacity transition (coalescing same-epoch changes)."""
+        last_epoch, last_cap = self.capacity_timeline[-1]
+        if capacity == last_cap:
+            return
+        if last_epoch == epoch_idx and len(self.capacity_timeline) > 1:
+            self.capacity_timeline[-1] = (epoch_idx, capacity)
+        else:
+            self.capacity_timeline.append((epoch_idx, capacity))
+
+    def summary(self) -> dict[str, object]:
+        """Metadata block attached to the :class:`SimulationResult`."""
+        return {
+            "gpu_failures": self.n_gpu_failures,
+            "node_failures": self.n_node_failures,
+            "repairs": self.n_repairs,
+            "drains": self.n_drains,
+            "drift_events": self.n_drift_events,
+            "evictions": self.n_evictions,
+            "min_capacity": min(c for _, c in self.capacity_timeline),
+            "capacity_timeline": tuple(self.capacity_timeline),
+        }

@@ -1,0 +1,125 @@
+"""The pipeline stage that makes the simulated cluster time-varying.
+
+:class:`DynamicsStage` runs at the head of every scheduling round (the
+engine inserts it only when ``SimulatorConfig.dynamics`` is set, so the
+default pipeline is untouched).  It drains the
+:class:`~repro.dynamics.process.DynamicsProcess` timeline up to the
+current epoch and applies each transition:
+
+* **FAIL / DRAIN** — running jobs holding an affected GPU are evicted:
+  their GPUs are released, their open execution segment is committed,
+  they lose ``restart_penalty_s`` worth of progress (checkpoint
+  restart), and they re-enter the queue.  The GPUs are then marked
+  unavailable, shrinking ``ctx.capacity`` — the value admission
+  control, queue marking, and elastic demand planning see.
+* **REPAIR** — the GPUs return to the free pool and capacity grows
+  back.
+* **DRIFT** — the *true* score table moves; running jobs' open
+  segments are committed so the next execution round re-derives their
+  effective iteration time from the drifted truth (and the online
+  estimator, if enabled, observes the new world).
+
+Every applied transition is logged (cluster-scoped FAIL / REPAIR /
+DRAIN / DRIFT events plus per-job PREEMPT events with a ``cause``),
+and capacity transitions feed the result metadata's timeline.
+"""
+
+from __future__ import annotations
+
+from ..scheduler.engine.context import RoundContext, StageOutcome
+from ..scheduler.engine.stages import RoundStage
+from ..scheduler.events import CLUSTER_JOB_ID, EventType
+from ..scheduler.jobs import JobState, SimJob
+from ..utils.errors import SimulationError
+from .process import ClusterEvent, DynamicsProcess
+
+__all__ = ["DynamicsStage"]
+
+
+class DynamicsStage(RoundStage):
+    """Apply due cluster-dynamics events before the round schedules."""
+
+    name = "dynamics"
+
+    def run(self, ctx: RoundContext) -> StageOutcome:
+        proc = ctx.dynamics
+        if proc is None:  # pragma: no cover - engine inserts conditionally
+            raise SimulationError("DynamicsStage requires ctx.dynamics")
+        for ev in proc.pop_due(ctx.epoch_idx):
+            if ev.kind in (EventType.FAIL, EventType.DRAIN):
+                self._take_down(ctx, proc, ev)
+            elif ev.kind is EventType.REPAIR:
+                self._bring_up(ctx, proc, ev)
+            else:
+                self._drift(ctx, proc, ev)
+        return StageOutcome.NEXT_STAGE
+
+    # ------------------------------------------------------------------
+    def _take_down(self, ctx: RoundContext, proc: DynamicsProcess,
+                   ev: ClusterEvent) -> None:
+        victims: list[SimJob] = []
+        seen: set[int] = set()
+        for g in ev.gpus:
+            owner = ctx.cluster.owner_of(g)
+            if owner is not None and owner not in seen:
+                seen.add(owner)
+                victims.append(next(j for j in ctx.active if j.job_id == owner))
+        for job in victims:
+            self._evict(ctx, proc, job, ev.cause)
+        ctx.cluster.mark_unavailable(ev.gpus)
+        ctx.capacity = ctx.cluster.n_available
+        ctx.state_dirty = True
+        proc.record_capacity(ctx.epoch_idx, ctx.capacity)
+        if ctx.events is not None:
+            ctx.events.append(
+                ctx.now, ev.kind, CLUSTER_JOB_ID,
+                gpus=list(ev.gpus), cause=ev.cause, scheduled_s=ev.time_s,
+                capacity=ctx.capacity,
+            )
+
+    def _evict(self, ctx: RoundContext, proc: DynamicsProcess, job: SimJob,
+               cause: str) -> None:
+        t_iter = job.cached_iter_time_s
+        ctx.cluster.release(job.job_id)
+        job.allocation = None
+        job.end_segment()  # commit service attained before the outage
+        penalty_s = proc.config.restart_penalty_s
+        if penalty_s > 0.0 and t_iter is not None:
+            # Checkpoint restart: the work done since the last implicit
+            # checkpoint is lost, at the rate the job was running at.
+            job.rollback_iterations(penalty_s / t_iter)
+        job.n_evictions += 1
+        proc.n_evictions += 1
+        job.state = JobState.QUEUED
+        if ctx.events is not None:
+            ctx.events.append(ctx.now, EventType.PREEMPT, job.job_id,
+                              cause=cause)
+
+    def _bring_up(self, ctx: RoundContext, proc: DynamicsProcess,
+                  ev: ClusterEvent) -> None:
+        ctx.cluster.mark_available(ev.gpus)
+        ctx.capacity = ctx.cluster.n_available
+        ctx.state_dirty = True
+        proc.record_capacity(ctx.epoch_idx, ctx.capacity)
+        if ctx.events is not None:
+            ctx.events.append(
+                ctx.now, EventType.REPAIR, CLUSTER_JOB_ID,
+                gpus=list(ev.gpus), cause=ev.cause, scheduled_s=ev.time_s,
+                capacity=ctx.capacity,
+            )
+
+    def _drift(self, ctx: RoundContext, proc: DynamicsProcess,
+               ev: ClusterEvent) -> None:
+        max_delta = proc.apply_drift(ctx.true_scores)
+        # Allocations are untouched, but every open segment's cached
+        # iteration time was derived from the pre-drift truth: commit
+        # the segments so the next execution round re-derives them.
+        for job in ctx.active:
+            if job.allocation is not None:
+                job.end_segment()
+        if ctx.events is not None:
+            ctx.events.append(
+                ctx.now, EventType.DRIFT, CLUSTER_JOB_ID,
+                max_rel_change=max_delta, scheduled_s=ev.time_s,
+                capacity=ctx.capacity,
+            )

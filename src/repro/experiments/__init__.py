@@ -28,6 +28,9 @@ hetero    extension: mixed-architecture cluster, PAL vs
           Gavel-style arch-aware scheduling (Sec. VI claim)
 elastic   extension: elastic-demand jobs (Pollux-style resizing)
           — ElasticLAS vs rigid LAS on the fig14 load sweep
+dynamics  extension: time-varying clusters (repro.dynamics) —
+          PAL vs PM-First vs random under variability drift,
+          GPU failures, and maintenance drains
 ========  =====================================================
 """
 
@@ -37,6 +40,7 @@ from typing import Callable
 
 from ..utils.errors import ConfigurationError
 from . import (
+    dynamics,
     elastic,
     fig03_classifier,
     fig05_binning,
@@ -86,6 +90,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "online": online_updates.run,
     "hetero": hetero.run,
     "elastic": elastic.run,
+    "dynamics": dynamics.run,
 }
 
 

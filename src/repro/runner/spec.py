@@ -39,8 +39,11 @@ __all__ = ["TraceSpec", "EnvSpec", "RunSpec", "SweepSpec", "SPEC_VERSION"]
 #: fast-forward), which perturbs float metrics at the ~1e-12 level
 #: relative to v1's per-epoch accumulation.  v3: ``TraceSpec`` grew the
 #: ``elastic_fraction`` axis (elastic-demand jobs), changing every
-#: cell's digest pre-image.
-SPEC_VERSION = 3
+#: cell's digest pre-image.  v4: ``SimulatorConfig`` grew the
+#: ``dynamics`` recipe (time-varying clusters: drift, failures,
+#: drains), changing the digest pre-image of every cell that pins a
+#: config.
+SPEC_VERSION = 4
 
 _TRACE_KINDS = ("sia", "synergy")
 

@@ -8,6 +8,11 @@ operating on a shared :class:`RoundContext` blackboard:
 =====================  ==================================================
 stage                  responsibility
 =====================  ==================================================
+``DynamicsStage``          (dynamic pipelines only, from
+                           :mod:`repro.dynamics`) apply due cluster
+                           events — variability drift, GPU/node
+                           failures and repairs, maintenance drains —
+                           before anything schedules
 :class:`ArrivalStage`      admission control, queue entry, idle
                            fast-forward to the next pending arrival
 :class:`OrderingStage`     scheduling-policy order + guaranteed-prefix

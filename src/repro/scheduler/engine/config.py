@@ -9,9 +9,13 @@ SimulatorConfig`` working unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ...utils.errors import ConfigurationError
 from ..online import OnlineUpdateConfig
+
+if TYPE_CHECKING:  # pragma: no cover - avoids an import cycle at runtime
+    from ...dynamics.config import DynamicsConfig
 
 __all__ = ["SimulatorConfig"]
 
@@ -54,6 +58,12 @@ class SimulatorConfig:
     #: Record a structured per-job lifecycle event log (see
     #: repro.scheduler.events) on the result's ``events`` attribute.
     record_events: bool = False
+    #: Time-varying cluster behaviour — variability drift, GPU/node
+    #: failures, maintenance drains (see :mod:`repro.dynamics`).  None
+    #: (the default) keeps the cluster static and the pipeline, outputs,
+    #: and golden metrics bit-identical to a build without the
+    #: subsystem.
+    dynamics: "DynamicsConfig | None" = None
 
     def __post_init__(self) -> None:
         if self.epoch_s <= 0:

@@ -44,6 +44,7 @@ from ..policies import SchedulingPolicy
 from .config import SimulatorConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...dynamics.process import DynamicsProcess
     from ..online import OnlinePMScoreTable
 
 __all__ = [
@@ -160,6 +161,13 @@ class RoundContext:
     #: Arrival-ordered view of ``jobs``; ``pending[next_pending:]`` have
     #: not been admitted yet.
     pending: list[SimJob]
+    #: In-service GPU capacity — what admission backpressure, queue
+    #: marking, and elastic demand planning size against.  Equals
+    #: ``topology.n_gpus`` except while dynamics (failures/drains) have
+    #: GPUs out of service.
+    capacity: int = 0
+    #: Event timeline of the time-varying cluster (None = static).
+    dynamics: "DynamicsProcess | None" = None
 
     # ---- simulated clock ---------------------------------------------
     #: Simulated time is an integer epoch index; ``now`` is always
@@ -227,9 +235,15 @@ class RoundContext:
 
         Called on a round with an empty active queue; lands on the same
         epoch index the per-epoch loop's ``arrival > now`` comparisons
-        would first admit the job at.
+        would first admit the job at.  Under dynamics the jump is capped
+        at the next pending cluster event's due epoch, so failures,
+        repairs, drains, and drift ticks are observed (and logged) on
+        their true rounds even across idle gaps.
         """
         arrival = self.pending[self.next_pending].spec.arrival_time_s
-        self.epoch_idx = max(
-            self.epoch_idx + 1, int(np.ceil(arrival / self.epoch_s))
-        )
+        target = max(self.epoch_idx + 1, int(np.ceil(arrival / self.epoch_s)))
+        if self.dynamics is not None:
+            due = self.dynamics.next_due_epoch()
+            if due is not None and due < target:
+                target = max(self.epoch_idx + 1, due)
+        self.epoch_idx = target

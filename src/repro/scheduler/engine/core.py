@@ -102,6 +102,21 @@ class RoundEngine:
         """Assemble the run's blackboard (see :class:`RoundContext`)."""
         cfg = self.config
         state = ClusterState(self.topology)
+        true_scores = self._true_scores
+        dynamics = None
+        if cfg.dynamics is not None:
+            # Imported lazily: the dynamics stage builds on the engine's
+            # stage/context modules, so a module-level import would cycle.
+            from ...dynamics.process import DynamicsProcess
+
+            dynamics = DynamicsProcess(
+                cfg.dynamics, self.topology, cfg.epoch_s, self.seed,
+                scope=trace.name,
+            )
+            # Drift mutates the table in place; profiles are shared
+            # across cells, so a dynamic run works on its own copy.
+            true_scores = true_scores.copy()
+            dynamics.attach_scores(true_scores)
         table = self.pm_table
         online: OnlinePMScoreTable | None = None
         if cfg.online_pm_updates and table is not None:
@@ -145,11 +160,13 @@ class RoundEngine:
             locality=self.locality,
             cluster=state,
             placement_ctx=placement_ctx,
-            true_scores=self._true_scores,
+            true_scores=true_scores,
             online=online,
             events=EventLog() if cfg.record_events else None,
             jobs=jobs,
             pending=list(jobs),  # arrival-ordered
+            capacity=self.topology.n_gpus,
+            dynamics=dynamics,
             can_memoize=can_memoize,
             ff_enabled=ff_enabled,
             resize_active=resize_active,
@@ -157,10 +174,15 @@ class RoundEngine:
 
     def build_stages(self, ctx: RoundContext) -> list[RoundStage]:
         """The default pipeline; override to insert or replace stages."""
-        stages: list[RoundStage] = [
+        stages: list[RoundStage] = []
+        if ctx.dynamics is not None:
+            from ...dynamics.stage import DynamicsStage  # lazy: import cycle
+
+            stages.append(DynamicsStage())
+        stages.extend([
             ArrivalStage(),
             OrderingStage(mark_and_preempt=not ctx.resize_active),
-        ]
+        ])
         if ctx.resize_active:
             stages.append(ResizeStage())
         stages.extend([PlacementStage(), FastForwardStage(), ExecutionStage()])
@@ -170,6 +192,7 @@ class RoundEngine:
     def run(self, trace: Trace) -> SimulationResult:
         """Simulate ``trace`` to completion and return the metrics."""
         self._validate_trace(trace)
+        self.scheduler.reset()  # drop cross-round state from any prior run
         ctx = self.build_context(trace)
         stages = self.build_stages(ctx)
         arrival_stage = next(s for s in stages if isinstance(s, ArrivalStage))
@@ -209,10 +232,18 @@ class RoundEngine:
                 n_preemptions=j.n_preemptions,
                 n_restarts=j.n_restarts,
                 n_resizes=j.n_resizes,
+                n_evictions=j.n_evictions,
             )
             for j in ctx.jobs
         )
         epoch_times, gpus_in_use = ctx.utilization.materialize(ctx.epoch_s)
+        metadata: dict[str, object] = {
+            "seed": self.seed,
+            "epochs_run": ctx.epochs_run,
+            ADMISSION_REJECTIONS_KEY: arrival_stage.n_rejections,
+        }
+        if ctx.dynamics is not None:
+            metadata["dynamics"] = ctx.dynamics.summary()
         return SimulationResult(
             trace_name=trace.name,
             scheduler_name=self.scheduler.name,
@@ -224,10 +255,6 @@ class RoundEngine:
             gpus_in_use=gpus_in_use,
             placement_times_s=ctx.placement_times.materialize(),
             busy_gpu_seconds=sum(j.busy_gpu_s for j in ctx.jobs),
-            metadata={
-                "seed": self.seed,
-                "epochs_run": ctx.epochs_run,
-                ADMISSION_REJECTIONS_KEY: arrival_stage.n_rejections,
-            },
+            metadata=metadata,
             events=events,
         )

@@ -92,7 +92,7 @@ class ArrivalStage(RoundStage):
                 job,
                 queued_jobs=len(ctx.active),
                 outstanding_demand=outstanding,
-                cluster_size=ctx.topology.n_gpus,
+                cluster_size=ctx.capacity,
             ):
                 # The job stays pending and is re-offered, in arrival
                 # order, next round — which also stalls every later
@@ -102,7 +102,7 @@ class ArrivalStage(RoundStage):
                 self.n_rejections += 1
                 reason = (
                     f"{len(ctx.active)} queued jobs, outstanding demand "
-                    f"{outstanding}/{ctx.topology.n_gpus} GPUs"
+                    f"{outstanding}/{ctx.capacity} GPUs"
                 )
                 if job.job_id not in self.warned_rejects:
                     self.warned_rejects.add(job.job_id)
@@ -175,8 +175,12 @@ class OrderingStage(RoundStage):
     def run(self, ctx: RoundContext) -> StageOutcome:
         ctx.ordered = ctx.scheduler.order(ctx.active, ctx.now)
         if self.mark_and_preempt:
+            # Non-strict under dynamics: capacity may be *temporarily*
+            # below a job's (statically validated) demand — it waits for
+            # repair instead of raising.
             ctx.n_guaranteed = mark_queue_at_cluster_size(
-                [j.demand for j in ctx.ordered], ctx.topology.n_gpus
+                [j.demand for j in ctx.ordered], ctx.capacity,
+                strict=ctx.dynamics is None,
             )
             ctx.scheduled = ctx.ordered[:ctx.n_guaranteed]
             _preempt_unmarked(ctx)
@@ -205,7 +209,7 @@ class ResizeStage(RoundStage):
 
     def run(self, ctx: RoundContext) -> StageOutcome:
         n_marked, targets = ctx.scheduler.plan_demands(
-            ctx.ordered, ctx.topology.n_gpus
+            ctx.ordered, ctx.capacity
         )
         ctx.n_guaranteed = n_marked
         ctx.scheduled = ctx.ordered[:n_marked]
@@ -213,10 +217,10 @@ class ResizeStage(RoundStage):
         ctx.resized.clear()
         if ctx.config.validate_invariants:
             planned = sum(targets.get(j.job_id, j.demand) for j in ctx.scheduled)
-            if planned > ctx.topology.n_gpus:
+            if planned > ctx.capacity:
                 raise SimulationError(
                     f"{ctx.scheduler.name} demand plan oversubscribes the "
-                    f"cluster: {planned} > {ctx.topology.n_gpus} GPUs"
+                    f"cluster: {planned} > {ctx.capacity} GPUs"
                 )
         for job in ctx.scheduled:
             target = targets.get(job.job_id, job.demand)
@@ -416,6 +420,14 @@ class FastForwardStage(RoundStage):
         epoch_s = cfg.epoch_s
         scheduled = ctx.scheduled
         horizon = cfg.max_epochs - ctx.epochs_run + 1
+        if ctx.dynamics is not None:
+            # A pending cluster event (failure/repair/drain/drift) bounds
+            # the window: its due round must run the full pipeline.  The
+            # dynamics stage drained everything due at the current epoch,
+            # so the next due epoch is strictly ahead.
+            due = ctx.dynamics.next_due_epoch()
+            if due is not None:
+                horizon = min(horizon, due - ctx.epoch_idx)
         if horizon < 2:
             return 1
 
@@ -594,7 +606,17 @@ class ExecutionStage(RoundStage):
         # running the idle round through the ArrivalStage.
         if not ctx.active and ctx.next_pending < len(ctx.pending):
             arrival = ctx.pending[ctx.next_pending].spec.arrival_time_s
-            if arrival > ctx.epoch_idx * ctx.epoch_s:
+            if arrival > ctx.epoch_idx * ctx.epoch_s and not self._dynamics_due(ctx):
                 ctx.begin_round()
                 ctx.idle_jump()
         return _NEXT_STAGE
+
+    @staticmethod
+    def _dynamics_due(ctx: RoundContext) -> bool:
+        """A cluster event is due at the upcoming round — it must run the
+        full pipeline (dynamics stage first) instead of being batched
+        into this idle jump."""
+        if ctx.dynamics is None:
+            return False
+        due = ctx.dynamics.next_due_epoch()
+        return due is not None and due <= ctx.epoch_idx

@@ -12,6 +12,8 @@ REJECT     admission control refused the job this round (it stays
 ADMIT      job entered the scheduling queue (arrival + admission)
 START      job received its first GPU allocation
 PREEMPT    a running job lost its guarantee and released its GPUs
+           (``detail["cause"]`` distinguishes scheduler preemption
+           from failure/drain evictions)
 RESTART    a previously-preempted job received GPUs again
 MIGRATE    a non-sticky re-placement changed the job's GPU set
 RESIZE     an elastic-aware scheduler changed a running job's GPU
@@ -19,10 +21,25 @@ RESIZE     an elastic-aware scheduler changed a running job's GPU
 FINISH     job completed all iterations
 =========  =====================================================
 
+With :mod:`repro.dynamics` enabled the log additionally carries
+*cluster-scoped* events, emitted with ``job_id`` =
+:data:`CLUSTER_JOB_ID` since they describe the cluster rather than any
+job:
+
+=========  =====================================================
+FAIL       GPUs left service because of a GPU or node failure
+REPAIR     failed or drained GPUs returned to service
+DRAIN      a scheduled maintenance window removed nodes
+DRIFT      the true variability table moved (detail carries the
+           max relative score change)
+=========  =====================================================
+
 :class:`EventLog` supports per-job queries, per-type filtering, JSONL
 round-tripping, and a lifecycle validator used by the test suite to
 check that every simulation's event stream is legal (e.g. FINISH is
-terminal and unique, MIGRATE only occurs while running).
+terminal and unique, MIGRATE only occurs while running; cluster-scoped
+events are exempt from per-job lifecycle rules but must use
+:data:`CLUSTER_JOB_ID`).
 """
 
 from __future__ import annotations
@@ -35,7 +52,17 @@ from typing import Iterable, Mapping
 
 from ..utils.errors import SimulationError
 
-__all__ = ["EventType", "Event", "EventLog"]
+__all__ = [
+    "CLUSTER_JOB_ID",
+    "CLUSTER_EVENT_TYPES",
+    "EventType",
+    "Event",
+    "EventLog",
+]
+
+#: ``job_id`` used by cluster-scoped events (FAIL/REPAIR/DRAIN/DRIFT),
+#: which describe the cluster itself rather than any job's lifecycle.
+CLUSTER_JOB_ID = -1
 
 
 class EventType(Enum):
@@ -47,6 +74,18 @@ class EventType(Enum):
     MIGRATE = "migrate"
     RESIZE = "resize"
     FINISH = "finish"
+    FAIL = "fail"
+    REPAIR = "repair"
+    DRAIN = "drain"
+    DRIFT = "drift"
+
+
+#: Event types that describe the cluster, not a job; they must be
+#: emitted with ``job_id`` = :data:`CLUSTER_JOB_ID` and are skipped by
+#: the per-job lifecycle validation.
+CLUSTER_EVENT_TYPES = frozenset(
+    {EventType.FAIL, EventType.REPAIR, EventType.DRAIN, EventType.DRIFT}
+)
 
 
 @dataclass(frozen=True)
@@ -153,7 +192,12 @@ class EventLog:
                     f"event log out of order at t={e.time_s} (job {e.job_id})"
                 )
             last_time = max(last_time, e.time_s)
-        job_ids = {e.job_id for e in self._events}
+            if (e.type in CLUSTER_EVENT_TYPES) != (e.job_id == CLUSTER_JOB_ID):
+                raise SimulationError(
+                    f"{e.type} with job_id {e.job_id}: cluster-scoped events "
+                    f"must (only) use job_id {CLUSTER_JOB_ID}"
+                )
+        job_ids = {e.job_id for e in self._events if e.job_id != CLUSTER_JOB_ID}
         for job_id in job_ids:
             state: EventType | None = None
             for e in self.for_job(job_id):

@@ -64,6 +64,7 @@ class SimJob:
         "n_preemptions",
         "n_restarts",
         "n_resizes",
+        "n_evictions",
         "cached_iter_time_s",
         "busy_gpu_s",
         "_current_demand",
@@ -86,6 +87,9 @@ class SimJob:
         self.n_preemptions = 0
         self.n_restarts = 0
         self.n_resizes = 0
+        #: Forced evictions by cluster dynamics (GPU/node failures,
+        #: maintenance drains) — distinct from scheduler preemptions.
+        self.n_evictions = 0
         #: Current GPU demand; equals ``spec.demand`` for rigid jobs and
         #: moves within ``[spec.demand_floor, spec.demand_ceiling]`` for
         #: elastic jobs (see :meth:`resize_to`).
@@ -231,6 +235,28 @@ class SimJob:
             )
         self._current_demand = int(new_demand)
 
+    def rollback_iterations(self, n_iters: float) -> None:
+        """Lose completed progress (checkpoint-restart after an eviction).
+
+        Remaining work grows by ``n_iters``, capped at the job's total —
+        a job evicted before its first implicit checkpoint restarts from
+        scratch, never "negative progress".  Wall-clock and attained
+        service are *not* rolled back: the time was spent and LAS
+        fairness saw it, only the useful work is gone.
+        """
+        if self._seg_epochs:
+            raise SimulationError(
+                f"job {self.job_id}: rollback_iterations with "
+                f"{self._seg_epochs} uncommitted epochs"
+            )
+        if n_iters < 0:
+            raise SimulationError(
+                f"job {self.job_id}: cannot roll back {n_iters} iterations"
+            )
+        self._remaining_base = min(
+            float(self.spec.total_iterations), self._remaining_base + n_iters
+        )
+
     # Exact-arithmetic previews (scheduler stability analysis) ------------
     def service_after(self, extra_epochs: int) -> float:
         """Attained service after ``extra_epochs`` more full epochs.
@@ -271,6 +297,22 @@ class SimJob:
     def segment_epochs(self) -> int:
         """Uncommitted full epochs of the open segment (``p`` above)."""
         return self._seg_epochs
+
+    @property
+    def remaining_anchor_iters(self) -> float:
+        """Remaining iterations at the segment anchor (closed form's base).
+
+        With :attr:`iters_stride_per_epoch` and :attr:`segment_epochs`
+        this exposes the exact operands of the
+        ``(base - (p + k) * stride) * t_iter`` evaluation SRTF's key
+        performs, for the exact-rational pair-crossing analysis.
+        """
+        return self._remaining_base
+
+    @property
+    def iters_stride_per_epoch(self) -> float:
+        """Iterations one full epoch retires (the open segment's rate)."""
+        return self._seg_iters_per_epoch
 
     @property
     def ideal_stride_s(self) -> float:

@@ -50,6 +50,9 @@ class JobRecord:
     n_preemptions: int
     n_restarts: int
     n_resizes: int = 0
+    #: Forced evictions by cluster dynamics (failures/drains); 0 unless
+    #: the run enabled ``SimulatorConfig.dynamics``.
+    n_evictions: int = 0
 
     @property
     def jct_s(self) -> float:
@@ -180,6 +183,10 @@ class SimulationResult:
     @property
     def total_resizes(self) -> int:
         return sum(r.n_resizes for r in self.records)
+
+    @property
+    def total_evictions(self) -> int:
+        return sum(r.n_evictions for r in self.records)
 
     def utilization_series(self) -> tuple[np.ndarray, np.ndarray]:
         """(epoch start times, GPUs in use) — the paper's Fig. 15 axes."""

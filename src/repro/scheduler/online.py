@@ -150,7 +150,12 @@ class OnlinePMScoreTable:
 
         if ids.size == 1:
             g = int(ids[0])
-            scores[g] += cfg.alpha_exact * (observed_v - scores[g])
+            if cfg.alpha_exact == 1.0:
+                # Full trust pins the score bit-exactly — the EWMA form
+                # ``s + (o - s)`` can miss the observation by an ulp.
+                scores[g] = observed_v
+            else:
+                scores[g] += cfg.alpha_exact * (observed_v - scores[g])
         else:
             believed = scores[ids]
             worst = int(ids[np.argmax(believed)])

@@ -21,11 +21,14 @@ which the pair could invert:
   monotone predicate built from the engine's own closed-form arithmetic
   (:meth:`SimJob.service_after` / :meth:`SimJob.remaining_after`), which
   is *exact* — the engine evaluates the identical expressions later;
-* pairs where both sides evolve are bounded conservatively: the real
-  crossing point of the two linear keys, shrunk by an explicit
-  floating-point wobble margin (:func:`_pair_safe_epochs`).  An
-  under-estimate only costs an extra scheduling round, never
-  correctness.
+* pairs where both sides evolve first try the cheap conservative bound
+  (the real crossing point of the two linear keys, shrunk by an
+  explicit floating-point wobble margin, :func:`_pair_safe_epochs`);
+  when that cannot certify the whole window, an exact rational analysis
+  of the engine's float evaluations extends it to within ulps of the
+  true crossing (:func:`_las_pair_exact_epochs` /
+  :func:`_srtf_pair_exact_epochs`).  An under-estimate only costs an
+  extra scheduling round, never correctness.
 """
 
 from __future__ import annotations
@@ -113,6 +116,26 @@ def _pair_safe_epochs(
     return k
 
 
+def _certified_linear_epochs(f0: Fraction, slope: Fraction, horizon: int) -> int:
+    """Largest ``k`` in ``[0, horizon]`` with ``f(k) = f0 + k * slope > 0``.
+
+    ``f`` is a certified-order predicate (exact gap minus exact rounding
+    wobble, both linear in the epoch count) built by the exact
+    pair-crossing bounds below.  Returns 0 when not even one epoch is
+    certain, the whole horizon when the margin never shrinks, and
+    otherwise the exact strict-inequality floor — no conservative
+    backoff.
+    """
+    if f0 + slope <= 0:  # f(1) <= 0: not even one epoch is certain
+        return 0
+    if slope >= 0:  # certainty margin only grows; whole horizon is safe
+        return horizon
+    # Largest integer k with f(k) > 0  <=>  k < f0 / -slope.
+    q = f0 / -slope
+    k_max = (q.numerator - 1) // q.denominator
+    return min(horizon, k_max)
+
+
 def _las_pair_exact_epochs(u: SimJob, v: SimJob, horizon: int) -> int:
     """Exact crossing bound for two *running* LAS-adjacent jobs.
 
@@ -149,14 +172,47 @@ def _las_pair_exact_epochs(u: SimJob, v: SimJob, horizon: int) -> int:
     wobble0 = 2 * eps * (abs(au) + pu * abs(su) + abs(av) + pv * abs(sv))
     f0 = gap0 - wobble0
     slope = (sv - su) - 2 * eps * (abs(su) + abs(sv))
-    if f0 + slope <= 0:  # f(1) <= 0: not even one epoch is certain
-        return 0
-    if slope >= 0:  # certainty margin only grows; whole horizon is safe
-        return horizon
-    # Largest integer k with f(k) > 0  <=>  k < f0 / -slope.
-    q = f0 / -slope
-    k_max = (q.numerator - 1) // q.denominator
-    return min(horizon, k_max)
+    return _certified_linear_epochs(f0, slope, horizon)
+
+
+def _srtf_pair_exact_epochs(u: SimJob, v: SimJob, horizon: int) -> int:
+    """Exact crossing bound for two *running* SRTF-adjacent jobs.
+
+    The engine evaluates each remaining-ideal-time key as the three-
+    rounding float chain ``fl(fl(rb - fl((p + k) * ipe)) * t)`` — every
+    operand an exact rational, so both the real gap and a rigorous
+    rounding-error bound are computable with :class:`fractions.Fraction`:
+
+    * per evaluation the error is at most
+      ``2 * eps * t * (|d_k| + m_k)`` with ``m_k = (p + k) * ipe`` and
+      ``d_k = rb - m_k`` (one unit roundoff per operation, 2x safety
+      cover); ``|d_k| <= rb + m_k`` linearizes the bound in ``k``;
+    * the certified predicate ``gap(k) > wobble_u(k) + wobble_v(k)`` is
+      linear in ``k`` with exact rational coefficients, so the largest
+      safe ``k`` is one closed-form floor division.
+
+    The sharpness matters exactly where SRTF's float-margin bound is
+    weakest: near-complete long jobs, whose keys cancel toward zero
+    while the margin is measured in ulps of the (huge) anchor.  A
+    positive verdict guarantees strict float inequality at every round
+    of the window, so the tiebreak is never consulted.
+    """
+    eps = Fraction(_EPS)
+    rb_u = Fraction(u.remaining_anchor_iters)
+    rb_v = Fraction(v.remaining_anchor_iters)
+    ipe_u = Fraction(u.iters_stride_per_epoch)
+    ipe_v = Fraction(v.iters_stride_per_epoch)
+    t_u = Fraction(u.spec.iteration_time_s)
+    t_v = Fraction(v.spec.iteration_time_s)
+    pu, pv = u.segment_epochs, v.segment_epochs
+    # f(k) = gap(k) - wobble(k) = f0 + k * slope, all coefficients exact.
+    gap0 = (rb_v - pv * ipe_v) * t_v - (rb_u - pu * ipe_u) * t_u
+    wobble0 = 2 * eps * (
+        t_u * (rb_u + 2 * pu * ipe_u) + t_v * (rb_v + 2 * pv * ipe_v)
+    )
+    f0 = gap0 - wobble0
+    slope = (ipe_u * t_u - ipe_v * t_v) - 4 * eps * (t_u * ipe_u + t_v * ipe_v)
+    return _certified_linear_epochs(f0, slope, horizon)
 
 
 class SchedulingPolicy(ABC):
@@ -173,6 +229,16 @@ class SchedulingPolicy(ABC):
 
         Must be a *total*, deterministic order (ties broken by job id) so
         simulations are reproducible.
+        """
+
+    def reset(self) -> None:
+        """Clear cross-round state before a new run.
+
+        The engine calls this once at the start of every simulation, so
+        a policy instance reused across runs (same object, fresh trace)
+        behaves identically to a fresh instance.  Stateless policies —
+        everything except the hysteresis-carrying ElasticLAS — need no
+        override.
         """
 
     def plan_demands(
@@ -359,10 +425,38 @@ class ElasticLASScheduler(LASScheduler):
     LAS queues — the policy's own fairness keeps widths churning toward
     the jobs with the least service, echoing Pollux's
     goodput-proportional re-allocation in discretized form.
+
+    ``min_hold_rounds`` adds resize *hysteresis*: for that many rounds
+    after a job's width changes, the planner freezes it — it tentatively
+    keeps its current width (budget permitting, priority order) and is
+    excluded from the leftover-GPU growth hand-off, so each job's width
+    changes at most once per hold window instead of chasing every
+    arrival, completion, and LAS-priority flip.  The capacity contract
+    is untouched: marking still charges floors, so a held job is
+    squeezed back toward its floor whenever floors need the room (a
+    forced change, which re-arms its hold).  The cost is bounded growth
+    lag — freed GPUs may idle until a hold expires — which is the
+    agility/stability trade the knob exposes.  The default of 1 holds
+    nothing: the memoryless plan above, bit-identically.
     """
 
     name = "ElasticLAS"
     elastic_aware = True
+
+    def __init__(
+        self,
+        promote_threshold_gpu_s: float = 8.0 * 3600.0,
+        min_hold_rounds: int = 1,
+    ):
+        super().__init__(promote_threshold_gpu_s)
+        if min_hold_rounds < 1:
+            raise ConfigurationError("min_hold_rounds must be >= 1")
+        self.min_hold_rounds = min_hold_rounds
+        #: job id -> rounds its current width is still frozen.
+        self._hold: dict[int, int] = {}
+
+    def reset(self) -> None:
+        self._hold.clear()
 
     def plan_demands(
         self, ordered: Sequence[SimJob], cluster_size: int
@@ -377,15 +471,53 @@ class ElasticLASScheduler(LASScheduler):
             targets[job.job_id] = floor
             free -= floor
             n_marked += 1
+        marked = ordered[:n_marked]
+        frozen: set[int] = set()
+        if free > 0 and self.min_hold_rounds > 1:
+            # Held jobs re-claim their current width out of the slack
+            # first (priority order); what the budget cannot cover is a
+            # forced squeeze toward the floor.
+            for job in marked:
+                if self._hold.get(job.job_id, 0) <= 0:
+                    continue
+                frozen.add(job.job_id)
+                if free <= 0:
+                    continue
+                keep = min(job.demand, cluster_size)
+                grow = min(free, keep - targets[job.job_id])
+                if grow > 0:
+                    targets[job.job_id] += grow
+                    free -= grow
         if free > 0:
-            for job in ordered[:n_marked]:
+            # Fresh growth goes to unfrozen jobs only — a held job's
+            # width cannot move, in either direction, mid-window.
+            for job in marked:
                 if free <= 0:
                     break
+                if job.job_id in frozen:
+                    continue
                 ceiling = min(job.spec.demand_ceiling, cluster_size)
                 grow = min(free, ceiling - targets[job.job_id])
                 if grow > 0:
                     targets[job.job_id] += grow
                     free -= grow
+        if self.min_hold_rounds > 1:
+            hold: dict[int, int] = {}
+            for job in marked:
+                if targets[job.job_id] != job.demand:
+                    hold[job.job_id] = self.min_hold_rounds  # change applies now
+                else:
+                    left = self._hold.get(job.job_id, 0) - 1
+                    if left > 0:
+                        hold[job.job_id] = left
+            # Unmarked-but-queued jobs keep a frozen counter; anything
+            # that left the queue entirely (finished — or a fresh run
+            # reusing this scheduler instance) is purged.
+            queued = {job.job_id for job in ordered}
+            for job_id, left in self._hold.items():
+                if job_id not in targets and job_id in queued:
+                    hold[job_id] = left
+            self._hold = hold
         return n_marked, targets
 
 
@@ -432,17 +564,20 @@ class SRTFScheduler(SchedulingPolicy):
             # running): the pair inverts if v drains faster than u.  The
             # wobble scale is the segment-anchor ideal time — the
             # remaining-time key itself cancels toward 0 while its
-            # rounding error stays at ulps of the anchor.
-            h = min(
+            # rounding error stays at ulps of the anchor.  When the cheap
+            # float-margin bound cannot certify the whole window, the
+            # exact rational bound extends it to within ulps of the true
+            # crossing (mirroring LAS's same-level treatment).
+            k_pair = _pair_safe_epochs(
+                lambda k, u=u: ideal_after(u, k),
+                lambda k, v=v: ideal_after(v, k),
+                u.ideal_stride_s - v.ideal_stride_s,
                 h,
-                _pair_safe_epochs(
-                    lambda k, u=u: ideal_after(u, k),
-                    lambda k, v=v: ideal_after(v, k),
-                    u.ideal_stride_s - v.ideal_stride_s,
-                    h,
-                    u.anchor_ideal_s + v.anchor_ideal_s,
-                ),
+                u.anchor_ideal_s + v.anchor_ideal_s,
             )
+            if k_pair < h:
+                k_pair = max(k_pair, _srtf_pair_exact_epochs(u, v, h))
+            h = min(h, k_pair)
             if h <= 0:
                 return 0
         return h

@@ -1,0 +1,606 @@
+"""repro.dynamics: time-varying clusters (drift, failures, drains).
+
+Covers every layer of the subsystem:
+
+* config validation and the drift models (positivity, determinism,
+  mean reversion, step semantics);
+* :class:`ClusterState` availability bookkeeping and its invariants;
+* the :class:`DynamicsProcess` timeline — determinism independent of
+  how the engine batches rounds, overlap handling, capacity ledger;
+* engine integration — deterministic eviction mechanics with an exact
+  checkpoint-restart penalty, capacity-aware marking, event-log
+  legality, metadata, and the inert-config bit-identity guarantee;
+* the ``dynamics`` experiment end to end plus the timeline exporter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.export import dynamics_timeline_csv, result_to_csv
+from repro.cluster.state import ClusterState
+from repro.cluster.topology import ClusterTopology, LocalityModel
+from repro.dynamics import (
+    DrainWindow,
+    DriftSpec,
+    DynamicsConfig,
+    DynamicsProcess,
+    OUDrift,
+    StepDrift,
+    make_drift,
+)
+from repro.scheduler.events import CLUSTER_JOB_ID, EventType
+from repro.scheduler.jobs import SimJob
+from repro.scheduler.placement import make_placement
+from repro.scheduler.policies import make_scheduler
+from repro.scheduler.simulator import ClusterSimulator, SimulatorConfig
+from repro.traces.job import JobSpec
+from repro.traces.trace import Trace
+from repro.utils.errors import (
+    AllocationError,
+    ConfigurationError,
+    SimulationError,
+)
+from repro.utils.rng import stream
+from repro.variability.profiles import VariabilityProfile
+
+
+def flat_profile(n_gpus, value=1.0):
+    return VariabilityProfile(
+        cluster_name="flat",
+        class_names=("A", "B", "C"),
+        scores=np.full((3, n_gpus), value),
+    )
+
+
+def job(i, arrival=0.0, demand=4, iters=2000, t_iter=1.0):
+    return JobSpec(
+        job_id=i,
+        arrival_time_s=arrival,
+        demand=demand,
+        model="resnet50",
+        class_id=i % 3,
+        iteration_time_s=t_iter,
+        total_iterations=iters,
+    )
+
+
+def simulate(jobs, dynamics, *, n_gpus=8, scheduler="las", placement="tiresias",
+             seed=0, **config_kwargs):
+    sim = ClusterSimulator(
+        topology=ClusterTopology.from_gpu_count(n_gpus),
+        true_profile=flat_profile(n_gpus),
+        scheduler=make_scheduler(scheduler),
+        placement=make_placement(placement),
+        locality=LocalityModel(across_node=1.0),
+        config=SimulatorConfig(
+            dynamics=dynamics, record_events=True, validate_invariants=True,
+            **config_kwargs,
+        ),
+        seed=seed,
+    )
+    return sim.run(Trace("dyn", tuple(jobs)))
+
+
+class TestConfigValidation:
+    def test_drift_spec(self):
+        with pytest.raises(ConfigurationError):
+            DriftSpec(kind="brownian")
+        with pytest.raises(ConfigurationError):
+            DriftSpec(interval_epochs=0)
+        with pytest.raises(ConfigurationError):
+            DriftSpec(sigma=-0.1)
+        with pytest.raises(ConfigurationError):
+            DriftSpec(kind="steps")  # needs step_epochs
+        with pytest.raises(ConfigurationError):
+            DriftSpec(kind="steps", step_epochs=(4, 4))
+        DriftSpec(kind="steps", step_epochs=(4, 9), step_magnitude=0.3)
+
+    def test_drain_window(self):
+        with pytest.raises(ConfigurationError):
+            DrainWindow(start_s=-1.0, duration_s=10.0, nodes=(0,))
+        with pytest.raises(ConfigurationError):
+            DrainWindow(start_s=0.0, duration_s=0.0, nodes=(0,))
+        with pytest.raises(ConfigurationError):
+            DrainWindow(start_s=0.0, duration_s=10.0, nodes=())
+        with pytest.raises(ConfigurationError):
+            DrainWindow(start_s=0.0, duration_s=10.0, nodes=(1, 1))
+
+    def test_dynamics_config(self):
+        with pytest.raises(ConfigurationError):
+            DynamicsConfig(gpu_failure_rate_per_hour=-1.0)
+        with pytest.raises(ConfigurationError):
+            DynamicsConfig(repair_time_s=0.0)
+        assert not DynamicsConfig().any_enabled
+        assert DynamicsConfig(gpu_failure_rate_per_hour=0.1).any_enabled
+        assert DynamicsConfig(drift=DriftSpec()).any_enabled
+
+    def test_drain_node_out_of_range_rejected_at_process_build(self):
+        cfg = DynamicsConfig(
+            drains=(DrainWindow(start_s=0.0, duration_s=10.0, nodes=(9,)),)
+        )
+        with pytest.raises(ConfigurationError, match="n_nodes"):
+            DynamicsProcess(cfg, ClusterTopology.from_gpu_count(8), 300.0, 0)
+
+
+class TestDriftModels:
+    def _scores(self, n=32):
+        rng = np.random.default_rng(7)
+        return 1.0 + rng.random((3, n))
+
+    def test_ou_positive_and_deterministic(self):
+        base = self._scores()
+        outs = []
+        for _ in range(2):
+            scores = base.copy()
+            model = OUDrift(base, theta=0.1, sigma=0.05, min_score=0.05)
+            rng = stream(3, "drift-test")
+            for _ in range(50):
+                delta = model.apply(scores, rng)
+                assert delta >= 0.0
+                assert np.all(scores >= 0.05)
+            outs.append(scores)
+        np.testing.assert_array_equal(outs[0], outs[1])
+
+    def test_ou_mean_reverts_to_anchor(self):
+        base = self._scores()
+        scores = base.copy()
+        model = OUDrift(base, theta=0.2, sigma=0.05, min_score=0.05)
+        rng = stream(0, "drift-revert")
+        logs = []
+        for _ in range(500):
+            model.apply(scores, rng)
+            logs.append(np.log(scores / base).mean())
+        # The log-deviation from the anchor averages near zero.
+        assert abs(float(np.mean(logs[100:]))) < 0.05
+
+    def test_step_drift_hits_requested_fraction(self):
+        base = self._scores(n=64)
+        scores = base.copy()
+        model = StepDrift(magnitude=0.5, fraction=0.25, min_score=0.05)
+        delta = model.apply(scores, stream(1, "drift-step"))
+        changed = np.any(scores != base, axis=0)
+        assert changed.sum() == 16
+        assert delta == pytest.approx(0.5)
+        # All classes of a hit GPU move together.
+        per_class_changed = scores != base
+        np.testing.assert_array_equal(per_class_changed[0], per_class_changed[1])
+
+    def test_make_drift_dispatch(self):
+        anchor = self._scores()
+        assert isinstance(make_drift(DriftSpec(kind="ou"), anchor), OUDrift)
+        assert isinstance(
+            make_drift(DriftSpec(kind="steps", step_epochs=(3,)), anchor),
+            StepDrift,
+        )
+
+
+class TestClusterStateAvailability:
+    def _state(self, n=8):
+        return ClusterState(ClusterTopology.from_gpu_count(n))
+
+    def test_mark_unavailable_removes_from_free_pool(self):
+        st = self._state()
+        st.mark_unavailable([0, 1, 5])
+        assert st.n_available == 5
+        assert st.n_unavailable == 3
+        assert st.n_free == 5
+        assert st.n_busy == 0
+        assert not st.is_available(0)
+        assert st.is_available(2)
+        assert 0 not in st.free_gpu_ids()
+        assert st.free_count_per_node().tolist() == [2, 3]
+        st.check_invariants()
+
+    def test_mark_available_restores(self):
+        st = self._state()
+        st.mark_unavailable([0, 1])
+        st.mark_available([0, 1])
+        assert st.n_available == 8 and st.n_free == 8
+        st.check_invariants()
+
+    def test_cannot_take_down_allocated_gpus(self):
+        st = self._state()
+        st.allocate(7, np.array([0, 1]))
+        with pytest.raises(AllocationError):
+            st.mark_unavailable([1])
+
+    def test_double_mark_rejected_both_ways(self):
+        st = self._state()
+        st.mark_unavailable([3])
+        with pytest.raises(AllocationError):
+            st.mark_unavailable([3])
+        st.mark_available([3])
+        with pytest.raises(AllocationError):
+            st.mark_available([3])
+
+    def test_allocate_refuses_unavailable_gpus(self):
+        st = self._state()
+        st.mark_unavailable([2])
+        with pytest.raises(AllocationError):
+            st.allocate(1, np.array([2]))
+
+    def test_release_all_keeps_unavailable_out(self):
+        st = self._state()
+        st.allocate(1, np.array([4, 5]))
+        st.mark_unavailable([0])
+        st.release_all()
+        assert st.n_free == 7
+        assert not st.is_available(0)
+        st.check_invariants()
+
+    def test_busy_count_excludes_unavailable(self):
+        st = self._state()
+        st.mark_unavailable([6, 7])
+        st.allocate(1, np.array([0, 1, 2]))
+        assert st.n_busy == 3
+        assert st.n_free == 3
+        st.check_invariants()
+
+
+class TestProcessTimeline:
+    def _proc(self, seed=0, **kwargs):
+        cfg = DynamicsConfig(**kwargs)
+        return DynamicsProcess(cfg, ClusterTopology.from_gpu_count(16), 300.0,
+                               seed, scope="t")
+
+    def test_timeline_independent_of_batching(self):
+        """Popping per epoch vs in one big batch resolves the identical
+        event sequence — the property the fast-forward jump relies on."""
+        kwargs = dict(
+            gpu_failure_rate_per_hour=0.05,
+            node_failure_rate_per_hour=0.01,
+            repair_time_s=1800.0,
+            drains=(DrainWindow(start_s=5000.0, duration_s=3000.0, nodes=(1,)),),
+            drift=DriftSpec(interval_epochs=7),
+        )
+        stepped = []
+        p1 = self._proc(**kwargs)
+        for e in range(400):
+            stepped.extend(p1.pop_due(e))
+        batched = self._proc(**kwargs).pop_due(399)
+        assert stepped == batched
+        assert any(ev.kind is EventType.FAIL for ev in stepped)
+        assert any(ev.kind is EventType.DRAIN for ev in stepped)
+        assert any(ev.kind is EventType.DRIFT for ev in stepped)
+
+    def test_next_due_epoch_bounds_the_future(self):
+        p = self._proc(drift=DriftSpec(interval_epochs=10))
+        assert p.next_due_epoch() == 10
+        events = p.pop_due(10)
+        assert len(events) == 1
+        assert p.next_due_epoch() == 20
+
+    def test_seed_changes_failure_times(self):
+        a = self._proc(seed=0, gpu_failure_rate_per_hour=0.05)
+        b = self._proc(seed=1, gpu_failure_rate_per_hour=0.05)
+        assert a.pop_due(2000) != b.pop_due(2000)
+
+    def test_overlapping_outages_never_double_take(self):
+        p = self._proc(
+            gpu_failure_rate_per_hour=0.5, repair_time_s=36000.0,
+            drains=(DrainWindow(start_s=600.0, duration_s=36000.0,
+                                nodes=(0, 1, 2, 3)),),
+        )
+        down = set()
+        for ev in p.pop_due(500):
+            if ev.kind in (EventType.FAIL, EventType.DRAIN):
+                assert not down.intersection(ev.gpus)
+                down.update(ev.gpus)
+            elif ev.kind is EventType.REPAIR:
+                assert down.issuperset(ev.gpus)
+                down.difference_update(ev.gpus)
+
+    def test_overlapping_outage_extends_the_downtime(self):
+        """A GPU that fails shortly before its node is drained must not
+        be repaired back into the maintenance window: the drain extends
+        its outage to the window's end."""
+        drain = DrainWindow(start_s=3000.0, duration_s=33000.0, nodes=(0,))
+        cfg = DynamicsConfig(
+            drains=(drain,),
+            # Deterministic probe: no stochastic failures; inject the
+            # overlapping failure by hand through the heap.
+            repair_time_s=6000.0,
+        )
+        p = DynamicsProcess(cfg, ClusterTopology.from_gpu_count(16), 300.0, 0,
+                            scope="t")
+        # GPU 0 failed at t=600 (outage until 6600), repair pending.
+        p._take((0,), 600.0 + cfg.repair_time_s)
+        p._push(600.0 + cfg.repair_time_s, EventType.REPAIR, (0,), "gpu")
+        timeline = []
+        for e in range(200):
+            timeline.extend((ev.time_s, ev.kind, ev.gpus) for ev in p.pop_due(e))
+        # The drain takes GPUs 1-3 (0 is already down) at t=3000; GPU
+        # 0's naive repair at t=6600 is deferred to the drain end.
+        assert (3000.0, EventType.DRAIN, (1, 2, 3)) in timeline
+        repairs = [t for t in timeline if t[1] is EventType.REPAIR]
+        assert (36000.0, EventType.REPAIR, (1, 2, 3)) in repairs
+        assert (36000.0, EventType.REPAIR, (0,)) in repairs
+        assert not any(t < 36000.0 for t, _, _ in repairs)
+
+    def test_capacity_timeline_coalesces(self):
+        p = self._proc()
+        p.record_capacity(3, 12)
+        p.record_capacity(3, 8)
+        p.record_capacity(5, 8)  # no change -> dropped
+        p.record_capacity(9, 16)
+        assert p.capacity_timeline == [(0, 16), (3, 8), (9, 16)]
+
+
+class TestEvictionMechanics:
+    def test_drain_eviction_charges_exact_restart_penalty(self):
+        """A 4-GPU job is drained off node 0 at t=600 after 600 s of
+        work, loses exactly 300 s of progress, resumes on node 1 the
+        same round, and finishes 300 s later than the static run."""
+        drain = DrainWindow(start_s=600.0, duration_s=1200.0, nodes=(0,))
+        res = simulate(
+            [job(0, demand=4, iters=2000, t_iter=1.0)],
+            DynamicsConfig(drains=(drain,), restart_penalty_s=300.0),
+        )
+        rec = res.records[0]
+        assert rec.n_evictions == 1
+        assert rec.finish_s == pytest.approx(2300.0)
+        dmeta = res.metadata["dynamics"]
+        assert dmeta["drains"] == 1 and dmeta["repairs"] == 1
+        assert dmeta["evictions"] == 1
+        assert dmeta["min_capacity"] == 4
+        assert dmeta["capacity_timeline"] == ((0, 8), (2, 4), (6, 8))
+        res.events.validate()
+        drains = res.events.of_type(EventType.DRAIN)
+        assert len(drains) == 1
+        assert drains[0].job_id == CLUSTER_JOB_ID
+        assert drains[0].detail["gpus"] == [0, 1, 2, 3]
+        # The eviction is a PREEMPT with a cause, at the drain round.
+        preempts = res.events.of_type(EventType.PREEMPT)
+        assert preempts[0].detail["cause"] == "drain"
+        assert preempts[0].time_s == pytest.approx(600.0)
+
+    def test_full_cluster_drain_stalls_then_recovers(self):
+        """Draining every node leaves the queue intact; work resumes at
+        the repair epoch."""
+        drain = DrainWindow(start_s=600.0, duration_s=1200.0, nodes=(0, 1))
+        res = simulate(
+            [job(0, demand=4, iters=2000, t_iter=1.0)],
+            DynamicsConfig(drains=(drain,), restart_penalty_s=300.0),
+        )
+        rec = res.records[0]
+        assert rec.n_evictions == 1
+        # 600 s done, 1700 s left, stalled until t=1800.
+        assert rec.finish_s == pytest.approx(1800.0 + 1700.0)
+        assert res.metadata["dynamics"]["min_capacity"] == 0
+
+    def test_eviction_before_any_checkpointable_work_restarts_clean(self):
+        """Rollback is capped at the job total: an eviction in the first
+        epoch restarts from scratch, not from negative progress."""
+        drain = DrainWindow(start_s=300.0, duration_s=600.0, nodes=(0, 1))
+        res = simulate(
+            [job(0, demand=4, iters=900, t_iter=1.0)],
+            DynamicsConfig(drains=(drain,), restart_penalty_s=100000.0),
+        )
+        # 300 s ran, all of it lost (penalty >> progress): full 900 s
+        # remain at the t=900 repair.
+        assert res.records[0].finish_s == pytest.approx(900.0 + 900.0)
+
+    def test_unaffected_node_keeps_running_through_drain(self):
+        """Only the drained node's job is evicted; its neighbour's run
+        is untouched.  The victim loses 300 s of its 300 s of progress
+        and waits out both the drain (repair t=1800) and FIFO's
+        head-of-line job before restarting from scratch."""
+        drain = DrainWindow(start_s=600.0, duration_s=1200.0, nodes=(1,))
+        res = simulate(
+            [
+                job(0, demand=4, iters=2000),
+                job(1, arrival=300.0, demand=4, iters=2000),
+            ],
+            DynamicsConfig(drains=(drain,), restart_penalty_s=300.0),
+            scheduler="fifo",
+        )
+        by_id = {r.job_id: r for r in res.records}
+        assert by_id[0].n_evictions == 0
+        assert by_id[0].finish_s == pytest.approx(2000.0)
+        assert by_id[1].n_evictions == 1
+        assert by_id[1].finish_s == pytest.approx(1800.0 + 2000.0)
+        res.events.validate()
+
+    def test_rollback_guards(self):
+        j = SimJob(job(0))
+        with pytest.raises(SimulationError):
+            j.rollback_iterations(-1.0)
+        j.begin_segment(1.0, 300.0)
+        j.advance_epochs(1)
+        with pytest.raises(SimulationError):
+            j.rollback_iterations(10.0)
+
+
+class TestDriftIntegration:
+    def test_drift_changes_execution_speed_mid_run(self):
+        """A step drift slowing every GPU 2x at epoch 2 stretches the
+        remaining work by exactly 2x."""
+        drift = DriftSpec(
+            kind="steps", step_epochs=(2,), step_magnitude=1.0,
+            step_fraction=1.0,
+        )
+        res = simulate(
+            [job(0, demand=4, iters=2000, t_iter=1.0)],
+            DynamicsConfig(drift=drift),
+        )
+        # 600 s at 1 iter/s, then 1400 iters at 2 s each.
+        assert res.records[0].finish_s == pytest.approx(600.0 + 2800.0)
+        drifts = res.events.of_type(EventType.DRIFT)
+        assert len(drifts) == 1
+        assert drifts[0].detail["max_rel_change"] == pytest.approx(1.0)
+        res.events.validate()
+
+    def test_drift_keeps_allocations_and_counts_no_eviction(self):
+        drift = DriftSpec(kind="steps", step_epochs=(2,), step_magnitude=0.5,
+                          step_fraction=1.0)
+        res = simulate(
+            [job(0, demand=4, iters=2000)], DynamicsConfig(drift=drift)
+        )
+        rec = res.records[0]
+        assert rec.n_evictions == 0 and rec.n_migrations == 0
+        assert res.metadata["dynamics"]["drift_events"] == 1
+
+
+class TestEngineIntegration:
+    def _trace(self, n=12, seed=0):
+        rng = np.random.default_rng(seed)
+        arrivals = np.sort(rng.integers(0, 40, size=n)) * 300.0
+        return [
+            job(
+                i,
+                arrival=float(arrivals[i]),
+                demand=int(rng.integers(1, 5)),
+                iters=int(rng.integers(500, 6000)),
+            )
+            for i in range(n)
+        ]
+
+    def _config(self):
+        return DynamicsConfig(
+            drift=DriftSpec(interval_epochs=4, sigma=0.05),
+            gpu_failure_rate_per_hour=0.05,
+            repair_time_s=1800.0,
+            restart_penalty_s=300.0,
+            drains=(DrainWindow(start_s=3000.0, duration_s=2400.0, nodes=(0,)),),
+        )
+
+    def test_runs_are_deterministic_per_seed(self):
+        a = simulate(self._trace(), self._config(), n_gpus=16, placement="pal")
+        b = simulate(self._trace(), self._config(), n_gpus=16, placement="pal")
+        assert a.same_outcome_as(b) == []
+
+    def test_event_log_legal_and_capacity_consistent(self):
+        res = simulate(self._trace(), self._config(), n_gpus=16,
+                       placement="pal")
+        res.events.validate()
+        dmeta = res.metadata["dynamics"]
+        caps = [c for _, c in dmeta["capacity_timeline"]]
+        assert dmeta["min_capacity"] == min(caps)
+        assert all(0 <= c <= 16 for c in caps)
+        assert res.total_evictions == dmeta["evictions"]
+
+    def test_inert_config_matches_disabled_dynamics(self):
+        """An all-off DynamicsConfig produces bit-identical records,
+        series, and events to dynamics=None — the stage, score copy,
+        and capacity plumbing are observationally free."""
+        jobs = self._trace()
+        off = simulate(jobs, None, n_gpus=16, placement="pal")
+        inert = simulate(jobs, DynamicsConfig(), n_gpus=16, placement="pal")
+        diffs = off.same_outcome_as(inert)
+        assert diffs == ["metadata"]  # the dynamics summary block only
+        assert inert.metadata["dynamics"]["evictions"] == 0
+        assert inert.metadata["dynamics"]["capacity_timeline"] == ((0, 16),)
+
+    def test_disabled_dynamics_has_no_metadata_block(self):
+        res = simulate(self._trace(4), None, n_gpus=16)
+        assert "dynamics" not in res.metadata
+
+    def test_capacity_restricts_marking_during_outage(self):
+        """While 4 of 8 GPUs are drained, two 4-GPU jobs cannot co-run:
+        the queue is marked at the live capacity, not the nameplate."""
+        drain = DrainWindow(start_s=600.0, duration_s=3000.0, nodes=(0,))
+        res = simulate(
+            [job(0, demand=4, iters=4000), job(1, demand=4, iters=4000)],
+            DynamicsConfig(drains=(drain,), restart_penalty_s=0.0),
+            scheduler="fifo",
+        )
+        times, busy = res.utilization_series()
+        during = busy[(times >= 600.0) & (times < 3600.0)]
+        assert during.max() <= 4
+        res.events.validate()
+
+
+class TestExportAndExperiment:
+    def test_timeline_csv(self):
+        res = simulate(
+            [job(0, demand=4, iters=2000)],
+            DynamicsConfig(
+                drains=(DrainWindow(start_s=600.0, duration_s=1200.0,
+                                    nodes=(0,)),),
+                drift=DriftSpec(kind="steps", step_epochs=(3,),
+                                step_magnitude=0.2, step_fraction=1.0),
+            ),
+        )
+        text = dynamics_timeline_csv(res)
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("time_s,epoch,event")
+        kinds = [line.split(",")[2] for line in lines[1:]]
+        assert kinds == ["drain", "drift", "repair"]
+        caps = [int(line.split(",")[5]) for line in lines[1:]]
+        assert caps == [4, 4, 8]
+        # Per-job CSV carries the eviction counter.
+        assert "n_evictions" in result_to_csv(res).splitlines()[0]
+
+    def test_timeline_csv_requires_dynamics(self):
+        res = simulate([job(0)], None)
+        with pytest.raises(ConfigurationError):
+            dynamics_timeline_csv(res)
+
+    def test_cluster_event_with_job_scope_rejected(self):
+        from repro.scheduler.events import EventLog
+
+        log = EventLog()
+        log.append(0.0, EventType.FAIL, 3, gpus=[1])
+        with pytest.raises(SimulationError, match="cluster-scoped"):
+            log.validate()
+
+    def test_experiment_end_to_end(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        from repro.experiments.dynamics import SCENARIO_ORDER, run
+
+        result = run("smoke")
+        assert result.experiment == "dynamics"
+        assert [row[0] for row in result.rows] == list(SCENARIO_ORDER)
+        by_scenario = {row[0]: row for row in result.rows}
+        # The failure scenarios actually failed things...
+        assert by_scenario["failures"][5] > 0  # evictions
+        assert by_scenario["failures"][7] < 256  # min capacity
+        assert by_scenario["drift"][6] > 0  # drift events
+        assert by_scenario["drift+drain"][7] <= 192  # the drain bit
+        # ...and the static row saw none of it.
+        static = by_scenario["static"]
+        assert static[5] == 0 and static[6] == 0 and static[7] == 256
+        # JCTs are positive and distinct per scenario (dynamics bites).
+        assert all(row[1] > 0 and row[3] > 0 for row in result.rows)
+
+    def test_experiment_registered(self):
+        from repro.experiments import EXPERIMENTS
+
+        assert "dynamics" in EXPERIMENTS
+
+
+class TestCLI:
+    def test_simulate_with_dynamics_flags(self, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "simulate", "--trace", "synergy", "--rate", "6", "--jobs", "25",
+            "--gpus", "16", "--scheduler", "las", "--placement", "pal",
+            "--gpu-mtbf-hours", "100", "--drift-sigma", "0.05",
+            "--drain", "4:3:0-1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "drift_events" in out and "min_capacity" in out
+
+    def test_bad_drain_spec(self):
+        from repro.cli import main
+
+        with pytest.raises(ConfigurationError, match="drain spec"):
+            main([
+                "simulate", "--trace", "synergy", "--jobs", "5",
+                "--drain", "nope",
+            ])
+
+    def test_sweep_with_dynamics_flags(self, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "sweep", "--traces", "synergy:6", "--jobs", "20", "--gpus", "16",
+            "--schedulers", "las", "--placements", "pal", "--seeds", "0",
+            "--gpu-mtbf-hours", "50",
+        ])
+        assert rc == 0
+        assert "pal" in capsys.readouterr().out.lower()

@@ -1,0 +1,156 @@
+"""Fast-forward equivalence under cluster dynamics.
+
+The engine keeps the event-horizon fast-forward ON for dynamic runs;
+correctness requires that a quiet-window jump never crosses a pending
+failure/repair/drain/drift event (each must take effect on its true
+round).  These tests hold the naive per-epoch loop and the fast-forward
+engine to bit-identical outputs over dynamic traces — the same contract
+the static equivalence suite enforces — and check the jump still fires
+where dynamics leave room for it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.topology import ClusterTopology, LocalityModel
+from repro.dynamics import DrainWindow, DriftSpec, DynamicsConfig
+from repro.scheduler.placement import make_placement
+from repro.scheduler.policies import make_scheduler
+from repro.scheduler.simulator import ClusterSimulator, SimulatorConfig
+from repro.traces.job import JobSpec
+from repro.traces.trace import Trace
+from repro.utils.rng import stream
+from repro.variability.synthetic import synthesize_profile
+
+DRIFT = DriftSpec(kind="ou", interval_epochs=9, sigma=0.05)
+FAILURES = dict(
+    gpu_failure_rate_per_hour=0.01,
+    node_failure_rate_per_hour=0.002,
+    repair_time_s=2.0 * 3600.0,
+    restart_penalty_s=450.0,
+)
+SCENARIOS = {
+    "drift": DynamicsConfig(drift=DRIFT),
+    "failures": DynamicsConfig(**FAILURES),
+    "drift+drain": DynamicsConfig(
+        drift=DRIFT,
+        drains=(DrainWindow(start_s=4500.0, duration_s=6000.0, nodes=(0, 1)),),
+        restart_penalty_s=450.0,
+    ),
+    "everything": DynamicsConfig(
+        drift=DRIFT,
+        drains=(DrainWindow(start_s=4500.0, duration_s=6000.0, nodes=(0,)),),
+        **FAILURES,
+    ),
+}
+
+
+def _profile(n=16):
+    return synthesize_profile("longhorn", seed=0).sample(
+        n, rng=stream(0, "dyn-eq/sample")
+    )
+
+
+def _sparse_trace(seed, n_jobs=6, epoch_s=300.0):
+    rng = np.random.default_rng(seed)
+    specs = []
+    t = 0.0
+    for i in range(n_jobs):
+        t += float(rng.integers(0, 60)) * epoch_s
+        specs.append(
+            JobSpec(
+                job_id=i,
+                arrival_time_s=t,
+                demand=int(rng.integers(1, 6)),
+                model="resnet50",
+                class_id=int(rng.integers(0, 3)),
+                iteration_time_s=0.25,
+                total_iterations=int(rng.integers(2000, 40 * 1200)),
+            )
+        )
+    return Trace(name=f"dyn-eq-{seed}", jobs=tuple(specs))
+
+
+def _simulate(trace, dynamics, *, fast_forward, scheduler="las",
+              placement="pal", seed=0):
+    sim = ClusterSimulator(
+        topology=ClusterTopology.from_gpu_count(16),
+        true_profile=_profile(),
+        scheduler=make_scheduler(scheduler),
+        placement=make_placement(placement),
+        locality=LocalityModel(across_node=1.5),
+        config=SimulatorConfig(
+            fast_forward=fast_forward, record_events=True,
+            validate_invariants=True, dynamics=dynamics,
+        ),
+        seed=seed,
+    )
+    return sim.run(trace)
+
+
+def _assert_equivalent(trace, dynamics, **kwargs):
+    naive = _simulate(trace, dynamics, fast_forward=False, **kwargs)
+    fast = _simulate(trace, dynamics, fast_forward=True, **kwargs)
+    assert naive.same_outcome_as(fast) == []
+    return naive, fast
+
+
+class TestScenarioEquivalence:
+    @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+    @pytest.mark.parametrize("scheduler", ("fifo", "las", "srtf"))
+    def test_bit_identical_across_engines(self, scenario, scheduler):
+        trace = _sparse_trace(seed=11)
+        naive, fast = _assert_equivalent(
+            trace, SCENARIOS[scenario], scheduler=scheduler
+        )
+        fast.events.validate()
+        # Identical event *streams* in particular means every dynamics
+        # event fired on the same round in both engines.
+        assert naive.metadata["dynamics"] == fast.metadata["dynamics"]
+
+    def test_jump_still_fires_between_events(self):
+        """Sparse trace + sparse dynamics: most rounds are still skipped
+        (0.0 placement wall-clock), yet outputs stay bit-identical."""
+        trace = _sparse_trace(seed=3, n_jobs=5)
+        dyn = DynamicsConfig(drift=DriftSpec(kind="ou", interval_epochs=50))
+        naive, fast = _assert_equivalent(trace, dyn, scheduler="fifo")
+        skipped = np.count_nonzero(fast.placement_times_s == 0.0)
+        assert skipped > 0.5 * len(fast.placement_times_s)
+        assert fast.metadata["dynamics"]["drift_events"] > 0
+
+    def test_full_drain_stall_is_equivalent(self):
+        """Capacity 0 stretches (queued jobs, nothing placeable) must
+        fast-forward identically to the naive loop."""
+        trace = _sparse_trace(seed=7, n_jobs=4)
+        dyn = DynamicsConfig(
+            drains=(
+                DrainWindow(start_s=1500.0, duration_s=9000.0, nodes=(0, 1, 2, 3)),
+            ),
+            restart_penalty_s=450.0,
+        )
+        naive, fast = _assert_equivalent(trace, dyn, scheduler="fifo")
+        assert naive.metadata["dynamics"]["min_capacity"] == 0
+
+
+class TestEquivalenceProperty:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        scheduler=st.sampled_from(("fifo", "las", "srtf")),
+        placement=st.sampled_from(
+            ("tiresias", "gandiva", "pm-first", "pal", "random-sticky")
+        ),
+        scenario=st.sampled_from(sorted(SCENARIOS)),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_random_dynamic_cells_bit_identical(
+        self, seed, scheduler, placement, scenario
+    ):
+        trace = _sparse_trace(seed=seed)
+        _assert_equivalent(
+            trace, SCENARIOS[scenario], scheduler=scheduler,
+            placement=placement, seed=seed,
+        )

@@ -292,6 +292,147 @@ class TestElasticLASPlan:
         assert targets[0] == 8
 
 
+class TestResizeHysteresis:
+    def _run(self, min_hold_rounds, *, n_gpus=16, n_jobs=48):
+        trace = generate_synergy_trace(8.0, n_jobs=n_jobs,
+                                       elastic_fraction=0.6, seed=5)
+        # Synergy demands reach 8; keep them placeable on the small grid.
+        trace = Trace(
+            trace.name,
+            tuple(
+                JobSpec(
+                    j.job_id, j.arrival_time_s, min(j.demand, 4), j.model,
+                    j.class_id, j.iteration_time_s, j.total_iterations,
+                    min_demand=None if j.min_demand is None
+                    else min(j.min_demand, 4),
+                    max_demand=None if j.max_demand is None
+                    else min(j.max_demand, 8),
+                )
+                for j in trace
+            ),
+        )
+        sim = ClusterSimulator(
+            topology=ClusterTopology.from_gpu_count(n_gpus),
+            true_profile=flat_profile(n_gpus),
+            scheduler=make_scheduler(
+                "elastic-las", min_hold_rounds=min_hold_rounds
+            ),
+            placement=make_placement("tiresias"),
+            locality=LocalityModel(across_node=1.5),
+            config=SimulatorConfig(validate_invariants=True),
+        )
+        return sim.run(trace)
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            ElasticLASScheduler(min_hold_rounds=0)
+        assert ElasticLASScheduler().min_hold_rounds == 1
+
+    def test_hold_rounds_cut_resizes_without_hurting_jct(self):
+        """The headline property: hysteresis trades a little growth
+        agility for far fewer width changes, with JCT within tolerance
+        of the memoryless plan."""
+        base = self._run(min_hold_rounds=1)
+        held = self._run(min_hold_rounds=6)
+        assert held.total_resizes < base.total_resizes
+        assert held.total_resizes < 0.8 * base.total_resizes
+        assert held.avg_jct_s() == pytest.approx(base.avg_jct_s(), rel=0.15)
+
+    def test_default_hold_is_memoryless_plan(self):
+        """min_hold_rounds=1 keeps the hold machinery fully inert: no
+        hold state accumulates, and every plan equals the fresh
+        (first-call) plan a holding scheduler would compute from the
+        same queue."""
+        memoryless = ElasticLASScheduler(min_hold_rounds=1)
+        jobs = [
+            SimJob(JobSpec(i, 0.0, 2, "resnet50", 0, 1.0, 10**6,
+                           min_demand=1, max_demand=6))
+            for i in range(3)
+        ]
+        for round_idx in range(5):
+            ordered = memoryless.order(jobs, round_idx * 300.0)
+            plan = memoryless.plan_demands(ordered, 8)
+            # A holding scheduler's *fresh* plan (no prior state) from
+            # the identical queue must coincide.
+            fresh = ElasticLASScheduler(min_hold_rounds=9)
+            assert plan == fresh.plan_demands(ordered, 8)
+            assert memoryless._hold == {}
+            for j in jobs:
+                j.resize_to(plan[1][j.job_id])
+                j.attained_service_gpu_s = (
+                    j.attained_service_gpu_s + j.demand * 300.0
+                )
+
+    def test_engine_resets_hold_state_between_runs(self):
+        """Reusing one scheduler instance across runs is deterministic:
+        the engine drops leftover hold counters at run start."""
+        trace = generate_synergy_trace(8.0, n_jobs=24, elastic_fraction=0.6,
+                                       seed=5)
+        sched = make_scheduler("elastic-las", min_hold_rounds=6)
+        results = []
+        for _ in range(2):
+            sim = ClusterSimulator(
+                topology=ClusterTopology.from_gpu_count(16),
+                true_profile=flat_profile(16),
+                scheduler=sched,
+                placement=make_placement("tiresias"),
+                locality=LocalityModel(across_node=1.5),
+                config=SimulatorConfig(validate_invariants=True),
+            )
+            results.append(sim.run(trace))
+        assert results[0].same_outcome_as(results[1]) == []
+        # Departed jobs are purged from the hold map on the next plan.
+        sched.plan_demands([], 16)
+        assert sched._hold == {}
+
+    def test_held_jobs_still_shrink_for_capacity(self):
+        """Hysteresis must never weaken the capacity contract: a job
+        holding a grown width still yields down to its floor the moment
+        new arrivals change the marked set."""
+        sched = ElasticLASScheduler(min_hold_rounds=10)
+        wide = SimJob(JobSpec(0, 0.0, 4, "resnet50", 0, 1.0, 10**6,
+                              min_demand=2, max_demand=8))
+        # Round 1: alone, grows to the full cluster and starts a hold.
+        n_marked, targets = sched.plan_demands([wide], 8)
+        assert targets[0] == 8
+        wide.resize_to(targets[0])
+        # Round 2: hold window active -> the plan is a fixed point.
+        n_marked, targets = sched.plan_demands([wide], 8)
+        assert targets[0] == 8
+        # Round 3: rivals arrive mid-hold -> fresh plan from floors.
+        rivals = [
+            SimJob(JobSpec(i, 300.0, 2, "resnet50", 0, 1.0, 10**6))
+            for i in (1, 2, 3)
+        ]
+        n_marked, targets = sched.plan_demands([wide, *rivals], 8)
+        assert n_marked == 4
+        assert targets[0] == 2  # shrunk to floor despite the hold
+
+    def test_hold_window_paces_slack_handoff(self):
+        """With two elastic jobs contending for slack, the hand-off to
+        the least-attained job happens at most once per hold window."""
+        sched = ElasticLASScheduler(min_hold_rounds=4)
+        a = SimJob(JobSpec(0, 0.0, 2, "resnet50", 0, 1.0, 10**9,
+                           min_demand=1, max_demand=8))
+        b = SimJob(JobSpec(1, 0.0, 2, "resnet50", 0, 1.0, 10**9,
+                           min_demand=1, max_demand=8))
+        resizes = 0
+        for round_idx in range(12):
+            ordered = sched.order([a, b], round_idx * 300.0)
+            _, targets = sched.plan_demands(ordered, 8)
+            for j in (a, b):
+                if targets[j.job_id] != j.demand:
+                    resizes += 1
+                    j.resize_to(targets[j.job_id])
+                # Accrue service at the applied width; the wide job
+                # overtakes immediately, so the memoryless plan would
+                # hand the slack off (2 resizes) nearly every round.
+                j.attained_service_gpu_s = (
+                    j.attained_service_gpu_s + j.demand * 300.0
+                )
+        assert resizes <= 2 * (12 // 4 + 1)
+
+
 class TestElasticTraceLayer:
     def test_jobspec_validation(self):
         with pytest.raises(TraceError):

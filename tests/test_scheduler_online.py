@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.cluster.topology import ClusterTopology, LocalityModel
 from repro.core.pm_score import PMScoreTable
@@ -149,3 +151,72 @@ class TestSimulatorIntegration:
         b = self._run(table, online=True)
         # Correct beliefs: observations confirm them; JCTs match closely.
         assert b.avg_jct_s() == pytest.approx(a.avg_jct_s(), rel=0.05)
+
+
+class TestOnlineUnderDrift:
+    """Online PM updates chasing a drifting truth (repro.dynamics).
+
+    The paper's Sec. V-A motivation for online updates is exactly this
+    situation: the cluster's true variability moved after profiling.
+    These property tests drive the estimator with observations drawn
+    from a :class:`repro.dynamics.drift.StepDrift`-mutated truth and
+    require re-convergence.
+    """
+
+    def _table(self, n=16, seed=0):
+        rng = np.random.default_rng(seed)
+        scores = 1.0 + rng.random((3, n))
+        profile = VariabilityProfile("drift-t", ("A", "B", "C"), scores)
+        return profile, PMScoreTable.fit(profile, seed=0)
+
+    @given(
+        magnitude=st.floats(min_value=0.2, max_value=1.5),
+        fraction=st.floats(min_value=0.1, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_beliefs_reconverge_after_step_drift(self, magnitude, fraction, seed):
+        """After a step change of the truth, repeated per-GPU
+        observations pull the believed table back within tolerance of
+        the drifted truth — for every class and GPU."""
+        from repro.dynamics import StepDrift
+        from repro.utils.rng import stream
+
+        profile, table = self._table(seed=seed)
+        online = OnlinePMScoreTable(
+            table, OnlineUpdateConfig(alpha=0.5, alpha_exact=0.8)
+        )
+        truth = profile.scores.copy()
+        StepDrift(magnitude=magnitude, fraction=fraction, min_score=0.05).apply(
+            truth, stream(seed, "online-drift")
+        )
+        for _ in range(12):
+            for ci in range(3):
+                for g in range(truth.shape[1]):
+                    online.observe(ci, np.array([g]), float(truth[ci, g]))
+        for ci in range(3):
+            assert online.max_abs_error(truth[ci], ci) < 1e-3
+
+    @given(
+        magnitude=st.floats(min_value=0.2, max_value=1.5),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_single_gpu_observation_pins_drifted_score_exactly(
+        self, magnitude, seed
+    ):
+        """With alpha_exact=1.0 a single-GPU observation is a noiseless
+        measurement: one post-drift observation pins the drifted score
+        bit-exactly."""
+        from repro.dynamics import StepDrift
+        from repro.utils.rng import stream
+
+        profile, table = self._table(seed=seed)
+        online = OnlinePMScoreTable(table, OnlineUpdateConfig(alpha_exact=1.0))
+        truth = profile.scores.copy()
+        StepDrift(magnitude=magnitude, fraction=0.5, min_score=0.05).apply(
+            truth, stream(seed, "online-drift-pin")
+        )
+        for g in range(truth.shape[1]):
+            online.observe(0, np.array([g]), float(truth[0, g]))
+        np.testing.assert_array_equal(online.binned_scores(0), truth[0])
