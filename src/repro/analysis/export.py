@@ -7,7 +7,10 @@ compact JSON summary (the metrics the paper reports plus run metadata),
 both round-trippable for plotting or cross-run comparison outside
 Python.  For time-varying runs (:mod:`repro.dynamics`),
 :func:`dynamics_timeline_csv` flattens the availability timeline and
-the cluster-scoped event stream into one chronological table.
+the cluster-scoped event stream into one chronological table; for
+belief-maintained runs (:mod:`repro.profiling`),
+:func:`belief_timeline_csv` flattens the believed-vs-true error
+timeline the campaigns produced.
 """
 
 from __future__ import annotations
@@ -26,6 +29,7 @@ __all__ = [
     "result_to_json",
     "results_to_comparison_csv",
     "dynamics_timeline_csv",
+    "belief_timeline_csv",
 ]
 
 _JOB_FIELDS = (
@@ -127,6 +131,56 @@ def dynamics_timeline_csv(
                 e.detail.get("cause", e.type.value),
                 len(e.detail.get("gpus", ())),
                 e.detail.get("capacity", result.cluster_size),
+            ]
+        )
+    text = buf.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def belief_timeline_csv(
+    result: SimulationResult, path: str | Path | None = None
+) -> str:
+    """Chronological table of a belief-maintained run's error timeline.
+
+    One row per belief transition — the initial t=0 profile, each
+    campaign open (``periodic`` / ``trigger``), each measurement-batch
+    commit, each oracle ``sync`` — with the mean/max relative
+    believed-vs-true score error right after it and the cumulative
+    GPU-epochs spent measuring.  This is the flat form of the
+    ``metadata["profiling"]["belief_timeline"]`` samples, ready for
+    plotting belief error against profiling spend over time.  Requires
+    a run with ``SimulatorConfig.profiling`` set (and a PM-Score-
+    consuming placement).
+    """
+    pmeta = result.metadata.get("profiling")
+    if pmeta is None:
+        raise ConfigurationError(
+            "result has no profiling metadata — was SimulatorConfig."
+            "profiling set (with a variability-aware placement)?"
+        )
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(
+        [
+            "epoch",
+            "time_s",
+            "event",
+            "mean_abs_rel_error",
+            "max_abs_rel_error",
+            "gpu_epochs_spent",
+        ]
+    )
+    for epoch, kind, mean_err, max_err, spent in pmeta["belief_timeline"]:
+        writer.writerow(
+            [
+                epoch,
+                f"{epoch * result.epoch_s:g}",
+                kind,
+                f"{mean_err:.6g}",
+                f"{max_err:.6g}",
+                spent,
             ]
         )
     text = buf.getvalue()

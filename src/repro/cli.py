@@ -16,11 +16,15 @@ Commands
     metric summary — the building block for custom studies.  The
     cluster-dynamics flags (``--gpu-mtbf-hours``, ``--drift-sigma``,
     ``--drain`` ...; shared with ``sweep``) make the simulated cluster
-    time-varying (see ``repro.dynamics``)::
+    time-varying (see ``repro.dynamics``), and the re-profiling flags
+    (``--reprofile-every-hours``, ``--reprofile-trigger-sigma``; also
+    shared) maintain the believed PM-Scores with GPU-costed measurement
+    campaigns (see ``repro.profiling``)::
 
         pal-repro simulate --trace synergy --rate 10 --jobs 400 \\
             --scheduler las --placement pal \\
-            --gpu-mtbf-hours 500 --drift-sigma 0.05 --drain 12:8:0-7
+            --gpu-mtbf-hours 500 --drift-sigma 0.05 --drain 12:8:0-7 \\
+            --reprofile-every-hours 12
 ``sweep``
     Run an ad-hoc (traces x schedulers x placements x seeds) grid
     through the parallel sweep runner, optionally with a process-pool
@@ -46,6 +50,7 @@ from pathlib import Path
 from .analysis.reporting import format_kv
 from .cluster.topology import ClusterTopology, LocalityModel
 from .dynamics import DrainWindow, DriftSpec, DynamicsConfig
+from .profiling import ProfilingConfig
 from .experiments import EXPERIMENTS, run_experiment
 from .runner import EXECUTOR_NAMES, EnvSpec, SweepSpec, TraceSpec, run_sweep
 from .scheduler.placement import ALL_POLICY_NAMES, make_placement
@@ -203,6 +208,19 @@ def _add_dynamics_args(parser: argparse.ArgumentParser) -> None:
         help="scheduled maintenance drain, e.g. 12:8:0-7 "
         "(start hour, duration hours, node range; repeatable)",
     )
+    p = parser.add_argument_group("online re-profiling (repro.profiling)")
+    p.add_argument(
+        "--reprofile-every-hours", type=float, default=0.0,
+        help="periodic re-profiling campaigns every K hours: measurement "
+        "batches occupy GPUs and refresh the believed PM-Scores "
+        "(0 = beliefs stay frozen at the t=0 profile)",
+    )
+    p.add_argument(
+        "--reprofile-trigger-sigma", type=float, default=0.0,
+        help="start a campaign when a job's observed iteration time "
+        "contradicts the believed score of its allocation by this "
+        "relative residual (0 = trigger disabled)",
+    )
 
 
 def _parse_drain(text: str) -> DrainWindow:
@@ -246,6 +264,27 @@ def _dynamics_from_args(args: argparse.Namespace) -> DynamicsConfig | None:
         restart_penalty_s=args.restart_penalty_s,
         drains=drains,
     )
+
+
+def _profiling_from_args(args: argparse.Namespace) -> ProfilingConfig | None:
+    """Build the re-profiling recipe from CLI flags (None when off)."""
+    if not (args.reprofile_every_hours or args.reprofile_trigger_sigma):
+        return None
+    return ProfilingConfig(
+        period_hours=args.reprofile_every_hours,
+        trigger_sigma=args.reprofile_trigger_sigma,
+    )
+
+
+def _simulator_config(args: argparse.Namespace) -> SimulatorConfig | None:
+    """The simulate/sweep config from the dynamics + profiling flag
+    groups (None when everything is off — keeps digests of plain cells
+    identical to a build without these subsystems)."""
+    dynamics = _dynamics_from_args(args)
+    profiling = _profiling_from_args(args)
+    if dynamics is None and profiling is None:
+        return None
+    return SimulatorConfig(dynamics=dynamics, profiling=profiling)
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -316,16 +355,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             elastic_fraction=args.elastic_fraction or None,
             seed=args.seed,
         )
-    dynamics = _dynamics_from_args(args)
     sim = ClusterSimulator(
         topology=topo,
         true_profile=profile,
         scheduler=make_scheduler(args.scheduler),
         placement=make_placement(args.placement),
         locality=LocalityModel(across_node=args.locality),
-        config=(
-            None if dynamics is None else SimulatorConfig(dynamics=dynamics)
-        ),
+        config=_simulator_config(args),
         seed=args.seed,
     )
     res = sim.run(trace)
@@ -337,6 +373,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         summary["node_failures"] = float(dmeta["node_failures"])
         summary["drift_events"] = float(dmeta["drift_events"])
         summary["min_capacity"] = float(dmeta["min_capacity"])
+    pmeta = res.metadata.get("profiling")
+    if pmeta is not None:
+        summary["reprofile_campaigns"] = float(pmeta["campaigns"])
+        summary["reprofile_gpu_epochs"] = float(pmeta["gpu_epochs_spent"])
+        summary["reprofile_evictions"] = float(pmeta["profile_evictions"])
+        summary["belief_err"] = float(pmeta["final_mean_abs_rel_error"])
     print(
         format_kv(
             summary,
@@ -392,7 +434,6 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         raise ConfigurationError(
             f"--seeds must be a comma list of integers, got {args.seeds!r}"
         ) from None
-    dynamics = _dynamics_from_args(args)
     spec = SweepSpec(
         traces=_parse_trace_specs(args.traces, args.jobs),
         schedulers=tuple(s.strip() for s in args.schedulers.split(",") if s.strip()),
@@ -404,7 +445,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             locality=args.locality,
             use_per_model_locality=args.locality is None,
         ),
-        config=None if dynamics is None else SimulatorConfig(dynamics=dynamics),
+        config=_simulator_config(args),
     )
     result = run_sweep(
         spec,

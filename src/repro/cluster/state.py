@@ -17,12 +17,15 @@ With no dynamics in play every GPU is available and the flag is inert.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
 
 from ..utils.errors import AllocationError, ConfigurationError
 from .topology import ClusterTopology
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..profiling.ledger import BeliefLedger
 
 __all__ = ["ClusterState"]
 
@@ -41,6 +44,13 @@ class ClusterState:
         # must not re-reduce the boolean mask each time.
         self._n_free = topology.n_gpus
         self._n_unavailable = 0
+        #: The run's believed-score store (:mod:`repro.profiling`),
+        #: attached by the engine when re-profiling campaigns are
+        #: enabled so anything holding the cluster state — stages,
+        #: placement policies, diagnostics — can reach the live beliefs
+        #: alongside the allocation/availability ledgers.  None on
+        #: static-belief runs.
+        self.beliefs: "BeliefLedger | None" = None
 
     # ------------------------------------------------------------------
     # Queries

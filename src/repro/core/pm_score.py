@@ -19,6 +19,7 @@ and is the object placement policies consult at scheduling time.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
@@ -27,7 +28,46 @@ from ..utils.kmeans import kmeans, select_k_by_silhouette
 from ..utils.rng import stable_hash64
 from ..variability.profiles import VariabilityProfile
 
-__all__ = ["ClassBinning", "PMScoreTable", "fit_class_binning"]
+__all__ = [
+    "ClassBinning",
+    "ScoreTableView",
+    "PMScoreTable",
+    "fit_class_binning",
+]
+
+
+@runtime_checkable
+class ScoreTableView(Protocol):
+    """The read interface every believed-score provider implements.
+
+    Placement policies (PAL's ``ComputePMscore`` lookup and L x V
+    traversal, PM-First's score sort) consult believed scores only
+    through these members, so any provider can stand in for the static
+    table: :class:`PMScoreTable` (the frozen t=0 fit),
+    :class:`repro.scheduler.online.OnlinePMScoreTable` (EWMA-folded
+    observations), and :class:`repro.profiling.BeliefLedger` (campaign
+    measurements with age/confidence tracking) all satisfy it.
+
+    Contract: ``binned_scores``/``centroids`` return read-only
+    ``(n_gpus,)`` / ascending ``(n_bins,)`` arrays, and the final
+    centroid always dominates every believed score of its class so a
+    traversal's last column covers the whole cluster.
+    """
+
+    @property
+    def n_classes(self) -> int: ...
+
+    @property
+    def n_gpus(self) -> int: ...
+
+    @property
+    def profile(self) -> VariabilityProfile: ...
+
+    def binned_scores(self, class_id: int | str) -> np.ndarray: ...
+
+    def centroids(self, class_id: int | str) -> np.ndarray: ...
+
+    def binning(self, class_id: int | str) -> "ClassBinning": ...
 
 
 @dataclass(frozen=True)

@@ -19,12 +19,13 @@ with the default ``dynamics=None`` the engine pipeline, outputs, and
 golden metrics are untouched.  See README "Dynamic clusters".
 """
 
-from .config import DrainWindow, DriftSpec, DynamicsConfig
+from .config import REPAIR_DISTRIBUTIONS, DrainWindow, DriftSpec, DynamicsConfig
 from .drift import DriftModel, OUDrift, StepDrift, make_drift
 from .process import ClusterEvent, DynamicsProcess
 from .stage import DynamicsStage
 
 __all__ = [
+    "REPAIR_DISTRIBUTIONS",
     "DrainWindow",
     "DriftSpec",
     "DynamicsConfig",

@@ -28,9 +28,21 @@ from dataclasses import dataclass
 
 from ..utils.errors import ConfigurationError
 
-__all__ = ["DriftSpec", "DrainWindow", "DynamicsConfig"]
+__all__ = ["DriftSpec", "DrainWindow", "DynamicsConfig", "REPAIR_DISTRIBUTIONS"]
 
 _DRIFT_KINDS = ("ou", "steps")
+
+#: Default floor below which true scores never drift or resample —
+#: :class:`DriftSpec.min_score`'s default, shared with the
+#: failure-correlated resampler so drift-less runs use the same floor.
+DEFAULT_MIN_SCORE = 0.05
+
+#: Supported repair-time distributions.  All are parameterized to keep
+#: the *mean* outage at ``repair_time_s``: ``fixed`` is deterministic,
+#: ``exponential`` is memoryless, ``weibull`` (shape ``repair_shape``)
+#: models wear-in/wear-out repair queues, ``lognormal`` (log-sigma
+#: ``repair_shape``) models heavy-tailed manual interventions.
+REPAIR_DISTRIBUTIONS = ("fixed", "exponential", "weibull", "lognormal")
 
 
 @dataclass(frozen=True)
@@ -59,7 +71,7 @@ class DriftSpec:
     step_fraction: float = 0.125
     #: Scores never drift below this floor (mirrors the online
     #: estimator's ``min_score`` guard).
-    min_score: float = 0.05
+    min_score: float = DEFAULT_MIN_SCORE
 
     def __post_init__(self) -> None:
         if self.kind not in _DRIFT_KINDS:
@@ -118,18 +130,30 @@ class DynamicsConfig:
 
     ``gpu_failure_rate_per_hour`` / ``node_failure_rate_per_hour`` are
     *per-unit* Poisson hazards (a 1000-hour MTBF is a rate of 0.001).
-    ``repair_time_s`` is the deterministic outage length of a failure.
+    ``repair_time_s`` is the *mean* outage length of a failure;
+    ``repair_distribution`` shapes the outage around that mean (see
+    :data:`REPAIR_DISTRIBUTIONS` — the default ``"fixed"`` keeps the
+    historical deterministic behaviour bit-identically), with
+    ``repair_shape`` the Weibull shape / lognormal log-sigma.
     ``restart_penalty_s`` is the work lost by an evicted job — it
     resumes from its last implicit checkpoint, modelled as rolling back
     that many seconds of progress at the iteration rate it was running
-    at.  ``seed_salt`` decorrelates the dynamics streams from the cell
-    seed without changing it.
+    at.  ``repair_resample_sigma`` makes drift *failure-correlated*: a
+    GPU returning to service (from a repair or a maintenance drain —
+    exactly when hardware gets swapped or re-seated) comes back with
+    freshly sampled true scores, lognormal around its anchor with this
+    log-sigma, so its believed score means nothing until re-profiled.
+    ``seed_salt`` decorrelates the dynamics streams from the cell seed
+    without changing it.
     """
 
     drift: DriftSpec | None = None
     gpu_failure_rate_per_hour: float = 0.0
     node_failure_rate_per_hour: float = 0.0
     repair_time_s: float = 4.0 * 3600.0
+    repair_distribution: str = "fixed"
+    repair_shape: float = 2.0
+    repair_resample_sigma: float = 0.0
     restart_penalty_s: float = 300.0
     drains: tuple[DrainWindow, ...] = ()
     seed_salt: int = 0
@@ -141,6 +165,21 @@ class DynamicsConfig:
             raise ConfigurationError("node_failure_rate_per_hour must be >= 0")
         if self.repair_time_s <= 0.0:
             raise ConfigurationError("repair_time_s must be positive")
+        if self.repair_distribution not in REPAIR_DISTRIBUTIONS:
+            raise ConfigurationError(
+                f"unknown repair_distribution {self.repair_distribution!r}; "
+                f"known: {REPAIR_DISTRIBUTIONS}"
+            )
+        if (
+            self.repair_distribution in ("weibull", "lognormal")
+            and self.repair_shape <= 0.0
+        ):
+            raise ConfigurationError(
+                f"repair_shape must be positive for "
+                f"{self.repair_distribution} repairs"
+            )
+        if self.repair_resample_sigma < 0.0:
+            raise ConfigurationError("repair_resample_sigma must be >= 0")
         if self.restart_penalty_s < 0.0:
             raise ConfigurationError("restart_penalty_s must be >= 0")
 

@@ -30,7 +30,7 @@ from ..cluster.topology import ClusterTopology
 from ..scheduler.events import EventType
 from ..utils.errors import ConfigurationError
 from ..utils.rng import stream
-from .config import DynamicsConfig
+from .config import DEFAULT_MIN_SCORE, DynamicsConfig
 from .drift import DriftModel, make_drift
 
 __all__ = ["ClusterEvent", "DynamicsProcess"]
@@ -74,7 +74,15 @@ class DynamicsProcess:
         self._gpu_rng = stream(salt, f"dynamics/gpu-failures/{scope}")
         self._node_rng = stream(salt, f"dynamics/node-failures/{scope}")
         self._drift_rng = stream(salt, f"dynamics/drift/{scope}")
+        self._repair_rng = stream(salt, f"dynamics/repair-times/{scope}")
+        self._resample_rng = stream(salt, f"dynamics/repair-resample/{scope}")
         self.drift_model: DriftModel | None = None
+        #: Anchor for failure-correlated score resampling (set by
+        #: :meth:`attach_scores` when the knob is on).
+        self._anchor: np.ndarray | None = None
+        #: Bumped whenever the *true* score table mutates (drift events,
+        #: repair resampling) — oracle-belief profiling syncs on it.
+        self.truth_version = 0
         self._down: set[int] = set()
         #: gpu -> time its current outage(s) end.  Overlapping outages
         #: extend this (a node failing mid-drain keeps its GPUs down
@@ -94,6 +102,7 @@ class DynamicsProcess:
         self.n_drains = 0
         self.n_drift_events = 0
         self.n_evictions = 0
+        self.n_repair_resamples = 0
         self.capacity_timeline: list[tuple[int, int]] = [(0, topology.n_gpus)]
         self._seed_initial_events()
 
@@ -200,6 +209,35 @@ class DynamicsProcess:
                 out.append(resolved)
         return out
 
+    def _repair_duration(self) -> float:
+        """One outage length, mean ``repair_time_s`` (see
+        :data:`~repro.dynamics.config.REPAIR_DISTRIBUTIONS`).
+
+        Drawn at FAIL *resolution* time — before the overlap check, so
+        the stream advances identically whether or not the failure fully
+        overlaps an existing outage — keeping the realized timeline a
+        pure function of (config, topology, seed) regardless of round
+        batching.  ``fixed`` draws nothing, so default-config timelines
+        are bit-identical to builds without repair distributions.
+        """
+        cfg = self.config
+        mean = cfg.repair_time_s
+        dist = cfg.repair_distribution
+        if dist == "fixed":
+            return mean
+        if dist == "exponential":
+            return float(self._repair_rng.exponential(mean))
+        if dist == "weibull":
+            k = cfg.repair_shape
+            return float(
+                mean * self._repair_rng.weibull(k) / math.gamma(1.0 + 1.0 / k)
+            )
+        # lognormal, mean-preserving: E[exp(N(0, s) - s^2/2)] = 1.
+        s = cfg.repair_shape
+        return float(
+            mean * math.exp(self._repair_rng.normal(0.0, s) - 0.5 * s * s)
+        )
+
     def _resolve(self, time_s: float, kind: EventType, gpus: tuple[int, ...],
                  cause: str, payload: float) -> ClusterEvent | None:
         if kind is EventType.FAIL:
@@ -207,13 +245,11 @@ class DynamicsProcess:
                 self._push_next_gpu_failure(time_s)
             else:
                 self._push_next_node_failure(time_s)
-            taken = self._take(gpus, time_s + self.config.repair_time_s)
+            repair_s = self._repair_duration()
+            taken = self._take(gpus, time_s + repair_s)
             if not taken:
                 return None  # fully overlapped an existing outage
-            self._push(
-                time_s + self.config.repair_time_s, EventType.REPAIR, taken,
-                cause,
-            )
+            self._push(time_s + repair_s, EventType.REPAIR, taken, cause)
             if cause == "gpu":
                 self.n_gpu_failures += 1
             else:
@@ -263,16 +299,55 @@ class DynamicsProcess:
     # Drift + bookkeeping (stage-facing)
     # ------------------------------------------------------------------
     def attach_scores(self, scores: np.ndarray) -> None:
-        """Anchor the drift model on the run's initial true scores."""
+        """Anchor the drift model (and the failure-correlated resampler)
+        on the run's initial true scores."""
         if self.config.drift is not None:
             self.drift_model = make_drift(self.config.drift, scores)
+        if self.config.repair_resample_sigma > 0.0:
+            self._anchor = scores.copy()
 
     def apply_drift(self, scores: np.ndarray) -> float:
         """Advance the true-score table by one drift event (in place)."""
         if self.drift_model is None:  # pragma: no cover - stage gates on DRIFT
             raise ConfigurationError("apply_drift without a drift model")
         self.n_drift_events += 1
+        self.truth_version += 1
         return self.drift_model.apply(scores, self._drift_rng)
+
+    def resample_on_repair(self, gpus: tuple[int, ...],
+                           scores: np.ndarray) -> float:
+        """Failure-correlated drift: a repaired GPU returns with freshly
+        sampled true scores (the board was swapped / re-seated).
+
+        Each repaired GPU's per-class scores are redrawn lognormally
+        around its *anchor* (the t=0 truth), all classes moving with
+        independent draws, floored like the drift models.  Mutates
+        ``scores`` in place and returns the largest relative change
+        (0.0 when the knob is off — no RNG is consumed then, keeping
+        default-config timelines bit-identical).
+        """
+        sigma = self.config.repair_resample_sigma
+        if sigma <= 0.0:
+            return 0.0
+        if self._anchor is None:
+            raise ConfigurationError(
+                "resample_on_repair before attach_scores anchored the truth"
+            )
+        ids = np.asarray(gpus, dtype=np.int64)
+        before = scores[:, ids].copy()
+        drawn = self._anchor[:, ids] * np.exp(
+            self._resample_rng.normal(0.0, sigma, size=(scores.shape[0], ids.size))
+        )
+        floor = (
+            self.config.drift.min_score
+            if self.config.drift is not None
+            else DEFAULT_MIN_SCORE
+        )
+        scores[:, ids] = np.maximum(drawn, floor)
+        self.n_repair_resamples += len(gpus)
+        self.truth_version += 1
+        after = scores[:, ids]
+        return float(np.max(np.abs(after - before) / before))
 
     def record_capacity(self, epoch_idx: int, capacity: int) -> None:
         """Append a capacity transition (coalescing same-epoch changes)."""
@@ -293,6 +368,7 @@ class DynamicsProcess:
             "drains": self.n_drains,
             "drift_events": self.n_drift_events,
             "evictions": self.n_evictions,
+            "repair_resamples": self.n_repair_resamples,
             "min_capacity": min(c for _, c in self.capacity_timeline),
             "capacity_timeline": tuple(self.capacity_timeline),
         }

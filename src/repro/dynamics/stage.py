@@ -27,9 +27,8 @@ and capacity transitions feed the result metadata's timeline.
 from __future__ import annotations
 
 from ..scheduler.engine.context import RoundContext, StageOutcome
-from ..scheduler.engine.stages import RoundStage
+from ..scheduler.engine.stages import RoundStage, checkpoint_evict, jobs_holding
 from ..scheduler.events import CLUSTER_JOB_ID, EventType
-from ..scheduler.jobs import JobState, SimJob
 from ..utils.errors import SimulationError
 from .process import ClusterEvent, DynamicsProcess
 
@@ -57,16 +56,23 @@ class DynamicsStage(RoundStage):
     # ------------------------------------------------------------------
     def _take_down(self, ctx: RoundContext, proc: DynamicsProcess,
                    ev: ClusterEvent) -> None:
-        victims: list[SimJob] = []
-        seen: set[int] = set()
-        for g in ev.gpus:
-            owner = ctx.cluster.owner_of(g)
-            if owner is not None and owner not in seen:
-                seen.add(owner)
-                victims.append(next(j for j in ctx.active if j.job_id == owner))
-        for job in victims:
-            self._evict(ctx, proc, job, ev.cause)
-        ctx.cluster.mark_unavailable(ev.gpus)
+        for job in jobs_holding(ctx, ev.gpus):
+            checkpoint_evict(
+                ctx, job, penalty_s=proc.config.restart_penalty_s,
+                cause=ev.cause,
+            )
+            proc.n_evictions += 1
+        to_mark = ev.gpus
+        if ctx.profiling is not None and ctx.profiling.held_gpus:
+            # GPUs mid-measurement are already out of service; the
+            # outage claims them (their measurement is discarded) and
+            # their eventual REPAIR brings them back.
+            held = tuple(g for g in ev.gpus if g in ctx.profiling.held_gpus)
+            if held:
+                ctx.profiling.abort_gpus(held, ctx.epoch_idx)
+                to_mark = tuple(g for g in ev.gpus if g not in set(held))
+        if to_mark:
+            ctx.cluster.mark_unavailable(to_mark)
         ctx.capacity = ctx.cluster.n_available
         ctx.state_dirty = True
         proc.record_capacity(ctx.epoch_idx, ctx.capacity)
@@ -77,35 +83,31 @@ class DynamicsStage(RoundStage):
                 capacity=ctx.capacity,
             )
 
-    def _evict(self, ctx: RoundContext, proc: DynamicsProcess, job: SimJob,
-               cause: str) -> None:
-        t_iter = job.cached_iter_time_s
-        ctx.cluster.release(job.job_id)
-        job.allocation = None
-        job.end_segment()  # commit service attained before the outage
-        penalty_s = proc.config.restart_penalty_s
-        if penalty_s > 0.0 and t_iter is not None:
-            # Checkpoint restart: the work done since the last implicit
-            # checkpoint is lost, at the rate the job was running at.
-            job.rollback_iterations(penalty_s / t_iter)
-        job.n_evictions += 1
-        proc.n_evictions += 1
-        job.state = JobState.QUEUED
-        if ctx.events is not None:
-            ctx.events.append(ctx.now, EventType.PREEMPT, job.job_id,
-                              cause=cause)
-
     def _bring_up(self, ctx: RoundContext, proc: DynamicsProcess,
                   ev: ClusterEvent) -> None:
         ctx.cluster.mark_available(ev.gpus)
         ctx.capacity = ctx.cluster.n_available
         ctx.state_dirty = True
         proc.record_capacity(ctx.epoch_idx, ctx.capacity)
+        # Failure-correlated drift: the repair may have swapped the
+        # silicon — resample the returning GPUs' true scores.  No open
+        # segments can reference them (they were down), so only future
+        # placements/executions see the new truth.
+        max_delta = proc.resample_on_repair(ev.gpus, ctx.true_scores)
+        if ctx.profiling is not None:
+            # The believed scores of a repaired GPU mean nothing until
+            # re-measured: flag them unknown and (if the event-triggered
+            # policy is on) queue them for a measurement batch.
+            ctx.profiling.note_repairs(ev.gpus)
         if ctx.events is not None:
-            ctx.events.append(
-                ctx.now, EventType.REPAIR, CLUSTER_JOB_ID,
+            detail: dict[str, object] = dict(
                 gpus=list(ev.gpus), cause=ev.cause, scheduled_s=ev.time_s,
                 capacity=ctx.capacity,
+            )
+            if proc.config.repair_resample_sigma > 0.0:
+                detail["max_rel_change"] = max_delta
+            ctx.events.append(
+                ctx.now, EventType.REPAIR, CLUSTER_JOB_ID, **detail
             )
 
     def _drift(self, ctx: RoundContext, proc: DynamicsProcess,

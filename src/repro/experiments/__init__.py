@@ -31,6 +31,11 @@ elastic   extension: elastic-demand jobs (Pollux-style resizing)
 dynamics  extension: time-varying clusters (repro.dynamics) —
           PAL vs PM-First vs random under variability drift,
           GPU failures, and maintenance drains
+reprofiling
+          extension: online re-profiling campaigns
+          (repro.profiling) — the Sec. V-A frequency/accuracy
+          frontier: PAL with stale, periodically refreshed,
+          drift-triggered, and oracle beliefs under drift
 ========  =====================================================
 """
 
@@ -57,6 +62,7 @@ from . import (
     hetero,
     online_updates,
     profiles,
+    reprofiling,
     testbed,
 )
 from .common import SCALES, ExperimentResult, Scale, build_environment, get_scale
@@ -91,6 +97,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "hetero": hetero.run,
     "elastic": elastic.run,
     "dynamics": dynamics.run,
+    "reprofiling": reprofiling.run,
 }
 
 

@@ -1,0 +1,36 @@
+"""Online re-profiling campaigns: belief maintenance as a workload.
+
+PAL's Sec. V-A asks how often the PM-Score table must be re-fit as the
+cluster's variability drifts — and what that costs.  This package makes
+re-profiling *scheduled work with real cost*: measurement campaigns
+occupy the very GPUs they measure, then commit fresh scores into the
+belief store every variability-aware placement reads.
+
+* :mod:`repro.profiling.config` — declarative, digest-able campaign
+  recipes (:class:`ProfilingConfig`: periodic / drift-triggered /
+  event-triggered policies, batch width, measurement cost);
+* :mod:`repro.profiling.ledger` — the mutable believed-score store
+  (:class:`BeliefLedger`: per-GPU believed score, age, confidence),
+  which also backs online PM-Score updates when both are enabled;
+* :mod:`repro.profiling.process` — campaign state + the due-epoch
+  contract that keeps fast-forward exact (:class:`ProfilingProcess`);
+* :mod:`repro.profiling.stage` — the engine pipeline stage injecting
+  measurement batches each round (:class:`ProfilingStage`).
+
+Enable per run via ``SimulatorConfig(profiling=ProfilingConfig(...))``;
+with the default ``profiling=None`` the engine pipeline, outputs, and
+golden metrics are untouched.  See README "Online re-profiling".
+"""
+
+from .config import ProfilingConfig
+from .ledger import BeliefLedger
+from .process import MeasurementBatch, ProfilingProcess
+from .stage import ProfilingStage
+
+__all__ = [
+    "ProfilingConfig",
+    "BeliefLedger",
+    "MeasurementBatch",
+    "ProfilingProcess",
+    "ProfilingStage",
+]

@@ -1,0 +1,99 @@
+"""Declarative configuration of online re-profiling campaigns.
+
+Like :mod:`repro.dynamics.config`, everything here is a frozen
+dataclass of primitives: a campaign recipe must be hashable (sweep
+grids), pickleable (process executors), ``asdict``-able (the run-spec
+content digest), and printable.  Nothing here *runs* anything; the
+runtime lives in :mod:`repro.profiling.process`.
+
+Three campaign policies can be combined freely:
+
+* **periodic** (``period_hours``) — the whole in-service cluster is
+  re-measured every K hours, the paper Sec. V-A's "periodic
+  re-profiling";
+* **drift-triggered** (``trigger_sigma``) — a full campaign starts when
+  a job's observed effective variability factor (the measurement
+  already flowing through :mod:`repro.scheduler.online`) disagrees with
+  the believed score of its allocation by more than the threshold;
+* **event-triggered** (``reprofile_on_repair``) — a GPU returning from
+  a :mod:`repro.dynamics` repair re-enters with an unknown score and is
+  queued for measurement on its own.
+
+Re-profiling is *not free*: each measured GPU is taken out of service
+for ``measure_epochs`` scheduling epochs (running jobs holding it are
+checkpoint-evicted when ``preempt_running``), at most
+``max_concurrent_gpus`` at a time — the campaign sweeps the cluster in
+batches instead of draining it.  ``oracle=True`` is the costless upper
+bound used by experiments: beliefs mirror the true scores exactly, no
+GPUs are occupied.
+
+The default :class:`ProfilingConfig` never starts a campaign on its
+own (no period, no trigger) but still reacts to repairs; the engine
+only changes behaviour at all when ``SimulatorConfig.profiling`` is
+non-None *and* the placement consumes PM-Scores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..utils.errors import ConfigurationError
+
+__all__ = ["ProfilingConfig"]
+
+
+@dataclass(frozen=True)
+class ProfilingConfig:
+    """Knobs of the belief-maintenance workload (see module docstring).
+
+    ``measurement_noise`` is the relative std-dev of multiplicative
+    lognormal noise on each committed score (a real campaign averages a
+    finite number of iterations — same knob as the offline
+    :func:`repro.variability.profiler.run_profiling_campaign`).
+    ``restart_penalty_s`` is the work a profiling-evicted job loses to
+    its checkpoint restart.  ``seed_salt`` decorrelates the measurement
+    stream from the cell seed without changing it.
+    """
+
+    #: Hours between periodic whole-cluster campaigns (0 = no periodic
+    #: campaigns).
+    period_hours: float = 0.0
+    #: Relative believed-vs-observed residual that starts a
+    #: drift-triggered campaign (0 = trigger disabled).
+    trigger_sigma: float = 0.0
+    #: Queue a repaired GPU for measurement when it returns to service.
+    reprofile_on_repair: bool = True
+    #: Scheduling epochs a GPU is held per measurement.
+    measure_epochs: int = 1
+    #: Campaign batch width: GPUs measured concurrently.
+    max_concurrent_gpus: int = 8
+    #: Lognormal noise on committed scores (0 = exact measurement).
+    measurement_noise: float = 0.0
+    #: May a campaign evict running jobs to claim their GPUs?  Without
+    #: it, a saturated cluster can starve a campaign indefinitely.
+    preempt_running: bool = True
+    #: Checkpoint-restart penalty charged to profiling-evicted jobs.
+    restart_penalty_s: float = 0.0
+    #: Beliefs mirror the true scores at zero GPU cost (experiment
+    #: upper bound); incompatible with the campaign knobs above.
+    oracle: bool = False
+    seed_salt: int = 0
+
+    def __post_init__(self) -> None:
+        if self.period_hours < 0.0:
+            raise ConfigurationError("period_hours must be >= 0")
+        if self.trigger_sigma < 0.0:
+            raise ConfigurationError("trigger_sigma must be >= 0")
+        if self.measure_epochs < 1:
+            raise ConfigurationError("measure_epochs must be >= 1")
+        if self.max_concurrent_gpus < 1:
+            raise ConfigurationError("max_concurrent_gpus must be >= 1")
+        if self.measurement_noise < 0.0:
+            raise ConfigurationError("measurement_noise must be >= 0")
+        if self.restart_penalty_s < 0.0:
+            raise ConfigurationError("restart_penalty_s must be >= 0")
+        if self.oracle and (self.period_hours > 0.0 or self.trigger_sigma > 0.0):
+            raise ConfigurationError(
+                "oracle beliefs need no campaigns; drop period_hours / "
+                "trigger_sigma"
+            )

@@ -1,0 +1,161 @@
+"""The belief ledger: what the scheduler currently *thinks* is true.
+
+:class:`BeliefLedger` is the single mutable store of believed PM-Scores
+for one simulation run.  It exposes the same read interface placement
+policies consume (:class:`repro.core.pm_score.ScoreTableView` —
+``binned_scores`` / ``centroids`` / ``binning``), so handing it to the
+:class:`~repro.scheduler.placement.base.PlacementContext` makes PAL and
+PM-First read live beliefs instead of the frozen t=0 table.
+
+Beyond the per-(class, GPU) believed scores it tracks, per GPU:
+
+* ``measured_epoch`` — the scheduling epoch the GPU was last measured
+  (-1 = never re-measured since the t=0 offline campaign), from which
+  :meth:`age_epochs` derives belief age;
+* ``confidence`` — 1.0 right after an exact measurement, 0.0 for a GPU
+  whose score is *unknown* (it returned from a repair with possibly
+  different silicon, :meth:`mark_unknown`).
+
+When online PM-Score updates are also enabled the ledger *aliases* the
+:class:`~repro.scheduler.online.OnlinePMScoreTable`'s live arrays
+(:meth:`~repro.scheduler.online.OnlinePMScoreTable.share_arrays`), so
+EWMA observation folding and campaign commits write the same belief
+store and each immediately sees the other's corrections.
+
+Like the online table, the ledger keeps each class's final L x V
+centroid dominating every believed score so PAL's matrix traversal
+stays complete.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.pm_score import PMScoreTable
+from ..scheduler.online import OnlinePMScoreTable
+from ..utils.errors import ConfigurationError
+
+__all__ = ["BeliefLedger"]
+
+
+class BeliefLedger:
+    """Mutable believed-score store with age/confidence tracking."""
+
+    def __init__(self, base: PMScoreTable | OnlinePMScoreTable):
+        self.base = base
+        if isinstance(base, OnlinePMScoreTable):
+            # Share the online table's live arrays: observation folding
+            # and campaign commits maintain one belief store.
+            self._scores, self._centroids = base.share_arrays()
+        else:
+            self._scores = [
+                base.binned_scores(ci).copy() for ci in range(base.n_classes)
+            ]
+            self._centroids = [
+                base.centroids(ci).copy() for ci in range(base.n_classes)
+            ]
+        n_gpus = base.n_gpus
+        #: Epoch of each GPU's last committed measurement (-1 = only the
+        #: t=0 offline campaign has ever measured it).
+        self.measured_epoch = np.full(n_gpus, -1, dtype=np.int64)
+        #: 1.0 after a measurement, 0.0 while a GPU's score is unknown
+        #: (post-repair), the t=0 profile's default in between.
+        self.confidence = np.full(n_gpus, 1.0, dtype=np.float64)
+        self.n_commits = 0
+        self.needs_refit = False
+
+    # -- read interface (ScoreTableView) --------------------------------
+    @property
+    def n_classes(self) -> int:
+        return self.base.n_classes
+
+    @property
+    def n_gpus(self) -> int:
+        return self.base.n_gpus
+
+    @property
+    def profile(self):
+        return self.base.profile
+
+    def _class_index(self, class_id: int | str) -> int:
+        if isinstance(class_id, str):
+            return self.profile.class_index(class_id)
+        return class_id
+
+    def binned_scores(self, class_id: int | str) -> np.ndarray:
+        view = self._scores[self._class_index(class_id)].view()
+        view.flags.writeable = False
+        return view
+
+    def centroids(self, class_id: int | str) -> np.ndarray:
+        view = self._centroids[self._class_index(class_id)].view()
+        view.flags.writeable = False
+        return view
+
+    def binning(self, class_id: int | str):
+        return self.base.binning(class_id)
+
+    # -- write interface -------------------------------------------------
+    def commit(self, gpu_id: int, measured: np.ndarray, epoch_idx: int) -> None:
+        """Fold one GPU's fresh per-class measurement into the beliefs.
+
+        ``measured`` is the ``(n_classes,)`` vector of measured scores
+        (true score x measurement noise).  The GPU's age resets and its
+        confidence returns to 1.0.
+        """
+        values = np.asarray(measured, dtype=np.float64).ravel()
+        if values.size != self.n_classes:
+            raise ConfigurationError(
+                f"measurement for GPU {gpu_id} has {values.size} entries; "
+                f"expected one per class ({self.n_classes})"
+            )
+        if np.any(values <= 0.0) or not np.all(np.isfinite(values)):
+            raise ConfigurationError(
+                f"measurement for GPU {gpu_id} must be positive and finite"
+            )
+        for ci in range(self.n_classes):
+            scores = self._scores[ci]
+            scores[gpu_id] = values[ci]
+            self._cover(ci)
+        self.measured_epoch[gpu_id] = epoch_idx
+        self.confidence[gpu_id] = 1.0
+        self.n_commits += 1
+
+    def mark_unknown(self, gpu_ids) -> None:
+        """Flag GPUs whose believed score no longer means anything
+        (returned from repair with possibly different silicon)."""
+        ids = np.asarray(gpu_ids, dtype=np.int64).ravel()
+        self.confidence[ids] = 0.0
+
+    def sync_truth(self, true_scores: np.ndarray, epoch_idx: int) -> None:
+        """Oracle mode: copy the whole true table into the beliefs."""
+        for ci in range(self.n_classes):
+            self._scores[ci][:] = true_scores[ci]
+            self._cover(ci)
+        self.measured_epoch[:] = epoch_idx
+        self.confidence[:] = 1.0
+
+    def _cover(self, class_id: int) -> None:
+        """Keep the class's last centroid dominating every belief so
+        PAL's L x V traversal stays complete (same contract as the
+        online updater)."""
+        scores = self._scores[class_id]
+        cents = self._centroids[class_id]
+        top = scores.max()
+        if top > cents[-1]:
+            cents[-1] = top
+            self.needs_refit = True
+
+    # -- diagnostics ------------------------------------------------------
+    def age_epochs(self, epoch_idx: int) -> np.ndarray:
+        """Epochs since each GPU's last measurement (t=0 profile counts
+        from epoch 0)."""
+        return epoch_idx - np.maximum(self.measured_epoch, 0)
+
+    def belief_error(self, true_scores: np.ndarray) -> tuple[float, float]:
+        """(mean, max) relative believed-vs-true error over all
+        (class, GPU) entries — the quantity the belief-error timeline
+        tracks."""
+        believed = np.stack(self._scores)
+        rel = np.abs(believed - true_scores) / true_scores
+        return float(rel.mean()), float(rel.max())

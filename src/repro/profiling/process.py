@@ -1,0 +1,264 @@
+"""The re-profiling runtime: campaign state for one simulation run.
+
+:class:`ProfilingProcess` owns everything stateful about belief
+maintenance so the :class:`~repro.profiling.stage.ProfilingStage` stays
+mechanical: the measurement queue, the in-flight batches, the periodic
+campaign clock, the drift-trigger monitor, the measurement RNG stream,
+and the belief-error timeline the result metadata reports.
+
+Determinism contract (the fast-forward equivalence property): every
+decision is a pure function of the rounds the engine materializes, and
+:meth:`next_due_epoch` tells the engine which future round it must
+materialize next — while work is queued or a trigger is pending that is
+the very next epoch, while batches are merely in flight it is the
+earliest batch-completion epoch, and between campaigns it is the next
+periodic due epoch.  Quiet-window jumps and idle jumps are bounded by
+it exactly as they are by the dynamics timeline, so the naive per-epoch
+loop and the fast-forward engine run identical campaigns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster.state import ClusterState
+from ..utils.rng import stream
+from .config import ProfilingConfig
+from .ledger import BeliefLedger
+
+__all__ = ["MeasurementBatch", "ProfilingProcess"]
+
+
+class MeasurementBatch:
+    """One in-flight batch of GPUs being measured.
+
+    ``gpus`` shrinks when a failure or drain aborts a member
+    mid-measurement (the outage owns the GPU from then on; its
+    measurement is discarded).
+    """
+
+    __slots__ = ("done_epoch", "gpus")
+
+    def __init__(self, done_epoch: int, gpus: list[int]):
+        self.done_epoch = done_epoch
+        self.gpus = gpus
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"<MeasurementBatch done@{self.done_epoch} gpus={self.gpus}>"
+
+
+class ProfilingProcess:
+    """Campaign scheduler + belief-maintenance bookkeeping (module doc)."""
+
+    def __init__(
+        self,
+        config: ProfilingConfig,
+        ledger: BeliefLedger,
+        epoch_s: float,
+        seed: int,
+        *,
+        scope: str = "run",
+    ):
+        self.config = config
+        self.ledger = ledger
+        self.epoch_s = epoch_s
+        self._rng = stream(seed + config.seed_salt, f"profiling/measure/{scope}")
+        if config.period_hours > 0.0:
+            self.period_epochs: int | None = max(
+                1, int(round(config.period_hours * 3600.0 / epoch_s))
+            )
+            self._next_periodic: int | None = self.period_epochs
+        else:
+            self.period_epochs = None
+            self._next_periodic = None
+        #: FIFO measurement queue (GPU ids) + membership set.
+        self.queue: list[int] = []
+        self.queued: set[int] = set()
+        self._in_flight: list[MeasurementBatch] = []
+        #: GPUs currently held (out of service) by an in-flight batch.
+        self.held_gpus: set[int] = set()
+        self.trigger_pending = False
+        #: Oracle mode: the dynamics truth version last synced into the
+        #: ledger (-1 = never, so the first round always syncs).
+        self.last_truth_version = -1
+        # Observability.
+        self.n_campaigns = 0
+        self.n_batches = 0
+        self.n_trigger_fires = 0
+        self.n_event_reprofiles = 0
+        self.n_evictions = 0
+        self.n_aborted = 0
+        self.gpu_epochs_spent = 0
+        #: (epoch, kind, mean_rel_err, max_rel_err, gpu_epochs_spent)
+        #: samples — the belief-error timeline.
+        self.belief_timeline: list[tuple[int, str, float, float, int]] = []
+
+    # ------------------------------------------------------------------
+    # Engine-facing: window bounding
+    # ------------------------------------------------------------------
+    def next_due_epoch(self, after_epoch: int) -> int | None:
+        """First epoch after ``after_epoch`` at which the stage must run.
+
+        Bounds fast-forward quiet windows and idle jumps: no multi-epoch
+        skip may cross it.  None means the stage is fully idle (oracle
+        beliefs piggyback on dynamics events, which bound jumps already).
+        """
+        if self.config.oracle:
+            return None
+        dues = []
+        if self.queue or self.trigger_pending:
+            dues.append(after_epoch + 1)
+        if self._in_flight:
+            dues.append(min(b.done_epoch for b in self._in_flight))
+        if self._next_periodic is not None:
+            dues.append(self._next_periodic)
+        return min(dues) if dues else None
+
+    # ------------------------------------------------------------------
+    # Campaign triggers
+    # ------------------------------------------------------------------
+    def note_observation(
+        self, class_id: int, gpu_ids: np.ndarray, observed_v: float
+    ) -> None:
+        """Drift-trigger monitor: compare one job-epoch's observed
+        effective variability factor against the believed max over its
+        allocation; a relative residual beyond ``trigger_sigma`` starts
+        a campaign (at the next round).  Quiet while a campaign is
+        already queued or in flight."""
+        cfg = self.config
+        if cfg.oracle or cfg.trigger_sigma <= 0.0 or self.trigger_pending:
+            return
+        if self.queue or self._in_flight:
+            return
+        believed = float(self.ledger.binned_scores(class_id)[gpu_ids].max())
+        if abs(observed_v - believed) / believed > cfg.trigger_sigma:
+            self.trigger_pending = True
+            self.n_trigger_fires += 1
+
+    def note_repairs(self, gpu_ids) -> None:
+        """Event trigger: repaired GPUs re-enter with unknown scores."""
+        if self.config.oracle:
+            return
+        self.ledger.mark_unknown(gpu_ids)
+        if self.config.reprofile_on_repair:
+            self.n_event_reprofiles += self._enqueue(gpu_ids)
+
+    def _enqueue(self, gpu_ids) -> int:
+        n = 0
+        for g in gpu_ids:
+            g = int(g)
+            if g not in self.queued and g not in self.held_gpus:
+                self.queue.append(g)
+                self.queued.add(g)
+                n += 1
+        return n
+
+    def open_due_campaigns(
+        self, epoch_idx: int, cluster: ClusterState
+    ) -> list[str]:
+        """Start every campaign due at ``epoch_idx`` (stage-driven):
+        periodic campaigns re-measure the whole in-service cluster, a
+        pending drift trigger does the same once.  Returns the causes of
+        the campaigns opened this round."""
+        due_causes = []
+        if self._next_periodic is not None and epoch_idx >= self._next_periodic:
+            due_causes.append("periodic")
+            period = self.period_epochs
+            assert period is not None
+            self._next_periodic = (epoch_idx // period + 1) * period
+        if self.trigger_pending:
+            self.trigger_pending = False
+            due_causes.append("trigger")
+        for _ in due_causes:
+            in_service = [
+                g for g in range(cluster.n_gpus) if cluster.is_available(g)
+            ]
+            self._enqueue(in_service)
+            self.n_campaigns += 1
+        return due_causes
+
+    # ------------------------------------------------------------------
+    # Batch bookkeeping (stage-driven)
+    # ------------------------------------------------------------------
+    def begin_batch(self, gpus: list[int], epoch_idx: int) -> MeasurementBatch:
+        """Charge the full measure window up front; :meth:`abort_gpus`
+        refunds the unserved tail of any member an outage claims."""
+        batch = MeasurementBatch(
+            epoch_idx + self.config.measure_epochs, list(gpus)
+        )
+        self._in_flight.append(batch)
+        self.held_gpus.update(gpus)
+        self.n_batches += 1
+        self.gpu_epochs_spent += len(gpus) * self.config.measure_epochs
+        return batch
+
+    def pop_finished(self, epoch_idx: int) -> list[MeasurementBatch]:
+        """Remove and return batches whose hold expires at or before
+        ``epoch_idx`` (completion order = launch order)."""
+        done = [b for b in self._in_flight if b.done_epoch <= epoch_idx]
+        if done:
+            self._in_flight = [
+                b for b in self._in_flight if b.done_epoch > epoch_idx
+            ]
+            for b in done:
+                self.held_gpus.difference_update(b.gpus)
+        return done
+
+    def abort_gpus(self, gpu_ids, epoch_idx: int) -> None:
+        """A failure/drain claimed GPUs mid-measurement at ``epoch_idx``:
+        discard their pending measurements (the outage owns them from
+        here; the repair hook re-queues them later) and refund the
+        unserved tail of their hold — :meth:`begin_batch` charged the
+        full measure window up front, but an aborted GPU only occupied
+        capacity from launch until now."""
+        hit = set(int(g) for g in gpu_ids) & self.held_gpus
+        if not hit:
+            return
+        for batch in self._in_flight:
+            kept = [g for g in batch.gpus if g not in hit]
+            n_hit = len(batch.gpus) - len(kept)
+            if n_hit:
+                self.gpu_epochs_spent -= n_hit * max(
+                    0, batch.done_epoch - epoch_idx
+                )
+                batch.gpus = kept
+        self.held_gpus -= hit
+        self.n_aborted += len(hit)
+
+    def measure(self, true_scores: np.ndarray, gpus: list[int]) -> np.ndarray:
+        """``(n_classes, len(gpus))`` measured scores: truth times
+        multiplicative lognormal measurement noise."""
+        values = true_scores[:, gpus].copy()
+        noise = self.config.measurement_noise
+        if noise > 0.0:
+            values *= np.exp(self._rng.normal(0.0, noise, size=values.shape))
+        return values
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def record_timeline(
+        self, epoch_idx: int, kind: str, true_scores: np.ndarray
+    ) -> None:
+        mean_err, max_err = self.ledger.belief_error(true_scores)
+        self.belief_timeline.append(
+            (epoch_idx, kind, mean_err, max_err, self.gpu_epochs_spent)
+        )
+
+    def summary(self, true_scores: np.ndarray) -> dict[str, object]:
+        """Metadata block attached to the :class:`SimulationResult`."""
+        mean_err, max_err = self.ledger.belief_error(true_scores)
+        return {
+            "campaigns": self.n_campaigns,
+            "batches": self.n_batches,
+            "trigger_fires": self.n_trigger_fires,
+            "event_reprofiles": self.n_event_reprofiles,
+            "profile_evictions": self.n_evictions,
+            "aborted_measurements": self.n_aborted,
+            "gpu_epochs_spent": self.gpu_epochs_spent,
+            "commits": self.ledger.n_commits,
+            "measured_gpus": int((self.ledger.measured_epoch >= 0).sum()),
+            "final_mean_abs_rel_error": mean_err,
+            "final_max_abs_rel_error": max_err,
+            "belief_timeline": tuple(self.belief_timeline),
+        }

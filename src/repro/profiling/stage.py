@@ -1,0 +1,142 @@
+"""The pipeline stage that makes belief maintenance a scheduled workload.
+
+:class:`ProfilingStage` runs right after the dynamics stage (the engine
+inserts it only when ``SimulatorConfig.profiling`` is set and the
+placement consumes PM-Scores, so the default pipeline is untouched).
+Each round it:
+
+1. **completes due batches** — GPUs held for
+   ``ProfilingConfig.measure_epochs`` epochs return to service and
+   their measured scores (truth x measurement noise) are committed into
+   the :class:`~repro.profiling.ledger.BeliefLedger` every
+   variability-aware placement reads;
+2. **opens due campaigns** — the periodic clock and the drift-trigger
+   monitor enqueue the whole in-service cluster for re-measurement;
+3. **launches new batches** — up to ``max_concurrent_gpus`` queued GPUs
+   are claimed: free GPUs directly, busy ones by checkpoint-evicting
+   their jobs (when ``preempt_running``); claimed GPUs are marked
+   unavailable, shrinking ``ctx.capacity`` exactly like failures and
+   drains do, so admission, queue marking, and elastic demand planning
+   all see the cluster that profiling is consuming.
+
+With ``oracle=True`` the stage instead syncs the ledger to the true
+score table whenever the truth moved (drift / repair resampling) — the
+zero-cost belief upper bound the ``reprofiling`` experiment compares
+against.
+
+Every transition is logged (cluster-scoped PROFILE / PROFILE_DONE
+events plus per-job PREEMPT events with ``cause="profiling"``), and
+each commit appends a belief-error sample to the timeline exported via
+:func:`repro.analysis.export.belief_timeline_csv`.
+"""
+
+from __future__ import annotations
+
+from ..scheduler.engine.context import RoundContext, StageOutcome
+from ..scheduler.engine.stages import RoundStage, checkpoint_evict, jobs_holding
+from ..scheduler.events import CLUSTER_JOB_ID, EventType
+from ..utils.errors import SimulationError
+from .process import MeasurementBatch, ProfilingProcess
+
+__all__ = ["ProfilingStage"]
+
+
+class ProfilingStage(RoundStage):
+    """Apply due belief-maintenance work before the round schedules."""
+
+    name = "profiling"
+
+    def run(self, ctx: RoundContext) -> StageOutcome:
+        proc = ctx.profiling
+        if proc is None:  # pragma: no cover - engine inserts conditionally
+            raise SimulationError("ProfilingStage requires ctx.profiling")
+        if proc.config.oracle:
+            self._oracle_sync(ctx, proc)
+            return StageOutcome.NEXT_STAGE
+        for batch in proc.pop_finished(ctx.epoch_idx):
+            self._complete(ctx, proc, batch)
+        for cause in proc.open_due_campaigns(ctx.epoch_idx, ctx.cluster):
+            proc.record_timeline(ctx.epoch_idx, cause, ctx.true_scores)
+        self._launch(ctx, proc)
+        return StageOutcome.NEXT_STAGE
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _oracle_sync(ctx: RoundContext, proc: ProfilingProcess) -> None:
+        """Mirror the truth into the beliefs whenever it moved.
+
+        The truth only moves at dynamics events (drift, repair
+        resampling), whose due rounds already bound every fast-forward
+        and idle jump — so syncing at materialized rounds is exact.
+        """
+        version = 0 if ctx.dynamics is None else ctx.dynamics.truth_version
+        if proc.last_truth_version == version:
+            return
+        proc.last_truth_version = version
+        proc.ledger.sync_truth(ctx.true_scores, ctx.epoch_idx)
+        ctx.state_dirty = True
+        proc.record_timeline(ctx.epoch_idx, "sync", ctx.true_scores)
+
+    # ------------------------------------------------------------------
+    def _complete(self, ctx: RoundContext, proc: ProfilingProcess,
+                  batch: MeasurementBatch) -> None:
+        if not batch.gpus:
+            return  # every member was aborted by a failure/drain
+        values = proc.measure(ctx.true_scores, batch.gpus)
+        for i, gpu in enumerate(batch.gpus):
+            proc.ledger.commit(gpu, values[:, i], ctx.epoch_idx)
+        ctx.cluster.mark_available(batch.gpus)
+        ctx.capacity = ctx.cluster.n_available
+        ctx.state_dirty = True
+        if ctx.dynamics is not None:
+            ctx.dynamics.record_capacity(ctx.epoch_idx, ctx.capacity)
+        proc.record_timeline(ctx.epoch_idx, "commit", ctx.true_scores)
+        if ctx.events is not None:
+            ctx.events.append(
+                ctx.now, EventType.PROFILE_DONE, CLUSTER_JOB_ID,
+                gpus=list(batch.gpus), capacity=ctx.capacity,
+            )
+
+    # ------------------------------------------------------------------
+    def _launch(self, ctx: RoundContext, proc: ProfilingProcess) -> None:
+        cfg = proc.config
+        slots = cfg.max_concurrent_gpus - len(proc.held_gpus)
+        if slots <= 0 or not proc.queue:
+            return
+        picked: list[int] = []
+        keep: list[int] = []
+        for gpu in proc.queue:
+            if not ctx.cluster.is_available(gpu):
+                # Failed/drained while queued: the outage owns it now;
+                # the repair hook re-queues it on return.
+                proc.queued.discard(gpu)
+                continue
+            if len(picked) < slots and (
+                ctx.cluster.owner_of(gpu) is None or cfg.preempt_running
+            ):
+                picked.append(gpu)
+            else:
+                keep.append(gpu)
+        proc.queue[:] = keep
+        for gpu in picked:
+            proc.queued.discard(gpu)
+        if not picked:
+            return
+        for job in jobs_holding(ctx, picked):
+            # Same checkpoint-eviction mechanics as a failure, with the
+            # campaign's own restart penalty.
+            checkpoint_evict(
+                ctx, job, penalty_s=cfg.restart_penalty_s, cause="profiling"
+            )
+            proc.n_evictions += 1
+        ctx.cluster.mark_unavailable(picked)
+        ctx.capacity = ctx.cluster.n_available
+        ctx.state_dirty = True
+        if ctx.dynamics is not None:
+            ctx.dynamics.record_capacity(ctx.epoch_idx, ctx.capacity)
+        proc.begin_batch(picked, ctx.epoch_idx)
+        if ctx.events is not None:
+            ctx.events.append(
+                ctx.now, EventType.PROFILE, CLUSTER_JOB_ID,
+                gpus=list(picked), capacity=ctx.capacity,
+            )

@@ -42,8 +42,11 @@ __all__ = ["TraceSpec", "EnvSpec", "RunSpec", "SweepSpec", "SPEC_VERSION"]
 #: cell's digest pre-image.  v4: ``SimulatorConfig`` grew the
 #: ``dynamics`` recipe (time-varying clusters: drift, failures,
 #: drains), changing the digest pre-image of every cell that pins a
-#: config.
-SPEC_VERSION = 4
+#: config.  v5: ``SimulatorConfig`` grew the ``profiling`` recipe
+#: (online re-profiling campaigns) and ``DynamicsConfig`` grew
+#: repair-time distributions plus failure-correlated score resampling
+#: — again changing the pre-image of every cell that pins a config.
+SPEC_VERSION = 5
 
 _TRACE_KINDS = ("sia", "synergy")
 

@@ -16,6 +16,7 @@ from ..online import OnlineUpdateConfig
 
 if TYPE_CHECKING:  # pragma: no cover - avoids an import cycle at runtime
     from ...dynamics.config import DynamicsConfig
+    from ...profiling.config import ProfilingConfig
 
 __all__ = ["SimulatorConfig"]
 
@@ -64,6 +65,15 @@ class SimulatorConfig:
     #: and golden metrics bit-identical to a build without the
     #: subsystem.
     dynamics: "DynamicsConfig | None" = None
+    #: Online re-profiling campaigns (see :mod:`repro.profiling`):
+    #: belief maintenance as scheduled, GPU-costed work — periodic /
+    #: drift-triggered / repair-triggered measurement batches occupy
+    #: GPUs and refresh the believed PM-Scores placement reads.  None
+    #: (the default) keeps beliefs frozen at the t=0 table and the
+    #: pipeline, outputs, and golden metrics bit-identical to a build
+    #: without the subsystem.  Inert when the placement consumes no
+    #: PM-Scores (there are no beliefs to maintain).
+    profiling: "ProfilingConfig | None" = None
 
     def __post_init__(self) -> None:
         if self.epoch_s <= 0:

@@ -45,6 +45,7 @@ from .config import SimulatorConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ...dynamics.process import DynamicsProcess
+    from ...profiling.process import ProfilingProcess
     from ..online import OnlinePMScoreTable
 
 __all__ = [
@@ -168,6 +169,8 @@ class RoundContext:
     capacity: int = 0
     #: Event timeline of the time-varying cluster (None = static).
     dynamics: "DynamicsProcess | None" = None
+    #: Re-profiling campaign state (None = beliefs stay frozen at t=0).
+    profiling: "ProfilingProcess | None" = None
 
     # ---- simulated clock ---------------------------------------------
     #: Simulated time is an integer epoch index; ``now`` is always
@@ -238,12 +241,19 @@ class RoundContext:
         would first admit the job at.  Under dynamics the jump is capped
         at the next pending cluster event's due epoch, so failures,
         repairs, drains, and drift ticks are observed (and logged) on
-        their true rounds even across idle gaps.
+        their true rounds even across idle gaps; re-profiling campaign
+        due epochs cap it the same way (a batch completes, a periodic
+        campaign starts, or queued measurements retry on their true
+        rounds).
         """
         arrival = self.pending[self.next_pending].spec.arrival_time_s
         target = max(self.epoch_idx + 1, int(np.ceil(arrival / self.epoch_s)))
         if self.dynamics is not None:
             due = self.dynamics.next_due_epoch()
+            if due is not None and due < target:
+                target = max(self.epoch_idx + 1, due)
+        if self.profiling is not None:
+            due = self.profiling.next_due_epoch(self.epoch_idx)
             if due is not None and due < target:
                 target = max(self.epoch_idx + 1, due)
         self.epoch_idx = target

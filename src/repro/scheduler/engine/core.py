@@ -125,6 +125,22 @@ class RoundEngine:
             )
             table = online  # placement reads the live beliefs
             self.online_table = online
+        profiling = None
+        if cfg.profiling is not None and table is not None:
+            # Inert for variability-blind placements: with no PM-Score
+            # table there are no beliefs to maintain.  Imported lazily
+            # for the same cycle reason as the dynamics stage.
+            from ...profiling.ledger import BeliefLedger
+            from ...profiling.process import ProfilingProcess
+
+            ledger = BeliefLedger(table)
+            table = ledger  # placement reads the live belief store
+            state.beliefs = ledger
+            profiling = ProfilingProcess(
+                cfg.profiling, ledger, cfg.epoch_s, self.seed,
+                scope=trace.name,
+            )
+            profiling.record_timeline(0, "initial", true_scores)
         placement_ctx = PlacementContext(
             state=state,
             topology=self.topology,
@@ -167,6 +183,7 @@ class RoundEngine:
             pending=list(jobs),  # arrival-ordered
             capacity=self.topology.n_gpus,
             dynamics=dynamics,
+            profiling=profiling,
             can_memoize=can_memoize,
             ff_enabled=ff_enabled,
             resize_active=resize_active,
@@ -179,6 +196,14 @@ class RoundEngine:
             from ...dynamics.stage import DynamicsStage  # lazy: import cycle
 
             stages.append(DynamicsStage())
+        if ctx.profiling is not None:
+            # After dynamics: a repair this round can enqueue (and even
+            # start measuring) its GPUs in the same round; before
+            # arrival: the capacity a campaign consumes must be visible
+            # to admission and queue marking.
+            from ...profiling.stage import ProfilingStage  # lazy: import cycle
+
+            stages.append(ProfilingStage())
         stages.extend([
             ArrivalStage(),
             OrderingStage(mark_and_preempt=not ctx.resize_active),
@@ -244,6 +269,8 @@ class RoundEngine:
         }
         if ctx.dynamics is not None:
             metadata["dynamics"] = ctx.dynamics.summary()
+        if ctx.profiling is not None:
+            metadata["profiling"] = ctx.profiling.summary(ctx.true_scores)
         return SimulationResult(
             trace_name=trace.name,
             scheduler_name=self.scheduler.name,

@@ -31,6 +31,8 @@ __all__ = [
     "PlacementStage",
     "FastForwardStage",
     "ExecutionStage",
+    "checkpoint_evict",
+    "jobs_holding",
 ]
 
 _NEXT_STAGE = StageOutcome.NEXT_STAGE
@@ -142,6 +144,42 @@ class ArrivalStage(RoundStage):
         return _NEXT_STAGE
 
 
+def jobs_holding(ctx: RoundContext, gpus) -> list[SimJob]:
+    """Distinct active jobs holding any of ``gpus``, in GPU order."""
+    victims: list[SimJob] = []
+    seen: set[int] = set()
+    for g in gpus:
+        owner = ctx.cluster.owner_of(g)
+        if owner is not None and owner not in seen:
+            seen.add(owner)
+            victims.append(next(j for j in ctx.active if j.job_id == owner))
+    return victims
+
+
+def checkpoint_evict(ctx: RoundContext, job: SimJob, *, penalty_s: float,
+                     cause: str) -> None:
+    """Forcibly evict a running job whose GPUs an outage or a
+    re-profiling measurement claimed: release the allocation, commit the
+    open segment, charge the checkpoint-restart penalty, and re-queue.
+
+    Shared by the dynamics and profiling stages so both eviction paths
+    stay mechanically identical (only the ``cause`` and the penalty
+    source differ).
+    """
+    t_iter = job.cached_iter_time_s
+    ctx.cluster.release(job.job_id)
+    job.allocation = None
+    job.end_segment()  # commit service attained before the eviction
+    if penalty_s > 0.0 and t_iter is not None:
+        # Checkpoint restart: the work done since the last implicit
+        # checkpoint is lost, at the rate the job was running at.
+        job.rollback_iterations(penalty_s / t_iter)
+    job.n_evictions += 1
+    job.state = JobState.QUEUED
+    if ctx.events is not None:
+        ctx.events.append(ctx.now, EventType.PREEMPT, job.job_id, cause=cause)
+
+
 def _preempt_unmarked(ctx: RoundContext) -> None:
     """Preempt running jobs that lost their guarantee this round."""
     for job in ctx.ordered[ctx.n_guaranteed:]:
@@ -175,12 +213,13 @@ class OrderingStage(RoundStage):
     def run(self, ctx: RoundContext) -> StageOutcome:
         ctx.ordered = ctx.scheduler.order(ctx.active, ctx.now)
         if self.mark_and_preempt:
-            # Non-strict under dynamics: capacity may be *temporarily*
-            # below a job's (statically validated) demand — it waits for
-            # repair instead of raising.
+            # Non-strict under dynamics or re-profiling: capacity may be
+            # *temporarily* below a job's (statically validated) demand
+            # — it waits for the repair / measurement batch to finish
+            # instead of raising.
             ctx.n_guaranteed = mark_queue_at_cluster_size(
                 [j.demand for j in ctx.ordered], ctx.capacity,
-                strict=ctx.dynamics is None,
+                strict=ctx.dynamics is None and ctx.profiling is None,
             )
             ctx.scheduled = ctx.ordered[:ctx.n_guaranteed]
             _preempt_unmarked(ctx)
@@ -428,6 +467,13 @@ class FastForwardStage(RoundStage):
             due = ctx.dynamics.next_due_epoch()
             if due is not None:
                 horizon = min(horizon, due - ctx.epoch_idx)
+        if ctx.profiling is not None:
+            # Same contract for re-profiling campaigns: a batch
+            # completion, a periodic campaign start, or a queued/
+            # triggered measurement retry must run on its true round.
+            due = ctx.profiling.next_due_epoch(ctx.epoch_idx)
+            if due is not None:
+                horizon = min(horizon, due - ctx.epoch_idx)
         if horizon < 2:
             return 1
 
@@ -567,6 +613,13 @@ class ExecutionStage(RoundStage):
                     # w/demand times faster (linear scaling idealization).
                     t_iter_eff *= job.spec.demand / job.demand
                 job.begin_segment(t_iter_eff, epoch_s)
+                if ctx.profiling is not None:
+                    # Drift-trigger monitor: compare the observation
+                    # against the *pre-update* beliefs (before the
+                    # online estimator folds it in below).
+                    ctx.profiling.note_observation(
+                        job.class_id, alloc, v_factor
+                    )
                 if online is not None:
                     # The measured iteration time divided by L * t_orig
                     # is exactly the allocation's max true score under
@@ -606,17 +659,22 @@ class ExecutionStage(RoundStage):
         # running the idle round through the ArrivalStage.
         if not ctx.active and ctx.next_pending < len(ctx.pending):
             arrival = ctx.pending[ctx.next_pending].spec.arrival_time_s
-            if arrival > ctx.epoch_idx * ctx.epoch_s and not self._dynamics_due(ctx):
+            if arrival > ctx.epoch_idx * ctx.epoch_s and not self._stage_due(ctx):
                 ctx.begin_round()
                 ctx.idle_jump()
         return _NEXT_STAGE
 
     @staticmethod
-    def _dynamics_due(ctx: RoundContext) -> bool:
-        """A cluster event is due at the upcoming round — it must run the
-        full pipeline (dynamics stage first) instead of being batched
-        into this idle jump."""
-        if ctx.dynamics is None:
-            return False
-        due = ctx.dynamics.next_due_epoch()
-        return due is not None and due <= ctx.epoch_idx
+    def _stage_due(ctx: RoundContext) -> bool:
+        """A cluster event or re-profiling action is due at the upcoming
+        round — it must run the full pipeline (dynamics/profiling stages
+        first) instead of being batched into this idle jump."""
+        if ctx.dynamics is not None:
+            due = ctx.dynamics.next_due_epoch()
+            if due is not None and due <= ctx.epoch_idx:
+                return True
+        if ctx.profiling is not None:
+            due = ctx.profiling.next_due_epoch(ctx.epoch_idx - 1)
+            if due is not None and due <= ctx.epoch_idx:
+                return True
+        return False

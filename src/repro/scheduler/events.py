@@ -26,13 +26,17 @@ With :mod:`repro.dynamics` enabled the log additionally carries
 :data:`CLUSTER_JOB_ID` since they describe the cluster rather than any
 job:
 
-=========  =====================================================
-FAIL       GPUs left service because of a GPU or node failure
-REPAIR     failed or drained GPUs returned to service
-DRAIN      a scheduled maintenance window removed nodes
-DRIFT      the true variability table moved (detail carries the
-           max relative score change)
-=========  =====================================================
+=============  =================================================
+FAIL           GPUs left service because of a GPU or node failure
+REPAIR         failed or drained GPUs returned to service
+DRAIN          a scheduled maintenance window removed nodes
+DRIFT          the true variability table moved (detail carries
+               the max relative score change)
+PROFILE        a re-profiling batch claimed GPUs for measurement
+               (:mod:`repro.profiling`)
+PROFILE_DONE   a batch finished; measured scores were committed
+               into the belief ledger and the GPUs returned
+=============  =================================================
 
 :class:`EventLog` supports per-job queries, per-type filtering, JSONL
 round-tripping, and a lifecycle validator used by the test suite to
@@ -78,13 +82,22 @@ class EventType(Enum):
     REPAIR = "repair"
     DRAIN = "drain"
     DRIFT = "drift"
+    PROFILE = "profile"
+    PROFILE_DONE = "profile-done"
 
 
 #: Event types that describe the cluster, not a job; they must be
 #: emitted with ``job_id`` = :data:`CLUSTER_JOB_ID` and are skipped by
 #: the per-job lifecycle validation.
 CLUSTER_EVENT_TYPES = frozenset(
-    {EventType.FAIL, EventType.REPAIR, EventType.DRAIN, EventType.DRIFT}
+    {
+        EventType.FAIL,
+        EventType.REPAIR,
+        EventType.DRAIN,
+        EventType.DRIFT,
+        EventType.PROFILE,
+        EventType.PROFILE_DONE,
+    }
 )
 
 

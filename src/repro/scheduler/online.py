@@ -177,6 +177,15 @@ class OnlinePMScoreTable:
             cents[-1] = scores.max()
             self.needs_refit = True
 
+    def share_arrays(self) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Expose the live per-class (scores, centroids) arrays.
+
+        A :class:`repro.profiling.BeliefLedger` aliases these so EWMA
+        observation folding and re-profiling campaign commits maintain
+        one belief store — each immediately sees the other's writes.
+        """
+        return self._scores, self._centroids
+
     def max_abs_error(self, truth: np.ndarray, class_id: int) -> float:
         """Largest absolute believed-vs-truth gap for a class (diagnostics)."""
         return float(np.max(np.abs(self._scores[class_id] - np.asarray(truth))))

@@ -22,7 +22,7 @@ import numpy as np
 from ...cluster.state import ClusterState
 from ...cluster.topology import ClusterTopology, LocalityModel
 from ...core.lv_matrix import LVMatrix
-from ...core.pm_score import PMScoreTable
+from ...core.pm_score import ScoreTableView
 from ...utils.errors import ConfigurationError
 from ..jobs import SimJob
 
@@ -33,16 +33,20 @@ __all__ = ["PlacementContext", "PlacementPolicy"]
 class PlacementContext:
     """Everything a placement policy may consult.
 
-    ``pm_table`` holds the *believed* (profiled, binned) PM-Scores; it is
+    ``pm_table`` holds the *believed* PM-Scores behind the
+    :class:`~repro.core.pm_score.ScoreTableView` read interface — the
+    frozen t=0 :class:`~repro.core.pm_score.PMScoreTable` by default, or
+    a live belief store (online updates, re-profiling ledger); it is
     None for variability-agnostic baselines. L x V matrices are built
     lazily per (class, inter-node penalty) pair and cached — they only
-    depend on static profile data (paper: built "at design time").
+    depend on profile data that moves rarely (never, for the paper's
+    "built at design time" static tables).
     """
 
     state: ClusterState
     topology: ClusterTopology
     locality: LocalityModel
-    pm_table: PMScoreTable | None = None
+    pm_table: ScoreTableView | None = None
     rng: np.random.Generator | None = None
     #: Per-GPU architecture index for heterogeneous clusters (None on
     #: homogeneous ones); consumed by arch-aware policies like Gavel.
@@ -51,7 +55,7 @@ class PlacementContext:
         default_factory=dict, repr=False
     )
 
-    def require_pm_table(self) -> PMScoreTable:
+    def require_pm_table(self) -> ScoreTableView:
         if self.pm_table is None:
             raise ConfigurationError(
                 "this placement policy needs PM-Score profiles but the "

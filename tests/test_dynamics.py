@@ -17,6 +17,9 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given
+from hypothesis import settings as hyp_settings
+from hypothesis import strategies as hyp_st
 
 from repro.analysis.export import dynamics_timeline_csv, result_to_csv
 from repro.cluster.state import ClusterState
@@ -122,6 +125,158 @@ class TestConfigValidation:
         )
         with pytest.raises(ConfigurationError, match="n_nodes"):
             DynamicsProcess(cfg, ClusterTopology.from_gpu_count(8), 300.0, 0)
+
+
+class TestRepairDistributions:
+    def _proc(self, **kwargs):
+        cfg = DynamicsConfig(gpu_failure_rate_per_hour=0.01, **kwargs)
+        return DynamicsProcess(cfg, ClusterTopology.from_gpu_count(8), 300.0, 0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="repair_distribution"):
+            DynamicsConfig(repair_distribution="uniform")
+        with pytest.raises(ConfigurationError, match="repair_shape"):
+            DynamicsConfig(repair_distribution="weibull", repair_shape=0.0)
+        with pytest.raises(ConfigurationError, match="repair_shape"):
+            DynamicsConfig(repair_distribution="lognormal", repair_shape=-1.0)
+        # Shape is ignored (any value fine) for fixed/exponential.
+        DynamicsConfig(repair_distribution="fixed", repair_shape=-5.0)
+
+    def test_fixed_is_deterministic_and_drawless(self):
+        proc = self._proc(repair_time_s=7200.0)
+        state_before = proc._repair_rng.bit_generator.state
+        for _ in range(5):
+            assert proc._repair_duration() == 7200.0
+        assert proc._repair_rng.bit_generator.state == state_before
+
+    @pytest.mark.parametrize(
+        "dist,shape", [("exponential", 2.0), ("weibull", 1.5), ("lognormal", 0.8)]
+    )
+    def test_mean_preserved(self, dist, shape):
+        proc = self._proc(
+            repair_time_s=3600.0, repair_distribution=dist, repair_shape=shape
+        )
+        draws = np.asarray([proc._repair_duration() for _ in range(4000)])
+        assert np.all(draws > 0.0) and np.all(np.isfinite(draws))
+        assert draws.mean() == pytest.approx(3600.0, rel=0.10)
+
+    def test_same_seed_same_sequence(self):
+        a = self._proc(repair_distribution="weibull", repair_shape=1.5)
+        b = self._proc(repair_distribution="weibull", repair_shape=1.5)
+        assert [a._repair_duration() for _ in range(20)] == [
+            b._repair_duration() for _ in range(20)
+        ]
+
+    @given(
+        dist=hyp_st.sampled_from(("exponential", "weibull", "lognormal")),
+        shape=hyp_st.floats(min_value=0.2, max_value=8.0),
+        mean_h=hyp_st.floats(min_value=0.1, max_value=48.0),
+        seed=hyp_st.integers(min_value=0, max_value=2**16),
+    )
+    @hyp_settings(max_examples=40, deadline=None)
+    def test_durations_positive_and_finite(self, dist, shape, mean_h, seed):
+        cfg = DynamicsConfig(
+            gpu_failure_rate_per_hour=0.01,
+            repair_time_s=mean_h * 3600.0,
+            repair_distribution=dist,
+            repair_shape=shape,
+        )
+        proc = DynamicsProcess(
+            cfg, ClusterTopology.from_gpu_count(8), 300.0, seed
+        )
+        for _ in range(10):
+            d = proc._repair_duration()
+            assert d > 0.0 and np.isfinite(d)
+
+    def test_sampled_repairs_flow_through_simulation(self):
+        res = simulate(
+            [job(0, demand=2, iters=40000, t_iter=0.25)],
+            DynamicsConfig(
+                gpu_failure_rate_per_hour=0.5,
+                repair_time_s=1800.0,
+                repair_distribution="exponential",
+                restart_penalty_s=0.0,
+            ),
+        )
+        assert res.metadata["dynamics"]["gpu_failures"] > 0
+        res.events.validate()
+
+
+class TestRepairResample:
+    def _proc(self, sigma=0.4, drift=None):
+        cfg = DynamicsConfig(
+            gpu_failure_rate_per_hour=0.01,
+            repair_resample_sigma=sigma,
+            drift=drift,
+        )
+        return DynamicsProcess(cfg, ClusterTopology.from_gpu_count(8), 300.0, 0)
+
+    def test_resamples_only_named_gpus(self):
+        proc = self._proc()
+        scores = 1.0 + np.arange(24, dtype=np.float64).reshape(3, 8) / 10.0
+        proc.attach_scores(scores)
+        before = scores.copy()
+        delta = proc.resample_on_repair((1, 4), scores)
+        assert delta > 0.0
+        changed = np.any(scores != before, axis=0)
+        assert changed.tolist() == [False, True, False, False, True,
+                                    False, False, False]
+        assert np.all(scores > 0.0)
+        assert proc.truth_version == 1
+        assert proc.n_repair_resamples == 2
+
+    def test_off_by_default_consumes_nothing(self):
+        proc = self._proc(sigma=0.0)
+        scores = np.ones((3, 8))
+        proc.attach_scores(scores)
+        state_before = proc._resample_rng.bit_generator.state
+        assert proc.resample_on_repair((0,), scores) == 0.0
+        np.testing.assert_array_equal(scores, np.ones((3, 8)))
+        assert proc.truth_version == 0
+        assert proc._resample_rng.bit_generator.state == state_before
+
+    def test_requires_anchor(self):
+        proc = self._proc()
+        with pytest.raises(ConfigurationError, match="attach_scores"):
+            proc.resample_on_repair((0,), np.ones((3, 8)))
+
+    def test_deterministic_across_processes(self):
+        outs = []
+        for _ in range(2):
+            proc = self._proc()
+            scores = np.full((3, 8), 1.5)
+            proc.attach_scores(scores)
+            proc.resample_on_repair((0, 1, 2), scores)
+            outs.append(scores)
+        np.testing.assert_array_equal(outs[0], outs[1])
+
+    def test_drain_end_resamples_in_simulation(self):
+        """A drained node returns with freshly rolled scores: the
+        counter ticks and the REPAIR event reports the change."""
+        drain = DrainWindow(start_s=600.0, duration_s=1800.0, nodes=(0,))
+        res = simulate(
+            [job(0, demand=2, iters=30000, t_iter=0.25)],
+            DynamicsConfig(
+                drains=(drain,), repair_resample_sigma=0.5,
+                restart_penalty_s=0.0,
+            ),
+            placement="pal",
+        )
+        assert res.metadata["dynamics"]["repair_resamples"] == 4
+        repairs = res.events.of_type(EventType.REPAIR)
+        assert repairs and all(
+            "max_rel_change" in e.detail for e in repairs
+        )
+        res.events.validate()
+
+    def test_truth_version_tracks_drift_too(self):
+        proc = self._proc(drift=DriftSpec(kind="ou", sigma=0.05))
+        scores = np.full((3, 8), 1.2)
+        proc.attach_scores(scores)
+        proc.apply_drift(scores)
+        assert proc.truth_version == 1
+        proc.resample_on_repair((0,), scores)
+        assert proc.truth_version == 2
 
 
 class TestDriftModels:

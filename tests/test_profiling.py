@@ -1,0 +1,540 @@
+"""repro.profiling: online re-profiling campaigns (belief maintenance).
+
+Covers every layer of the subsystem:
+
+* config validation;
+* :class:`BeliefLedger` — the ScoreTableView read interface, commits
+  (age/confidence/centroid-domination), unknown-marking, oracle sync,
+  and array sharing with the online EWMA updater;
+* :class:`ProfilingProcess` — due-epoch contract, trigger monitor,
+  repair queueing, batch bookkeeping and aborts;
+* engine integration — campaigns occupy capacity and evict jobs,
+  measurements converge beliefs to the truth (property-tested), the
+  event-triggered path re-measures repaired GPUs, and disabled/inert
+  configurations are observationally free;
+* the belief-error timeline exporter and the ``reprofiling``
+  experiment (recovery criterion + golden-pinned smoke metrics).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.export import belief_timeline_csv
+from repro.cluster.state import ClusterState
+from repro.cluster.topology import ClusterTopology, LocalityModel
+from repro.core.pm_score import PMScoreTable, ScoreTableView
+from repro.dynamics import DriftSpec, DynamicsConfig
+from repro.profiling import BeliefLedger, ProfilingConfig, ProfilingProcess
+from repro.scheduler.events import CLUSTER_JOB_ID, EventType
+from repro.scheduler.online import OnlinePMScoreTable, OnlineUpdateConfig
+from repro.scheduler.placement import make_placement
+from repro.scheduler.policies import make_scheduler
+from repro.scheduler.simulator import ClusterSimulator, SimulatorConfig
+from repro.traces.job import JobSpec
+from repro.traces.trace import Trace
+from repro.utils.errors import ConfigurationError
+from repro.utils.rng import stream
+from repro.variability.synthetic import synthesize_profile
+
+
+def profile16(n=16, seed=0):
+    return synthesize_profile("longhorn", seed=seed).sample(
+        n, rng=stream(seed, "prof-test/sample")
+    )
+
+
+def job(i, arrival=0.0, demand=2, iters=4000, t_iter=0.5):
+    return JobSpec(
+        job_id=i,
+        arrival_time_s=arrival,
+        demand=demand,
+        model="resnet50",
+        class_id=i % 3,
+        iteration_time_s=t_iter,
+        total_iterations=iters,
+    )
+
+
+def simulate(jobs, profiling, *, dynamics=None, n_gpus=16, scheduler="las",
+             placement="pal", seed=0, **config_kwargs):
+    sim = ClusterSimulator(
+        topology=ClusterTopology.from_gpu_count(n_gpus),
+        true_profile=profile16(n_gpus, seed=seed),
+        scheduler=make_scheduler(scheduler),
+        placement=make_placement(placement),
+        locality=LocalityModel(across_node=1.5),
+        config=SimulatorConfig(
+            profiling=profiling, dynamics=dynamics, record_events=True,
+            validate_invariants=True, **config_kwargs,
+        ),
+        seed=seed,
+    )
+    return sim.run(Trace("prof", tuple(jobs)))
+
+
+class TestConfigValidation:
+    def test_bounds(self):
+        with pytest.raises(ConfigurationError):
+            ProfilingConfig(period_hours=-1.0)
+        with pytest.raises(ConfigurationError):
+            ProfilingConfig(trigger_sigma=-0.1)
+        with pytest.raises(ConfigurationError):
+            ProfilingConfig(measure_epochs=0)
+        with pytest.raises(ConfigurationError):
+            ProfilingConfig(max_concurrent_gpus=0)
+        with pytest.raises(ConfigurationError):
+            ProfilingConfig(measurement_noise=-0.1)
+        with pytest.raises(ConfigurationError):
+            ProfilingConfig(restart_penalty_s=-1.0)
+
+    def test_oracle_excludes_campaigns(self):
+        with pytest.raises(ConfigurationError):
+            ProfilingConfig(oracle=True, period_hours=6.0)
+        with pytest.raises(ConfigurationError):
+            ProfilingConfig(oracle=True, trigger_sigma=0.3)
+        ProfilingConfig(oracle=True)  # alone is fine
+
+
+class TestBeliefLedger:
+    def _table(self, n=16):
+        prof = profile16(n)
+        return prof, PMScoreTable.fit(prof, seed=0)
+
+    def test_satisfies_score_table_view(self):
+        _, table = self._table()
+        ledger = BeliefLedger(table)
+        assert isinstance(ledger, ScoreTableView)
+
+    def test_starts_at_base_beliefs(self):
+        _, table = self._table()
+        ledger = BeliefLedger(table)
+        for ci in range(table.n_classes):
+            np.testing.assert_array_equal(
+                ledger.binned_scores(ci), table.binned_scores(ci)
+            )
+            np.testing.assert_array_equal(
+                ledger.centroids(ci), table.centroids(ci)
+            )
+        with pytest.raises(ValueError):
+            ledger.binned_scores(0)[0] = 2.0  # read-only view
+        assert np.all(ledger.measured_epoch == -1)
+        assert np.all(ledger.confidence == 1.0)
+
+    def test_commit_updates_all_classes_and_tracking(self):
+        _, table = self._table()
+        ledger = BeliefLedger(table)
+        values = np.asarray([0.9, 1.1, 1.3])
+        ledger.commit(5, values, epoch_idx=42)
+        for ci in range(3):
+            assert ledger.binned_scores(ci)[5] == values[ci]
+        assert ledger.measured_epoch[5] == 42
+        assert ledger.confidence[5] == 1.0
+        assert ledger.n_commits == 1
+        assert ledger.age_epochs(50)[5] == 8
+        # Unmeasured GPUs age from the t=0 campaign.
+        assert ledger.age_epochs(50)[0] == 50
+
+    def test_commit_keeps_last_centroid_dominating(self):
+        _, table = self._table()
+        ledger = BeliefLedger(table)
+        huge = float(ledger.centroids(0)[-1]) * 3.0
+        ledger.commit(0, np.full(3, huge), epoch_idx=1)
+        for ci in range(3):
+            assert ledger.centroids(ci)[-1] >= huge
+        assert ledger.needs_refit
+
+    def test_commit_validation(self):
+        _, table = self._table()
+        ledger = BeliefLedger(table)
+        with pytest.raises(ConfigurationError):
+            ledger.commit(0, np.asarray([1.0]), epoch_idx=0)  # wrong size
+        with pytest.raises(ConfigurationError):
+            ledger.commit(0, np.asarray([1.0, -1.0, 1.0]), epoch_idx=0)
+
+    def test_mark_unknown(self):
+        _, table = self._table()
+        ledger = BeliefLedger(table)
+        ledger.mark_unknown([3, 7])
+        assert ledger.confidence[3] == 0.0
+        assert ledger.confidence[7] == 0.0
+        assert ledger.confidence[0] == 1.0
+
+    def test_sync_truth_zeroes_error(self):
+        prof, table = self._table()
+        ledger = BeliefLedger(table)
+        truth = np.ascontiguousarray(prof.scores)
+        assert ledger.belief_error(truth)[0] > 0.0  # binning error exists
+        ledger.sync_truth(truth, epoch_idx=7)
+        mean_err, max_err = ledger.belief_error(truth)
+        assert mean_err == 0.0 and max_err == 0.0
+        assert np.all(ledger.measured_epoch == 7)
+
+    def test_shares_arrays_with_online_table(self):
+        prof, table = self._table()
+        online = OnlinePMScoreTable(
+            table, OnlineUpdateConfig(alpha_exact=1.0)
+        )
+        ledger = BeliefLedger(online)
+        # Online observation visible through the ledger...
+        online.observe(0, np.asarray([4]), 1.234)
+        assert ledger.binned_scores(0)[4] == 1.234
+        # ...and a campaign commit visible through the online table.
+        ledger.commit(4, np.asarray([0.8, 0.9, 1.0]), epoch_idx=3)
+        assert online.binned_scores(0)[4] == 0.8
+
+
+class TestProcess:
+    def _proc(self, config, n=16):
+        prof = profile16(n)
+        ledger = BeliefLedger(PMScoreTable.fit(prof, seed=0))
+        return ProfilingProcess(config, ledger, 300.0, seed=0), ledger
+
+    def test_periodic_due_epochs(self):
+        proc, _ = self._proc(ProfilingConfig(period_hours=1.0))  # 12 epochs
+        assert proc.period_epochs == 12
+        assert proc.next_due_epoch(0) == 12
+        assert proc.next_due_epoch(11) == 12
+        # The stage opening the campaign advances the clock.
+        state = ClusterState(ClusterTopology.from_gpu_count(16))
+        assert proc.open_due_campaigns(12, state) == ["periodic"]
+        assert proc.queue  # whole cluster enqueued
+        assert proc.next_due_epoch(12) == 13  # queued work: every round
+        proc.queue.clear()
+        proc.queued.clear()
+        assert proc.next_due_epoch(12) == 24
+
+    def test_in_flight_due_epoch(self):
+        proc, _ = self._proc(ProfilingConfig(measure_epochs=3))
+        proc.begin_batch([0, 1], epoch_idx=10)
+        assert proc.next_due_epoch(10) == 13
+        assert proc.held_gpus == {0, 1}
+        assert proc.gpu_epochs_spent == 6
+        done = proc.pop_finished(13)
+        assert [b.gpus for b in done] == [[0, 1]]
+        assert proc.held_gpus == set()
+        assert proc.next_due_epoch(13) is None
+
+    def test_trigger_fires_once_and_respects_active_campaign(self):
+        proc, ledger = self._proc(ProfilingConfig(trigger_sigma=0.5))
+        believed = float(ledger.binned_scores(0)[:2].max())
+        proc.note_observation(0, np.asarray([0, 1]), believed * 2.0)
+        assert proc.trigger_pending
+        assert proc.n_trigger_fires == 1
+        proc.note_observation(0, np.asarray([0, 1]), believed * 3.0)
+        assert proc.n_trigger_fires == 1  # already pending
+        # A small residual never fires.
+        proc.trigger_pending = False
+        proc.note_observation(0, np.asarray([0, 1]), believed * 1.01)
+        assert not proc.trigger_pending
+
+    def test_note_repairs_enqueues_and_marks_unknown(self):
+        proc, ledger = self._proc(ProfilingConfig(reprofile_on_repair=True))
+        proc.note_repairs([2, 5])
+        assert proc.queue == [2, 5]
+        assert ledger.confidence[2] == 0.0
+        proc.note_repairs([5, 6])  # dedup
+        assert proc.queue == [2, 5, 6]
+        assert proc.n_event_reprofiles == 3
+
+    def test_abort_gpus_refunds_unserved_epochs(self):
+        proc, _ = self._proc(ProfilingConfig(measure_epochs=3))
+        batch = proc.begin_batch([0, 1, 2], epoch_idx=0)  # done at epoch 3
+        assert proc.gpu_epochs_spent == 9
+        proc.abort_gpus([1], epoch_idx=1)  # GPU 1 occupied 1 of 3 epochs
+        assert batch.gpus == [0, 2]
+        assert proc.held_gpus == {0, 2}
+        assert proc.n_aborted == 1
+        assert proc.gpu_epochs_spent == 7
+
+    def test_oracle_is_never_due(self):
+        proc, _ = self._proc(ProfilingConfig(oracle=True))
+        assert proc.next_due_epoch(0) is None
+        proc.note_repairs([0])
+        assert proc.queue == []
+
+
+class TestEngineIntegration:
+    def test_periodic_campaign_measures_whole_cluster(self):
+        jobs = [job(i, arrival=i * 300.0, iters=40000) for i in range(6)]
+        res = simulate(
+            jobs, ProfilingConfig(period_hours=1.0, max_concurrent_gpus=4)
+        )
+        pmeta = res.metadata["profiling"]
+        assert pmeta["campaigns"] >= 1
+        assert pmeta["measured_gpus"] == 16
+        assert pmeta["commits"] >= 16
+        assert pmeta["gpu_epochs_spent"] >= 16
+        res.events.validate()
+        profiles = res.events.of_type(EventType.PROFILE)
+        dones = res.events.of_type(EventType.PROFILE_DONE)
+        assert profiles and dones
+        assert all(e.job_id == CLUSTER_JOB_ID for e in profiles + dones)
+        # Batch width is respected.
+        assert all(len(e.detail["gpus"]) <= 4 for e in profiles)
+
+    def test_campaign_evicts_running_jobs(self):
+        # Saturate all 16 GPUs so measurement batches must preempt.
+        jobs = [job(i, demand=4, iters=60000) for i in range(4)]
+        res = simulate(
+            jobs, ProfilingConfig(period_hours=0.5, max_concurrent_gpus=4,
+                                  restart_penalty_s=300.0)
+        )
+        pmeta = res.metadata["profiling"]
+        assert pmeta["profile_evictions"] > 0
+        causes = [
+            e.detail.get("cause")
+            for e in res.events.of_type(EventType.PREEMPT)
+        ]
+        assert "profiling" in causes
+        assert sum(r.n_evictions for r in res.records) == pmeta[
+            "profile_evictions"
+        ]
+
+    def test_polite_mode_waits_for_free_gpus(self):
+        jobs = [job(0, demand=16, iters=30000)]
+        res = simulate(
+            jobs,
+            ProfilingConfig(period_hours=0.5, preempt_running=False),
+        )
+        assert res.metadata["profiling"]["profile_evictions"] == 0
+        # The job still finishes; measurements only happen after drain.
+        assert res.records[0].finish_s > 0
+
+    def test_beliefs_follow_drift(self):
+        """After a campaign, believed scores match the drifted truth
+        (exact measurement), not the t=0 profile."""
+        drift = DriftSpec(kind="steps", step_epochs=(3,),
+                          step_magnitude=1.0, step_fraction=0.5)
+        jobs = [job(i, arrival=i * 600.0, iters=30000) for i in range(4)]
+        res = simulate(
+            jobs,
+            ProfilingConfig(period_hours=1.0, max_concurrent_gpus=8),
+            dynamics=DynamicsConfig(drift=drift),
+        )
+        pmeta = res.metadata["profiling"]
+        assert pmeta["final_mean_abs_rel_error"] == 0.0
+        assert res.metadata["dynamics"]["drift_events"] == 1
+
+    def test_event_triggered_reprofiles_drained_gpus(self):
+        from repro.dynamics import DrainWindow
+
+        dyn = DynamicsConfig(
+            drains=(DrainWindow(start_s=900.0, duration_s=1800.0, nodes=(0,)),),
+            repair_resample_sigma=0.4,
+            restart_penalty_s=0.0,
+        )
+        jobs = [job(i, arrival=i * 300.0, iters=50000) for i in range(6)]
+        res = simulate(
+            jobs,
+            ProfilingConfig(reprofile_on_repair=True, max_concurrent_gpus=4),
+            dynamics=dyn,
+        )
+        pmeta = res.metadata["profiling"]
+        assert pmeta["event_reprofiles"] == 4  # the drained node's GPUs
+        assert pmeta["commits"] >= 4
+        assert res.metadata["dynamics"]["repair_resamples"] == 4
+        # The resampled GPUs were re-measured, so beliefs track truth.
+        assert pmeta["final_mean_abs_rel_error"] < 0.05
+
+    def test_oracle_beliefs_track_truth_at_zero_cost(self):
+        drift = DriftSpec(kind="ou", interval_epochs=4, sigma=0.1)
+        jobs = [job(i, arrival=i * 300.0, iters=30000) for i in range(5)]
+        res = simulate(
+            jobs, ProfilingConfig(oracle=True),
+            dynamics=DynamicsConfig(drift=drift),
+        )
+        pmeta = res.metadata["profiling"]
+        assert pmeta["final_mean_abs_rel_error"] == 0.0
+        assert pmeta["gpu_epochs_spent"] == 0
+        assert pmeta["campaigns"] == 0
+
+    def test_capacity_shrinks_while_measuring(self):
+        """A campaign on an otherwise idle cluster still occupies GPUs:
+        the PROFILE events carry the reduced capacity."""
+        jobs = [job(0, demand=1, iters=100, arrival=0.0),
+                job(1, demand=1, iters=100, arrival=4 * 3600.0)]
+        res = simulate(
+            jobs, ProfilingConfig(period_hours=1.0, max_concurrent_gpus=4),
+            scheduler="fifo",
+        )
+        profiles = res.events.of_type(EventType.PROFILE)
+        assert profiles
+        assert all(e.detail["capacity"] == 16 - len(e.detail["gpus"])
+                   for e in profiles)
+
+    def test_inert_for_variability_blind_placement(self):
+        jobs = [job(i) for i in range(3)]
+        with_prof = simulate(
+            jobs, ProfilingConfig(period_hours=1.0), placement="tiresias"
+        )
+        without = simulate(jobs, None, placement="tiresias")
+        assert "profiling" not in with_prof.metadata
+        assert without.same_outcome_as(with_prof) == []
+
+    def test_campaignless_config_is_observationally_free(self):
+        """No periodic clock, no trigger, no dynamics: the stage never
+        acts, and outputs match profiling=None except for the metadata
+        block."""
+        jobs = [job(i, arrival=i * 450.0) for i in range(4)]
+        quiet = simulate(jobs, ProfilingConfig(period_hours=0.0))
+        off = simulate(jobs, None)
+        diffs = off.same_outcome_as(quiet)
+        assert diffs == ["metadata"]
+        pmeta = quiet.metadata["profiling"]
+        assert pmeta["campaigns"] == 0
+        assert pmeta["gpu_epochs_spent"] == 0
+        assert pmeta["commits"] == 0
+
+    def test_online_updates_compose_with_campaigns(self):
+        jobs = [job(i, arrival=i * 300.0, iters=20000) for i in range(5)]
+        res = simulate(
+            jobs, ProfilingConfig(period_hours=1.0),
+            online_pm_updates=True,
+        )
+        pmeta = res.metadata["profiling"]
+        assert pmeta["commits"] > 0  # campaigns ran alongside the EWMA
+
+
+class TestConvergenceProperty:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        period_hours=st.sampled_from((0.5, 1.0, 2.0)),
+        n_gpus=st.sampled_from((8, 16)),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_ledger_converges_to_truth_without_drift(
+        self, seed, period_hours, n_gpus
+    ):
+        """Repeated exact campaigns under zero drift leave zero
+        believed-vs-true error once every GPU has been measured."""
+        jobs = [
+            job(i, arrival=i * 300.0, demand=1 + i % 3, iters=30000)
+            for i in range(5)
+        ]
+        res = simulate(
+            jobs,
+            ProfilingConfig(period_hours=period_hours, max_concurrent_gpus=8),
+            n_gpus=n_gpus,
+            seed=seed,
+        )
+        pmeta = res.metadata["profiling"]
+        assert pmeta["measured_gpus"] == n_gpus
+        assert pmeta["final_mean_abs_rel_error"] == 0.0
+        assert pmeta["final_max_abs_rel_error"] == 0.0
+        # The timeline is monotone in profiling spend.
+        spends = [t[4] for t in pmeta["belief_timeline"]]
+        assert spends == sorted(spends)
+
+
+class TestExportAndExperiment:
+    def test_belief_timeline_csv(self, tmp_path):
+        jobs = [job(i, arrival=i * 300.0, iters=20000) for i in range(4)]
+        res = simulate(jobs, ProfilingConfig(period_hours=1.0))
+        out = tmp_path / "beliefs.csv"
+        text = belief_timeline_csv(res, out)
+        assert out.read_text().splitlines() == text.splitlines()
+        lines = text.strip().splitlines()
+        header = lines[0].split(",")
+        assert header == [
+            "epoch", "time_s", "event", "mean_abs_rel_error",
+            "max_abs_rel_error", "gpu_epochs_spent",
+        ]
+        assert lines[1].split(",")[2] == "initial"
+        kinds = {line.split(",")[2] for line in lines[1:]}
+        assert "periodic" in kinds and "commit" in kinds
+
+    def test_belief_timeline_csv_requires_profiling(self):
+        res = simulate([job(0)], None)
+        with pytest.raises(ConfigurationError):
+            belief_timeline_csv(res)
+
+
+# ---------------------------------------------------------------------------
+# The reprofiling experiment: recovery criterion + golden-pinned metrics.
+# ---------------------------------------------------------------------------
+
+GOLDEN_FILE = (
+    Path(__file__).resolve().parent / "golden" / "reprofiling_smoke.json"
+)
+REL_TOL = 1e-9
+
+
+@pytest.fixture(scope="module")
+def reprofiling_smoke():
+    from repro.experiments import reprofiling
+
+    return reprofiling.run(scale="smoke")
+
+
+@pytest.mark.slow
+class TestReprofilingExperiment:
+    def test_frontier_and_recovery(self, reprofiling_smoke):
+        """Acceptance criterion: periodically-refreshed beliefs recover
+        at least half of the stale-to-oracle JCT gap under drift, net
+        of the simulated profiling overhead."""
+        rows = {(r[0], r[1]): r for r in reprofiling_smoke.rows}
+        for drift in ("drift-lo", "drift-hi"):
+            stale = rows[(drift, "stale")][2]
+            oracle = rows[(drift, "oracle")][2]
+            assert stale > oracle, "drift must hurt stale beliefs"
+            for arm in ("periodic-2h", "periodic-8h"):
+                assert rows[(drift, arm)][4] >= 0.5, (
+                    f"{drift}/{arm} recovered under half the gap"
+                )
+                assert rows[(drift, arm)][6] > 0  # real GPU cost paid
+        # The frontier is non-trivial: more frequent campaigns spend
+        # more GPU-epochs.
+        assert (
+            rows[("drift-hi", "periodic-2h")][6]
+            > rows[("drift-hi", "periodic-8h")][6]
+        )
+
+    def test_belief_timeline_exported(self, reprofiling_smoke, tmp_path):
+        sweep = reprofiling_smoke.data["sweeps"][("drift-hi", "periodic-2h")]
+        text = belief_timeline_csv(
+            sweep.results[0], tmp_path / "timeline.csv"
+        )
+        assert "periodic" in text and "commit" in text
+
+    def test_golden_smoke_metrics(self, reprofiling_smoke):
+        """Pin the smoke-scale frontier (JCT + profiling spend per arm)
+        so the experiment cannot silently drift.  Regenerate with
+        REPRO_REGEN_GOLDEN=1 after deliberate changes."""
+        measured = {
+            f"{r[0]}/{r[1]}": {
+                "avg_jct_h": r[2],
+                "campaigns": r[5],
+                "gpu_epochs": r[6],
+            }
+            for r in reprofiling_smoke.rows
+        }
+        if os.environ.get("REPRO_REGEN_GOLDEN"):
+            GOLDEN_FILE.parent.mkdir(exist_ok=True)
+            GOLDEN_FILE.write_text(
+                json.dumps(measured, indent=2, sort_keys=True) + "\n"
+            )
+            pytest.skip("regenerated golden values for reprofiling")
+        assert GOLDEN_FILE.is_file(), (
+            "golden file missing; regenerate with REPRO_REGEN_GOLDEN=1"
+        )
+        golden = json.loads(GOLDEN_FILE.read_text())
+        assert sorted(measured) == sorted(golden), "grid changed shape"
+        for label, metrics in golden.items():
+            for metric, expected in metrics.items():
+                got = measured[label][metric]
+                if metric == "avg_jct_h":
+                    assert got == pytest.approx(expected, rel=REL_TOL), (
+                        f"{label}/{metric} drifted from pinned value"
+                    )
+                else:
+                    assert got == expected, (
+                        f"{label}/{metric}: {got} != pinned {expected}"
+                    )
