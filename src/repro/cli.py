@@ -105,7 +105,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--jobs", type=int, default=None)
     p_sim.add_argument("--gpus", type=int, default=64)
     p_sim.add_argument(
-        "--scheduler", choices=("fifo", "las", "elastic-las", "srtf"), default="fifo"
+        "--scheduler",
+        choices=("fifo", "las", "elastic-las", "srtf", "gavel-mt", "gavel-mmf"),
+        default="fifo",
+        help="job-ordering policy; gavel-* are the LP solver lane and must "
+        "be paired with the same-named --placement",
     )
     p_sim.add_argument(
         "--elastic-fraction", type=float, default=0.0,
@@ -115,7 +119,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument(
         "--placement",
         default="pal",
-        choices=ALL_POLICY_NAMES + ("pm-first-sticky", "pal-sticky"),
+        choices=ALL_POLICY_NAMES
+        + ("pm-first-sticky", "pal-sticky", "gavel", "gavel-mt", "gavel-mmf"),
     )
     p_sim.add_argument("--locality", type=float, default=1.7)
     p_sim.add_argument("--profile", default="longhorn", choices=sorted(CLUSTER_SPECS))
@@ -131,7 +136,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument(
         "--schedulers", default="fifo",
-        help="comma list of fifo,las,elastic-las,srtf",
+        help="comma list of fifo,las,elastic-las,srtf,gavel-mt,gavel-mmf "
+        "(gavel-* pair with the same-named placement)",
     )
     p_sweep.add_argument(
         "--placements",

@@ -84,6 +84,19 @@ class ClusterState:
         view.flags.writeable = False
         return view
 
+    @property
+    def available_mask(self) -> np.ndarray:
+        """Boolean mask over GPU ids (True = in service, free *or* busy).
+
+        The in-service complement of the dynamics/profiling outage set —
+        solver policies build their per-class capacity vectors from it,
+        so GPUs held out by failures, drains, or measurement batches
+        never enter an allocation LP.  Returns a fresh array (the
+        internal mask stores the negation)."""
+        mask = ~self._unavailable
+        mask.flags.writeable = False
+        return mask
+
     def free_gpu_ids(self) -> np.ndarray:
         """Ids of all free GPUs, ascending."""
         return np.flatnonzero(self._free)

@@ -36,6 +36,11 @@ reprofiling
           (repro.profiling) — the Sec. V-A frequency/accuracy
           frontier: PAL with stale, periodically refreshed,
           drift-triggered, and oracle beliefs under drift
+gavel     extension: solver-backed allocation
+          (repro.scheduler.solver) — Gavel-style LP policies
+          (max-throughput / max-min-fairness) vs PAL and
+          PM-First on the same beliefs, static and under
+          drift / re-profiling
 ========  =====================================================
 """
 
@@ -58,6 +63,7 @@ from . import (
     fig18_overhead,
     fig19_sched_waits,
     fig20_synergy_locality,
+    gavel,
     headline,
     hetero,
     online_updates,
@@ -98,6 +104,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "elastic": elastic.run,
     "dynamics": dynamics.run,
     "reprofiling": reprofiling.run,
+    "gavel": gavel.run,
 }
 
 

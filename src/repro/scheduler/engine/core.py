@@ -219,6 +219,13 @@ class RoundEngine:
         self._validate_trace(trace)
         self.scheduler.reset()  # drop cross-round state from any prior run
         ctx = self.build_context(trace)
+        # Solver policies read live run state (capacity, beliefs,
+        # availability) and find their paired half through the context —
+        # the runner builds scheduler and placement independently from
+        # name strings, so this hook is where the pair links up.
+        for policy in (self.scheduler, self.placement):
+            if getattr(policy, "requires_round_context", False):
+                policy.attach_round_context(ctx)
         stages = self.build_stages(ctx)
         arrival_stage = next(s for s in stages if isinstance(s, ArrivalStage))
 
@@ -271,6 +278,9 @@ class RoundEngine:
             metadata["dynamics"] = ctx.dynamics.summary()
         if ctx.profiling is not None:
             metadata["profiling"] = ctx.profiling.summary(ctx.true_scores)
+        summary_fn = getattr(self.scheduler, "solver_summary", None)
+        if callable(summary_fn):
+            metadata["solver"] = summary_fn()
         return SimulationResult(
             trace_name=trace.name,
             scheduler_name=self.scheduler.name,

@@ -72,7 +72,15 @@ def make_placement(name: str) -> PlacementPolicy:
         return PALPlacement(sticky=True)
     if key == "gavel":
         return GavelPlacement()
+    if key in ("gavel-mt", "gavel-max-throughput"):
+        from ..solver import SolverPlacement  # lazy: keeps scipy optional
+
+        return SolverPlacement(objective="max-throughput")
+    if key in ("gavel-mmf", "gavel-max-min-fairness"):
+        from ..solver import SolverPlacement  # lazy: keeps scipy optional
+
+        return SolverPlacement(objective="max-min-fairness")
     raise ConfigurationError(
         f"unknown placement policy {name!r}; known: "
-        f"{ALL_POLICY_NAMES + ('pm-first-sticky', 'pal-sticky', 'gavel')}"
+        f"{ALL_POLICY_NAMES + ('pm-first-sticky', 'pal-sticky', 'gavel', 'gavel-mt', 'gavel-mmf')}"
     )

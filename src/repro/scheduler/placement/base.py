@@ -103,6 +103,18 @@ class PlacementPolicy(ABC):
     #: re-placement on quiet rounds as a pure memoization. Randomized
     #: policies must set this False.
     deterministic: bool = True
+    #: Policies that realize a plan computed elsewhere in the round
+    #: pipeline (the solver lane's LP allocation) set this True and
+    #: receive the engine's blackboard via :meth:`attach_round_context`
+    #: before the first round; heuristic policies leave it False.
+    requires_round_context: bool = False
+
+    def attach_round_context(self, ctx) -> None:
+        """Receive the engine's ``RoundContext`` (solver policies only).
+
+        Called once per run, before the first round.  The default is a
+        no-op; policies with :attr:`requires_round_context` set override
+        it to find their paired scheduler and validate the wiring."""
 
     def placement_order(self, scheduled: list[SimJob]) -> list[SimJob]:
         """Order in which the scheduled jobs pick GPUs.

@@ -21,7 +21,36 @@ from ...utils.errors import AllocationError, ConfigurationError
 from ..jobs import SimJob
 from .base import PlacementContext, PlacementPolicy
 
-__all__ = ["GavelPlacement"]
+__all__ = ["GavelPlacement", "packed_take"]
+
+
+def packed_take(topo, candidates: np.ndarray, count: int) -> np.ndarray:
+    """Packed selection restricted to ``candidates`` (one GPU group).
+
+    Prefers the tightest single node that can hold all ``count`` GPUs;
+    otherwise spills across nodes by descending candidate count.  Shared
+    by the arch-level Gavel strawman and the solver lane's per-class
+    realization (:mod:`repro.scheduler.solver`)."""
+    nodes = topo.node_of_gpu[candidates]
+    free_per_node = np.bincount(nodes, minlength=topo.n_nodes)
+    fits = np.flatnonzero(free_per_node >= count)
+    if fits.size:
+        node = int(fits[np.argmin(free_per_node[fits])])
+        in_node = candidates[nodes == node]
+        return in_node[:count]
+    order = np.argsort(-free_per_node, kind="stable")
+    out: list[np.ndarray] = []
+    needed = count
+    for node in order:
+        if needed <= 0:
+            break
+        in_node = candidates[nodes == node]
+        if in_node.size == 0:
+            continue
+        take = in_node[: min(needed, in_node.size)]
+        out.append(take)
+        needed -= take.size
+    return np.concatenate(out)
 
 
 class GavelPlacement(PlacementPolicy):
@@ -72,23 +101,4 @@ class GavelPlacement(PlacementPolicy):
     @staticmethod
     def _packed_take(topo, state, candidates: np.ndarray, count: int) -> np.ndarray:
         """Packed selection restricted to ``candidates`` (one architecture)."""
-        nodes = topo.node_of_gpu[candidates]
-        free_per_node = np.bincount(nodes, minlength=topo.n_nodes)
-        fits = np.flatnonzero(free_per_node >= count)
-        if fits.size:
-            node = int(fits[np.argmin(free_per_node[fits])])
-            in_node = candidates[nodes == node]
-            return in_node[:count]
-        order = np.argsort(-free_per_node, kind="stable")
-        out: list[np.ndarray] = []
-        needed = count
-        for node in order:
-            if needed <= 0:
-                break
-            in_node = candidates[nodes == node]
-            if in_node.size == 0:
-                continue
-            take = in_node[: min(needed, in_node.size)]
-            out.append(take)
-            needed -= take.size
-        return np.concatenate(out)
+        return packed_take(topo, candidates, count)

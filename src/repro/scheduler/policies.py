@@ -222,6 +222,20 @@ class SchedulingPolicy(ABC):
     #: Elastic-aware policies implement :meth:`plan_demands` and the
     #: engine inserts a ResizeStage when the trace has elastic jobs.
     elastic_aware: bool = False
+    #: Policies that read live run state (capacity, beliefs, the
+    #: availability mask) beyond the job list set this True and receive
+    #: the engine's blackboard via :meth:`attach_round_context` before
+    #: the first round.  Heuristic policies leave it False and the hook
+    #: is never called.
+    requires_round_context: bool = False
+
+    def attach_round_context(self, ctx) -> None:
+        """Receive the engine's ``RoundContext`` (solver policies only).
+
+        Called once per run, after :meth:`reset` and context
+        construction but before the first round.  The default is a
+        no-op; policies with :attr:`requires_round_context` set override
+        it to capture the blackboard and validate their wiring."""
 
     @abstractmethod
     def order(self, jobs: Sequence[SimJob], now_s: float) -> list[SimJob]:
@@ -591,13 +605,32 @@ _SCHEDULERS = {
 }
 
 
+#: Solver-backed scheduler aliases, resolved lazily so the heuristic
+#: path never imports ``repro.scheduler.solver`` (scipy stays optional).
+_SOLVER_SCHEDULERS = {
+    "gavel-mt": "max-throughput",
+    "gavel-max-throughput": "max-throughput",
+    "gavel-mmf": "max-min-fairness",
+    "gavel-max-min-fairness": "max-min-fairness",
+}
+
+
 def make_scheduler(name: str, **kwargs) -> SchedulingPolicy:
-    """Factory by case-insensitive name:
-    ``fifo`` / ``las`` / ``elastic-las`` / ``srtf``."""
+    """Factory by case-insensitive name: ``fifo`` / ``las`` /
+    ``elastic-las`` / ``srtf``, plus the solver lane's ``gavel-mt`` /
+    ``gavel-mmf`` (long forms ``gavel-max-throughput`` /
+    ``gavel-max-min-fairness``)."""
+    key = name.lower()
+    objective = _SOLVER_SCHEDULERS.get(key)
+    if objective is not None:
+        from .solver import GavelScheduler  # lazy: keeps scipy optional
+
+        return GavelScheduler(objective=objective, **kwargs)
     try:
-        cls = _SCHEDULERS[name.lower()]
+        cls = _SCHEDULERS[key]
     except KeyError:
         raise ConfigurationError(
-            f"unknown scheduler {name!r}; known: {sorted(_SCHEDULERS)}"
+            f"unknown scheduler {name!r}; known: "
+            f"{sorted(_SCHEDULERS) + sorted(_SOLVER_SCHEDULERS)}"
         ) from None
     return cls(**kwargs)

@@ -1,0 +1,55 @@
+"""Solver-backed allocation policies (the Gavel lane).
+
+Optimization-based counterpoint to the paper's heuristic placements: a
+round-wise LP over per-(job, GPU-class) throughput rates derived from
+the same believed :class:`~repro.core.pm_score.ScoreTableView` PAL
+reads, realized integrally with deficit tracking.  See
+:mod:`repro.scheduler.solver.allocation` for the formulation,
+:mod:`repro.scheduler.solver.rounding` for the integral realization,
+:mod:`repro.scheduler.solver.backend` for the certified LP seam, and
+:mod:`repro.scheduler.solver.policy` for the engine-facing policy pair.
+
+Nothing in this package is imported unless a ``gavel-*`` policy is
+requested — the scheduler/placement factories resolve the names
+lazily, so heuristic runs never touch scipy.
+"""
+
+from .allocation import (
+    OBJECTIVES,
+    AllocationProblem,
+    GavelAllocation,
+    GPUClasses,
+    build_gpu_classes,
+    build_problem,
+    solve_max_min_fairness,
+    solve_max_throughput,
+)
+from .backend import (
+    LPSolution,
+    ScipyLinProgBackend,
+    SolveCertificate,
+    SolverBackend,
+)
+from .policy import GavelScheduler, SolverPlacement
+from .rounding import class_plan, integral_objective, rank_classes, simulate_rounds
+
+__all__ = [
+    "OBJECTIVES",
+    "AllocationProblem",
+    "GavelAllocation",
+    "GPUClasses",
+    "GavelScheduler",
+    "SolverPlacement",
+    "LPSolution",
+    "ScipyLinProgBackend",
+    "SolveCertificate",
+    "SolverBackend",
+    "build_gpu_classes",
+    "build_problem",
+    "class_plan",
+    "integral_objective",
+    "rank_classes",
+    "simulate_rounds",
+    "solve_max_min_fairness",
+    "solve_max_throughput",
+]

@@ -1,0 +1,340 @@
+"""Gavel's allocation problem: GPU classes, rates, and the LP solves.
+
+Gavel (OSDI '20) allocates over a per-(job, accelerator-type) throughput
+matrix.  This repo's clusters are *intra*-architecture heterogeneous, so
+the "accelerator type" is generalized to a **GPU class**: the distinct
+rows of the believed per-class PM-Score columns (plus the architecture
+id on heterogeneous clusters) over the in-service GPUs.  Two GPUs whose
+believed scores agree for every job class are interchangeable to the
+solver, which keeps the LP small (a handful of classes on binned belief
+tables) while seeing exactly the variability PAL sees — static table,
+online EWMA, or re-profiling ledger, all through the same
+:class:`~repro.core.pm_score.ScoreTableView`.
+
+The decision variable ``X[j, k]`` is the *fraction of time* job ``j``
+spends running on GPU class ``k`` (Gavel's round-based time sharing):
+
+.. math::
+
+    \\sum_k X_{jk} \\le 1 \\;\\forall j, \\qquad
+    \\sum_j d_j X_{jk} \\le \\mathrm{cap}_k \\;\\forall k, \\qquad
+    X \\ge 0
+
+with per-class throughput rate ``r[j, k] = 1 / V_believed[class_j, k]``
+(the PM-Score is a slowdown multiplier, so a job's epoch progress on a
+class-``k`` GPU scales with its reciprocal).  Locality penalties are
+deliberately outside the LP — Gavel's matrix cannot express per-node
+packing; the placement stage packs within classes instead.
+
+Two objectives, both solved through the certified
+:class:`~repro.scheduler.solver.backend.SolverBackend` seam:
+
+* **max-throughput** — ``max sum_{jk} r[j,k] X[j,k]``, one LP;
+* **max-min-fairness** — lexicographic water-filling: repeatedly
+  ``max t  s.t.  f_j >= t`` over unfrozen jobs (``f_j = sum_k r[j,k]
+  X[j,k]``), freezing the jobs whose ``t - f_j <= 0`` row is dual-tight
+  at each level, then a final max-throughput polish subject to every
+  frozen level — Gavel's own progressive-filling scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ...core.pm_score import ScoreTableView
+from ...utils.errors import ConfigurationError
+from .backend import SolveCertificate, SolverBackend
+
+__all__ = [
+    "OBJECTIVES",
+    "GPUClasses",
+    "AllocationProblem",
+    "GavelAllocation",
+    "build_gpu_classes",
+    "build_problem",
+    "solve_max_throughput",
+    "solve_max_min_fairness",
+]
+
+#: The two Gavel objectives the policy family exposes.
+OBJECTIVES: tuple[str, ...] = ("max-throughput", "max-min-fairness")
+
+#: Freeze fallback / relaxation tolerances for progressive filling.
+_LEVEL_RELAX = 1e-9
+_FREEZE_REL_TOL = 1e-7
+_MAX_FILL_ROUNDS = 32
+
+
+@dataclass(frozen=True)
+class GPUClasses:
+    """In-service GPUs grouped into solver-interchangeable classes."""
+
+    #: ``(n_gpus,)`` class index per GPU; ``-1`` for out-of-service GPUs.
+    gpu_class: np.ndarray
+    #: ``(n_classes,)`` in-service GPU count per class.
+    capacities: np.ndarray
+    #: ``(n_job_classes, n_gpu_classes)`` believed PM-Score of each class.
+    class_scores: np.ndarray
+
+    @property
+    def n_gpu_classes(self) -> int:
+        return int(self.capacities.size)
+
+
+def build_gpu_classes(
+    table: ScoreTableView,
+    available: np.ndarray,
+    arch_of_gpu: np.ndarray | None = None,
+) -> GPUClasses:
+    """Group in-service GPUs by their believed-score signature.
+
+    ``available`` is the cluster's in-service mask
+    (:attr:`~repro.cluster.state.ClusterState.available_mask`); GPUs held
+    out by failures, drains, or measurement batches get class ``-1`` and
+    contribute no capacity.  On heterogeneous clusters the architecture
+    id joins the signature so two arches never merge even if their
+    believed scores momentarily coincide.
+    """
+    available = np.asarray(available, dtype=bool)
+    if available.shape != (table.n_gpus,):
+        raise ConfigurationError(
+            f"availability mask has shape {available.shape}; "
+            f"expected ({table.n_gpus},)"
+        )
+    columns = [
+        np.asarray(table.binned_scores(c), dtype=np.float64)
+        for c in range(table.n_classes)
+    ]
+    features = np.stack(columns, axis=1)
+    if arch_of_gpu is not None:
+        features = np.concatenate(
+            [features, np.asarray(arch_of_gpu, dtype=np.float64)[:, None]], axis=1
+        )
+    gpu_class = np.full(table.n_gpus, -1, dtype=np.int64)
+    in_service = np.flatnonzero(available)
+    if in_service.size == 0:
+        return GPUClasses(
+            gpu_class=gpu_class,
+            capacities=np.zeros(0, dtype=np.int64),
+            class_scores=np.zeros((table.n_classes, 0)),
+        )
+    signatures, inverse = np.unique(
+        features[in_service], axis=0, return_inverse=True
+    )
+    gpu_class[in_service] = inverse
+    capacities = np.bincount(inverse, minlength=signatures.shape[0]).astype(np.int64)
+    class_scores = np.ascontiguousarray(signatures[:, : table.n_classes].T)
+    if np.any(class_scores <= 0.0):
+        raise ConfigurationError("believed PM-Scores must be positive")
+    return GPUClasses(
+        gpu_class=gpu_class, capacities=capacities, class_scores=class_scores
+    )
+
+
+@dataclass(frozen=True)
+class AllocationProblem:
+    """One round's LP instance over jobs x GPU classes."""
+
+    #: Ascending job ids; row ``j`` of every array refers to ``job_ids[j]``.
+    job_ids: tuple[int, ...]
+    #: ``(J,)`` GPU demand per job.
+    demands: np.ndarray
+    #: ``(J, K)`` throughput rate of each job on each GPU class.
+    rates: np.ndarray
+    #: ``(K,)`` in-service GPU count per class.
+    capacities: np.ndarray
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.job_ids)
+
+    @property
+    def n_gpu_classes(self) -> int:
+        return int(self.capacities.size)
+
+
+def build_problem(
+    job_ids: Sequence[int],
+    demands: Sequence[int],
+    class_ids: Sequence[int],
+    classes: GPUClasses,
+) -> AllocationProblem:
+    """Assemble the LP instance for the given jobs over ``classes``."""
+    order = np.argsort(np.asarray(job_ids, dtype=np.int64), kind="stable")
+    ids = tuple(int(job_ids[i]) for i in order)
+    if len(set(ids)) != len(ids):
+        raise ConfigurationError("duplicate job ids in allocation problem")
+    demand_arr = np.asarray([int(demands[i]) for i in order], dtype=np.int64)
+    if np.any(demand_arr <= 0):
+        raise ConfigurationError("job demands must be positive")
+    class_arr = np.asarray([int(class_ids[i]) for i in order], dtype=np.int64)
+    if classes.n_gpu_classes:
+        rates = 1.0 / classes.class_scores[class_arr, :]
+    else:
+        rates = np.zeros((len(ids), 0))
+    return AllocationProblem(
+        job_ids=ids,
+        demands=demand_arr,
+        rates=np.ascontiguousarray(rates),
+        capacities=classes.capacities.copy(),
+    )
+
+
+@dataclass(frozen=True)
+class GavelAllocation:
+    """A solved (fractional) allocation plus its optimality evidence."""
+
+    #: ``(J, K)`` time-fraction allocation.
+    x: np.ndarray
+    #: ``(J,)`` total time share per job, clipped to ``[0, 1]``.
+    shares: np.ndarray
+    #: ``(J,)`` max-min throughput levels (None for max-throughput).
+    levels: np.ndarray | None
+    #: The maximized LP objective (total rate-weighted throughput).
+    lp_objective: float
+    #: One certificate per LP solve that produced this allocation.
+    certificates: tuple[SolveCertificate, ...]
+
+
+def _trivial_allocation(problem: AllocationProblem) -> GavelAllocation:
+    j, k = problem.n_jobs, problem.n_gpu_classes
+    return GavelAllocation(
+        x=np.zeros((j, k)),
+        shares=np.zeros(j),
+        levels=np.zeros(j),
+        lp_objective=0.0,
+        certificates=(),
+    )
+
+
+def _base_rows(problem: AllocationProblem, n_extra_vars: int = 0):
+    """Job time-budget and class capacity rows over ``J*K (+extra)`` vars."""
+    j, k = problem.n_jobs, problem.n_gpu_classes
+    n_var = j * k + n_extra_vars
+    a = np.zeros((j + k, n_var))
+    for row in range(j):
+        a[row, row * k : (row + 1) * k] = 1.0
+    for col in range(k):
+        a[j + col, col : j * k : k] = problem.demands.astype(np.float64)
+    b = np.concatenate([np.ones(j), problem.capacities.astype(np.float64)])
+    return a, b
+
+
+def _shares(problem: AllocationProblem, x: np.ndarray) -> np.ndarray:
+    return np.clip(x.sum(axis=1), 0.0, 1.0)
+
+
+def solve_max_throughput(
+    problem: AllocationProblem, backend: SolverBackend
+) -> GavelAllocation:
+    """``max sum_{jk} rates[j,k] * X[j,k]`` subject to the base rows."""
+    j, k = problem.n_jobs, problem.n_gpu_classes
+    if j == 0 or k == 0 or int(problem.capacities.sum()) == 0:
+        return _trivial_allocation(problem)
+    c = -problem.rates.ravel()
+    a, b = _base_rows(problem)
+    sol = backend.solve(c, a, b)
+    x = np.clip(sol.x.reshape(j, k), 0.0, None)
+    return GavelAllocation(
+        x=x,
+        shares=_shares(problem, x),
+        levels=None,
+        lp_objective=-sol.objective,
+        certificates=(sol.certificate,),
+    )
+
+
+def solve_max_min_fairness(
+    problem: AllocationProblem, backend: SolverBackend
+) -> GavelAllocation:
+    """Lexicographic max-min throughput via progressive filling.
+
+    Each pass maximizes the common level ``t`` of the still-unfrozen
+    jobs while every frozen job keeps (at least) its earlier level; the
+    jobs whose ``t - f_j <= 0`` row carries a nonzero dual multiplier
+    are the binding bottlenecks and freeze at the new level.  Degenerate
+    bases can report no nonzero dual — the value-based fallback then
+    freezes every job sitting at the level, and a pass-count cap bounds
+    the worst case.  A final max-throughput polish (all jobs held at
+    their levels) spends any slack capacity deterministically.
+    """
+    j, k = problem.n_jobs, problem.n_gpu_classes
+    if j == 0 or k == 0 or int(problem.capacities.sum()) == 0:
+        return _trivial_allocation(problem)
+    certificates: list[SolveCertificate] = []
+    levels = np.zeros(j)
+    frozen = np.zeros(j, dtype=bool)
+    n_base = j + k
+    rates_rows = problem.rates  # (J, K)
+
+    def relaxed(level: float) -> float:
+        return level - _LEVEL_RELAX * max(1.0, abs(level))
+
+    for _ in range(_MAX_FILL_ROUNDS):
+        active = np.flatnonzero(~frozen)
+        if active.size == 0:
+            break
+        # Variables: X (J*K) then t.  Rows: base, then one "t - f_j <= 0"
+        # per active job, then one "-f_j <= -level" per frozen job.
+        a_base, b_base = _base_rows(problem, n_extra_vars=1)
+        rows = [a_base]
+        bs = [b_base]
+        for idx in active:
+            row = np.zeros(j * k + 1)
+            row[idx * k : (idx + 1) * k] = -rates_rows[idx]
+            row[-1] = 1.0
+            rows.append(row[None, :])
+            bs.append(np.zeros(1))
+        frozen_idx = np.flatnonzero(frozen)
+        for idx in frozen_idx:
+            row = np.zeros(j * k + 1)
+            row[idx * k : (idx + 1) * k] = -rates_rows[idx]
+            rows.append(row[None, :])
+            bs.append(np.asarray([-relaxed(float(levels[idx]))]))
+        a = np.vstack(rows)
+        b = np.concatenate(bs)
+        c = np.zeros(j * k + 1)
+        c[-1] = -1.0
+        sol = backend.solve(c, a, b)
+        certificates.append(sol.certificate)
+        t_star = float(sol.x[-1])
+        x = np.clip(sol.x[: j * k].reshape(j, k), 0.0, None)
+        values = (rates_rows * x).sum(axis=1)
+        duals = sol.ineq_marginals[n_base : n_base + active.size]
+        binding = active[np.abs(duals) > 1e-9]
+        if binding.size == 0:
+            # Degenerate basis: freeze by value instead of duals.
+            at_level = np.abs(values[active] - t_star) <= _FREEZE_REL_TOL * max(
+                1.0, abs(t_star)
+            )
+            binding = active[at_level]
+        if binding.size == 0:
+            binding = active  # give up separating levels; freeze the rest
+        levels[binding] = t_star
+        frozen[binding] = True
+    else:  # pragma: no cover - cap is generous; freeze-all terminates earlier
+        levels[~frozen] = float(levels[frozen].max(initial=0.0))
+        frozen[:] = True
+
+    # Polish: max total throughput with every job held at its level.
+    a_base, b_base = _base_rows(problem)
+    rows = [a_base]
+    bs = [b_base]
+    for idx in range(j):
+        row = np.zeros(j * k)
+        row[idx * k : (idx + 1) * k] = -rates_rows[idx]
+        rows.append(row[None, :])
+        bs.append(np.asarray([-relaxed(float(levels[idx]))]))
+    sol = backend.solve(-rates_rows.ravel(), np.vstack(rows), np.concatenate(bs))
+    certificates.append(sol.certificate)
+    x = np.clip(sol.x.reshape(j, k), 0.0, None)
+    return GavelAllocation(
+        x=x,
+        shares=_shares(problem, x),
+        levels=levels,
+        lp_objective=-sol.objective,
+        certificates=tuple(certificates),
+    )

@@ -1,0 +1,132 @@
+"""The LP-solver seam behind the Gavel allocation lane.
+
+Heuristic policies must stay solver-free: nothing outside this package
+imports scipy, and even here the import happens lazily inside
+:meth:`ScipyLinProgBackend.solve`, so ``import repro`` (and every
+non-``gavel-*`` simulation) works on a scipy-less interpreter.  A
+missing scipy surfaces as a :class:`ConfigurationError` at the first
+solve, naming the policy family that needs it.
+
+Every solve is *certified*: alongside the primal solution the backend
+reports a :class:`SolveCertificate` carrying the worst primal-constraint
+violation and the duality gap reconstructed from the HiGHS dual
+multipliers (``res.ineqlin.marginals``).  For an LP in the form
+
+.. math:: \\min c^T x \\quad \\text{s.t.} \\quad A x \\le b,\\; x \\ge 0
+
+strong duality makes the optimal objective equal ``b @ y`` for the
+reported marginals ``y``; a near-zero gap plus near-zero primal
+residual is a machine-checkable optimality proof that does not trust
+the solver's status code alone.  The test suite asserts every
+certificate produced during differential and golden runs passes
+:meth:`SolveCertificate.ok`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...utils.errors import ConfigurationError, SimulationError
+
+__all__ = [
+    "SolveCertificate",
+    "LPSolution",
+    "SolverBackend",
+    "ScipyLinProgBackend",
+]
+
+
+@dataclass(frozen=True)
+class SolveCertificate:
+    """Machine-checkable optimality evidence for one LP solve."""
+
+    #: Solver status code (0 = converged for scipy's linprog).
+    status: int
+    #: The minimized objective value ``c @ x``.
+    objective: float
+    #: Worst violation of ``A x <= b`` and ``x >= 0`` (0 when feasible).
+    primal_residual: float
+    #: ``|c @ x - b @ y|`` for the reported dual multipliers ``y``.
+    duality_gap: float
+
+    def ok(self, tol: float = 1e-6) -> bool:
+        """Feasible and provably optimal to ``tol`` (relative)."""
+        scale = max(1.0, abs(self.objective))
+        return (
+            self.status == 0
+            and self.primal_residual <= tol * scale
+            and self.duality_gap <= tol * scale
+        )
+
+
+@dataclass(frozen=True)
+class LPSolution:
+    """Primal solution + duals + certificate for ``min c@x, Ax<=b, x>=0``."""
+
+    x: np.ndarray
+    #: The minimized value ``c @ x`` (callers negate for maximizations).
+    objective: float
+    #: Dual multipliers of the ``A x <= b`` rows (``<= 0`` for scipy).
+    ineq_marginals: np.ndarray
+    certificate: SolveCertificate
+
+
+class SolverBackend(ABC):
+    """Solves ``min c @ x  s.t.  A_ub x <= b_ub, x >= 0``."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def solve(self, c: np.ndarray, a_ub: np.ndarray, b_ub: np.ndarray) -> LPSolution:
+        """Return the certified optimum; raise on infeasible/unbounded."""
+
+
+class ScipyLinProgBackend(SolverBackend):
+    """scipy ``linprog`` (HiGHS) behind the :class:`SolverBackend` seam."""
+
+    name = "scipy-highs"
+
+    def __init__(self, method: str = "highs"):
+        self.method = method
+
+    def solve(self, c: np.ndarray, a_ub: np.ndarray, b_ub: np.ndarray) -> LPSolution:
+        try:
+            from scipy.optimize import linprog
+        except ImportError:  # pragma: no cover - exercised only without scipy
+            raise ConfigurationError(
+                "the gavel-* solver policies need scipy for the allocation "
+                "LP and it is not installed; use a heuristic policy or "
+                "install scipy"
+            ) from None
+        res = linprog(c, A_ub=a_ub, b_ub=b_ub, bounds=(0, None), method=self.method)
+        if res.status != 0 or res.x is None:
+            raise SimulationError(
+                f"allocation LP failed: status={res.status} ({res.message})"
+            )
+        x = np.asarray(res.x, dtype=np.float64)
+        y = np.asarray(res.ineqlin.marginals, dtype=np.float64)
+        primal_residual = float(
+            max(
+                0.0,
+                float((a_ub @ x - b_ub).max(initial=0.0)),
+                float((-x).max(initial=0.0)),
+            )
+        )
+        # With x >= 0 and no upper variable bounds the dual objective is
+        # exactly b @ y (reduced costs at the zero lower bound drop out).
+        duality_gap = abs(float(res.fun) - float(b_ub @ y))
+        certificate = SolveCertificate(
+            status=int(res.status),
+            objective=float(res.fun),
+            primal_residual=primal_residual,
+            duality_gap=duality_gap,
+        )
+        return LPSolution(
+            x=x,
+            objective=float(res.fun),
+            ineq_marginals=y,
+            certificate=certificate,
+        )

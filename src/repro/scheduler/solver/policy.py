@@ -1,0 +1,392 @@
+"""The solver lane's policy pair: LP scheduler + plan-realizing placement.
+
+``GavelScheduler`` is a :class:`~repro.scheduler.policies.SchedulingPolicy`
+that re-solves the allocation LP whenever the *allocation signature* —
+job set (ids, demands, classes), in-service capacity, availability mask,
+and belief version — changes, then realizes the fractional shares
+across rounds with deficit tracking: jobs are ordered by
+``deficit + share`` (most-owed first) and the engine's standard queue
+marking picks the guaranteed prefix.  ``SolverPlacement`` hands each
+marked job the whole-GPU class counts from the round's
+:func:`~repro.scheduler.solver.rounding.class_plan`, packed within each
+class by the same node-packing rule the Gavel strawman uses.
+
+Fast-forward stays ON under the solver lane.  Deficits are kept in
+*closed form*: per job the priority key at ``k`` epochs past the anchor
+is the float chain ``fl(A + fl(k * slope))`` with ``A = fl(D0 + share)``
+and ``slope = share - ran`` — exactly the linear-key shape LAS/SRTF
+stability analysis handles, so :meth:`GavelScheduler.stable_epochs`
+reuses the exact rational pair-crossing certification
+(:func:`~repro.scheduler.policies._certified_linear_epochs`) and a
+multi-epoch jump lands on bit-identical keys.  Anchors move only when
+the signature or the marked set changes, and both happen only on rounds
+the quiet-window analysis already refuses to skip (arrivals,
+completions, dynamics/profiling activity), so the naive and
+fast-forward engines evaluate the same float chains at the same epochs.
+
+Both policies read live run state, so they set
+``requires_round_context`` and receive the engine's blackboard via
+``attach_round_context`` — the runner builds scheduler and placement
+independently from name strings, and this hook is what links them
+inside a worker without sharing objects across process boundaries.
+"""
+
+from __future__ import annotations
+
+import sys
+from fractions import Fraction
+from typing import Sequence
+
+import numpy as np
+
+from ...core.pm_first import mark_queue_at_cluster_size
+from ...utils.errors import AllocationError, ConfigurationError
+from ..jobs import SimJob
+from ..placement.base import PlacementContext, PlacementPolicy
+from ..placement.gavel import packed_take
+from ..policies import SchedulingPolicy, _certified_linear_epochs
+from .allocation import (
+    OBJECTIVES,
+    GavelAllocation,
+    GPUClasses,
+    build_gpu_classes,
+    build_problem,
+    solve_max_min_fairness,
+    solve_max_throughput,
+)
+from .backend import ScipyLinProgBackend, SolverBackend
+from .rounding import class_plan
+
+__all__ = ["GavelScheduler", "SolverPlacement"]
+
+_EPS = sys.float_info.epsilon
+
+_DISPLAY = {"max-throughput": "Gavel-MT", "max-min-fairness": "Gavel-MMF"}
+
+
+def _check_objective(objective: str) -> str:
+    if objective not in OBJECTIVES:
+        raise ConfigurationError(
+            f"unknown solver objective {objective!r}; known: {OBJECTIVES}"
+        )
+    return objective
+
+
+class GavelScheduler(SchedulingPolicy):
+    """LP-allocated scheduling with deficit-tracked round realization."""
+
+    elastic_aware = False
+    requires_round_context = True
+
+    def __init__(
+        self,
+        objective: str = "max-throughput",
+        backend: SolverBackend | None = None,
+    ):
+        self.objective = _check_objective(objective)
+        self.name = _DISPLAY[self.objective]
+        self.backend = backend if backend is not None else ScipyLinProgBackend()
+        self._ctx = None
+        self.reset()
+
+    # ------------------------------------------------------------------
+    # Engine wiring
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        self._sig: object = None
+        self._problem = None
+        self._classes: GPUClasses | None = None
+        self._alloc: GavelAllocation | None = None
+        self._row_of: dict[int, int] = {}
+        self._deficits: dict[int, float] = {}  # D0 at the anchor epoch
+        self._shares: dict[int, float] = {}
+        self._bases: dict[int, float] = {}  # A = fl(D0 + share)
+        self._slopes: dict[int, float] = {}  # share - ran (at the anchor)
+        self._anchor_epoch = 0
+        self._anchor_marked: frozenset[int] | None = None
+        self._last_k = 0
+        self._plan: dict[int, tuple[tuple[int, int], ...]] = {}
+        self._n_solves = 0
+        self._n_lp_calls = 0
+        self._max_primal_residual = 0.0
+        self._max_duality_gap = 0.0
+        self._all_certified = True
+
+    def attach_round_context(self, ctx) -> None:
+        if ctx.placement_ctx.pm_table is None:
+            raise ConfigurationError(
+                f"{self.name} needs believed PM-Scores for its throughput "
+                "matrix but the run has no pm_table"
+            )
+        self._ctx = ctx
+
+    def _require_ctx(self):
+        if self._ctx is None:
+            raise ConfigurationError(
+                f"{self.name} runs only inside the round engine (it reads "
+                "capacity, beliefs and availability from the RoundContext); "
+                "drive it through ClusterSimulator or the sweep runner"
+            )
+        return self._ctx
+
+    # ------------------------------------------------------------------
+    # Allocation signature + solve
+    # ------------------------------------------------------------------
+    def _signature(self, jobs: Sequence[SimJob]):
+        ctx = self._ctx
+        table = ctx.placement_ctx.pm_table
+        token = getattr(table, "n_commits", None)
+        if token is None:
+            token = getattr(table, "n_updates", 0)
+        return (
+            tuple(sorted((j.job_id, j.demand, j.class_id) for j in jobs)),
+            ctx.capacity,
+            int(token),
+            ctx.cluster.available_mask.tobytes(),
+        )
+
+    def _materialized_deficits(self, epoch: int) -> dict[int, float]:
+        """Deficits at ``epoch`` (before that round's charge), closed form."""
+        k = epoch - self._anchor_epoch
+        return {
+            job_id: d0 + k * self._slopes[job_id]
+            for job_id, d0 in self._deficits.items()
+        }
+
+    def _resolve(self, jobs: Sequence[SimJob], sig, epoch: int) -> None:
+        ctx = self._ctx
+        table = ctx.placement_ctx.pm_table
+        classes = build_gpu_classes(
+            table, ctx.cluster.available_mask, ctx.placement_ctx.arch_of_gpu
+        )
+        problem = build_problem(
+            [j.job_id for j in jobs],
+            [j.demand for j in jobs],
+            [j.class_id for j in jobs],
+            classes,
+        )
+        if self.objective == "max-throughput":
+            alloc = solve_max_throughput(problem, self.backend)
+        else:
+            alloc = solve_max_min_fairness(problem, self.backend)
+        self._n_solves += 1
+        for cert in alloc.certificates:
+            self._n_lp_calls += 1
+            self._max_primal_residual = max(
+                self._max_primal_residual, cert.primal_residual
+            )
+            self._max_duality_gap = max(self._max_duality_gap, cert.duality_gap)
+            if not cert.ok():
+                self._all_certified = False
+        carried = self._materialized_deficits(epoch)
+        self._sig = sig
+        self._problem = problem
+        self._classes = classes
+        self._alloc = alloc
+        self._row_of = {job_id: row for row, job_id in enumerate(problem.job_ids)}
+        self._deficits = {
+            job_id: carried.get(job_id, 0.0) for job_id in problem.job_ids
+        }
+        self._shares = {
+            job_id: float(alloc.shares[row])
+            for job_id, row in self._row_of.items()
+        }
+        self._anchor_epoch = epoch
+        self._anchor_marked = None  # slopes assigned after this round's marking
+        # Keys for *this* round are evaluated at k = 0, where the slope
+        # does not contribute; zero slopes keep them well-defined.
+        self._slopes = {job_id: 0.0 for job_id in problem.job_ids}
+        self._bases = {
+            job_id: self._deficits[job_id] + self._shares[job_id]
+            for job_id in problem.job_ids
+        }
+
+    def _rebase(self, epoch: int, marked_ids: frozenset[int]) -> None:
+        """Move the anchor to ``epoch`` and charge the new marked set."""
+        self._deficits = self._materialized_deficits(epoch)
+        self._anchor_epoch = epoch
+        self._anchor_marked = marked_ids
+        self._slopes = {
+            job_id: self._shares[job_id] - (1.0 if job_id in marked_ids else 0.0)
+            for job_id in self._deficits
+        }
+        self._bases = {
+            job_id: d0 + self._shares[job_id]
+            for job_id, d0 in self._deficits.items()
+        }
+
+    # ------------------------------------------------------------------
+    # SchedulingPolicy interface
+    # ------------------------------------------------------------------
+    def order(self, jobs: Sequence[SimJob], now_s: float) -> list[SimJob]:
+        ctx = self._require_ctx()
+        epoch = ctx.epoch_idx
+        sig = self._signature(jobs)
+        if sig != self._sig:
+            self._resolve(jobs, sig, epoch)
+        k = epoch - self._anchor_epoch
+        bases, slopes = self._bases, self._slopes
+        ordered = sorted(
+            jobs,
+            key=lambda j: (
+                -(bases[j.job_id] + k * slopes[j.job_id]),
+                j.spec.arrival_time_s,
+                j.job_id,
+            ),
+        )
+        # Replicate the engine's marking so deficits charge exactly the
+        # jobs the OrderingStage will schedule this round.
+        n_marked = mark_queue_at_cluster_size(
+            [j.demand for j in ordered],
+            ctx.capacity,
+            strict=ctx.dynamics is None and ctx.profiling is None,
+        )
+        marked_ids = frozenset(j.job_id for j in ordered[:n_marked])
+        if marked_ids != self._anchor_marked:
+            self._rebase(epoch, marked_ids)
+        self._last_k = epoch - self._anchor_epoch
+        plan_rows = class_plan(
+            self._problem,
+            self._alloc.x,
+            [self._row_of[j.job_id] for j in ordered[:n_marked]],
+        )
+        job_ids = self._problem.job_ids
+        self._plan = {job_ids[row]: takes for row, takes in plan_rows.items()}
+        return ordered
+
+    def stable_epochs(
+        self, ordered: Sequence[SimJob], n_scheduled: int, horizon: int
+    ) -> int:
+        """Certify the deficit-key order over the window, exactly.
+
+        Keys evolve as the float chain ``fl(A + fl((p + m) * s))`` — the
+        same linear shape as LAS attained-service keys — so each adjacent
+        pair is certified with the exact rational gap-minus-wobble bound.
+        Bitwise-identical ``(A, s)`` pairs share identical keys forever
+        and fall to the static ``(arrival, id)`` tiebreak.  Conservative:
+        any pair whose strict order cannot be proven returns 0.
+        """
+        if horizon <= 0 or not ordered:
+            return 0
+        p = self._last_k
+        h = horizon
+        eps = Fraction(_EPS)
+        for i in range(len(ordered) - 1):
+            u, v = ordered[i], ordered[i + 1]
+            a_u, s_u = self._bases[u.job_id], self._slopes[u.job_id]
+            a_v, s_v = self._bases[v.job_id], self._slopes[v.job_id]
+            if a_u == a_v and s_u == s_v:
+                continue  # identical float keys at every epoch; static tiebreak
+            au, av = Fraction(a_u), Fraction(a_v)
+            su, sv = Fraction(s_u), Fraction(s_v)
+            # u precedes v, so certify key_u(m) > key_v(m) strictly: the
+            # exact gap at the current offset p minus a 2x-safe rounding
+            # wobble, both linear in the epochs-ahead count.
+            gap0 = (au + p * su) - (av + p * sv)
+            wobble0 = 2 * eps * (abs(au) + p * abs(su) + abs(av) + p * abs(sv))
+            f0 = gap0 - wobble0
+            slope = (su - sv) - 2 * eps * (abs(su) + abs(sv))
+            h = min(h, _certified_linear_epochs(f0, slope, h))
+            if h <= 0:
+                return 0
+        return h
+
+    # ------------------------------------------------------------------
+    # Solver-lane accessors (placement + diagnostics)
+    # ------------------------------------------------------------------
+    def plan_for(self, job_id: int) -> tuple[tuple[int, int], ...] | None:
+        """This round's ``(gpu_class, count)`` plan for a marked job."""
+        return self._plan.get(job_id)
+
+    def gpu_classes(self) -> GPUClasses:
+        if self._classes is None:
+            raise ConfigurationError(
+                f"{self.name} has not solved an allocation yet"
+            )
+        return self._classes
+
+    def solver_summary(self) -> dict[str, object]:
+        """Aggregated certification stats, attached to run metadata."""
+        return {
+            "objective": self.objective,
+            "n_solves": self._n_solves,
+            "n_lp_calls": self._n_lp_calls,
+            "max_primal_residual": self._max_primal_residual,
+            "max_duality_gap": self._max_duality_gap,
+            "all_certified": bool(self._all_certified),
+        }
+
+
+class SolverPlacement(PlacementPolicy):
+    """Realizes the paired :class:`GavelScheduler`'s per-class plan.
+
+    Deterministic and non-sticky: every round each marked job receives
+    exactly the whole-GPU class counts from the round's plan, packed
+    within each class (tightest node first).  The defensive fallback —
+    believed-score order over the remaining free pool — only triggers if
+    the plan and the free pool ever disagree, which the capacity
+    accounting rules out on the engine's path."""
+
+    sticky = False
+    variability_aware = True
+    deterministic = True
+    requires_round_context = True
+
+    def __init__(self, objective: str = "max-throughput"):
+        self.objective = _check_objective(objective)
+        self.name = _DISPLAY[self.objective]
+        self._scheduler: GavelScheduler | None = None
+
+    def attach_round_context(self, ctx) -> None:
+        scheduler = ctx.scheduler
+        if not isinstance(scheduler, GavelScheduler):
+            raise ConfigurationError(
+                f"the {self.name} placement realizes the {self.name} "
+                f"scheduler's LP plan; pair it with the matching gavel-* "
+                f"scheduler (got {scheduler.name!r})"
+            )
+        if scheduler.objective != self.objective:
+            raise ConfigurationError(
+                f"solver objective mismatch: scheduler optimizes "
+                f"{scheduler.objective!r}, placement expects {self.objective!r}"
+            )
+        self._scheduler = scheduler
+
+    def select_gpus(self, ctx: PlacementContext, job: SimJob) -> np.ndarray:
+        if self._scheduler is None:
+            raise ConfigurationError(
+                f"{self.name} runs only inside the round engine; drive it "
+                "through ClusterSimulator or the sweep runner"
+            )
+        state, topo = ctx.state, ctx.topology
+        if state.n_free < job.demand:
+            raise AllocationError(
+                f"job {job.job_id}: demand {job.demand} exceeds "
+                f"{state.n_free} free GPUs"
+            )
+        free = state.free_gpu_ids()
+        chosen: list[np.ndarray] = []
+        needed = job.demand
+        plan = self._scheduler.plan_for(job.job_id)
+        if plan is not None:
+            gpu_class = self._scheduler.gpu_classes().gpu_class
+            for cls, count in plan:
+                if needed <= 0:
+                    break
+                members = free[gpu_class[free] == cls]
+                take_n = int(min(count, needed, members.size))
+                if take_n <= 0:
+                    continue
+                take = packed_take(topo, members, take_n)
+                chosen.append(take)
+                needed -= take.size
+        if needed > 0:
+            # Defensive completion: best believed GPUs among what's left.
+            taken = (
+                np.concatenate(chosen) if chosen else np.empty(0, dtype=np.int64)
+            )
+            rest = free[~np.isin(free, taken)]
+            scores = ctx.binned_scores(job.class_id)
+            order = np.argsort(scores[rest], kind="stable")
+            chosen.append(rest[order[:needed]])
+        return np.sort(np.concatenate(chosen))

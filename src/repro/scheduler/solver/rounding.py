@@ -1,0 +1,129 @@
+"""Integral rounding of Gavel's fractional allocation, as pure functions.
+
+The LP hands back time *fractions*; the engine schedules whole GPUs for
+whole rounds.  The solver lane realizes the fractions the way Gavel's
+round-based scheduler does:
+
+1. each round, rank jobs by ``deficit + share`` (jobs owed the most time
+   first) and mark the guaranteed prefix with the engine's own
+   :func:`~repro.core.pm_first.mark_queue_at_cluster_size`;
+2. hand each marked job, in priority order, its demand in whole GPUs
+   drawn from its preferred GPU classes (descending LP weight, then
+   descending rate — :func:`rank_classes` / :func:`class_plan`);
+3. update ``deficit += share - ran`` so a job's long-run scheduled
+   frequency converges to its LP share (:func:`simulate_rounds` is the
+   reference loop the property tests drive).
+
+Everything here is deliberately free of engine state so the
+differential tests (:mod:`tests.test_solver_differential`) and the
+in-engine :class:`~repro.scheduler.solver.policy.GavelScheduler` share
+one implementation — the tests certify exactly the code the simulator
+runs.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ...core.pm_first import mark_queue_at_cluster_size
+from ...utils.errors import AllocationError
+from .allocation import AllocationProblem
+
+__all__ = [
+    "rank_classes",
+    "class_plan",
+    "integral_objective",
+    "simulate_rounds",
+]
+
+
+def rank_classes(problem: AllocationProblem, x: np.ndarray, row: int) -> list[int]:
+    """Job ``row``'s GPU-class preference: by LP weight, then rate, then id.
+
+    Deterministic (final tiebreak on the class index) so identical
+    solves always round identically."""
+    k = problem.n_gpu_classes
+    return sorted(
+        range(k),
+        key=lambda cls: (-float(x[row, cls]), -float(problem.rates[row, cls]), cls),
+    )
+
+
+def class_plan(
+    problem: AllocationProblem, x: np.ndarray, marked_rows: Sequence[int]
+) -> dict[int, tuple[tuple[int, int], ...]]:
+    """Greedy per-class GPU counts for each marked job, in marked order.
+
+    Returns ``{problem row -> ((gpu_class, count), ...)}``.  The caller
+    guarantees the marked prefix's total demand fits the summed class
+    capacities (that is what queue marking checks), so the greedy walk
+    always completes."""
+    remaining = problem.capacities.astype(np.int64).copy()
+    plan: dict[int, tuple[tuple[int, int], ...]] = {}
+    for row in marked_rows:
+        need = int(problem.demands[row])
+        takes: list[tuple[int, int]] = []
+        for cls in rank_classes(problem, x, row):
+            if need == 0:
+                break
+            take = int(min(need, remaining[cls]))
+            if take > 0:
+                takes.append((cls, take))
+                remaining[cls] -= take
+                need -= take
+        if need > 0:  # pragma: no cover - marking guarantees capacity
+            raise AllocationError(
+                f"class plan short {need} GPUs for problem row {row}"
+            )
+        plan[row] = tuple(takes)
+    return plan
+
+
+def integral_objective(
+    problem: AllocationProblem,
+    plan: Mapping[int, tuple[tuple[int, int], ...]],
+) -> float:
+    """Realized one-round throughput of an integral plan.
+
+    BSP semantics (engine's ExecutionStage): a job synchronizes at the
+    pace of its *slowest* assigned GPU, so its realized rate is the
+    minimum rate over the classes it uses — not the capacity-weighted
+    mean the LP credits.  The differential tests measure the rounding
+    loss as the gap between this and the LP optimum."""
+    total = 0.0
+    for row, takes in plan.items():
+        if takes:
+            total += min(float(problem.rates[row, cls]) for cls, _ in takes)
+    return total
+
+
+def simulate_rounds(
+    problem: AllocationProblem,
+    shares: np.ndarray,
+    n_rounds: int,
+) -> tuple[list[tuple[list[int], list[int]]], np.ndarray]:
+    """Reference deficit loop: the real-arithmetic twin of the policy.
+
+    Runs ``n_rounds`` of [rank by ``deficit + share`` → mark prefix →
+    charge deficits] over a fixed job set and returns the per-round
+    ``(order, marked)`` row lists plus the final deficit vector.  The
+    property tests assert deficits stay bounded and mean-zero — the
+    invariant that makes LP shares meaningful across rounds."""
+    j = problem.n_jobs
+    capacity = int(problem.capacities.sum())
+    deficits = np.zeros(j)
+    history: list[tuple[list[int], list[int]]] = []
+    for _ in range(n_rounds):
+        priority = deficits + shares
+        order = sorted(range(j), key=lambda row: (-priority[row], row))
+        n_marked = mark_queue_at_cluster_size(
+            [int(problem.demands[row]) for row in order], capacity, strict=False
+        )
+        marked = order[:n_marked]
+        history.append((order, marked))
+        ran = np.zeros(j)
+        ran[marked] = 1.0
+        deficits = deficits + shares - ran
+    return history, deficits

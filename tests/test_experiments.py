@@ -29,7 +29,7 @@ class TestRegistry:
             "fig03", "fig05", "fig06-08", "table4", "fig11", "fig12", "fig13",
             "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
             "headline", "online", "hetero", "elastic", "dynamics",
-            "reprofiling",
+            "reprofiling", "gavel",
         }
 
     def test_unknown_experiment(self):

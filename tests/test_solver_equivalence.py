@@ -1,0 +1,206 @@
+"""Fast-forward equivalence and inertness for the solver lane.
+
+The solver policies keep the event-horizon fast-forward ON by keeping
+deficit keys in closed form (``fl(A + fl(k * slope))``) and certifying
+pairwise order with exact rational arithmetic — so the naive per-epoch
+loop and the fast-forward engine must produce bit-identical outputs,
+including under cluster dynamics and re-profiling campaigns, and the
+jump must actually fire (the certification is not vacuously zero).
+
+Inertness: runs that never name a ``gavel-*`` policy must never import
+scipy or the solver package — the heuristic lanes stay solver-free, and
+the golden results of every pre-existing experiment cannot depend on
+whether scipy is installed.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.cluster.topology import ClusterTopology, LocalityModel
+from repro.dynamics import DriftSpec, DynamicsConfig
+from repro.profiling import ProfilingConfig
+from repro.scheduler.placement import make_placement
+from repro.scheduler.policies import make_scheduler
+from repro.scheduler.simulator import ClusterSimulator, SimulatorConfig
+from repro.traces.job import JobSpec
+from repro.traces.trace import Trace
+from repro.utils.rng import stream
+from repro.variability.synthetic import synthesize_profile
+
+#: Belief/dynamics scenarios the solver lane must stay bit-identical
+#: under: the static paper setting, periodic campaigns, pure drift, and
+#: failures combined with campaigns (the re-anchor-heavy worst case).
+SCENARIOS: dict[str, SimulatorConfig] = {
+    "static": SimulatorConfig(),
+    "profiling": SimulatorConfig(
+        profiling=ProfilingConfig(period_hours=2.0, max_concurrent_gpus=4),
+    ),
+    "drift": SimulatorConfig(
+        dynamics=DynamicsConfig(
+            drift=DriftSpec(kind="ou", interval_epochs=9, sigma=0.05)
+        ),
+    ),
+    "failures+profiling": SimulatorConfig(
+        dynamics=DynamicsConfig(
+            gpu_failure_rate_per_hour=0.01, repair_time_s=2.0 * 3600.0
+        ),
+        profiling=ProfilingConfig(period_hours=2.0, max_concurrent_gpus=4),
+    ),
+}
+
+
+def _profile(n=16):
+    return synthesize_profile("longhorn", seed=0).sample(
+        n, rng=stream(0, "solver-eq/sample")
+    )
+
+
+def _sparse_trace(seed, n_jobs=6, epoch_s=300.0):
+    rng = np.random.default_rng(seed)
+    specs, t = [], 0.0
+    for i in range(n_jobs):
+        t += float(rng.integers(0, 60)) * epoch_s
+        specs.append(
+            JobSpec(
+                job_id=i,
+                arrival_time_s=t,
+                demand=int(rng.integers(1, 6)),
+                model="resnet50",
+                class_id=int(rng.integers(0, 3)),
+                iteration_time_s=0.25,
+                total_iterations=int(rng.integers(2000, 40 * 1200)),
+            )
+        )
+    return Trace(name=f"solver-eq-{seed}", jobs=tuple(specs))
+
+
+def _simulate(trace, policy, base_config, *, fast_forward, seed=0):
+    config_kwargs = {
+        "fast_forward": fast_forward,
+        "record_events": True,
+        "validate_invariants": True,
+        "profiling": base_config.profiling,
+        "dynamics": base_config.dynamics,
+    }
+    sim = ClusterSimulator(
+        topology=ClusterTopology.from_gpu_count(16),
+        true_profile=_profile(),
+        scheduler=make_scheduler(policy),
+        placement=make_placement(policy),
+        locality=LocalityModel(across_node=1.5),
+        config=SimulatorConfig(**config_kwargs),
+        seed=seed,
+    )
+    return sim.run(trace)
+
+
+class TestSolverFastForwardEquivalence:
+    @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+    @pytest.mark.parametrize("policy", ("gavel-mt", "gavel-mmf"))
+    def test_bit_identical_across_engines(self, scenario, policy):
+        trace = _sparse_trace(seed=11)
+        cfg = SCENARIOS[scenario]
+        naive = _simulate(trace, policy, cfg, fast_forward=False)
+        fast = _simulate(trace, policy, cfg, fast_forward=True)
+        assert naive.same_outcome_as(fast) == []
+        fast.events.validate()
+        assert naive.metadata.get("profiling") == fast.metadata.get("profiling")
+        assert naive.metadata.get("dynamics") == fast.metadata.get("dynamics")
+        # The LP ran the same number of times down both paths: a skipped
+        # quiet window never crosses a signature change.
+        assert naive.metadata["solver"] == fast.metadata["solver"]
+        assert fast.metadata["solver"]["all_certified"]
+
+    @pytest.mark.parametrize("policy", ("gavel-mt", "gavel-mmf"))
+    def test_jump_actually_fires(self, policy):
+        """stable_epochs is not vacuous: on a sparse static trace most
+        rounds are skipped (0.0 placement wall-clock) and the outputs
+        still match the naive loop."""
+        trace = _sparse_trace(seed=3, n_jobs=5)
+        cfg = SCENARIOS["static"]
+        naive = _simulate(trace, policy, cfg, fast_forward=False)
+        fast = _simulate(trace, policy, cfg, fast_forward=True)
+        assert naive.same_outcome_as(fast) == []
+        skipped = np.count_nonzero(fast.placement_times_s == 0.0)
+        assert skipped > 0.5 * len(fast.placement_times_s)
+
+    @pytest.mark.parametrize("seed", (1, 7, 23))
+    def test_seed_sweep_under_failures(self, seed):
+        """The re-anchor-heavy scenario across seeds: every failure or
+        campaign changes the availability mask, forcing a re-solve, and
+        the engines must agree on when."""
+        trace = _sparse_trace(seed=seed)
+        cfg = SCENARIOS["failures+profiling"]
+        naive = _simulate(trace, "gavel-mt", cfg, fast_forward=False, seed=seed)
+        fast = _simulate(trace, "gavel-mt", cfg, fast_forward=True, seed=seed)
+        assert naive.same_outcome_as(fast) == []
+        assert naive.metadata["solver"] == fast.metadata["solver"]
+
+
+_INERTNESS_SCRIPT = """
+import json
+import sys
+
+import numpy as np
+
+from repro.cluster.topology import ClusterTopology, LocalityModel
+from repro.scheduler.placement import make_placement
+from repro.scheduler.policies import make_scheduler
+from repro.scheduler.simulator import ClusterSimulator, SimulatorConfig
+from repro.traces.job import JobSpec
+from repro.traces.trace import Trace
+from repro.utils.rng import stream
+from repro.variability.synthetic import synthesize_profile
+
+trace = Trace(
+    name="inert",
+    jobs=tuple(
+        JobSpec(
+            job_id=i, arrival_time_s=600.0 * i, demand=2, model="resnet50",
+            class_id=i % 3, iteration_time_s=0.25, total_iterations=4000,
+        )
+        for i in range(4)
+    ),
+)
+sim = ClusterSimulator(
+    topology=ClusterTopology.from_gpu_count(16),
+    true_profile=synthesize_profile("longhorn", seed=0).sample(
+        16, rng=stream(0, "inert/sample")
+    ),
+    scheduler=make_scheduler("las"),
+    placement=make_placement("pal"),
+    locality=LocalityModel(across_node=1.5),
+    config=SimulatorConfig(),
+    seed=0,
+)
+result = sim.run(trace)
+print(json.dumps({
+    "n_jobs": len(result.records),
+    "scipy_imported": any(m == "scipy" or m.startswith("scipy.")
+                          for m in sys.modules),
+    "solver_imported": "repro.scheduler.solver" in sys.modules,
+}))
+"""
+
+
+class TestHeuristicLanesStaySolverFree:
+    def test_pal_run_never_imports_scipy(self):
+        """A full las+pal simulation in a fresh interpreter: scipy and
+        the solver package must be absent from sys.modules at exit —
+        the solver lane is opt-in, never a hidden dependency."""
+        proc = subprocess.run(
+            [sys.executable, "-c", _INERTNESS_SCRIPT],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        report = json.loads(proc.stdout.strip().splitlines()[-1])
+        assert report["n_jobs"] == 4
+        assert not report["scipy_imported"]
+        assert not report["solver_imported"]

@@ -1,0 +1,351 @@
+"""Property tests for the solver lane's allocation machinery.
+
+Three families of invariants, each checked on randomized instances:
+
+* **Plan feasibility** — :func:`class_plan` never oversubscribes a GPU
+  class and always delivers each marked job its full demand; and a full
+  engine run under failures + re-profiling (``validate_invariants=True``)
+  never hands a job an out-of-service GPU.
+* **Max-min lexicography** — no job's throughput level can be raised
+  without lowering a job at an equal-or-lower level.  (The check must
+  hold *equal*-level peers fixed, not just strictly poorer ones: on a
+  shared bottleneck the whole tier sits at one waterlevel, and freeing
+  the peers would let any one job drain the tier.)
+* **Deficit dynamics** — the round-realization loop is starvation-free:
+  with feasible unit-demand shares the positive deficit (time owed) of
+  every job stays O(1) regardless of horizon, and in a fully-contended
+  system (shares sum to the slot count) deficits are bounded two-sided
+  and conserved (sum stays zero).  Negative drift under light load is
+  expected — it just means a job ran more than its share — so no
+  two-sided bound is asserted there.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.topology import ClusterTopology, LocalityModel
+from repro.dynamics import DriftSpec, DynamicsConfig
+from repro.profiling import ProfilingConfig
+from repro.scheduler.placement import make_placement
+from repro.scheduler.policies import make_scheduler
+from repro.scheduler.simulator import ClusterSimulator, SimulatorConfig
+from repro.scheduler.solver import (
+    GPUClasses,
+    ScipyLinProgBackend,
+    SolveCertificate,
+    build_problem,
+    solve_max_min_fairness,
+    solve_max_throughput,
+)
+from repro.scheduler.solver.rounding import class_plan, simulate_rounds
+from repro.traces.job import JobSpec
+from repro.traces.trace import Trace
+from repro.utils.errors import SimulationError
+from repro.utils.rng import stream
+from repro.variability.synthetic import synthesize_profile
+
+BACKEND = ScipyLinProgBackend()
+
+
+def make_instance(seed, *, unit_demand=False):
+    rng = np.random.default_rng(seed)
+    n_classes = int(rng.integers(1, 4))
+    caps = rng.integers(1, 4, size=n_classes).astype(np.int64)
+    n_jobs = int(rng.integers(2, 8))
+    demands = (
+        np.ones(n_jobs, dtype=np.int64)
+        if unit_demand
+        else rng.integers(1, 4, size=n_jobs).astype(np.int64)
+    )
+    classes = GPUClasses(
+        gpu_class=np.zeros(0, dtype=np.int64),
+        capacities=caps,
+        class_scores=rng.uniform(1.0, 3.0, size=(3, n_classes)),
+    )
+    return build_problem(
+        list(range(n_jobs)),
+        demands.tolist(),
+        rng.integers(0, 3, size=n_jobs).tolist(),
+        classes,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Plan feasibility
+# ---------------------------------------------------------------------------
+
+
+class TestPlanFeasibility:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        objective=st.sampled_from(("max-throughput", "max-min-fairness")),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_class_plan_respects_capacity_and_demand(self, seed, objective):
+        problem = make_instance(seed)
+        solve = (
+            solve_max_throughput
+            if objective == "max-throughput"
+            else solve_max_min_fairness
+        )
+        alloc = solve(problem, BACKEND)
+        history, _ = simulate_rounds(problem, alloc.shares, 3)
+        for _, marked in history:
+            plan = class_plan(problem, alloc.x, marked)
+            assert sorted(plan) == sorted(marked)
+            used = np.zeros(problem.n_gpu_classes, dtype=np.int64)
+            for row, takes in plan.items():
+                counts = [count for _, count in takes]
+                assert all(count > 0 for count in counts)
+                assert sum(counts) == int(problem.demands[row])
+                for cls, count in takes:
+                    used[cls] += count
+            assert np.all(used <= problem.capacities)
+
+    @pytest.mark.parametrize("policy", ("gavel-mt", "gavel-mmf"))
+    def test_engine_run_respects_cluster_invariants(self, policy):
+        """Failures pull GPUs out of service mid-run and campaigns hold
+        measurement batches; validate_invariants makes the cluster state
+        itself assert no assigned GPU is ever out of service."""
+        rng = np.random.default_rng(5)
+        t, specs = 0.0, []
+        for i in range(6):
+            t += float(rng.integers(0, 40)) * 300.0
+            specs.append(
+                JobSpec(
+                    job_id=i,
+                    arrival_time_s=t,
+                    demand=int(rng.integers(1, 5)),
+                    model="resnet50",
+                    class_id=int(rng.integers(0, 3)),
+                    iteration_time_s=0.25,
+                    total_iterations=int(rng.integers(2000, 20000)),
+                )
+            )
+        sim = ClusterSimulator(
+            topology=ClusterTopology.from_gpu_count(16),
+            true_profile=synthesize_profile("longhorn", seed=0).sample(
+                16, rng=stream(0, "solver-prop/sample")
+            ),
+            scheduler=make_scheduler(policy),
+            placement=make_placement(policy),
+            locality=LocalityModel(across_node=1.5),
+            config=SimulatorConfig(
+                validate_invariants=True,
+                dynamics=DynamicsConfig(
+                    gpu_failure_rate_per_hour=0.02,
+                    repair_time_s=2.0 * 3600.0,
+                    drift=DriftSpec(kind="ou", interval_epochs=9, sigma=0.05),
+                ),
+                profiling=ProfilingConfig(
+                    period_hours=2.0, max_concurrent_gpus=4
+                ),
+            ),
+            seed=3,
+        )
+        result = sim.run(Trace(name="solver-prop", jobs=tuple(specs)))
+        assert result.metadata["solver"]["all_certified"]
+        assert result.metadata["solver"]["n_lp_calls"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Max-min lexicographic optimality
+# ---------------------------------------------------------------------------
+
+
+class TestMaxMinLexicographic:
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_no_level_can_rise_without_hurting_a_peer(self, seed):
+        """For each job j, re-maximize f_j holding every job at an
+        equal-or-lower level to its (relaxed) level: the optimum must not
+        exceed j's own level.  Richer jobs are deliberately left free —
+        max-min is allowed to take from them."""
+        problem = make_instance(seed)
+        alloc = solve_max_min_fairness(problem, BACKEND)
+        lv = alloc.levels
+        j, k = problem.n_jobs, problem.n_gpu_classes
+        a = np.zeros((j + k, j * k))
+        for row in range(j):
+            a[row, row * k : (row + 1) * k] = 1.0
+        for col in range(k):
+            a[j + col, col : j * k : k] = problem.demands.astype(np.float64)
+        b = np.concatenate(
+            [np.ones(j), problem.capacities.astype(np.float64)]
+        )
+        for target in range(j):
+            rows, bs = [], []
+            for other in range(j):
+                if other == target:
+                    continue
+                if lv[other] <= lv[target] * (1 + 1e-6) + 1e-9:
+                    row = np.zeros(j * k)
+                    row[other * k : (other + 1) * k] = -problem.rates[other]
+                    rows.append(row)
+                    bs.append(-(lv[other] - 1e-8 * max(1.0, abs(lv[other]))))
+            a_full = np.vstack([a] + [np.asarray(rows)]) if rows else a
+            b_full = np.concatenate([b, np.asarray(bs)]) if rows else b
+            c = np.zeros(j * k)
+            c[target * k : (target + 1) * k] = -problem.rates[target]
+            sol = BACKEND.solve(c, a_full, b_full)
+            assert sol.certificate.ok()
+            best = -sol.objective
+            assert best <= lv[target] * (1 + 1e-5) + 1e-6, (
+                f"job {target} could rise {best} > level {lv[target]} "
+                "without hurting an equal-or-poorer job"
+            )
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_levels_sorted_invariance(self, seed):
+        """Levels are a deterministic function of the instance (solve
+        twice, bit-identical) and non-negative."""
+        problem = make_instance(seed)
+        first = solve_max_min_fairness(problem, BACKEND)
+        second = solve_max_min_fairness(problem, BACKEND)
+        assert np.array_equal(first.levels, second.levels)
+        assert np.array_equal(first.x, second.x)
+        assert np.all(first.levels >= 0.0)
+
+
+# ---------------------------------------------------------------------------
+# Deficit dynamics
+# ---------------------------------------------------------------------------
+
+N_ROUNDS = 500
+
+
+class TestDeficitDynamics:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        objective=st.sampled_from(("max-throughput", "max-min-fairness")),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_no_starvation_under_lp_shares(self, seed, objective):
+        """Positive deficit = time owed.  With feasible unit-demand LP
+        shares it never exceeds a small constant, at any horizon — the
+        marking serves owed jobs before they fall a full round behind."""
+        problem = make_instance(seed, unit_demand=True)
+        solve = (
+            solve_max_throughput
+            if objective == "max-throughput"
+            else solve_max_min_fairness
+        )
+        alloc = solve(problem, BACKEND)
+        _, deficits = simulate_rounds(problem, alloc.shares, N_ROUNDS)
+        assert float(deficits.max()) <= 2.0
+        # Time owed per round vanishes: the realization tracks the LP.
+        assert float(deficits.max()) / N_ROUNDS < 1e-2
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=30, deadline=None)
+    def test_contended_deficits_bounded_and_conserved(self, seed):
+        """Fully-contended fractional shares (sum == slot count): every
+        deficit stays in a [-(J+2), J+2] band and the total is exactly
+        conserved at zero — each round charges sum(shares) and credits
+        one per marked job, and those are equal."""
+        rng = np.random.default_rng(seed)
+        cap = int(rng.integers(1, 5))
+        n_jobs = cap + int(rng.integers(1, 5))
+        classes = GPUClasses(
+            gpu_class=np.zeros(0, dtype=np.int64),
+            capacities=np.asarray([cap], dtype=np.int64),
+            class_scores=rng.uniform(1.0, 3.0, size=(3, 1)),
+        )
+        problem = build_problem(
+            list(range(n_jobs)),
+            [1] * n_jobs,
+            rng.integers(0, 3, size=n_jobs).tolist(),
+            classes,
+        )
+        weights = rng.uniform(0.2, 1.0, size=n_jobs)
+        shares = weights / weights.sum() * cap
+        while np.max(shares) > 1.0:  # clip and redistribute the overflow
+            over = shares > 1.0
+            excess = float(np.sum(shares[over] - 1.0))
+            shares[over] = 1.0
+            under = ~over
+            shares[under] += excess * shares[under] / shares[under].sum()
+        _, deficits = simulate_rounds(problem, shares, N_ROUNDS)
+        assert np.all(np.abs(deficits) <= n_jobs + 2)
+        assert float(deficits.sum()) == pytest.approx(0.0, abs=1e-6)
+
+    def test_deficit_drift_documented_for_bin_packing_loss(self):
+        """Non-unit demands can defeat prefix marking (a 2-GPU job that
+        never co-schedules with its LP partners), so boundedness is
+        *not* claimed there — pin one such instance so the limitation
+        stays visible if the marking ever changes."""
+        classes = GPUClasses(
+            gpu_class=np.zeros(0, dtype=np.int64),
+            capacities=np.asarray([1, 1, 1], dtype=np.int64),
+            class_scores=np.full((3, 3), 2.0),
+        )
+        problem = build_problem([0, 1, 2], [2, 2, 2], [0, 0, 0], classes)
+        # LP time-shares three 2-GPU jobs over 3 GPUs (shares 0.75 each);
+        # integral rounds fit only one job at a time (ran 1/3 each).
+        shares = np.asarray([0.75, 0.75, 0.75])
+        _, deficits = simulate_rounds(problem, shares, 120)
+        assert float(deficits.min()) > 0.0  # all three fall behind
+        assert float(deficits.sum()) == pytest.approx(
+            120 * (0.75 * 3 - 1), abs=1e-6
+        )
+
+
+# ---------------------------------------------------------------------------
+# Certificates
+# ---------------------------------------------------------------------------
+
+
+class TestCertificates:
+    def test_certificate_rejects_bad_gap_or_residual(self):
+        good = SolveCertificate(
+            status=0, objective=10.0, primal_residual=1e-9, duality_gap=1e-9
+        )
+        assert good.ok()
+        bad_gap = SolveCertificate(
+            status=0, objective=10.0, primal_residual=0.0, duality_gap=1e-3
+        )
+        assert not bad_gap.ok()
+        bad_primal = SolveCertificate(
+            status=0, objective=10.0, primal_residual=1e-3, duality_gap=0.0
+        )
+        assert not bad_primal.ok()
+        bad_status = SolveCertificate(
+            status=2, objective=0.0, primal_residual=0.0, duality_gap=0.0
+        )
+        assert not bad_status.ok()
+
+    def test_certificate_scales_with_objective(self):
+        """The gap tolerance is relative: a 1e-5 gap on a 1e4 objective
+        is fine, the same gap on a unit objective is fine too, but a
+        unit gap is not."""
+        assert SolveCertificate(0, 1e4, 0.0, 1e-5).ok()
+        assert SolveCertificate(0, 1.0, 0.0, 1e-5).ok(tol=1e-4)
+        assert not SolveCertificate(0, 1.0, 0.0, 1.0).ok()
+
+    def test_infeasible_lp_raises(self):
+        # x <= -1 with x >= 0 is infeasible; linprog reports status 2.
+        with pytest.raises(SimulationError):
+            BACKEND.solve(
+                np.asarray([1.0]),
+                np.asarray([[1.0]]),
+                np.asarray([-1.0]),
+            )
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_every_solve_is_certified(self, seed):
+        problem = make_instance(seed)
+        for solve in (solve_max_throughput, solve_max_min_fairness):
+            alloc = solve(problem, BACKEND)
+            assert alloc.certificates, "non-trivial instance must solve LPs"
+            for cert in alloc.certificates:
+                assert cert.ok()
+                assert cert.primal_residual <= 1e-7
+                assert cert.duality_gap <= 1e-6 * max(
+                    1.0, abs(cert.objective)
+                )
