@@ -16,6 +16,7 @@ Set ``REPRO_BENCH_SCALE=smoke|ci|paper`` to size the runs (default: ci).
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 from pathlib import Path
@@ -46,6 +47,25 @@ def report(capsys, request):
         (_OUT_DIR / f"{name}.txt").write_text(text + "\n")
 
     return _report
+
+
+@pytest.fixture
+def bench_json(request):
+    """Persist machine-readable headline numbers as BENCH_<name>.json.
+
+    The perf benches (runner scaling, fast-forward, batched lane) emit
+    their cells/sec, speedups, and fast-forward ratios here so CI can
+    upload one artifact per run and diffs across commits are greppable.
+    """
+
+    def _write(payload: dict) -> Path:
+        _OUT_DIR.mkdir(exist_ok=True)
+        name = request.node.name.replace("/", "_")
+        path = _OUT_DIR / f"BENCH_{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return path
+
+    return _write
 
 
 def run_once(benchmark, fn):

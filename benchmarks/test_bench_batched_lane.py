@@ -1,0 +1,95 @@
+"""Engine benchmark: the vectorized multi-cell lane vs per-cell dispatch.
+
+Runs a fixed 24-cell smoke grid (FIFO x four sticky placements x six
+seeds) twice on a single core: once through the standard per-cell
+serial path and once through :func:`repro.runner.batched.run_batched`,
+which executes eligible cells with the event-driven FIFO lane.  Pins
+the tentpole claims: bit-identical outputs and >= 2x on smoke grids,
+with headline numbers in ``BENCH_test_batched_lane.json``.
+
+The grid is fixed (not scaled by ``REPRO_BENCH_SCALE``) so numbers are
+comparable across machines and commits.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.reporting import format_table
+from repro.runner import (
+    EnvSpec,
+    RunSpec,
+    TraceSpec,
+    execute_run_spec,
+    run_batched,
+)
+from repro.scheduler.simulator import SimulatorConfig
+
+_PLACEMENTS = ("tiresias", "random-sticky", "pm-first-sticky", "pal-sticky")
+_SEEDS = tuple(range(6))
+
+
+def _cells():
+    return [
+        RunSpec(
+            trace=TraceSpec(kind="synergy", load=8.0, n_jobs=24, seed=7),
+            env=EnvSpec(n_gpus=32),
+            scheduler="fifo",
+            placement=placement,
+            seed=seed,
+            config=SimulatorConfig(),
+        )
+        for placement in _PLACEMENTS
+        for seed in _SEEDS
+    ]
+
+
+def test_batched_lane(report, bench_json):
+    cells = _cells()
+    # Warm both paths once so the comparison is engine-vs-lane, not
+    # cache-fill-vs-cache-hit (trace/env build memos, lane precheck).
+    serial_results = [execute_run_spec(c) for c in cells]
+    run_batched(cells)
+
+    serial_s = float("inf")
+    batched_s = float("inf")
+    batched_results = None
+    for _ in range(5):
+        t0 = time.perf_counter()
+        serial_results = [execute_run_spec(c) for c in cells]
+        serial_s = min(serial_s, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        batched_results = run_batched(cells)
+        batched_s = min(batched_s, time.perf_counter() - t0)
+
+    for a, b in zip(serial_results, batched_results):
+        assert a.same_outcome_as(b) == []
+
+    speedup = serial_s / batched_s
+    table = format_table(
+        ["path", "cells", "wall_ms", "cells_per_s", "speedup"],
+        [
+            ["per-cell serial", len(cells), serial_s * 1e3,
+             len(cells) / serial_s, 1.0],
+            ["batched lane", len(cells), batched_s * 1e3,
+             len(cells) / batched_s, speedup],
+        ],
+        precision=2,
+        title=(
+            "vectorized multi-cell lane vs per-cell dispatch "
+            f"({len(cells)}-cell FIFO+sticky smoke grid, bit-identical)"
+        ),
+    )
+    report(table + "\nall lane outcomes bit-identical to serial: True")
+    bench_json(
+        {
+            "cells": len(cells),
+            "serial_wall_s": serial_s,
+            "serial_cells_per_s": len(cells) / serial_s,
+            "batched_wall_s": batched_s,
+            "batched_cells_per_s": len(cells) / batched_s,
+            "speedup_vs_serial": speedup,
+        }
+    )
+    # Tentpole acceptance: >= 2x over per-cell dispatch on smoke grids.
+    assert speedup >= 2.0, f"batched lane only {speedup:.2f}x"

@@ -1,0 +1,116 @@
+"""Engine benchmark: fast-forward on elastic traces.
+
+PR 8's resize-stability proof re-enables the event-horizon fast-forward
+for :class:`~repro.scheduler.policies.ElasticLASScheduler` runs (it was
+previously forced off whenever a trace carried elastic jobs).  This
+bench runs a very sparse elastic workload through the naive per-epoch
+loop and the fast-forward engine, pins bit-identical outputs and the
+>= 10x sparse-trace speedup, and records the fast-forward ratio in
+``BENCH_test_elastic_fastforward.json``.
+
+The grid is fixed (not scaled by ``REPRO_BENCH_SCALE``) so numbers are
+comparable across machines and commits.  Contended elastic traces are
+deliberately absent: under constant resize churn there is nothing to
+skip and the honest speedup is ~1x — sparse traces are where elastic
+users were paying the naive-loop tax.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.reporting import format_table
+from repro.cluster.topology import ClusterTopology
+from repro.scheduler.placement import make_placement
+from repro.scheduler.policies import ElasticLASScheduler
+from repro.scheduler.simulator import ClusterSimulator, SimulatorConfig
+from repro.traces.job import JobSpec
+from repro.traces.trace import Trace
+from repro.utils.rng import stream
+from repro.variability.synthetic import synthesize_profile
+
+_EPOCH_S = 300.0
+_N_GPUS = 64
+_GAP_EPOCHS = 400
+_DUR_EPOCHS = 350
+_N_JOBS = 30
+_HOLDS = (1, 2)
+
+
+def _trace() -> Trace:
+    specs = tuple(
+        JobSpec(
+            job_id=i,
+            arrival_time_s=i * _GAP_EPOCHS * _EPOCH_S,
+            demand=1 + (i % 8),
+            model="resnet50",
+            class_id=i % 3,
+            iteration_time_s=0.25,
+            total_iterations=int(_DUR_EPOCHS * _EPOCH_S / 0.25),
+            min_demand=max(1, (1 + (i % 8)) // 2),
+            max_demand=min(_N_GPUS, (1 + (i % 8)) * 2),
+        )
+        for i in range(_N_JOBS)
+    )
+    return Trace(name="bench-elastic-ff", jobs=specs)
+
+
+def _run(trace, profile, hold, fast_forward, repeats=3):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        sim = ClusterSimulator(
+            topology=ClusterTopology.from_gpu_count(_N_GPUS),
+            true_profile=profile,
+            scheduler=ElasticLASScheduler(min_hold_rounds=hold),
+            placement=make_placement("pal"),
+            config=SimulatorConfig(fast_forward=fast_forward),
+            seed=0,
+        )
+        t0 = time.perf_counter()
+        result = sim.run(trace)
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def test_elastic_fastforward(report, bench_json):
+    profile = synthesize_profile("longhorn", seed=0).sample(
+        _N_GPUS, rng=stream(0, "bench-elastic-ff")
+    )
+    trace = _trace()
+    rows: list[list[object]] = []
+    payload: dict[str, object] = {
+        "gap_epochs": _GAP_EPOCHS,
+        "dur_epochs": _DUR_EPOCHS,
+        "n_jobs": _N_JOBS,
+        "n_gpus": _N_GPUS,
+    }
+    speedups: dict[int, float] = {}
+    for hold in _HOLDS:
+        _run(trace.truncated(4), profile, hold, True, repeats=1)  # warmup
+        naive_s, naive = _run(trace, profile, hold, False)
+        fast_s, fast = _run(trace, profile, hold, True)
+        assert naive.same_outcome_as(fast) == []
+        speedup = naive_s / fast_s
+        speedups[hold] = speedup
+        payload[f"hold{hold}_naive_s"] = naive_s
+        payload[f"hold{hold}_fastfwd_s"] = fast_s
+        payload[f"hold{hold}_ff_ratio"] = speedup
+        rows.append(
+            [hold, naive.metadata["epochs_run"], naive_s * 1e3,
+             fast_s * 1e3, speedup]
+        )
+    table = format_table(
+        ["min_hold_rounds", "epochs", "naive_ms", "fastfwd_ms", "speedup"],
+        rows,
+        precision=2,
+        title=(
+            "fast-forward on sparse elastic traces "
+            "(ElasticLAS + PAL, bit-identical results)"
+        ),
+    )
+    report(table + "\nall naive-vs-fast-forward outcomes bit-identical: True")
+    bench_json(payload)
+    # Tentpole acceptance: elastic traces regain >= 10x fast-forward.
+    for hold, speedup in speedups.items():
+        assert speedup >= 10.0, f"hold={hold}: only {speedup:.1f}x"

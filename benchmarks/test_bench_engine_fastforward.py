@@ -74,7 +74,7 @@ def _run(trace: Trace, n_gpus: int, profile, fast_forward: bool, repeats: int = 
     return best, result
 
 
-def test_engine_fastforward(report):
+def test_engine_fastforward(report, bench_json):
     profiles = {
         n: synthesize_profile("longhorn", seed=0).sample(
             n, rng=stream(0, f"bench-ff/{n}")
@@ -125,6 +125,12 @@ def test_engine_fastforward(report):
         table
         + "\nall naive-vs-fast-forward outcomes bit-identical: True"
         + "\n(dense speedup ~1 is the goal: the jump must not tax busy traces)"
+    )
+    bench_json(
+        {
+            f"{label}_{n_gpus}gpu_ff_ratio": speedup
+            for (label, n_gpus), speedup in speedups.items()
+        }
     )
     # Tentpole acceptance: >= 5x on sparse long traces, no collapse on dense.
     for (label, n_gpus), speedup in speedups.items():

@@ -1,9 +1,10 @@
-"""Micro-benchmark: serial vs process executor on a fixed sweep.
+"""Micro-benchmark: serial vs process vs shard executors.
 
 Times the identical (2 traces x 6 placements x 2 seeds) Sia grid
-through both executors of :mod:`repro.runner`, asserts the process pool
-changes nothing but wall-clock, and reports the scaling table to
-``benchmarks/out/test_runner_scaling.txt``.
+through the executors of :mod:`repro.runner`, asserts the pools change
+nothing but wall-clock, and reports the scaling table to
+``benchmarks/out/test_runner_scaling.txt`` (headline numbers also land
+in ``BENCH_test_runner_scaling.json``).
 
 The grid is fixed (not scaled by ``REPRO_BENCH_SCALE``) so numbers are
 comparable across machines and commits.  It is sized so per-cell
@@ -13,6 +14,11 @@ per cell); the artifact also reports the measured pool *overhead* —
 decides the serial/process crossover (see README, "Running sweeps").
 On a single-core machine the pool cannot win and the speedup column
 honestly reports < 1.
+
+The shard executor is additionally timed cold (first ``map()``: pool
+spawn + env publication) and warm (every later ``map()``) on a small
+smoke grid where dispatch overhead dominates — the quantity the warm
+pool exists to erase.
 """
 
 from __future__ import annotations
@@ -22,7 +28,14 @@ import os
 import time
 
 from repro.analysis.reporting import format_table
-from repro.runner import EnvSpec, SweepSpec, TraceSpec, make_executor, run_sweep
+from repro.runner import (
+    EnvSpec,
+    SweepSpec,
+    TraceSpec,
+    make_executor,
+    run_sweep,
+    shutdown_shard_runtime,
+)
 from repro.scheduler.placement import ALL_POLICY_NAMES
 
 _SPEC = SweepSpec(
@@ -37,12 +50,25 @@ _SPEC = SweepSpec(
     name="bench-runner",
 )
 
+#: Dispatch-dominated smoke grid for the shard cold/warm comparison:
+#: 24 tiny cells (sticky placements only — no per-round re-placement
+#: churn) whose simulation work is small next to pool spawn + env
+#: publication, i.e. exactly the regime the warm pool targets.
+_SMOKE = SweepSpec(
+    traces=(TraceSpec("synergy", load=8.0, n_jobs=12, seed=3),),
+    schedulers=("fifo",),
+    placements=("tiresias", "random-sticky", "pm-first-sticky", "pal-sticky"),
+    seeds=(0, 1, 2, 3, 4, 5),
+    env=EnvSpec(n_gpus=32),
+    name="bench-runner-smoke",
+)
+
 
 def _summaries(result) -> list[str]:
     return [json.dumps(r.summary(), sort_keys=True) for r in result.results]
 
 
-def test_runner_scaling(report):
+def test_runner_scaling(report, bench_json):
     n_cells = len(_SPEC.expand())
     n_workers = min(os.cpu_count() or 1, n_cells)
 
@@ -63,10 +89,36 @@ def test_runner_scaling(report):
 
     assert _summaries(process) == _summaries(serial)
 
+    # Shard cold vs warm on the smoke grid (2 workers = the CI shape).
+    n_smoke = len(_SMOKE.expand())
+    smoke_serial_s = float("inf")
+    run_sweep(_SMOKE, executor="serial")  # warm the build caches
+    for _ in range(3):
+        t0 = time.perf_counter()
+        smoke_serial = run_sweep(_SMOKE, executor="serial")
+        smoke_serial_s = min(smoke_serial_s, time.perf_counter() - t0)
+    shutdown_shard_runtime()  # guarantee the first map is genuinely cold
+    shard = make_executor("shard", max_workers=2)
+    t0 = time.perf_counter()
+    shard_cold = run_sweep(_SMOKE, executor=shard)
+    shard_cold_s = time.perf_counter() - t0
+    shard_warm_s = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        shard_warm = run_sweep(_SMOKE, executor=shard)
+        shard_warm_s = min(shard_warm_s, time.perf_counter() - t0)
+    shutdown_shard_runtime()
+    assert _summaries(shard_cold) == _summaries(smoke_serial)
+    assert _summaries(shard_warm) == _summaries(smoke_serial)
+
     speedup = serial_s / process_s if process_s > 0 else float("inf")
     # Pool startup + IPC cost beyond perfectly-parallel compute: the
     # number that sets the crossover grid size for this machine.
     overhead_s = max(0.0, process_s - serial_s / n_workers)
+    # Everything the warm pool amortizes away: spawn, worker imports,
+    # env publication.
+    shard_overhead_s = max(0.0, shard_cold_s - shard_warm_s)
+    warm_over_cold = shard_cold_s / shard_warm_s
     table = format_table(
         ["executor", "workers", "cells", "wall_s", "per_cell_s", "speedup"],
         [
@@ -79,18 +131,50 @@ def test_runner_scaling(report):
                 process_s / n_cells,
                 speedup,
             ],
+            ["serial-smoke", 1, n_smoke, smoke_serial_s,
+             smoke_serial_s / n_smoke, 1.0],
+            ["shard-cold-smoke", 2, n_smoke, shard_cold_s,
+             shard_cold_s / n_smoke, smoke_serial_s / shard_cold_s],
+            ["shard-warm-smoke", 2, n_smoke, shard_warm_s,
+             shard_warm_s / n_smoke, smoke_serial_s / shard_warm_s],
         ],
         precision=3,
         title=(
-            f"sweep-runner executor scaling (fixed {n_cells}-cell Sia grid)"
+            f"sweep-runner executor scaling (fixed {n_cells}-cell Sia grid"
+            f" + {n_smoke}-cell smoke grid)"
         ),
     )
     report(
         table
-        + "\nprocess summaries byte-identical to serial: True"
+        + "\nprocess and shard summaries byte-identical to serial: True"
         + f"\nmeasured pool overhead: {overhead_s:.3f}s"
         + " (process wins once serial wall exceeds overhead * workers"
         + " / (workers - 1); never on 1 worker)"
+        + f"\nmeasured shard warm-pool saving: {shard_overhead_s:.3f}s per map"
+        + f" (cold {shard_cold_s:.3f}s -> warm {shard_warm_s:.3f}s,"
+        + f" {warm_over_cold:.1f}x)"
+    )
+    bench_json(
+        {
+            "grid_cells": n_cells,
+            "smoke_cells": n_smoke,
+            "serial_wall_s": serial_s,
+            "serial_cells_per_s": n_cells / serial_s,
+            "process_wall_s": process_s,
+            "process_workers": n_workers,
+            "process_speedup_vs_serial": speedup,
+            "process_overhead_s": overhead_s,
+            "smoke_serial_wall_s": smoke_serial_s,
+            "shard_cold_wall_s": shard_cold_s,
+            "shard_warm_wall_s": shard_warm_s,
+            "shard_warm_cells_per_s": n_smoke / shard_warm_s,
+            "shard_warm_over_cold": warm_over_cold,
+            "shard_overhead_amortized_s": shard_overhead_s,
+        }
+    )
+    # Tentpole acceptance: the warm pool erases the per-sweep spawn tax.
+    assert warm_over_cold >= 2.0, (
+        f"warm shard map only {warm_over_cold:.2f}x over cold"
     )
     # Sanity only — CI machines vary; the assertion is correctness, the
     # numbers are the artifact.

@@ -11,6 +11,11 @@ first-class subsystem:
   worker-safe);
 * :mod:`~repro.runner.executors` — pluggable ``serial`` / ``process``
   execution with chunked sharding;
+* :mod:`~repro.runner.shard` — the persistent ``shard`` executor: warm
+  worker pools, digest-range sharding, shared-memory environment
+  publication;
+* :mod:`~repro.runner.batched` — the ``batched`` executor: eligible
+  small cells run through the vectorized multi-cell engine lane;
 * :mod:`~repro.runner.cache` — on-disk, content-addressed result cache
   making repeated sweeps incremental;
 * :mod:`~repro.runner.aggregate` — per-cell and seed-averaged tables
@@ -25,6 +30,7 @@ the command line.
 from __future__ import annotations
 
 from .aggregate import SweepResult
+from .batched import BatchedExecutor, run_batched
 from .cache import CacheStats, GCStats, ResultCache
 from .execute import SimCell, execute_run_spec, execute_sim_cell
 from .executors import (
@@ -35,6 +41,7 @@ from .executors import (
     make_executor,
     resolve_executor,
 )
+from .shard import ShardExecutor, shutdown_shard_runtime
 from .spec import SPEC_VERSION, EnvSpec, RunSpec, SweepSpec, TraceSpec
 from .sweep import run_sweep
 
@@ -50,6 +57,10 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "ProcessExecutor",
+    "ShardExecutor",
+    "BatchedExecutor",
+    "shutdown_shard_runtime",
+    "run_batched",
     "make_executor",
     "resolve_executor",
     "EXECUTOR_NAMES",

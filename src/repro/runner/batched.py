@@ -1,0 +1,123 @@
+"""`run_batched`: many small sim cells in one process pass.
+
+The shard executor attacks big grids with processes; this module
+attacks the opposite corner — smoke/CI grids of *small* cells, where
+process dispatch (or even per-cell engine overhead) is pure tax.  Cells
+whose configuration fits the event-driven FIFO lane
+(:mod:`repro.scheduler.engine.batched`) run through it; everything else
+falls back to the standard per-cell path, so :class:`BatchedExecutor`
+is safe as a process-wide default: results are byte-identical either
+way.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from ..scheduler.engine.batched import lane_eligible, run_lane
+from ..scheduler.engine.core import RoundEngine
+from ..scheduler.metrics import SimulationResult
+from ..scheduler.placement import make_placement
+from ..scheduler.policies import make_scheduler
+from ..scheduler.simulator import ClusterSimulator
+from ..traces.trace import Trace
+from .execute import (
+    SimCell,
+    _build_trace,
+    _resolve_env,
+    execute_run_spec,
+    execute_sim_cell,
+)
+from .executors import Executor
+from .spec import RunSpec
+
+__all__ = ["BatchedExecutor", "run_batched"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def _run_sim(sim: ClusterSimulator, trace: Trace) -> SimulationResult:
+    """Run one cell through the fast lane when proven safe, else normally."""
+    if lane_eligible(sim.scheduler, sim.placement, sim.admission, sim.config):
+        engine = RoundEngine(
+            topology=sim.topology,
+            true_profile=sim.true_profile,
+            scheduler=sim.scheduler,
+            placement=sim.placement,
+            pm_table=sim.pm_table,
+            locality=sim.locality,
+            admission=sim.admission,
+            config=sim.config,
+            arch_of_gpu=sim.arch_of_gpu,
+            seed=sim.seed,
+        )
+        result = run_lane(engine, trace)
+        if result is not None:
+            return result
+    return sim.run(trace)
+
+
+def _run_cell(cell: SimCell) -> SimulationResult:
+    sim = ClusterSimulator(
+        topology=cell.topology,
+        true_profile=cell.true_profile,
+        scheduler=make_scheduler(cell.scheduler),
+        placement=make_placement(cell.placement),
+        pm_table=cell.pm_table,
+        locality=cell.locality,
+        config=cell.config,
+        arch_of_gpu=cell.arch_of_gpu,
+        seed=cell.seed,
+    )
+    return _run_sim(sim, cell.trace)
+
+
+def _run_spec(spec: RunSpec) -> SimulationResult:
+    env = _resolve_env(spec.env, spec.seed)
+    trace = _build_trace(spec.trace, spec.seed)
+    truth = env.believed_profile if spec.env.execute_on_believed else env.true_profile
+    result = _run_cell(
+        SimCell(
+            trace=trace,
+            scheduler=spec.scheduler,
+            placement=spec.placement,
+            seed=spec.seed,
+            topology=env.topology,
+            true_profile=truth,
+            pm_table=env.pm_table,
+            locality=env.locality,
+            config=spec.config,
+        )
+    )
+    result.metadata["run_digest"] = spec.digest()  # type: ignore[index]
+    return result
+
+
+def run_batched(
+    cells: "Iterable[RunSpec | SimCell]",
+) -> list[SimulationResult]:
+    """Execute a mixed sequence of cells, fast-laning the eligible ones."""
+    out: list[SimulationResult] = []
+    for cell in cells:
+        if isinstance(cell, RunSpec):
+            out.append(_run_spec(cell))
+        else:
+            out.append(_run_cell(cell))
+    return out
+
+
+class BatchedExecutor(Executor):
+    """In-process executor routing sim cells through the fast lane.
+
+    Only the two known cell-execution workers are special-cased; any
+    other worker function runs exactly like :class:`SerialExecutor`.
+    """
+
+    name = "batched"
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        cells: Sequence[T] = list(items)
+        if fn is execute_run_spec or fn is execute_sim_cell:
+            return run_batched(cells)  # type: ignore[arg-type,return-value]
+        return [fn(c) for c in cells]

@@ -67,10 +67,19 @@ class GCStats:
 class ResultCache:
     """Content-addressed store of finished simulation cells."""
 
-    def __init__(self, root: str | Path):
+    def __init__(self, root: str | Path, *, touch_debounce_s: float = 3600.0):
+        if touch_debounce_s < 0:
+            raise ValueError(
+                f"touch_debounce_s={touch_debounce_s} must be >= 0"
+            )
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.stats = CacheStats()
+        #: Minimum age before a hit refreshes the entry's mtime.  LRU
+        #: eviction only needs coarse recency, and a hot sweep can hit
+        #: the same entry thousands of times per second — debouncing
+        #: turns that into at most one ``utime`` per window.
+        self.touch_debounce_s = touch_debounce_s
 
     # ------------------------------------------------------------------
     def _pkl_path(self, digest: str) -> Path:
@@ -108,8 +117,10 @@ class ResultCache:
         self.stats.hits += 1
         try:
             # Refresh recency so gc()'s size-cap eviction is LRU rather
-            # than insertion-ordered.
-            os.utime(path)
+            # than insertion-ordered — but only once the last touch is
+            # older than the debounce window (see __init__).
+            if time.time() - os.stat(path).st_mtime >= self.touch_debounce_s:
+                os.utime(path)
         except OSError:  # pragma: no cover - racing eviction is fine
             pass
         return result

@@ -78,6 +78,24 @@ def execute_sim_cell(cell: SimCell) -> SimulationResult:
 _build_env = lru_cache(maxsize=16)(lambda env_spec, seed: env_spec.build(seed))
 _build_trace = lru_cache(maxsize=32)(lambda trace_spec, seed: trace_spec.build(seed))
 
+#: Pre-built environments installed by an executor (the shard executor
+#: publishes parent-built environments over shared memory and its
+#: workers register the attached objects here), consulted before the
+#: per-process build memoization.  Keyed like ``_build_env``.
+_env_overrides: dict[tuple, object] = {}
+
+
+def install_env_override(env_spec, seed: int, env) -> None:
+    """Serve ``env`` for ``(env_spec, seed)`` instead of building it."""
+    _env_overrides[(env_spec, seed)] = env
+
+
+def _resolve_env(env_spec, seed: int):
+    env = _env_overrides.get((env_spec, seed))
+    if env is not None:
+        return env
+    return _build_env(env_spec, seed)
+
 
 def execute_run_spec(spec: RunSpec) -> SimulationResult:
     """Materialize a declarative cell and run it.
@@ -86,7 +104,7 @@ def execute_run_spec(spec: RunSpec) -> SimulationResult:
     above). The result's metadata records the cell digest so exported
     artifacts remain traceable to the exact spec that produced them.
     """
-    env = _build_env(spec.env, spec.seed)
+    env = _resolve_env(spec.env, spec.seed)
     trace = _build_trace(spec.trace, spec.seed)
     truth = env.believed_profile if spec.env.execute_on_believed else env.true_profile
     result = execute_sim_cell(

@@ -11,6 +11,16 @@ returns results **in input order**. Two implementations:
   cells. Because cells are deterministic pure functions, process
   results are identical to serial results cell-for-cell.
 
+Two more live in sibling modules (registered here by name):
+
+* ``shard`` (:class:`repro.runner.shard.ShardExecutor`) — persistent
+  warm worker pools, content-digest range sharding, and shared-memory
+  environment publication; byte-identical to serial, built for
+  many-sweep sessions.
+* ``batched`` (:class:`repro.runner.batched.BatchedExecutor`) — runs
+  eligible small cells through the vectorized multi-cell engine lane
+  in one process pass; ineligible cells fall back to the serial path.
+
 ``REPRO_EXECUTOR`` / ``REPRO_WORKERS`` environment variables pick the
 process-wide default used by :func:`resolve_executor` — which is how
 every existing experiment (all grids route through
@@ -39,7 +49,7 @@ __all__ = [
 T = TypeVar("T")
 R = TypeVar("R")
 
-EXECUTOR_NAMES: tuple[str, ...] = ("serial", "process")
+EXECUTOR_NAMES: tuple[str, ...] = ("serial", "process", "shard", "batched")
 
 
 class Executor(ABC):
@@ -107,6 +117,14 @@ def make_executor(
         return SerialExecutor()
     if key == "process":
         return ProcessExecutor(max_workers=max_workers, chunk_size=chunk_size)
+    if key == "shard":
+        from .shard import ShardExecutor  # lazy: shard imports this module
+
+        return ShardExecutor(max_workers=max_workers)
+    if key == "batched":
+        from .batched import BatchedExecutor  # lazy: batched imports this module
+
+        return BatchedExecutor()
     raise ConfigurationError(
         f"unknown executor {name!r}; known: {EXECUTOR_NAMES}"
     )

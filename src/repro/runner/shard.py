@@ -1,0 +1,210 @@
+"""The persistent sharded executor (``REPRO_EXECUTOR=shard``).
+
+:class:`~repro.runner.executors.ProcessExecutor` answers "how do I use
+my cores for one sweep"; this module answers "how do I keep using them
+across a whole session of sweeps".  Three mechanisms, all amortizing
+per-``map()`` overhead into process-lifetime overhead:
+
+* **Warm pools** — worker pools are module-level singletons keyed by
+  worker count and reused across ``map()`` calls, whole sweeps, and
+  executor instances, so pool spawn (and every per-worker import /
+  build cache) is paid once per session instead of once per sweep.
+* **Digest-range sharding** — cells that expose a content digest
+  (:meth:`~repro.runner.spec.RunSpec.digest`) are routed to shards by
+  digest *range*: shard ``k`` of ``n`` owns digests in
+  ``[k/n, (k+1)/n)`` of the hash space.  The assignment depends only on
+  the cell's content — not on grid order, sweep size, or which process
+  asks — which is the seam a future multi-host runner needs (every host
+  can compute everyone's shard map locally).  Digest-less items fall
+  back to contiguous chunks.
+* **Shared-memory publication** — for :func:`execute_run_spec` work,
+  the parent builds each unique ``(env_spec, seed)`` environment once,
+  publishes it read-only via :mod:`repro.runner.shm`, and ships only
+  block names; workers attach zero-copy instead of rebuilding the
+  score tables per process (or re-unpickling them per task).
+
+Results are byte-identical to the serial executor: cells are pure
+functions of their specs, and the published environments are the very
+objects a worker-side build would have produced.
+"""
+
+from __future__ import annotations
+
+import atexit
+import math
+import os
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from ..utils.errors import ConfigurationError
+from . import shm
+from .execute import _build_env, execute_run_spec, install_env_override
+from .executors import Executor
+from .spec import RunSpec
+
+__all__ = ["ShardExecutor", "shard_of", "shutdown_shard_runtime"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Warm worker pools, keyed by worker count; live until process exit
+#: (or an explicit :func:`shutdown_shard_runtime`).
+_POOLS: dict[int, ProcessPoolExecutor] = {}
+#: Pools ever spawned — lets benchmarks/tests verify pool reuse.
+_POOLS_SPAWNED: int = 0
+#: Parent-side published environments: (env_spec, seed) -> ShmRef.
+_PUBLISHED: dict[tuple, shm.ShmRef] = {}
+#: Live SharedMemory handles backing ``_PUBLISHED`` (owned, unlinked on
+#: shutdown).
+_BLOCKS: list = []
+
+# Worker-side attachment cache: block name -> (env, SharedMemory).
+_attached: dict[str, tuple] = {}
+
+
+def shard_of(digest: str, n_shards: int) -> int:
+    """Shard index owning ``digest`` under an ``n_shards``-way split.
+
+    The first 8 hex digits scale uniformly onto ``[0, n_shards)`` —
+    a pure function of (digest, shard count), identical on every host.
+    """
+    if n_shards < 1:
+        raise ConfigurationError(f"n_shards={n_shards} must be >= 1")
+    return min((int(digest[:8], 16) * n_shards) >> 32, n_shards - 1)
+
+
+def _get_pool(workers: int) -> ProcessPoolExecutor:
+    global _POOLS_SPAWNED
+    pool = _POOLS.get(workers)
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=workers)
+        _POOLS[workers] = pool
+        _POOLS_SPAWNED += 1
+    return pool
+
+
+def pools_spawned() -> int:
+    """Total warm pools ever spawned in this process (observability)."""
+    return _POOLS_SPAWNED
+
+
+def shutdown_shard_runtime() -> None:
+    """Tear down every warm pool and unlink every published block."""
+    for pool in _POOLS.values():
+        pool.shutdown(wait=False, cancel_futures=True)
+    _POOLS.clear()
+    for block in _BLOCKS:
+        shm.unlink(block)
+    _BLOCKS.clear()
+    _PUBLISHED.clear()
+
+
+atexit.register(shutdown_shard_runtime)
+
+
+def _publish_envs(specs: Sequence[RunSpec]) -> dict[tuple, shm.ShmRef]:
+    """Publish every unique environment the specs need; return the manifest."""
+    manifest: dict[tuple, shm.ShmRef] = {}
+    for spec in specs:
+        key = (spec.env, spec.seed)
+        if key in manifest:
+            continue
+        ref = _PUBLISHED.get(key)
+        if ref is None:
+            env = _build_env(spec.env, spec.seed)
+            ref, block = shm.publish(env)
+            _PUBLISHED[key] = ref
+            _BLOCKS.append(block)
+        manifest[key] = ref
+    return manifest
+
+
+def _install_manifest(manifest: dict[tuple, shm.ShmRef]) -> None:
+    """Worker-side: attach every published env once and register it."""
+    for (env_spec, seed), ref in manifest.items():
+        cached = _attached.get(ref.name)
+        if cached is None:
+            env, handle = shm.attach(ref)
+            _attached[ref.name] = (env, handle)
+        else:
+            env = cached[0]
+        install_env_override(env_spec, seed, env)
+
+
+def _run_shard(
+    fn: Callable[[T], R],
+    items: list[T],
+    manifest: dict[tuple, shm.ShmRef] | None,
+) -> list[R]:
+    """One shard's work, executed inside a (warm) pool worker."""
+    if manifest:
+        _install_manifest(manifest)
+    return [fn(item) for item in items]
+
+
+class ShardExecutor(Executor):
+    """Persistent digest-sharded pool executor (see module docstring)."""
+
+    name = "shard"
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        shards_per_worker: int = 4,
+    ):
+        if max_workers is not None and max_workers < 1:
+            raise ConfigurationError(f"max_workers={max_workers} must be >= 1")
+        if shards_per_worker < 1:
+            raise ConfigurationError(
+                f"shards_per_worker={shards_per_worker} must be >= 1"
+            )
+        self.max_workers = max_workers
+        #: Digest ranges per worker: >1 keeps range ownership stable by
+        #: content while letting the pool load-balance across ranges.
+        self.shards_per_worker = shards_per_worker
+
+    # ------------------------------------------------------------------
+    def _plan(self, n_items: int) -> tuple[int, int]:
+        workers = self.max_workers or os.cpu_count() or 1
+        workers = max(1, min(workers, n_items))
+        n_shards = min(n_items, workers * self.shards_per_worker)
+        return workers, n_shards
+
+    def _shards(self, cells: Sequence[T], n_shards: int) -> list[list[int]]:
+        """Partition input indices into shards, preserving input order.
+
+        RunSpecs (anything with a ``digest()``) go by digest range;
+        anything else falls back to contiguous chunks.
+        """
+        if all(hasattr(c, "digest") for c in cells):
+            buckets: list[list[int]] = [[] for _ in range(n_shards)]
+            for i, cell in enumerate(cells):
+                buckets[shard_of(cell.digest(), n_shards)].append(i)
+            return [b for b in buckets if b]
+        chunk = math.ceil(len(cells) / n_shards)
+        return [
+            list(range(lo, min(lo + chunk, len(cells))))
+            for lo in range(0, len(cells), chunk)
+        ]
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        cells: list[T] = list(items)
+        if len(cells) <= 1:
+            return [fn(c) for c in cells]
+        workers, n_shards = self._plan(len(cells))
+        if workers == 1:
+            return [fn(c) for c in cells]
+        manifest = None
+        if fn is execute_run_spec:
+            manifest = _publish_envs(cells)  # type: ignore[arg-type]
+        pool = _get_pool(workers)
+        shards = self._shards(cells, n_shards)
+        futures: list[tuple[list[int], Future]] = [
+            (idxs, pool.submit(_run_shard, fn, [cells[i] for i in idxs], manifest))
+            for idxs in shards
+        ]
+        out: list[R | None] = [None] * len(cells)
+        for idxs, fut in futures:
+            for i, res in zip(idxs, fut.result()):
+                out[i] = res
+        return out  # type: ignore[return-value]

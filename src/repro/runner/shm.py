@@ -1,0 +1,126 @@
+"""Zero-copy object publication over ``multiprocessing.shared_memory``.
+
+The shard executor's workers all need the same read-only inputs — built
+:class:`~repro.experiments.common.SimEnvironment` objects whose bulk is
+NumPy score tables.  Instead of re-pickling those tables into every
+task (or rebuilding them per worker), the parent publishes each object
+**once** into a named shared-memory block and ships only the block's
+name; workers attach and reconstruct the object with its arrays mapped
+directly onto the block.
+
+Layout of one block::
+
+    [u64 n_payloads][u64 size x n_payloads][pad to 64]
+    [payload 0: the pickle stream][pad to 64]
+    [payload 1..: raw out-of-band buffers, each padded to 64]
+
+Serialization uses pickle protocol 5 with out-of-band buffers: every
+C-contiguous NumPy array inside the object is exported as a raw buffer
+payload rather than being embedded in the pickle stream, and on attach
+the arrays are rebuilt as **views** of the shared block — zero copies,
+marked read-only so a worker can never corrupt the tables another
+worker (or another cell in the same worker) is reading.  Objects whose
+arrays tolerate that read-only discipline are exactly the objects that
+were already safe to share through the per-process build memoization.
+
+The publishing process owns the block: :func:`unlink` (or the module's
+atexit hook via the shard executor) releases it.  Attaching processes
+deliberately unregister the segment from ``resource_tracker`` so a
+worker exiting does not tear the block down under its siblings.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any
+
+__all__ = ["ShmRef", "publish", "attach", "unlink"]
+
+_ALIGN = 64
+
+
+def _pad(n: int) -> int:
+    return (n + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+@dataclass(frozen=True)
+class ShmRef:
+    """Name + total size of one published shared-memory block."""
+
+    name: str
+    size: int
+
+
+def publish(obj: Any) -> tuple[ShmRef, shared_memory.SharedMemory]:
+    """Serialize ``obj`` into a fresh shared-memory block.
+
+    Returns the shippable :class:`ShmRef` plus the live
+    :class:`~multiprocessing.shared_memory.SharedMemory` handle the
+    caller must keep (and eventually :func:`unlink`).
+    """
+    buffers: list[pickle.PickleBuffer] = []
+    data = pickle.dumps(obj, protocol=5, buffer_callback=buffers.append)
+    raws = [b.raw() for b in buffers]
+    sizes = [len(data)] + [r.nbytes for r in raws]
+    header = struct.pack("<Q", len(sizes)) + struct.pack(
+        f"<{len(sizes)}Q", *sizes
+    )
+    offsets: list[int] = []
+    cursor = _pad(len(header))
+    for size in sizes:
+        offsets.append(cursor)
+        cursor += _pad(size)
+    shm = shared_memory.SharedMemory(create=True, size=max(cursor, 1))
+    shm.buf[: len(header)] = header
+    shm.buf[offsets[0] : offsets[0] + sizes[0]] = data
+    for raw, off, size in zip(raws, offsets[1:], sizes[1:]):
+        shm.buf[off : off + size] = raw.cast("B") if raw.format != "B" else raw
+    return ShmRef(name=shm.name, size=shm.size), shm
+
+
+def attach(ref: ShmRef) -> tuple[Any, shared_memory.SharedMemory]:
+    """Reconstruct the published object from ``ref`` (zero-copy).
+
+    The returned object's NumPy arrays are read-only views into the
+    block; the caller must keep the returned
+    :class:`~multiprocessing.shared_memory.SharedMemory` handle alive
+    for as long as the object is in use.
+    """
+    # The attaching side must not own the segment's lifetime, but the
+    # stdlib registers unconditionally on attach (bpo-39959) — and the
+    # tracker's cache is a *set*, so a later attach/unregister pair from
+    # any process would silently drop the publisher's own registration.
+    # Suppress the registration instead of undoing it.
+    register = resource_tracker.register
+    resource_tracker.register = lambda name, rtype: None  # type: ignore[assignment]
+    try:
+        shm = shared_memory.SharedMemory(name=ref.name)
+    finally:
+        resource_tracker.register = register  # type: ignore[assignment]
+    mv = memoryview(shm.buf)
+    (n_payloads,) = struct.unpack_from("<Q", mv, 0)
+    sizes = struct.unpack_from(f"<{n_payloads}Q", mv, 8)
+    offsets = []
+    cursor = _pad(8 + 8 * n_payloads)
+    for size in sizes:
+        offsets.append(cursor)
+        cursor += _pad(size)
+    data = bytes(mv[offsets[0] : offsets[0] + sizes[0]])
+    buffers = [
+        mv[off : off + size].toreadonly()
+        for off, size in zip(offsets[1:], sizes[1:])
+    ]
+    obj = pickle.loads(data, buffers=buffers)
+    return obj, shm
+
+
+def unlink(shm: shared_memory.SharedMemory) -> None:
+    """Close and unlink a block this process published."""
+    try:
+        shm.close()
+        shm.unlink()
+    except Exception:  # pragma: no cover - already gone is fine
+        pass

@@ -1,0 +1,331 @@
+"""The vectorized multi-cell lane: an exact event-driven FIFO engine.
+
+Smoke- and CI-sized grids are dominated by per-round engine overhead:
+a 24-job cell spends most of its wall-clock dispatching stages, sorting
+an order that never changes, and re-proving quiet windows round after
+round.  For the restricted — but extremely common — configuration
+
+* ``FIFOScheduler`` (static arrival order),
+* a **sticky** placement policy,
+* ``AcceptAll`` admission,
+* a static cluster (no dynamics, no profiling, no online updates),
+
+the round pipeline's behaviour collapses to a short event schedule, and
+this module executes that schedule directly:
+
+1. Under FIFO + AcceptAll, jobs are admitted in arrival order and the
+   scheduling order is append-only, so a running job can never be
+   overtaken: the marked prefix only ever loses finished jobs ahead of
+   a runner.  Running jobs are therefore never preempted or migrated —
+   each job is placed exactly once, by the real placement policy, in
+   the engine's exact chronological order (so the placement RNG stream
+   is consumed identically).
+2. Between *event rounds* (an admission, a completion, or the round
+   after a completion that hands freed GPUs to waiting jobs) every
+   round is provably quiet; the lane advances all running jobs across
+   the whole gap with the same O(1) segment-epoch counters the
+   fast-forward stage uses, and finds each gap's end with the same
+   closed-form finish search — evaluated with the identical float
+   expressions, which is what makes the lane **bit-identical** to the
+   round pipeline (and hence to the naive per-epoch loop).
+
+Event rounds replicate the stage pipeline's observable actions
+verbatim — admission events, ordering, queue marking, sticky placement,
+utilization/placement-time recording, per-epoch execution, the idle
+jump, and the ``max_epochs`` guard all reuse the engine's own
+collaborators and bookkeeping — so records, series, event logs, and
+metadata come out byte-for-byte equal to ``RoundEngine.run``.
+
+:func:`run_lane` returns ``None`` when a precondition fails (e.g. a
+trace whose job list is not FIFO-sorted); callers fall back to the
+general engine.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ...traces.trace import Trace
+from ..admission import AcceptAll, AdmissionPolicy
+from ..events import EventType
+from ..jobs import JobState
+from ..metrics import SimulationResult
+from ..placement.base import PlacementPolicy
+from ..policies import FIFOScheduler, SchedulingPolicy
+from .config import SimulatorConfig
+from .core import RoundEngine
+from .stages import ArrivalStage
+
+__all__ = ["lane_eligible", "run_lane"]
+
+
+def lane_eligible(
+    scheduler: SchedulingPolicy,
+    placement: PlacementPolicy,
+    admission: AdmissionPolicy,
+    config: SimulatorConfig,
+) -> bool:
+    """True when the configuration is within the lane's proven envelope.
+
+    Exact subclasses only: a FIFO subclass could override ``order`` and
+    break the append-only argument, and an AcceptAll subclass could
+    start rejecting.
+    """
+    return (
+        type(scheduler) is FIFOScheduler
+        and placement.sticky
+        and type(admission) is AcceptAll
+        and config.dynamics is None
+        and config.profiling is None
+        and not config.online_pm_updates
+    )
+
+
+# Per-trace FIFO-order precheck results, shared across the cells of a
+# grid (keyed by object identity; the stored reference keeps the id
+# stable).  Bounded — smoke grids reuse a handful of traces.
+_trace_ok: dict[int, tuple[Trace, bool]] = {}
+
+
+def _fifo_sorted(trace: Trace) -> bool:
+    cached = _trace_ok.get(id(trace))
+    if cached is not None and cached[0] is trace:
+        return cached[1]
+    specs = list(trace)
+    keys = [(s.arrival_time_s, s.job_id) for s in specs]
+    ok = all(keys[i] <= keys[i + 1] for i in range(len(keys) - 1))
+    if len(_trace_ok) > 64:
+        _trace_ok.clear()
+    _trace_ok[id(trace)] = (trace, ok)
+    return ok
+
+
+_NEVER = 1 << 62
+
+
+def _first_finish_window(job, epoch_s: float) -> int:
+    """First segment round (1-based) at which ``job`` would finish.
+
+    Round ``k`` of the open segment finishes the job iff
+    ``(rb - (p + k - 1) * ipe) * t <= epoch_s`` — the exact expression
+    the execution step evaluates, monotone in ``k``.  Analytic guess
+    plus exact monotone fixup, as in the fast-forward stage's scalar
+    branch.  Because the lane never preempts, a job's segment — and
+    hence the absolute round this maps to — is fixed at placement time.
+    """
+    rb = job._remaining_base
+    p = job._seg_epochs
+    ipe = job._seg_iters_per_epoch
+    t = job.cached_iter_time_s
+    est = (rb - epoch_s / t) / ipe - p + 1.0
+    e = int(est) if est > 1.0 else 1
+    while e > 1 and (rb - (p + e - 2) * ipe) * t <= epoch_s:
+        e -= 1
+    while (rb - (p + e - 1) * ipe) * t > epoch_s:
+        e += 1
+    return e
+
+
+def run_lane(engine: RoundEngine, trace: Trace) -> SimulationResult | None:
+    """Run ``trace`` through the event-driven lane, or ``None`` to punt.
+
+    The caller must already have checked :func:`lane_eligible` for the
+    engine's policy/admission/config combination.
+    """
+    if not _fifo_sorted(trace):
+        return None
+    engine._validate_trace(trace)
+    engine.scheduler.reset()
+    ctx = engine.build_context(trace)
+    for policy in (engine.scheduler, engine.placement):
+        if getattr(policy, "requires_round_context", False):
+            policy.attach_round_context(ctx)
+    arrival_stage = ArrivalStage()  # AcceptAll: rejection counter stays 0
+
+    cfg = ctx.config
+    epoch_s = cfg.epoch_s
+    events = ctx.events
+    policy = ctx.placement
+    cluster = ctx.cluster
+    pctx = ctx.placement_ctx
+    utilization = ctx.utilization
+    placement_times = ctx.placement_times
+    true_scores = ctx.true_scores
+    locality = ctx.locality
+    gpn = ctx.topology.gpus_per_node
+    pending = ctx.pending
+    n_pending = len(pending)
+    n_jobs = len(ctx.jobs)
+    capacity = ctx.capacity
+    perf_counter = time.perf_counter
+    n_running = 0  # jobs currently holding GPUs (placement short-circuit)
+    fin_round: dict[int, int] = {}  # job_id -> absolute finish round
+    next_fin = _NEVER  # min over running jobs' fin_round
+
+    while ctx.n_finished < n_jobs:
+        ctx.begin_round()  # clock + the max_epochs guard, verbatim
+        now = ctx.now
+
+        # Arrivals (AcceptAll admits unconditionally).
+        while (
+            ctx.next_pending < n_pending
+            and pending[ctx.next_pending].spec.arrival_time_s <= now
+        ):
+            job = pending[ctx.next_pending]
+            job.state = JobState.QUEUED
+            ctx.active.append(job)
+            ctx.next_pending += 1
+            if events is not None:
+                events.append(now, EventType.ADMIT, job.job_id,
+                              arrival_s=job.spec.arrival_time_s)
+        if not ctx.active:
+            ctx.idle_jump()
+            continue
+
+        # Ordering + marking.  The FIFO-sorted precheck plus in-order
+        # admission make ``active`` the scheduling order already; the
+        # prefix-sum below is ``mark_queue_at_cluster_size`` inlined
+        # (its strict-mode raise is unreachable: the trace's max demand
+        # was validated against the cluster size).
+        ordered = ctx.active
+        total = 0
+        n_marked = 0
+        for job in ordered:
+            total += job._current_demand
+            if total > capacity:
+                break
+            n_marked += 1
+        scheduled = ordered[:n_marked]
+
+        # Sticky placement of allocation-less marked jobs, in the
+        # engine's exact placement-priority order (same RNG stream).
+        t0 = perf_counter()
+        to_place = (
+            [j for j in scheduled if j.allocation is None]
+            if n_marked > n_running
+            else ()
+        )
+        for job in policy.placement_order(to_place):
+            alloc = policy.select_gpus(pctx, job)
+            cluster.allocate(job.job_id, alloc)
+            job.allocation = alloc
+            job.end_segment()
+            if job.first_start_s is None:
+                job.first_start_s = now
+                if events is not None:
+                    events.append(now, EventType.START, job.job_id,
+                                  gpus=alloc.tolist())
+            else:  # pragma: no cover - unreachable: FIFO never preempts
+                job.n_restarts += 1
+                if events is not None:
+                    events.append(now, EventType.RESTART, job.job_id,
+                                  gpus=alloc.tolist())
+            job.state = JobState.RUNNING
+            n_running += 1
+        placement_times.record(perf_counter() - t0)
+        if cfg.validate_invariants:
+            cluster.check_invariants()
+        if cfg.record_utilization:
+            utilization.record(ctx.epoch_idx, cluster.n_busy)
+
+        # One epoch of execution (no overhead: nothing is ever disturbed).
+        # A job's finish round is precomputed once per segment — round
+        # ``e`` finishes it iff ``e >= fin_round[id]``, equivalent to
+        # the engine's ``time_needed <= epoch_s`` check because the
+        # (identical) closed-form expression is monotone in the epoch.
+        # ``rb - p * ipe`` is the exact closed form behind the
+        # ``remaining_iterations`` property (with ``p = 0`` the
+        # subtraction is exact), inlined off the hot path's properties.
+        e_now = ctx.epoch_idx
+        finished_any = False
+        running = []
+        for job in scheduled:
+            t_iter = job.cached_iter_time_s
+            if t_iter is None:
+                alloc = job.allocation
+                packed = (alloc[0] // gpn) == (alloc[-1] // gpn)
+                t_iter = (
+                    locality.penalty(job.spec.model, packed)
+                    * float(true_scores[job.spec.class_id, alloc].max())
+                    * job.spec.iteration_time_s
+                )
+                job.begin_segment(t_iter, epoch_s)
+                fr = e_now + _first_finish_window(job, epoch_s) - 1
+                fin_round[job.spec.job_id] = fr
+                if fr < next_fin:
+                    next_fin = fr
+            if e_now >= fin_round[job.spec.job_id]:
+                time_needed = (
+                    job._remaining_base
+                    - job._seg_epochs * job._seg_iters_per_epoch
+                ) * t_iter
+                job.finish_at(now + time_needed, time_needed, 0.0)
+                cluster.release(job.spec.job_id)
+                job.allocation = None
+                ctx.n_finished += 1
+                n_running -= 1
+                finished_any = True
+                if events is not None:
+                    events.append(job.finish_time_s, EventType.FINISH,
+                                  job.spec.job_id)
+            else:
+                job._seg_epochs += 1  # advance_epochs(1)
+                running.append(job)
+        if finished_any:
+            fin = JobState.FINISHED
+            ctx.active = [j for j in ctx.active if j.state is not fin]
+            next_fin = _NEVER
+            for job in running:
+                fr = fin_round[job.spec.job_id]
+                if fr < next_fin:
+                    next_fin = fr
+        ctx.epoch_idx += 1
+
+        if not ctx.active or ctx.n_finished >= n_jobs:
+            continue  # drained: top of loop runs the idle round verbatim
+
+        # ---- quiet-gap jump -------------------------------------------
+        # The rounds between here and the next event are pure repeats:
+        # no arrival crosses an epoch boundary, nothing finishes, the
+        # (static) order re-marks identically, and sticky placement has
+        # nothing to place.  A completion this round with jobs still
+        # waiting makes the *next* round an event round (freed GPUs may
+        # extend the marked prefix), so no jump.
+        if finished_any and n_marked < len(ordered):
+            continue
+        budget = cfg.max_epochs - ctx.epochs_run  # rounds before the guard
+        cap = budget
+        if ctx.next_pending < n_pending:
+            # Largest k such that rounds epoch_idx .. epoch_idx+k-1 all
+            # see no arrival, by the loop's own `arrival <= t * epoch_s`
+            # comparison (monotone in t).
+            arrival = pending[ctx.next_pending].spec.arrival_time_s
+            e0 = ctx.epoch_idx
+            if arrival <= e0 * epoch_s:
+                cap = 0
+            elif arrival <= (e0 + cap - 1) * epoch_s:
+                lo, hi = 1, cap  # first k with an arrival due at round e0+k-1
+                while lo < hi:
+                    mid = (lo + hi) // 2
+                    if arrival <= (e0 + mid - 1) * epoch_s:
+                        hi = mid
+                    else:
+                        lo = mid + 1
+                cap = lo - 1
+        if cap <= 0:
+            continue
+        span = cap
+        d = next_fin - ctx.epoch_idx  # rounds until the earliest finish
+        if d < span:
+            span = d
+        if span <= 0:
+            continue
+        for job in running:
+            job._seg_epochs += span  # advance_epochs(span)
+        if cfg.record_utilization:
+            utilization.record(ctx.epoch_idx, cluster.n_busy, span)
+        placement_times.skip(span)
+        ctx.epochs_run += span
+        ctx.epoch_idx += span
+
+    return engine._collect(trace, ctx, arrival_stage)

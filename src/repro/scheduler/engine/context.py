@@ -203,7 +203,8 @@ class RoundContext:
     can_memoize: bool = False
     ff_enabled: bool = False
     #: True when the pipeline contains an active ResizeStage (elastic
-    #: jobs under an elastic-aware scheduler) — disables fast-forward.
+    #: jobs under an elastic-aware scheduler) — fast-forward then
+    #: additionally requires the scheduler's resize-stability proof.
     resize_active: bool = False
 
     # ---- batched series recorders -------------------------------------

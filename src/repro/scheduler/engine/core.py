@@ -164,9 +164,12 @@ class RoundEngine:
             j.spec.is_elastic for j in jobs
         )
         # Fast-forward needs rounds to be provably quiet; online belief
-        # updates and elastic demand re-planning both mutate state the
-        # quiet-window analysis cannot see, so they force the naive loop.
-        ff_enabled = cfg.fast_forward and online is None and not resize_active
+        # updates mutate state the quiet-window analysis cannot see, so
+        # they force the naive loop.  Elastic demand re-planning is
+        # covered by the scheduler's own resize-stability proof
+        # (SchedulingPolicy.resize_stable_epochs): schedulers without
+        # one default to 0, which caps every window at a single round.
+        ff_enabled = cfg.fast_forward and online is None
         return RoundContext(
             config=cfg,
             topology=self.topology,

@@ -430,6 +430,14 @@ class FastForwardStage(RoundStage):
         )
         if n_window < 2:
             return _NEXT_STAGE
+        if ctx.resize_active:
+            # The skipped interior rounds would each have called
+            # plan_demands — certified no-ops, but hysteresis counters
+            # still tick.  Replay that state transition so the next
+            # planning call sees exactly what the naive loop would.
+            ctx.scheduler.note_quiet_epochs(
+                ctx.ordered, ctx.n_guaranteed, n_window - 1
+            )
         for job in ctx.scheduled:
             job.advance_epochs(n_window)
         extra = n_window - 1  # the current round is already booked
@@ -566,7 +574,18 @@ class FastForwardStage(RoundStage):
 
         # Scheduling-order stability over the window's interior rounds.
         stable = ctx.scheduler.stable_epochs(ctx.ordered, ctx.n_guaranteed, n - 1)
-        return min(n, stable + 1)
+        n = min(n, stable + 1)
+        if n < 2 or not ctx.resize_active:
+            return n
+
+        # Elastic pipelines: every interior round calls plan_demands, so
+        # the demand plan must be a provable no-op across the window
+        # (same marking, same widths, hold clocks not expiring) — the
+        # scheduler's own conservative resize-stability proof.
+        resize_stable = ctx.scheduler.resize_stable_epochs(
+            ctx.ordered, ctx.n_guaranteed, ctx.capacity, n - 1
+        )
+        return min(n, resize_stable + 1)
 
 
 class ExecutionStage(RoundStage):

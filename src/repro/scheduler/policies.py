@@ -288,6 +288,40 @@ class SchedulingPolicy(ABC):
         """
         return 0
 
+    def resize_stable_epochs(
+        self, ordered: Sequence[SimJob], n_marked: int, cluster_size: int,
+        horizon: int,
+    ) -> int:
+        """Rounds the demand plan provably stays a no-op (0..horizon).
+
+        Consulted by the fast-forward stage only in elastic pipelines
+        (``elastic_aware`` scheduler + elastic trace), where every
+        skipped round would have called :meth:`plan_demands`.  Contract:
+        assuming the queue, the ordering, the current demands, and
+        ``cluster_size`` all hold, the next ``resize_stable_epochs``
+        calls to :meth:`plan_demands` would mark the same
+        ``ordered[:n_marked]`` prefix and keep every marked job at its
+        current width.  Must be conservative and must **not** mutate any
+        planning state (it is a preview).  Unknown elastic-aware
+        subclasses default to 0, which keeps multi-epoch fast-forward
+        off under them.
+        """
+        return 0
+
+    def note_quiet_epochs(
+        self, ordered: Sequence[SimJob], n_marked: int, n_epochs: int
+    ) -> None:
+        """Observe ``n_epochs`` fast-forwarded quiet rounds.
+
+        In an elastic pipeline the naive loop calls :meth:`plan_demands`
+        once per round; a fast-forward jump skips ``n_epochs`` of those
+        calls, all of them provable no-ops (see
+        :meth:`resize_stable_epochs`).  Policies carrying per-round
+        planning state (hysteresis counters) replay the state transition
+        those skipped calls would have applied here; stateless planners
+        need no override.
+        """
+
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
         return f"<{type(self).__name__} {self.name}>"
 
@@ -472,9 +506,17 @@ class ElasticLASScheduler(LASScheduler):
     def reset(self) -> None:
         self._hold.clear()
 
-    def plan_demands(
+    def _plan(
         self, ordered: Sequence[SimJob], cluster_size: int
     ) -> tuple[int, dict[int, int]]:
+        """The pure planning core: shrink-to-fit + grow-by-priority.
+
+        A deterministic function of (order, demands, cluster size, the
+        current frozen set) with **no** side effects — both the engine's
+        per-round :meth:`plan_demands` call and the fast-forward
+        stage's :meth:`resize_stable_epochs` preview evaluate it; only
+        the former then applies the hysteresis-counter transition.
+        """
         targets: dict[int, int] = {}
         free = cluster_size
         n_marked = 0
@@ -515,6 +557,13 @@ class ElasticLASScheduler(LASScheduler):
                 if grow > 0:
                     targets[job.job_id] += grow
                     free -= grow
+        return n_marked, targets
+
+    def plan_demands(
+        self, ordered: Sequence[SimJob], cluster_size: int
+    ) -> tuple[int, dict[int, int]]:
+        n_marked, targets = self._plan(ordered, cluster_size)
+        marked = ordered[:n_marked]
         if self.min_hold_rounds > 1:
             hold: dict[int, int] = {}
             for job in marked:
@@ -533,6 +582,65 @@ class ElasticLASScheduler(LASScheduler):
                     hold[job_id] = left
             self._hold = hold
         return n_marked, targets
+
+    def resize_stable_epochs(
+        self, ordered: Sequence[SimJob], n_marked: int, cluster_size: int,
+        horizon: int,
+    ) -> int:
+        """Prove the plan a fixed point and bound it by the hold clocks.
+
+        The plan is a deterministic function of (order, demands, cluster
+        size, frozen set).  The fast-forward stage already guarantees
+        the first three inputs hold across the window; the preview below
+        replays exactly the call the next round would make.  If it is a
+        no-op (same marking, every marked job at its current width), the
+        only input that can still drift inside the window is the frozen
+        set — hysteresis counters of *marked* jobs tick down once per
+        planning call and a job unfreezing mid-window could change the
+        growth hand-off.  The window is therefore capped at the smallest
+        live counter among marked jobs (frozen counters of unmarked
+        queued jobs do not tick).
+        """
+        if horizon <= 0:
+            return 0
+        n_plan, targets = self._plan(ordered, cluster_size)
+        if n_plan != n_marked:
+            return 0
+        for job in ordered[:n_plan]:
+            if targets.get(job.job_id, job.demand) != job.demand:
+                return 0
+        if self.min_hold_rounds == 1 or not self._hold:
+            return horizon
+        live = [
+            self._hold[job.job_id]
+            for job in ordered[:n_plan]
+            if self._hold.get(job.job_id, 0) > 0
+        ]
+        if not live:
+            return horizon
+        return min(horizon, min(live))
+
+    def note_quiet_epochs(
+        self, ordered: Sequence[SimJob], n_marked: int, n_epochs: int
+    ) -> None:
+        """Replay ``n_epochs`` skipped hysteresis-counter transitions.
+
+        Each skipped round's :meth:`plan_demands` call would have been a
+        no-op plan (certified by :meth:`resize_stable_epochs`) whose
+        only state effect is decrementing the counters of marked held
+        jobs — counters of unmarked queued jobs stay frozen and nothing
+        departs inside a quiet window, so no purge is needed.
+        """
+        if self.min_hold_rounds == 1 or not self._hold or n_epochs <= 0:
+            return
+        for job in ordered[:n_marked]:
+            left = self._hold.get(job.job_id, 0)
+            if left > 0:
+                left -= n_epochs
+                if left > 0:
+                    self._hold[job.job_id] = left
+                else:
+                    del self._hold[job.job_id]
 
 
 class SRTFScheduler(SchedulingPolicy):

@@ -1,0 +1,139 @@
+"""Fast-forward equivalence for elastic-demand traces.
+
+PR 8 taught :class:`~repro.scheduler.policies.ElasticLASScheduler` to
+prove resize stability (``resize_stable_epochs``), so the engine keeps
+the event-horizon fast-forward ON for elastic runs.  Correctness
+requires that a quiet-window jump never crosses a round where the
+elastic plan would have resized somebody — these tests hold the naive
+per-epoch loop and the fast-forward engine to bit-identical outputs
+over elastic traces, mirroring the dynamics equivalence suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.topology import ClusterTopology, LocalityModel
+from repro.dynamics import DriftSpec, DynamicsConfig
+from repro.scheduler.placement import make_placement
+from repro.scheduler.policies import ElasticLASScheduler
+from repro.scheduler.simulator import ClusterSimulator, SimulatorConfig
+from repro.traces.job import JobSpec
+from repro.traces.trace import Trace
+from repro.utils.rng import stream
+from repro.variability.synthetic import synthesize_profile
+
+EPOCH_S = 300.0
+
+
+def _profile(n=16):
+    return synthesize_profile("longhorn", seed=0).sample(
+        n, rng=stream(0, "elastic-eq/sample")
+    )
+
+
+def _elastic_trace(seed, n_jobs=6, *, gap_epochs=60, n_gpus=16):
+    """Sparse arrivals, every job elastic (min/max straddle the demand)."""
+    rng = np.random.default_rng(seed)
+    specs = []
+    t = 0.0
+    for i in range(n_jobs):
+        t += float(rng.integers(0, gap_epochs)) * EPOCH_S
+        demand = int(rng.integers(1, 6))
+        specs.append(
+            JobSpec(
+                job_id=i,
+                arrival_time_s=t,
+                demand=demand,
+                model="resnet50",
+                class_id=int(rng.integers(0, 3)),
+                iteration_time_s=0.25,
+                total_iterations=int(rng.integers(2000, 40 * 1200)),
+                min_demand=max(1, demand - int(rng.integers(0, demand))),
+                max_demand=min(n_gpus, demand + int(rng.integers(0, 4))),
+            )
+        )
+    return Trace(name=f"elastic-eq-{seed}", jobs=tuple(specs))
+
+
+def _simulate(trace, *, fast_forward, hold=1, placement="pal", seed=0,
+              dynamics=None):
+    sim = ClusterSimulator(
+        topology=ClusterTopology.from_gpu_count(16),
+        true_profile=_profile(),
+        scheduler=ElasticLASScheduler(min_hold_rounds=hold),
+        placement=make_placement(placement),
+        locality=LocalityModel(across_node=1.5),
+        config=SimulatorConfig(
+            fast_forward=fast_forward, record_events=True,
+            validate_invariants=True, dynamics=dynamics,
+        ),
+        seed=seed,
+    )
+    return sim.run(trace)
+
+
+def _assert_equivalent(trace, **kwargs):
+    naive = _simulate(trace, fast_forward=False, **kwargs)
+    fast = _simulate(trace, fast_forward=True, **kwargs)
+    assert naive.same_outcome_as(fast) == []
+    return naive, fast
+
+
+class TestElasticEquivalence:
+    @pytest.mark.parametrize("hold", (1, 4))
+    @pytest.mark.parametrize("placement", ("pal", "tiresias", "random-sticky"))
+    def test_bit_identical_across_engines(self, hold, placement):
+        trace = _elastic_trace(seed=11)
+        naive, fast = _assert_equivalent(trace, hold=hold, placement=placement)
+        fast.events.validate()
+
+    def test_jump_still_fires_on_sparse_elastic(self):
+        """Sparse elastic trace: most rounds are skipped (0.0 placement
+        wall-clock) yet outputs stay bit-identical — the whole point of
+        the resize-stability proof."""
+        trace = _elastic_trace(seed=3, n_jobs=5, gap_epochs=200)
+        naive, fast = _assert_equivalent(trace, hold=1)
+        skipped = np.count_nonzero(fast.placement_times_s == 0.0)
+        assert skipped > 0.5 * len(fast.placement_times_s)
+
+    def test_hold_windows_do_not_break_equivalence(self):
+        """min_hold_rounds > 1 arms delayed resizes; the stability proof
+        must account for holds expiring mid-gap."""
+        trace = _elastic_trace(seed=7, n_jobs=8, gap_epochs=20)
+        _assert_equivalent(trace, hold=6)
+
+    def test_elastic_plus_drift_equivalent(self):
+        """Elastic resizes and drift both gate the quiet window."""
+        trace = _elastic_trace(seed=5)
+        dyn = DynamicsConfig(drift=DriftSpec(kind="ou", interval_epochs=25))
+        naive, fast = _assert_equivalent(trace, hold=2, dynamics=dyn)
+        assert naive.metadata["dynamics"] == fast.metadata["dynamics"]
+
+    def test_elastic_plus_failures_equivalent(self):
+        """Failures evict elastic jobs mid-flight; repairs restore
+        capacity the plan then grows back into — all on exact rounds."""
+        trace = _elastic_trace(seed=9, n_jobs=8, gap_epochs=30)
+        dyn = DynamicsConfig(
+            gpu_failure_rate_per_hour=0.01,
+            node_failure_rate_per_hour=0.002,
+            repair_time_s=2.0 * 3600.0,
+            restart_penalty_s=450.0,
+        )
+        naive, fast = _assert_equivalent(trace, hold=3, dynamics=dyn)
+        assert naive.metadata["dynamics"] == fast.metadata["dynamics"]
+
+
+class TestElasticEquivalenceProperty:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        hold=st.integers(min_value=1, max_value=8),
+        placement=st.sampled_from(("pal", "tiresias", "random-sticky")),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_random_elastic_cells_bit_identical(self, seed, hold, placement):
+        trace = _elastic_trace(seed=seed)
+        _assert_equivalent(trace, hold=hold, placement=placement, seed=seed)

@@ -1,0 +1,210 @@
+"""The vectorized multi-cell lane vs the round pipeline.
+
+:mod:`repro.scheduler.engine.batched` executes FIFO + sticky +
+AcceptAll cells through a direct event schedule; its entire contract is
+**bit-identical output** to ``RoundEngine.run`` (records, series, event
+logs, metadata).  These tests enforce that contract across a grid of
+placements, seeds, and trace shapes, pin down the eligibility envelope,
+and check the executor-level wiring in :mod:`repro.runner.batched`.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.topology import ClusterTopology, LocalityModel
+from repro.dynamics import DriftSpec, DynamicsConfig
+from repro.profiling import ProfilingConfig
+from repro.runner import (
+    BatchedExecutor,
+    EnvSpec,
+    RunSpec,
+    TraceSpec,
+    execute_run_spec,
+    make_executor,
+    run_batched,
+)
+from repro.scheduler.admission import AcceptAll, MaxQueueLength
+from repro.scheduler.engine.batched import lane_eligible, run_lane
+from repro.scheduler.engine.core import RoundEngine
+from repro.scheduler.placement import make_placement
+from repro.scheduler.policies import FIFOScheduler, make_scheduler
+from repro.scheduler.simulator import ClusterSimulator, SimulatorConfig
+from repro.traces.job import JobSpec
+from repro.traces.trace import Trace
+from repro.utils.errors import SimulationError
+from repro.utils.rng import stream
+from repro.variability.synthetic import synthesize_profile
+
+STICKY = ("tiresias", "random-sticky", "pm-first-sticky", "pal-sticky")
+
+
+def _profile(n=32):
+    return synthesize_profile("longhorn", seed=0).sample(
+        n, rng=stream(0, "lane-eq/sample")
+    )
+
+
+def _sim(trace_or_none=None, *, scheduler="fifo", placement="tiresias",
+         admission=None, config=None, seed=0, n_gpus=32):
+    return ClusterSimulator(
+        topology=ClusterTopology.from_gpu_count(n_gpus),
+        true_profile=_profile(n_gpus),
+        scheduler=make_scheduler(scheduler),
+        placement=make_placement(placement),
+        locality=LocalityModel(across_node=1.5),
+        admission=admission or AcceptAll(),
+        config=config or SimulatorConfig(),
+        seed=seed,
+    )
+
+
+def _engine_of(sim):
+    return RoundEngine(
+        topology=sim.topology,
+        true_profile=sim.true_profile,
+        scheduler=sim.scheduler,
+        placement=sim.placement,
+        pm_table=sim.pm_table,
+        locality=sim.locality,
+        admission=sim.admission,
+        config=sim.config,
+        arch_of_gpu=sim.arch_of_gpu,
+        seed=sim.seed,
+    )
+
+
+def _lane_vs_engine(trace, **kwargs):
+    sim = _sim(**kwargs)
+    assert lane_eligible(sim.scheduler, sim.placement, sim.admission, sim.config)
+    lane = run_lane(_engine_of(sim), trace)
+    assert lane is not None
+    ref = _sim(**kwargs).run(trace)
+    assert ref.same_outcome_as(lane) == []
+    return ref, lane
+
+
+def smoke_trace(seed, n_jobs=16):
+    return TraceSpec(kind="synergy", load=8.0, n_jobs=n_jobs, seed=seed).build(seed)
+
+
+class TestEligibility:
+    def test_envelope(self):
+        fifo, las = make_scheduler("fifo"), make_scheduler("las")
+        sticky, spread = make_placement("tiresias"), make_placement("pal")
+        ok = SimulatorConfig()
+        assert lane_eligible(fifo, sticky, AcceptAll(), ok)
+        assert not lane_eligible(las, sticky, AcceptAll(), ok)
+        assert not lane_eligible(fifo, spread, AcceptAll(), ok)
+        assert not lane_eligible(fifo, sticky, MaxQueueLength(limit=4), ok)
+        assert not lane_eligible(
+            fifo, sticky, AcceptAll(),
+            SimulatorConfig(dynamics=DynamicsConfig(
+                drift=DriftSpec(kind="ou", interval_epochs=9))),
+        )
+        assert not lane_eligible(
+            fifo, sticky, AcceptAll(),
+            SimulatorConfig(profiling=ProfilingConfig()),
+        )
+        assert not lane_eligible(
+            fifo, sticky, AcceptAll(),
+            SimulatorConfig(online_pm_updates=True),
+        )
+
+    def test_fifo_subclass_rejected(self):
+        class Evil(FIFOScheduler):
+            def order(self, jobs, ctx=None):
+                return list(reversed(jobs))
+
+        assert not lane_eligible(
+            Evil(), make_placement("tiresias"), AcceptAll(), SimulatorConfig()
+        )
+
+    def test_unsorted_trace_punts(self):
+        # Trace validates arrival order itself, so the only FIFO-order
+        # violation it can still carry is a job_id tie-break inversion.
+        jobs = tuple(
+            JobSpec(job_id=i, arrival_time_s=0.0, demand=1, model="resnet50",
+                    class_id=0, iteration_time_s=0.25, total_iterations=1000)
+            for i in (1, 0)
+        )
+        sim = _sim()
+        assert run_lane(_engine_of(sim), Trace(name="tied", jobs=jobs)) is None
+
+
+class TestLaneEquivalence:
+    @pytest.mark.parametrize("placement", STICKY)
+    def test_bit_identical(self, placement):
+        trace = smoke_trace(seed=7, n_jobs=24)
+        _lane_vs_engine(trace, placement=placement)
+
+    def test_bit_identical_with_events_and_invariants(self):
+        trace = smoke_trace(seed=3)
+        cfg = SimulatorConfig(record_events=True, validate_invariants=True)
+        ref, lane = _lane_vs_engine(trace, config=cfg)
+        lane.events.validate()
+
+    def test_max_epochs_guard_matches(self):
+        trace = smoke_trace(seed=1)
+        cfg = SimulatorConfig(max_epochs=3)
+        sim = _sim(config=cfg)
+        with pytest.raises(SimulationError):
+            run_lane(_engine_of(sim), trace)
+
+    def test_empty_and_single_job_traces(self):
+        one = Trace(name="one", jobs=(
+            JobSpec(job_id=0, arrival_time_s=0.0, demand=2, model="resnet50",
+                    class_id=0, iteration_time_s=0.25, total_iterations=5000),
+        ))
+        _lane_vs_engine(one)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        placement=st.sampled_from(STICKY),
+        n_jobs=st.integers(min_value=1, max_value=24),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_cells_bit_identical(self, seed, placement, n_jobs):
+        trace = smoke_trace(seed=seed, n_jobs=n_jobs)
+        _lane_vs_engine(trace, placement=placement, seed=seed)
+
+
+class TestBatchedExecutor:
+    def _cells(self, config=None):
+        return [
+            RunSpec(
+                trace=TraceSpec(kind="synergy", load=8.0, n_jobs=12, seed=3),
+                env=EnvSpec(n_gpus=32),
+                scheduler=scheduler,
+                placement=placement,
+                seed=seed,
+                config=config or SimulatorConfig(),
+            )
+            for scheduler, placement in (
+                ("fifo", "tiresias"),   # lane
+                ("fifo", "pal"),        # fallback: non-sticky placement
+                ("las", "tiresias"),    # fallback: non-FIFO scheduler
+            )
+            for seed in (0, 1)
+        ]
+
+    def test_mixed_grid_matches_serial(self):
+        cells = self._cells(SimulatorConfig(record_events=True))
+        serial = [execute_run_spec(c) for c in cells]
+        batched = run_batched(cells)
+        for a, b in zip(serial, batched):
+            assert a.same_outcome_as(b) == []
+            assert a.metadata["run_digest"] == b.metadata["run_digest"]
+
+    def test_executor_map_dispatch(self):
+        ex = make_executor("batched")
+        assert isinstance(ex, BatchedExecutor) and ex.name == "batched"
+        cells = self._cells()[:2]
+        out = ex.map(execute_run_spec, cells)
+        serial = [execute_run_spec(c) for c in cells]
+        for a, b in zip(serial, out):
+            assert a.same_outcome_as(b) == []
+        # Arbitrary worker functions pass through untouched.
+        assert ex.map(lambda x: x * 2, [1, 2, 3]) == [2, 4, 6]

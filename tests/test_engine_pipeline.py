@@ -210,10 +210,12 @@ class TestPipelineComposition:
     def test_resize_stage_requires_both_elastic_trace_and_scheduler(self):
         elastic_trace = Trace("t", (job(0, demand=2, min_demand=1, max_demand=4),))
         rigid_trace = Trace("t", (job(0, demand=2),))
-        # Elastic-aware scheduler + elastic trace -> ResizeStage, no FF.
+        # Elastic-aware scheduler + elastic trace -> ResizeStage, and FF
+        # stays ON: the scheduler proves resize stability over quiet
+        # windows (resize_stable_epochs), so the jump is still exact.
         engine = self._engine("elastic-las")
         ctx = engine.build_context(elastic_trace)
-        assert ctx.resize_active and not ctx.ff_enabled
+        assert ctx.resize_active and ctx.ff_enabled
         assert any(isinstance(s, ResizeStage) for s in engine.build_stages(ctx))
         # Elastic-aware scheduler + rigid trace -> plain pipeline, FF on.
         ctx = engine.build_context(rigid_trace)

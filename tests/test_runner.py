@@ -427,3 +427,41 @@ class TestCacheGC:
         assert len(cache) == 0
         again = run_sweep(smoke_spec(), cache=cache)
         assert (again.cache_hits, again.cache_misses) == (0, 2)
+
+
+class TestTouchDebounce:
+    def _one_entry(self, cache):
+        sweep = run_sweep(smoke_spec(), cache=cache)
+        (path, _) = sorted(cache.root.glob("*/*.pkl"))
+        cell = next(c for c in sweep.cells if c.digest() == path.stem)
+        return cell, path
+
+    def test_fresh_hits_skip_the_touch(self, tmp_path):
+        """Repeated hot-loop hits leave the mtime alone (one utime per
+        debounce window, not one per read)."""
+        cache = ResultCache(tmp_path / "cache")  # default: 1h debounce
+        cell, path = self._one_entry(cache)
+        mtime = path.stat().st_mtime
+        for _ in range(3):
+            assert cache.get(cell) is not None
+        assert path.stat().st_mtime == mtime
+
+    def test_stale_hit_refreshes_recency(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache", touch_debounce_s=3600.0)
+        cell, path = self._one_entry(cache)
+        old = path.stat().st_mtime - 5_000
+        os.utime(path, (old, old))
+        assert cache.get(cell) is not None
+        assert path.stat().st_mtime > old  # past the window: touched
+
+    def test_zero_debounce_touches_every_hit(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache", touch_debounce_s=0.0)
+        cell, path = self._one_entry(cache)
+        old = path.stat().st_mtime - 10
+        os.utime(path, (old, old))
+        assert cache.get(cell) is not None
+        assert path.stat().st_mtime > old
+
+    def test_negative_debounce_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path / "cache", touch_debounce_s=-1.0)

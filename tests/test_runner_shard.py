@@ -1,0 +1,222 @@
+"""The persistent sharded executor and its shared-memory substrate.
+
+Contract under test: ``REPRO_EXECUTOR=shard`` is byte-identical to the
+serial executor, warm pools persist across ``map()`` calls and executor
+instances, shard assignment is a pure function of cell content, and
+:mod:`repro.runner.shm` publishes/attaches objects zero-copy with
+read-only arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runner import (
+    EnvSpec,
+    RunSpec,
+    ShardExecutor,
+    TraceSpec,
+    execute_run_spec,
+    make_executor,
+    resolve_executor,
+    shutdown_shard_runtime,
+)
+from repro.runner import shard as shard_mod
+from repro.runner import shm
+from repro.runner.shard import shard_of
+from repro.scheduler.simulator import SimulatorConfig
+from repro.utils.errors import ConfigurationError
+
+
+def small_cells(n_seeds=4, **config_kwargs):
+    return [
+        RunSpec(
+            trace=TraceSpec(kind="synergy", load=8.0, n_jobs=12, seed=3),
+            env=EnvSpec(n_gpus=16),
+            scheduler="fifo",
+            placement=placement,
+            seed=seed,
+            config=SimulatorConfig(**config_kwargs),
+        )
+        for placement in ("random-sticky", "pal-sticky")
+        for seed in range(n_seeds)
+    ]
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+@pytest.fixture(autouse=True)
+def _teardown_runtime():
+    yield
+    shutdown_shard_runtime()
+
+
+class TestShardOf:
+    def test_pure_and_in_range(self):
+        cells = small_cells()
+        for cell in cells:
+            d = cell.digest()
+            for n in (1, 2, 7, 64):
+                k = shard_of(d, n)
+                assert 0 <= k < n
+                assert k == shard_of(d, n)  # pure function of content
+
+    def test_content_addressed_not_positional(self):
+        """Shard assignment survives reordering and grid resizing."""
+        cells = small_cells()
+        by_digest = {c.digest(): shard_of(c.digest(), 8) for c in cells}
+        for cell in reversed(cells[:3]):
+            assert shard_of(cell.digest(), 8) == by_digest[cell.digest()]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            shard_of("deadbeef", 0)
+
+
+class TestSharding:
+    def test_digest_range_buckets_cover_all_indices(self):
+        ex = ShardExecutor(max_workers=2)
+        cells = small_cells()
+        shards = ex._shards(cells, n_shards=4)
+        flat = sorted(i for bucket in shards for i in bucket)
+        assert flat == list(range(len(cells)))
+        for bucket in shards:
+            assert bucket == sorted(bucket)  # input order within a shard
+
+    def test_contiguous_fallback_for_digest_less_items(self):
+        ex = ShardExecutor(max_workers=2)
+        shards = ex._shards(list(range(10)), n_shards=4)
+        assert [i for b in shards for i in b] == list(range(10))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ShardExecutor(max_workers=0)
+        with pytest.raises(ConfigurationError):
+            ShardExecutor(shards_per_worker=0)
+
+
+class TestShardExecutor:
+    def test_byte_identical_to_serial(self):
+        cells = small_cells(record_events=True)
+        serial = [execute_run_spec(c) for c in cells]
+        out = ShardExecutor(max_workers=2).map(execute_run_spec, cells)
+        for a, b in zip(serial, out):
+            assert a.same_outcome_as(b) == []
+            assert a.metadata["run_digest"] == b.metadata["run_digest"]
+
+    @given(
+        seeds=st.lists(
+            st.integers(min_value=0, max_value=64),
+            min_size=2, max_size=4, unique=True,
+        ),
+        placements=st.lists(
+            st.sampled_from(
+                ("tiresias", "random-sticky", "pm-first-sticky", "pal-sticky")
+            ),
+            min_size=1, max_size=2, unique=True,
+        ),
+        shards_per_worker=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_random_grids_byte_identical(
+        self, seeds, placements, shards_per_worker
+    ):
+        """Property: any grid shape, any shard fan-out — shard == serial
+        cell for cell (warm pools persist across examples, as across
+        sweeps in real sessions)."""
+        cells = [
+            RunSpec(
+                trace=TraceSpec(kind="synergy", load=8.0, n_jobs=10, seed=3),
+                env=EnvSpec(n_gpus=16),
+                scheduler="fifo",
+                placement=placement,
+                seed=seed,
+            )
+            for placement in placements
+            for seed in seeds
+        ]
+        serial = [execute_run_spec(c) for c in cells]
+        ex = ShardExecutor(max_workers=2, shards_per_worker=shards_per_worker)
+        for a, b in zip(serial, ex.map(execute_run_spec, cells)):
+            assert a.same_outcome_as(b) == []
+
+    def test_warm_pool_reused_across_maps_and_instances(self):
+        cells = small_cells(n_seeds=2)
+        before = shard_mod.pools_spawned()
+        ShardExecutor(max_workers=2).map(execute_run_spec, cells)
+        after_first = shard_mod.pools_spawned()
+        assert after_first == before + 1
+        # Second map, *new* executor instance: no new pool.
+        ShardExecutor(max_workers=2).map(execute_run_spec, cells)
+        assert shard_mod.pools_spawned() == after_first
+
+    def test_env_published_once_per_unique_key(self):
+        cells = small_cells(n_seeds=2)  # 2 placements x 2 seeds -> 2 env keys
+        ShardExecutor(max_workers=2).map(execute_run_spec, cells)
+        assert len(shard_mod._PUBLISHED) == 2
+        ShardExecutor(max_workers=2).map(execute_run_spec, cells)
+        assert len(shard_mod._PUBLISHED) == 2  # republish is a cache hit
+
+    def test_small_inputs_run_inline(self):
+        cells = small_cells()[:1]
+        before = shard_mod.pools_spawned()
+        out = ShardExecutor(max_workers=2).map(execute_run_spec, cells)
+        assert shard_mod.pools_spawned() == before  # no pool for 1 cell
+        assert out[0].same_outcome_as(execute_run_spec(cells[0])) == []
+
+    def test_generic_functions_still_shard(self):
+        out = ShardExecutor(max_workers=2).map(_square, list(range(9)))
+        assert out == [x * x for x in range(9)]
+
+    def test_factory_and_resolver(self, monkeypatch):
+        assert isinstance(make_executor("shard"), ShardExecutor)
+        monkeypatch.setenv("REPRO_EXECUTOR", "shard")
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        ex = resolve_executor(None)
+        assert isinstance(ex, ShardExecutor) and ex.max_workers == 2
+
+    def test_shutdown_idempotent(self):
+        ShardExecutor(max_workers=2).map(
+            execute_run_spec, small_cells(n_seeds=2)
+        )
+        shutdown_shard_runtime()
+        assert shard_mod._POOLS == {} and shard_mod._PUBLISHED == {}
+        shutdown_shard_runtime()  # second call is a no-op
+
+
+class TestShm:
+    def test_roundtrip_zero_copy_readonly(self):
+        payload = {
+            "scores": np.arange(24.0).reshape(3, 8),
+            "label": "env",
+            "ids": np.arange(10, dtype=np.int64),
+        }
+        ref, block = shm.publish(payload)
+        try:
+            obj, handle = shm.attach(ref)
+            try:
+                assert obj["label"] == "env"
+                np.testing.assert_array_equal(obj["scores"], payload["scores"])
+                np.testing.assert_array_equal(obj["ids"], payload["ids"])
+                # Attached arrays are views of the block, not copies...
+                assert not obj["scores"].flags.owndata
+                # ...and read-only, so no worker can corrupt a sibling.
+                with pytest.raises(ValueError):
+                    obj["scores"][0, 0] = 99.0
+            finally:
+                # The handle outlives the object, never the other way
+                # around (workers keep both for the process lifetime).
+                del obj
+                handle.close()
+        finally:
+            shm.unlink(block)
+
+    def test_unlink_tolerates_double_release(self):
+        ref, block = shm.publish([1, 2, 3])
+        shm.unlink(block)
+        shm.unlink(block)  # already gone: silently fine
