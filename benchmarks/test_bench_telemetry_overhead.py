@@ -1,0 +1,111 @@
+"""Telemetry benchmark: observing a run must not meaningfully slow it.
+
+Runs a fixed smoke grid twice per repeat on a single core — once with
+the null telemetry (the default for every production run) and once
+inside a JSONL-recording :func:`repro.telemetry.telemetry_session` —
+and pins the contract from the observability tentpole:
+
+* disabled and enabled runs are **bit-identical** in outcome, and
+* a fully-recording session (per-stage per-round spans, histograms,
+  counters, sink serialization at close) costs <= 2 % of wall clock.
+  The disabled path itself is the exact seed loop, so its overhead is
+  zero by construction; this bench pins the *enabled* path.
+
+The grid is two paper-scale cells (256 GPUs) rather than many tiny
+ones: telemetry cost is proportional to the *round rate*, so the pin
+must be taken at the per-round work a real experiment does (~1 ms of
+scheduling + placement per materialized round).  Toy cells with
+~100 us rounds would measure the instrumentation against almost no
+work and say nothing about production overhead.  The grid is fixed
+(not scaled by ``REPRO_BENCH_SCALE``) so numbers are comparable across
+machines and commits.  Headline numbers land in
+``BENCH_test_telemetry_overhead.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.reporting import format_table
+from repro.runner import EnvSpec, RunSpec, TraceSpec, execute_run_spec
+from repro.telemetry import telemetry_session
+
+#: Enabled-session wall-clock budget relative to disabled, in percent.
+_MAX_OVERHEAD_PCT = 2.0
+
+_REPEATS = 5
+
+
+def _cells():
+    return [
+        RunSpec(
+            trace=TraceSpec(kind="synergy", load=8.0, n_jobs=256, seed=7),
+            env=EnvSpec(n_gpus=256),
+            scheduler=scheduler,
+            placement=placement,
+            seed=0,
+        )
+        for scheduler, placement in (("fifo", "pal"), ("las", "tiresias"))
+    ]
+
+
+def test_telemetry_overhead(report, bench_json, tmp_path):
+    cells = _cells()
+    # Warm both paths: build memos, import costs, sink file creation.
+    disabled_results = [execute_run_spec(c) for c in cells]
+    with telemetry_session(tmp_path / "warm.jsonl"):
+        [execute_run_spec(c) for c in cells]
+
+    # Each repeat times the two paths back to back and keeps the paired
+    # ratio: pairing cancels the slow machine drift that dwarfs a ~1 %
+    # effect over a multi-second benchmark, and the min over repeats is
+    # a sound upper bound on the instrumentation cost (noise only ever
+    # inflates a ratio).
+    disabled_s = float("inf")
+    enabled_s = float("inf")
+    ratio = float("inf")
+    enabled_results = None
+    for rep in range(_REPEATS):
+        t0 = time.perf_counter()
+        disabled_results = [execute_run_spec(c) for c in cells]
+        rep_disabled = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        with telemetry_session(tmp_path / f"rep{rep}.jsonl"):
+            enabled_results = [execute_run_spec(c) for c in cells]
+        rep_enabled = time.perf_counter() - t0
+        disabled_s = min(disabled_s, rep_disabled)
+        enabled_s = min(enabled_s, rep_enabled)
+        ratio = min(ratio, rep_enabled / rep_disabled)
+
+    for a, b in zip(disabled_results, enabled_results):
+        assert a.same_outcome_as(b) == []
+
+    overhead_pct = (ratio - 1.0) * 100.0
+    table = format_table(
+        ["path", "cells", "wall_ms", "cells_per_s", "overhead_pct"],
+        [
+            ["telemetry off", len(cells), disabled_s * 1e3,
+             len(cells) / disabled_s, 0.0],
+            ["telemetry on (JSONL sink)", len(cells), enabled_s * 1e3,
+             len(cells) / enabled_s, overhead_pct],
+        ],
+        precision=2,
+        title=(
+            "full telemetry session vs null telemetry "
+            f"({len(cells)}-cell 256-GPU grid, bit-identical outcomes)"
+        ),
+    )
+    report(table)
+    bench_json(
+        {
+            "cells": len(cells),
+            "disabled_s": disabled_s,
+            "enabled_s": enabled_s,
+            "overhead_pct": overhead_pct,
+            "max_overhead_pct": _MAX_OVERHEAD_PCT,
+        }
+    )
+    assert overhead_pct <= _MAX_OVERHEAD_PCT, (
+        f"telemetry session costs {overhead_pct:.2f}% "
+        f"(budget {_MAX_OVERHEAD_PCT}%)"
+    )

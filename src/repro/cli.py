@@ -39,11 +39,24 @@ Commands
 
         pal-repro cache-gc --cache-dir ~/.cache/pal-repro \\
             --max-bytes 500000000 --max-age-days 30
+``report``
+    Summarize a telemetry JSONL trace written by ``--telemetry``: span
+    tree with wall-clock aggregates, final counters/gauges/histograms::
+
+        pal-repro -v experiment fig11 --scale smoke --telemetry run.jsonl
+        pal-repro report run.jsonl
+
+Observability flags: ``-v/--verbose`` (repeatable) and ``-q/--quiet``
+set the ``repro.*`` logging level; ``--telemetry PATH`` (on
+``experiment``, ``simulate``, and ``sweep``) records spans, metrics,
+and run events to a JSONL stream (see :mod:`repro.telemetry`).
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
+import os
 import sys
 from pathlib import Path
 
@@ -56,6 +69,7 @@ from .runner import EXECUTOR_NAMES, EnvSpec, SweepSpec, TraceSpec, run_sweep
 from .scheduler.placement import ALL_POLICY_NAMES, make_placement
 from .scheduler.policies import make_scheduler
 from .scheduler.simulator import ClusterSimulator, SimulatorConfig
+from .telemetry import load_trace, render_report, telemetry_session
 from .traces.philly import SiaPhillyConfig, generate_sia_philly_trace
 from .traces.synergy import generate_synergy_trace
 from .utils.errors import ConfigurationError
@@ -70,12 +84,21 @@ def build_parser() -> argparse.ArgumentParser:
         prog="pal-repro",
         description="Reproduction of PAL (SC 2024): variability-aware GPU cluster scheduling.",
     )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="log repro.* at INFO (-v) or DEBUG (-vv) on stderr",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="only log errors (overrides --verbose)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_exp = sub.add_parser("experiment", help="run a paper experiment")
     p_exp.add_argument("id", choices=sorted(EXPERIMENTS), help="experiment id")
     p_exp.add_argument("--scale", default="ci", choices=("smoke", "ci", "paper"))
     p_exp.add_argument("--seed", type=int, default=0)
+    _add_telemetry_arg(p_exp)
 
     sub.add_parser("list", help="list experiment ids")
 
@@ -125,6 +148,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--locality", type=float, default=1.7)
     p_sim.add_argument("--profile", default="longhorn", choices=sorted(CLUSTER_SPECS))
     p_sim.add_argument("--seed", type=int, default=0)
+    _add_telemetry_arg(p_sim)
     _add_dynamics_args(p_sim)
 
     p_sweep = sub.add_parser("sweep", help="run a simulation grid via the sweep runner")
@@ -163,6 +187,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--per-cell", action="store_true", help="print one row per cell (no seed averaging)"
     )
     p_sweep.add_argument("--out", type=Path, default=None, help="write comparison CSV here")
+    _add_telemetry_arg(p_sweep)
     _add_dynamics_args(p_sweep)
 
     p_gc = sub.add_parser("cache-gc", help="prune a sweep result cache")
@@ -178,7 +203,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_gc.add_argument(
         "--clear", action="store_true", help="delete every entry instead of pruning"
     )
+
+    p_rep = sub.add_parser(
+        "report", help="summarize a telemetry JSONL trace (--telemetry output)"
+    )
+    p_rep.add_argument("path", type=Path, help="JSONL trace to summarize")
+    p_rep.add_argument(
+        "--max-span-rows", type=int, default=64,
+        help="truncate the span tree after this many distinct paths",
+    )
     return parser
+
+
+def _add_telemetry_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry", type=Path, default=None, metavar="PATH",
+        help="record spans, metrics, and run events to this JSONL stream "
+        "(inspect with `pal-repro report PATH`)",
+    )
 
 
 def _add_dynamics_args(parser: argparse.ArgumentParser) -> None:
@@ -494,6 +536,11 @@ def _cmd_cache_gc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    print(render_report(load_trace(args.path), max_span_rows=args.max_span_rows))
+    return 0
+
+
 _COMMANDS = {
     "experiment": _cmd_experiment,
     "list": _cmd_list,
@@ -502,12 +549,46 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "sweep": _cmd_sweep,
     "cache-gc": _cmd_cache_gc,
+    "report": _cmd_report,
 }
+
+
+def _configure_logging(args: argparse.Namespace) -> None:
+    """Map -v/-q onto the ``repro.*`` logger level (stderr handler)."""
+    if args.quiet:
+        level = logging.ERROR
+    elif args.verbose >= 2:
+        level = logging.DEBUG
+    elif args.verbose == 1:
+        level = logging.INFO
+    else:
+        level = logging.WARNING
+    logging.basicConfig(
+        level=level,
+        stream=sys.stderr,
+        format="%(levelname)s %(name)s: %(message)s",
+    )
+    logging.getLogger("repro").setLevel(level)
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    _configure_logging(args)
+    handler = _COMMANDS[args.command]
+    try:
+        tel_path = getattr(args, "telemetry", None)
+        if tel_path is not None:
+            with telemetry_session(tel_path):
+                rc = handler(args)
+            print(f"wrote telemetry trace to {tel_path}")
+            return rc
+        return handler(args)
+    except BrokenPipeError:
+        # `pal-repro report ... | head` closes the pipe early; exit
+        # quietly like any well-behaved filter (BSD convention).
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141  # 128 + SIGPIPE
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -44,7 +44,14 @@ class DynamicsStage(RoundStage):
         proc = ctx.dynamics
         if proc is None:  # pragma: no cover - engine inserts conditionally
             raise SimulationError("DynamicsStage requires ctx.dynamics")
+        tel = ctx.telemetry
         for ev in proc.pop_due(ctx.epoch_idx):
+            if tel.enabled:
+                tel.registry.counter(
+                    "repro_cluster_events_total",
+                    "applied cluster-dynamics transitions by kind",
+                    kind=ev.kind.name.lower(),
+                ).inc()
             if ev.kind in (EventType.FAIL, EventType.DRAIN):
                 self._take_down(ctx, proc, ev)
             elif ev.kind is EventType.REPAIR:

@@ -82,6 +82,12 @@ class ProfilingStage(RoundStage):
                   batch: MeasurementBatch) -> None:
         if not batch.gpus:
             return  # every member was aborted by a failure/drain
+        if ctx.telemetry.enabled:
+            ctx.telemetry.registry.counter(
+                "repro_profiling_batches_total",
+                "measurement batches by phase",
+                phase="completed",
+            ).inc()
         values = proc.measure(ctx.true_scores, batch.gpus)
         for i, gpu in enumerate(batch.gpus):
             proc.ledger.commit(gpu, values[:, i], ctx.epoch_idx)
@@ -122,6 +128,13 @@ class ProfilingStage(RoundStage):
             proc.queued.discard(gpu)
         if not picked:
             return
+        tel = ctx.telemetry
+        if tel.enabled:
+            tel.registry.counter(
+                "repro_profiling_batches_total",
+                "measurement batches by phase",
+                phase="launched",
+            ).inc()
         for job in jobs_holding(ctx, picked):
             # Same checkpoint-eviction mechanics as a failure, with the
             # campaign's own restart penalty.
@@ -129,6 +142,11 @@ class ProfilingStage(RoundStage):
                 ctx, job, penalty_s=cfg.restart_penalty_s, cause="profiling"
             )
             proc.n_evictions += 1
+            if tel.enabled:
+                tel.registry.counter(
+                    "repro_profiling_evictions_total",
+                    "jobs checkpoint-evicted to free GPUs for measurement",
+                ).inc()
         ctx.cluster.mark_unavailable(picked)
         ctx.capacity = ctx.cluster.n_available
         ctx.state_dirty = True

@@ -17,6 +17,7 @@ and :data:`~repro.runner.spec.SPEC_VERSION` — a hit is exactly a rerun.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import pickle
 import time
@@ -24,9 +25,14 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from ..scheduler.metrics import SimulationResult
+from ..telemetry.runtime import get_telemetry
 from .spec import RunSpec
 
 __all__ = ["CacheStats", "GCStats", "ResultCache"]
+
+_log = logging.getLogger(__name__)
+
+_MISS_HELP = "result-cache lookups that fell through to execution"
 
 
 @dataclass
@@ -62,6 +68,13 @@ class GCStats:
             f"{self.removed} ({self.reclaimed_bytes / 1e6:.1f} MB), kept "
             f"{self.kept} ({self.kept_bytes / 1e6:.1f} MB)"
         )
+
+
+def _tel_inc(name: str, help_: str, n: float = 1.0) -> None:
+    """Mirror one cache event into the ambient telemetry registry."""
+    tel = get_telemetry()
+    if tel.enabled:
+        tel.registry.counter(name, help_).inc(n)
 
 
 class ResultCache:
@@ -100,6 +113,7 @@ class ResultCache:
                 result = pickle.load(fh)
         except FileNotFoundError:
             self.stats.misses += 1
+            _tel_inc("repro_cache_misses_total", _MISS_HELP)
             return None
         except Exception:
             # Truncated or corrupt entry: drop it and treat as a miss.
@@ -109,12 +123,18 @@ class ResultCache:
             # crashed sweep.
             path.unlink(missing_ok=True)
             self.stats.misses += 1
+            _tel_inc("repro_cache_misses_total", _MISS_HELP)
+            _log.warning("cache: dropped corrupt entry %s", path.name)
             return None
         if not isinstance(result, SimulationResult):
             path.unlink(missing_ok=True)
             self.stats.misses += 1
+            _tel_inc("repro_cache_misses_total", _MISS_HELP)
+            _log.warning("cache: dropped foreign object %s", path.name)
             return None
         self.stats.hits += 1
+        _tel_inc("repro_cache_hits_total", "result-cache lookups served from disk")
+        _log.debug("cache hit: %s", path.stem)
         try:
             # Refresh recency so gc()'s size-cap eviction is LRU rather
             # than insertion-ordered — but only once the last touch is
@@ -143,6 +163,8 @@ class ResultCache:
         tmp_json.write_text(json.dumps(sidecar, indent=2, sort_keys=True))
         os.replace(tmp_json, path.with_suffix(".json"))
         self.stats.puts += 1
+        _tel_inc("repro_cache_puts_total", "results written to the cache")
+        _log.debug("cache put: %s", digest)
         return path
 
     def clear(self) -> int:
@@ -209,4 +231,15 @@ class ResultCache:
                 total -= size
         stats.kept = len(survivors)
         stats.kept_bytes = sum(size for _, size, _ in survivors)
+        _tel_inc(
+            "repro_cache_gc_removed_total",
+            "cache entries evicted by gc passes",
+            stats.removed,
+        )
+        _tel_inc(
+            "repro_cache_gc_reclaimed_bytes_total",
+            "bytes reclaimed by cache gc passes",
+            stats.reclaimed_bytes,
+        )
+        _log.info("%s", stats.render())
         return stats

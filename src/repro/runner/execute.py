@@ -31,6 +31,7 @@ from ..scheduler.metrics import SimulationResult
 from ..scheduler.placement import make_placement
 from ..scheduler.policies import make_scheduler
 from ..scheduler.simulator import ClusterSimulator, SimulatorConfig
+from ..telemetry.runtime import get_telemetry
 from ..traces.trace import Trace
 from ..variability.profiles import VariabilityProfile
 from .spec import RunSpec
@@ -67,6 +68,16 @@ def execute_sim_cell(cell: SimCell) -> SimulationResult:
         arch_of_gpu=cell.arch_of_gpu,
         seed=cell.seed,
     )
+    tel = get_telemetry()
+    if tel.enabled:
+        with tel.span(
+            "cell",
+            trace=cell.trace.name,
+            scheduler=cell.scheduler,
+            placement=cell.placement,
+            seed=cell.seed,
+        ):
+            return sim.run(cell.trace)
     return sim.run(cell.trace)
 
 

@@ -31,18 +31,25 @@ objects a worker-side build would have produced.
 from __future__ import annotations
 
 import atexit
+import logging
 import math
 import os
+import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from ..telemetry.runtime import get_telemetry
 from ..utils.errors import ConfigurationError
 from . import shm
 from .execute import _build_env, execute_run_spec, install_env_override
 from .executors import Executor
 from .spec import RunSpec
 
+_log = logging.getLogger(__name__)
+
 __all__ = ["ShardExecutor", "shard_of", "shutdown_shard_runtime"]
+
+_POOL_HELP = "pool acquisitions by state (cold spawn vs warm reuse)"
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -75,11 +82,21 @@ def shard_of(digest: str, n_shards: int) -> int:
 
 def _get_pool(workers: int) -> ProcessPoolExecutor:
     global _POOLS_SPAWNED
+    tel = get_telemetry()
     pool = _POOLS.get(workers)
     if pool is None:
         pool = ProcessPoolExecutor(max_workers=workers)
         _POOLS[workers] = pool
         _POOLS_SPAWNED += 1
+        _log.info("shard: spawned cold pool (%d workers)", workers)
+        if tel.enabled:
+            tel.registry.counter(
+                "repro_shard_pools_total", _POOL_HELP, state="cold"
+            ).inc()
+    elif tel.enabled:
+        tel.registry.counter(
+            "repro_shard_pools_total", _POOL_HELP, state="warm"
+        ).inc()
     return pool
 
 
@@ -135,11 +152,20 @@ def _run_shard(
     fn: Callable[[T], R],
     items: list[T],
     manifest: dict[tuple, shm.ShmRef] | None,
-) -> list[R]:
-    """One shard's work, executed inside a (warm) pool worker."""
+) -> tuple[list[R], float]:
+    """One shard's work, executed inside a (warm) pool worker.
+
+    Returns ``(results, busy_s)`` — the wall-clock seconds the worker
+    spent on this shard, which the parent aggregates into the
+    ``repro_shard_worker_utilization`` gauge.  Workers themselves run
+    with the null telemetry (sessions do not cross the process
+    boundary), so this is the one signal measured unconditionally.
+    """
+    t0 = time.perf_counter()
     if manifest:
         _install_manifest(manifest)
-    return [fn(item) for item in items]
+    results = [fn(item) for item in items]
+    return results, time.perf_counter() - t0
 
 
 class ShardExecutor(Executor):
@@ -197,14 +223,37 @@ class ShardExecutor(Executor):
         manifest = None
         if fn is execute_run_spec:
             manifest = _publish_envs(cells)  # type: ignore[arg-type]
-        pool = _get_pool(workers)
-        shards = self._shards(cells, n_shards)
-        futures: list[tuple[list[int], Future]] = [
-            (idxs, pool.submit(_run_shard, fn, [cells[i] for i in idxs], manifest))
-            for idxs in shards
-        ]
-        out: list[R | None] = [None] * len(cells)
-        for idxs, fut in futures:
-            for i, res in zip(idxs, fut.result()):
-                out[i] = res
+        tel = get_telemetry()
+        with tel.span(
+            "shard.map", cells=len(cells), shards=n_shards, workers=workers
+        ):
+            t0 = time.perf_counter()
+            pool = _get_pool(workers)
+            shards = self._shards(cells, n_shards)
+            futures: list[tuple[list[int], Future]] = [
+                (
+                    idxs,
+                    pool.submit(
+                        _run_shard, fn, [cells[i] for i in idxs], manifest
+                    ),
+                )
+                for idxs in shards
+            ]
+            out: list[R | None] = [None] * len(cells)
+            busy_s = 0.0
+            for idxs, fut in futures:
+                res_list, shard_busy = fut.result()
+                busy_s += shard_busy
+                for i, res in zip(idxs, res_list):
+                    out[i] = res
+            wall_s = time.perf_counter() - t0
+            if tel.enabled and wall_s > 0.0:
+                tel.registry.gauge(
+                    "repro_shard_worker_utilization",
+                    "busy seconds / (workers x wall seconds), last map()",
+                ).set(busy_s / (workers * wall_s))
+        _log.debug(
+            "shard.map: %d cells over %d shards / %d workers in %.3fs",
+            len(cells), len(shards), workers, wall_s,
+        )
         return out  # type: ignore[return-value]

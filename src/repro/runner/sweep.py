@@ -18,8 +18,10 @@ cells are written back, so a repeated invocation is served from disk.
 
 from __future__ import annotations
 
+import logging
 from pathlib import Path
 
+from ..telemetry.runtime import get_telemetry
 from .aggregate import SweepResult
 from .cache import ResultCache
 from .execute import execute_run_spec
@@ -27,6 +29,8 @@ from .executors import Executor, resolve_executor
 from .spec import RunSpec, SweepSpec
 
 __all__ = ["run_sweep"]
+
+_log = logging.getLogger(__name__)
 
 
 def run_sweep(
@@ -58,23 +62,46 @@ def run_sweep(
         cache = ResultCache(cache)
 
     cells = spec.expand()
+    tel = get_telemetry()
+    _log.info(
+        "sweep %s: %d cells via %s executor (cache %s)",
+        spec.name, len(cells), exec_.name,
+        "on" if cache is not None else "off",
+    )
     results: dict[RunSpec, object] = {}
-    hits = 0
-    to_run: list[RunSpec] = []
-    for cell in cells:
-        cached = None if (cache is None or force) else cache.get(cell)
-        if cached is not None:
-            results[cell] = cached
-            hits += 1
-        else:
-            to_run.append(cell)
+    with tel.span(
+        "runner.sweep", sweep=spec.name, cells=len(cells), executor=exec_.name
+    ):
+        hits = 0
+        to_run: list[RunSpec] = []
+        for cell in cells:
+            cached = None if (cache is None or force) else cache.get(cell)
+            if cached is not None:
+                results[cell] = cached
+                hits += 1
+            else:
+                to_run.append(cell)
 
-    if to_run:
-        fresh = exec_.map(execute_run_spec, to_run)
-        for cell, res in zip(to_run, fresh):
-            results[cell] = res
-            if cache is not None:
-                cache.put(cell, res)
+        if tel.enabled:
+            counter = tel.registry.counter
+            help_ = "sweep cells by outcome (cache-hit vs executed)"
+            counter(
+                "repro_sweep_cells_total", help_, outcome="cache-hit"
+            ).inc(hits)
+            counter(
+                "repro_sweep_cells_total", help_, outcome="executed"
+            ).inc(len(to_run))
+        _log.info(
+            "sweep %s: %d cache hits, %d cells to execute",
+            spec.name, hits, len(to_run),
+        )
+
+        if to_run:
+            fresh = exec_.map(execute_run_spec, to_run)
+            for cell, res in zip(to_run, fresh):
+                results[cell] = res
+                if cache is not None:
+                    cache.put(cell, res)
 
     return SweepResult(
         spec=spec,

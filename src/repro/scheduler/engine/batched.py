@@ -44,6 +44,7 @@ general engine.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 
 from ...traces.trace import Trace
 from ..admission import AcceptAll, AdmissionPolicy
@@ -162,9 +163,47 @@ def run_lane(engine: RoundEngine, trace: Trace) -> SimulationResult | None:
     fin_round: dict[int, int] = {}  # job_id -> absolute finish round
     next_fin = _NEVER  # min over running jobs' fin_round
 
+    # Telemetry (lane flavor): the lane has no stages, so it records the
+    # run span, per-round placement timings, round/jump counters, and
+    # jump spans — everything the instrumented pipeline surfaces except
+    # per-stage breakdowns.  One predictable branch per round when
+    # disabled; instruments are resolved once, outside the loop.
+    tel = ctx.telemetry
+    tel_on = tel.enabled
+    if tel_on:
+        reg = tel.registry
+        tel_place_hist = reg.histogram(
+            "repro_engine_placement_seconds",
+            "wall-clock seconds spent placing per round",
+        )
+        tel_rounds_c = reg.counter(
+            "repro_engine_rounds_total", "materialized scheduling rounds"
+        )
+        tel_jumps_c = reg.counter(
+            "repro_engine_ff_jumps_total", "committed fast-forward jumps"
+        )
+        tel_skips_c = reg.counter(
+            "repro_engine_ff_epochs_skipped_total",
+            "epochs skipped by fast-forward jumps",
+        )
+        run_span = tel.span(
+            "engine.lane", trace=trace.name, scheduler=ctx.scheduler.name,
+            placement=policy.name, seed=engine.seed, jobs=n_jobs,
+        )
+    else:
+        run_span = nullcontext()
+
+    # Entered manually so the (already bit-identical) loop below keeps
+    # its shape; on the max_epochs SimulationError path the span record
+    # simply stays open and is dropped at session close.
+    run_span.__enter__()
+
     while ctx.n_finished < n_jobs:
         ctx.begin_round()  # clock + the max_epochs guard, verbatim
         now = ctx.now
+        if tel_on:
+            tel_rounds_c.inc()
+            ctx.tel_rounds += 1
 
         # Arrivals (AcceptAll admits unconditionally).
         while (
@@ -222,7 +261,10 @@ def run_lane(engine: RoundEngine, trace: Trace) -> SimulationResult | None:
                                   gpus=alloc.tolist())
             job.state = JobState.RUNNING
             n_running += 1
-        placement_times.record(perf_counter() - t0)
+        dt = perf_counter() - t0
+        placement_times.record(dt)
+        if tel_on:
+            tel_place_hist.observe(dt)
         if cfg.validate_invariants:
             cluster.check_invariants()
         if cfg.record_utilization:
@@ -325,7 +367,16 @@ def run_lane(engine: RoundEngine, trace: Trace) -> SimulationResult | None:
         if cfg.record_utilization:
             utilization.record(ctx.epoch_idx, cluster.n_busy, span)
         placement_times.skip(span)
+        if tel_on:
+            t_jump = perf_counter()
+            tel.add_span("ff.jump", t_jump, t_jump,
+                         epochs_skipped=span, from_epoch=ctx.epoch_idx)
+            tel_jumps_c.inc()
+            tel_skips_c.inc(span)
+            ctx.tel_ff_jumps += 1
+            ctx.tel_ff_epochs_skipped += span
         ctx.epochs_run += span
         ctx.epoch_idx += span
 
+    run_span.__exit__(None, None, None)
     return engine._collect(trace, ctx, arrival_stage)

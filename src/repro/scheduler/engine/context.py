@@ -35,6 +35,7 @@ import numpy as np
 
 from ...cluster.state import ClusterState
 from ...cluster.topology import ClusterTopology, LocalityModel
+from ...telemetry.runtime import NULL_TELEMETRY
 from ...utils.errors import SimulationError
 from ..admission import AdmissionPolicy
 from ..events import EventLog
@@ -171,6 +172,11 @@ class RoundContext:
     dynamics: "DynamicsProcess | None" = None
     #: Re-profiling campaign state (None = beliefs stay frozen at t=0).
     profiling: "ProfilingProcess | None" = None
+    #: The run's observability session — the ambient
+    #: :func:`repro.telemetry.get_telemetry` captured at context build.
+    #: The no-op null singleton by default; stages branch once on
+    #: ``telemetry.enabled`` so the disabled path stays free.
+    telemetry: object = NULL_TELEMETRY
 
     # ---- simulated clock ---------------------------------------------
     #: Simulated time is an integer epoch index; ``now`` is always
@@ -212,6 +218,13 @@ class RoundContext:
     placement_times: PlacementTimeRecorder = field(
         default_factory=PlacementTimeRecorder
     )
+
+    # ---- run-local telemetry tallies (only written when telemetry is
+    # enabled; surfaced as ``metadata["telemetry"]``) -------------------
+    tel_rounds: int = 0
+    tel_ff_jumps: int = 0
+    tel_ff_epochs_skipped: int = 0
+    tel_stage_seconds: "dict[str, float] | None" = None
 
     @property
     def epoch_s(self) -> float:

@@ -22,11 +22,15 @@ context, so stages compose without knowing about each other.
 
 from __future__ import annotations
 
+import logging
+import time
+
 import numpy as np
 
 from ...cluster.state import ClusterState
 from ...cluster.topology import ClusterTopology, LocalityModel
 from ...core.pm_score import PMScoreTable
+from ...telemetry.runtime import get_telemetry
 from ...traces.trace import Trace
 from ...utils.errors import ConfigurationError
 from ...utils.rng import stream
@@ -51,6 +55,8 @@ from .stages import (
 )
 
 __all__ = ["RoundEngine"]
+
+_log = logging.getLogger(__name__)
 
 
 class RoundEngine:
@@ -190,6 +196,7 @@ class RoundEngine:
             can_memoize=can_memoize,
             ff_enabled=ff_enabled,
             resize_active=resize_active,
+            telemetry=get_telemetry(),
         )
 
     def build_stages(self, ctx: RoundContext) -> list[RoundStage]:
@@ -233,13 +240,83 @@ class RoundEngine:
         arrival_stage = next(s for s in stages if isinstance(s, ArrivalStage))
 
         n_jobs = len(ctx.jobs)
-        while ctx.n_finished < n_jobs:
-            ctx.begin_round()
-            for stage in stages:
-                if stage.run(ctx) is StageOutcome.NEXT_ROUND:
-                    break
+        if ctx.telemetry.enabled:
+            self._run_instrumented(trace, ctx, stages, n_jobs)
+        else:
+            # The null-telemetry fast path: the loop below is the exact
+            # seed loop, untouched — zero added work per round.
+            while ctx.n_finished < n_jobs:
+                ctx.begin_round()
+                for stage in stages:
+                    if stage.run(ctx) is StageOutcome.NEXT_ROUND:
+                        break
 
         return self._collect(trace, ctx, arrival_stage)
+
+    def _run_instrumented(
+        self, trace: Trace, ctx: RoundContext, stages: list[RoundStage],
+        n_jobs: int,
+    ) -> None:
+        """The stage loop with per-stage, per-round span/metric capture.
+
+        Behaviorally identical to the plain loop in :meth:`run` — the
+        instruments only *observe* wall-clock time around each
+        ``stage.run`` call, never touch simulation state, and buffer
+        their records for flush-time serialization.  The loop is tuned
+        for the pinned overhead budget: one ``perf_counter`` reading is
+        shared between adjacent stages (so the sub-microsecond cost of
+        recording a span lands in the next stage's measurement rather
+        than doubling the timer calls), spans go through the telemetry
+        :meth:`~repro.telemetry.runtime.Telemetry.leaf_writer` fast
+        path, and each round's stage spans share one attrs dict.
+        """
+        tel = ctx.telemetry
+        perf_counter = time.perf_counter
+        span_names = ["stage:" + s.name for s in stages]
+        stage_runs = [s.run for s in stages]
+        hists = [
+            tel.registry.histogram(
+                "repro_engine_stage_seconds",
+                "wall-clock seconds per stage execution", stage=s.name,
+            )
+            for s in stages
+        ]
+        stage_tot = [0.0] * len(stages)
+        rounds_inc = tel.registry.counter(
+            "repro_engine_rounds_total", "materialized scheduling rounds"
+        ).inc
+        _log.debug(
+            "engine run: trace=%s scheduler=%s placement=%s seed=%d jobs=%d",
+            trace.name, self.scheduler.name, self.placement.name, self.seed,
+            n_jobs,
+        )
+        with tel.span(
+            "engine.run", trace=trace.name, scheduler=self.scheduler.name,
+            placement=self.placement.name, seed=self.seed, jobs=n_jobs,
+        ):
+            leaf = tel.leaf_writer()
+            n_stages = len(stages)
+            rounds = 0
+            while ctx.n_finished < n_jobs:
+                ctx.begin_round()
+                rounds += 1
+                rattrs = {"round": ctx.epoch_idx}
+                t0 = perf_counter()
+                for i in range(n_stages):
+                    outcome = stage_runs[i](ctx)
+                    t1 = perf_counter()
+                    dt = t1 - t0
+                    hists[i].observe(dt)
+                    stage_tot[i] += dt
+                    leaf(span_names[i], t0, dt, rattrs)
+                    t0 = t1
+                    if outcome is StageOutcome.NEXT_ROUND:
+                        break
+            rounds_inc(rounds)
+            ctx.tel_rounds += rounds
+        ctx.tel_stage_seconds = {
+            s.name: stage_tot[i] for i, s in enumerate(stages)
+        }
 
     # ------------------------------------------------------------------
     def _collect(
@@ -284,6 +361,18 @@ class RoundEngine:
         summary_fn = getattr(self.scheduler, "solver_summary", None)
         if callable(summary_fn):
             metadata["solver"] = summary_fn()
+        if ctx.telemetry.enabled:
+            # Run-local observability facts (wall-clock derived, so
+            # ``same_outcome_as`` ignores this key like ``run_digest``).
+            tmeta: dict[str, object] = {
+                "rounds_materialized": ctx.tel_rounds,
+                "epochs_run": ctx.epochs_run,
+                "ff_jumps": ctx.tel_ff_jumps,
+                "ff_epochs_skipped": ctx.tel_ff_epochs_skipped,
+            }
+            if ctx.tel_stage_seconds is not None:
+                tmeta["stage_seconds"] = ctx.tel_stage_seconds
+            metadata["telemetry"] = tmeta
         return SimulationResult(
             trace_name=trace.name,
             scheduler_name=self.scheduler.name,

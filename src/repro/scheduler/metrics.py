@@ -203,9 +203,10 @@ class SimulationResult:
         the event log, and metadata.  Wall-clock measurements are checked
         by shape only (``placement_times_s`` values vary run to run, and
         the fast-forward engine records 0.0 for skipped rounds), and the
-        ``run_digest`` metadata key is ignored (it encodes the engine
-        configuration, which may legitimately differ between the compared
-        runs).  Used by the fast-forward equivalence suite and any other
+        ``run_digest`` and ``telemetry`` metadata keys are ignored
+        (the first encodes the engine configuration, which may
+        legitimately differ between the compared runs; the second holds
+        wall-clock observability facts that vary run to run).  Used by the fast-forward equivalence suite and any other
         determinism test.
         """
         diffs: list[str] = []
@@ -223,8 +224,9 @@ class SimulationResult:
             diffs.append("placement_times_s.shape")
         if self.busy_gpu_seconds != other.busy_gpu_seconds:
             diffs.append("busy_gpu_seconds")
-        meta_a = {k: v for k, v in self.metadata.items() if k != "run_digest"}
-        meta_b = {k: v for k, v in other.metadata.items() if k != "run_digest"}
+        skip = ("run_digest", "telemetry")
+        meta_a = {k: v for k, v in self.metadata.items() if k not in skip}
+        meta_b = {k: v for k, v in other.metadata.items() if k not in skip}
         if meta_a != meta_b:
             diffs.append("metadata")
         if (self.events is None) != (other.events is None):

@@ -33,7 +33,9 @@ inside a worker without sharing objects across process boundaries.
 
 from __future__ import annotations
 
+import logging
 import sys
+import time
 from fractions import Fraction
 from typing import Sequence
 
@@ -58,6 +60,8 @@ from .backend import ScipyLinProgBackend, SolverBackend
 from .rounding import class_plan
 
 __all__ = ["GavelScheduler", "SolverPlacement"]
+
+_log = logging.getLogger(__name__)
 
 _EPS = sys.float_info.epsilon
 
@@ -155,6 +159,8 @@ class GavelScheduler(SchedulingPolicy):
 
     def _resolve(self, jobs: Sequence[SimJob], sig, epoch: int) -> None:
         ctx = self._ctx
+        tel = ctx.telemetry
+        t0 = time.perf_counter() if tel.enabled else 0.0
         table = ctx.placement_ctx.pm_table
         classes = build_gpu_classes(
             table, ctx.cluster.available_mask, ctx.placement_ctx.arch_of_gpu
@@ -170,6 +176,7 @@ class GavelScheduler(SchedulingPolicy):
         else:
             alloc = solve_max_min_fairness(problem, self.backend)
         self._n_solves += 1
+        n_lp_before = self._n_lp_calls
         for cert in alloc.certificates:
             self._n_lp_calls += 1
             self._max_primal_residual = max(
@@ -178,6 +185,38 @@ class GavelScheduler(SchedulingPolicy):
             self._max_duality_gap = max(self._max_duality_gap, cert.duality_gap)
             if not cert.ok():
                 self._all_certified = False
+                _log.warning(
+                    "%s: uncertified LP solution at epoch %d (gap=%.3g, "
+                    "residual=%.3g)",
+                    self.name, epoch, cert.duality_gap, cert.primal_residual,
+                )
+        if tel.enabled:
+            t1 = time.perf_counter()
+            n_lp = self._n_lp_calls - n_lp_before
+            tel.add_span(
+                "solver.solve", t0, t1,
+                epoch=epoch, jobs=len(jobs), lp_calls=n_lp,
+            )
+            reg = tel.registry
+            reg.histogram(
+                "repro_solver_solve_seconds",
+                "wall-clock seconds per allocation solve",
+            ).observe(t1 - t0)
+            reg.counter(
+                "repro_solver_solves_total", "allocation LP solves"
+            ).inc()
+            reg.counter(
+                "repro_solver_lp_calls_total",
+                "individual LP backend calls (MMF solves iterate)",
+            ).inc(n_lp)
+            reg.gauge(
+                "repro_solver_duality_gap_max",
+                "largest certificate duality gap seen this run",
+            ).set_max(self._max_duality_gap)
+            reg.gauge(
+                "repro_solver_primal_residual_max",
+                "largest certificate primal residual seen this run",
+            ).set_max(self._max_primal_residual)
         carried = self._materialized_deficits(epoch)
         self._sig = sig
         self._problem = problem

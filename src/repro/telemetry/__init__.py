@@ -1,0 +1,47 @@
+"""``repro.telemetry`` — opt-in spans, metrics, and a run-event stream.
+
+The zero-dependency observability layer across the engine, runner, and
+solver:
+
+* :class:`MetricsRegistry` — labeled counters / gauges / histograms.
+* :class:`Telemetry` / :func:`telemetry_session` — ambient span tracing
+  with nested wall-clock timing and a structured JSONL event sink;
+  :func:`get_telemetry` returns the active session (the no-op
+  :data:`NULL_TELEMETRY` by default, so instrumentation is provably
+  free when disabled).
+* :func:`prometheus_text` / :func:`metrics_csv` — exporters.
+* :func:`load_trace` / :func:`render_report` — the ``pal-repro
+  report`` parser/renderer for JSONL traces.
+
+See the README's "Observability" section for the metric catalog and an
+example span tree.
+"""
+
+from .registry import Counter, Gauge, Histogram, MetricsRegistry, series_key
+from .runtime import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    get_telemetry,
+    telemetry_session,
+)
+from .export import metrics_csv, prometheus_text
+from .report import TelemetryTrace, load_trace, render_report
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "series_key",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "Telemetry",
+    "get_telemetry",
+    "telemetry_session",
+    "metrics_csv",
+    "prometheus_text",
+    "TelemetryTrace",
+    "load_trace",
+    "render_report",
+]

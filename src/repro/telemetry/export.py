@@ -1,0 +1,79 @@
+"""Metric exporters: Prometheus text format and CSV.
+
+Both render a :class:`~repro.telemetry.registry.MetricsRegistry` (or a
+JSON snapshot of one, for ``pal-repro report`` over a JSONL trace) into
+interchange formats a scrape endpoint or a spreadsheet can ingest —
+zero dependencies, pure string assembly.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from math import inf
+
+from .registry import Counter, Gauge, Histogram, MetricsRegistry, series_key
+
+__all__ = ["prometheus_text", "metrics_csv"]
+
+
+def _prom_labels(labels: tuple[tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    lines: list[str] = []
+    seen: set[str] = set()
+    for name, labels, inst in registry.series():
+        if name not in seen:
+            seen.add(name)
+            help_ = registry.help_for(name)
+            if help_:
+                lines.append(f"# HELP {name} {help_}")
+            lines.append(f"# TYPE {name} {inst.kind}")
+        if isinstance(inst, (Counter, Gauge)):
+            lines.append(f"{name}{_prom_labels(labels)} {inst.value:g}")
+        else:
+            assert isinstance(inst, Histogram)
+            cum = 0
+            for bound, n in zip(inst.bounds, inst.bucket_counts):
+                cum += n
+                le = 'le="%g"' % bound
+                lines.append(f"{name}_bucket{_prom_labels(labels, le)} {cum}")
+            le_inf = 'le="+Inf"'
+            lines.append(
+                f"{name}_bucket{_prom_labels(labels, le_inf)} {inst.count}"
+            )
+            lines.append(f"{name}_sum{_prom_labels(labels)} {inst.sum:g}")
+            lines.append(f"{name}_count{_prom_labels(labels)} {inst.count}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def metrics_csv(registry: MetricsRegistry) -> str:
+    """Flat CSV: one row per series (histograms as count/sum/min/max)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(
+        ["metric", "type", "labels", "value", "count", "sum", "min", "max"]
+    )
+    for name, labels, inst in registry.series():
+        label_text = ";".join(f"{k}={v}" for k, v in labels)
+        if isinstance(inst, (Counter, Gauge)):
+            writer.writerow(
+                [name, inst.kind, label_text, repr(inst.value), "", "", "", ""]
+            )
+        else:
+            assert isinstance(inst, Histogram)
+            lo = inst.min if inst.count else 0.0
+            hi = inst.max if inst.count else 0.0
+            if lo in (inf, -inf):  # pragma: no cover - guarded by count
+                lo = hi = 0.0
+            writer.writerow([
+                name, inst.kind, label_text, "",
+                inst.count, repr(inst.sum), repr(lo), repr(hi),
+            ])
+    return buf.getvalue()

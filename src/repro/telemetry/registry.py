@@ -1,0 +1,192 @@
+"""Labeled metric series: counters, gauges, and histograms.
+
+:class:`MetricsRegistry` is a flat map from ``(name, labels)`` to one
+instrument.  Instruments are plain-attribute objects with one hot
+method each (``inc`` / ``set`` / ``observe``) so the instrumented call
+sites the engine and runner touch every round stay allocation-free;
+call sites that fire per round cache the instrument once per run
+instead of re-resolving it through the registry.
+
+A metric name owns one kind for the registry's lifetime — asking for
+``repro_cache_hits_total`` as a gauge after it was created as a counter
+is a :class:`~repro.utils.errors.ConfigurationError`, which keeps the
+exporters' per-name TYPE declarations unambiguous.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from math import inf
+from typing import Iterator
+
+from ..utils.errors import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "series_key",
+]
+
+
+class Counter:
+    """Monotonically increasing total."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+
+
+class Gauge:
+    """Last-observed value (set-to-current semantics)."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def set_max(self, value: float) -> None:
+        if value > self.value:
+            self.value = float(value)
+
+
+#: Wall-clock-seconds buckets: 10 µs .. 10 min covers everything from a
+#: memoized placement no-op to a paper-scale LP solve.
+DEFAULT_BOUNDS: tuple[float, ...] = (
+    1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 60.0, 600.0,
+)
+
+
+class Histogram:
+    """Fixed-bucket distribution with exact count/sum/min/max."""
+
+    __slots__ = ("bounds", "bucket_counts", "count", "sum", "min", "max")
+    kind = "histogram"
+
+    def __init__(self, bounds: tuple[float, ...] = DEFAULT_BOUNDS) -> None:
+        if list(bounds) != sorted(bounds):
+            raise ConfigurationError(
+                f"histogram bounds must be sorted, got {bounds}"
+            )
+        self.bounds = tuple(float(b) for b in bounds)
+        self.bucket_counts = [0] * (len(bounds) + 1)  # last = +Inf bucket
+        self.count = 0
+        self.sum = 0.0
+        self.min = inf
+        self.max = -inf
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+def series_key(name: str, labels: tuple[tuple[str, str], ...]) -> str:
+    """Prometheus-style display key: ``name{label="value",...}``."""
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Flat store of labeled instruments (see module docstring)."""
+
+    def __init__(self) -> None:
+        self._series: dict[tuple[str, tuple[tuple[str, str], ...]], object] = {}
+        self._kinds: dict[str, str] = {}
+        self._help: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def _get(self, name: str, kind: str, help_: str, labels: dict):
+        key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+        inst = self._series.get(key)
+        if inst is not None:
+            if inst.kind != kind:
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as a {inst.kind}, "
+                    f"cannot re-register as a {kind}"
+                )
+            return inst
+        known = self._kinds.get(name)
+        if known is not None and known != kind:
+            raise ConfigurationError(
+                f"metric {name!r} already registered as a {known}, "
+                f"cannot re-register as a {kind}"
+            )
+        self._kinds[name] = kind
+        if help_ and name not in self._help:
+            self._help[name] = help_
+        inst = _KINDS[kind]()
+        self._series[key] = inst
+        return inst
+
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        return self._get(name, "counter", help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+        return self._get(name, "gauge", help, labels)
+
+    def histogram(self, name: str, help: str = "", **labels) -> Histogram:
+        return self._get(name, "histogram", help, labels)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def help_for(self, name: str) -> str:
+        return self._help.get(name, "")
+
+    def series(
+        self,
+    ) -> Iterator[tuple[str, tuple[tuple[str, str], ...], object]]:
+        """``(name, labels, instrument)`` triples in sorted key order."""
+        for name, labels in sorted(self._series):
+            yield name, labels, self._series[(name, labels)]
+
+    def snapshot(self) -> dict:
+        """JSON-ready view: counters/gauges as scalars, histograms as
+        ``{count, sum, min, max}`` summaries keyed by display key."""
+        counters: dict[str, float] = {}
+        gauges: dict[str, float] = {}
+        histograms: dict[str, dict[str, float]] = {}
+        for name, labels, inst in self.series():
+            key = series_key(name, labels)
+            if isinstance(inst, Counter):
+                counters[key] = inst.value
+            elif isinstance(inst, Gauge):
+                gauges[key] = inst.value
+            else:
+                assert isinstance(inst, Histogram)
+                histograms[key] = {
+                    "count": inst.count,
+                    "sum": inst.sum,
+                    "min": inst.min if inst.count else 0.0,
+                    "max": inst.max if inst.count else 0.0,
+                }
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }

@@ -1,0 +1,168 @@
+"""Parse and render a telemetry JSONL trace (``pal-repro report``).
+
+:func:`load_trace` reads the stream a :class:`~repro.telemetry.runtime.
+Telemetry` sink wrote — meta line, span/event lines, final metrics
+snapshot — tolerating truncated tails (a killed run's trace still
+reports).  :func:`render_report` aggregates spans by path into an
+indented tree (count / total / mean / max wall-clock) and tabulates the
+final counters, gauges, and histogram summaries.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..analysis.reporting import format_table
+from ..utils.errors import ConfigurationError
+
+__all__ = ["TelemetryTrace", "load_trace", "render_report"]
+
+
+@dataclass
+class TelemetryTrace:
+    """The parsed contents of one telemetry JSONL stream."""
+
+    meta: dict = field(default_factory=dict)
+    spans: list[dict] = field(default_factory=list)
+    events: list[dict] = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+
+    @property
+    def counters(self) -> dict[str, float]:
+        return self.metrics.get("counters", {})
+
+    @property
+    def gauges(self) -> dict[str, float]:
+        return self.metrics.get("gauges", {})
+
+    @property
+    def histograms(self) -> dict[str, dict]:
+        return self.metrics.get("histograms", {})
+
+
+def load_trace(path: str | Path) -> TelemetryTrace:
+    """Parse ``path`` into a :class:`TelemetryTrace`."""
+    path = Path(path)
+    if not path.is_file():
+        raise ConfigurationError(f"telemetry trace {path} does not exist")
+    trace = TelemetryTrace()
+    with path.open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError:
+                # A killed run leaves at most one truncated tail line;
+                # anything else is a malformed stream worth rejecting.
+                if fh.readline().strip():
+                    raise ConfigurationError(
+                        f"{path}:{lineno}: not a telemetry JSONL stream "
+                        f"(unparseable line followed by more data)"
+                    ) from None
+                break
+            kind = obj.get("type")
+            if kind == "meta":
+                trace.meta = obj
+            elif kind == "span":
+                trace.spans.append(obj)
+            elif kind == "event":
+                trace.events.append(obj)
+            elif kind == "metrics":
+                trace.metrics = obj.get("metrics", {})
+    if not (trace.meta or trace.spans or trace.metrics):
+        raise ConfigurationError(
+            f"{path} contains no telemetry records (is it a JSONL trace "
+            f"written by --telemetry?)"
+        )
+    return trace
+
+
+@dataclass
+class _Agg:
+    count: int = 0
+    total_s: float = 0.0
+    max_s: float = 0.0
+
+
+def _span_tree(spans: list[dict], max_rows: int) -> str:
+    aggs: dict[str, _Agg] = {}
+    for span in spans:
+        path = span.get("path", span.get("name", "?"))
+        agg = aggs.get(path)
+        if agg is None:
+            agg = aggs[path] = _Agg()
+        dur = float(span.get("dur_s", 0.0))
+        agg.count += 1
+        agg.total_s += dur
+        if dur > agg.max_s:
+            agg.max_s = dur
+    # Lexicographic path order lists every parent before its children.
+    paths = sorted(aggs)
+    labels = [
+        "  " * p.count("/") + p.rsplit("/", 1)[-1] for p in paths
+    ]
+    width = max(len(label) for label in labels[:max_rows])
+    width = max(width, len("span"))
+    lines = [
+        "span tree (aggregated by path)",
+        f"{'span'.ljust(width)} | {'count':>7} | {'total_s':>10} | "
+        f"{'mean_s':>10} | {'max_s':>10}",
+        "-" * width + "-+-" + "-" * 7 + "-+-" + "-" * 10 + "-+-"
+        + "-" * 10 + "-+-" + "-" * 10,
+    ]
+    for path, label in zip(paths[:max_rows], labels[:max_rows]):
+        agg = aggs[path]
+        lines.append(
+            f"{label.ljust(width)} | {agg.count:>7} | {agg.total_s:>10.6f} | "
+            f"{agg.total_s / agg.count:>10.6f} | {agg.max_s:>10.6f}"
+        )
+    if len(paths) > max_rows:
+        lines.append(f"... {len(paths) - max_rows} more span paths")
+    return "\n".join(lines)
+
+
+def render_report(trace: TelemetryTrace, *, max_span_rows: int = 64) -> str:
+    """Human-readable report over one parsed trace."""
+    blocks: list[str] = []
+    head = ["telemetry report"]
+    if trace.meta:
+        started = trace.meta.get("started_unix_s")
+        if started is not None:
+            head.append(f"  started_unix_s : {started}")
+    head.append(f"  spans  : {len(trace.spans)}")
+    head.append(f"  events : {len(trace.events)}")
+    blocks.append("\n".join(head))
+
+    if trace.spans:
+        blocks.append(_span_tree(trace.spans, max_span_rows))
+
+    if trace.counters:
+        blocks.append(format_table(
+            ("counter", "value"),
+            [[k, v] for k, v in sorted(trace.counters.items())],
+            precision=0,
+            title="counters",
+        ))
+    if trace.gauges:
+        blocks.append(format_table(
+            ("gauge", "value"),
+            [[k, v] for k, v in sorted(trace.gauges.items())],
+            precision=6,
+            title="gauges",
+        ))
+    if trace.histograms:
+        blocks.append(format_table(
+            ("histogram", "count", "sum", "min", "max"),
+            [
+                [k, h.get("count", 0), h.get("sum", 0.0),
+                 h.get("min", 0.0), h.get("max", 0.0)]
+                for k, h in sorted(trace.histograms.items())
+            ],
+            precision=6,
+            title="histograms",
+        ))
+    return "\n\n".join(blocks)

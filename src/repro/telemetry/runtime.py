@@ -1,0 +1,451 @@
+"""The ambient telemetry runtime: spans, events, and the JSONL sink.
+
+Telemetry is *ambient*, not a simulator-config field: an active
+:class:`Telemetry` is installed process-wide by
+:func:`telemetry_session` and every instrumented call site reads it via
+:func:`get_telemetry`.  Two properties fall out of that choice:
+
+* **Digest stability** — :class:`~repro.runner.spec.RunSpec` content
+  digests (and therefore the result cache and ``SPEC_VERSION``) are
+  untouched: observing a run is not part of the run's identity.
+* **A provably free disabled path** — the default active object is
+  :data:`NULL_TELEMETRY`, whose ``enabled`` flag lets hot loops branch
+  once and skip every instrument; its methods are no-ops so unguarded
+  call sites cost one truthiness check and allocate nothing.
+
+Process-pool caveat: worker processes start with :data:`NULL_TELEMETRY`
+(the active object is deliberately not shipped across ``fork``/pickle),
+so under the ``process``/``shard`` executors the per-cell engine spans
+are recorded only for work the parent executes; parent-side sweep
+spans, cache counters, and pool/utilization metrics are always
+captured.  The ``serial`` executor captures everything.
+
+Span recording is built for the engine's per-stage-per-round rate: a
+completed span is one small list appended to a buffer (no string
+formatting, no dict churn beyond the caller's attrs), and JSON
+serialization happens at flush/close time, outside the measured loops.
+Three further choices keep the pinned enabled-vs-disabled overhead
+(``BENCH_test_telemetry_overhead.json``) under its budget: hot loops
+record through :meth:`Telemetry.leaf_writer` (sequence numbers are
+assigned lazily at flush, so the per-span cost is one list literal and
+one append), sibling leaf spans may share one attrs dict (serialized
+once per distinct dict, not once per span), and flush renders spans
+through per-``(name, parent)`` ``%``-templates instead of a generic
+JSON encoder.
+
+JSONL stream format (one object per line):
+
+* ``{"type": "meta", ...}`` — first line: format version, start time.
+* ``{"type": "span", "seq": n, "path": "a/b", "name": "b",
+  "start_s": t, "dur_s": d, "attrs": {...}}`` — one completed span;
+  ``start_s`` is seconds since the session started, ``path`` the
+  nesting chain at record time.
+* ``{"type": "event", "name": ..., ...}`` — one structured run event.
+* ``{"type": "metrics", "metrics": <registry snapshot>}`` — last line.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+from .registry import MetricsRegistry
+
+__all__ = [
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "get_telemetry",
+    "telemetry_session",
+]
+
+
+class _NullInstrument:
+    """Accepts every instrument method as a no-op."""
+
+    __slots__ = ()
+
+    def inc(self, n: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def set_max(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class _NullRegistry:
+    """Registry stand-in whose instruments are shared no-ops."""
+
+    __slots__ = ()
+
+    def counter(self, name: str, help: str = "", **labels) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    gauge = counter
+    histogram = counter
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class _NullSpan:
+    """Reusable no-op context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def _null_leaf(name, start, dur, attrs=None) -> None:
+    pass
+
+
+class NullTelemetry:
+    """The disabled fast path: every operation is a cheap no-op."""
+
+    __slots__ = ()
+    enabled = False
+    registry = _NullRegistry()
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def add_span(self, name: str, start: float, end: float, **attrs) -> None:
+        pass
+
+    def leaf_writer(self):
+        return _null_leaf
+
+    def event(self, name: str, **fields) -> None:
+        pass
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        return self.registry.snapshot()
+
+
+NULL_TELEMETRY = NullTelemetry()
+
+
+def _render_attrs(attrs: dict) -> str:
+    """Render a span's ``,"attrs":{...}`` suffix.
+
+    Ints render inline (the per-round hot case — ``{"round": n}``);
+    anything else goes through :func:`json.dumps` for correctness.
+    """
+    if all(type(v) is int for v in attrs.values()):
+        inner = ",".join(f'"{k}":{v}' for k, v in attrs.items())
+        return ',"attrs":{' + inner + "}"
+    return ',"attrs":' + json.dumps(attrs, default=str)
+
+
+class _Span:
+    """Context manager recording one wall-clock span on exit."""
+
+    __slots__ = ("_tel", "_name", "_attrs", "_seq", "_start")
+
+    def __init__(self, tel: "Telemetry", name: str, attrs: dict | None):
+        self._tel = tel
+        self._name = name
+        self._attrs = attrs or None
+
+    def __enter__(self) -> "_Span":
+        self._seq, self._start = self._tel._open_span(self._name, self._attrs)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._tel._close_span(self._seq, time.perf_counter() - self._start)
+        return False
+
+
+class Telemetry:
+    """An active observability session (see module docstring)."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        *,
+        max_buffered_records: int = 500_000,
+    ):
+        self.registry = MetricsRegistry()
+        self.path = Path(path) if path is not None else None
+        self._fh = None
+        #: Buffered records: ``[seq, name, parent_seq, start, dur, attrs]``
+        #: with ``dur = None`` while the span is still open and
+        #: ``seq = None`` for leaf-writer records until flush assigns one.
+        self._records: list[list] = []
+        #: Open-span stack: ``(seq, record)`` pairs.
+        self._open: list[tuple[int, list]] = []
+        self._seq = 0
+        self._t0 = time.perf_counter()
+        self._paths: dict[int, str] = {}  # seq -> resolved path (flush memo)
+        #: Completed records retained for :meth:`spans` when there is no
+        #: sink; with a sink, flushed records live only in the file.
+        self._flushed: list[list] = []
+        self.max_buffered_records = max_buffered_records
+        self.n_dropped = 0
+        self._closed = False
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("w", encoding="utf-8")
+            self._fh.write(json.dumps({
+                "type": "meta",
+                "version": 1,
+                "started_unix_s": time.time(),
+            }) + "\n")
+
+    # ------------------------------------------------------------------
+    # Recording (hot paths: no formatting, one list append)
+    # ------------------------------------------------------------------
+    def _open_span(self, name: str, attrs: dict | None) -> tuple[int, float]:
+        seq = self._seq
+        self._seq = seq + 1
+        parent = self._open[-1][0] if self._open else -1
+        start = time.perf_counter()
+        rec = [seq, name, parent, start, None, attrs]
+        if len(self._records) < self.max_buffered_records:
+            self._records.append(rec)
+        else:
+            self.n_dropped += 1
+        self._open.append((seq, rec))
+        return seq, start
+
+    def _close_span(self, seq: int, dur: float) -> None:
+        while self._open:
+            open_seq, rec = self._open.pop()
+            if open_seq == seq:
+                rec[4] = dur
+                return
+            # An enclosed span was left open (exception unwound past
+            # it); close it with the enclosing duration as the bound.
+            if rec[4] is None:
+                rec[4] = dur
+
+    def span(self, name: str, **attrs) -> _Span:
+        """Context manager timing a nested wall-clock span."""
+        return _Span(self, name, attrs)
+
+    def add_span(self, name: str, start: float, end: float, **attrs) -> None:
+        """Record a completed leaf span the caller already timed.
+
+        ``start``/``end`` are raw :func:`time.perf_counter` readings;
+        the span nests under whatever span is currently open.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        parent = self._open[-1][0] if self._open else -1
+        if len(self._records) < self.max_buffered_records:
+            self._records.append(
+                [seq, name, parent, start, end - start, attrs or None]
+            )
+        else:
+            self.n_dropped += 1
+
+    def leaf_writer(self):
+        """A minimal-cost recorder for per-round hot loops.
+
+        Returns ``write(name, start, dur, attrs=None)`` — the
+        :meth:`add_span` fast path.  The parent is resolved once (the
+        span open when the writer is built), the sequence number is
+        assigned lazily at flush, and ``attrs`` is stored by reference,
+        so sibling leaves may share one dict and it is serialized only
+        once.  The per-call cost is one list literal plus one append.
+        """
+        parent = self._open[-1][0] if self._open else -1
+        records = self._records
+        cap = self.max_buffered_records
+        tel = self
+
+        def write(name, start, dur, attrs=None) -> None:
+            if len(records) < cap:
+                records.append([None, name, parent, start, dur, attrs])
+            else:
+                tel.n_dropped += 1
+
+        return write
+
+    def event(self, name: str, **fields) -> None:
+        """Record one structured run event (serialized at flush)."""
+        seq = self._seq
+        self._seq = seq + 1
+        if len(self._records) < self.max_buffered_records:
+            self._records.append([seq, name, -2, time.perf_counter(), 0.0, fields])
+        else:
+            self.n_dropped += 1
+
+    # ------------------------------------------------------------------
+    # Serialization (cold path)
+    # ------------------------------------------------------------------
+    def _path_of(self, seq: int, name: str, parent: int) -> str:
+        parent_path = self._paths.get(parent)
+        path = name if parent_path is None else f"{parent_path}/{name}"
+        self._paths[seq] = path
+        return path
+
+    def flush(self) -> None:
+        """Serialize every *completed* buffered record to the sink.
+
+        Spans render through a ``%``-template cached per
+        ``(name, parent)`` — everything but seq/start/dur/attrs is
+        constant within one parent — and attrs dicts are JSON-encoded
+        once per distinct object (leaf siblings share theirs), which
+        keeps the per-span flush cost far below a generic encoder's.
+        """
+        if not self._records:
+            return
+        keep: list[list] = []
+        lines: list[str] = []
+        fh = self._fh
+        t0 = self._t0
+        paths = self._paths
+        seq_next = self._seq
+        templates: dict[tuple[str, int], str] = {}
+        attr_memo: dict[int, str] = {}  # id(attrs) -> rendered suffix
+        for rec in self._records:
+            seq, name, parent, start, dur, attrs = rec
+            if dur is None:  # still-open span: keep buffering
+                keep.append(rec)
+                continue
+            if seq is None:  # leaf-writer record: assign its seq now
+                rec[0] = seq = seq_next
+                seq_next += 1
+                # Leaves are never on the open stack, so nothing can
+                # name this seq as a parent — skip the path memo.
+                is_leaf = True
+            else:
+                is_leaf = False
+            if fh is None:
+                # In-memory session: resolve the path now (children may
+                # flush later) and retain the record for spans().
+                if parent != -2:
+                    self._path_of(seq, name, parent)
+                self._flushed.append(rec)
+                continue
+            if parent == -2:  # event record
+                payload = {"type": "event", "seq": seq, "name": name,
+                           "t_s": round(start - t0, 9)}
+                if attrs:
+                    payload.update(attrs)
+                lines.append(json.dumps(payload, default=str))
+                continue
+            entry = templates.get((name, parent))
+            if entry is None:
+                parent_path = paths.get(parent)
+                path = name if parent_path is None else f"{parent_path}/{name}"
+                # Span names/paths are internal identifiers, so the
+                # template needs no quoting machinery.
+                tmpl = (
+                    '{"type":"span","seq":%d,"name":"' + name
+                    + '","path":"' + path
+                    + '","start_s":%.9f,"dur_s":%.9f%s}'
+                )
+                entry = templates[(name, parent)] = (tmpl, path)
+            else:
+                tmpl, path = entry
+            if not is_leaf:
+                paths[seq] = path  # children flushed later resolve this
+            if attrs is None:
+                suffix = ""
+            else:
+                aid = id(attrs)
+                suffix = attr_memo.get(aid)
+                if suffix is None:
+                    suffix = _render_attrs(attrs)
+                    attr_memo[aid] = suffix
+            lines.append(tmpl % (seq, start - t0, dur, suffix))
+        self._seq = seq_next
+        # In place: live leaf writers hold a reference to this list.
+        self._records[:] = keep
+        if lines:
+            fh.write("\n".join(lines) + "\n")
+
+    def spans(self) -> Iterator[tuple[str, float, dict | None]]:
+        """Completed spans recorded so far as ``(path, dur_s, attrs)``.
+
+        In-memory sessions only — with a sink, flushed spans live in
+        the JSONL file instead (parse with :mod:`repro.telemetry.report`).
+        """
+        self.flush()
+        for rec in self._flushed:
+            if rec[2] == -2:
+                continue
+            yield self._paths[rec[0]], rec[4], rec[5]
+
+    def snapshot(self) -> dict:
+        return self.registry.snapshot()
+
+    def close(self) -> None:
+        """Flush, append the final metrics snapshot, close the sink."""
+        if self._closed:
+            return
+        self._closed = True
+        self.flush()
+        if self._fh is not None:
+            tail: dict[str, object] = {
+                "type": "metrics",
+                "metrics": self.registry.snapshot(),
+            }
+            if self.n_dropped:
+                tail["spans_dropped"] = self.n_dropped
+            self._fh.write(json.dumps(tail, default=str) + "\n")
+            self._fh.close()
+            self._fh = None
+
+
+# ---------------------------------------------------------------------
+# Ambient installation
+# ---------------------------------------------------------------------
+_ACTIVE: Telemetry | NullTelemetry = NULL_TELEMETRY
+
+
+def get_telemetry() -> Telemetry | NullTelemetry:
+    """The process's active telemetry (the null singleton by default)."""
+    return _ACTIVE
+
+
+@contextmanager
+def telemetry_session(
+    path: str | Path | None = None,
+) -> Iterator[Telemetry]:
+    """Install an active :class:`Telemetry` for the duration of the block.
+
+    With ``path``, spans/events/metrics stream to a JSONL sink there
+    (closed — and the final metrics snapshot appended — on exit).
+    Without it the session is in-memory: metrics and spans are still
+    collected and inspectable on the yielded object.  Sessions nest;
+    the innermost one is active.
+    """
+    global _ACTIVE
+    tel = Telemetry(path)
+    prev = _ACTIVE
+    _ACTIVE = tel
+    try:
+        yield tel
+    finally:
+        _ACTIVE = prev
+        tel.close()

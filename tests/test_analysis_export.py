@@ -8,16 +8,20 @@ import numpy as np
 import pytest
 
 from repro.analysis.export import (
+    belief_timeline_csv,
+    dynamics_timeline_csv,
     result_to_csv,
     result_to_json,
     results_to_comparison_csv,
 )
 from repro.cluster.topology import ClusterTopology, LocalityModel
+from repro.dynamics import DrainWindow, DynamicsConfig
 from repro.scheduler.placement import make_placement
 from repro.scheduler.policies import make_scheduler
-from repro.scheduler.simulator import ClusterSimulator
+from repro.scheduler.simulator import ClusterSimulator, SimulatorConfig
 from repro.traces.job import JobSpec
 from repro.traces.trace import Trace
+from repro.utils.errors import ConfigurationError
 from repro.variability.profiles import VariabilityProfile
 
 
@@ -86,3 +90,73 @@ class TestComparisonCsv:
         rows = list(csv.reader(io.StringIO(text)))
         assert len(rows) == 3
         assert rows[1][0] == "pal-a"
+
+
+def _dynamic_run(*, record_events, drain_start_s=64.0):
+    """A short run with one node drained mid-flight."""
+    n_gpus = 8
+    profile = VariabilityProfile("flat", ("A", "B", "C"), np.ones((3, n_gpus)))
+    jobs = tuple(
+        JobSpec(
+            job_id=i,
+            arrival_time_s=0.0,
+            demand=4,
+            model="resnet50",
+            class_id=0,
+            iteration_time_s=1.0,
+            total_iterations=500,
+        )
+        for i in range(3)
+    )
+    dynamics = DynamicsConfig(
+        drains=(DrainWindow(start_s=drain_start_s, duration_s=128.0, nodes=(0,)),)
+    )
+    sim = ClusterSimulator(
+        topology=ClusterTopology.from_gpu_count(n_gpus),
+        true_profile=profile,
+        scheduler=make_scheduler("las"),
+        placement=make_placement("tiresias"),
+        locality=LocalityModel(across_node=1.0),
+        config=SimulatorConfig(dynamics=dynamics, record_events=record_events),
+        seed=0,
+    )
+    return sim.run(Trace("dyn", jobs))
+
+
+class TestTimelineErrorPaths:
+    def test_dynamics_requires_dynamics_metadata(self, result):
+        with pytest.raises(ConfigurationError, match="dynamics"):
+            dynamics_timeline_csv(result)
+
+    def test_dynamics_requires_recorded_events(self):
+        res = _dynamic_run(record_events=False)
+        assert "dynamics" in res.metadata
+        with pytest.raises(ConfigurationError, match="record_events=True"):
+            dynamics_timeline_csv(res)
+
+    def test_empty_timeline_is_header_only(self):
+        # The drain is scheduled far beyond the run's end, so no
+        # cluster-scoped event ever fires — the CSV is just the header.
+        res = _dynamic_run(record_events=True, drain_start_s=1e9)
+        rows = dynamics_timeline_csv(res).strip().splitlines()
+        assert rows == ["time_s,epoch,event,cause,n_gpus_affected,capacity"]
+
+    def test_belief_requires_profiling_metadata(self, result):
+        with pytest.raises(ConfigurationError, match="profiling"):
+            belief_timeline_csv(result)
+
+    def test_empty_belief_timeline_is_header_only(self, result):
+        res = _dynamic_run(record_events=True)
+        res.metadata["profiling"] = {"belief_timeline": []}
+        rows = belief_timeline_csv(res).strip().splitlines()
+        assert rows == [
+            "epoch,time_s,event,mean_abs_rel_error,"
+            "max_abs_rel_error,gpu_epochs_spent"
+        ]
+
+    def test_n_evictions_round_trips(self):
+        res = _dynamic_run(record_events=True)
+        total = sum(r.n_evictions for r in res.records)
+        assert total > 0  # the drain evicted at least one running job
+        rows = list(csv.DictReader(io.StringIO(result_to_csv(res))))
+        assert sum(int(r["n_evictions"]) for r in rows) == total

@@ -159,3 +159,61 @@ class TestCacheGCCommand:
         with pytest.raises(ConfigurationError):
             main(["cache-gc", "--cache-dir", str(cache_dir), "--max-bytes", "-5"])
         assert len(list(cache_dir.glob("*/*.pkl"))) == 2  # nothing deleted
+
+
+class TestTelemetryCommands:
+    def test_verbosity_flags_accepted(self, capsys):
+        assert main(["-v", "list"]) == 0
+        assert main(["-vv", "list"]) == 0
+        assert main(["-q", "list"]) == 0
+        capsys.readouterr()
+
+    def test_simulate_with_telemetry_then_report(self, tmp_path, capsys):
+        from repro.telemetry import get_telemetry, load_trace
+
+        trace_path = tmp_path / "run.jsonl"
+        args = [
+            "simulate", "--trace", "synergy", "--rate", "8", "--jobs", "20",
+            "--gpus", "16", "--scheduler", "fifo", "--placement", "pal",
+            "--telemetry", str(trace_path),
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "wrote telemetry trace" in out
+        # Session closed and the ambient telemetry restored to null.
+        assert get_telemetry().enabled is False
+
+        trace = load_trace(trace_path)
+        names = {s["name"] for s in trace.spans}
+        assert "engine.run" in names
+        assert any(n.startswith("stage:") for n in names)
+        assert trace.counters["repro_engine_rounds_total"] > 0
+
+        assert main(["report", str(trace_path)]) == 0
+        report = capsys.readouterr().out
+        assert "span tree" in report
+        assert "engine.run" in report
+        assert "repro_engine_rounds_total" in report
+
+    def test_sweep_with_telemetry(self, tmp_path, capsys):
+        from repro.telemetry import load_trace
+
+        trace_path = tmp_path / "sweep.jsonl"
+        args = [
+            "sweep", "--traces", "sia:1", "--jobs", "6", "--gpus", "16",
+            "--schedulers", "fifo", "--placements", "tiresias",
+            "--telemetry", str(trace_path),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        trace = load_trace(trace_path)
+        assert any(s["name"] == "runner.sweep" for s in trace.spans)
+        assert trace.counters['repro_sweep_cells_total{outcome="executed"}'] == 1.0
+
+    def test_report_rejects_garbage(self, tmp_path):
+        from repro.utils.errors import ConfigurationError
+
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("definitely\nnot telemetry\njsonl\n")
+        with pytest.raises(ConfigurationError):
+            main(["report", str(bad)])

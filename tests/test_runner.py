@@ -291,6 +291,34 @@ class TestResultCache:
         assert cache.stats.hits == 2 and cache.stats.puts == 2
         assert len(cache) == 2
 
+    def test_stats_surface_in_telemetry_registry(self, tmp_path):
+        """The cache's hit/miss/put accounting is mirrored into the
+        ambient telemetry session's counters when one is active."""
+        from repro.telemetry import telemetry_session
+
+        cache = ResultCache(tmp_path / "cache")
+        with telemetry_session() as tel:
+            run_sweep(smoke_spec(), cache=cache)
+            run_sweep(smoke_spec(), cache=cache)
+            counters = tel.registry.snapshot()["counters"]
+        assert counters["repro_cache_misses_total"] == cache.stats.misses == 2
+        assert counters["repro_cache_hits_total"] == cache.stats.hits == 2
+        assert counters["repro_cache_puts_total"] == cache.stats.puts == 2
+
+    def test_gc_surfaces_in_telemetry_registry(self, tmp_path):
+        from repro.telemetry import telemetry_session
+
+        cache = ResultCache(tmp_path / "cache")
+        run_sweep(smoke_spec(), cache=cache)
+        with telemetry_session() as tel:
+            stats = cache.gc(max_bytes=0)
+            counters = tel.registry.snapshot()["counters"]
+        assert stats.removed == 2
+        assert counters["repro_cache_gc_removed_total"] == 2
+        assert counters["repro_cache_gc_reclaimed_bytes_total"] == (
+            stats.reclaimed_bytes
+        )
+
     def test_incremental_extension(self, tmp_path):
         """Growing the grid only runs the new cells."""
         cache = ResultCache(tmp_path / "cache")

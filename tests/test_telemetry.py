@@ -1,0 +1,408 @@
+"""Tests for the observability layer (repro.telemetry).
+
+Covers the metrics registry, the span/event runtime and its JSONL sink,
+the exporters, the report renderer, and — most importantly — the
+integration contracts: a telemetry session must not perturb simulation
+outcomes (bit-identity), and an instrumented run must actually emit the
+spans and series the engine/runner/solver wiring promises.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cluster.topology import ClusterTopology, LocalityModel
+from repro.runner import (
+    EnvSpec,
+    ResultCache,
+    RunSpec,
+    SweepSpec,
+    TraceSpec,
+    execute_run_spec,
+    run_sweep,
+)
+from repro.scheduler.placement import make_placement
+from repro.scheduler.policies import make_scheduler
+from repro.scheduler.simulator import ClusterSimulator, SimulatorConfig
+from repro.telemetry import (
+    NULL_TELEMETRY,
+    MetricsRegistry,
+    Telemetry,
+    get_telemetry,
+    load_trace,
+    metrics_csv,
+    prometheus_text,
+    render_report,
+    telemetry_session,
+)
+from repro.traces.job import JobSpec
+from repro.traces.trace import Trace
+from repro.utils.errors import ConfigurationError
+from repro.variability.profiles import VariabilityProfile
+
+SMOKE_SPEC = RunSpec(
+    trace=TraceSpec("synergy", load=8.0, n_jobs=16),
+    scheduler="fifo",
+    placement="pal",
+    seed=1,
+    env=EnvSpec(n_gpus=16),
+)
+
+
+# ---------------------------------------------------------------------------
+# MetricsRegistry
+# ---------------------------------------------------------------------------
+class TestRegistry:
+    def test_counter_gauge_histogram(self):
+        reg = MetricsRegistry()
+        c = reg.counter("jobs_total", "jobs seen")
+        c.inc()
+        c.inc(2.5)
+        g = reg.gauge("depth")
+        g.set(4.0)
+        g.set_max(2.0)  # lower: ignored
+        g.set_max(9.0)
+        h = reg.histogram("latency_seconds")
+        for v in (0.0005, 0.05, 5.0, 5000.0):
+            h.observe(v)
+        assert c.value == 3.5
+        assert g.value == 9.0
+        assert h.count == 4 and h.sum == pytest.approx(5005.0505)
+        assert h.min == 0.0005 and h.max == 5000.0
+        assert h.mean == pytest.approx(5005.0505 / 4)
+
+    def test_labeled_series_are_distinct(self):
+        reg = MetricsRegistry()
+        a = reg.counter("cells_total", outcome="hit")
+        b = reg.counter("cells_total", outcome="miss")
+        assert a is not b
+        a.inc(3)
+        b.inc()
+        # Same (name, labels) returns the same instrument.
+        assert reg.counter("cells_total", outcome="hit") is a
+        snap = reg.snapshot()
+        assert snap["counters"]['cells_total{outcome="hit"}'] == 3.0
+        assert snap["counters"]['cells_total{outcome="miss"}'] == 1.0
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(ConfigurationError):
+            reg.gauge("x_total")
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.gauge("b").set(1.5)
+        reg.histogram("c").observe(0.25)
+        snap = reg.snapshot()
+        assert set(snap) == {"counters", "gauges", "histograms"}
+        assert snap["histograms"]["c"]["count"] == 1
+        assert snap["histograms"]["c"]["sum"] == 0.25
+
+
+# ---------------------------------------------------------------------------
+# Runtime: spans, sessions, sinks
+# ---------------------------------------------------------------------------
+class TestRuntime:
+    def test_null_is_disabled_and_inert(self):
+        assert NULL_TELEMETRY.enabled is False
+        with NULL_TELEMETRY.span("anything", k=1):
+            pass
+        NULL_TELEMETRY.event("e", x=1)
+        NULL_TELEMETRY.registry.counter("c").inc()
+        snap = NULL_TELEMETRY.registry.snapshot()
+        assert not any(snap.values())  # nothing is ever recorded
+        assert get_telemetry() is NULL_TELEMETRY
+
+    def test_session_installs_and_restores(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with telemetry_session(path) as tel:
+            assert get_telemetry() is tel
+            assert tel.enabled
+        assert get_telemetry() is NULL_TELEMETRY
+        assert path.is_file()
+
+    def test_span_nesting_builds_paths(self):
+        tel = Telemetry()
+        with tel.span("outer"):
+            with tel.span("inner"):
+                pass
+            with tel.span("inner"):
+                pass
+        tel.flush()
+        paths = [p for p, _, _ in tel.spans()]
+        assert paths.count("outer/inner") == 2
+        assert paths.count("outer") == 1
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with telemetry_session(path) as tel:
+            with tel.span("run", trace="x"):
+                with tel.span("stage", round=3):
+                    pass
+            tel.event("arrival", job=7)
+            tel.registry.counter("rounds_total", "rounds").inc(5)
+        trace = load_trace(path)
+        assert trace.meta["version"] == 1
+        names = [s["name"] for s in trace.spans]
+        assert sorted(names) == ["run", "stage"]
+        stage = next(s for s in trace.spans if s["name"] == "stage")
+        assert stage["path"] == "run/stage"
+        assert stage["attrs"]["round"] == 3
+        assert trace.events[0]["name"] == "arrival"
+        assert trace.events[0]["job"] == 7
+        assert trace.counters["rounds_total"] == 5.0
+
+    def test_truncated_tail_tolerated(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with telemetry_session(path) as tel:
+            with tel.span("a"):
+                pass
+        # Simulate a killed run: chop the final metrics line mid-record.
+        text = path.read_text()
+        path.write_text(text[: len(text) - 20])
+        trace = load_trace(path)
+        assert trace.meta and trace.spans
+
+    def test_garbage_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("not json\nmore garbage\nlines\n")
+        with pytest.raises(ConfigurationError):
+            load_trace(path)
+        with pytest.raises(ConfigurationError):
+            load_trace(tmp_path / "missing.jsonl")
+
+
+# ---------------------------------------------------------------------------
+# Exporters + report
+# ---------------------------------------------------------------------------
+class TestExporters:
+    def _registry(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_rounds_total", "rounds run").inc(12)
+        reg.gauge("repro_gap", "duality gap").set(1e-9)
+        h = reg.histogram("repro_seconds", "durations")
+        h.observe(0.002)
+        h.observe(30.0)
+        return reg
+
+    def test_prometheus_text(self):
+        text = prometheus_text(self._registry())
+        assert "# HELP repro_rounds_total rounds run" in text
+        assert "# TYPE repro_rounds_total counter" in text
+        assert "repro_rounds_total 12" in text
+        assert 'repro_seconds_bucket{le="+Inf"} 2' in text
+        assert "repro_seconds_count 2" in text
+
+    def test_prometheus_buckets_cumulative(self):
+        lines = prometheus_text(self._registry()).splitlines()
+        buckets = [
+            int(ln.rsplit(" ", 1)[1])
+            for ln in lines
+            if ln.startswith("repro_seconds_bucket")
+        ]
+        assert buckets == sorted(buckets)
+        assert buckets[-1] == 2
+
+    def test_metrics_csv(self):
+        rows = metrics_csv(self._registry()).splitlines()
+        assert rows[0] == "metric,type,labels,value,count,sum,min,max"
+        assert any(r.startswith("repro_rounds_total,counter") for r in rows)
+        assert any(r.startswith("repro_seconds,histogram") for r in rows)
+
+    def test_render_report(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with telemetry_session(path) as tel:
+            with tel.span("engine.run"):
+                with tel.span("stage:placement", round=0):
+                    pass
+            tel.registry.counter("repro_engine_rounds_total").inc()
+        report = render_report(load_trace(path))
+        assert "span tree" in report
+        assert "engine.run" in report
+        assert "stage:placement" in report
+        assert "repro_engine_rounds_total" in report
+
+
+# ---------------------------------------------------------------------------
+# Integration: the engine under a session
+# ---------------------------------------------------------------------------
+class TestEngineIntegration:
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        return execute_run_spec(SMOKE_SPEC)
+
+    def test_disabled_run_has_no_telemetry_metadata(self, baseline):
+        assert "telemetry" not in baseline.metadata
+
+    def test_session_is_bit_identical(self, baseline, tmp_path):
+        with telemetry_session(tmp_path / "t.jsonl"):
+            instrumented = execute_run_spec(SMOKE_SPEC)
+        assert baseline.same_outcome_as(instrumented) == []
+
+    def test_emits_stage_and_ff_spans(self, baseline, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with telemetry_session(path):
+            result = execute_run_spec(SMOKE_SPEC)
+        trace = load_trace(path)
+        names = {s["name"] for s in trace.spans}
+        assert "engine.run" in names and "cell" in names
+        stage_spans = [s for s in trace.spans if s["name"].startswith("stage:")]
+        assert stage_spans and all("round" in s["attrs"] for s in stage_spans)
+        ff = [s for s in trace.spans if s["name"] == "ff.jump"]
+        assert ff and all(s["attrs"]["epochs_skipped"] >= 1 for s in ff)
+        # Counters agree with the run's own metadata tally.
+        tmeta = result.metadata["telemetry"]
+        assert trace.counters["repro_engine_ff_jumps_total"] == tmeta["ff_jumps"]
+        assert (
+            trace.counters["repro_engine_rounds_total"]
+            == tmeta["rounds_materialized"]
+        )
+        assert tmeta["ff_epochs_skipped"] + tmeta["rounds_materialized"] >= (
+            tmeta["epochs_run"]
+        )
+        assert set(tmeta["stage_seconds"]) == {
+            "arrival", "ordering", "placement", "fast-forward", "execution",
+        }
+        hists = trace.histograms
+        assert hists["repro_engine_placement_seconds"]["count"] > 0
+
+    def test_lane_is_bit_identical_and_instrumented(self, tmp_path):
+        spec = RunSpec(
+            trace=TraceSpec("synergy", load=8.0, n_jobs=16),
+            scheduler="fifo",
+            placement="random-sticky",
+            seed=3,
+            env=EnvSpec(n_gpus=16),
+        )
+        from repro.runner.batched import _run_spec
+
+        baseline = execute_run_spec(spec)
+        path = tmp_path / "t.jsonl"
+        with telemetry_session(path):
+            instrumented = _run_spec(spec)
+        assert baseline.same_outcome_as(instrumented) == []
+        trace = load_trace(path)
+        names = {s["name"] for s in trace.spans}
+        assert "engine.lane" in names
+        assert trace.counters["repro_engine_rounds_total"] > 0
+
+    def test_in_memory_session_spans(self):
+        with telemetry_session() as tel:
+            execute_run_spec(SMOKE_SPEC)
+            tel.flush()
+            paths = [p for p, _, _ in tel.spans()]
+        assert any(p.endswith("engine.run") for p in paths)
+
+
+# ---------------------------------------------------------------------------
+# Integration: runner + cache + solver
+# ---------------------------------------------------------------------------
+class TestRunnerIntegration:
+    def test_sweep_counters_and_span(self, tmp_path):
+        spec = SweepSpec(
+            traces=(TraceSpec("synergy", load=8.0, n_jobs=12),),
+            schedulers=("fifo",),
+            placements=("pal",),
+            seeds=(0,),
+            env=EnvSpec(n_gpus=16),
+            name="tel-sweep",
+        )
+        path = tmp_path / "t.jsonl"
+        cache = ResultCache(tmp_path / "cache")
+        with telemetry_session(path):
+            run_sweep(spec, executor="serial", cache=cache)
+            run_sweep(spec, executor="serial", cache=cache)
+        trace = load_trace(path)
+        c = trace.counters
+        assert c['repro_sweep_cells_total{outcome="executed"}'] == 1.0
+        assert c['repro_sweep_cells_total{outcome="cache-hit"}'] == 1.0
+        assert c["repro_cache_misses_total"] == 1.0
+        assert c["repro_cache_hits_total"] == 1.0
+        assert c["repro_cache_puts_total"] == 1.0
+        sweeps = [s for s in trace.spans if s["name"] == "runner.sweep"]
+        assert len(sweeps) == 2
+        assert sweeps[0]["attrs"]["sweep"] == "tel-sweep"
+
+    def test_solver_gauges_and_spans(self, tmp_path):
+        pytest.importorskip("scipy")
+        spec = RunSpec(
+            trace=TraceSpec("synergy", load=8.0, n_jobs=10),
+            scheduler="gavel-mt",
+            placement="gavel-mt",
+            seed=0,
+            env=EnvSpec(n_gpus=16),
+        )
+        baseline = execute_run_spec(spec)
+        path = tmp_path / "t.jsonl"
+        with telemetry_session(path):
+            instrumented = execute_run_spec(spec)
+        assert baseline.same_outcome_as(instrumented) == []
+        trace = load_trace(path)
+        assert "repro_solver_duality_gap_max" in trace.gauges
+        assert "repro_solver_primal_residual_max" in trace.gauges
+        solves = [s for s in trace.spans if s["name"] == "solver.solve"]
+        assert solves
+        assert trace.counters["repro_solver_solves_total"] == len(solves)
+        assert (
+            trace.counters["repro_solver_lp_calls_total"]
+            >= trace.counters["repro_solver_solves_total"]
+        )
+        assert trace.histograms["repro_solver_solve_seconds"]["count"] == len(
+            solves
+        )
+
+
+# ---------------------------------------------------------------------------
+# Integration: dynamics counters
+# ---------------------------------------------------------------------------
+class TestDynamicsIntegration:
+    def test_cluster_event_counters(self, tmp_path):
+        from repro.dynamics import DrainWindow, DynamicsConfig
+
+        n_gpus = 8
+        profile = VariabilityProfile(
+            "flat", ("A", "B", "C"), np.ones((3, n_gpus))
+        )
+        jobs = tuple(
+            JobSpec(
+                job_id=i,
+                arrival_time_s=0.0,
+                demand=4,
+                model="resnet50",
+                class_id=i % 3,
+                iteration_time_s=1.0,
+                total_iterations=500,
+            )
+            for i in range(3)
+        )
+        dynamics = DynamicsConfig(
+            drains=(
+                DrainWindow(start_s=64.0, duration_s=128.0, nodes=(0,)),
+            )
+        )
+
+        def run():
+            sim = ClusterSimulator(
+                topology=ClusterTopology.from_gpu_count(n_gpus),
+                true_profile=profile,
+                scheduler=make_scheduler("las"),
+                placement=make_placement("tiresias"),
+                locality=LocalityModel(across_node=1.0),
+                config=SimulatorConfig(dynamics=dynamics, record_events=True),
+                seed=0,
+            )
+            return sim.run(Trace("dyn", jobs))
+
+        baseline = run()
+        path = tmp_path / "t.jsonl"
+        with telemetry_session(path):
+            instrumented = run()
+        assert baseline.same_outcome_as(instrumented) == []
+        counters = load_trace(path).counters
+        assert counters['repro_cluster_events_total{kind="drain"}'] == 1.0
+        assert counters['repro_cluster_events_total{kind="repair"}'] == 1.0
